@@ -1,0 +1,44 @@
+//! End-to-end application benchmarks: every STAMP port at test scale under
+//! baseline / runtime-tree / compiler configurations. These are the
+//! criterion-tracked counterparts of the paper's Figure 10 series; the
+//! `expt` binary produces the full figure/table reproductions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stamp::{Benchmark, Scale};
+use stm::{CheckScope, LogKind, Mode, TxConfig};
+
+fn bench_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apps");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+
+    let configs: Vec<(&str, TxConfig)> = vec![
+        ("baseline", TxConfig::with_mode(Mode::Baseline)),
+        (
+            "runtime-tree",
+            TxConfig::with_mode(Mode::Runtime {
+                log: LogKind::Tree,
+                scope: CheckScope::FULL,
+            }),
+        ),
+        ("compiler", TxConfig::with_mode(Mode::Compiler)),
+    ];
+
+    for b in Benchmark::ALL {
+        for (name, cfg) in &configs {
+            let cfg = *cfg;
+            g.bench_function(format!("{}/{}", b.name().replace(' ', "_"), name), |bench| {
+                bench.iter(|| {
+                    let out = b.run(Scale::Test, cfg, 1);
+                    assert!(out.verified);
+                    out.stats.commits
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

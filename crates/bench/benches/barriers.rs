@@ -1,0 +1,139 @@
+//! Microbenchmarks of barrier costs — the quantities behind the paper's
+//! §2.2 claims (an STM barrier costs ~10+ instructions vs. a plain access)
+//! and §3.1's runtime-check overhead discussion: how much a capture *hit*
+//! saves, and how much a capture *miss* adds to a full barrier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stm::{CheckScope, LogKind, Mode, Site, StmRuntime, TxConfig};
+use txmem::MemConfig;
+
+static S: Site = Site::shared("bench.shared");
+static S_ESC: Site = Site::captured_escaped("bench.captured");
+
+const N: u64 = 256;
+
+fn bench_barriers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barriers");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1000));
+
+    // Baseline full barriers on shared memory.
+    {
+        let rt = StmRuntime::new(MemConfig::small(), TxConfig::default());
+        let buf = rt.alloc_global(N * 8);
+        let mut w = rt.spawn_worker();
+        g.bench_function("read_full_shared", |b| {
+            b.iter(|| {
+                w.txn(|tx| {
+                    let mut acc = 0u64;
+                    for i in 0..N {
+                        acc = acc.wrapping_add(tx.read(&S, buf.word(i))?);
+                    }
+                    Ok(acc)
+                })
+            })
+        });
+        g.bench_function("write_full_shared", |b| {
+            b.iter(|| {
+                w.txn(|tx| {
+                    for i in 0..N {
+                        tx.write(&S, buf.word(i), i)?;
+                    }
+                    Ok(())
+                })
+            })
+        });
+    }
+
+    // Plain loads for scale (what elision buys in the limit).
+    {
+        let rt = StmRuntime::new(MemConfig::small(), TxConfig::default());
+        let buf = rt.alloc_global(N * 8);
+        let w = rt.spawn_worker();
+        g.bench_function("read_plain", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..N {
+                    acc = acc.wrapping_add(w.load(buf.word(i)));
+                }
+                acc
+            })
+        });
+    }
+
+    // Capture hits: accesses to a block allocated in the transaction.
+    for log in LogKind::ALL {
+        let rt = StmRuntime::new(
+            MemConfig::small(),
+            TxConfig::with_mode(Mode::Runtime {
+                log,
+                scope: CheckScope::FULL,
+            }),
+        );
+        let mut w = rt.spawn_worker();
+        g.bench_function(format!("write_captured_hit/{}", log.name()), |b| {
+            b.iter(|| {
+                w.txn(|tx| {
+                    let p = tx.alloc(N * 8)?;
+                    for i in 0..N {
+                        tx.write(&S_ESC, p.word(i), i)?;
+                    }
+                    tx.free(p);
+                    Ok(())
+                })
+            })
+        });
+    }
+
+    // Capture misses: runtime checks that fail before the full barrier —
+    // the added overhead the paper measures via kmeans.
+    for log in LogKind::ALL {
+        let rt = StmRuntime::new(
+            MemConfig::small(),
+            TxConfig::with_mode(Mode::Runtime {
+                log,
+                scope: CheckScope::FULL,
+            }),
+        );
+        let buf = rt.alloc_global(N * 8);
+        let mut w = rt.spawn_worker();
+        g.bench_function(format!("write_capture_miss/{}", log.name()), |b| {
+            b.iter(|| {
+                w.txn(|tx| {
+                    // One live allocation so the log is non-empty.
+                    let p = tx.alloc(64)?;
+                    tx.write(&S_ESC, p, 0)?;
+                    for i in 0..N {
+                        tx.write(&S, buf.word(i), i)?;
+                    }
+                    tx.free(p); // keep the simulated heap balanced
+                    Ok(())
+                })
+            })
+        });
+    }
+
+    // Stack capture hit: the cheapest check of all (one range compare).
+    {
+        let rt = StmRuntime::new(MemConfig::small(), TxConfig::runtime_tree_full());
+        let mut w = rt.spawn_worker();
+        g.bench_function("write_captured_hit/stack", |b| {
+            b.iter(|| {
+                w.txn(|tx| {
+                    let f = tx.stack_push(N as usize);
+                    for i in 0..N {
+                        tx.write(&S_ESC, f.word(i), i)?;
+                    }
+                    tx.stack_pop(N as usize);
+                    Ok(())
+                })
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_barriers);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! expt <fig8|fig9|fig10|fig11a|fig11b|table1|table2|annotations|orec|check|all>
+//!      [--scale test|small|full] [--threads N] [--runs K]
+//! ```
+//!
+//! Output is Markdown, mirroring the paper's rows/series; see EXPERIMENTS.md
+//! for an archived run with paper-vs-measured commentary.
+
+use bench_support as bench;
+use stamp::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: expt <fig8|fig9|fig10|fig11a|fig11b|table1|table2|annotations|orec|check|all> \
+         [--scale test|small|full] [--threads N] [--runs K]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args[0].as_str();
+    let mut opts = bench::ExptOpts::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                opts.scale = match args.get(i).map(|s| s.as_str()) {
+                    Some("test") => Scale::Test,
+                    Some("small") => Scale::Small,
+                    Some("full") => Scale::Full,
+                    _ => usage(),
+                };
+            }
+            "--threads" => {
+                i += 1;
+                opts.threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--runs" => {
+                i += 1;
+                opts.runs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "# expt {cmd} (scale {:?}, {} threads, {} runs)",
+        opts.scale, opts.threads, opts.runs
+    );
+    let t0 = std::time::Instant::now();
+    match cmd {
+        "fig8" => print!("{}", bench::fig8(&opts)),
+        "fig9" => print!("{}", bench::fig9(&opts)),
+        "fig10" => print!("{}", bench::fig10(&opts)),
+        "fig11a" => print!("{}", bench::fig11a(&opts)),
+        "fig11b" => print!("{}", bench::fig11b(&opts)),
+        "table1" => print!("{}", bench::table1(&opts)),
+        "table2" => print!("{}", bench::table2(&opts)),
+        "annotations" => print!("{}", bench::annotations(&opts)),
+        "orec" => print!("{}", bench::orec_ablation(&opts)),
+        "check" => {
+            for r in bench::check(opts.scale, opts.threads) {
+                println!(
+                    "{:<14} {:>10} commits  {:>8} aborts  {}  verified={}",
+                    r.benchmark,
+                    r.stats.commits,
+                    r.stats.aborts,
+                    bench::fmt_dur(r.elapsed),
+                    r.verified
+                );
+            }
+        }
+        "all" => {
+            print!("{}", bench::fig8(&opts));
+            print!("{}", bench::fig9(&opts));
+            print!("{}", bench::fig10(&opts));
+            print!("{}", bench::fig11a(&opts));
+            print!("{}", bench::fig11b(&opts));
+            print!("{}", bench::table1(&opts));
+            print!("{}", bench::table2(&opts));
+            print!("{}", bench::annotations(&opts));
+            print!("{}", bench::orec_ablation(&opts));
+        }
+        _ => usage(),
+    }
+    eprintln!("# done in {}", bench::fmt_dur(t0.elapsed()));
+}

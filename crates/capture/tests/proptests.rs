@@ -1,0 +1,184 @@
+//! Property-based tests for the allocation-log data structures.
+//!
+//! The central safety property from the paper (§3.1.2): capture analysis may
+//! be *arbitrarily inaccurate* as long as it is **conservative** — it may
+//! miss captured memory (false negatives, costing only performance) but must
+//! never claim capture for memory that was not allocated by the transaction
+//! (false positives, which would elide necessary barriers and break
+//! isolation). The tree must additionally be *precise*.
+
+use capture::{AddrFilter, AllocLog, LogImpl, LogKind, RangeArray, RangeTree};
+use proptest::prelude::*;
+
+const WORD: u64 = 8;
+
+/// A reference model: a plain list of disjoint ranges.
+#[derive(Default, Clone)]
+struct Model {
+    ranges: Vec<(u64, u64, u32)>,
+}
+
+impl Model {
+    fn insert(&mut self, start: u64, len: u64, level: u32) {
+        self.ranges.push((start, start + len, level));
+    }
+    fn remove(&mut self, start: u64) {
+        self.ranges.retain(|&(s, _, _)| s != start);
+    }
+    fn query(&self, addr: u64) -> Option<u32> {
+        self.ranges
+            .iter()
+            .find(|&&(s, e, _)| addr >= s && addr < e)
+            .map(|&(_, _, l)| l)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { slot: u8, words: u8, level: u8 },
+    Remove { slot: u8 },
+    Clear,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u8>(), 1..16u8, 1..4u8)
+                .prop_map(|(slot, words, level)| Op::Insert { slot, words, level }),
+            any::<u8>().prop_map(|slot| Op::Remove { slot }),
+            Just(Op::Clear),
+        ],
+        0..60,
+    )
+}
+
+/// Disjoint 4 KiB slots so ranges never overlap (the allocator guarantees
+/// disjointness in the real system).
+fn slot_base(slot: u8) -> u64 {
+    4096 + slot as u64 * 4096
+}
+
+fn run_ops(log: &mut dyn AllocLog, model: &mut Model, ops: &[Op], live: &mut [bool; 256]) {
+    for op in ops {
+        match *op {
+            Op::Insert { slot, words, level } => {
+                if !live[slot as usize] {
+                    let start = slot_base(slot);
+                    let len = words as u64 * WORD;
+                    log.insert(start, len, level as u32);
+                    model.insert(start, len, level as u32);
+                    live[slot as usize] = true;
+                }
+            }
+            Op::Remove { slot } => {
+                if live[slot as usize] {
+                    let start = slot_base(slot);
+                    log.remove(start, 16 * WORD);
+                    model.remove(start);
+                    live[slot as usize] = false;
+                }
+            }
+            Op::Clear => {
+                log.clear();
+                model.ranges.clear();
+                live.fill(false);
+            }
+        }
+    }
+}
+
+fn probe_addrs() -> Vec<u64> {
+    let mut v = Vec::new();
+    for slot in 0..=255u8 {
+        let b = slot_base(slot);
+        v.extend([b, b + WORD, b + 15 * WORD, b + 16 * WORD, b + 2048]);
+    }
+    v.push(0);
+    v.push(u64::MAX / 2 / WORD * WORD);
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_is_precise(ops in ops()) {
+        let mut t = RangeTree::new();
+        let mut m = Model::default();
+        let mut live = [false; 256];
+        run_ops(&mut t, &mut m, &ops, &mut live);
+        for a in probe_addrs() {
+            prop_assert_eq!(t.query(a), m.query(a), "addr {}", a);
+        }
+        prop_assert_eq!(t.entries(), m.ranges.len());
+    }
+
+    #[test]
+    fn array_is_conservative(ops in ops()) {
+        let mut arr: RangeArray<4> = RangeArray::new();
+        let mut m = Model::default();
+        let mut live = [false; 256];
+        run_ops(&mut arr, &mut m, &ops, &mut live);
+        for a in probe_addrs() {
+            if let Some(level) = arr.query(a) {
+                // Any hit must be a true hit with the right level.
+                prop_assert_eq!(m.query(a), Some(level), "false positive at {}", a);
+            }
+        }
+    }
+
+    #[test]
+    fn filter_is_conservative(ops in ops()) {
+        let mut f = AddrFilter::with_log2_entries(8);
+        let mut m = Model::default();
+        let mut live = [false; 256];
+        run_ops(&mut f, &mut m, &ops, &mut live);
+        for a in probe_addrs() {
+            if let Some(level) = f.query(a) {
+                prop_assert_eq!(m.query(a), Some(level), "false positive at {}", a);
+            }
+        }
+    }
+
+    #[test]
+    fn filter_exact_for_single_block(slot in 0..255u8, words in 1..16u64) {
+        // A single block cannot self-collide destructively in a table much
+        // larger than the block: every word must be found.
+        let mut f = AddrFilter::with_log2_entries(12);
+        f.insert(slot_base(slot), words * WORD, 1);
+        for w in 0..words {
+            prop_assert_eq!(f.query(slot_base(slot) + w * WORD), Some(1));
+        }
+        prop_assert_eq!(f.query(slot_base(slot) + words * WORD), None);
+    }
+
+    #[test]
+    fn all_impls_agree_on_hits_after_few_inserts(
+        blocks in proptest::collection::vec((0..64u8, 1..8u8), 1..4)
+    ) {
+        // With at most 3 disjoint blocks, even the lossy structures are
+        // exact; all three must agree with each other.
+        let mut impls: Vec<LogImpl> = LogKind::ALL.iter().map(|&k| LogImpl::new(k)).collect();
+        let mut seen = std::collections::HashSet::new();
+        for &(slot, words) in &blocks {
+            if seen.insert(slot) {
+                for l in impls.iter_mut() {
+                    l.insert(slot_base(slot), words as u64 * WORD, 1);
+                }
+            }
+        }
+        for slot in 0..64u8 {
+            let a = slot_base(slot);
+            let answers: Vec<_> = impls.iter().map(|l| l.query(a)).collect();
+            // Tree and array are both exact at <= 4 blocks and must agree.
+            prop_assert_eq!(answers[0], answers[1],
+                "tree and array disagree at slot {}", slot);
+            // The filter may lose marks to cross-block slot collisions but
+            // must stay a subset of the precise answer.
+            if answers[2].is_some() {
+                prop_assert_eq!(answers[2], answers[0],
+                    "filter false positive at slot {}", slot);
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Transaction lifecycle: begin, validate/extend, commit, rollback, and
+//! closed nesting with partial abort.
+
+use std::sync::atomic::Ordering;
+
+use capture::AllocLog;
+
+use crate::orec::{is_locked, owner_of};
+use crate::worker::{Tx, TxResult, WorkerCtx};
+
+/// Snapshot of the log positions at nested-transaction begin; partial abort
+/// rolls back to these marks.
+struct Checkpoint {
+    reads: usize,
+    locks: usize,
+    undo: usize,
+    allocs: usize,
+    frees: usize,
+    sp: u64,
+}
+
+impl<'rt> WorkerCtx<'rt> {
+    pub(crate) fn begin_top(&mut self) {
+        debug_assert_eq!(self.depth, 0);
+        debug_assert!(
+            self.reads.is_empty()
+                && self.locks.is_empty()
+                && self.undo.is_empty()
+                && self.allocs.is_empty()
+                && self.frees.is_empty(),
+            "stale transaction logs at begin"
+        );
+        self.rv = self.rt.clock.load(Ordering::Acquire);
+        self.depth = 1;
+        self.sp_marks.clear();
+        self.sp_marks.push(self.stack.sp());
+    }
+
+    /// Validate the whole read set against the *current* record versions.
+    /// A record we have since locked ourselves is consistent iff its
+    /// pre-lock version equals the version we observed at read time.
+    pub(crate) fn validate(&self) -> bool {
+        for r in &self.reads {
+            let cur = self.rt.orecs.at(r.idx).load(Ordering::Acquire);
+            if cur == r.version {
+                continue;
+            }
+            if is_locked(cur) && owner_of(cur) == self.tid() as u64 {
+                let prev = self
+                    .locks
+                    .iter()
+                    .find(|l| l.idx == r.idx)
+                    .map(|l| l.prev)
+                    .unwrap_or(u64::MAX);
+                if prev == r.version {
+                    continue;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Timestamp extension: re-read the clock, validate, and adopt the new
+    /// snapshot on success (TinySTM-style; keeps optimistic readers
+    /// consistent without visible-reader locking).
+    pub(crate) fn extend(&mut self) -> bool {
+        let new_rv = self.rt.clock.load(Ordering::Acquire);
+        if self.validate() {
+            self.rv = new_rv;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Attempt to commit the top-level transaction. On validation failure
+    /// the transaction is rolled back and `false` returned (caller retries).
+    pub(crate) fn try_commit(&mut self) -> bool {
+        debug_assert_eq!(self.depth, 1, "commit with open nested transaction");
+        if self.locks.is_empty() {
+            // Read-only (or fully-elided) transaction: incremental
+            // validation already guaranteed a consistent snapshot at `rv`.
+            self.finish_commit();
+            return true;
+        }
+        let wv = self.rt.clock.fetch_add(2, Ordering::AcqRel) + 2;
+        if wv != self.rv + 2 && !self.validate() {
+            self.rollback_top();
+            return false;
+        }
+        // Publish: release every lock at the new version. Undo values are
+        // already in place (in-place update STM).
+        for l in &self.locks {
+            self.rt.orecs.at(l.idx).store(wv, Ordering::Release);
+        }
+        self.locks.clear();
+        self.finish_commit();
+        true
+    }
+
+    fn finish_commit(&mut self) {
+        // Deferred frees execute now that the transaction is durable.
+        let n_frees = self.frees.len();
+        for i in 0..n_frees {
+            let addr = self.frees[i];
+            self.rt.heap.free(&mut self.talloc, addr);
+        }
+        self.frees.clear();
+        self.stats.tx_frees += n_frees as u64;
+        // Allocations survive; the allocation log empties at transaction
+        // end (paper §3.1.3: "allocation log gets emptied on every
+        // transaction end").
+        self.allocs.clear();
+        self.alloc_log.clear();
+        if let Some(t) = self.classify_log.as_mut() {
+            t.clear();
+        }
+        self.reads.clear();
+        self.undo.clear();
+        self.depth = 0;
+        self.sp_marks.clear();
+        self.stats.commits += 1;
+    }
+
+    /// Roll back the whole transaction: restore undo values (newest first),
+    /// release locks at their pre-lock versions, undo allocations, cancel
+    /// deferred frees, reset the stack pointer.
+    pub(crate) fn rollback_top(&mut self) {
+        debug_assert!(self.depth >= 1);
+        while let Some(u) = self.undo.pop() {
+            self.rt.mem.store(u.addr, u.old);
+        }
+        for l in self.locks.drain(..) {
+            self.rt.orecs.at(l.idx).store(l.prev, Ordering::Release);
+        }
+        self.reads.clear();
+        // Undo allocations: blocks this transaction allocated vanish.
+        let allocs = std::mem::take(&mut self.allocs);
+        for rec in &allocs {
+            if !rec.freed {
+                self.rt.heap.free(&mut self.talloc, rec.addr);
+            }
+        }
+        self.allocs = allocs;
+        self.allocs.clear();
+        self.alloc_log.clear();
+        if let Some(t) = self.classify_log.as_mut() {
+            t.clear();
+        }
+        self.frees.clear(); // deferred frees are cancelled
+        self.stack.reset_to(self.sp_marks[0]);
+        self.sp_marks.clear();
+        self.depth = 0;
+        self.stats.aborts += 1;
+    }
+
+    /// Closed-nested child transaction with partial abort (paper §2.2.1).
+    pub(crate) fn nested<T>(
+        &mut self,
+        f: impl FnOnce(&mut Tx<'_, 'rt>) -> TxResult<T>,
+    ) -> TxResult<Result<T, u64>> {
+        debug_assert!(self.depth >= 1, "nested() outside a transaction");
+        let cp = Checkpoint {
+            reads: self.reads.len(),
+            locks: self.locks.len(),
+            undo: self.undo.len(),
+            allocs: self.allocs.len(),
+            frees: self.frees.len(),
+            sp: self.stack.sp(),
+        };
+        self.depth += 1;
+        self.sp_marks.push(cp.sp);
+        let result = {
+            let mut tx = Tx(self);
+            f(&mut tx)
+        };
+        match result {
+            Ok(v) => {
+                // Child commits into the parent: its allocations now belong
+                // to the parent level. Demote their capture level so a later
+                // sibling at the same depth undo-logs writes to them.
+                let parent = self.depth - 1;
+                for i in cp.allocs..self.allocs.len() {
+                    let rec = &mut self.allocs[i];
+                    if rec.level > parent && !rec.freed {
+                        self.alloc_log.remove(rec.addr.raw(), rec.usable);
+                        self.alloc_log.insert(rec.addr.raw(), rec.usable, parent);
+                        rec.level = parent;
+                    }
+                }
+                self.depth -= 1;
+                self.sp_marks.pop();
+                Ok(Ok(v))
+            }
+            Err(crate::worker::Abort::User(code)) => {
+                self.partial_rollback(cp);
+                self.stats.partial_aborts += 1;
+                Ok(Err(code))
+            }
+            Err(e) => {
+                // Conflicts abort the whole transaction; the top-level
+                // retry loop handles rollback.
+                self.depth -= 1;
+                self.sp_marks.pop();
+                Err(e)
+            }
+        }
+    }
+
+    fn partial_rollback(&mut self, cp: Checkpoint) {
+        while self.undo.len() > cp.undo {
+            let u = self.undo.pop().unwrap();
+            self.rt.mem.store(u.addr, u.old);
+        }
+        while self.locks.len() > cp.locks {
+            let l = self.locks.pop().unwrap();
+            self.rt.orecs.at(l.idx).store(l.prev, Ordering::Release);
+        }
+        self.reads.truncate(cp.reads);
+        while self.allocs.len() > cp.allocs {
+            let rec = self.allocs.pop().unwrap();
+            self.alloc_log.remove(rec.addr.raw(), rec.usable);
+            if let Some(t) = self.classify_log.as_mut() {
+                t.remove(rec.addr.raw(), rec.usable);
+            }
+            if !rec.freed {
+                self.rt.heap.free(&mut self.talloc, rec.addr);
+            }
+        }
+        self.frees.truncate(cp.frees);
+        self.stack.reset_to(cp.sp);
+        self.sp_marks.pop();
+        self.depth -= 1;
+    }
+}

@@ -1,0 +1,168 @@
+use capture::LogKind;
+
+/// Which barriers perform runtime capture checks, and for which kinds of
+/// captured memory. These correspond to the configurations measured in the
+/// paper's Figure 10/11: checking both stack and heap in both barrier kinds,
+/// write barriers only, or write barriers + heap only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckScope {
+    /// Run capture checks in read barriers.
+    pub reads: bool,
+    /// Run capture checks in write barriers.
+    pub writes: bool,
+    /// Check the transaction-local stack (paper Fig. 4).
+    pub stack: bool,
+    /// Check the transaction-local heap (allocation log).
+    pub heap: bool,
+}
+
+impl CheckScope {
+    /// Configuration (1) of Figure 10: stack+heap in reads and writes.
+    pub const FULL: CheckScope = CheckScope {
+        reads: true,
+        writes: true,
+        stack: true,
+        heap: true,
+    };
+    /// Configuration (2): stack+heap, write barriers only.
+    pub const WRITES_STACK_HEAP: CheckScope = CheckScope {
+        reads: false,
+        writes: true,
+        stack: true,
+        heap: true,
+    };
+    /// Configuration (3): heap only, write barriers only (also the
+    /// configuration of Figure 11(b)).
+    pub const WRITES_HEAP: CheckScope = CheckScope {
+        reads: false,
+        writes: true,
+        stack: false,
+        heap: true,
+    };
+
+    pub fn label(&self) -> String {
+        let barriers = match (self.reads, self.writes) {
+            (true, true) => "r+w",
+            (false, true) => "w",
+            (true, false) => "r",
+            (false, false) => "none",
+        };
+        let kinds = match (self.stack, self.heap) {
+            (true, true) => "stack+heap",
+            (false, true) => "heap",
+            (true, false) => "stack",
+            (false, false) => "none",
+        };
+        format!("{barriers}/{kinds}")
+    }
+}
+
+/// Barrier optimization mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// No capture analysis: every transactional access executes the full
+    /// barrier (the paper's baseline; over-instrumentation included).
+    Baseline,
+    /// Runtime capture analysis (paper §3.1) with the chosen allocation-log
+    /// data structure and check scope.
+    Runtime { log: LogKind, scope: CheckScope },
+    /// Compiler capture analysis (paper §3.2): sites statically proven
+    /// captured skip the barrier entirely; everything else runs the full
+    /// barrier with *no* runtime checks.
+    Compiler,
+}
+
+impl Mode {
+    pub fn label(&self) -> String {
+        match self {
+            Mode::Baseline => "baseline".into(),
+            Mode::Runtime { log, scope } => format!("runtime-{} ({})", log.name(), scope.label()),
+            Mode::Compiler => "compiler".into(),
+        }
+    }
+}
+
+/// Full runtime configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TxConfig {
+    pub mode: Mode,
+    /// Consult the thread's private-memory annotation log in barriers
+    /// (paper §3.1.3). Off by default, matching the paper's evaluation
+    /// ("we did not elide those barriers in the following experiments").
+    pub annotations: bool,
+    /// Maintain a precise shadow tree and classify every barrier into the
+    /// paper's Figure-8 categories (tx-local heap / tx-local stack /
+    /// not-required-other / required). Adds overhead; used by the harness.
+    pub classify: bool,
+    /// log2 of the transaction-record table size.
+    pub orec_log2: u32,
+    /// How many times a barrier re-examines a locked record before the
+    /// contention manager aborts the transaction.
+    pub spin_tries: u32,
+    /// Cap for the exponential backoff shift (paper: simple exponential
+    /// backoff contention manager).
+    pub backoff_shift_max: u32,
+    /// Panic after this many consecutive aborts of one transaction (safety
+    /// valve against livelock bugs; not a paper mechanism).
+    pub max_attempts: u64,
+}
+
+impl Default for TxConfig {
+    fn default() -> Self {
+        TxConfig {
+            mode: Mode::Baseline,
+            annotations: false,
+            classify: false,
+            orec_log2: 20,
+            spin_tries: 64,
+            backoff_shift_max: 14,
+            max_attempts: 50_000_000,
+        }
+    }
+}
+
+impl TxConfig {
+    pub fn with_mode(mode: Mode) -> TxConfig {
+        TxConfig {
+            mode,
+            ..TxConfig::default()
+        }
+    }
+
+    /// The runtime configuration used in most of the paper's figures:
+    /// tree-based log, full scope.
+    pub fn runtime_tree_full() -> TxConfig {
+        TxConfig::with_mode(Mode::Runtime {
+            log: LogKind::Tree,
+            scope: CheckScope::FULL,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(Mode::Baseline.label(), "baseline");
+        assert_eq!(
+            Mode::Runtime {
+                log: LogKind::Tree,
+                scope: CheckScope::FULL
+            }
+            .label(),
+            "runtime-tree (r+w/stack+heap)"
+        );
+        assert_eq!(CheckScope::WRITES_HEAP.label(), "w/heap");
+        assert_eq!(Mode::Compiler.label(), "compiler");
+    }
+
+    #[test]
+    fn default_is_baseline() {
+        let c = TxConfig::default();
+        assert_eq!(c.mode, Mode::Baseline);
+        assert!(!c.annotations);
+        assert!(!c.classify);
+    }
+}

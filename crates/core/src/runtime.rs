@@ -1,0 +1,165 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use txmem::{Addr, MemConfig, SharedMem, ThreadAlloc, TxHeap};
+
+use crate::config::TxConfig;
+use crate::orec::OrecTable;
+use crate::stats::TxStats;
+use crate::worker::WorkerCtx;
+
+/// The shared state of the STM: simulated memory, heap allocator,
+/// transaction-record table, global version clock, configuration, and
+/// aggregated statistics.
+pub struct StmRuntime {
+    pub(crate) mem: Arc<SharedMem>,
+    pub(crate) heap: TxHeap,
+    pub(crate) orecs: OrecTable,
+    /// Global version clock; even values only (bit 0 is the orec lock bit).
+    pub(crate) clock: AtomicU64,
+    pub(crate) config: TxConfig,
+    pub(crate) global_stats: Mutex<TxStats>,
+    tids: Mutex<TidPool>,
+    setup_alloc: Mutex<ThreadAlloc>,
+}
+
+struct TidPool {
+    next: usize,
+    free: Vec<usize>,
+    max: usize,
+}
+
+impl StmRuntime {
+    pub fn new(mem_cfg: MemConfig, config: TxConfig) -> StmRuntime {
+        let mem = Arc::new(SharedMem::new(mem_cfg));
+        let heap = TxHeap::new(mem.clone());
+        StmRuntime {
+            mem,
+            heap,
+            orecs: OrecTable::new(config.orec_log2),
+            clock: AtomicU64::new(0),
+            config,
+            global_stats: Mutex::new(TxStats::default()),
+            tids: Mutex::new(TidPool {
+                next: 0,
+                free: Vec::new(),
+                max: mem_cfg.max_threads,
+            }),
+            setup_alloc: Mutex::new(ThreadAlloc::new()),
+        }
+    }
+
+    #[inline]
+    pub fn mem(&self) -> &SharedMem {
+        &self.mem
+    }
+
+    #[inline]
+    pub fn heap(&self) -> &TxHeap {
+        &self.heap
+    }
+
+    #[inline]
+    pub fn config(&self) -> &TxConfig {
+        &self.config
+    }
+
+    /// Current value of the global version clock (diagnostics).
+    pub fn clock_value(&self) -> u64 {
+        self.clock.load(Ordering::Acquire)
+    }
+
+    /// Register a worker thread: assigns a thread id (and with it a stack
+    /// region) that is returned to the pool when the worker drops.
+    pub fn spawn_worker(&self) -> WorkerCtx<'_> {
+        let tid = {
+            let mut pool = self.tids.lock().unwrap();
+            if let Some(t) = pool.free.pop() {
+                Some(t)
+            } else if pool.next < pool.max {
+                let t = pool.next;
+                pool.next += 1;
+                Some(t)
+            } else {
+                None
+            }
+        };
+        let tid = tid.unwrap_or_else(|| {
+            panic!(
+                "worker limit reached ({} stack regions)",
+                self.mem.layout().max_threads
+            )
+        });
+        WorkerCtx::new(self, tid)
+    }
+
+    pub(crate) fn release_tid(&self, tid: usize) {
+        // Poison-tolerant: a worker may be dropped while unwinding.
+        let mut pool = self.tids.lock().unwrap_or_else(|e| e.into_inner());
+        pool.free.push(tid);
+    }
+
+    /// Non-transactional allocation for setup phases (shared structures
+    /// built before the workers start). Never logged in any capture log.
+    pub fn alloc_global(&self, size: u64) -> Addr {
+        let mut ta = self.setup_alloc.lock().unwrap();
+        self.heap
+            .alloc(&mut ta, size)
+            .expect("simulated heap exhausted during setup")
+    }
+
+    /// Free a block allocated with [`StmRuntime::alloc_global`].
+    pub fn free_global(&self, addr: Addr) {
+        let mut ta = self.setup_alloc.lock().unwrap();
+        self.heap.free(&mut ta, addr);
+    }
+
+    /// Merged statistics of all finished workers.
+    pub fn collect_stats(&self) -> TxStats {
+        *self.global_stats.lock().unwrap()
+    }
+
+    pub fn reset_stats(&self) {
+        *self.global_stats.lock().unwrap() = TxStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tid_pool_recycles() {
+        let rt = StmRuntime::new(MemConfig::small(), TxConfig::default());
+        let t0 = {
+            let w = rt.spawn_worker();
+            w.tid()
+        };
+        let w2 = rt.spawn_worker();
+        assert_eq!(w2.tid(), t0, "dropped worker's tid should be reused");
+    }
+
+    #[test]
+    fn worker_limit_enforced() {
+        let rt = StmRuntime::new(MemConfig::small(), TxConfig::default());
+        let workers: Vec<_> = (0..8).map(|_| rt.spawn_worker()).collect();
+        assert_eq!(workers.len(), 8);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rt.spawn_worker()));
+        assert!(r.is_err(), "9th worker must panic: only 8 stack regions");
+    }
+
+    #[test]
+    fn global_alloc_is_usable_memory() {
+        let rt = StmRuntime::new(MemConfig::small(), TxConfig::default());
+        let a = rt.alloc_global(64);
+        rt.mem().store(a, 9);
+        assert_eq!(rt.mem().load(a), 9);
+        rt.free_global(a);
+    }
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let rt = StmRuntime::new(MemConfig::small(), TxConfig::default());
+        assert_eq!(rt.clock_value(), 0);
+    }
+}

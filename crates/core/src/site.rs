@@ -1,0 +1,91 @@
+/// Static description of one transactional access site.
+///
+/// In the paper, the "access site" is a load/store instruction inside an
+/// atomic block that the STM compiler turned into a barrier call. Two static
+/// facts about each site drive the evaluation:
+///
+/// * [`Site::required`] — whether the access was *manually* instrumented
+///   (`TM_SHARED_READ`/`TM_SHARED_WRITE`) in the original STAMP sources.
+///   The paper uses this to estimate the "required" category of Figure 8:
+///   everything else a naive compiler instruments is over-instrumentation.
+/// * [`Site::compiler_elides`] — whether the paper's compiler capture
+///   analysis (intraprocedural flow-sensitive pointer analysis after
+///   bounded inlining, implemented for real in the `txcc` crate) would
+///   statically prove the target captured and remove the barrier.
+///
+/// Our Rust-authored STAMP ports cannot be instrumented by `txcc`, so each
+/// site carries these verdicts as constants; the `txcc` test-suite
+/// cross-checks representative sites against the real analysis on
+/// equivalent mini-language programs (see DESIGN.md §4.2).
+#[derive(Debug)]
+pub struct Site {
+    pub name: &'static str,
+    /// Original STAMP manually instrumented this access.
+    pub required: bool,
+    /// The static capture analysis proves the target transaction-local.
+    pub compiler_elides: bool,
+}
+
+impl Site {
+    /// A genuinely shared access: manually instrumented in STAMP, never
+    /// elidable.
+    pub const fn shared(name: &'static str) -> Site {
+        Site {
+            name,
+            required: true,
+            compiler_elides: false,
+        }
+    }
+
+    /// An access to memory allocated earlier *in the same function* (or in
+    /// a callee inlined into it) within the same transaction: the static
+    /// analysis sees the allocation and elides the barrier.
+    pub const fn captured_local(name: &'static str) -> Site {
+        Site {
+            name,
+            required: false,
+            compiler_elides: true,
+        }
+    }
+
+    /// An access to captured memory whose allocation is *not* visible to
+    /// the intraprocedural analysis (e.g. the pointer flowed through a
+    /// non-inlined call or a heap load): runtime capture analysis finds it,
+    /// the compiler cannot.
+    pub const fn captured_escaped(name: &'static str) -> Site {
+        Site {
+            name,
+            required: false,
+            compiler_elides: false,
+        }
+    }
+
+    /// An access the original STAMP left uninstrumented for *other* reasons
+    /// (thread-local or read-only data, paper §2.2.2/§2.2.3): a naive
+    /// compiler adds a barrier, automatic capture analysis cannot remove it
+    /// (only annotations can).
+    pub const fn unneeded(name: &'static str) -> Site {
+        Site {
+            name,
+            required: false,
+            compiler_elides: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_encode_the_four_categories() {
+        let s = Site::shared("s");
+        assert!(s.required && !s.compiler_elides);
+        let c = Site::captured_local("c");
+        assert!(!c.required && c.compiler_elides);
+        let e = Site::captured_escaped("e");
+        assert!(!e.required && !e.compiler_elides);
+        let u = Site::unneeded("u");
+        assert!(!u.required && !u.compiler_elides);
+    }
+}

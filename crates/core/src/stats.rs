@@ -1,0 +1,155 @@
+/// Counters for one barrier direction (reads or writes).
+#[derive(Default, Clone, Copy, Debug)]
+pub struct BarrierStats {
+    /// Barrier invocations (everything a naive compiler instrumented).
+    pub total: u64,
+    /// Elided: hit the transaction-local *stack* check.
+    pub elided_stack: u64,
+    /// Elided: hit the transaction-local *heap* allocation log.
+    pub elided_heap: u64,
+    /// Elided: site statically proven captured (compiler mode).
+    pub elided_static: u64,
+    /// Elided: address annotated via `add_private_memory_block`.
+    pub elided_annotation: u64,
+    /// Writes to memory captured by an *ancestor* transaction: no orec
+    /// lock, but an undo entry (paper §2.2.1, partial abort support).
+    pub parent_captured: u64,
+    /// Full STM barrier executed.
+    pub full: u64,
+
+    // -- Figure 8 classification (filled when `TxConfig::classify`) --
+    /// Access to transaction-local heap (precise tree).
+    pub class_heap: u64,
+    /// Access to transaction-local stack.
+    pub class_stack: u64,
+    /// Not required for other reasons (not manually instrumented in the
+    /// original STAMP, not transaction-local): thread-local/read-only data.
+    pub class_other: u64,
+    /// Required: manually instrumented in the original STAMP.
+    pub class_required: u64,
+    /// Accesses at `compiler_elides` sites whose target the precise
+    /// classifier did NOT find captured — a mis-tagged site that would be a
+    /// miscompilation in a real system. Must stay zero; checked by the
+    /// suite's validation tests.
+    pub static_violations: u64,
+}
+
+impl BarrierStats {
+    pub fn merge(&mut self, o: &BarrierStats) {
+        self.total += o.total;
+        self.elided_stack += o.elided_stack;
+        self.elided_heap += o.elided_heap;
+        self.elided_static += o.elided_static;
+        self.elided_annotation += o.elided_annotation;
+        self.parent_captured += o.parent_captured;
+        self.full += o.full;
+        self.class_heap += o.class_heap;
+        self.class_stack += o.class_stack;
+        self.class_other += o.class_other;
+        self.class_required += o.class_required;
+        self.static_violations += o.static_violations;
+    }
+
+    /// All barriers elided by any mechanism.
+    pub fn elided(&self) -> u64 {
+        self.elided_stack + self.elided_heap + self.elided_static + self.elided_annotation
+    }
+
+    /// Fraction of barriers removed (paper Figure 9's metric).
+    pub fn elided_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.elided() as f64 / self.total as f64
+        }
+    }
+}
+
+/// Per-thread (and merged global) transaction statistics.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct TxStats {
+    pub commits: u64,
+    /// Aborts due to conflicts (the retried transactions of Table 1's
+    /// abort-to-commit ratio).
+    pub aborts: u64,
+    /// Explicit user aborts (not retried by the runtime).
+    pub user_aborts: u64,
+    /// Partial aborts of nested transactions.
+    pub partial_aborts: u64,
+    /// Transactional allocations / frees.
+    pub tx_allocs: u64,
+    pub tx_frees: u64,
+    pub reads: BarrierStats,
+    pub writes: BarrierStats,
+}
+
+impl TxStats {
+    pub fn merge(&mut self, o: &TxStats) {
+        self.commits += o.commits;
+        self.aborts += o.aborts;
+        self.user_aborts += o.user_aborts;
+        self.partial_aborts += o.partial_aborts;
+        self.tx_allocs += o.tx_allocs;
+        self.tx_frees += o.tx_frees;
+        self.reads.merge(&o.reads);
+        self.writes.merge(&o.writes);
+    }
+
+    /// Table 1's metric: aborted-and-retried over committed.
+    pub fn abort_to_commit_ratio(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / self.commits as f64
+        }
+    }
+
+    /// Combined read+write barrier stats (paper Fig. 8c "all accesses").
+    pub fn all_accesses(&self) -> BarrierStats {
+        let mut b = self.reads;
+        b.merge(&self.writes);
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = TxStats::default();
+        a.commits = 3;
+        a.reads.total = 10;
+        a.reads.elided_heap = 4;
+        let mut b = TxStats::default();
+        b.commits = 2;
+        b.aborts = 1;
+        b.reads.total = 5;
+        b.writes.total = 7;
+        a.merge(&b);
+        assert_eq!(a.commits, 5);
+        assert_eq!(a.aborts, 1);
+        assert_eq!(a.reads.total, 15);
+        assert_eq!(a.writes.total, 7);
+        assert_eq!(a.all_accesses().total, 22);
+    }
+
+    #[test]
+    fn ratios() {
+        let mut s = TxStats::default();
+        assert_eq!(s.abort_to_commit_ratio(), 0.0);
+        s.commits = 4;
+        s.aborts = 2;
+        assert_eq!(s.abort_to_commit_ratio(), 0.5);
+
+        let mut b = BarrierStats::default();
+        assert_eq!(b.elided_fraction(), 0.0);
+        b.total = 10;
+        b.elided_stack = 1;
+        b.elided_heap = 2;
+        b.elided_static = 3;
+        assert_eq!(b.elided(), 6);
+        assert!((b.elided_fraction() - 0.6).abs() < 1e-12);
+    }
+}

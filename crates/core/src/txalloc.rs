@@ -1,0 +1,63 @@
+//! Transactional allocation and free (paper §3.1.2): every transactional
+//! allocation is recorded in the allocation log that powers heap capture
+//! analysis; aborts undo allocations; frees of non-captured blocks are
+//! deferred to commit so concurrent readers never observe recycled memory.
+
+use capture::AllocLog;
+use txmem::Addr;
+
+use crate::worker::{AllocRec, TxResult, WorkerCtx};
+
+impl WorkerCtx<'_> {
+    pub(crate) fn tx_alloc(&mut self, size: u64) -> TxResult<Addr> {
+        debug_assert!(self.depth > 0);
+        let addr = self
+            .rt
+            .heap
+            .alloc(&mut self.talloc, size)
+            .expect("simulated heap exhausted inside transaction");
+        let usable = self.rt.heap.usable_size(addr);
+        self.allocs.push(AllocRec {
+            addr,
+            usable,
+            level: self.depth,
+            freed: false,
+        });
+        self.alloc_log.insert(addr.raw(), usable, self.depth);
+        if let Some(t) = self.classify_log.as_mut() {
+            t.insert(addr.raw(), usable, self.depth);
+        }
+        self.stats.tx_allocs += 1;
+        Ok(addr)
+    }
+
+    pub(crate) fn tx_free(&mut self, addr: Addr) {
+        debug_assert!(self.depth > 0);
+        // A block allocated by the *current* nesting level can be freed
+        // immediately: nobody else can hold a reference (it is captured),
+        // and a later abort of this level would have discarded it anyway.
+        // This is McRT-Malloc's balanced alloc/free optimization.
+        if let Some(i) = self
+            .allocs
+            .iter()
+            .rposition(|r| r.addr == addr && !r.freed)
+        {
+            if self.allocs[i].level >= self.depth {
+                let usable = self.allocs[i].usable;
+                self.allocs[i].freed = true;
+                self.alloc_log.remove(addr.raw(), usable);
+                if let Some(t) = self.classify_log.as_mut() {
+                    t.remove(addr.raw(), usable);
+                }
+                self.rt.heap.free(&mut self.talloc, addr);
+                self.stats.tx_frees += 1;
+                return;
+            }
+            // Allocated by an ancestor level: a partial abort of the
+            // current level must keep it alive, so defer like a shared
+            // block. It stays in the allocation log — it is still captured
+            // (unreachable by other transactions until we commit).
+        }
+        self.frees.push(addr);
+    }
+}

@@ -1,0 +1,417 @@
+use capture::{LogImpl, LogKind, PrivateLog, RangeTree};
+use txmem::{Addr, ThreadAlloc, ThreadStack};
+
+use crate::config::{Mode, TxConfig};
+use crate::runtime::StmRuntime;
+use crate::site::Site;
+use crate::stats::TxStats;
+
+/// Why a transaction's closure stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Abort {
+    /// The runtime detected a conflict; the transaction will be rolled back
+    /// and retried (after contention-manager backoff).
+    Conflict,
+    /// Explicit user abort with a code (paper: "user abort in our system");
+    /// rolled back and *not* retried.
+    User(u64),
+}
+
+/// Result type every transactional operation returns; `?` propagates an
+/// abort out of the closure to the retry loop.
+pub type TxResult<T> = Result<T, Abort>;
+
+#[derive(Clone, Copy)]
+pub(crate) struct ReadEntry {
+    pub idx: u32,
+    pub version: u64,
+}
+
+#[derive(Clone, Copy)]
+pub(crate) struct LockEntry {
+    pub idx: u32,
+    pub prev: u64,
+}
+
+#[derive(Clone, Copy)]
+pub(crate) struct UndoEntry {
+    pub addr: Addr,
+    pub old: u64,
+}
+
+#[derive(Clone, Copy)]
+pub(crate) struct AllocRec {
+    pub addr: Addr,
+    pub usable: u64,
+    pub level: u32,
+    pub freed: bool,
+}
+
+/// A registered worker thread: owns a simulated stack region, allocator
+/// caches, the capture logs, and the (reusable) transaction logs. This is
+/// the paper's *transaction descriptor* plus per-thread runtime state.
+pub struct WorkerCtx<'rt> {
+    pub(crate) rt: &'rt StmRuntime,
+    pub(crate) cfg: TxConfig,
+    tid: usize,
+    pub(crate) stack: ThreadStack,
+    pub(crate) talloc: ThreadAlloc,
+    /// The allocation log used by runtime capture analysis (mode-selected).
+    pub(crate) alloc_log: LogImpl,
+    /// Precise shadow log for Figure-8 classification (`cfg.classify`).
+    pub(crate) classify_log: Option<RangeTree>,
+    /// Annotated private memory (paper §3.1.3); persists across txns.
+    pub(crate) private_log: PrivateLog,
+    pub stats: TxStats,
+
+    // --- live transaction state (buffers reused across transactions) ---
+    pub(crate) reads: Vec<ReadEntry>,
+    pub(crate) locks: Vec<LockEntry>,
+    pub(crate) undo: Vec<UndoEntry>,
+    pub(crate) allocs: Vec<AllocRec>,
+    pub(crate) frees: Vec<Addr>,
+    /// Read-snapshot version.
+    pub(crate) rv: u64,
+    /// Nesting depth; 0 = no transaction active.
+    pub(crate) depth: u32,
+    /// `start_sp` per nesting level (`sp_marks[d-1]` = sp when depth-d
+    /// transaction began). `sp_marks[0]` bounds the whole transaction-local
+    /// stack of the paper's Figure 3.
+    pub(crate) sp_marks: Vec<u64>,
+    /// Consecutive aborts of the currently-retried transaction.
+    pub(crate) attempts: u64,
+    rng: u64,
+}
+
+impl<'rt> WorkerCtx<'rt> {
+    pub(crate) fn new(rt: &'rt StmRuntime, tid: usize) -> WorkerCtx<'rt> {
+        let cfg = rt.config;
+        let log_kind = match cfg.mode {
+            Mode::Runtime { log, .. } => log,
+            _ => LogKind::Tree, // allocated but unused in other modes
+        };
+        WorkerCtx {
+            rt,
+            cfg,
+            tid,
+            stack: ThreadStack::new(&rt.mem, tid),
+            talloc: ThreadAlloc::new(),
+            alloc_log: LogImpl::new(log_kind),
+            classify_log: cfg.classify.then(RangeTree::new),
+            private_log: PrivateLog::new(),
+            stats: TxStats::default(),
+            reads: Vec::with_capacity(256),
+            locks: Vec::with_capacity(64),
+            undo: Vec::with_capacity(64),
+            allocs: Vec::with_capacity(32),
+            frees: Vec::with_capacity(32),
+            rv: 0,
+            depth: 0,
+            sp_marks: Vec::with_capacity(4),
+            attempts: 0,
+            rng: 0x9E3779B97F4A7C15 ^ (tid as u64 + 1).wrapping_mul(0xA24BAED4963EE407),
+        }
+    }
+
+    #[inline]
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    #[inline]
+    pub fn runtime(&self) -> &'rt StmRuntime {
+        self.rt
+    }
+
+    /// Run a transaction to commit, retrying on conflicts with exponential
+    /// backoff (the paper's contention manager). A user abort escaping to
+    /// this level is a logic error; use [`WorkerCtx::txn_result`] for
+    /// transactions that abort on purpose.
+    pub fn txn<T>(&mut self, mut f: impl FnMut(&mut Tx<'_, 'rt>) -> TxResult<T>) -> T {
+        match self.txn_inner(&mut f) {
+            Ok(v) => v,
+            Err(code) => panic!("user abort (code {code}) escaped WorkerCtx::txn"),
+        }
+    }
+
+    /// Like [`WorkerCtx::txn`] but surfaces user aborts as `Err(code)`.
+    pub fn txn_result<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Tx<'_, 'rt>) -> TxResult<T>,
+    ) -> Result<T, u64> {
+        self.txn_inner(&mut f)
+    }
+
+    fn txn_inner<T>(
+        &mut self,
+        f: &mut dyn FnMut(&mut Tx<'_, 'rt>) -> TxResult<T>,
+    ) -> Result<T, u64> {
+        debug_assert_eq!(self.depth, 0, "txn() cannot nest; use Tx::nested");
+        self.attempts = 0;
+        loop {
+            self.begin_top();
+            let result = {
+                let mut tx = Tx(self);
+                f(&mut tx)
+            };
+            match result {
+                Ok(v) => {
+                    if self.try_commit() {
+                        return Ok(v);
+                    }
+                    self.backoff();
+                }
+                Err(Abort::Conflict) => {
+                    self.rollback_top();
+                    self.backoff();
+                }
+                Err(Abort::User(code)) => {
+                    self.rollback_top();
+                    self.stats.aborts -= 1; // counted as user abort instead
+                    self.stats.user_aborts += 1;
+                    return Err(code);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn backoff(&mut self) {
+        self.attempts += 1;
+        assert!(
+            self.attempts <= self.cfg.max_attempts,
+            "transaction livelocked: {} consecutive aborts",
+            self.attempts
+        );
+        // Exponential backoff with jitter.
+        let shift = self.attempts.min(self.cfg.backoff_shift_max as u64) as u32;
+        let max = 1u64 << shift;
+        let spins = self.next_rand() & (max - 1);
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+        if self.attempts > 4 {
+            std::thread::yield_now();
+        }
+    }
+
+    #[inline]
+    pub(crate) fn next_rand(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    // ------------------------------------------------------------------
+    // Non-transactional helpers (setup / verification phases).
+    // ------------------------------------------------------------------
+
+    /// Direct load, outside any transaction.
+    #[inline]
+    pub fn load(&self, addr: Addr) -> u64 {
+        debug_assert_eq!(self.depth, 0, "use tx barriers inside a transaction");
+        self.rt.mem.load(addr)
+    }
+
+    /// Direct store, outside any transaction.
+    #[inline]
+    pub fn store(&self, addr: Addr, val: u64) {
+        debug_assert_eq!(self.depth, 0, "use tx barriers inside a transaction");
+        self.rt.mem.store(addr, val);
+    }
+
+    #[inline]
+    pub fn load_addr(&self, addr: Addr) -> Addr {
+        Addr::from_raw(self.load(addr))
+    }
+
+    #[inline]
+    pub fn load_f64(&self, addr: Addr) -> f64 {
+        f64::from_bits(self.load(addr))
+    }
+
+    #[inline]
+    pub fn store_f64(&self, addr: Addr, val: f64) {
+        self.store(addr, val.to_bits())
+    }
+
+    /// Non-transactional allocation (never enters any capture log).
+    pub fn alloc_raw(&mut self, size: u64) -> Addr {
+        self.rt
+            .heap
+            .alloc(&mut self.talloc, size)
+            .expect("simulated heap exhausted")
+    }
+
+    /// Non-transactional free.
+    pub fn free_raw(&mut self, addr: Addr) {
+        self.rt.heap.free(&mut self.talloc, addr);
+    }
+
+    /// Push a stack frame outside a transaction (live-in data).
+    pub fn stack_push(&mut self, words: usize) -> Addr {
+        self.stack.push(words)
+    }
+
+    pub fn stack_pop(&mut self, words: usize) {
+        self.stack.pop(words)
+    }
+
+    /// Paper Fig. 7: annotate a block as private (thread-local/read-only).
+    pub fn add_private_memory_block(&mut self, addr: Addr, size: u64) {
+        self.private_log.add_private_memory_block(addr.raw(), size);
+    }
+
+    /// Paper Fig. 7: remove a private-block annotation.
+    pub fn remove_private_memory_block(&mut self, addr: Addr, size: u64) {
+        self.private_log.remove_private_memory_block(addr.raw(), size);
+    }
+
+    /// Flush this worker's statistics into the runtime-wide aggregate
+    /// (also done automatically on drop).
+    pub fn flush_stats(&mut self) {
+        let mut g = self.rt.global_stats.lock().unwrap();
+        g.merge(&self.stats);
+        self.stats = TxStats::default();
+    }
+}
+
+impl Drop for WorkerCtx<'_> {
+    fn drop(&mut self) {
+        debug_assert!(
+            self.depth == 0 || std::thread::panicking(),
+            "worker dropped inside a transaction"
+        );
+        self.flush_stats();
+        self.rt.release_tid(self.tid);
+    }
+}
+
+/// Handle to an *active* transaction. All transactional operations — the
+/// read/write barriers, transactional allocation, stack frames, nesting —
+/// live on this type; it is handed to the closure of [`WorkerCtx::txn`].
+pub struct Tx<'a, 'rt>(pub(crate) &'a mut WorkerCtx<'rt>);
+
+impl<'a, 'rt> Tx<'a, 'rt> {
+    /// Transactional read of one word through the capture-optimized barrier.
+    #[inline]
+    pub fn read(&mut self, site: &'static Site, addr: Addr) -> TxResult<u64> {
+        self.0.read_word(site, addr)
+    }
+
+    /// Transactional write of one word through the capture-optimized
+    /// barrier.
+    #[inline]
+    pub fn write(&mut self, site: &'static Site, addr: Addr, val: u64) -> TxResult<()> {
+        self.0.write_word(site, addr, val)
+    }
+
+    /// Read a pointer-typed word.
+    #[inline]
+    pub fn read_addr(&mut self, site: &'static Site, addr: Addr) -> TxResult<Addr> {
+        Ok(Addr::from_raw(self.read(site, addr)?))
+    }
+
+    #[inline]
+    pub fn write_addr(&mut self, site: &'static Site, addr: Addr, val: Addr) -> TxResult<()> {
+        self.write(site, addr, val.raw())
+    }
+
+    #[inline]
+    pub fn read_f64(&mut self, site: &'static Site, addr: Addr) -> TxResult<f64> {
+        Ok(f64::from_bits(self.read(site, addr)?))
+    }
+
+    #[inline]
+    pub fn write_f64(&mut self, site: &'static Site, addr: Addr, val: f64) -> TxResult<()> {
+        self.write(site, addr, val.to_bits())
+    }
+
+    /// Transactional allocation (paper §3.1.2): the block is recorded in
+    /// the allocation log; an abort undoes the allocation.
+    pub fn alloc(&mut self, size: u64) -> TxResult<Addr> {
+        self.0.tx_alloc(size)
+    }
+
+    /// Transactional free: deferred to commit for non-captured blocks,
+    /// immediate for blocks this transaction allocated.
+    pub fn free(&mut self, addr: Addr) {
+        self.0.tx_free(addr)
+    }
+
+    /// Push a transaction-local stack frame (paper Fig. 3: grows the
+    /// captured stack range).
+    pub fn stack_push(&mut self, words: usize) -> Addr {
+        self.0.stack.push(words)
+    }
+
+    /// Pop a frame pushed inside this transaction.
+    pub fn stack_pop(&mut self, words: usize) {
+        self.0.stack.pop(words);
+        debug_assert!(
+            self.0.stack.sp() <= self.0.sp_marks[0],
+            "popped a frame pushed before the transaction began"
+        );
+    }
+
+    /// Abort this transaction with a user code; it is rolled back and *not*
+    /// retried (surface with [`WorkerCtx::txn_result`] or catch with
+    /// [`Tx::nested`] for partial abort).
+    pub fn abort(&mut self, code: u64) -> Abort {
+        Abort::User(code)
+    }
+
+    /// Run `f` as a closed-nested child transaction. A user abort inside
+    /// `f` is a *partial abort*: only the child's effects are rolled back
+    /// and `Err(code)` is returned; conflicts propagate and abort the whole
+    /// transaction.
+    pub fn nested<T>(
+        &mut self,
+        f: impl FnOnce(&mut Tx<'_, 'rt>) -> TxResult<T>,
+    ) -> TxResult<Result<T, u64>> {
+        self.0.nested(f)
+    }
+
+    /// Current nesting depth (1 = top-level).
+    pub fn depth(&self) -> u32 {
+        self.0.depth
+    }
+
+    /// The worker's id (for workloads that partition by thread).
+    pub fn tid(&self) -> usize {
+        self.0.tid()
+    }
+
+    /// Uninstrumented load inside a transaction. This is what a *statically
+    /// elided* access compiles to (the `txcc` VM uses it for accesses its
+    /// capture analysis proved transaction-local, and for register-modeled
+    /// locals). Using it on genuinely shared data breaks isolation — that
+    /// responsibility sits with the compiler, exactly as in the paper.
+    #[inline]
+    pub fn load_direct(&self, addr: Addr) -> u64 {
+        self.0.rt.mem.load_private(addr)
+    }
+
+    /// Uninstrumented store inside a transaction; see [`Tx::load_direct`].
+    /// No undo logging: only correct for memory that dies with an abort
+    /// (captured memory) or is never observed by other transactions.
+    #[inline]
+    pub fn store_direct(&mut self, addr: Addr, val: u64) {
+        self.0.rt.mem.store_private(addr, val);
+    }
+
+    /// Annotations may also be toggled mid-transaction; the change is not
+    /// transactional (paper: annotations are a programmer promise).
+    pub fn add_private_memory_block(&mut self, addr: Addr, size: u64) {
+        self.0.private_log.add_private_memory_block(addr.raw(), size);
+    }
+
+    pub fn remove_private_memory_block(&mut self, addr: Addr, size: u64) {
+        self.0
+            .private_log
+            .remove_private_memory_block(addr.raw(), size);
+    }
+}

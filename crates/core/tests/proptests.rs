@@ -1,0 +1,219 @@
+//! Property-based tests of the STM: arbitrary single-threaded transaction
+//! sequences must behave exactly like a sequential model, in every barrier
+//! mode — elision (runtime or static) must never change semantics, user
+//! aborts must roll back perfectly, and nesting must compose.
+
+use proptest::prelude::*;
+use stm::{Abort, CheckScope, LogKind, Mode, Site, StmRuntime, TxConfig};
+use txmem::MemConfig;
+
+static S: Site = Site::shared("prop.shared");
+static S_ESC: Site = Site::captured_escaped("prop.captured");
+
+const CELLS: u64 = 16;
+
+#[derive(Clone, Debug)]
+enum TxOp {
+    /// Write `val` to shared cell `i`.
+    Write { cell: u8, val: u64 },
+    /// Read cell `i` and write it into cell `j` (dataflow).
+    Copy { from: u8, to: u8 },
+    /// Allocate a scratch block, write through it into a cell.
+    ScratchWrite { cell: u8, val: u64 },
+    /// Add `k` to cell `i`.
+    Add { cell: u8, k: u64 },
+}
+
+#[derive(Clone, Debug)]
+enum TxEnd {
+    Commit,
+    UserAbort,
+}
+
+fn txop() -> impl Strategy<Value = TxOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u64>()).prop_map(|(cell, val)| TxOp::Write { cell, val }),
+        (any::<u8>(), any::<u8>()).prop_map(|(from, to)| TxOp::Copy { from, to }),
+        (any::<u8>(), any::<u64>()).prop_map(|(cell, val)| TxOp::ScratchWrite { cell, val }),
+        (any::<u8>(), 0..1000u64).prop_map(|(cell, k)| TxOp::Add { cell, k }),
+    ]
+}
+
+fn txn_script() -> impl Strategy<Value = Vec<(Vec<TxOp>, TxEnd)>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(txop(), 1..8),
+            prop_oneof![
+                3 => Just(TxEnd::Commit),
+                1 => Just(TxEnd::UserAbort),
+            ],
+        ),
+        1..12,
+    )
+}
+
+fn apply_model(model: &mut [u64], op: &TxOp) {
+    match *op {
+        TxOp::Write { cell, val } => model[(cell as u64 % CELLS) as usize] = val,
+        TxOp::Copy { from, to } => {
+            model[(to as u64 % CELLS) as usize] = model[(from as u64 % CELLS) as usize]
+        }
+        TxOp::ScratchWrite { cell, val } => {
+            model[(cell as u64 % CELLS) as usize] = val ^ 0xABCD
+        }
+        TxOp::Add { cell, k } => {
+            let c = (cell as u64 % CELLS) as usize;
+            model[c] = model[c].wrapping_add(k);
+        }
+    }
+}
+
+fn all_modes() -> Vec<Mode> {
+    let mut v = vec![Mode::Baseline, Mode::Compiler];
+    for log in LogKind::ALL {
+        v.push(Mode::Runtime {
+            log,
+            scope: CheckScope::FULL,
+        });
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_transactions_match_model_in_every_mode(script in txn_script()) {
+        for mode in all_modes() {
+            let rt = StmRuntime::new(MemConfig::small(), TxConfig::with_mode(mode));
+            let base = rt.alloc_global(CELLS * 8);
+            let mut w = rt.spawn_worker();
+            let mut model = vec![0u64; CELLS as usize];
+
+            for (ops, end) in &script {
+                let committed = matches!(end, TxEnd::Commit);
+                let r: Result<(), u64> = w.txn_result(|tx| {
+                    for op in ops {
+                        match *op {
+                            TxOp::Write { cell, val } => {
+                                tx.write(&S, base.word(cell as u64 % CELLS), val)?;
+                            }
+                            TxOp::Copy { from, to } => {
+                                let v = tx.read(&S, base.word(from as u64 % CELLS))?;
+                                tx.write(&S, base.word(to as u64 % CELLS), v)?;
+                            }
+                            TxOp::ScratchWrite { cell, val } => {
+                                // Route the value through captured memory so
+                                // elision paths are exercised.
+                                let scratch = tx.alloc(16)?;
+                                tx.write(&S_ESC, scratch, val)?;
+                                let v = tx.read(&S_ESC, scratch)?;
+                                tx.write(&S, base.word(cell as u64 % CELLS), v ^ 0xABCD)?;
+                                tx.free(scratch);
+                            }
+                            TxOp::Add { cell, k } => {
+                                let a = base.word(cell as u64 % CELLS);
+                                let v = tx.read(&S, a)?;
+                                tx.write(&S, a, v.wrapping_add(k))?;
+                            }
+                        }
+                    }
+                    if committed { Ok(()) } else { Err(Abort::User(1)) }
+                });
+                prop_assert_eq!(r.is_ok(), committed);
+                if committed {
+                    for op in ops {
+                        apply_model(&mut model, op);
+                    }
+                }
+                // After every transaction, memory matches the model.
+                for i in 0..CELLS {
+                    prop_assert_eq!(
+                        w.load(base.word(i)), model[i as usize],
+                        "cell {} diverged under {:?}", i, mode
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nested_partial_abort_is_exact(outer in proptest::collection::vec(txop(), 1..5),
+                                     inner in proptest::collection::vec(txop(), 1..5),
+                                     abort_inner in any::<bool>()) {
+        let rt = StmRuntime::new(MemConfig::small(), TxConfig::runtime_tree_full());
+        let base = rt.alloc_global(CELLS * 8);
+        let mut w = rt.spawn_worker();
+        let mut model = vec![0u64; CELLS as usize];
+
+        let outer_c = outer.clone();
+        let inner_c = inner.clone();
+        w.txn(|tx| {
+            for op in &outer_c {
+                exec_op(tx, base, op)?;
+            }
+            let r: Result<(), u64> = tx.nested(|tx| {
+                for op in &inner_c {
+                    exec_op(tx, base, op)?;
+                }
+                if abort_inner { Err(Abort::User(7)) } else { Ok(()) }
+            })?;
+            assert_eq!(r.is_err(), abort_inner);
+            Ok(())
+        });
+        for op in &outer {
+            apply_model(&mut model, op);
+        }
+        if !abort_inner {
+            for op in &inner {
+                apply_model(&mut model, op);
+            }
+        }
+        for i in 0..CELLS {
+            prop_assert_eq!(w.load(base.word(i)), model[i as usize], "cell {}", i);
+        }
+    }
+
+    #[test]
+    fn heap_is_balanced_after_any_script(script in txn_script()) {
+        let rt = StmRuntime::new(MemConfig::small(), TxConfig::runtime_tree_full());
+        let base = rt.alloc_global(CELLS * 8);
+        let before = rt.heap().bytes_allocated();
+        let mut w = rt.spawn_worker();
+        for (ops, end) in &script {
+            let committed = matches!(end, TxEnd::Commit);
+            let _ : Result<(), u64> = w.txn_result(|tx| {
+                for op in ops {
+                    exec_op(tx, base, op)?;
+                }
+                if committed { Ok(()) } else { Err(Abort::User(1)) }
+            });
+        }
+        // Every scratch block is freed in-transaction (commit) or undone
+        // (abort): live bytes must return to the pre-script level.
+        prop_assert_eq!(rt.heap().bytes_allocated(), before);
+    }
+}
+
+fn exec_op(tx: &mut stm::Tx<'_, '_>, base: txmem::Addr, op: &TxOp) -> stm::TxResult<()> {
+    match *op {
+        TxOp::Write { cell, val } => tx.write(&S, base.word(cell as u64 % CELLS), val),
+        TxOp::Copy { from, to } => {
+            let v = tx.read(&S, base.word(from as u64 % CELLS))?;
+            tx.write(&S, base.word(to as u64 % CELLS), v)
+        }
+        TxOp::ScratchWrite { cell, val } => {
+            let scratch = tx.alloc(16)?;
+            tx.write(&S_ESC, scratch, val)?;
+            let v = tx.read(&S_ESC, scratch)?;
+            tx.write(&S, base.word(cell as u64 % CELLS), v ^ 0xABCD)?;
+            tx.free(scratch);
+            Ok(())
+        }
+        TxOp::Add { cell, k } => {
+            let a = base.word(cell as u64 % CELLS);
+            let v = tx.read(&S, a)?;
+            tx.write(&S, a, v.wrapping_add(k))
+        }
+    }
+}

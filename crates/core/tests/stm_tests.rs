@@ -1,0 +1,580 @@
+//! Functional tests of the STM runtime: atomicity, isolation, rollback,
+//! capture-based elision, nesting with partial abort, annotations, and the
+//! compiler mode.
+
+use stm::{Abort, CheckScope, LogKind, Mode, Site, StmRuntime, TxConfig};
+use txmem::MemConfig;
+
+static S: Site = Site::shared("test.shared");
+static S_CAP: Site = Site::captured_local("test.captured_local");
+static S_ESC: Site = Site::captured_escaped("test.captured_escaped");
+
+fn rt_with(mode: Mode) -> StmRuntime {
+    StmRuntime::new(MemConfig::small(), TxConfig::with_mode(mode))
+}
+
+fn all_modes() -> Vec<Mode> {
+    let mut v = vec![Mode::Baseline, Mode::Compiler];
+    for log in LogKind::ALL {
+        v.push(Mode::Runtime {
+            log,
+            scope: CheckScope::FULL,
+        });
+        v.push(Mode::Runtime {
+            log,
+            scope: CheckScope::WRITES_HEAP,
+        });
+    }
+    v
+}
+
+#[test]
+fn simple_commit_publishes_values() {
+    for mode in all_modes() {
+        let rt = rt_with(mode);
+        let a = rt.alloc_global(16);
+        let mut w = rt.spawn_worker();
+        w.txn(|tx| {
+            tx.write(&S, a, 7)?;
+            tx.write(&S, a.word(1), 8)?;
+            Ok(())
+        });
+        assert_eq!(w.load(a), 7, "{mode:?}");
+        assert_eq!(w.load(a.word(1)), 8);
+        assert_eq!(w.stats.commits, 1);
+    }
+}
+
+#[test]
+fn read_after_write_sees_own_update() {
+    for mode in all_modes() {
+        let rt = rt_with(mode);
+        let a = rt.alloc_global(8);
+        let mut w = rt.spawn_worker();
+        let v = w.txn(|tx| {
+            tx.write(&S, a, 41)?;
+            let v = tx.read(&S, a)?;
+            tx.write(&S, a, v + 1)?;
+            tx.read(&S, a)
+        });
+        assert_eq!(v, 42, "{mode:?}");
+        assert_eq!(w.load(a), 42);
+    }
+}
+
+#[test]
+fn user_abort_rolls_back_everything() {
+    for mode in all_modes() {
+        let rt = rt_with(mode);
+        let a = rt.alloc_global(8);
+        let mut w = rt.spawn_worker();
+        w.store(a, 100);
+        let heap_before = rt.heap().bytes_allocated();
+        let res: Result<(), u64> = w.txn_result(|tx| {
+            tx.write(&S, a, 999)?;
+            let block = tx.alloc(64)?;
+            tx.write(&S_ESC, block, 1)?;
+            Err(Abort::User(13))
+        });
+        assert_eq!(res, Err(13), "{mode:?}");
+        assert_eq!(w.load(a), 100, "undo must restore ({mode:?})");
+        assert_eq!(
+            rt.heap().bytes_allocated(),
+            heap_before,
+            "tx allocation must be undone ({mode:?})"
+        );
+        assert_eq!(w.stats.user_aborts, 1);
+        assert_eq!(w.stats.commits, 0);
+    }
+}
+
+#[test]
+fn aborted_free_is_cancelled() {
+    for mode in all_modes() {
+        let rt = rt_with(mode);
+        let shared_block = rt.alloc_global(64);
+        let mut w = rt.spawn_worker();
+        w.store(shared_block, 77);
+        let res: Result<(), u64> = w.txn_result(|tx| {
+            tx.free(shared_block);
+            Err(Abort::User(1))
+        });
+        assert!(res.is_err());
+        // The block must still be alive and intact.
+        assert_eq!(w.load(shared_block), 77, "{mode:?}");
+        // And allocating more must not hand out its memory.
+        let other = w.alloc_raw(56);
+        assert_ne!(other, shared_block);
+    }
+}
+
+#[test]
+fn committed_free_recycles() {
+    let rt = rt_with(Mode::Baseline);
+    let block = rt.alloc_global(64);
+    let mut w = rt.spawn_worker();
+    let before = rt.heap().bytes_allocated();
+    w.txn(|tx| {
+        tx.free(block);
+        Ok(())
+    });
+    assert!(rt.heap().bytes_allocated() < before);
+}
+
+#[test]
+fn capture_elides_tx_local_heap_writes() {
+    for log in LogKind::ALL {
+        let rt = rt_with(Mode::Runtime {
+            log,
+            scope: CheckScope::FULL,
+        });
+        let mut w = rt.spawn_worker();
+        w.txn(|tx| {
+            let a = tx.alloc(32)?;
+            tx.write(&S_ESC, a, 1)?;
+            tx.write(&S_ESC, a.word(1), 2)?;
+            assert_eq!(tx.read(&S_ESC, a)?, 1);
+            Ok(())
+        });
+        assert_eq!(w.stats.writes.elided_heap, 2, "{log:?}");
+        assert_eq!(w.stats.reads.elided_heap, 1, "{log:?}");
+        assert_eq!(w.stats.writes.full, 0);
+        assert_eq!(w.stats.reads.full, 0);
+    }
+}
+
+#[test]
+fn capture_elides_tx_local_stack() {
+    let rt = rt_with(Mode::Runtime {
+        log: LogKind::Tree,
+        scope: CheckScope::FULL,
+    });
+    let mut w = rt.spawn_worker();
+    w.txn(|tx| {
+        let frame = tx.stack_push(4);
+        tx.write(&S_ESC, frame, 10)?;
+        tx.write(&S_ESC, frame.word(3), 13)?;
+        assert_eq!(tx.read(&S_ESC, frame)?, 10);
+        tx.stack_pop(4);
+        Ok(())
+    });
+    assert_eq!(w.stats.writes.elided_stack, 2);
+    assert_eq!(w.stats.reads.elided_stack, 1);
+    assert_eq!(w.stats.writes.full, 0);
+}
+
+#[test]
+fn live_in_stack_gets_full_barrier_and_undo() {
+    let rt = rt_with(Mode::Runtime {
+        log: LogKind::Tree,
+        scope: CheckScope::FULL,
+    });
+    let mut w = rt.spawn_worker();
+    // Frame pushed before the transaction: live-in, holds a live value.
+    let frame = w.stack_push(2);
+    w.store(frame, 55);
+    let res: Result<(), u64> = w.txn_result(|tx| {
+        tx.write(&S, frame, 99)?; // must NOT be elided
+        Err(Abort::User(0))
+    });
+    assert!(res.is_err());
+    assert_eq!(w.load(frame), 55, "live-in stack write must be undone");
+    assert_eq!(w.stats.writes.elided_stack, 0);
+    assert_eq!(w.stats.writes.full, 1);
+    w.stack_pop(2);
+}
+
+#[test]
+fn scope_restricts_checks() {
+    // Heap-only, write-only scope: stack accesses and reads take the full
+    // barrier even though they are captured.
+    let rt = rt_with(Mode::Runtime {
+        log: LogKind::Tree,
+        scope: CheckScope::WRITES_HEAP,
+    });
+    let mut w = rt.spawn_worker();
+    w.txn(|tx| {
+        let a = tx.alloc(16)?;
+        let f = tx.stack_push(1);
+        tx.write(&S_ESC, a, 1)?; // heap write: elided
+        tx.read(&S_ESC, a)?; // read: full (scope.reads = false)
+        tx.write(&S_ESC, f, 2)?; // stack write: full (scope.stack = false)
+        tx.stack_pop(1);
+        Ok(())
+    });
+    assert_eq!(w.stats.writes.elided_heap, 1);
+    assert_eq!(w.stats.reads.elided_heap, 0);
+    assert_eq!(w.stats.reads.full, 1);
+    assert_eq!(w.stats.writes.elided_stack, 0);
+    assert_eq!(w.stats.writes.full, 1);
+}
+
+#[test]
+fn compiler_mode_elides_static_sites_only() {
+    let rt = rt_with(Mode::Compiler);
+    let a = rt.alloc_global(8);
+    let mut w = rt.spawn_worker();
+    w.txn(|tx| {
+        let local = tx.alloc(16)?;
+        tx.write(&S_CAP, local, 5)?; // statically proven: elided
+        tx.write(&S_ESC, local.word(1), 6)?; // analysis missed it: full barrier
+        tx.write(&S, a, 7)?; // shared: full barrier
+        Ok(())
+    });
+    assert_eq!(w.stats.writes.elided_static, 1);
+    assert_eq!(w.stats.writes.full, 2);
+    assert_eq!(w.load(a), 7);
+}
+
+#[test]
+fn baseline_elides_nothing() {
+    let rt = rt_with(Mode::Baseline);
+    let mut w = rt.spawn_worker();
+    w.txn(|tx| {
+        let a = tx.alloc(16)?;
+        let f = tx.stack_push(1);
+        tx.write(&S_CAP, a, 1)?;
+        tx.write(&S_ESC, f, 2)?;
+        tx.read(&S_CAP, a)?;
+        tx.stack_pop(1);
+        Ok(())
+    });
+    let s = &w.stats;
+    assert_eq!(s.writes.elided(), 0);
+    assert_eq!(s.reads.elided(), 0);
+    assert_eq!(s.writes.full, 2);
+    assert_eq!(s.reads.full, 1);
+}
+
+#[test]
+fn annotations_elide_private_blocks() {
+    let mut cfg = TxConfig::default();
+    cfg.annotations = true;
+    let rt = StmRuntime::new(MemConfig::small(), cfg);
+    let buf = rt.alloc_global(128);
+    let mut w = rt.spawn_worker();
+    w.add_private_memory_block(buf, 128);
+    w.txn(|tx| {
+        tx.write(&S, buf, 1)?; // annotated: elided even in Baseline mode
+        tx.read(&S, buf)?;
+        Ok(())
+    });
+    assert_eq!(w.stats.writes.elided_annotation, 1);
+    assert_eq!(w.stats.reads.elided_annotation, 1);
+    // Remove the annotation: barriers come back.
+    w.remove_private_memory_block(buf, 128);
+    w.txn(|tx| {
+        tx.write(&S, buf, 2)?;
+        Ok(())
+    });
+    assert_eq!(w.stats.writes.elided_annotation, 1);
+    assert_eq!(w.stats.writes.full, 1);
+}
+
+#[test]
+fn nested_commit_keeps_effects() {
+    let rt = rt_with(Mode::Runtime {
+        log: LogKind::Tree,
+        scope: CheckScope::FULL,
+    });
+    let a = rt.alloc_global(8);
+    let mut w = rt.spawn_worker();
+    w.txn(|tx| {
+        tx.write(&S, a, 1)?;
+        let inner = tx.nested(|tx| {
+            tx.write(&S, a, 2)?;
+            Ok(77u64)
+        })?;
+        assert_eq!(inner, Ok(77));
+        assert_eq!(tx.read(&S, a)?, 2);
+        Ok(())
+    });
+    assert_eq!(w.load(a), 2);
+}
+
+#[test]
+fn nested_partial_abort_rolls_back_child_only() {
+    let rt = rt_with(Mode::Runtime {
+        log: LogKind::Tree,
+        scope: CheckScope::FULL,
+    });
+    let a = rt.alloc_global(16);
+    let mut w = rt.spawn_worker();
+    w.txn(|tx| {
+        tx.write(&S, a, 1)?;
+        let r: Result<(), u64> = tx.nested(|tx| {
+            tx.write(&S, a, 99)?;
+            tx.write(&S, a.word(1), 98)?;
+            let _scratch = tx.alloc(32)?;
+            Err(Abort::User(5))
+        })?;
+        assert_eq!(r, Err(5));
+        // Child effects gone, parent effects intact.
+        assert_eq!(tx.read(&S, a)?, 1);
+        assert_eq!(tx.read(&S, a.word(1))?, 0);
+        Ok(())
+    });
+    assert_eq!(w.load(a), 1);
+    assert_eq!(w.stats.partial_aborts, 1);
+    assert_eq!(w.stats.commits, 1);
+}
+
+#[test]
+fn child_write_to_parent_captured_memory_is_undone_on_partial_abort() {
+    // Paper §2.2.1: memory captured by the parent is live-in for the child;
+    // the child's write needs undo logging even though no lock is needed.
+    let rt = rt_with(Mode::Runtime {
+        log: LogKind::Tree,
+        scope: CheckScope::FULL,
+    });
+    let mut w = rt.spawn_worker();
+    w.txn(|tx| {
+        let parent_block = tx.alloc(16)?;
+        tx.write(&S_ESC, parent_block, 10)?; // captured by parent: elided
+        let r: Result<(), u64> = tx.nested(|tx| {
+            tx.write(&S_ESC, parent_block, 20)?; // ancestor-captured: undo-logged
+            Err(Abort::User(1))
+        })?;
+        assert_eq!(r, Err(1));
+        assert_eq!(
+            tx.read(&S_ESC, parent_block)?,
+            10,
+            "partial abort must restore parent-captured value"
+        );
+        Ok(())
+    });
+    assert!(w.stats.writes.parent_captured >= 1);
+}
+
+#[test]
+fn sibling_after_committed_child_undo_logs_its_blocks() {
+    // A block allocated by a committed child belongs to the parent; a second
+    // child writing it must undo-log (level demotion on nested commit).
+    let rt = rt_with(Mode::Runtime {
+        log: LogKind::Tree,
+        scope: CheckScope::FULL,
+    });
+    let mut w = rt.spawn_worker();
+    w.txn(|tx| {
+        let block = tx
+            .nested(|tx| {
+                let b = tx.alloc(16)?;
+                tx.write(&S_ESC, b, 1)?;
+                Ok(b)
+            })?
+            .unwrap();
+        let r: Result<(), u64> = tx.nested(|tx| {
+            tx.write(&S_ESC, block, 42)?;
+            Err(Abort::User(9))
+        })?;
+        assert_eq!(r, Err(9));
+        assert_eq!(
+            tx.read(&S_ESC, block)?,
+            1,
+            "sibling's write must have been undone"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn stack_frames_reset_on_abort() {
+    let rt = rt_with(Mode::Runtime {
+        log: LogKind::Tree,
+        scope: CheckScope::FULL,
+    });
+    let mut w = rt.spawn_worker();
+    let res: Result<(), u64> = w.txn_result(|tx| {
+        let _f1 = tx.stack_push(8);
+        let _f2 = tx.stack_push(8);
+        Err(Abort::User(0)) // abort with frames still pushed
+    });
+    assert!(res.is_err());
+    // After rollback the worker can push the full stack again: sp was reset.
+    let f = w.stack_push(16);
+    assert!(!f.is_null());
+    w.stack_pop(16);
+}
+
+#[test]
+fn concurrent_counter_is_exact() {
+    for mode in all_modes() {
+        let rt = StmRuntime::new(MemConfig::small(), TxConfig::with_mode(mode));
+        let counter = rt.alloc_global(8);
+        const THREADS: usize = 4;
+        const INCRS: usize = 500;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let rt = &rt;
+                s.spawn(move || {
+                    let mut w = rt.spawn_worker();
+                    for _ in 0..INCRS {
+                        w.txn(|tx| {
+                            let v = tx.read(&S, counter)?;
+                            tx.write(&S, counter, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        let w = rt.spawn_worker();
+        assert_eq!(
+            w.load(counter),
+            (THREADS * INCRS) as u64,
+            "lost updates under {mode:?}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_transfers_preserve_total() {
+    // Bank-transfer atomicity test with captured scratch allocations mixed
+    // in, across all modes.
+    for mode in all_modes() {
+        let rt = StmRuntime::new(MemConfig::small(), TxConfig::with_mode(mode));
+        const ACCOUNTS: u64 = 32;
+        let table = rt.alloc_global(ACCOUNTS * 8);
+        {
+            let w = rt.spawn_worker();
+            for i in 0..ACCOUNTS {
+                w.store(table.word(i), 1000);
+            }
+        }
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let rt = &rt;
+                s.spawn(move || {
+                    let mut w = rt.spawn_worker();
+                    let mut x = t + 1;
+                    for _ in 0..300 {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        let from = (x >> 33) % ACCOUNTS;
+                        // Distinct target: a from==to "transfer" with both
+                        // reads up front would mint money in the *test*.
+                        let to = (from + 1 + (x >> 13) % (ACCOUNTS - 1)) % ACCOUNTS;
+                        w.txn(|tx| {
+                            // Captured scratch block exercises elision under
+                            // contention.
+                            let scratch = tx.alloc(24)?;
+                            tx.write(&S_ESC, scratch, from)?;
+                            let f = tx.read(&S, table.word(from))?;
+                            let g = tx.read(&S, table.word(to))?;
+                            tx.write(&S, table.word(from), f.wrapping_sub(1))?;
+                            tx.write(&S, table.word(to), g.wrapping_add(1))?;
+                            tx.free(scratch);
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        let w = rt.spawn_worker();
+        let total: u64 = (0..ACCOUNTS).map(|i| w.load(table.word(i))).sum();
+        assert_eq!(total, ACCOUNTS * 1000, "money lost/created under {mode:?}");
+    }
+}
+
+#[test]
+fn opacity_no_torn_pairs() {
+    // Writers keep the invariant a + b == 0 (two's complement) across two
+    // distinct cache lines; readers must never observe a violation inside
+    // a transaction.
+    let rt = rt_with(Mode::Baseline);
+    let a = rt.alloc_global(8);
+    let b = rt.alloc_global(256); // far enough for a different line
+    std::thread::scope(|s| {
+        let rt_ref = &rt;
+        s.spawn(move || {
+            let mut w = rt_ref.spawn_worker();
+            for i in 1..2000u64 {
+                w.txn(|tx| {
+                    tx.write(&S, a, i)?;
+                    tx.write(&S, b, i.wrapping_neg())?;
+                    Ok(())
+                });
+            }
+        });
+        s.spawn(move || {
+            let mut w = rt_ref.spawn_worker();
+            for _ in 0..2000 {
+                let (x, y) = w.txn(|tx| Ok((tx.read(&S, a)?, tx.read(&S, b)?)));
+                assert_eq!(x.wrapping_add(y), 0, "torn read: {x} {y}");
+            }
+        });
+    });
+}
+
+#[test]
+fn abort_to_commit_ratio_counts_conflicts() {
+    let rt = rt_with(Mode::Baseline);
+    let hot = rt.alloc_global(8);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let rt = &rt;
+            s.spawn(move || {
+                let mut w = rt.spawn_worker();
+                for _ in 0..500 {
+                    w.txn(|tx| {
+                        let v = tx.read(&S, hot)?;
+                        // Lengthen the window to force conflicts.
+                        for _ in 0..50 {
+                            std::hint::spin_loop();
+                        }
+                        tx.write(&S, hot, v + 1)
+                    });
+                }
+            });
+        }
+    });
+    let stats = rt.collect_stats();
+    assert_eq!(stats.commits, 2000);
+    let w = rt.spawn_worker();
+    assert_eq!(w.load(hot), 2000);
+}
+
+#[test]
+fn stats_flush_on_drop_merges_into_runtime() {
+    let rt = rt_with(Mode::Baseline);
+    let a = rt.alloc_global(8);
+    {
+        let mut w = rt.spawn_worker();
+        w.txn(|tx| tx.write(&S, a, 1));
+    }
+    let s = rt.collect_stats();
+    assert_eq!(s.commits, 1);
+    assert_eq!(s.writes.total, 1);
+}
+
+#[test]
+fn classify_mode_buckets_fig8_categories() {
+    let mut cfg = TxConfig::default(); // classification works on baseline
+    cfg.classify = true;
+    let rt = StmRuntime::new(MemConfig::small(), cfg);
+    let shared = rt.alloc_global(8);
+    let mut w = rt.spawn_worker();
+    w.txn(|tx| {
+        let heap_block = tx.alloc(16)?;
+        let frame = tx.stack_push(1);
+        tx.write(&S_ESC, heap_block, 1)?; // -> class_heap
+        tx.write(&S_ESC, frame, 2)?; // -> class_stack
+        tx.write(&S, shared, 3)?; // -> class_required
+        tx.read(&Site::unneeded_static(), shared)?; // -> class_other
+        tx.stack_pop(1);
+        Ok(())
+    });
+    assert_eq!(w.stats.writes.class_heap, 1);
+    assert_eq!(w.stats.writes.class_stack, 1);
+    assert_eq!(w.stats.writes.class_required, 1);
+    assert_eq!(w.stats.reads.class_other, 1);
+}
+
+// Helper: a static unneeded site usable from the test above.
+trait UnneededStatic {
+    fn unneeded_static() -> &'static Site;
+}
+impl UnneededStatic for Site {
+    fn unneeded_static() -> &'static Site {
+        static U: Site = Site::unneeded("test.unneeded");
+        &U
+    }
+}

@@ -1,0 +1,230 @@
+//! `bayes` — Bayesian network structure learning (STAMP `bayes`).
+//!
+//! Workers pop the highest-scoring learner task from a shared sorted task
+//! list — using the *stack-allocated* list iterator of the paper's Figure
+//! 1(a) — then evaluate it: populate a *thread-local* query vector (the
+//! paper's Figure 1(b) `queryVectorPtr`), read the read-only ADTree counts
+//! (paper §2.2.3), and commit the learned edge into the shared network.
+//! Some tasks spawn follow-up tasks (captured list-node allocations).
+//!
+//! This app is the showcase for all three "unnecessary barrier" categories
+//! beyond captured memory: thread-local vectors, read-only ADTree, and the
+//! transaction-local iterator — which is why it is the natural target for
+//! the `add_private_memory_block` annotation ablation (enabled through
+//! `TxConfig::annotations`).
+
+use stm::{Site, StmRuntime, TxConfig};
+use txmem::MemConfig;
+
+use crate::collections::{ListIter, TxList, TxVector};
+use crate::rng::SplitMix64;
+
+use super::{run_parallel, RunOutcome, Scale};
+
+static S_ADTREE_R: Site = Site::unneeded("bayes.adtree.read");
+static S_NET_W: Site = Site::shared("bayes.network.write");
+static S_CTR_R: Site = Site::shared("bayes.counter.read");
+static S_CTR_W: Site = Site::shared("bayes.counter.write");
+
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub vars: u64,
+    pub tasks: u64,
+    /// Budget of follow-up tasks that may be spawned.
+    pub max_followups: u64,
+    pub seed: u64,
+}
+
+impl Config {
+    pub fn scaled(scale: Scale) -> Config {
+        let (vars, tasks) = match scale {
+            Scale::Test => (16, 128),
+            Scale::Small => (32, 1 << 11),
+            Scale::Full => (48, 1 << 13),
+        };
+        Config {
+            vars,
+            tasks,
+            max_followups: tasks / 4,
+            seed: 0xbae5,
+        }
+    }
+}
+
+/// Task key: higher score ⇒ smaller key ⇒ earlier in the sorted list.
+fn task_key(score: u64, id: u64) -> u64 {
+    ((1000 - score) << 24) | id
+}
+
+pub fn run(cfg: &Config, txcfg: TxConfig, threads: usize) -> RunOutcome {
+    let v = cfg.vars;
+    let mem = MemConfig {
+        max_threads: threads.max(1) + 2,
+        stack_words: 1 << 12,
+        heap_words: (v * v * 2 + (cfg.tasks + cfg.max_followups) * 8 + (1 << 16)) as usize,
+    };
+    let rt = StmRuntime::new(mem, txcfg);
+    let tasks = TxList::create(&rt);
+    let adtree = rt.alloc_global(v * v * 8); // read-only after setup
+    let network = rt.alloc_global(v * v * 8); // learned adjacency
+    // Shared words: [processed, followups_spawned, next_task_id]
+    let counters = rt.alloc_global(3 * 8);
+
+    {
+        let mut w = rt.spawn_worker();
+        let mut rng = SplitMix64::new(cfg.seed);
+        for i in 0..v * v {
+            w.store(adtree.word(i), rng.below(1000));
+            w.store(network.word(i), 0);
+        }
+        for id in 0..cfg.tasks {
+            let score = rng.below(1000);
+            w.txn(|tx| tasks.insert(tx, task_key(score, id), id));
+        }
+        w.store(counters, 0);
+        w.store(counters.word(1), 0);
+        w.store(counters.word(2), cfg.tasks);
+        w.flush_stats();
+    }
+    rt.reset_stats();
+
+    let elapsed = run_parallel(&rt, threads, |w, _t| {
+        // Thread-local query vector, reused across all of this worker's
+        // transactions (paper Fig. 1b). Annotated as private when the
+        // annotation optimization is enabled.
+        let mut qvec = TxVector::create_local(w, v);
+        if w.runtime().config().annotations {
+            qvec.annotate(w);
+        }
+        loop {
+            let task = w.txn(|tx| {
+                // Pop the best task through the stack iterator (Fig. 1a).
+                let it = ListIter::reset(tx, &tasks)?;
+                if !it.has_next(tx)? {
+                    it.dispose(tx);
+                    return Ok(None);
+                }
+                let (key, id) = it.next(tx)?;
+                it.dispose(tx);
+                tasks.remove(tx, key)?;
+
+                // Evaluate: populate the query vector from the read-only
+                // ADTree (counts for each candidate parent variable).
+                let from = id % v;
+                let to = (id / 7) % v;
+                qvec.clear(tx)?;
+                let mut loglik = 0.0f64;
+                for p in 0..v {
+                    let count = tx.read(&S_ADTREE_R, adtree.word(from * v + p))?;
+                    qvec.push(tx, count)?;
+                    loglik += (1.0 + count as f64).ln();
+                }
+                let _ = loglik;
+
+                // Candidate evaluation builds a transaction-local structure
+                // per task (STAMP's bayes allocates its query/task records
+                // inside the learner transaction — the reason its Figure 8
+                // write profile is dominated by tx-local heap).
+                let candidates = TxList::create_tx(tx)?;
+                for p in 0..v.min(8) {
+                    let score = qvec.get(tx, p)?;
+                    candidates.insert(tx, score * v + p, p)?;
+                }
+                let best = candidates.pop_front(tx)?;
+                while candidates.pop_front(tx)?.is_some() {}
+                tx.free(candidates.handle);
+                let _ = best;
+                // Learn the edge (genuinely shared write).
+                if from != to {
+                    tx.write(&S_NET_W, network.word(from * v + to), 1)?;
+                }
+                let done = tx.read(&S_CTR_R, counters)?;
+                tx.write(&S_CTR_W, counters, done + 1)?;
+
+                // Possibly spawn a follow-up task (captured node insert).
+                let spawned = tx.read(&S_CTR_R, counters.word(1))?;
+                let wants_followup = id.wrapping_mul(2654435761) % 100 < 25;
+                if wants_followup && spawned < cfg.max_followups {
+                    tx.write(&S_CTR_W, counters.word(1), spawned + 1)?;
+                    let next_id = tx.read(&S_CTR_R, counters.word(2))?;
+                    tx.write(&S_CTR_W, counters.word(2), next_id + 1)?;
+                    let score = next_id.wrapping_mul(40503) % 1000;
+                    tasks.insert(tx, task_key(score, next_id), next_id)?;
+                }
+                Ok(Some(id))
+            });
+            if task.is_none() {
+                break;
+            }
+        }
+        let _ = &mut qvec;
+    });
+
+    let stats = rt.collect_stats();
+    let w = rt.spawn_worker();
+    let processed = w.load(counters);
+    let spawned = w.load(counters.word(1));
+    let mut verified = processed == cfg.tasks + spawned;
+    verified &= tasks.seq_len(&w) == 0;
+    verified &= spawned <= cfg.max_followups;
+    // The network must contain only 0/1 entries and at least one edge.
+    let mut edges = 0;
+    for i in 0..v * v {
+        let x = w.load(network.word(i));
+        if x > 1 {
+            verified = false;
+        }
+        edges += x;
+    }
+    verified &= edges > 0 && edges <= processed;
+
+    RunOutcome {
+        benchmark: "bayes",
+        threads,
+        elapsed,
+        stats,
+        verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_and_verifies() {
+        let cfg = Config::scaled(Scale::Test);
+        for threads in [1, 4] {
+            let out = run(&cfg, TxConfig::default(), threads);
+            assert!(out.verified, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stack_iterator_and_node_allocs_are_captured() {
+        let cfg = Config::scaled(Scale::Test);
+        let out = run(&cfg, TxConfig::runtime_tree_full(), 2);
+        assert!(out.verified);
+        let s = &out.stats;
+        assert!(s.reads.elided_stack > 0, "Fig 1a iterator reads");
+        assert!(s.writes.elided_stack > 0, "Fig 1a iterator writes");
+        assert!(s.writes.elided_heap > 0, "follow-up task node init");
+    }
+
+    #[test]
+    fn annotations_elide_query_vector_accesses() {
+        let cfg = Config::scaled(Scale::Test);
+        let mut plain = TxConfig::default();
+        plain.annotations = false;
+        let mut annotated = TxConfig::default();
+        annotated.annotations = true;
+        let a = run(&cfg, plain, 2);
+        let b = run(&cfg, annotated, 2);
+        assert!(a.verified && b.verified);
+        assert_eq!(a.stats.all_accesses().elided_annotation, 0);
+        assert!(
+            b.stats.all_accesses().elided_annotation > 0,
+            "annotated query vectors must elide barriers"
+        );
+    }
+}

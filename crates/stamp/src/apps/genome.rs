@@ -1,0 +1,162 @@
+//! `genome` — gene sequencing (STAMP `genome`).
+//!
+//! Phase 1 deduplicates segments into a transactional hash set (hash-table
+//! inserts allocate chain nodes — captured memory). Phase 2 links unique
+//! segments into the reconstructed sequence by matching overlaps (here:
+//! successor keys), writing shared link words. The mix reproduces genome's
+//! Figure-8 profile: a solid captured-write share from phase-1 node
+//! allocation plus plenty of required shared reads from probing.
+
+use stm::{Site, StmRuntime, TxConfig};
+use txmem::MemConfig;
+
+use crate::collections::TxHashtable;
+use crate::rng::SplitMix64;
+
+use super::{chunk, run_parallel, RunOutcome, Scale};
+
+static S_LINK_W: Site = Site::shared("genome.link.write");
+static S_LINK_R: Site = Site::shared("genome.link.read");
+
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of distinct segments (the "gene" length).
+    pub uniques: u64,
+    /// Total segments sampled (with duplicates), >= uniques.
+    pub segments: u64,
+    pub buckets: u64,
+    pub seed: u64,
+}
+
+impl Config {
+    pub fn scaled(scale: Scale) -> Config {
+        let (uniques, segments) = match scale {
+            Scale::Test => (256, 1024),
+            Scale::Small => (1 << 11, 1 << 13),
+            Scale::Full => (1 << 14, 1 << 16),
+        };
+        Config {
+            uniques,
+            segments,
+            buckets: (uniques / 4).max(16),
+            seed: 0x9e0,
+        }
+    }
+}
+
+pub fn run(cfg: &Config, txcfg: TxConfig, threads: usize) -> RunOutcome {
+    let mem = MemConfig {
+        max_threads: threads.max(1) + 2,
+        stack_words: 1 << 12,
+        heap_words: (cfg.uniques * 32 + cfg.buckets * 2 + (1 << 16)) as usize,
+    };
+    let rt = StmRuntime::new(mem, txcfg);
+    let set = TxHashtable::create(&rt, cfg.buckets);
+    // links[k] = successor of segment k in the reconstructed sequence.
+    let links = rt.alloc_global(cfg.uniques * 8);
+
+    // The segment sample: every unique key appears at least once, the rest
+    // are duplicates — deterministic shuffle.
+    let mut sample: Vec<u64> = Vec::with_capacity(cfg.segments as usize);
+    {
+        let mut rng = SplitMix64::new(cfg.seed);
+        for k in 0..cfg.uniques {
+            sample.push(k);
+        }
+        for _ in cfg.uniques..cfg.segments {
+            sample.push(rng.below(cfg.uniques));
+        }
+        for i in (1..sample.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            sample.swap(i, j);
+        }
+        let w = rt.spawn_worker();
+        for k in 0..cfg.uniques {
+            w.store(links.word(k), u64::MAX); // "no successor yet"
+        }
+    }
+    rt.reset_stats();
+
+    let sample_ref = &sample;
+    // ---- phase 1: deduplication ----
+    let e1 = run_parallel(&rt, threads, |w, t| {
+        let (lo, hi) = chunk(cfg.segments, threads, t);
+        for i in lo..hi {
+            let key = sample_ref[i as usize];
+            w.txn(|tx| set.insert(tx, key, key));
+        }
+    });
+    // ---- phase 2: overlap matching / linking ----
+    let e2 = run_parallel(&rt, threads, |w, t| {
+        let (lo, hi) = chunk(cfg.uniques, threads, t);
+        for k in lo..hi {
+            w.txn(|tx| {
+                // Probe for this segment and its successor-by-overlap.
+                if set.find(tx, k)?.is_some() && k + 1 < cfg.uniques {
+                    if set.find(tx, k + 1)?.is_some() {
+                        let cur = tx.read(&S_LINK_R, links.word(k))?;
+                        if cur == u64::MAX {
+                            tx.write(&S_LINK_W, links.word(k), k + 1)?;
+                        }
+                    }
+                }
+                Ok(())
+            });
+        }
+    });
+
+    let stats = rt.collect_stats();
+    // Verify: the set holds exactly the unique keys, and the links chain
+    // every segment to its successor.
+    let w = rt.spawn_worker();
+    let mut verified = set.seq_len(&w) == cfg.uniques;
+    let mut keys: Vec<u64> = set.seq_collect(&w).into_iter().map(|(k, _)| k).collect();
+    keys.sort_unstable();
+    verified &= keys == (0..cfg.uniques).collect::<Vec<_>>();
+    for k in 0..cfg.uniques - 1 {
+        verified &= w.load(links.word(k)) == k + 1;
+    }
+    verified &= w.load(links.word(cfg.uniques - 1)) == u64::MAX;
+
+    RunOutcome {
+        benchmark: "genome",
+        threads,
+        elapsed: e1 + e2,
+        stats,
+        verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm::Mode;
+
+    #[test]
+    fn runs_and_verifies() {
+        let cfg = Config::scaled(Scale::Test);
+        for threads in [1, 4] {
+            let out = run(&cfg, TxConfig::default(), threads);
+            assert!(out.verified, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn capture_analysis_elides_insert_allocations() {
+        let cfg = Config::scaled(Scale::Test);
+        let out = run(&cfg, TxConfig::runtime_tree_full(), 2);
+        assert!(out.verified);
+        assert!(
+            out.stats.writes.elided_heap >= cfg.uniques * 3,
+            "phase-1 node init writes must be captured"
+        );
+    }
+
+    #[test]
+    fn compiler_mode_verifies_too() {
+        let cfg = Config::scaled(Scale::Test);
+        let out = run(&cfg, TxConfig::with_mode(Mode::Compiler), 4);
+        assert!(out.verified);
+        assert!(out.stats.writes.elided_static > 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! `intruder` — network intrusion detection (STAMP `intruder`).
+//!
+//! Packet fragments arrive on a shared transactional queue; workers pop a
+//! fragment and push it through flow reassembly: the per-flow record is
+//! allocated (captured!) by whichever transaction sees the flow first and
+//! updated as fragments accumulate; a completed flow is removed from the
+//! reassembly table, scanned by the detector, and — if its payload matches
+//! the attack signature — reported on a result queue.
+
+use stm::{Site, StmRuntime, TxConfig};
+use txmem::{Addr, MemConfig};
+
+use crate::collections::{TxHashtable, TxQueue};
+use crate::rng::SplitMix64;
+
+use super::{run_parallel, RunOutcome, Scale};
+
+// Flow record: [received, expected, payload_sum]
+const F_RECV: u64 = 0;
+const F_EXPECT: u64 = 1;
+const F_SUM: u64 = 2;
+const F_WORDS: u64 = 3;
+
+static S_FLOW_R: Site = Site::shared("intruder.flow.read");
+static S_FLOW_W: Site = Site::shared("intruder.flow.write");
+static S_FLOW_INIT: Site = Site::captured_local("intruder.flow_init.write");
+
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub flows: u64,
+    pub frags_per_flow: u64,
+    pub buckets: u64,
+    pub seed: u64,
+}
+
+impl Config {
+    pub fn scaled(scale: Scale) -> Config {
+        let flows = match scale {
+            Scale::Test => 128,
+            Scale::Small => 1 << 11,
+            Scale::Full => 1 << 14,
+        };
+        Config {
+            flows,
+            frags_per_flow: 4,
+            buckets: (flows / 4).max(16),
+            seed: 0x1277,
+        }
+    }
+}
+
+/// Pack a fragment descriptor into one queue word.
+fn pack(flow: u64, payload: u64) -> u64 {
+    (flow << 20) | payload
+}
+
+fn unpack(v: u64) -> (u64, u64) {
+    (v >> 20, v & ((1 << 20) - 1))
+}
+
+/// The attack signature: payload sum divisible by 7 (stands in for STAMP's
+/// dictionary match against a captured, reassembled byte stream).
+fn is_attack(payload_sum: u64) -> bool {
+    payload_sum % 7 == 0
+}
+
+pub fn run(cfg: &Config, txcfg: TxConfig, threads: usize) -> RunOutcome {
+    let total_frags = cfg.flows * cfg.frags_per_flow;
+    let mem = MemConfig {
+        max_threads: threads.max(1) + 2,
+        stack_words: 1 << 12,
+        heap_words: (cfg.flows * 64 + total_frags * 4 + (1 << 16)) as usize,
+    };
+    let rt = StmRuntime::new(mem, txcfg);
+    let packets = TxQueue::create(&rt, total_frags + 2);
+    let reassembly = TxHashtable::create(&rt, cfg.buckets);
+    let results = TxQueue::create(&rt, cfg.flows + 2);
+
+    // Expected attack count, computed while generating the traffic.
+    let mut expected_attacks = 0u64;
+    {
+        let w = rt.spawn_worker();
+        let mut rng = SplitMix64::new(cfg.seed);
+        let mut frags = Vec::with_capacity(total_frags as usize);
+        for flow in 0..cfg.flows {
+            let mut sum = 0;
+            for _ in 0..cfg.frags_per_flow {
+                let payload = rng.below(1000);
+                sum += payload;
+                frags.push(pack(flow, payload));
+            }
+            if is_attack(sum) {
+                expected_attacks += 1;
+            }
+        }
+        // Interleave fragments of different flows (network reordering).
+        for i in (1..frags.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            frags.swap(i, j);
+        }
+        for f in frags {
+            packets.seq_push(&w, f);
+        }
+    }
+    rt.reset_stats();
+
+    let elapsed = run_parallel(&rt, threads, |w, _t| {
+        loop {
+            let done = w.txn(|tx| {
+                let Some(frag) = packets.pop(tx)? else {
+                    return Ok(true); // queue drained
+                };
+                let (flow, payload) = unpack(frag);
+                let rec = match reassembly.find(tx, flow)? {
+                    Some(r) => {
+                        // Known flow: accumulate (shared writes).
+                        let r = Addr::from_raw(r);
+                        let recv = tx.read(&S_FLOW_R, r.word(F_RECV))?;
+                        let sum = tx.read(&S_FLOW_R, r.word(F_SUM))?;
+                        tx.write(&S_FLOW_W, r.word(F_RECV), recv + 1)?;
+                        tx.write(&S_FLOW_W, r.word(F_SUM), sum + payload)?;
+                        r
+                    }
+                    None => {
+                        // First fragment: the record is captured by this
+                        // transaction, so its initialization is elidable.
+                        let r = tx.alloc(F_WORDS * 8)?;
+                        tx.write(&S_FLOW_INIT, r.word(F_RECV), 1)?;
+                        tx.write(&S_FLOW_INIT, r.word(F_EXPECT), cfg.frags_per_flow)?;
+                        tx.write(&S_FLOW_INIT, r.word(F_SUM), payload)?;
+                        reassembly.insert(tx, flow, r.raw())?;
+                        r
+                    }
+                };
+                let recv = tx.read(&S_FLOW_R, rec.word(F_RECV))?;
+                let expect = tx.read(&S_FLOW_R, rec.word(F_EXPECT))?;
+                if recv == expect {
+                    // Flow complete: detach, detect, report.
+                    let sum = tx.read(&S_FLOW_R, rec.word(F_SUM))?;
+                    reassembly.remove(tx, flow)?;
+                    tx.free(rec);
+                    if is_attack(sum) {
+                        results.push(tx, flow)?;
+                    }
+                }
+                Ok(false)
+            });
+            if done {
+                break;
+            }
+        }
+    });
+
+    let stats = rt.collect_stats();
+    let w = rt.spawn_worker();
+    let verified = reassembly.seq_len(&w) == 0 && results.seq_len(&w) == expected_attacks;
+    RunOutcome {
+        benchmark: "intruder",
+        threads,
+        elapsed,
+        stats,
+        verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm::Mode;
+
+    #[test]
+    fn detects_the_right_attacks() {
+        let cfg = Config::scaled(Scale::Test);
+        for threads in [1, 4] {
+            let out = run(&cfg, TxConfig::default(), threads);
+            assert!(out.verified, "threads={threads}");
+            assert_eq!(
+                out.stats.commits,
+                cfg.flows * cfg.frags_per_flow + threads as u64,
+                "one commit per fragment + one drained-queue commit per thread"
+            );
+        }
+    }
+
+    #[test]
+    fn flow_records_are_captured_on_creation() {
+        let cfg = Config::scaled(Scale::Test);
+        let out = run(&cfg, TxConfig::runtime_tree_full(), 2);
+        assert!(out.verified);
+        // Every flow's first fragment initializes a captured record (3
+        // writes) plus a captured hashtable node (3 writes).
+        assert!(out.stats.writes.elided_heap >= cfg.flows * 6);
+    }
+
+    #[test]
+    fn all_modes_agree_on_attack_count() {
+        let cfg = Config::scaled(Scale::Test);
+        for mode in [
+            Mode::Baseline,
+            Mode::Compiler,
+            Mode::Runtime {
+                log: stm::LogKind::Array,
+                scope: stm::CheckScope::FULL,
+            },
+        ] {
+            let out = run(&cfg, TxConfig::with_mode(mode), 4);
+            assert!(out.verified, "{mode:?}");
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! `labyrinth` — parallel maze routing (Lee's algorithm, STAMP `labyrinth`).
+//!
+//! Each transaction routes one (source, destination) pair: a breadth-first
+//! expansion over the shared grid (transactional reads of every visited
+//! cell) followed by claiming the path cells (transactional writes). Two
+//! paths crossing the same cells conflict and one retries.
+//!
+//! This is the one STAMP program where the paper found **no** redundant
+//! barriers (Figure 8): every access touches the shared grid. Our port
+//! keeps that property — the BFS bookkeeping lives in ordinary Rust locals,
+//! exactly like STAMP's privatized copies, and everything that goes through
+//! the STM is genuinely shared.
+
+use stm::{Site, StmRuntime, TxConfig};
+use txmem::MemConfig;
+
+use crate::rng::SplitMix64;
+
+use super::{run_parallel, RunOutcome, Scale};
+
+static S_GRID_R: Site = Site::shared("labyrinth.grid.read");
+static S_GRID_W: Site = Site::shared("labyrinth.grid.write");
+
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub width: u64,
+    pub height: u64,
+    pub paths: u64,
+    pub seed: u64,
+}
+
+impl Config {
+    pub fn scaled(scale: Scale) -> Config {
+        let (side, paths) = match scale {
+            Scale::Test => (24, 24),
+            Scale::Small => (64, 96),
+            Scale::Full => (192, 384),
+        };
+        Config {
+            width: side,
+            height: side,
+            paths,
+            seed: 0x1ab,
+        }
+    }
+}
+
+pub fn run(cfg: &Config, txcfg: TxConfig, threads: usize) -> RunOutcome {
+    let cells = cfg.width * cfg.height;
+    let mem = MemConfig {
+        max_threads: threads.max(1) + 2,
+        stack_words: 1 << 12,
+        heap_words: (cells + (1 << 14)) as usize,
+    };
+    let rt = StmRuntime::new(mem, txcfg);
+    let grid = rt.alloc_global(cells * 8); // 0 = empty, else path id + 1
+
+    // Distinct endpoints for every path.
+    let mut endpoints = Vec::with_capacity(cfg.paths as usize);
+    {
+        let mut rng = SplitMix64::new(cfg.seed);
+        let mut used = std::collections::HashSet::new();
+        while endpoints.len() < cfg.paths as usize {
+            let src = rng.below(cells);
+            let dst = rng.below(cells);
+            if src != dst && used.insert(src) && used.insert(dst) {
+                endpoints.push((src, dst));
+            }
+        }
+    }
+    rt.reset_stats();
+
+    let routed = std::sync::atomic::AtomicU64::new(0);
+    let next_task = std::sync::atomic::AtomicU64::new(0);
+    let eps = &endpoints;
+    let elapsed = run_parallel(&rt, threads, |w, _t| {
+        loop {
+            let task = next_task.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if task >= cfg.paths {
+                break;
+            }
+            let (src, dst) = eps[task as usize];
+            let path_id = task + 1;
+            let found = w.txn(|tx| {
+                // BFS expansion, reading cells transactionally. Parent map
+                // and frontier are plain Rust locals re-created per attempt
+                // (= STAMP's privatized expansion grid).
+                let mut parent: Vec<i64> = vec![-1; cells as usize];
+                let mut frontier = std::collections::VecDeque::new();
+                // An earlier path may have routed *through* our endpoints;
+                // such a pair is unroutable (STAMP gives up on it too).
+                if tx.read(&S_GRID_R, grid.word(src))? != 0
+                    || tx.read(&S_GRID_R, grid.word(dst))? != 0
+                {
+                    return Ok(false);
+                }
+                parent[src as usize] = src as i64;
+                frontier.push_back(src);
+                let mut reached = false;
+                'bfs: while let Some(cur) = frontier.pop_front() {
+                    let (x, y) = (cur % cfg.width, cur / cfg.width);
+                    for (dx, dy) in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
+                        let nx = x as i64 + dx;
+                        let ny = y as i64 + dy;
+                        if nx < 0 || ny < 0 || nx >= cfg.width as i64 || ny >= cfg.height as i64 {
+                            continue;
+                        }
+                        let n = (ny as u64 * cfg.width + nx as u64) as usize;
+                        if parent[n] != -1 {
+                            continue;
+                        }
+                        // Transactional read of the shared grid cell.
+                        if tx.read(&S_GRID_R, grid.word(n as u64))? != 0 {
+                            continue;
+                        }
+                        parent[n] = cur as i64;
+                        if n as u64 == dst {
+                            reached = true;
+                            break 'bfs;
+                        }
+                        frontier.push_back(n as u64);
+                    }
+                }
+                if !reached {
+                    return Ok(false);
+                }
+                // Claim the path (shared writes); walking the parent chain.
+                let mut cur = dst;
+                loop {
+                    tx.write(&S_GRID_W, grid.word(cur), path_id)?;
+                    if cur == src {
+                        break;
+                    }
+                    cur = parent[cur as usize] as u64;
+                }
+                Ok(true)
+            });
+            if found {
+                routed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    });
+
+    let stats = rt.collect_stats();
+    let routed = routed.load(std::sync::atomic::Ordering::Relaxed);
+
+    // Verify: each routed path is a connected corridor of its own id
+    // linking src and dst; unrouted ids do not appear in the grid.
+    let w = rt.spawn_worker();
+    let mut cells_of = std::collections::HashMap::<u64, Vec<u64>>::new();
+    for c in 0..cells {
+        let v = w.load(grid.word(c));
+        if v != 0 {
+            cells_of.entry(v).or_default().push(c);
+        }
+    }
+    let mut verified = cells_of.len() as u64 == routed;
+    for (path_id, path_cells) in &cells_of {
+        let (src, dst) = eps[(path_id - 1) as usize];
+        let set: std::collections::HashSet<u64> = path_cells.iter().copied().collect();
+        verified &= set.contains(&src) && set.contains(&dst);
+        // Connectivity within the claimed cells.
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![src];
+        seen.insert(src);
+        while let Some(cur) = stack.pop() {
+            let (x, y) = (cur % cfg.width, cur / cfg.width);
+            for (dx, dy) in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
+                let nx = x as i64 + dx;
+                let ny = y as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= cfg.width as i64 || ny >= cfg.height as i64 {
+                    continue;
+                }
+                let n = ny as u64 * cfg.width + nx as u64;
+                if set.contains(&n) && seen.insert(n) {
+                    stack.push(n);
+                }
+            }
+        }
+        verified &= seen.contains(&dst);
+    }
+
+    RunOutcome {
+        benchmark: "labyrinth",
+        threads,
+        elapsed,
+        stats,
+        verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_paths_and_verifies() {
+        let cfg = Config::scaled(Scale::Test);
+        for threads in [1, 4] {
+            let out = run(&cfg, TxConfig::default(), threads);
+            assert!(out.verified, "threads={threads}");
+            assert!(out.stats.commits >= cfg.paths);
+        }
+    }
+
+    #[test]
+    fn no_redundant_barriers() {
+        // Paper Figure 8: labyrinth is the one program with nothing to
+        // elide.
+        let cfg = Config::scaled(Scale::Test);
+        let out = run(&cfg, TxConfig::runtime_tree_full(), 2);
+        assert!(out.verified);
+        assert_eq!(out.stats.all_accesses().elided(), 0);
+    }
+}

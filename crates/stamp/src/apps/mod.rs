@@ -1,0 +1,187 @@
+//! The ten STAMP benchmark configurations measured by the paper.
+//!
+//! Each app module follows STAMP's shape: a deterministic sequential setup
+//! phase, a timed parallel phase of transactions, and a sequential
+//! verification pass. [`Benchmark`] is the registry the experiment harness
+//! iterates over, in the row order of the paper's Tables 1 and 2.
+
+use std::time::{Duration, Instant};
+
+use stm::{StmRuntime, TxConfig, TxStats, WorkerCtx};
+
+pub mod bayes;
+pub mod genome;
+pub mod intruder;
+pub mod kmeans;
+pub mod labyrinth;
+pub mod ssca2;
+pub mod vacation;
+pub mod yada;
+
+/// Input-size scaling. The paper runs STAMP's full inputs on a 24-core
+/// machine; `Small` targets seconds-per-run on a laptop-class box, `Test`
+/// keeps CI fast.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    Test,
+    Small,
+    Full,
+}
+
+/// Result of one benchmark run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    pub benchmark: &'static str,
+    pub threads: usize,
+    /// Wall time of the parallel (transactional) phase only, like STAMP's
+    /// timer.
+    pub elapsed: Duration,
+    /// Merged statistics of all workers.
+    pub stats: TxStats,
+    /// Did the sequential consistency check pass?
+    pub verified: bool,
+}
+
+/// The ten configurations, in the paper's table order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    Bayes,
+    Genome,
+    Intruder,
+    KmeansHigh,
+    KmeansLow,
+    Labyrinth,
+    Ssca2,
+    VacationHigh,
+    VacationLow,
+    Yada,
+}
+
+impl Benchmark {
+    pub const ALL: [Benchmark; 10] = [
+        Benchmark::Bayes,
+        Benchmark::Genome,
+        Benchmark::Intruder,
+        Benchmark::KmeansHigh,
+        Benchmark::KmeansLow,
+        Benchmark::Labyrinth,
+        Benchmark::Ssca2,
+        Benchmark::VacationHigh,
+        Benchmark::VacationLow,
+        Benchmark::Yada,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Bayes => "bayes",
+            Benchmark::Genome => "genome",
+            Benchmark::Intruder => "intruder",
+            Benchmark::KmeansHigh => "kmeans high",
+            Benchmark::KmeansLow => "kmeans low",
+            Benchmark::Labyrinth => "labyrinth",
+            Benchmark::Ssca2 => "ssca2",
+            Benchmark::VacationHigh => "vacation high",
+            Benchmark::VacationLow => "vacation low",
+            Benchmark::Yada => "yada",
+        }
+    }
+
+    /// Run the benchmark under the given STM configuration.
+    pub fn run(self, scale: Scale, txcfg: TxConfig, threads: usize) -> RunOutcome {
+        match self {
+            Benchmark::Bayes => bayes::run(&bayes::Config::scaled(scale), txcfg, threads),
+            Benchmark::Genome => genome::run(&genome::Config::scaled(scale), txcfg, threads),
+            Benchmark::Intruder => intruder::run(&intruder::Config::scaled(scale), txcfg, threads),
+            Benchmark::KmeansHigh => {
+                kmeans::run(&kmeans::Config::scaled(scale, true), txcfg, threads)
+            }
+            Benchmark::KmeansLow => {
+                kmeans::run(&kmeans::Config::scaled(scale, false), txcfg, threads)
+            }
+            Benchmark::Labyrinth => {
+                labyrinth::run(&labyrinth::Config::scaled(scale), txcfg, threads)
+            }
+            Benchmark::Ssca2 => ssca2::run(&ssca2::Config::scaled(scale), txcfg, threads),
+            Benchmark::VacationHigh => {
+                vacation::run(&vacation::Config::scaled(scale, true), txcfg, threads)
+            }
+            Benchmark::VacationLow => {
+                vacation::run(&vacation::Config::scaled(scale, false), txcfg, threads)
+            }
+            Benchmark::Yada => yada::run(&yada::Config::scaled(scale), txcfg, threads),
+        }
+    }
+}
+
+/// Run `work(worker, thread_index)` on `threads` threads and return the wall
+/// time of the parallel section.
+pub(crate) fn run_parallel<F>(rt: &StmRuntime, threads: usize, work: F) -> Duration
+where
+    F: Fn(&mut WorkerCtx<'_>, usize) + Sync,
+{
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let work = &work;
+            s.spawn(move || {
+                let mut w = rt.spawn_worker();
+                work(&mut w, t);
+            });
+        }
+    });
+    start.elapsed()
+}
+
+/// Evenly split `total` work items over `threads`; returns `[start, end)`
+/// for thread `t`.
+pub(crate) fn chunk(total: u64, threads: usize, t: usize) -> (u64, u64) {
+    let per = total / threads as u64;
+    let rem = total % threads as u64;
+    let t = t as u64;
+    let start = t * per + t.min(rem);
+    let len = per + if t < rem { 1 } else { 0 };
+    (start, start + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_exactly() {
+        for total in [0u64, 1, 7, 100] {
+            for threads in [1usize, 2, 3, 8] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for t in 0..threads {
+                    let (s, e) = chunk(total, threads, t);
+                    assert_eq!(s, prev_end);
+                    prev_end = e;
+                    covered += e - s;
+                }
+                assert_eq!(covered, total, "total={total} threads={threads}");
+                assert_eq!(prev_end, total);
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper_rows() {
+        let names: Vec<_> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "bayes",
+                "genome",
+                "intruder",
+                "kmeans high",
+                "kmeans low",
+                "labyrinth",
+                "ssca2",
+                "vacation high",
+                "vacation low",
+                "yada"
+            ]
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! `ssca2` — graph kernel 1: parallel adjacency-structure construction
+//! (STAMP `ssca2`, from the Scalable Synthetic Compact Applications suite).
+//!
+//! Threads insert directed edges into per-node adjacency arrays with one
+//! tiny transaction per edge (read the degree counter, append, bump). The
+//! transactions touch only shared graph memory and perform **no**
+//! allocation, so — as the paper finds — there is nothing for capture
+//! analysis to elide and the abort rate is ~0 (Table 1's zero row).
+
+use stm::{Site, StmRuntime, TxConfig};
+use txmem::MemConfig;
+
+use crate::rng::SplitMix64;
+
+use super::{chunk, run_parallel, RunOutcome, Scale};
+
+static S_DEG_R: Site = Site::shared("ssca2.degree.read");
+static S_DEG_W: Site = Site::shared("ssca2.degree.write");
+static S_EDGE_W: Site = Site::shared("ssca2.edge.write");
+
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub nodes: u64,
+    pub edges: u64,
+    /// Per-node adjacency capacity (edges past it are counted as skipped).
+    pub max_degree: u64,
+    pub seed: u64,
+}
+
+impl Config {
+    pub fn scaled(scale: Scale) -> Config {
+        let (nodes, edges) = match scale {
+            Scale::Test => (256, 1024),
+            Scale::Small => (1 << 12, 1 << 14),
+            Scale::Full => (1 << 15, 1 << 17),
+        };
+        Config {
+            nodes,
+            edges,
+            max_degree: (edges / nodes) * 8 + 8,
+            seed: 0x55ca2,
+        }
+    }
+}
+
+pub fn run(cfg: &Config, txcfg: TxConfig, threads: usize) -> RunOutcome {
+    let stride = cfg.max_degree + 1; // [degree, e_0 .. e_{max-1}]
+    let mem = MemConfig {
+        max_threads: threads.max(1) + 2,
+        stack_words: 1 << 12,
+        heap_words: (cfg.nodes * stride + (1 << 14)) as usize,
+    };
+    let rt = StmRuntime::new(mem, txcfg);
+    let adj = rt.alloc_global(cfg.nodes * stride * 8);
+
+    // Edge list (R-MAT-ish skew: square the draw to bias toward low ids).
+    let mut edge_list = Vec::with_capacity(cfg.edges as usize);
+    {
+        let mut rng = SplitMix64::new(cfg.seed);
+        for _ in 0..cfg.edges {
+            let u = (rng.next_f64() * rng.next_f64() * cfg.nodes as f64) as u64 % cfg.nodes;
+            let v = rng.below(cfg.nodes);
+            edge_list.push((u, v));
+        }
+        let w = rt.spawn_worker();
+        for n in 0..cfg.nodes {
+            w.store(adj.word(n * stride), 0);
+        }
+    }
+    rt.reset_stats();
+
+    let skipped = std::sync::atomic::AtomicU64::new(0);
+    let edges_ref = &edge_list;
+    let elapsed = run_parallel(&rt, threads, |w, t| {
+        let (lo, hi) = chunk(cfg.edges, threads, t);
+        let mut my_skipped = 0;
+        for i in lo..hi {
+            let (u, v) = edges_ref[i as usize];
+            let inserted = w.txn(|tx| {
+                let deg_slot = adj.word(u * stride);
+                let deg = tx.read(&S_DEG_R, deg_slot)?;
+                if deg >= cfg.max_degree {
+                    return Ok(false);
+                }
+                tx.write(&S_EDGE_W, adj.word(u * stride + 1 + deg), v)?;
+                tx.write(&S_DEG_W, deg_slot, deg + 1)?;
+                Ok(true)
+            });
+            if !inserted {
+                my_skipped += 1;
+            }
+        }
+        skipped.fetch_add(my_skipped, std::sync::atomic::Ordering::Relaxed);
+    });
+
+    let stats = rt.collect_stats();
+    // Verify: every edge is either in an adjacency list or was skipped.
+    let w = rt.spawn_worker();
+    let total_deg: u64 = (0..cfg.nodes).map(|n| w.load(adj.word(n * stride))).sum();
+    let verified = total_deg + skipped.load(std::sync::atomic::Ordering::Relaxed) == cfg.edges
+        && (0..cfg.nodes).all(|n| w.load(adj.word(n * stride)) <= cfg.max_degree);
+
+    RunOutcome {
+        benchmark: "ssca2",
+        threads,
+        elapsed,
+        stats,
+        verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_verifies() {
+        let cfg = Config::scaled(Scale::Test);
+        for threads in [1, 4] {
+            let out = run(&cfg, TxConfig::default(), threads);
+            assert!(out.verified, "threads={threads}");
+            assert_eq!(out.stats.commits, cfg.edges);
+        }
+    }
+
+    #[test]
+    fn nothing_to_elide() {
+        let cfg = Config::scaled(Scale::Test);
+        let out = run(&cfg, TxConfig::runtime_tree_full(), 2);
+        assert!(out.verified);
+        assert_eq!(out.stats.all_accesses().elided(), 0);
+    }
+}

@@ -1,0 +1,414 @@
+//! `vacation` — the travel reservation system (STAMP's flagship benchmark,
+//! and the one where the paper sees its 14%/18% improvements).
+//!
+//! A manager keeps four red-black-tree tables: cars, flights, rooms (id →
+//! resource record) and customers (id → customer record with a reservation
+//! list). Client transactions are:
+//!
+//! * **make reservation** (`user_pct`%): query `queries_per_task` random
+//!   resources, then reserve the best available of each type for a customer
+//!   — creating the customer record (captured allocation) on first use and
+//!   appending reservation list nodes (captured allocations);
+//! * **delete customer**: release all of a customer's reservations and
+//!   remove the record;
+//! * **update tables**: add new resource records (captured allocations) or
+//!   retire idle ones.
+//!
+//! High vs. low contention follows STAMP's `-n/-q/-u` knobs: high queries a
+//! narrower id range with more queries per task.
+//!
+//! Verification: resource conservation — for every resource,
+//! `total == available + reservations held by customers`, plus red-black
+//! invariants on all four trees.
+
+use stm::{Site, StmRuntime, TxConfig, WorkerCtx};
+use txmem::{Addr, MemConfig};
+
+use crate::collections::{TxList, TxRbTree};
+use crate::rng::SplitMix64;
+
+use super::{chunk, run_parallel, RunOutcome, Scale};
+
+// Resource record: [total, avail, price]
+const R_TOTAL: u64 = 0;
+const R_AVAIL: u64 = 1;
+const R_PRICE: u64 = 2;
+const R_WORDS: u64 = 3;
+
+// Customer record: embedded reservation list handle (2 words: head, size).
+const C_WORDS: u64 = 2;
+
+static S_RES_R: Site = Site::shared("vacation.resource.read");
+static S_RES_W: Site = Site::shared("vacation.resource.write");
+static S_RES_INIT: Site = Site::captured_local("vacation.resource_init.write");
+static S_CUST_INIT: Site = Site::captured_local("vacation.customer_init.write");
+
+const NUM_TYPES: u64 = 3; // cars, flights, rooms
+
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub relations: u64,
+    pub tasks: u64,
+    pub queries_per_task: u64,
+    /// Percent of the id space queries span (STAMP `-q`; smaller = hotter).
+    pub query_range_pct: u64,
+    /// Percent of tasks that are reservations (STAMP `-u`).
+    pub user_pct: u64,
+    pub seed: u64,
+}
+
+impl Config {
+    pub fn scaled(scale: Scale, high_contention: bool) -> Config {
+        let (relations, tasks) = match scale {
+            Scale::Test => (128, 256),
+            Scale::Small => (1 << 12, 1 << 13),
+            Scale::Full => (1 << 16, 1 << 15),
+        };
+        if high_contention {
+            // STAMP vacation high: -n4 -q60 -u90
+            Config {
+                relations,
+                tasks,
+                queries_per_task: 4,
+                query_range_pct: 60,
+                user_pct: 90,
+                seed: 0x5ac,
+            }
+        } else {
+            // STAMP vacation low: -n2 -q90 -u98
+            Config {
+                relations,
+                tasks,
+                queries_per_task: 2,
+                query_range_pct: 90,
+                user_pct: 98,
+                seed: 0x5ac,
+            }
+        }
+    }
+}
+
+struct Manager {
+    tables: [TxRbTree; NUM_TYPES as usize],
+    customers: TxRbTree,
+}
+
+pub fn run(cfg: &Config, txcfg: TxConfig, threads: usize) -> RunOutcome {
+    let name = if cfg.user_pct >= 95 {
+        "vacation low"
+    } else {
+        "vacation high"
+    };
+    let mem = MemConfig {
+        max_threads: threads.max(1) + 2,
+        stack_words: 1 << 12,
+        heap_words: (1 << 20).max(cfg.relations as usize * 64 + cfg.tasks as usize * 16),
+    };
+    let rt = StmRuntime::new(mem, txcfg);
+    let mgr = Manager {
+        tables: [
+            TxRbTree::create(&rt),
+            TxRbTree::create(&rt),
+            TxRbTree::create(&rt),
+        ],
+        customers: TxRbTree::create(&rt),
+    };
+
+    // ---- setup: populate the relation tables (sequential, transactional
+    // like STAMP's manager_add* calls, but single-threaded) ----
+    {
+        let mut w = rt.spawn_worker();
+        let mut rng = SplitMix64::new(cfg.seed);
+        for t in 0..NUM_TYPES {
+            let table = mgr.tables[t as usize];
+            for id in 0..cfg.relations {
+                let total = 50 + rng.below(50);
+                let price = 50 + rng.below(450);
+                w.txn(|tx| {
+                    let rec = tx.alloc(R_WORDS * 8)?;
+                    tx.write(&S_RES_INIT, rec.word(R_TOTAL), total)?;
+                    tx.write(&S_RES_INIT, rec.word(R_AVAIL), total)?;
+                    tx.write(&S_RES_INIT, rec.word(R_PRICE), price)?;
+                    table.insert(tx, id, rec.raw())
+                });
+            }
+        }
+        w.flush_stats();
+    }
+    rt.reset_stats(); // measure only the parallel phase
+
+    let range = (cfg.relations * cfg.query_range_pct / 100).max(1);
+    let mgr_ref = &mgr;
+    let elapsed = run_parallel(&rt, threads, |w, t| {
+        let (lo, hi) = chunk(cfg.tasks, threads, t);
+        let mut rng = SplitMix64::new(cfg.seed ^ (0x1000 + t as u64));
+        for task in lo..hi {
+            let action = rng.below(100);
+            if action < cfg.user_pct {
+                make_reservation(w, mgr_ref, &mut rng, cfg, range, task);
+            } else if action < cfg.user_pct + (100 - cfg.user_pct) / 2 {
+                delete_customer(w, mgr_ref, &mut rng, cfg, range);
+            } else {
+                update_tables(w, mgr_ref, &mut rng, cfg, range);
+            }
+        }
+    });
+
+    let stats = rt.collect_stats();
+    let verified = verify(&rt, &mgr, cfg);
+    RunOutcome {
+        benchmark: name,
+        threads,
+        elapsed,
+        stats,
+        verified,
+    }
+}
+
+fn make_reservation(
+    w: &mut WorkerCtx<'_>,
+    mgr: &Manager,
+    rng: &mut SplitMix64,
+    cfg: &Config,
+    range: u64,
+    task: u64,
+) {
+    // Pre-draw the query ids (the transaction body must be idempotent
+    // across retries).
+    let queries: Vec<(usize, u64)> = (0..cfg.queries_per_task)
+        .map(|_| (rng.below(NUM_TYPES) as usize, rng.below(range)))
+        .collect();
+    let customer_id = rng.below(range);
+    w.txn(|tx| {
+        // Query phase: find the highest-priced available resource per type
+        // (STAMP reserves the "best" it saw).
+        let mut best: [Option<u64>; NUM_TYPES as usize] = [None; NUM_TYPES as usize];
+        let mut best_price: [u64; NUM_TYPES as usize] = [0; NUM_TYPES as usize];
+        for &(ty, id) in &queries {
+            if let Some(rec) = mgr.tables[ty].find(tx, id)? {
+                let rec = Addr::from_raw(rec);
+                let avail = tx.read(&S_RES_R, rec.word(R_AVAIL))?;
+                let price = tx.read(&S_RES_R, rec.word(R_PRICE))?;
+                if avail > 0 && price >= best_price[ty] {
+                    best[ty] = Some(id);
+                    best_price[ty] = price;
+                }
+            }
+        }
+        if best.iter().all(|b| b.is_none()) {
+            return Ok(()); // nothing to reserve
+        }
+        // Customer lookup; create on first reservation (captured record).
+        let cust = match mgr.customers.find(tx, customer_id)? {
+            Some(c) => Addr::from_raw(c),
+            None => {
+                let c = tx.alloc(C_WORDS * 8)?;
+                tx.write(&S_CUST_INIT, c, 0)?; // list head
+                tx.write(&S_CUST_INIT, c.word(1), 0)?; // list size
+                mgr.customers.insert(tx, customer_id, c.raw())?;
+                c
+            }
+        };
+        let reservations = TxList { handle: cust };
+        for ty in 0..NUM_TYPES as usize {
+            if let Some(id) = best[ty] {
+                let rec = Addr::from_raw(mgr.tables[ty].find(tx, id)?.expect("still present"));
+                let avail = tx.read(&S_RES_R, rec.word(R_AVAIL))?;
+                if avail == 0 {
+                    continue;
+                }
+                // Reservation key: unique per (type, id, task) so repeat
+                // bookings by the same customer are kept distinct.
+                let key = (ty as u64 * cfg.relations + id) * cfg.tasks + task;
+                if reservations.insert(tx, key, best_price[ty])? {
+                    tx.write(&S_RES_W, rec.word(R_AVAIL), avail - 1)?;
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+fn delete_customer(
+    w: &mut WorkerCtx<'_>,
+    mgr: &Manager,
+    rng: &mut SplitMix64,
+    cfg: &Config,
+    range: u64,
+) {
+    let customer_id = rng.below(range);
+    w.txn(|tx| {
+        let Some(cust) = mgr.customers.find(tx, customer_id)? else {
+            return Ok(());
+        };
+        let cust = Addr::from_raw(cust);
+        let reservations = TxList { handle: cust };
+        // Release every reservation back to its table. The resource record
+        // must still exist: update_tables only retires fully idle resources.
+        while let Some((key, _price)) = reservations.pop_front(tx)? {
+            let resource_key = key / cfg.tasks;
+            let ty = (resource_key / cfg.relations) as usize;
+            let id = resource_key % cfg.relations;
+            if let Some(rec) = mgr.tables[ty].find(tx, id)? {
+                let rec = Addr::from_raw(rec);
+                let avail = tx.read(&S_RES_R, rec.word(R_AVAIL))?;
+                tx.write(&S_RES_W, rec.word(R_AVAIL), avail + 1)?;
+            }
+        }
+        mgr.customers.remove(tx, customer_id)?;
+        tx.free(cust);
+        Ok(())
+    });
+}
+
+fn update_tables(
+    w: &mut WorkerCtx<'_>,
+    mgr: &Manager,
+    rng: &mut SplitMix64,
+    cfg: &Config,
+    range: u64,
+) {
+    let ops: Vec<(usize, u64, bool, u64, u64)> = (0..cfg.queries_per_task)
+        .map(|_| {
+            (
+                rng.below(NUM_TYPES) as usize,
+                rng.below(range),
+                rng.below(2) == 0,
+                50 + rng.below(50),
+                50 + rng.below(450),
+            )
+        })
+        .collect();
+    w.txn(|tx| {
+        for &(ty, id, add, total, price) in &ops {
+            let table = mgr.tables[ty];
+            if add {
+                match table.find(tx, id)? {
+                    Some(rec) => {
+                        // Existing resource: just refresh the price.
+                        let rec = Addr::from_raw(rec);
+                        tx.write(&S_RES_W, rec.word(R_PRICE), price)?;
+                    }
+                    None => {
+                        let rec = tx.alloc(R_WORDS * 8)?;
+                        tx.write(&S_RES_INIT, rec.word(R_TOTAL), total)?;
+                        tx.write(&S_RES_INIT, rec.word(R_AVAIL), total)?;
+                        tx.write(&S_RES_INIT, rec.word(R_PRICE), price)?;
+                        table.insert(tx, id, rec.raw())?;
+                    }
+                }
+            } else if let Some(rec) = table.find(tx, id)? {
+                // Retire only fully idle resources so conservation holds.
+                let rec = Addr::from_raw(rec);
+                let tot = tx.read(&S_RES_R, rec.word(R_TOTAL))?;
+                let avail = tx.read(&S_RES_R, rec.word(R_AVAIL))?;
+                if tot == avail {
+                    table.remove(tx, id)?;
+                    tx.free(rec);
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+fn verify(rt: &StmRuntime, mgr: &Manager, cfg: &Config) -> bool {
+    let w = rt.spawn_worker();
+    // Gather reservations per resource from all customers.
+    let mut reserved = std::collections::HashMap::<(usize, u64), u64>::new();
+    for (_cid, cust) in mgr.customers.seq_collect(&w) {
+        let list = TxList {
+            handle: Addr::from_raw(cust),
+        };
+        for (key, _price) in list.seq_collect(&w) {
+            let resource_key = key / cfg.tasks;
+            let ty = (resource_key / cfg.relations) as usize;
+            let id = resource_key % cfg.relations;
+            *reserved.entry((ty, id)).or_insert(0) += 1;
+        }
+    }
+    // Check conservation on every resource.
+    for ty in 0..NUM_TYPES as usize {
+        mgr.tables[ty].seq_check_invariants(&w);
+        for (id, rec) in mgr.tables[ty].seq_collect(&w) {
+            let rec = Addr::from_raw(rec);
+            let total = w.load(rec.word(R_TOTAL));
+            let avail = w.load(rec.word(R_AVAIL));
+            let held = reserved.remove(&(ty, id)).unwrap_or(0);
+            if total != avail + held {
+                eprintln!(
+                    "vacation verify: type {ty} id {id}: total {total} != avail {avail} + held {held}"
+                );
+                return false;
+            }
+        }
+    }
+    mgr.customers.seq_check_invariants(&w);
+    // Reservations pointing at removed resources would be a bug.
+    if !reserved.is_empty() {
+        eprintln!("vacation verify: reservations for missing resources: {reserved:?}");
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm::Mode;
+
+    #[test]
+    fn runs_and_verifies_single_thread() {
+        let cfg = Config::scaled(Scale::Test, true);
+        let out = run(&cfg, TxConfig::default(), 1);
+        assert!(out.verified);
+        assert!(out.stats.commits >= cfg.tasks);
+    }
+
+    #[test]
+    fn runs_and_verifies_multithreaded_all_modes() {
+        for mode in [
+            Mode::Baseline,
+            Mode::Compiler,
+            Mode::Runtime {
+                log: stm::LogKind::Tree,
+                scope: stm::CheckScope::FULL,
+            },
+            Mode::Runtime {
+                log: stm::LogKind::Array,
+                scope: stm::CheckScope::WRITES_HEAP,
+            },
+            Mode::Runtime {
+                log: stm::LogKind::Filter,
+                scope: stm::CheckScope::FULL,
+            },
+        ] {
+            let cfg = Config::scaled(Scale::Test, true);
+            let out = run(&cfg, TxConfig::with_mode(mode), 4);
+            assert!(out.verified, "verification failed under {mode:?}");
+        }
+    }
+
+    #[test]
+    fn capture_analysis_finds_elisions() {
+        let cfg = Config::scaled(Scale::Test, true);
+        let out = run(&cfg, TxConfig::runtime_tree_full(), 2);
+        assert!(out.verified);
+        let writes = out.stats.writes;
+        assert!(
+            writes.elided() as f64 / writes.total as f64 > 0.3,
+            "vacation should elide a large share of write barriers: {:?}",
+            writes
+        );
+    }
+
+    #[test]
+    fn low_contention_config_differs() {
+        let hi = Config::scaled(Scale::Test, true);
+        let lo = Config::scaled(Scale::Test, false);
+        assert!(hi.queries_per_task > lo.queries_per_task);
+        assert!(hi.query_range_pct < lo.query_range_pct);
+        let out = run(&lo, TxConfig::default(), 2);
+        assert!(out.verified);
+    }
+}

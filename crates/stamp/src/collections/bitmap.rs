@@ -1,0 +1,114 @@
+//! Transactional bitmap (STAMP `lib/bitmap.c`).
+
+use stm::{Site, StmRuntime, Tx, TxResult, WorkerCtx};
+use txmem::Addr;
+
+// Handle: [nbits, word_0, word_1, ...]
+const NBITS: u64 = 0;
+const WORDS0: u64 = 1;
+
+static S_BITS_R: Site = Site::shared("bitmap.read");
+static S_BITS_W: Site = Site::shared("bitmap.write");
+
+#[derive(Clone, Copy, Debug)]
+pub struct TxBitmap {
+    pub handle: Addr,
+}
+
+impl TxBitmap {
+    pub fn create(rt: &StmRuntime, nbits: u64) -> TxBitmap {
+        let words = nbits.div_ceil(64);
+        let handle = rt.alloc_global((WORDS0 + words) * 8);
+        rt.mem().store(handle.word(NBITS), nbits);
+        for i in 0..words {
+            rt.mem().store(handle.word(WORDS0 + i), 0);
+        }
+        TxBitmap { handle }
+    }
+
+    /// Set bit `i`; returns `true` if it was previously clear.
+    pub fn set(&self, tx: &mut Tx<'_, '_>, i: u64) -> TxResult<bool> {
+        let slot = self.handle.word(WORDS0 + i / 64);
+        let mask = 1u64 << (i % 64);
+        let w = tx.read(&S_BITS_R, slot)?;
+        if w & mask != 0 {
+            return Ok(false);
+        }
+        tx.write(&S_BITS_W, slot, w | mask)?;
+        Ok(true)
+    }
+
+    pub fn test(&self, tx: &mut Tx<'_, '_>, i: u64) -> TxResult<bool> {
+        let slot = self.handle.word(WORDS0 + i / 64);
+        Ok(tx.read(&S_BITS_R, slot)? & (1 << (i % 64)) != 0)
+    }
+
+    pub fn clear(&self, tx: &mut Tx<'_, '_>, i: u64) -> TxResult<()> {
+        let slot = self.handle.word(WORDS0 + i / 64);
+        let w = tx.read(&S_BITS_R, slot)?;
+        tx.write(&S_BITS_W, slot, w & !(1 << (i % 64)))
+    }
+
+    pub fn seq_count(&self, w: &WorkerCtx<'_>) -> u64 {
+        let nbits = w.load(self.handle.word(NBITS));
+        let words = nbits.div_ceil(64);
+        (0..words)
+            .map(|i| w.load(self.handle.word(WORDS0 + i)).count_ones() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm::{StmRuntime, TxConfig};
+    use txmem::MemConfig;
+
+    #[test]
+    fn set_test_clear() {
+        let rt = StmRuntime::new(MemConfig::small(), TxConfig::default());
+        let b = TxBitmap::create(&rt, 200);
+        let mut w = rt.spawn_worker();
+        assert!(w.txn(|tx| b.set(tx, 7)));
+        assert!(!w.txn(|tx| b.set(tx, 7)), "second set reports already-set");
+        assert!(w.txn(|tx| b.set(tx, 130)));
+        assert!(w.txn(|tx| b.test(tx, 7)));
+        assert!(!w.txn(|tx| b.test(tx, 8)));
+        assert_eq!(b.seq_count(&w), 2);
+        w.txn(|tx| b.clear(tx, 7));
+        assert_eq!(b.seq_count(&w), 1);
+    }
+
+    #[test]
+    fn concurrent_claims_are_unique() {
+        // Each bit may be claimed by exactly one thread (ssca2-style).
+        let rt = StmRuntime::new(MemConfig::small(), TxConfig::default());
+        let b = TxBitmap::create(&rt, 256);
+        let claims = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let rt = &rt;
+                let b = &b;
+                let claims = &claims;
+                s.spawn(move || {
+                    let mut w = rt.spawn_worker();
+                    let mut rng = crate::rng::SplitMix64::new(t + 10);
+                    let mut mine = 0;
+                    for _ in 0..300 {
+                        let bit = rng.below(256);
+                        if w.txn(|tx| b.set(tx, bit)) {
+                            mine += 1;
+                        }
+                    }
+                    claims.fetch_add(mine, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        let w = rt.spawn_worker();
+        assert_eq!(
+            claims.load(std::sync::atomic::Ordering::Relaxed),
+            b.seq_count(&w),
+            "every set bit claimed exactly once"
+        );
+    }
+}

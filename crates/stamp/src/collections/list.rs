@@ -1,0 +1,317 @@
+//! Sorted singly-linked list (STAMP `lib/list.c`), keyed by `u64`, unique
+//! keys, each node carrying one value word.
+
+use stm::{Site, StmRuntime, Tx, TxResult, WorkerCtx};
+use txmem::Addr;
+
+// Node layout (3 words): [next, key, val]
+const NEXT: u64 = 0;
+const KEY: u64 = 1;
+const VAL: u64 = 2;
+const NODE_WORDS: u64 = 3;
+
+// Handle layout (2 words): [head, size]
+const HEAD: u64 = 0;
+const SIZE: u64 = 1;
+
+// --- access sites ---------------------------------------------------------
+static S_HEAD_R: Site = Site::shared("list.head.read");
+static S_HEAD_W: Site = Site::shared("list.head.write");
+static S_NEXT_R: Site = Site::shared("list.next.read");
+static S_KEY_R: Site = Site::shared("list.key.read");
+static S_VAL_R: Site = Site::shared("list.val.read");
+static S_LINK_W: Site = Site::shared("list.link.write");
+static S_SIZE_R: Site = Site::shared("list.size.read");
+static S_SIZE_W: Site = Site::shared("list.size.write");
+// Initialization of a freshly allocated node: captured; visible to the
+// static analysis because the allocation happens in the same function.
+static S_INIT_W: Site = Site::captured_local("list.node_init.write");
+// Iterator cursor on the transaction-local stack (paper Fig. 1a); the
+// helper functions are small and inlined, so the compiler analysis sees the
+// address-of-local flow.
+static S_ITER_W: Site = Site::captured_local("list.iter.write");
+static S_ITER_R: Site = Site::captured_local("list.iter.read");
+
+/// A transactional sorted list. The handle is a 2-word header in simulated
+/// memory; `TxList` itself is a plain copyable reference.
+#[derive(Clone, Copy, Debug)]
+pub struct TxList {
+    pub handle: Addr,
+}
+
+impl TxList {
+    /// Create a list during (non-transactional) setup.
+    pub fn create(rt: &StmRuntime) -> TxList {
+        let handle = rt.alloc_global(2 * 8);
+        rt.mem().store(handle.word(HEAD), 0);
+        rt.mem().store(handle.word(SIZE), 0);
+        TxList { handle }
+    }
+
+    /// Create a list inside a transaction (the header is captured memory,
+    /// e.g. yada's per-cavity lists).
+    pub fn create_tx(tx: &mut Tx<'_, '_>) -> TxResult<TxList> {
+        let handle = tx.alloc(2 * 8)?;
+        tx.write(&S_INIT_W, handle.word(HEAD), 0)?;
+        tx.write(&S_INIT_W, handle.word(SIZE), 0)?;
+        Ok(TxList { handle })
+    }
+
+    /// Insert `(key, val)`; returns `false` if the key already exists.
+    pub fn insert(&self, tx: &mut Tx<'_, '_>, key: u64, val: u64) -> TxResult<bool> {
+        // Find predecessor "next-field" address.
+        let mut prev_next = self.handle.word(HEAD);
+        let mut cur = tx.read_addr(&S_HEAD_R, prev_next)?;
+        while !cur.is_null() {
+            let k = tx.read(&S_KEY_R, cur.word(KEY))?;
+            if k >= key {
+                if k == key {
+                    return Ok(false);
+                }
+                break;
+            }
+            prev_next = cur.word(NEXT);
+            cur = tx.read_addr(&S_NEXT_R, prev_next)?;
+        }
+        let node = tx.alloc(NODE_WORDS * 8)?;
+        tx.write_addr(&S_INIT_W, node.word(NEXT), cur)?;
+        tx.write(&S_INIT_W, node.word(KEY), key)?;
+        tx.write(&S_INIT_W, node.word(VAL), val)?;
+        tx.write_addr(&S_LINK_W, prev_next, node)?;
+        let sz = tx.read(&S_SIZE_R, self.handle.word(SIZE))?;
+        tx.write(&S_SIZE_W, self.handle.word(SIZE), sz + 1)?;
+        Ok(true)
+    }
+
+    /// Remove `key`; returns its value if present. The node's memory is
+    /// freed transactionally (deferred to commit for shared nodes).
+    pub fn remove(&self, tx: &mut Tx<'_, '_>, key: u64) -> TxResult<Option<u64>> {
+        let mut prev_next = self.handle.word(HEAD);
+        let mut cur = tx.read_addr(&S_HEAD_R, prev_next)?;
+        while !cur.is_null() {
+            let k = tx.read(&S_KEY_R, cur.word(KEY))?;
+            if k == key {
+                let val = tx.read(&S_VAL_R, cur.word(VAL))?;
+                let next = tx.read_addr(&S_NEXT_R, cur.word(NEXT))?;
+                tx.write_addr(&S_LINK_W, prev_next, next)?;
+                let sz = tx.read(&S_SIZE_R, self.handle.word(SIZE))?;
+                tx.write(&S_SIZE_W, self.handle.word(SIZE), sz - 1)?;
+                tx.free(cur);
+                return Ok(Some(val));
+            }
+            if k > key {
+                return Ok(None);
+            }
+            prev_next = cur.word(NEXT);
+            cur = tx.read_addr(&S_NEXT_R, prev_next)?;
+        }
+        Ok(None)
+    }
+
+    /// Look up `key`.
+    pub fn find(&self, tx: &mut Tx<'_, '_>, key: u64) -> TxResult<Option<u64>> {
+        let mut cur = tx.read_addr(&S_HEAD_R, self.handle.word(HEAD))?;
+        while !cur.is_null() {
+            let k = tx.read(&S_KEY_R, cur.word(KEY))?;
+            if k == key {
+                return Ok(Some(tx.read(&S_VAL_R, cur.word(VAL))?));
+            }
+            if k > key {
+                return Ok(None);
+            }
+            cur = tx.read_addr(&S_NEXT_R, cur.word(NEXT))?;
+        }
+        Ok(None)
+    }
+
+    /// Remove and return the smallest-key entry.
+    pub fn pop_front(&self, tx: &mut Tx<'_, '_>) -> TxResult<Option<(u64, u64)>> {
+        let head = tx.read_addr(&S_HEAD_R, self.handle.word(HEAD))?;
+        if head.is_null() {
+            return Ok(None);
+        }
+        let key = tx.read(&S_KEY_R, head.word(KEY))?;
+        let val = tx.read(&S_VAL_R, head.word(VAL))?;
+        let next = tx.read_addr(&S_NEXT_R, head.word(NEXT))?;
+        tx.write_addr(&S_HEAD_W, self.handle.word(HEAD), next)?;
+        let sz = tx.read(&S_SIZE_R, self.handle.word(SIZE))?;
+        tx.write(&S_SIZE_W, self.handle.word(SIZE), sz - 1)?;
+        tx.free(head);
+        Ok(Some((key, val)))
+    }
+
+    /// Transactional length.
+    pub fn len(&self, tx: &mut Tx<'_, '_>) -> TxResult<u64> {
+        tx.read(&S_SIZE_R, self.handle.word(SIZE))
+    }
+
+    // --- sequential (non-transactional) helpers for setup & verification --
+
+    pub fn seq_len(&self, w: &WorkerCtx<'_>) -> u64 {
+        w.load(self.handle.word(SIZE))
+    }
+
+    /// Collect all `(key, val)` pairs; verification only.
+    pub fn seq_collect(&self, w: &WorkerCtx<'_>) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cur = w.load_addr(self.handle.word(HEAD));
+        while !cur.is_null() {
+            out.push((w.load(cur.word(KEY)), w.load(cur.word(VAL))));
+            cur = w.load_addr(cur.word(NEXT));
+        }
+        out
+    }
+}
+
+/// Paper Figure 1(a): a list iterator allocated on the transaction-local
+/// stack. `reset` pushes a one-word frame holding the cursor; every
+/// `has_next`/`next` reads and writes that captured stack word.
+pub struct ListIter {
+    frame: Addr,
+}
+
+impl ListIter {
+    /// `TMLIST_ITER_RESET(&it, list)`.
+    pub fn reset(tx: &mut Tx<'_, '_>, list: &TxList) -> TxResult<ListIter> {
+        let frame = tx.stack_push(1);
+        let head = tx.read_addr(&S_HEAD_R, list.handle.word(HEAD))?;
+        tx.write_addr(&S_ITER_W, frame, head)?;
+        Ok(ListIter { frame })
+    }
+
+    /// `TMLIST_ITER_HASNEXT(&it)`.
+    pub fn has_next(&self, tx: &mut Tx<'_, '_>) -> TxResult<bool> {
+        Ok(!tx.read_addr(&S_ITER_R, self.frame)?.is_null())
+    }
+
+    /// `TMLIST_ITER_NEXT(&it)` — returns `(key, val)` and advances.
+    pub fn next(&self, tx: &mut Tx<'_, '_>) -> TxResult<(u64, u64)> {
+        let cur = tx.read_addr(&S_ITER_R, self.frame)?;
+        debug_assert!(!cur.is_null(), "iterator past end");
+        let key = tx.read(&S_KEY_R, cur.word(KEY))?;
+        let val = tx.read(&S_VAL_R, cur.word(VAL))?;
+        let next = tx.read_addr(&S_NEXT_R, cur.word(NEXT))?;
+        tx.write_addr(&S_ITER_W, self.frame, next)?;
+        Ok((key, val))
+    }
+
+    /// Pop the iterator's stack frame (must pair with `reset`).
+    pub fn dispose(self, tx: &mut Tx<'_, '_>) {
+        tx.stack_pop(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm::{StmRuntime, TxConfig};
+    use txmem::MemConfig;
+
+    fn rt() -> StmRuntime {
+        StmRuntime::new(MemConfig::small(), TxConfig::runtime_tree_full())
+    }
+
+    #[test]
+    fn insert_find_remove_roundtrip() {
+        let rt = rt();
+        let list = TxList::create(&rt);
+        let mut w = rt.spawn_worker();
+        for k in [5u64, 1, 9, 3, 7] {
+            assert!(w.txn(|tx| list.insert(tx, k, k * 10)));
+        }
+        assert!(!w.txn(|tx| list.insert(tx, 5, 0)), "duplicate must fail");
+        assert_eq!(w.txn(|tx| list.find(tx, 7)), Some(70));
+        assert_eq!(w.txn(|tx| list.find(tx, 8)), None);
+        assert_eq!(w.txn(|tx| list.remove(tx, 3)), Some(30));
+        assert_eq!(w.txn(|tx| list.remove(tx, 3)), None);
+        assert_eq!(list.seq_len(&w), 4);
+        let all = list.seq_collect(&w);
+        assert_eq!(all, vec![(1, 10), (5, 50), (7, 70), (9, 90)], "sorted");
+    }
+
+    #[test]
+    fn pop_front_drains_in_order() {
+        let rt = rt();
+        let list = TxList::create(&rt);
+        let mut w = rt.spawn_worker();
+        for k in [4u64, 2, 6] {
+            w.txn(|tx| list.insert(tx, k, 0));
+        }
+        assert_eq!(w.txn(|tx| list.pop_front(tx)), Some((2, 0)));
+        assert_eq!(w.txn(|tx| list.pop_front(tx)), Some((4, 0)));
+        assert_eq!(w.txn(|tx| list.pop_front(tx)), Some((6, 0)));
+        assert_eq!(w.txn(|tx| list.pop_front(tx)), None);
+    }
+
+    #[test]
+    fn iterator_walks_whole_list_with_stack_capture() {
+        let rt = rt();
+        let list = TxList::create(&rt);
+        let mut w = rt.spawn_worker();
+        for k in 0..10u64 {
+            w.txn(|tx| list.insert(tx, k, k));
+        }
+        let sum = w.txn(|tx| {
+            let it = ListIter::reset(tx, &list)?;
+            let mut sum = 0;
+            while it.has_next(tx)? {
+                let (k, _) = it.next(tx)?;
+                sum += k;
+            }
+            it.dispose(tx);
+            Ok(sum)
+        });
+        assert_eq!(sum, 45);
+        assert!(
+            w.stats.writes.elided_stack + w.stats.reads.elided_stack > 10,
+            "iterator accesses must hit the stack capture check"
+        );
+    }
+
+    #[test]
+    fn node_init_writes_are_elided() {
+        let rt = rt();
+        let list = TxList::create(&rt);
+        let mut w = rt.spawn_worker();
+        w.txn(|tx| list.insert(tx, 1, 2));
+        assert_eq!(
+            w.stats.writes.elided_heap, 3,
+            "next/key/val init stores are captured"
+        );
+    }
+
+    #[test]
+    fn insert_rolls_back_with_transaction() {
+        let rt = rt();
+        let list = TxList::create(&rt);
+        let mut w = rt.spawn_worker();
+        let r: Result<(), u64> = w.txn_result(|tx| {
+            list.insert(tx, 1, 1)?;
+            Err(stm::Abort::User(0))
+        });
+        assert!(r.is_err());
+        assert_eq!(list.seq_len(&w), 0);
+        assert!(list.seq_collect(&w).is_empty());
+    }
+
+    #[test]
+    fn concurrent_inserts_disjoint_keys() {
+        let rt = StmRuntime::new(MemConfig::small(), TxConfig::runtime_tree_full());
+        let list = TxList::create(&rt);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let rt = &rt;
+                s.spawn(move || {
+                    let mut w = rt.spawn_worker();
+                    for i in 0..50u64 {
+                        w.txn(|tx| list.insert(tx, t * 1000 + i, t));
+                    }
+                });
+            }
+        });
+        let w = rt.spawn_worker();
+        assert_eq!(list.seq_len(&w), 200);
+        let all = list.seq_collect(&w);
+        assert!(all.windows(2).all(|p| p[0].0 < p[1].0), "sorted unique");
+    }
+}

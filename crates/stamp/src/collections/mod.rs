@@ -1,0 +1,33 @@
+//! Transactional data structures on the simulated heap — the port of
+//! STAMP's `lib/` directory.
+//!
+//! Every structure stores its nodes in simulated memory (`txmem::Addr` plus
+//! explicit field offsets, exactly like the C structs of STAMP) and routes
+//! every access through the STM barriers with a static [`stm::Site`]
+//! describing the access:
+//!
+//! * node *initialization* stores right after a transactional allocation are
+//!   `Site::captured_local` — runtime capture analysis elides them, and the
+//!   paper's compiler analysis proves them captured (allocation and access
+//!   in the same function);
+//! * *traversal* reads and *link-update* writes touch shared memory and are
+//!   `Site::shared` (manually instrumented in the original STAMP —
+//!   "required" in Figure 8's terms);
+//! * the list iterator lives in a transaction-local *stack* frame (paper
+//!   Figure 1(a)).
+
+mod bitmap;
+mod hashtable;
+mod list;
+mod pqueue;
+mod queue;
+mod rbtree;
+mod vector;
+
+pub use bitmap::TxBitmap;
+pub use hashtable::TxHashtable;
+pub use list::{ListIter, TxList};
+pub use pqueue::TxHeapQueue;
+pub use queue::TxQueue;
+pub use rbtree::TxRbTree;
+pub use vector::TxVector;

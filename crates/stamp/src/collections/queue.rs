@@ -1,0 +1,217 @@
+//! Transactional growable circular queue (STAMP `lib/queue.c`).
+
+use stm::{Site, StmRuntime, Tx, TxResult, WorkerCtx};
+use txmem::Addr;
+
+// Handle: [capacity, head, tail, data_ptr]
+const CAP: u64 = 0;
+const HEAD: u64 = 1;
+const TAIL: u64 = 2;
+const DATA: u64 = 3;
+
+static S_META_R: Site = Site::shared("queue.meta.read");
+static S_META_W: Site = Site::shared("queue.meta.write");
+static S_DATA_R: Site = Site::shared("queue.data.read");
+static S_DATA_W: Site = Site::shared("queue.data.write");
+// Copying into a freshly allocated (captured) backing array during grow.
+static S_GROW_W: Site = Site::captured_local("queue.grow.write");
+
+#[derive(Clone, Copy, Debug)]
+pub struct TxQueue {
+    pub handle: Addr,
+}
+
+impl TxQueue {
+    pub fn create(rt: &StmRuntime, capacity: u64) -> TxQueue {
+        let capacity = capacity.max(2);
+        let handle = rt.alloc_global(4 * 8);
+        let data = rt.alloc_global(capacity * 8);
+        rt.mem().store(handle.word(CAP), capacity);
+        rt.mem().store(handle.word(HEAD), 0);
+        rt.mem().store(handle.word(TAIL), 0);
+        rt.mem().store(handle.word(DATA), data.raw());
+        TxQueue { handle }
+    }
+
+    /// Push to the tail, growing the backing array when full.
+    pub fn push(&self, tx: &mut Tx<'_, '_>, val: u64) -> TxResult<()> {
+        let cap = tx.read(&S_META_R, self.handle.word(CAP))?;
+        let head = tx.read(&S_META_R, self.handle.word(HEAD))?;
+        let tail = tx.read(&S_META_R, self.handle.word(TAIL))?;
+        let data = tx.read_addr(&S_META_R, self.handle.word(DATA))?;
+        if (tail + 1) % cap == head {
+            // Grow: the new array is captured, so the copy-out writes are
+            // elidable (and the old array is freed transactionally).
+            let new_cap = cap * 2;
+            let new_data = tx.alloc(new_cap * 8)?;
+            let mut n = 0u64;
+            let mut i = head;
+            while i != tail {
+                let v = tx.read(&S_DATA_R, data.word(i))?;
+                tx.write(&S_GROW_W, new_data.word(n), v)?;
+                n += 1;
+                i = (i + 1) % cap;
+            }
+            tx.write(&S_GROW_W, new_data.word(n), val)?;
+            n += 1;
+            tx.free(data);
+            tx.write(&S_META_W, self.handle.word(CAP), new_cap)?;
+            tx.write(&S_META_W, self.handle.word(HEAD), 0)?;
+            tx.write(&S_META_W, self.handle.word(TAIL), n)?;
+            tx.write_addr(&S_META_W, self.handle.word(DATA), new_data)?;
+            return Ok(());
+        }
+        tx.write(&S_DATA_W, data.word(tail), val)?;
+        tx.write(&S_META_W, self.handle.word(TAIL), (tail + 1) % cap)?;
+        Ok(())
+    }
+
+    /// Pop from the head.
+    pub fn pop(&self, tx: &mut Tx<'_, '_>) -> TxResult<Option<u64>> {
+        let head = tx.read(&S_META_R, self.handle.word(HEAD))?;
+        let tail = tx.read(&S_META_R, self.handle.word(TAIL))?;
+        if head == tail {
+            return Ok(None);
+        }
+        let cap = tx.read(&S_META_R, self.handle.word(CAP))?;
+        let data = tx.read_addr(&S_META_R, self.handle.word(DATA))?;
+        let val = tx.read(&S_DATA_R, data.word(head))?;
+        tx.write(&S_META_W, self.handle.word(HEAD), (head + 1) % cap)?;
+        Ok(Some(val))
+    }
+
+    pub fn is_empty(&self, tx: &mut Tx<'_, '_>) -> TxResult<bool> {
+        let head = tx.read(&S_META_R, self.handle.word(HEAD))?;
+        let tail = tx.read(&S_META_R, self.handle.word(TAIL))?;
+        Ok(head == tail)
+    }
+
+    pub fn seq_len(&self, w: &WorkerCtx<'_>) -> u64 {
+        let cap = w.load(self.handle.word(CAP));
+        let head = w.load(self.handle.word(HEAD));
+        let tail = w.load(self.handle.word(TAIL));
+        (tail + cap - head) % cap
+    }
+
+    /// Non-transactional push for building work queues during setup.
+    pub fn seq_push(&self, w: &WorkerCtx<'_>, val: u64) {
+        let cap = w.load(self.handle.word(CAP));
+        let head = w.load(self.handle.word(HEAD));
+        let tail = w.load(self.handle.word(TAIL));
+        assert!((tail + 1) % cap != head, "seq_push into full queue (size for setup)");
+        let data = w.load_addr(self.handle.word(DATA));
+        w.store(data.word(tail), val);
+        w.store(self.handle.word(TAIL), (tail + 1) % cap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm::{StmRuntime, TxConfig};
+    use txmem::MemConfig;
+
+    fn rt() -> StmRuntime {
+        StmRuntime::new(MemConfig::small(), TxConfig::runtime_tree_full())
+    }
+
+    #[test]
+    fn fifo_order() {
+        let rt = rt();
+        let q = TxQueue::create(&rt, 4);
+        let mut w = rt.spawn_worker();
+        for v in 1..=3u64 {
+            w.txn(|tx| q.push(tx, v));
+        }
+        assert_eq!(w.txn(|tx| q.pop(tx)), Some(1));
+        assert_eq!(w.txn(|tx| q.pop(tx)), Some(2));
+        assert_eq!(w.txn(|tx| q.pop(tx)), Some(3));
+        assert_eq!(w.txn(|tx| q.pop(tx)), None);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let rt = rt();
+        let q = TxQueue::create(&rt, 2);
+        let mut w = rt.spawn_worker();
+        for v in 0..100u64 {
+            w.txn(|tx| q.push(tx, v));
+        }
+        assert_eq!(q.seq_len(&w), 100);
+        for v in 0..100u64 {
+            assert_eq!(w.txn(|tx| q.pop(tx)), Some(v));
+        }
+        assert!(w.txn(|tx| q.is_empty(tx)));
+    }
+
+    #[test]
+    fn wraparound_works() {
+        let rt = rt();
+        let q = TxQueue::create(&rt, 4);
+        let mut w = rt.spawn_worker();
+        for round in 0..10u64 {
+            w.txn(|tx| q.push(tx, round));
+            w.txn(|tx| q.push(tx, round + 100));
+            assert_eq!(w.txn(|tx| q.pop(tx)), Some(round));
+            assert_eq!(w.txn(|tx| q.pop(tx)), Some(round + 100));
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_conserve_items() {
+        let rt = rt();
+        let q = TxQueue::create(&rt, 8);
+        let produced: u64 = 4 * 100;
+        let popped = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                let rt = &rt;
+                s.spawn(move || {
+                    let mut w = rt.spawn_worker();
+                    for i in 0..200u64 {
+                        w.txn(|tx| q.push(tx, t * 1000 + i));
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let rt = &rt;
+                let popped = &popped;
+                s.spawn(move || {
+                    let mut w = rt.spawn_worker();
+                    let mut got = 0;
+                    let mut dry = 0;
+                    while dry < 200 {
+                        match w.txn(|tx| q.pop(tx)) {
+                            Some(_) => {
+                                got += 1;
+                                dry = 0;
+                            }
+                            None => {
+                                dry += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    popped.fetch_add(got, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        let w = rt.spawn_worker();
+        let remaining = q.seq_len(&w);
+        assert_eq!(
+            popped.load(std::sync::atomic::Ordering::Relaxed) + remaining,
+            produced
+        );
+    }
+
+    #[test]
+    fn seq_push_builds_work_queue() {
+        let rt = rt();
+        let q = TxQueue::create(&rt, 16);
+        let w = rt.spawn_worker();
+        for v in 0..10u64 {
+            q.seq_push(&w, v);
+        }
+        assert_eq!(q.seq_len(&w), 10);
+    }
+}

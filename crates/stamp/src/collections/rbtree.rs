@@ -1,0 +1,647 @@
+//! Transactional red-black tree (STAMP `lib/rbtree.c`, used by vacation's
+//! relation tables), mapping `u64` keys to one value word.
+//!
+//! Node layout (6 words): `[key, val, parent, left, right, color]`.
+//! `NULL` doubles as the black nil sentinel (CLRS-style, with explicit
+//! parent tracking through deletion fix-up).
+
+use stm::{Site, StmRuntime, Tx, TxResult, WorkerCtx};
+use txmem::{Addr, NULL};
+
+const KEY: u64 = 0;
+const VAL: u64 = 1;
+const PARENT: u64 = 2;
+const LEFT: u64 = 3;
+const RIGHT: u64 = 4;
+const COLOR: u64 = 5;
+const NODE_WORDS: u64 = 6;
+
+const RED: u64 = 1;
+const BLACK: u64 = 0;
+
+// Handle: [root, size]
+const ROOT: u64 = 0;
+const SIZE: u64 = 1;
+
+static S_NODE_R: Site = Site::shared("rbtree.node.read");
+static S_NODE_W: Site = Site::shared("rbtree.node.write");
+static S_ROOT_R: Site = Site::shared("rbtree.root.read");
+static S_ROOT_W: Site = Site::shared("rbtree.root.write");
+static S_SIZE_R: Site = Site::shared("rbtree.size.read");
+static S_SIZE_W: Site = Site::shared("rbtree.size.write");
+static S_INIT_W: Site = Site::captured_local("rbtree.node_init.write");
+
+/// A transactional red-black tree handle.
+#[derive(Clone, Copy, Debug)]
+pub struct TxRbTree {
+    pub handle: Addr,
+}
+
+impl TxRbTree {
+    pub fn create(rt: &StmRuntime) -> TxRbTree {
+        let handle = rt.alloc_global(2 * 8);
+        rt.mem().store(handle.word(ROOT), 0);
+        rt.mem().store(handle.word(SIZE), 0);
+        TxRbTree { handle }
+    }
+
+    // -- tiny field accessors (every one an instrumented site) -------------
+
+    fn root(&self, tx: &mut Tx<'_, '_>) -> TxResult<Addr> {
+        tx.read_addr(&S_ROOT_R, self.handle.word(ROOT))
+    }
+
+    fn set_root(&self, tx: &mut Tx<'_, '_>, n: Addr) -> TxResult<()> {
+        tx.write_addr(&S_ROOT_W, self.handle.word(ROOT), n)
+    }
+
+    fn f(tx: &mut Tx<'_, '_>, n: Addr, field: u64) -> TxResult<Addr> {
+        tx.read_addr(&S_NODE_R, n.word(field))
+    }
+
+    fn set_f(tx: &mut Tx<'_, '_>, n: Addr, field: u64, v: Addr) -> TxResult<()> {
+        tx.write_addr(&S_NODE_W, n.word(field), v)
+    }
+
+    fn color(tx: &mut Tx<'_, '_>, n: Addr) -> TxResult<u64> {
+        if n.is_null() {
+            Ok(BLACK) // nil is black
+        } else {
+            tx.read(&S_NODE_R, n.word(COLOR))
+        }
+    }
+
+    fn set_color(tx: &mut Tx<'_, '_>, n: Addr, c: u64) -> TxResult<()> {
+        debug_assert!(!n.is_null());
+        tx.write(&S_NODE_W, n.word(COLOR), c)
+    }
+
+    fn bump_size(&self, tx: &mut Tx<'_, '_>, delta: i64) -> TxResult<()> {
+        let sz = tx.read(&S_SIZE_R, self.handle.word(SIZE))?;
+        tx.write(&S_SIZE_W, self.handle.word(SIZE), sz.wrapping_add(delta as u64))
+    }
+
+    // -- rotations ----------------------------------------------------------
+
+    fn rotate_left(&self, tx: &mut Tx<'_, '_>, x: Addr) -> TxResult<()> {
+        let y = Self::f(tx, x, RIGHT)?;
+        let yl = Self::f(tx, y, LEFT)?;
+        Self::set_f(tx, x, RIGHT, yl)?;
+        if !yl.is_null() {
+            Self::set_f(tx, yl, PARENT, x)?;
+        }
+        let xp = Self::f(tx, x, PARENT)?;
+        Self::set_f(tx, y, PARENT, xp)?;
+        if xp.is_null() {
+            self.set_root(tx, y)?;
+        } else if Self::f(tx, xp, LEFT)? == x {
+            Self::set_f(tx, xp, LEFT, y)?;
+        } else {
+            Self::set_f(tx, xp, RIGHT, y)?;
+        }
+        Self::set_f(tx, y, LEFT, x)?;
+        Self::set_f(tx, x, PARENT, y)
+    }
+
+    fn rotate_right(&self, tx: &mut Tx<'_, '_>, x: Addr) -> TxResult<()> {
+        let y = Self::f(tx, x, LEFT)?;
+        let yr = Self::f(tx, y, RIGHT)?;
+        Self::set_f(tx, x, LEFT, yr)?;
+        if !yr.is_null() {
+            Self::set_f(tx, yr, PARENT, x)?;
+        }
+        let xp = Self::f(tx, x, PARENT)?;
+        Self::set_f(tx, y, PARENT, xp)?;
+        if xp.is_null() {
+            self.set_root(tx, y)?;
+        } else if Self::f(tx, xp, RIGHT)? == x {
+            Self::set_f(tx, xp, RIGHT, y)?;
+        } else {
+            Self::set_f(tx, xp, LEFT, y)?;
+        }
+        Self::set_f(tx, y, RIGHT, x)?;
+        Self::set_f(tx, x, PARENT, y)
+    }
+
+    // -- lookup -------------------------------------------------------------
+
+    fn find_node(&self, tx: &mut Tx<'_, '_>, key: u64) -> TxResult<Addr> {
+        let mut cur = self.root(tx)?;
+        while !cur.is_null() {
+            let k = tx.read(&S_NODE_R, cur.word(KEY))?;
+            if key == k {
+                return Ok(cur);
+            }
+            cur = Self::f(tx, cur, if key < k { LEFT } else { RIGHT })?;
+        }
+        Ok(NULL)
+    }
+
+    /// Look up `key`, returning its value word.
+    pub fn find(&self, tx: &mut Tx<'_, '_>, key: u64) -> TxResult<Option<u64>> {
+        let n = self.find_node(tx, key)?;
+        if n.is_null() {
+            Ok(None)
+        } else {
+            Ok(Some(tx.read(&S_NODE_R, n.word(VAL))?))
+        }
+    }
+
+    /// Overwrite the value of an existing key; `false` if absent.
+    pub fn update(&self, tx: &mut Tx<'_, '_>, key: u64, val: u64) -> TxResult<bool> {
+        let n = self.find_node(tx, key)?;
+        if n.is_null() {
+            Ok(false)
+        } else {
+            tx.write(&S_NODE_W, n.word(VAL), val)?;
+            Ok(true)
+        }
+    }
+
+    /// Smallest key `>= key` (range scans in vacation's update task).
+    pub fn find_at_least(&self, tx: &mut Tx<'_, '_>, key: u64) -> TxResult<Option<(u64, u64)>> {
+        let mut cur = self.root(tx)?;
+        let mut best = NULL;
+        while !cur.is_null() {
+            let k = tx.read(&S_NODE_R, cur.word(KEY))?;
+            if k == key {
+                best = cur;
+                break;
+            }
+            if k > key {
+                best = cur;
+                cur = Self::f(tx, cur, LEFT)?;
+            } else {
+                cur = Self::f(tx, cur, RIGHT)?;
+            }
+        }
+        if best.is_null() {
+            Ok(None)
+        } else {
+            Ok(Some((
+                tx.read(&S_NODE_R, best.word(KEY))?,
+                tx.read(&S_NODE_R, best.word(VAL))?,
+            )))
+        }
+    }
+
+    // -- insertion ----------------------------------------------------------
+
+    /// Insert `(key, val)`; `false` if the key exists.
+    pub fn insert(&self, tx: &mut Tx<'_, '_>, key: u64, val: u64) -> TxResult<bool> {
+        let mut parent = NULL;
+        let mut cur = self.root(tx)?;
+        let mut went_left = false;
+        while !cur.is_null() {
+            let k = tx.read(&S_NODE_R, cur.word(KEY))?;
+            if k == key {
+                return Ok(false);
+            }
+            parent = cur;
+            went_left = key < k;
+            cur = Self::f(tx, cur, if went_left { LEFT } else { RIGHT })?;
+        }
+        let z = tx.alloc(NODE_WORDS * 8)?;
+        tx.write(&S_INIT_W, z.word(KEY), key)?;
+        tx.write(&S_INIT_W, z.word(VAL), val)?;
+        tx.write_addr(&S_INIT_W, z.word(PARENT), parent)?;
+        tx.write_addr(&S_INIT_W, z.word(LEFT), NULL)?;
+        tx.write_addr(&S_INIT_W, z.word(RIGHT), NULL)?;
+        tx.write(&S_INIT_W, z.word(COLOR), RED)?;
+        if parent.is_null() {
+            self.set_root(tx, z)?;
+        } else if went_left {
+            Self::set_f(tx, parent, LEFT, z)?;
+        } else {
+            Self::set_f(tx, parent, RIGHT, z)?;
+        }
+        self.insert_fixup(tx, z)?;
+        self.bump_size(tx, 1)?;
+        Ok(true)
+    }
+
+    fn insert_fixup(&self, tx: &mut Tx<'_, '_>, mut z: Addr) -> TxResult<()> {
+        loop {
+            let zp = Self::f(tx, z, PARENT)?;
+            if zp.is_null() || Self::color(tx, zp)? == BLACK {
+                break;
+            }
+            let zpp = Self::f(tx, zp, PARENT)?; // grandparent exists: zp is red, root is black
+            if Self::f(tx, zpp, LEFT)? == zp {
+                let uncle = Self::f(tx, zpp, RIGHT)?;
+                if Self::color(tx, uncle)? == RED {
+                    Self::set_color(tx, zp, BLACK)?;
+                    Self::set_color(tx, uncle, BLACK)?;
+                    Self::set_color(tx, zpp, RED)?;
+                    z = zpp;
+                } else {
+                    if Self::f(tx, zp, RIGHT)? == z {
+                        z = zp;
+                        self.rotate_left(tx, z)?;
+                    }
+                    let zp = Self::f(tx, z, PARENT)?;
+                    let zpp = Self::f(tx, zp, PARENT)?;
+                    Self::set_color(tx, zp, BLACK)?;
+                    Self::set_color(tx, zpp, RED)?;
+                    self.rotate_right(tx, zpp)?;
+                }
+            } else {
+                let uncle = Self::f(tx, zpp, LEFT)?;
+                if Self::color(tx, uncle)? == RED {
+                    Self::set_color(tx, zp, BLACK)?;
+                    Self::set_color(tx, uncle, BLACK)?;
+                    Self::set_color(tx, zpp, RED)?;
+                    z = zpp;
+                } else {
+                    if Self::f(tx, zp, LEFT)? == z {
+                        z = zp;
+                        self.rotate_right(tx, z)?;
+                    }
+                    let zp = Self::f(tx, z, PARENT)?;
+                    let zpp = Self::f(tx, zp, PARENT)?;
+                    Self::set_color(tx, zp, BLACK)?;
+                    Self::set_color(tx, zpp, RED)?;
+                    self.rotate_left(tx, zpp)?;
+                }
+            }
+        }
+        let root = self.root(tx)?;
+        Self::set_color(tx, root, BLACK)
+    }
+
+    // -- deletion -----------------------------------------------------------
+
+    /// Replace subtree `u` with `v` (CLRS transplant).
+    fn transplant(&self, tx: &mut Tx<'_, '_>, u: Addr, v: Addr) -> TxResult<()> {
+        let up = Self::f(tx, u, PARENT)?;
+        if up.is_null() {
+            self.set_root(tx, v)?;
+        } else if Self::f(tx, up, LEFT)? == u {
+            Self::set_f(tx, up, LEFT, v)?;
+        } else {
+            Self::set_f(tx, up, RIGHT, v)?;
+        }
+        if !v.is_null() {
+            Self::set_f(tx, v, PARENT, up)?;
+        }
+        Ok(())
+    }
+
+    fn minimum(tx: &mut Tx<'_, '_>, mut n: Addr) -> TxResult<Addr> {
+        loop {
+            let l = Self::f(tx, n, LEFT)?;
+            if l.is_null() {
+                return Ok(n);
+            }
+            n = l;
+        }
+    }
+
+    /// Remove `key`, returning its value. Frees the node transactionally.
+    pub fn remove(&self, tx: &mut Tx<'_, '_>, key: u64) -> TxResult<Option<u64>> {
+        let z = self.find_node(tx, key)?;
+        if z.is_null() {
+            return Ok(None);
+        }
+        let val = tx.read(&S_NODE_R, z.word(VAL))?;
+        let zl = Self::f(tx, z, LEFT)?;
+        let zr = Self::f(tx, z, RIGHT)?;
+        let mut y_color = Self::color(tx, z)?;
+        let x;
+        let xp;
+        if zl.is_null() {
+            x = zr;
+            xp = Self::f(tx, z, PARENT)?;
+            self.transplant(tx, z, zr)?;
+        } else if zr.is_null() {
+            x = zl;
+            xp = Self::f(tx, z, PARENT)?;
+            self.transplant(tx, z, zl)?;
+        } else {
+            let y = Self::minimum(tx, zr)?;
+            y_color = Self::color(tx, y)?;
+            x = Self::f(tx, y, RIGHT)?;
+            if Self::f(tx, y, PARENT)? == z {
+                xp = y;
+                if !x.is_null() {
+                    Self::set_f(tx, x, PARENT, y)?;
+                }
+            } else {
+                xp = Self::f(tx, y, PARENT)?;
+                self.transplant(tx, y, x)?;
+                let zr = Self::f(tx, z, RIGHT)?;
+                Self::set_f(tx, y, RIGHT, zr)?;
+                Self::set_f(tx, zr, PARENT, y)?;
+            }
+            self.transplant(tx, z, y)?;
+            let zl = Self::f(tx, z, LEFT)?;
+            Self::set_f(tx, y, LEFT, zl)?;
+            Self::set_f(tx, zl, PARENT, y)?;
+            let zc = Self::color(tx, z)?;
+            Self::set_color(tx, y, zc)?;
+        }
+        if y_color == BLACK {
+            self.delete_fixup(tx, x, xp)?;
+        }
+        tx.free(z);
+        self.bump_size(tx, -1)?;
+        Ok(Some(val))
+    }
+
+    /// CLRS delete fix-up with `x` possibly nil; `xp` tracks its parent.
+    fn delete_fixup(&self, tx: &mut Tx<'_, '_>, mut x: Addr, mut xp: Addr) -> TxResult<()> {
+        loop {
+            let root = self.root(tx)?;
+            if x == root || Self::color(tx, x)? == RED {
+                break;
+            }
+            if Self::f(tx, xp, LEFT)? == x {
+                let mut w = Self::f(tx, xp, RIGHT)?;
+                if Self::color(tx, w)? == RED {
+                    Self::set_color(tx, w, BLACK)?;
+                    Self::set_color(tx, xp, RED)?;
+                    self.rotate_left(tx, xp)?;
+                    w = Self::f(tx, xp, RIGHT)?;
+                }
+                let wl = Self::f(tx, w, LEFT)?;
+                let wr = Self::f(tx, w, RIGHT)?;
+                if Self::color(tx, wl)? == BLACK && Self::color(tx, wr)? == BLACK {
+                    Self::set_color(tx, w, RED)?;
+                    x = xp;
+                    xp = Self::f(tx, x, PARENT)?;
+                } else {
+                    if Self::color(tx, wr)? == BLACK {
+                        if !wl.is_null() {
+                            Self::set_color(tx, wl, BLACK)?;
+                        }
+                        Self::set_color(tx, w, RED)?;
+                        self.rotate_right(tx, w)?;
+                        w = Self::f(tx, xp, RIGHT)?;
+                    }
+                    let xpc = Self::color(tx, xp)?;
+                    Self::set_color(tx, w, xpc)?;
+                    Self::set_color(tx, xp, BLACK)?;
+                    let wr = Self::f(tx, w, RIGHT)?;
+                    if !wr.is_null() {
+                        Self::set_color(tx, wr, BLACK)?;
+                    }
+                    self.rotate_left(tx, xp)?;
+                    x = self.root(tx)?;
+                    xp = NULL;
+                }
+            } else {
+                let mut w = Self::f(tx, xp, LEFT)?;
+                if Self::color(tx, w)? == RED {
+                    Self::set_color(tx, w, BLACK)?;
+                    Self::set_color(tx, xp, RED)?;
+                    self.rotate_right(tx, xp)?;
+                    w = Self::f(tx, xp, LEFT)?;
+                }
+                let wl = Self::f(tx, w, LEFT)?;
+                let wr = Self::f(tx, w, RIGHT)?;
+                if Self::color(tx, wl)? == BLACK && Self::color(tx, wr)? == BLACK {
+                    Self::set_color(tx, w, RED)?;
+                    x = xp;
+                    xp = Self::f(tx, x, PARENT)?;
+                } else {
+                    if Self::color(tx, wl)? == BLACK {
+                        if !wr.is_null() {
+                            Self::set_color(tx, wr, BLACK)?;
+                        }
+                        Self::set_color(tx, w, RED)?;
+                        self.rotate_left(tx, w)?;
+                        w = Self::f(tx, xp, LEFT)?;
+                    }
+                    let xpc = Self::color(tx, xp)?;
+                    Self::set_color(tx, w, xpc)?;
+                    Self::set_color(tx, xp, BLACK)?;
+                    let wl = Self::f(tx, w, LEFT)?;
+                    if !wl.is_null() {
+                        Self::set_color(tx, wl, BLACK)?;
+                    }
+                    self.rotate_right(tx, xp)?;
+                    x = self.root(tx)?;
+                    xp = NULL;
+                }
+            }
+        }
+        if !x.is_null() {
+            Self::set_color(tx, x, BLACK)?;
+        }
+        Ok(())
+    }
+
+    /// Transactional size.
+    pub fn len(&self, tx: &mut Tx<'_, '_>) -> TxResult<u64> {
+        tx.read(&S_SIZE_R, self.handle.word(SIZE))
+    }
+
+    // --- sequential helpers (setup / verification) -------------------------
+
+    pub fn seq_len(&self, w: &WorkerCtx<'_>) -> u64 {
+        w.load(self.handle.word(SIZE))
+    }
+
+    /// In-order `(key, val)` pairs; verification only.
+    pub fn seq_collect(&self, w: &WorkerCtx<'_>) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        let mut cur = w.load_addr(self.handle.word(ROOT));
+        while !cur.is_null() || !stack.is_empty() {
+            while !cur.is_null() {
+                stack.push(cur);
+                cur = w.load_addr(cur.word(LEFT));
+            }
+            let n = stack.pop().unwrap();
+            out.push((w.load(n.word(KEY)), w.load(n.word(VAL))));
+            cur = w.load_addr(n.word(RIGHT));
+        }
+        out
+    }
+
+    /// Check the red-black invariants sequentially; panics with a message
+    /// on violation, returns black-height on success.
+    pub fn seq_check_invariants(&self, w: &WorkerCtx<'_>) -> usize {
+        fn check(w: &WorkerCtx<'_>, n: Addr, lo: Option<u64>, hi: Option<u64>) -> usize {
+            if n.is_null() {
+                return 1; // nil is black
+            }
+            let k = w.load(n.word(KEY));
+            if let Some(lo) = lo {
+                assert!(k > lo, "BST order violated at key {k}");
+            }
+            if let Some(hi) = hi {
+                assert!(k < hi, "BST order violated at key {k}");
+            }
+            let c = w.load(n.word(COLOR));
+            let l = w.load_addr(n.word(LEFT));
+            let r = w.load_addr(n.word(RIGHT));
+            if c == RED {
+                for child in [l, r] {
+                    if !child.is_null() {
+                        assert_eq!(
+                            w.load(child.word(COLOR)),
+                            BLACK,
+                            "red node {k} has red child"
+                        );
+                    }
+                }
+            }
+            for child in [l, r] {
+                if !child.is_null() {
+                    assert_eq!(
+                        w.load_addr(child.word(PARENT)),
+                        n,
+                        "parent pointer broken under {k}"
+                    );
+                }
+            }
+            let bl = check(w, l, lo, Some(k));
+            let br = check(w, r, Some(k), hi);
+            assert_eq!(bl, br, "black-height mismatch at key {k}");
+            bl + if c == BLACK { 1 } else { 0 }
+        }
+        let root = w.load_addr(self.handle.word(ROOT));
+        if !root.is_null() {
+            assert_eq!(w.load(root.word(COLOR)), BLACK, "root must be black");
+        }
+        check(w, root, None, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use stm::{StmRuntime, TxConfig};
+    use txmem::MemConfig;
+
+    fn rt() -> StmRuntime {
+        StmRuntime::new(MemConfig::small(), TxConfig::runtime_tree_full())
+    }
+
+    #[test]
+    fn insert_find_update() {
+        let rt = rt();
+        let t = TxRbTree::create(&rt);
+        let mut w = rt.spawn_worker();
+        for k in [50u64, 20, 80, 10, 30, 70, 90] {
+            assert!(w.txn(|tx| t.insert(tx, k, k + 1)));
+        }
+        assert!(!w.txn(|tx| t.insert(tx, 50, 0)));
+        assert_eq!(w.txn(|tx| t.find(tx, 30)), Some(31));
+        assert_eq!(w.txn(|tx| t.find(tx, 31)), None);
+        assert!(w.txn(|tx| t.update(tx, 30, 99)));
+        assert_eq!(w.txn(|tx| t.find(tx, 30)), Some(99));
+        assert!(!w.txn(|tx| t.update(tx, 31, 0)));
+        t.seq_check_invariants(&w);
+        assert_eq!(t.seq_len(&w), 7);
+    }
+
+    #[test]
+    fn find_at_least_scans_upward() {
+        let rt = rt();
+        let t = TxRbTree::create(&rt);
+        let mut w = rt.spawn_worker();
+        for k in [10u64, 20, 30] {
+            w.txn(|tx| t.insert(tx, k, k));
+        }
+        assert_eq!(w.txn(|tx| t.find_at_least(tx, 15)), Some((20, 20)));
+        assert_eq!(w.txn(|tx| t.find_at_least(tx, 20)), Some((20, 20)));
+        assert_eq!(w.txn(|tx| t.find_at_least(tx, 31)), None);
+        assert_eq!(w.txn(|tx| t.find_at_least(tx, 0)), Some((10, 10)));
+    }
+
+    #[test]
+    fn randomized_against_model() {
+        let rt = StmRuntime::new(
+            MemConfig {
+                max_threads: 4,
+                stack_words: 1 << 10,
+                heap_words: 1 << 18,
+            },
+            TxConfig::runtime_tree_full(),
+        );
+        let t = TxRbTree::create(&rt);
+        let mut w = rt.spawn_worker();
+        let mut model = std::collections::BTreeMap::new();
+        let mut rng = SplitMix64::new(2024);
+        for step in 0..3000 {
+            let key = rng.below(200);
+            match rng.below(3) {
+                0 => {
+                    let inserted = w.txn(|tx| t.insert(tx, key, key * 2));
+                    assert_eq!(inserted, model.insert(key, key * 2).is_none(), "step {step}");
+                }
+                1 => {
+                    let removed = w.txn(|tx| t.remove(tx, key));
+                    assert_eq!(removed, model.remove(&key), "step {step}");
+                }
+                _ => {
+                    let found = w.txn(|tx| t.find(tx, key));
+                    assert_eq!(found, model.get(&key).copied(), "step {step}");
+                }
+            }
+            if step % 256 == 0 {
+                t.seq_check_invariants(&w);
+            }
+        }
+        t.seq_check_invariants(&w);
+        let collected = t.seq_collect(&w);
+        let expect: Vec<_> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(collected, expect);
+        assert_eq!(t.seq_len(&w), model.len() as u64);
+    }
+
+    #[test]
+    fn remove_all_leaves_empty_tree() {
+        let rt = rt();
+        let t = TxRbTree::create(&rt);
+        let mut w = rt.spawn_worker();
+        for k in 0..64u64 {
+            w.txn(|tx| t.insert(tx, k, k));
+        }
+        for k in (0..64u64).rev() {
+            assert_eq!(w.txn(|tx| t.remove(tx, k)), Some(k));
+            t.seq_check_invariants(&w);
+        }
+        assert_eq!(t.seq_len(&w), 0);
+        assert!(t.seq_collect(&w).is_empty());
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_keep_invariants() {
+        let rt = StmRuntime::new(MemConfig::small(), TxConfig::runtime_tree_full());
+        let t = TxRbTree::create(&rt);
+        std::thread::scope(|s| {
+            for tid in 0..4u64 {
+                let rt = &rt;
+                s.spawn(move || {
+                    let mut w = rt.spawn_worker();
+                    for i in 0..64u64 {
+                        w.txn(|tx| t.insert(tx, tid + i * 4, 0));
+                    }
+                });
+            }
+        });
+        let w = rt.spawn_worker();
+        assert_eq!(t.seq_len(&w), 256);
+        t.seq_check_invariants(&w);
+    }
+
+    #[test]
+    fn aborted_insert_leaves_no_trace() {
+        let rt = rt();
+        let t = TxRbTree::create(&rt);
+        let mut w = rt.spawn_worker();
+        w.txn(|tx| t.insert(tx, 5, 5));
+        let r: Result<(), u64> = w.txn_result(|tx| {
+            t.insert(tx, 6, 6)?;
+            t.remove(tx, 5)?;
+            Err(stm::Abort::User(0))
+        });
+        assert!(r.is_err());
+        assert_eq!(t.seq_collect(&w), vec![(5, 5)]);
+        t.seq_check_invariants(&w);
+    }
+}

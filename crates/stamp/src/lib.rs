@@ -1,0 +1,24 @@
+//! A STAMP-like transactional benchmark suite on the simulated heap.
+//!
+//! The paper evaluates its capture-analysis optimizations with STAMP 0.9.9
+//! (Stanford Transactional Applications for Multi-Processing). This crate
+//! ports the suite's *transactional kernels* to the captured-memory STM:
+//!
+//! * [`collections`] mirrors STAMP's `lib/` directory: linked list,
+//!   red-black tree, hash table, queue, binary heap, vector and bitmap, all
+//!   living in simulated memory and accessed through STM barriers with
+//!   per-site [`stm::Site`] descriptors.
+//! * [`apps`] ports the ten benchmark configurations the paper measures:
+//!   bayes, genome, intruder, kmeans (high/low), labyrinth, ssca2, vacation
+//!   (high/low) and yada. Input sizes are reduced (see `Scale`), but each
+//!   port preserves the property the paper's analysis depends on — the mix
+//!   of captured vs. shared accesses per transaction (e.g. yada's
+//!   allocation-heavy cavity refinement vs. kmeans' elision-free center
+//!   updates). DESIGN.md §4.4 documents every simplification.
+
+pub mod apps;
+pub mod collections;
+mod rng;
+
+pub use apps::{Benchmark, RunOutcome, Scale};
+pub use rng::SplitMix64;

@@ -1,0 +1,159 @@
+//! Abstract syntax of the TL mini-language. All values are 64-bit words;
+//! pointers are addresses in the simulated memory.
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Every memory access in the source carries a unique site id, assigned by
+/// the parser; the capture analysis publishes its verdict per site and the
+/// code generator consults it.
+pub type SiteId = usize;
+
+#[derive(Clone, Debug)]
+pub enum Expr {
+    Int(u64),
+    Var(String),
+    /// `base[idx]` — load the `idx`-th word of the block at `base`.
+    Load {
+        base: Box<Expr>,
+        idx: Box<Expr>,
+        site: SiteId,
+    },
+    /// `&x` — address of an (address-taken) local.
+    AddrOf(String),
+    /// `malloc(bytes)`.
+    Malloc(Box<Expr>),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    Call(String, Vec<Expr>),
+}
+
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `var x;` / `var x = e;`
+    VarDecl(String, Option<Expr>),
+    /// `x = e;`
+    Assign(String, Expr),
+    /// `base[idx] = val;`
+    Store {
+        base: Expr,
+        idx: Expr,
+        val: Expr,
+        site: SiteId,
+    },
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    While(Expr, Vec<Stmt>),
+    Return(Expr),
+    /// `atomic { ... }` — a transaction.
+    Atomic(Vec<Stmt>),
+    /// `free(e);`
+    Free(Expr),
+    ExprStmt(Expr),
+}
+
+#[derive(Clone, Debug)]
+pub struct Function {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Vec<Stmt>,
+}
+
+#[derive(Clone, Debug)]
+pub struct Program {
+    pub functions: Vec<Function>,
+    /// Total number of memory-access sites allocated by the parser.
+    pub n_sites: usize,
+}
+
+impl Program {
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    pub fn function_index(&self, name: &str) -> Option<usize> {
+        self.functions.iter().position(|f| f.name == name)
+    }
+}
+
+/// Walk all statements (including nested blocks) of a function body.
+pub fn walk_stmts<'a>(body: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in body {
+        f(s);
+        match s {
+            Stmt::If(_, t, e) => {
+                walk_stmts(t, f);
+                walk_stmts(e, f);
+            }
+            Stmt::While(_, b) | Stmt::Atomic(b) => walk_stmts(b, f),
+            _ => {}
+        }
+    }
+}
+
+/// Walk all expressions in a statement.
+pub fn walk_exprs<'a>(s: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
+    fn expr<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+        f(e);
+        match e {
+            Expr::Load { base, idx, .. } => {
+                expr(base, f);
+                expr(idx, f);
+            }
+            Expr::Malloc(e) | Expr::Unary(_, e) => expr(e, f),
+            Expr::Binary(_, a, b) => {
+                expr(a, f);
+                expr(b, f);
+            }
+            Expr::Call(_, args) => args.iter().for_each(|a| expr(a, f)),
+            _ => {}
+        }
+    }
+    match s {
+        Stmt::VarDecl(_, Some(e))
+        | Stmt::Assign(_, e)
+        | Stmt::Return(e)
+        | Stmt::Free(e)
+        | Stmt::ExprStmt(e) => expr(e, f),
+        Stmt::Store { base, idx, val, .. } => {
+            expr(base, f);
+            expr(idx, f);
+            expr(val, f);
+        }
+        Stmt::If(c, _, _) | Stmt::While(c, _) => expr(c, f),
+        _ => {}
+    }
+}
+
+/// Names of locals whose address is taken anywhere in the body — these get
+/// simulated-stack slots; everything else lives in virtual registers.
+pub fn address_taken(body: &[Stmt]) -> std::collections::HashSet<String> {
+    let mut taken = std::collections::HashSet::new();
+    walk_stmts(body, &mut |s| {
+        walk_exprs(s, &mut |e| {
+            if let Expr::AddrOf(name) = e {
+                taken.insert(name.clone());
+            }
+        });
+    });
+    taken
+}

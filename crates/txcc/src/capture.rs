@@ -1,0 +1,579 @@
+//! Compiler capture analysis (paper §3.2): a flow-sensitive,
+//! *intraprocedural* forward dataflow over a two-point lattice per local
+//! variable:
+//!
+//! ```text
+//!    Captured  —  provably points into memory allocated by the current
+//!                 transaction (heap block from `malloc`, or the slot of a
+//!                 local declared inside the atomic block)
+//!    Unknown   —  everything else
+//! ```
+//!
+//! Transfer rules (all conservative, mirroring the paper's "simple"
+//! analysis built on the Intel compiler's standard pointer analysis):
+//!
+//! * `malloc(..)` inside an atomic block ⇒ Captured;
+//! * `&x` where `x` was declared inside the atomic block ⇒ Captured
+//!   (transaction-local stack, Figure 3);
+//! * copies and pointer arithmetic (`p + k`, `p - k`) propagate Captured —
+//!   the paper's key observation is that captured memory *stays* captured
+//!   even if its address is stored to a shared location, so calls do not
+//!   kill facts either;
+//! * loads produce Unknown (no field-sensitive points-to), calls return
+//!   Unknown, and control-flow joins meet to Unknown unless both sides are
+//!   Captured;
+//! * when the atomic block ends the transaction commits and every Captured
+//!   fact dies (the memory is published).
+//!
+//! The result is a [`Verdict`] per memory-access site: `Elide` sites
+//! compile to plain loads/stores, `Barrier` sites to STM barriers,
+//! `Outside` sites sit outside any transaction.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinOp, Expr, Function, Program, SiteId, Stmt};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Not inside an atomic block: plain access, no barrier in any case.
+    Outside,
+    /// Inside a transaction, target not provably captured: full barrier.
+    Barrier,
+    /// Inside a transaction, target proven captured: barrier removed.
+    Elide,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Abs {
+    Captured,
+    Unknown,
+}
+
+fn meet(a: Abs, b: Abs) -> Abs {
+    if a == Abs::Captured && b == Abs::Captured {
+        Abs::Captured
+    } else {
+        Abs::Unknown
+    }
+}
+
+/// Analysis output for a whole program.
+#[derive(Clone, Debug)]
+pub struct AnalysisResult {
+    pub verdicts: Vec<Verdict>,
+}
+
+impl AnalysisResult {
+    pub fn elided(&self) -> usize {
+        self.verdicts.iter().filter(|v| **v == Verdict::Elide).count()
+    }
+
+    pub fn barriers(&self) -> usize {
+        self.verdicts
+            .iter()
+            .filter(|v| **v == Verdict::Barrier)
+            .count()
+    }
+}
+
+struct Ctx<'a> {
+    verdicts: &'a mut Vec<Verdict>,
+    /// Locals declared inside the current atomic block (their slots are
+    /// transaction-local stack).
+    atomic_locals: Vec<String>,
+    in_atomic: u32,
+    record: bool,
+}
+
+impl Ctx<'_> {
+    fn set(&mut self, site: SiteId, v: Verdict) {
+        if self.record {
+            self.verdicts[site] = v;
+        }
+    }
+
+    fn verdict_for(&self, base: Abs) -> Verdict {
+        if self.in_atomic == 0 {
+            Verdict::Outside
+        } else if base == Abs::Captured {
+            Verdict::Elide
+        } else {
+            Verdict::Barrier
+        }
+    }
+}
+
+type Env = HashMap<String, Abs>;
+
+fn eval(e: &Expr, env: &mut Env, ctx: &mut Ctx<'_>) -> Abs {
+    match e {
+        Expr::Int(_) => Abs::Unknown,
+        Expr::Var(x) => *env.get(x).unwrap_or(&Abs::Unknown),
+        Expr::Malloc(size) => {
+            eval(size, env, ctx);
+            if ctx.in_atomic > 0 {
+                Abs::Captured
+            } else {
+                Abs::Unknown
+            }
+        }
+        Expr::AddrOf(x) => {
+            if ctx.atomic_locals.iter().any(|l| l == x) {
+                Abs::Captured
+            } else {
+                Abs::Unknown
+            }
+        }
+        Expr::Load { base, idx, site } => {
+            let b = eval(base, env, ctx);
+            eval(idx, env, ctx);
+            let v = ctx.verdict_for(b);
+            ctx.set(*site, v);
+            Abs::Unknown // loaded values: no points-to through memory
+        }
+        Expr::Unary(_, e) => {
+            eval(e, env, ctx);
+            Abs::Unknown
+        }
+        Expr::Binary(op, a, b) => {
+            let va = eval(a, env, ctx);
+            let vb = eval(b, env, ctx);
+            match op {
+                // Pointer arithmetic keeps capture (offsets stay within the
+                // allocated block, as in the paper's field accesses).
+                BinOp::Add | BinOp::Sub => {
+                    if va == Abs::Captured || vb == Abs::Captured {
+                        Abs::Captured
+                    } else {
+                        Abs::Unknown
+                    }
+                }
+                _ => Abs::Unknown,
+            }
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                eval(a, env, ctx);
+            }
+            Abs::Unknown
+        }
+    }
+}
+
+fn analyze_block(body: &[Stmt], env: &mut Env, ctx: &mut Ctx<'_>) {
+    for s in body {
+        match s {
+            Stmt::VarDecl(x, init) => {
+                if ctx.in_atomic > 0 {
+                    ctx.atomic_locals.push(x.clone());
+                }
+                let v = init
+                    .as_ref()
+                    .map(|e| eval(e, env, ctx))
+                    .unwrap_or(Abs::Unknown);
+                env.insert(x.clone(), v);
+            }
+            Stmt::Assign(x, e) => {
+                let v = eval(e, env, ctx);
+                env.insert(x.clone(), v);
+            }
+            Stmt::Store { base, idx, val, site } => {
+                let b = eval(base, env, ctx);
+                eval(idx, env, ctx);
+                eval(val, env, ctx);
+                let v = ctx.verdict_for(b);
+                ctx.set(*site, v);
+            }
+            Stmt::If(c, t, e) => {
+                eval(c, env, ctx);
+                let mut env_t = env.clone();
+                let mut env_e = env.clone();
+                analyze_block(t, &mut env_t, ctx);
+                analyze_block(e, &mut env_e, ctx);
+                *env = join_envs(&env_t, &env_e);
+            }
+            Stmt::While(c, b) => {
+                // Fixpoint without recording, then one recording pass over
+                // the stable state (verdicts must hold on every iteration).
+                let record = ctx.record;
+                ctx.record = false;
+                for _ in 0..8 {
+                    eval(c, env, ctx);
+                    let mut env_b = env.clone();
+                    analyze_block(b, &mut env_b, ctx);
+                    let joined = join_envs(env, &env_b);
+                    if joined == *env {
+                        break;
+                    }
+                    *env = joined;
+                }
+                ctx.record = record;
+                eval(c, env, ctx);
+                let mut env_b = env.clone();
+                analyze_block(b, &mut env_b, ctx);
+                *env = join_envs(env, &env_b);
+            }
+            Stmt::Return(e) | Stmt::Free(e) | Stmt::ExprStmt(e) => {
+                eval(e, env, ctx);
+            }
+            Stmt::Atomic(b) => {
+                let saved_locals = ctx.atomic_locals.len();
+                ctx.in_atomic += 1;
+                analyze_block(b, env, ctx);
+                ctx.in_atomic -= 1;
+                ctx.atomic_locals.truncate(saved_locals);
+                if ctx.in_atomic == 0 {
+                    // Commit: captured memory is published; every fact dies.
+                    for v in env.values_mut() {
+                        *v = Abs::Unknown;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn join_envs(a: &Env, b: &Env) -> Env {
+    let mut out = Env::new();
+    for (k, &va) in a {
+        let vb = *b.get(k).unwrap_or(&Abs::Unknown);
+        out.insert(k.clone(), meet(va, vb));
+    }
+    for (k, _) in b {
+        out.entry(k.clone()).or_insert(Abs::Unknown);
+    }
+    out
+}
+
+/// Analyze one function. With `assume_atomic` the whole body is treated as
+/// already inside a transaction — used to compile the transactional clone
+/// of a function that is called from atomic blocks (a non-inlined callee
+/// still gets its *own* allocations elided; its parameters are Unknown,
+/// which is exactly the conservatism the paper describes for calls).
+pub fn analyze_function(f: &Function, n_sites: usize, assume_atomic: bool) -> AnalysisResult {
+    let mut verdicts = vec![Verdict::Outside; n_sites];
+    let mut ctx = Ctx {
+        verdicts: &mut verdicts,
+        atomic_locals: Vec::new(),
+        in_atomic: u32::from(assume_atomic),
+        record: true,
+    };
+    let mut env: Env = f
+        .params
+        .iter()
+        .map(|p| (p.clone(), Abs::Unknown))
+        .collect();
+    analyze_block(&f.body, &mut env, &mut ctx);
+    AnalysisResult { verdicts }
+}
+
+/// Analyze every function of a program (normal versions).
+pub fn analyze_program(prog: &Program) -> AnalysisResult {
+    let mut verdicts = vec![Verdict::Outside; prog.n_sites];
+    for f in &prog.functions {
+        let r = analyze_function(f, prog.n_sites, false);
+        for (i, v) in r.verdicts.iter().enumerate() {
+            if *v != Verdict::Outside {
+                verdicts[i] = *v;
+            }
+        }
+    }
+    AnalysisResult { verdicts }
+}
+
+/// Desugar accesses to address-taken locals into explicit memory accesses
+/// through `&x`, so both the analysis and the code generator treat them as
+/// the stack accesses they really are (paper Fig. 1(a): an iterator local
+/// whose address is passed around). Must run before analysis/codegen.
+pub fn desugar_address_taken(prog: &mut Program) {
+    let mut next_site = prog.n_sites;
+    for f in &mut prog.functions {
+        let taken = crate::ast::address_taken(&f.body);
+        let taken: std::collections::HashSet<String> = taken;
+        if taken.is_empty() {
+            continue;
+        }
+        desugar_block(&mut f.body, &taken, &mut next_site);
+    }
+    prog.n_sites = next_site;
+}
+
+fn desugar_block(
+    body: &mut Vec<Stmt>,
+    taken: &std::collections::HashSet<String>,
+    next_site: &mut usize,
+) {
+    let mut i = 0;
+    while i < body.len() {
+        // Split `var x = e;` for address-taken x into decl + store.
+        let replace = match &mut body[i] {
+            Stmt::VarDecl(x, init @ Some(_)) if taken.contains(x) => {
+                let e = init.take().unwrap();
+                Some((x.clone(), e))
+            }
+            _ => None,
+        };
+        if let Some((x, mut e)) = replace {
+            desugar_expr(&mut e, taken, next_site);
+            let store = Stmt::Store {
+                base: Expr::AddrOf(x.clone()),
+                idx: Expr::Int(0),
+                val: e,
+                site: fresh(next_site),
+            };
+            body[i] = Stmt::VarDecl(x, None);
+            body.insert(i + 1, store);
+            i += 2;
+            continue;
+        }
+        match &mut body[i] {
+            Stmt::Assign(x, e) if taken.contains(x) => {
+                desugar_expr(e, taken, next_site);
+                let val = std::mem::replace(e, Expr::Int(0));
+                body[i] = Stmt::Store {
+                    base: Expr::AddrOf(x.clone()),
+                    idx: Expr::Int(0),
+                    val,
+                    site: fresh(next_site),
+                };
+            }
+            Stmt::Assign(_, e) => desugar_expr(e, taken, next_site),
+            Stmt::VarDecl(_, Some(e)) => desugar_expr(e, taken, next_site),
+            Stmt::Store { base, idx, val, .. } => {
+                desugar_expr(base, taken, next_site);
+                desugar_expr(idx, taken, next_site);
+                desugar_expr(val, taken, next_site);
+            }
+            Stmt::If(c, t, e) => {
+                desugar_expr(c, taken, next_site);
+                desugar_block(t, taken, next_site);
+                desugar_block(e, taken, next_site);
+            }
+            Stmt::While(c, b) => {
+                desugar_expr(c, taken, next_site);
+                desugar_block(b, taken, next_site);
+            }
+            Stmt::Atomic(b) => desugar_block(b, taken, next_site),
+            Stmt::Return(e) | Stmt::Free(e) | Stmt::ExprStmt(e) => {
+                desugar_expr(e, taken, next_site)
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+fn fresh(next_site: &mut usize) -> usize {
+    let s = *next_site;
+    *next_site += 1;
+    s
+}
+
+fn desugar_expr(e: &mut Expr, taken: &std::collections::HashSet<String>, next_site: &mut usize) {
+    match e {
+        Expr::Var(x) if taken.contains(x) => {
+            *e = Expr::Load {
+                base: Box::new(Expr::AddrOf(x.clone())),
+                idx: Box::new(Expr::Int(0)),
+                site: fresh(next_site),
+            };
+        }
+        Expr::Load { base, idx, .. } => {
+            desugar_expr(base, taken, next_site);
+            desugar_expr(idx, taken, next_site);
+        }
+        Expr::Malloc(e) | Expr::Unary(_, e) => desugar_expr(e, taken, next_site),
+        Expr::Binary(_, a, b) => {
+            desugar_expr(a, taken, next_site);
+            desugar_expr(b, taken, next_site);
+        }
+        Expr::Call(_, args) => args.iter_mut().for_each(|a| desugar_expr(a, taken, next_site)),
+        _ => {}
+    }
+}
+
+/// Count the memory-access sites inside atomic blocks (denominator for the
+/// "portion removed" metric).
+pub fn sites_in_atomic(prog: &Program) -> usize {
+    let mut n = 0;
+    for f in &prog.functions {
+        count_block(&f.body, false, &mut n);
+    }
+    n
+}
+
+fn count_block(body: &[Stmt], in_atomic: bool, n: &mut usize) {
+    let count_expr = |e: &Expr, n: &mut usize, in_atomic: bool| {
+        if !in_atomic {
+            return;
+        }
+        let mut stack = vec![e];
+        while let Some(e) = stack.pop() {
+            match e {
+                Expr::Load { base, idx, .. } => {
+                    *n += 1;
+                    stack.push(base);
+                    stack.push(idx);
+                }
+                Expr::Malloc(e) | Expr::Unary(_, e) => stack.push(e),
+                Expr::Binary(_, a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                Expr::Call(_, args) => stack.extend(args.iter()),
+                _ => {}
+            }
+        }
+    };
+    for s in body {
+        match s {
+            Stmt::Atomic(b) => count_block(b, true, n),
+            Stmt::If(c, t, e) => {
+                count_expr(c, n, in_atomic);
+                count_block(t, in_atomic, n);
+                count_block(e, in_atomic, n);
+            }
+            Stmt::While(c, b) => {
+                count_expr(c, n, in_atomic);
+                count_block(b, in_atomic, n);
+            }
+            Stmt::Store { base, idx, val, .. } => {
+                if in_atomic {
+                    *n += 1;
+                }
+                count_expr(base, n, in_atomic);
+                count_expr(idx, n, in_atomic);
+                count_expr(val, n, in_atomic);
+            }
+            Stmt::VarDecl(_, Some(e))
+            | Stmt::Assign(_, e)
+            | Stmt::Return(e)
+            | Stmt::Free(e)
+            | Stmt::ExprStmt(e) => count_expr(e, n, in_atomic),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn verdicts_of(src: &str) -> (Program, AnalysisResult) {
+        let mut p = parse(src).unwrap();
+        desugar_address_taken(&mut p);
+        let r = analyze_program(&p);
+        (p, r)
+    }
+
+    #[test]
+    fn malloc_in_atomic_is_captured() {
+        let (_, r) = verdicts_of(
+            "fn f(s) { atomic { var p = malloc(16); p[0] = 1; s[0] = 2; } return 0; }",
+        );
+        assert_eq!(r.elided(), 1, "p[0] elided");
+        assert_eq!(r.barriers(), 1, "s[0] keeps its barrier");
+    }
+
+    #[test]
+    fn pointer_arithmetic_preserves_capture() {
+        let (_, r) = verdicts_of(
+            "fn f() { atomic { var p = malloc(32); var q = p + 2; q[0] = 1; } return 0; }",
+        );
+        assert_eq!(r.elided(), 1);
+    }
+
+    #[test]
+    fn loads_produce_unknown() {
+        let (_, r) = verdicts_of(
+            "fn f(s) { atomic { var p = malloc(16); p[0] = s[0]; var q = p[0]; q[0] = 1; } return 0; }",
+        );
+        // p[0]=... elided; s[0] read barrier; p[0] read elided; q[0]=1 must
+        // be a barrier: q came through a load.
+        assert_eq!(r.elided(), 2);
+        assert_eq!(r.barriers(), 2);
+    }
+
+    #[test]
+    fn capture_dies_at_commit() {
+        let (_, r) = verdicts_of(
+            "fn f() { var p = 0; atomic { p = malloc(16); p[0] = 1; } atomic { p[1] = 2; } return 0; }",
+        );
+        // First write elided; after the first transaction commits, p points
+        // to *shared* memory: the second access needs a barrier.
+        assert_eq!(r.elided(), 1);
+        assert_eq!(r.barriers(), 1);
+    }
+
+    #[test]
+    fn join_is_conservative() {
+        let (_, r) = verdicts_of(
+            "fn f(s, c) { atomic { var p = malloc(16); if (c) { p = s; } else { } p[0] = 1; } return 0; }",
+        );
+        // On one path p is shared: the store must keep its barrier.
+        assert_eq!(r.elided(), 0);
+        assert!(r.barriers() >= 1);
+    }
+
+    #[test]
+    fn both_branches_captured_stays_captured() {
+        let (_, r) = verdicts_of(
+            "fn f(c) { atomic { var p = malloc(16); if (c) { p = malloc(8); } else { } p[0] = 1; } return 0; }",
+        );
+        assert_eq!(r.elided(), 1);
+    }
+
+    #[test]
+    fn loop_invalidation_reaches_fixpoint() {
+        let (_, r) = verdicts_of(
+            "fn f(s, n) { atomic { var p = malloc(16); var i = 0; while (i < n) { p[0] = i; p = s; i = i + 1; } } return 0; }",
+        );
+        // On the second iteration p is shared — the write inside the loop
+        // must be a barrier even though the first iteration saw it captured.
+        assert_eq!(r.elided(), 0);
+        assert!(r.barriers() >= 1);
+    }
+
+    #[test]
+    fn atomic_local_stack_is_captured() {
+        let (_, r) = verdicts_of(
+            "fn f(s) { atomic { var it; var q = &it; q[0] = s[0]; var z = q[0]; s[1] = z; } return 0; }",
+        );
+        // q = &it (declared in atomic) => q[0] accesses elided; the named
+        // access desugaring routes `it` itself the same way.
+        assert!(r.elided() >= 2, "elided = {}", r.elided());
+    }
+
+    #[test]
+    fn live_in_local_needs_barrier() {
+        let (_, r) = verdicts_of(
+            "fn f(s) { var acc = 0; var q = &acc; atomic { q[0] = s[0]; } return acc; }",
+        );
+        // `acc` exists before the transaction: live-in stack, not captured.
+        assert_eq!(r.elided(), 0);
+        assert!(r.barriers() >= 1);
+    }
+
+    #[test]
+    fn publishing_does_not_kill_capture() {
+        // The paper's central example: storing the captured pointer into a
+        // shared location does NOT make the captured block shared within
+        // this transaction.
+        let (_, r) = verdicts_of(
+            "fn f(s) { atomic { var p = malloc(16); s[0] = p; p[0] = 42; } return 0; }",
+        );
+        // s[0] = p: barrier (s shared). p[0] = 42 *after publication*:
+        // still elided.
+        assert_eq!(r.elided(), 1);
+        assert_eq!(r.barriers(), 1);
+    }
+
+    #[test]
+    fn outside_atomic_everything_is_plain() {
+        let (_, r) = verdicts_of("fn f(s) { s[0] = 1; var x = s[0]; return x; }");
+        assert_eq!(r.elided(), 0);
+        assert_eq!(r.barriers(), 0);
+        assert!(r.verdicts.iter().all(|v| *v == Verdict::Outside));
+    }
+}

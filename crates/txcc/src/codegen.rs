@@ -1,0 +1,459 @@
+//! Bytecode generation. Every function is compiled twice: a *normal*
+//! version (memory accesses are plain) and a *transactional clone* used
+//! when the function is called from inside an atomic block — the same
+//! function-cloning scheme real STM compilers use.
+//!
+//! [`OptLevel::Naive`] instruments every memory access inside transactions
+//! (the paper's over-instrumenting baseline); [`OptLevel::CaptureAnalysis`]
+//! runs the §3.2 analysis first and emits plain accesses for `Elide` sites.
+
+use std::collections::HashMap;
+
+use crate::ast::{address_taken, BinOp, Expr, Function, Program, Stmt, UnOp};
+use crate::capture::{analyze_function, desugar_address_taken, Verdict};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OptLevel {
+    /// Every load/store inside an atomic block becomes an STM barrier.
+    Naive,
+    /// Compiler capture analysis elides barriers proven unnecessary.
+    CaptureAnalysis,
+}
+
+type Reg = u16;
+
+#[derive(Clone, Debug)]
+pub enum Op {
+    Const(Reg, u64),
+    Mov(Reg, Reg),
+    Bin(BinOp, Reg, Reg, Reg),
+    Un(UnOp, Reg, Reg),
+    Jmp(u32),
+    /// Branch to target when the register is zero.
+    Brz(Reg, u32),
+    /// Allocate the one-word stack slot for an address-taken local.
+    PushSlot(u16),
+    SlotAddr(Reg, u16),
+    /// Plain word load/store: `rd = mem[ra + 8*ri]`.
+    LoadDirect(Reg, Reg, Reg),
+    StoreDirect(Reg, Reg, Reg),
+    /// STM barrier load/store.
+    LoadTx(Reg, Reg, Reg),
+    StoreTx(Reg, Reg, Reg),
+    Malloc(Reg, Reg),
+    Free(Reg),
+    TxBegin,
+    TxEnd,
+    Call(u16, Reg, Vec<Reg>),
+    Ret(Reg),
+}
+
+#[derive(Clone, Debug)]
+pub struct CompiledFn {
+    pub name: String,
+    pub n_params: usize,
+    pub n_regs: usize,
+    pub n_slots: usize,
+    /// Code for calls from outside transactions.
+    pub normal: Vec<Op>,
+    /// Transactional clone (assume-atomic analysis verdicts).
+    pub tx: Vec<Op>,
+}
+
+/// Static instrumentation statistics — what the "compiler" did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InstrStats {
+    /// Barrier ops emitted into atomic code.
+    pub barriers: usize,
+    /// Accesses inside atomic code compiled to plain loads/stores.
+    pub elided: usize,
+}
+
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    pub funcs: Vec<CompiledFn>,
+    pub stats: InstrStats,
+    pub opt: OptLevel,
+}
+
+impl CompiledProgram {
+    pub fn function(&self, name: &str) -> Option<(usize, &CompiledFn)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+    }
+}
+
+/// Compile a program (desugars address-taken locals internally; run the
+/// inliner beforehand if cross-call capture analysis is wanted).
+pub fn compile(prog: &Program, opt: OptLevel) -> CompiledProgram {
+    let mut prog = prog.clone();
+    desugar_address_taken(&mut prog);
+    let fn_index: HashMap<String, u16> = prog
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.clone(), i as u16))
+        .collect();
+    let mut stats = InstrStats::default();
+    let funcs = prog
+        .functions
+        .iter()
+        .map(|f| compile_fn(f, &prog, &fn_index, opt, &mut stats))
+        .collect();
+    CompiledProgram { funcs, stats, opt }
+}
+
+fn compile_fn(
+    f: &Function,
+    prog: &Program,
+    fn_index: &HashMap<String, u16>,
+    opt: OptLevel,
+    stats: &mut InstrStats,
+) -> CompiledFn {
+    let normal_verdicts = match opt {
+        OptLevel::Naive => None,
+        OptLevel::CaptureAnalysis => Some(analyze_function(f, prog.n_sites, false)),
+    };
+    let tx_verdicts = match opt {
+        OptLevel::Naive => None,
+        OptLevel::CaptureAnalysis => Some(analyze_function(f, prog.n_sites, true)),
+    };
+    let mut normal_cg = FnCodegen::new(f, fn_index, normal_verdicts.map(|r| r.verdicts), false);
+    let normal = normal_cg.run(f);
+    stats.barriers += normal_cg.barriers;
+    stats.elided += normal_cg.elided;
+    let mut tx_cg = FnCodegen::new(f, fn_index, tx_verdicts.map(|r| r.verdicts), true);
+    let tx = tx_cg.run(f);
+    CompiledFn {
+        name: f.name.clone(),
+        n_params: f.params.len(),
+        n_regs: normal_cg.next_reg.max(tx_cg.next_reg) as usize,
+        n_slots: normal_cg.slots.len().max(tx_cg.slots.len()),
+        normal,
+        tx,
+    }
+}
+
+struct FnCodegen<'a> {
+    fn_index: &'a HashMap<String, u16>,
+    /// `None` = naive (instrument everything in atomic).
+    verdicts: Option<Vec<Verdict>>,
+    regs: HashMap<String, Reg>,
+    slots: HashMap<String, u16>,
+    next_reg: u16,
+    code: Vec<Op>,
+    in_atomic: u32,
+    /// Whole function body is transactional (tx clone).
+    assume_atomic: bool,
+    barriers: usize,
+    elided: usize,
+}
+
+impl<'a> FnCodegen<'a> {
+    fn new(
+        f: &Function,
+        fn_index: &'a HashMap<String, u16>,
+        verdicts: Option<Vec<Verdict>>,
+        assume_atomic: bool,
+    ) -> FnCodegen<'a> {
+        let taken = address_taken(&f.body);
+        let mut cg = FnCodegen {
+            fn_index,
+            verdicts,
+            regs: HashMap::new(),
+            slots: HashMap::new(),
+            next_reg: 0,
+            code: Vec::new(),
+            in_atomic: 0,
+            assume_atomic,
+            barriers: 0,
+            elided: 0,
+        };
+        for p in &f.params {
+            let r = cg.fresh();
+            cg.regs.insert(p.clone(), r);
+        }
+        // Pre-assign slot ids for address-taken locals (pushed at decl).
+        let mut names: Vec<&String> = taken.iter().collect();
+        names.sort();
+        for (i, n) in names.into_iter().enumerate() {
+            cg.slots.insert(n.clone(), i as u16);
+        }
+        cg
+    }
+
+    fn run(&mut self, f: &Function) -> Vec<Op> {
+        self.block(&f.body);
+        // Implicit `return 0` for functions that fall off the end.
+        let r = self.fresh();
+        self.code.push(Op::Const(r, 0));
+        self.code.push(Op::Ret(r));
+        std::mem::take(&mut self.code)
+    }
+
+    fn fresh(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    fn transactional(&self) -> bool {
+        self.assume_atomic || self.in_atomic > 0
+    }
+
+    /// Decide barrier vs plain for an access site.
+    fn wants_barrier(&mut self, site: usize) -> bool {
+        if !self.transactional() {
+            return false;
+        }
+        let barrier = match &self.verdicts {
+            None => true, // naive: everything gets a barrier
+            Some(v) => match v.get(site) {
+                // `Outside` can still show up in the tx clone when the
+                // normal analysis ran (sites outside atomic blocks); the
+                // assume-atomic analysis marks them properly, so trust it.
+                Some(Verdict::Elide) => false,
+                _ => true,
+            },
+        };
+        if barrier {
+            self.barriers += 1;
+        } else {
+            self.elided += 1;
+        }
+        barrier
+    }
+
+    fn block(&mut self, body: &[Stmt]) {
+        for s in body {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::VarDecl(x, init) => {
+                if let Some(&slot) = self.slots.get(x) {
+                    self.code.push(Op::PushSlot(slot));
+                    debug_assert!(init.is_none(), "desugar splits slot initializers");
+                } else {
+                    let r = match init {
+                        Some(e) => self.expr(e),
+                        None => {
+                            let r = self.fresh();
+                            self.code.push(Op::Const(r, 0));
+                            r
+                        }
+                    };
+                    // Bind the variable to a dedicated register.
+                    let dst = self.fresh();
+                    self.code.push(Op::Mov(dst, r));
+                    self.regs.insert(x.clone(), dst);
+                }
+            }
+            Stmt::Assign(x, e) => {
+                let r = self.expr(e);
+                let dst = *self
+                    .regs
+                    .get(x)
+                    .unwrap_or_else(|| panic!("assignment to undeclared variable {x}"));
+                self.code.push(Op::Mov(dst, r));
+            }
+            Stmt::Store { base, idx, val, site } => {
+                let rb = self.expr(base);
+                let ri = self.expr(idx);
+                let rv = self.expr(val);
+                if self.wants_barrier(*site) {
+                    self.code.push(Op::StoreTx(rb, ri, rv));
+                } else {
+                    self.code.push(Op::StoreDirect(rb, ri, rv));
+                }
+            }
+            Stmt::If(c, t, e) => {
+                let rc = self.expr(c);
+                let brz_at = self.code.len();
+                self.code.push(Op::Brz(rc, 0));
+                self.block(t);
+                let jmp_at = self.code.len();
+                self.code.push(Op::Jmp(0));
+                let else_pc = self.code.len() as u32;
+                self.block(e);
+                let end_pc = self.code.len() as u32;
+                self.code[brz_at] = Op::Brz(rc, else_pc);
+                self.code[jmp_at] = Op::Jmp(end_pc);
+            }
+            Stmt::While(c, b) => {
+                let head = self.code.len() as u32;
+                let rc = self.expr(c);
+                let brz_at = self.code.len();
+                self.code.push(Op::Brz(rc, 0));
+                self.block(b);
+                self.code.push(Op::Jmp(head));
+                let end = self.code.len() as u32;
+                self.code[brz_at] = Op::Brz(rc, end);
+            }
+            Stmt::Return(e) => {
+                assert_eq!(
+                    self.in_atomic, 0,
+                    "`return` inside an atomic block is not supported by txcc"
+                );
+                let r = self.expr(e);
+                self.code.push(Op::Ret(r));
+            }
+            Stmt::Atomic(b) => {
+                if self.transactional() {
+                    // Flat nesting (the Intel STM's default for C/C++).
+                    self.in_atomic += 1;
+                    self.block(b);
+                    self.in_atomic -= 1;
+                } else {
+                    self.code.push(Op::TxBegin);
+                    self.in_atomic += 1;
+                    self.block(b);
+                    self.in_atomic -= 1;
+                    self.code.push(Op::TxEnd);
+                }
+            }
+            Stmt::Free(e) => {
+                let r = self.expr(e);
+                self.code.push(Op::Free(r));
+            }
+            Stmt::ExprStmt(e) => {
+                self.expr(e);
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Reg {
+        match e {
+            Expr::Int(v) => {
+                let r = self.fresh();
+                self.code.push(Op::Const(r, *v));
+                r
+            }
+            Expr::Var(x) => *self
+                .regs
+                .get(x)
+                .unwrap_or_else(|| panic!("use of undeclared variable {x}")),
+            Expr::AddrOf(x) => {
+                let slot = *self
+                    .slots
+                    .get(x)
+                    .unwrap_or_else(|| panic!("&{x}: not an address-taken local"));
+                let r = self.fresh();
+                self.code.push(Op::SlotAddr(r, slot));
+                r
+            }
+            Expr::Load { base, idx, site } => {
+                let rb = self.expr(base);
+                let ri = self.expr(idx);
+                let rd = self.fresh();
+                if self.wants_barrier(*site) {
+                    self.code.push(Op::LoadTx(rd, rb, ri));
+                } else {
+                    self.code.push(Op::LoadDirect(rd, rb, ri));
+                }
+                rd
+            }
+            Expr::Malloc(size) => {
+                let rs = self.expr(size);
+                let rd = self.fresh();
+                self.code.push(Op::Malloc(rd, rs));
+                rd
+            }
+            Expr::Unary(op, e) => {
+                let ra = self.expr(e);
+                let rd = self.fresh();
+                self.code.push(Op::Un(*op, rd, ra));
+                rd
+            }
+            Expr::Binary(op, a, b) => {
+                let ra = self.expr(a);
+                let rb = self.expr(b);
+                let rd = self.fresh();
+                self.code.push(Op::Bin(*op, rd, ra, rb));
+                rd
+            }
+            Expr::Call(name, args) => {
+                let regs: Vec<Reg> = args.iter().map(|a| self.expr(a)).collect();
+                let fidx = *self
+                    .fn_index
+                    .get(name)
+                    .unwrap_or_else(|| panic!("call to unknown function {name}"));
+                let rd = self.fresh();
+                self.code.push(Op::Call(fidx, rd, regs));
+                rd
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn naive_instruments_everything_in_atomic() {
+        let p = parse("fn f(s) { atomic { var p = malloc(16); p[0] = 1; s[0] = p[0]; } return 0; }")
+            .unwrap();
+        let naive = compile(&p, OptLevel::Naive);
+        assert_eq!(naive.stats.barriers, 3);
+        assert_eq!(naive.stats.elided, 0);
+    }
+
+    #[test]
+    fn capture_analysis_elides_proven_sites() {
+        let p = parse("fn f(s) { atomic { var p = malloc(16); p[0] = 1; s[0] = p[0]; } return 0; }")
+            .unwrap();
+        let o = compile(&p, OptLevel::CaptureAnalysis);
+        assert_eq!(o.stats.elided, 2, "p[0] write and p[0] read");
+        assert_eq!(o.stats.barriers, 1, "s[0] keeps its barrier");
+    }
+
+    #[test]
+    fn outside_atomic_no_barriers_emitted() {
+        let p = parse("fn f(s) { s[0] = 1; return s[0]; }").unwrap();
+        let c = compile(&p, OptLevel::Naive);
+        let f = &c.funcs[0];
+        assert!(f.normal.iter().all(|op| !matches!(op, Op::LoadTx(..) | Op::StoreTx(..))));
+        // ... but the transactional clone instruments them.
+        assert!(f.tx.iter().any(|op| matches!(op, Op::StoreTx(..))));
+    }
+
+    #[test]
+    fn tx_clone_elides_own_allocations() {
+        // A non-inlined callee allocating inside: its tx clone can still
+        // elide the init store (assume-atomic analysis).
+        let p = parse("fn mk() { var p = malloc(8); p[0] = 5; return p; }").unwrap();
+        let c = compile(&p, OptLevel::CaptureAnalysis);
+        let f = &c.funcs[0];
+        assert!(
+            f.tx.iter().any(|op| matches!(op, Op::StoreDirect(..))),
+            "tx clone should elide the captured init store"
+        );
+        assert!(
+            f.normal.iter().any(|op| matches!(op, Op::StoreDirect(..))),
+            "normal version is plain anyway"
+        );
+    }
+
+    #[test]
+    fn branch_targets_are_consistent() {
+        let p = parse(
+            "fn f(n) { var i = 0; var acc = 0; while (i < n) { if (i % 2 == 0) { acc = acc + i; } else { acc = acc + 1; } i = i + 1; } return acc; }",
+        )
+        .unwrap();
+        let c = compile(&p, OptLevel::Naive);
+        for op in &c.funcs[0].normal {
+            match op {
+                Op::Jmp(t) | Op::Brz(_, t) => {
+                    assert!((*t as usize) <= c.funcs[0].normal.len());
+                }
+                _ => {}
+            }
+        }
+    }
+}

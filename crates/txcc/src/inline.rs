@@ -1,0 +1,295 @@
+//! Function inlining (paper §3.2: the capture analysis "relies on function
+//! inlining to extend the analysis results across function calls").
+//!
+//! A call is inlined when it appears as a whole statement's right-hand side
+//! (`x = helper(..)`, `var x = helper(..)`, `helper(..);`) and the callee is
+//! *simple*: non-recursive, at most [`MAX_STMTS`] statements, with at most
+//! one `return` which must be the final statement. Inlined locals are
+//! renamed, and every copied memory-access site receives a fresh id so the
+//! analysis judges each inline context independently.
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, Function, Program, Stmt};
+
+const MAX_STMTS: usize = 24;
+const MAX_PASSES: usize = 3;
+
+pub fn inline_program(prog: &mut Program) {
+    for _ in 0..MAX_PASSES {
+        let snapshot = prog.clone();
+        let mut changed = false;
+        let mut n_sites = prog.n_sites;
+        let mut counter = 0usize;
+        for f in &mut prog.functions {
+            changed |= inline_block(&mut f.body, &snapshot, &mut n_sites, &mut counter);
+        }
+        prog.n_sites = n_sites;
+        if !changed {
+            break;
+        }
+    }
+}
+
+fn inlinable<'p>(prog: &'p Program, name: &str, caller: &str) -> Option<&'p Function> {
+    if name == caller {
+        return None; // direct recursion
+    }
+    let f = prog.function(name)?;
+    if f.body.is_empty() {
+        return None;
+    }
+    let mut stmts = 0;
+    let mut ok = true;
+    crate::ast::walk_stmts(&f.body, &mut |s| {
+        stmts += 1;
+        // A return anywhere but the tail makes substitution non-trivial;
+        // calls to the caller (mutual recursion) are also rejected.
+        if let Stmt::Return(_) = s {
+            ok &= std::ptr::eq(s, f.body.last().unwrap());
+        }
+        if let Stmt::Atomic(_) = s {
+            ok = false; // don't inline transactions into transactions
+        }
+    });
+    (ok && stmts <= MAX_STMTS && matches!(f.body.last(), Some(Stmt::Return(_)))).then_some(f)
+}
+
+fn inline_block(
+    body: &mut Vec<Stmt>,
+    prog: &Program,
+    n_sites: &mut usize,
+    counter: &mut usize,
+) -> bool {
+    let mut changed = false;
+    let mut i = 0;
+    while i < body.len() {
+        // Recurse into nested blocks first.
+        match &mut body[i] {
+            Stmt::If(_, t, e) => {
+                changed |= inline_block(t, prog, n_sites, counter);
+                changed |= inline_block(e, prog, n_sites, counter);
+            }
+            Stmt::While(_, b) | Stmt::Atomic(b) => {
+                changed |= inline_block(b, prog, n_sites, counter);
+            }
+            _ => {}
+        }
+        let call = match &body[i] {
+            Stmt::Assign(target, Expr::Call(name, args)) => {
+                Some((Some(target.clone()), name.clone(), args.clone(), false))
+            }
+            Stmt::VarDecl(target, Some(Expr::Call(name, args))) => {
+                Some((Some(target.clone()), name.clone(), args.clone(), true))
+            }
+            Stmt::ExprStmt(Expr::Call(name, args)) => {
+                Some((None, name.clone(), args.clone(), false))
+            }
+            _ => None,
+        };
+        if let Some((target, name, args, decl)) = call {
+            // Find the enclosing function name: passed implicitly — we just
+            // prevent self-inlining by comparing with any function whose
+            // body physically contains this block; direct recursion is the
+            // practical case and `inlinable` handles it via the caller name
+            // being unknown here, so check for self-reference in callee.
+            if let Some(callee) = inlinable(prog, &name, "") {
+                if callee.params.len() == args.len() && !calls_function(callee, &name) {
+                    let id = *counter;
+                    *counter += 1;
+                    let rename = |n: &str| format!("__inl{id}_{n}");
+                    let mut replacement = Vec::new();
+                    if decl {
+                        if let Some(t) = &target {
+                            replacement.push(Stmt::VarDecl(t.clone(), None));
+                        }
+                    }
+                    for (p, a) in callee.params.iter().zip(args) {
+                        replacement.push(Stmt::VarDecl(rename(p), Some(a)));
+                    }
+                    let mut inlined = callee.body.clone();
+                    let ret = inlined.pop(); // the trailing return
+                    let names: HashMap<String, String> = collect_names(callee)
+                        .into_iter()
+                        .map(|n| (n.clone(), rename(&n)))
+                        .collect();
+                    for s in &mut inlined {
+                        rename_stmt(s, &names, n_sites);
+                    }
+                    replacement.extend(inlined);
+                    if let Some(Stmt::Return(mut e)) = ret {
+                        rename_expr(&mut e, &names, n_sites);
+                        if let Some(t) = target {
+                            replacement.push(Stmt::Assign(t, e));
+                        } else {
+                            replacement.push(Stmt::ExprStmt(e));
+                        }
+                    }
+                    let n = replacement.len();
+                    body.splice(i..=i, replacement);
+                    i += n;
+                    changed = true;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    changed
+}
+
+fn calls_function(f: &Function, name: &str) -> bool {
+    let mut found = false;
+    crate::ast::walk_stmts(&f.body, &mut |s| {
+        crate::ast::walk_exprs(s, &mut |e| {
+            if let Expr::Call(n, _) = e {
+                if n == name {
+                    found = true;
+                }
+            }
+        });
+    });
+    found
+}
+
+fn collect_names(f: &Function) -> Vec<String> {
+    let mut names: Vec<String> = f.params.clone();
+    crate::ast::walk_stmts(&f.body, &mut |s| {
+        if let Stmt::VarDecl(n, _) = s {
+            names.push(n.clone());
+        }
+    });
+    names
+}
+
+fn fresh_site(n_sites: &mut usize) -> usize {
+    let s = *n_sites;
+    *n_sites += 1;
+    s
+}
+
+fn rename_stmt(s: &mut Stmt, names: &HashMap<String, String>, n_sites: &mut usize) {
+    match s {
+        Stmt::VarDecl(n, init) => {
+            if let Some(r) = names.get(n) {
+                *n = r.clone();
+            }
+            if let Some(e) = init {
+                rename_expr(e, names, n_sites);
+            }
+        }
+        Stmt::Assign(n, e) => {
+            if let Some(r) = names.get(n) {
+                *n = r.clone();
+            }
+            rename_expr(e, names, n_sites);
+        }
+        Stmt::Store { base, idx, val, site } => {
+            *site = fresh_site(n_sites);
+            rename_expr(base, names, n_sites);
+            rename_expr(idx, names, n_sites);
+            rename_expr(val, names, n_sites);
+        }
+        Stmt::If(c, t, e) => {
+            rename_expr(c, names, n_sites);
+            t.iter_mut().for_each(|s| rename_stmt(s, names, n_sites));
+            e.iter_mut().for_each(|s| rename_stmt(s, names, n_sites));
+        }
+        Stmt::While(c, b) => {
+            rename_expr(c, names, n_sites);
+            b.iter_mut().for_each(|s| rename_stmt(s, names, n_sites));
+        }
+        Stmt::Atomic(b) => b.iter_mut().for_each(|s| rename_stmt(s, names, n_sites)),
+        Stmt::Return(e) | Stmt::Free(e) | Stmt::ExprStmt(e) => rename_expr(e, names, n_sites),
+    }
+}
+
+fn rename_expr(e: &mut Expr, names: &HashMap<String, String>, n_sites: &mut usize) {
+    match e {
+        Expr::Var(n) | Expr::AddrOf(n) => {
+            if let Some(r) = names.get(n) {
+                *n = r.clone();
+            }
+        }
+        Expr::Load { base, idx, site } => {
+            *site = fresh_site(n_sites);
+            rename_expr(base, names, n_sites);
+            rename_expr(idx, names, n_sites);
+        }
+        Expr::Malloc(e) | Expr::Unary(_, e) => rename_expr(e, names, n_sites),
+        Expr::Binary(_, a, b) => {
+            rename_expr(a, names, n_sites);
+            rename_expr(b, names, n_sites);
+        }
+        Expr::Call(_, args) => args.iter_mut().for_each(|a| rename_expr(a, names, n_sites)),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::{analyze_program, desugar_address_taken};
+    use crate::parser::parse;
+
+    #[test]
+    fn inlines_simple_helper() {
+        let mut p = parse(
+            "fn init(p, v) { p[0] = v; return p; }\n\
+             fn main(s) { atomic { var q = malloc(16); q = init(q, 7); } return 0; }",
+        )
+        .unwrap();
+        inline_program(&mut p);
+        let main = p.function("main").unwrap();
+        // The call must be gone from main.
+        let mut has_call = false;
+        crate::ast::walk_stmts(&main.body, &mut |s| {
+            crate::ast::walk_exprs(s, &mut |e| {
+                if matches!(e, Expr::Call(..)) {
+                    has_call = true;
+                }
+            });
+        });
+        assert!(!has_call, "call should have been inlined");
+    }
+
+    #[test]
+    fn inlining_extends_capture_analysis_across_calls() {
+        let src = "fn init(p, v) { p[0] = v; return p; }\n\
+                   fn main(s) { atomic { var q = malloc(16); q = init(q, 7); } return 0; }";
+        // Without inlining: init's store has Unknown base (param).
+        let mut p1 = parse(src).unwrap();
+        desugar_address_taken(&mut p1);
+        let r1 = analyze_program(&p1);
+        assert_eq!(r1.elided(), 0);
+        // With inlining the allocation flows into the store.
+        let mut p2 = parse(src).unwrap();
+        inline_program(&mut p2);
+        desugar_address_taken(&mut p2);
+        let r2 = analyze_program(&p2);
+        assert_eq!(r2.elided(), 1, "inlining must expose the captured store");
+    }
+
+    #[test]
+    fn recursive_functions_are_left_alone() {
+        let mut p = parse(
+            "fn fact(n) { if (n < 2) { return 1; } else { } return n * fact(n - 1); }\n\
+             fn main() { var x = fact(5); return x; }",
+        )
+        .unwrap();
+        inline_program(&mut p);
+        // fact calls itself: must survive as a call somewhere.
+        let main = p.function("main").unwrap();
+        let mut calls = 0;
+        crate::ast::walk_stmts(&main.body, &mut |s| {
+            crate::ast::walk_exprs(s, &mut |e| {
+                if let Expr::Call(n, _) = e {
+                    if n == "fact" {
+                        calls += 1;
+                    }
+                }
+            });
+        });
+        assert!(calls >= 1);
+    }
+}

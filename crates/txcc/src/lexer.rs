@@ -1,0 +1,224 @@
+//! Hand-rolled lexer for the TL mini-language.
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    Int(u64),
+    Ident(String),
+    // keywords
+    Fn,
+    Var,
+    If,
+    Else,
+    While,
+    Return,
+    Atomic,
+    Malloc,
+    Free,
+    // punctuation / operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Bang,
+    Amp,
+    Eof,
+}
+
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    pub line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.peek().is_ascii_whitespace() {
+                self.bump();
+            }
+            // line comments
+            if self.peek() == b'/' && self.src.get(self.pos + 1) == Some(&b'/') {
+                while self.peek() != b'\n' && self.peek() != 0 {
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    pub fn next(&mut self) -> Result<Tok, String> {
+        self.skip_ws();
+        let c = self.peek();
+        if c == 0 {
+            return Ok(Tok::Eof);
+        }
+        if c.is_ascii_digit() {
+            let mut v: u64 = 0;
+            while self.peek().is_ascii_digit() {
+                v = v * 10 + (self.bump() - b'0') as u64;
+            }
+            return Ok(Tok::Int(v));
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = self.pos;
+            while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+                self.bump();
+            }
+            let word = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            return Ok(match word {
+                "fn" => Tok::Fn,
+                "var" => Tok::Var,
+                "if" => Tok::If,
+                "else" => Tok::Else,
+                "while" => Tok::While,
+                "return" => Tok::Return,
+                "atomic" => Tok::Atomic,
+                "malloc" => Tok::Malloc,
+                "free" => Tok::Free,
+                _ => Tok::Ident(word.to_string()),
+            });
+        }
+        self.bump();
+        let two = |l: &mut Lexer<'a>, want: u8, a: Tok, b: Tok| {
+            if l.peek() == want {
+                l.bump();
+                Ok(a)
+            } else {
+                Ok(b)
+            }
+        };
+        match c {
+            b'(' => Ok(Tok::LParen),
+            b')' => Ok(Tok::RParen),
+            b'{' => Ok(Tok::LBrace),
+            b'}' => Ok(Tok::RBrace),
+            b'[' => Ok(Tok::LBracket),
+            b']' => Ok(Tok::RBracket),
+            b',' => Ok(Tok::Comma),
+            b';' => Ok(Tok::Semi),
+            b'+' => Ok(Tok::Plus),
+            b'-' => Ok(Tok::Minus),
+            b'*' => Ok(Tok::Star),
+            b'/' => Ok(Tok::Slash),
+            b'%' => Ok(Tok::Percent),
+            b'=' => two(self, b'=', Tok::EqEq, Tok::Assign),
+            b'<' => two(self, b'=', Tok::Le, Tok::Lt),
+            b'>' => two(self, b'=', Tok::Ge, Tok::Gt),
+            b'!' => two(self, b'=', Tok::Ne, Tok::Bang),
+            b'&' => two(self, b'&', Tok::AndAnd, Tok::Amp),
+            b'|' => {
+                if self.peek() == b'|' {
+                    self.bump();
+                    Ok(Tok::OrOr)
+                } else {
+                    Err(format!("line {}: unexpected '|'", self.line))
+                }
+            }
+            _ => Err(format!("line {}: unexpected character '{}'", self.line, c as char)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex_all(src: &str) -> Vec<Tok> {
+        let mut l = Lexer::new(src);
+        let mut out = Vec::new();
+        loop {
+            let t = l.next().unwrap();
+            if t == Tok::Eof {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            lex_all("fn foo atomic x1 malloc"),
+            vec![
+                Tok::Fn,
+                Tok::Ident("foo".into()),
+                Tok::Atomic,
+                Tok::Ident("x1".into()),
+                Tok::Malloc
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            lex_all("== = <= < != ! && & ||"),
+            vec![
+                Tok::EqEq,
+                Tok::Assign,
+                Tok::Le,
+                Tok::Lt,
+                Tok::Ne,
+                Tok::Bang,
+                Tok::AndAnd,
+                Tok::Amp,
+                Tok::OrOr
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_numbers() {
+        assert_eq!(
+            lex_all("12 // ignored\n 34"),
+            vec![Tok::Int(12), Tok::Int(34)]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut l = Lexer::new("@");
+        assert!(l.next().is_err());
+    }
+}

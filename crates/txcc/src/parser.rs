@@ -1,0 +1,351 @@
+//! Recursive-descent parser for TL with precedence-climbing expressions.
+
+use crate::ast::{BinOp, Expr, Function, Program, Stmt, UnOp};
+use crate::lexer::{Lexer, Tok};
+
+#[derive(Debug, Clone)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut functions = Vec::new();
+    while p.cur != Tok::Eof {
+        functions.push(p.function()?);
+    }
+    Ok(Program {
+        functions,
+        n_sites: p.next_site,
+    })
+}
+
+struct Parser<'a> {
+    lex: Lexer<'a>,
+    cur: Tok,
+    next_site: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Result<Parser<'a>, ParseError> {
+        let mut lex = Lexer::new(src);
+        let cur = lex.next().map_err(ParseError)?;
+        Ok(Parser {
+            lex,
+            cur,
+            next_site: 0,
+        })
+    }
+
+    fn bump(&mut self) -> Result<Tok, ParseError> {
+        let next = self.lex.next().map_err(ParseError)?;
+        Ok(std::mem::replace(&mut self.cur, next))
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), ParseError> {
+        if self.cur == t {
+            self.bump()?;
+            Ok(())
+        } else {
+            Err(ParseError(format!(
+                "line {}: expected {:?}, found {:?}",
+                self.lex.line, t, self.cur
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump()? {
+            Tok::Ident(s) => Ok(s),
+            t => Err(ParseError(format!(
+                "line {}: expected identifier, found {:?}",
+                self.lex.line, t
+            ))),
+        }
+    }
+
+    fn fresh_site(&mut self) -> usize {
+        let s = self.next_site;
+        self.next_site += 1;
+        s
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        self.expect(Tok::Fn)?;
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.cur != Tok::RParen {
+            loop {
+                params.push(self.ident()?);
+                if self.cur == Tok::Comma {
+                    self.bump()?;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let body = self.block()?;
+        Ok(Function { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.cur != Tok::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.cur.clone() {
+            Tok::Var => {
+                self.bump()?;
+                let name = self.ident()?;
+                let init = if self.cur == Tok::Assign {
+                    self.bump()?;
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::VarDecl(name, init))
+            }
+            Tok::If => {
+                self.bump()?;
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then = self.block()?;
+                let els = if self.cur == Tok::Else {
+                    self.bump()?;
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then, els))
+            }
+            Tok::While => {
+                self.bump()?;
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(Stmt::While(cond, self.block()?))
+            }
+            Tok::Return => {
+                self.bump()?;
+                let e = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return(e))
+            }
+            Tok::Atomic => {
+                self.bump()?;
+                Ok(Stmt::Atomic(self.block()?))
+            }
+            Tok::Free => {
+                self.bump()?;
+                self.expect(Tok::LParen)?;
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Free(e))
+            }
+            _ => {
+                // assignment (x = e; / base[idx] = e;) or expression stmt
+                let e = self.expr()?;
+                match (&e, &self.cur) {
+                    (Expr::Var(name), Tok::Assign) => {
+                        let name = name.clone();
+                        self.bump()?;
+                        let val = self.expr()?;
+                        self.expect(Tok::Semi)?;
+                        Ok(Stmt::Assign(name, val))
+                    }
+                    (Expr::Load { .. }, Tok::Assign) => {
+                        self.bump()?;
+                        let val = self.expr()?;
+                        self.expect(Tok::Semi)?;
+                        if let Expr::Load { base, idx, site } = e {
+                            Ok(Stmt::Store {
+                                base: *base,
+                                idx: *idx,
+                                val,
+                                site,
+                            })
+                        } else {
+                            unreachable!()
+                        }
+                    }
+                    _ => {
+                        self.expect(Tok::Semi)?;
+                        Ok(Stmt::ExprStmt(e))
+                    }
+                }
+            }
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.cur {
+                Tok::OrOr => (BinOp::Or, 1),
+                Tok::AndAnd => (BinOp::And, 2),
+                Tok::EqEq => (BinOp::Eq, 3),
+                Tok::Ne => (BinOp::Ne, 3),
+                Tok::Lt => (BinOp::Lt, 4),
+                Tok::Le => (BinOp::Le, 4),
+                Tok::Gt => (BinOp::Gt, 4),
+                Tok::Ge => (BinOp::Ge, 4),
+                Tok::Plus => (BinOp::Add, 5),
+                Tok::Minus => (BinOp::Sub, 5),
+                Tok::Star => (BinOp::Mul, 6),
+                Tok::Slash => (BinOp::Div, 6),
+                Tok::Percent => (BinOp::Mod, 6),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump()?;
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.cur.clone() {
+            Tok::Minus => {
+                self.bump()?;
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            Tok::Bang => {
+                self.bump()?;
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)))
+            }
+            Tok::Amp => {
+                self.bump()?;
+                Ok(Expr::AddrOf(self.ident()?))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        while self.cur == Tok::LBracket {
+            self.bump()?;
+            let idx = self.expr()?;
+            self.expect(Tok::RBracket)?;
+            e = Expr::Load {
+                base: Box::new(e),
+                idx: Box::new(idx),
+                site: self.fresh_site(),
+            };
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump()? {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Malloc => {
+                self.expect(Tok::LParen)?;
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(Expr::Malloc(Box::new(e)))
+            }
+            Tok::Ident(name) => {
+                if self.cur == Tok::LParen {
+                    self.bump()?;
+                    let mut args = Vec::new();
+                    if self.cur != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.cur == Tok::Comma {
+                                self.bump()?;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            t => Err(ParseError(format!(
+                "line {}: unexpected token {:?}",
+                self.lex.line, t
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_function() {
+        let p = parse("fn add(a, b) { return a + b; }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].params, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn parses_atomic_malloc_store() {
+        let p = parse(
+            "fn f(s) { atomic { var p = malloc(16); p[0] = 1; s[0] = p[0]; } return 0; }",
+        )
+        .unwrap();
+        assert_eq!(p.n_sites, 3, "two loads-as-lvalue + one rvalue load");
+        let f = &p.functions[0];
+        assert!(matches!(f.body[0], Stmt::Atomic(_)));
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("fn f() { return 1 + 2 * 3 < 10 && 1; }").unwrap();
+        // (((1 + (2*3)) < 10) && 1)
+        if let Stmt::Return(Expr::Binary(BinOp::And, l, _)) = &p.functions[0].body[0] {
+            assert!(matches!(**l, Expr::Binary(BinOp::Lt, _, _)));
+        } else {
+            panic!("wrong shape");
+        }
+    }
+
+    #[test]
+    fn address_of_and_if_else() {
+        let p = parse("fn f() { var x = 0; var q = &x; if (q[0]) { x = 1; } else { x = 2; } return x; }")
+            .unwrap();
+        assert_eq!(p.functions.len(), 1);
+    }
+
+    #[test]
+    fn rejects_syntax_errors() {
+        assert!(parse("fn f( { }").is_err());
+        assert!(parse("fn f() { return 1 }").is_err()); // missing semi
+        assert!(parse("1 + 2").is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based compiler correctness: randomly generated TL programs
+//! must compute identical results under naive instrumentation and under
+//! capture analysis — i.e. the static elision is semantics-preserving —
+//! and the analysis must never elide more than the precise runtime
+//! analysis observes as captured.
+
+use proptest::prelude::*;
+use stm::{StmRuntime, TxConfig};
+use txcc::{build, OptLevel, Vm};
+use txmem::MemConfig;
+
+/// A tiny program generator: a single function with `nblocks` pointer
+/// variables (some malloc'ed inside the atomic block = captured, some
+/// aliases of the shared parameter = not), followed by a random sequence of
+/// stores and loads between them, all inside one transaction. The shared
+/// buffer is the observable output.
+#[derive(Clone, Debug)]
+enum GenOp {
+    /// blocks[dst][idx] = const
+    StoreConst { dst: u8, idx: u8, val: u16 },
+    /// blocks[dst][i] = blocks[src][j]
+    Move { dst: u8, di: u8, src: u8, si: u8 },
+    /// shared[k] = blocks[src][j]
+    Publish { k: u8, src: u8, si: u8 },
+}
+
+fn genop() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u16>())
+            .prop_map(|(dst, idx, val)| GenOp::StoreConst { dst, idx, val }),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(dst, di, src, si)| GenOp::Move { dst, di, src, si }),
+        (any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(k, src, si)| GenOp::Publish { k, src, si }),
+    ]
+}
+
+const NBLOCKS: u8 = 4;
+const BLOCK_WORDS: u8 = 4;
+const SHARED_WORDS: u8 = 8;
+
+/// Render the op list as TL source. `captured_mask` decides which pointer
+/// variables are malloc'ed inside the transaction vs. aliases into the
+/// shared buffer.
+fn render(ops: &[GenOp], captured_mask: u8) -> String {
+    let mut src = String::from("fn f(s) {\n  atomic {\n");
+    for b in 0..NBLOCKS {
+        if captured_mask & (1 << b) != 0 {
+            src.push_str(&format!("    var p{b} = malloc({});\n", BLOCK_WORDS as u64 * 8));
+        } else {
+            // Alias into the shared buffer (disjoint 4-word windows so
+            // blocks never overlap). `+` is raw byte arithmetic in TL.
+            src.push_str(&format!(
+                "    var p{b} = s + {};\n",
+                b as u64 * BLOCK_WORDS as u64 * 8
+            ));
+        }
+    }
+    for op in ops {
+        match *op {
+            GenOp::StoreConst { dst, idx, val } => {
+                let d = dst % NBLOCKS;
+                let i = idx % BLOCK_WORDS;
+                src.push_str(&format!("    p{d}[{i}] = {val};\n"));
+            }
+            GenOp::Move { dst, di, src: s, si } => {
+                let d = dst % NBLOCKS;
+                let di = di % BLOCK_WORDS;
+                let s = s % NBLOCKS;
+                let si = si % BLOCK_WORDS;
+                src.push_str(&format!("    p{d}[{di}] = p{s}[{si}];\n"));
+            }
+            GenOp::Publish { k, src: s, si } => {
+                let k = k % SHARED_WORDS + (NBLOCKS * BLOCK_WORDS); // past alias windows
+                let s = s % NBLOCKS;
+                let si = si % BLOCK_WORDS;
+                src.push_str(&format!("    s[{k}] = p{s}[{si}];\n"));
+            }
+        }
+    }
+    src.push_str("  }\n  return 0;\n}\n");
+    src
+}
+
+fn run_program(src: &str, opt: OptLevel) -> (Vec<u64>, u64) {
+    let prog = build(src, opt).unwrap();
+    let rt = StmRuntime::new(MemConfig::small(), TxConfig::runtime_tree_full());
+    let total_words = (NBLOCKS * BLOCK_WORDS + SHARED_WORDS * 2) as u64;
+    let shared = rt.alloc_global(total_words * 8);
+    let mut w = rt.spawn_worker();
+    let mut vm = Vm::new(&prog);
+    vm.run(&mut w, "f", &[shared.raw()]);
+    let snapshot: Vec<u64> = (0..total_words).map(|i| w.load(shared.word(i))).collect();
+    let runtime_elided = w.stats.reads.elided() + w.stats.writes.elided();
+    (snapshot, runtime_elided)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn capture_analysis_preserves_semantics(
+        ops in proptest::collection::vec(genop(), 1..20),
+        captured_mask in any::<u8>(),
+    ) {
+        let src = render(&ops, captured_mask);
+        let (mem_naive, _) = run_program(&src, OptLevel::Naive);
+        let (mem_opt, _) = run_program(&src, OptLevel::CaptureAnalysis);
+        prop_assert_eq!(mem_naive, mem_opt, "program:\n{}", src);
+    }
+
+    #[test]
+    fn static_elision_never_exceeds_runtime_ground_truth(
+        ops in proptest::collection::vec(genop(), 1..20),
+        captured_mask in any::<u8>(),
+    ) {
+        let src = render(&ops, captured_mask);
+        // Static count of elided accesses...
+        let prog = build(&src, OptLevel::CaptureAnalysis).unwrap();
+        let static_elided = prog.stats.elided as u64;
+        // ...must be bounded by what the precise runtime analysis sees when
+        // the naive build executes (each site executes exactly once here).
+        let naive = build(&src, OptLevel::Naive).unwrap();
+        let rt = StmRuntime::new(MemConfig::small(), TxConfig::runtime_tree_full());
+        let total_words = (NBLOCKS * BLOCK_WORDS + SHARED_WORDS * 2) as u64;
+        let shared = rt.alloc_global(total_words * 8);
+        let mut w = rt.spawn_worker();
+        let mut vm = Vm::new(&naive);
+        vm.run(&mut w, "f", &[shared.raw()]);
+        let runtime_elided = w.stats.reads.elided() + w.stats.writes.elided();
+        prop_assert!(
+            static_elided <= runtime_elided,
+            "static {} > runtime {} — unsound elision!\n{}",
+            static_elided, runtime_elided, src
+        );
+    }
+
+    #[test]
+    fn all_captured_blocks_means_only_publishes_take_barriers(
+        ops in proptest::collection::vec(genop(), 1..16),
+    ) {
+        // Every block malloc'ed in-tx: the only barriers left after capture
+        // analysis are the s[k] publishes (and none if there are none).
+        let src = render(&ops, 0xFF);
+        let prog = build(&src, OptLevel::CaptureAnalysis).unwrap();
+        let publishes = ops.iter().filter(|o| matches!(o, GenOp::Publish { .. })).count();
+        prop_assert_eq!(prog.stats.barriers, publishes, "{}", src);
+    }
+}

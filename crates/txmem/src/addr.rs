@@ -1,0 +1,107 @@
+use std::fmt;
+
+/// Number of bytes in one simulated machine word.
+pub const WORD_BYTES: u64 = 8;
+
+/// The null address. Word 0 of the simulated memory is reserved so that 0 is
+/// never a valid data address, mirroring C's `NULL`.
+pub const NULL: Addr = Addr(0);
+
+/// A byte address into the simulated shared memory.
+///
+/// All loads and stores are word (8-byte) granular and must be word aligned;
+/// pointers stored *in* simulated memory are plain `u64` values equal to
+/// `Addr::0`, so data structures built on the heap can freely link to each
+/// other just like C structs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Construct an address from a raw word stored in memory.
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Addr {
+        Addr(raw)
+    }
+
+    /// The raw byte address (what gets stored into memory for pointers).
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// True if this is the reserved null address.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Index of the word containing this (word-aligned) address.
+    #[inline]
+    pub const fn word_index(self) -> usize {
+        (self.0 / WORD_BYTES) as usize
+    }
+
+    /// True if the address is word aligned.
+    #[inline]
+    pub const fn is_aligned(self) -> bool {
+        self.0 % WORD_BYTES == 0
+    }
+
+    /// Byte offset arithmetic (like C pointer arithmetic on `char*`).
+    #[inline]
+    pub const fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+
+    /// Word offset arithmetic (like C pointer arithmetic on `uint64_t*`).
+    #[inline]
+    pub const fn word(self, words: u64) -> Addr {
+        Addr(self.0 + words * WORD_BYTES)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_word_zero() {
+        assert!(NULL.is_null());
+        assert_eq!(NULL.word_index(), 0);
+        assert!(!Addr(8).is_null());
+    }
+
+    #[test]
+    fn word_index_and_alignment() {
+        assert_eq!(Addr(0).word_index(), 0);
+        assert_eq!(Addr(8).word_index(), 1);
+        assert_eq!(Addr(64).word_index(), 8);
+        assert!(Addr(16).is_aligned());
+        assert!(!Addr(12).is_aligned());
+    }
+
+    #[test]
+    fn offset_arithmetic() {
+        let a = Addr(0x100);
+        assert_eq!(a.offset(8), Addr(0x108));
+        assert_eq!(a.word(2), Addr(0x110));
+    }
+
+    #[test]
+    fn roundtrips_through_raw() {
+        let a = Addr(0xdead0);
+        assert_eq!(Addr::from_raw(a.raw()), a);
+    }
+}

@@ -1,0 +1,347 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::addr::{Addr, WORD_BYTES};
+use crate::mem::SharedMem;
+
+/// Size classes (total block bytes, including the 8-byte header), in the
+/// spirit of McRT-Malloc's segregated free lists. Payload capacity of a class
+/// is `class - HEADER_BYTES`.
+pub const SIZE_CLASSES: [u64; 16] = [
+    16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 4096, 8192,
+];
+
+/// Largest payload served from the size-class fast path.
+pub const MAX_SMALL_BYTES: u64 = SIZE_CLASSES[SIZE_CLASSES.len() - 1] - HEADER_BYTES;
+
+const HEADER_BYTES: u64 = WORD_BYTES;
+const NCLASSES: usize = SIZE_CLASSES.len();
+/// How many blocks a thread pulls from / spills to the global pool at once.
+const BATCH: usize = 16;
+/// A thread free list longer than this spills half back to the global pool.
+const SPILL_AT: usize = 64;
+
+/// Allocation failure: the simulated heap is exhausted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocError {
+    pub requested: u64,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "simulated heap exhausted (requested {} bytes)", self.requested)
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+fn size_to_class(total: u64) -> Option<usize> {
+    SIZE_CLASSES.iter().position(|&c| c >= total)
+}
+
+struct GlobalPool {
+    /// Next unused byte of the heap region (bump frontier).
+    bump: u64,
+    /// One past the last heap byte.
+    end: u64,
+    /// Global free lists per class (block start addresses).
+    free: [Vec<u64>; NCLASSES],
+    /// Free large blocks: (block start, total bytes).
+    large_free: Vec<(u64, u64)>,
+}
+
+impl GlobalPool {
+    fn carve(&mut self, total: u64) -> Option<u64> {
+        if self.end - self.bump < total {
+            return None;
+        }
+        let a = self.bump;
+        self.bump += total;
+        Some(a)
+    }
+}
+
+/// Per-thread allocator state: segregated free lists that serve allocations
+/// without any locking, refilled from the shared [`TxHeap`] pool in batches.
+#[derive(Default)]
+pub struct ThreadAlloc {
+    free: Vec<Vec<u64>>,
+    /// Number of blocks this thread allocated (for tests/telemetry).
+    pub alloc_count: u64,
+    /// Number of blocks this thread freed.
+    pub free_count: u64,
+}
+
+impl ThreadAlloc {
+    pub fn new() -> ThreadAlloc {
+        ThreadAlloc {
+            free: (0..NCLASSES).map(|_| Vec::new()).collect(),
+            alloc_count: 0,
+            free_count: 0,
+        }
+    }
+}
+
+/// The shared heap: a McRT-Malloc-style size-class allocator over the heap
+/// region of the simulated memory.
+///
+/// The allocator itself is *not* transactional: the STM layer on top logs
+/// transactional allocations and frees, undoing allocations on abort and
+/// deferring frees to commit. This matches the paper's design where the
+/// transactional memory allocator wraps a scalable malloc (ref [11]) and the
+/// allocation log lives in the transaction descriptor.
+pub struct TxHeap {
+    mem: Arc<SharedMem>,
+    global: Mutex<GlobalPool>,
+    /// Total bytes handed out (telemetry; relaxed).
+    bytes_allocated: AtomicU64,
+}
+
+impl TxHeap {
+    pub fn new(mem: Arc<SharedMem>) -> TxHeap {
+        let l = *mem.layout();
+        TxHeap {
+            mem,
+            global: Mutex::new(GlobalPool {
+                bump: l.heap_start,
+                end: l.heap_end,
+                free: std::array::from_fn(|_| Vec::new()),
+                large_free: Vec::new(),
+            }),
+            bytes_allocated: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn mem(&self) -> &SharedMem {
+        &self.mem
+    }
+
+    /// Allocate `size` payload bytes; returns the payload address (header is
+    /// at `addr - 8`). The payload is zeroed.
+    pub fn alloc(&self, ta: &mut ThreadAlloc, size: u64) -> Result<Addr, AllocError> {
+        let size = size.max(1);
+        let total = (size + HEADER_BYTES + WORD_BYTES - 1) / WORD_BYTES * WORD_BYTES;
+        let block = match size_to_class(total) {
+            Some(class) => {
+                let cls_total = SIZE_CLASSES[class];
+                let block = match ta.free[class].pop() {
+                    Some(b) => b,
+                    None => self.refill(ta, class).ok_or(AllocError { requested: size })?,
+                };
+                self.mem.store_private(Addr(block), cls_total);
+                block
+            }
+            None => self.alloc_large(total).ok_or(AllocError { requested: size })?,
+        };
+        ta.alloc_count += 1;
+        let payload = Addr(block + HEADER_BYTES);
+        let usable = self.usable_size(payload);
+        self.mem.zero_range(payload, usable);
+        self.bytes_allocated.fetch_add(usable, Ordering::Relaxed);
+        Ok(payload)
+    }
+
+    fn refill(&self, ta: &mut ThreadAlloc, class: usize) -> Option<u64> {
+        let cls_total = SIZE_CLASSES[class];
+        let mut g = self.global.lock().unwrap();
+        // Prefer recycled blocks.
+        let take = g.free[class].len().min(BATCH);
+        if take > 0 {
+            let at = g.free[class].len() - take;
+            ta.free[class].extend(g.free[class].drain(at..));
+        } else {
+            // Carve a fresh batch from the bump frontier; fall back to fewer
+            // blocks (down to one) when the heap is nearly full.
+            let mut carved = 0;
+            while carved < BATCH {
+                match g.carve(cls_total) {
+                    Some(b) => {
+                        ta.free[class].push(b);
+                        carved += 1;
+                    }
+                    None => break,
+                }
+            }
+            if carved == 0 {
+                return None;
+            }
+        }
+        ta.free[class].pop()
+    }
+
+    fn alloc_large(&self, total: u64) -> Option<u64> {
+        let mut g = self.global.lock().unwrap();
+        // First fit over the large free list.
+        if let Some(i) = g.large_free.iter().position(|&(_, sz)| sz >= total) {
+            let (a, sz) = g.large_free.swap_remove(i);
+            self.mem.store_private(Addr(a), sz);
+            return Some(a);
+        }
+        let a = g.carve(total)?;
+        self.mem.store_private(Addr(a), total);
+        Some(a)
+    }
+
+    /// Free a block previously returned by [`TxHeap::alloc`].
+    pub fn free(&self, ta: &mut ThreadAlloc, addr: Addr) {
+        assert!(!addr.is_null(), "free(NULL)");
+        let block = addr.0 - HEADER_BYTES;
+        let total = self.mem.load_private(Addr(block));
+        ta.free_count += 1;
+        self.bytes_allocated
+            .fetch_sub(total - HEADER_BYTES, Ordering::Relaxed);
+        match size_to_class(total) {
+            Some(class) if SIZE_CLASSES[class] == total => {
+                ta.free[class].push(block);
+                if ta.free[class].len() > SPILL_AT {
+                    let spill_at = ta.free[class].len() / 2;
+                    let mut g = self.global.lock().unwrap();
+                    g.free[class].extend(ta.free[class].drain(spill_at..));
+                }
+            }
+            _ => {
+                let mut g = self.global.lock().unwrap();
+                g.large_free.push((block, total));
+            }
+        }
+    }
+
+    /// Usable payload bytes of an allocated block. The capture log records
+    /// the whole usable range so that any in-bounds access hits.
+    #[inline]
+    pub fn usable_size(&self, addr: Addr) -> u64 {
+        let total = self.mem.load_private(Addr(addr.0 - HEADER_BYTES));
+        total - HEADER_BYTES
+    }
+
+    /// Live payload bytes currently allocated (telemetry).
+    pub fn bytes_allocated(&self) -> u64 {
+        self.bytes_allocated.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemConfig;
+
+    fn mk() -> (Arc<SharedMem>, TxHeap, ThreadAlloc) {
+        let mem = Arc::new(SharedMem::new(MemConfig::small()));
+        let heap = TxHeap::new(mem.clone());
+        (mem, heap, ThreadAlloc::new())
+    }
+
+    #[test]
+    fn alloc_returns_zeroed_disjoint_blocks() {
+        let (mem, heap, mut ta) = mk();
+        let a = heap.alloc(&mut ta, 24).unwrap();
+        let b = heap.alloc(&mut ta, 24).unwrap();
+        assert_ne!(a, b);
+        for i in 0..3 {
+            assert_eq!(mem.load(a.word(i)), 0);
+        }
+        mem.store(a, 42);
+        assert_eq!(mem.load(b), 0, "blocks must not alias");
+    }
+
+    #[test]
+    fn usable_size_covers_request() {
+        let (_, heap, mut ta) = mk();
+        for req in [1u64, 8, 16, 24, 100, 1000, 4000] {
+            let a = heap.alloc(&mut ta, req).unwrap();
+            assert!(heap.usable_size(a) >= req, "req={req}");
+        }
+    }
+
+    #[test]
+    fn free_then_alloc_reuses_memory() {
+        let (_, heap, mut ta) = mk();
+        let a = heap.alloc(&mut ta, 32).unwrap();
+        heap.free(&mut ta, a);
+        let b = heap.alloc(&mut ta, 32).unwrap();
+        assert_eq!(a, b, "size-class free list should recycle LIFO");
+    }
+
+    #[test]
+    fn large_allocations_roundtrip() {
+        let (mem, heap, mut ta) = mk();
+        let big = MAX_SMALL_BYTES + 1000;
+        let a = heap.alloc(&mut ta, big).unwrap();
+        assert!(heap.usable_size(a) >= big);
+        mem.store(a.word(1000), 5);
+        heap.free(&mut ta, a);
+        let b = heap.alloc(&mut ta, big).unwrap();
+        assert_eq!(a, b, "large free list should recycle");
+    }
+
+    #[test]
+    fn exhaustion_reports_error_not_panic() {
+        let (_, heap, mut ta) = mk();
+        let mut n = 0u64;
+        loop {
+            match heap.alloc(&mut ta, 4096) {
+                Ok(_) => n += 1,
+                Err(e) => {
+                    assert_eq!(e.requested, 4096);
+                    break;
+                }
+            }
+            assert!(n < 1 << 20, "heap never exhausted?");
+        }
+        assert!(n > 10);
+    }
+
+    #[test]
+    fn bytes_allocated_tracks_live_data() {
+        let (_, heap, mut ta) = mk();
+        let before = heap.bytes_allocated();
+        let a = heap.alloc(&mut ta, 100).unwrap();
+        assert!(heap.bytes_allocated() > before);
+        heap.free(&mut ta, a);
+        assert_eq!(heap.bytes_allocated(), before);
+    }
+
+    #[test]
+    fn cross_thread_recycling_via_global_pool() {
+        let (_, heap, mut ta1) = mk();
+        let mut ta2 = ThreadAlloc::new();
+        // Thread 1 allocates and frees enough to spill to the global pool.
+        let blocks: Vec<_> = (0..SPILL_AT + 10)
+            .map(|_| heap.alloc(&mut ta1, 56).unwrap())
+            .collect();
+        for b in blocks {
+            heap.free(&mut ta1, b);
+        }
+        // Thread 2 should be able to pull recycled blocks.
+        let x = heap.alloc(&mut ta2, 56).unwrap();
+        assert!(!x.is_null());
+    }
+
+    #[test]
+    fn concurrent_alloc_is_disjoint() {
+        let mem = Arc::new(SharedMem::new(MemConfig {
+            max_threads: 8,
+            stack_words: 1 << 10,
+            heap_words: 1 << 18,
+        }));
+        let heap = Arc::new(TxHeap::new(mem));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let heap = heap.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut ta = ThreadAlloc::new();
+                let mut addrs = Vec::new();
+                for i in 0..500 {
+                    addrs.push(heap.alloc(&mut ta, 16 + (i % 5) * 24).unwrap());
+                }
+                addrs
+            }));
+        }
+        let mut all: Vec<Addr> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let before = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), before, "threads handed out overlapping blocks");
+    }
+}

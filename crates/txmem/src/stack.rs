@@ -1,0 +1,182 @@
+use crate::addr::{Addr, WORD_BYTES};
+use crate::mem::SharedMem;
+
+/// A per-thread, downward-growing stack inside the simulated address space.
+///
+/// This reproduces the layout of the paper's Figure 3: the STM records the
+/// stack pointer at transaction begin (`start_sp`, kept by the transaction
+/// descriptor in the `stm` crate) and the live stack top is `sp`. The
+/// transaction-local stack is everything pushed after transaction begin,
+/// i.e. the byte range `[sp, start_sp)` (the paper draws the same contiguous
+/// region; its Figure 4 writes the comparison with the opposite sense because
+/// it treats `sp` as the numerically larger bound).
+pub struct ThreadStack {
+    /// One past the highest byte of the stack region (initial sp).
+    base: u64,
+    /// Lowest valid byte of the stack region.
+    limit: u64,
+    /// Current stack top; grows downward. `sp == base` means empty.
+    sp: u64,
+}
+
+impl ThreadStack {
+    /// Create the stack view for thread `tid`, with `sp` at the top.
+    pub fn new(mem: &SharedMem, tid: usize) -> ThreadStack {
+        let (limit, base) = mem.layout().stack_range(tid);
+        ThreadStack {
+            base,
+            limit,
+            sp: base,
+        }
+    }
+
+    /// Current stack pointer (byte address; everything at `>= sp` within the
+    /// region is live).
+    #[inline]
+    pub fn sp(&self) -> u64 {
+        self.sp
+    }
+
+    /// Highest address of the region + 1 (the initial `sp`).
+    #[inline]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Lowest valid address of the region.
+    #[inline]
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Push a frame of `words` words; returns the (lowest) address of the
+    /// frame. Panics on simulated stack overflow.
+    pub fn push(&mut self, words: usize) -> Addr {
+        let bytes = words as u64 * WORD_BYTES;
+        assert!(
+            self.sp - self.limit >= bytes,
+            "simulated stack overflow: sp={:#x} limit={:#x} request={} words",
+            self.sp,
+            self.limit,
+            words
+        );
+        self.sp -= bytes;
+        Addr(self.sp)
+    }
+
+    /// Pop a frame of `words` words (must match a previous push).
+    pub fn pop(&mut self, words: usize) {
+        let bytes = words as u64 * WORD_BYTES;
+        assert!(
+            self.sp + bytes <= self.base,
+            "simulated stack underflow: sp={:#x} base={:#x} pop={} words",
+            self.sp,
+            self.base,
+            words
+        );
+        self.sp += bytes;
+    }
+
+    /// Reset the stack pointer to an earlier value (used when a transaction
+    /// aborts: every frame pushed inside the transaction is discarded).
+    #[inline]
+    pub fn reset_to(&mut self, sp: u64) {
+        debug_assert!(sp >= self.sp && sp <= self.base, "bad stack reset");
+        self.sp = sp;
+    }
+
+    /// True if `addr` lies inside this thread's stack region at all.
+    #[inline]
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr.0 >= self.limit && addr.0 < self.base
+    }
+
+    /// The paper's runtime stack capture check (Figure 4): is `addr` in the
+    /// transaction-local part of the stack, i.e. pushed after the transaction
+    /// began at `start_sp`? With a downward-growing stack that is
+    /// `sp <= addr < start_sp`.
+    #[inline]
+    pub fn is_captured(&self, addr: Addr, start_sp: u64) -> bool {
+        addr.0 >= self.sp && addr.0 < start_sp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemConfig;
+
+    fn mk() -> (SharedMem, ThreadStack) {
+        let mem = SharedMem::new(MemConfig::small());
+        let st = ThreadStack::new(&mem, 0);
+        (mem, st)
+    }
+
+    #[test]
+    fn push_pop_moves_sp() {
+        let (_, mut st) = mk();
+        let base = st.sp();
+        let f = st.push(4);
+        assert_eq!(f.0, base - 32);
+        assert_eq!(st.sp(), base - 32);
+        st.pop(4);
+        assert_eq!(st.sp(), base);
+    }
+
+    #[test]
+    fn frames_are_usable_memory() {
+        let (mem, mut st) = mk();
+        let f = st.push(2);
+        mem.store(f, 11);
+        mem.store(f.word(1), 22);
+        assert_eq!(mem.load(f), 11);
+        assert_eq!(mem.load(f.word(1)), 22);
+        st.pop(2);
+    }
+
+    #[test]
+    fn capture_check_matches_paper_semantics() {
+        let (_, mut st) = mk();
+        // Frame pushed *before* the transaction: live-in, not captured.
+        let before = st.push(2);
+        let start_sp = st.sp(); // transaction begins here
+        let inside = st.push(2);
+        assert!(st.is_captured(inside, start_sp));
+        assert!(st.is_captured(inside.word(1), start_sp));
+        assert!(!st.is_captured(before, start_sp));
+        // An address below sp (not yet allocated) is not captured.
+        assert!(!st.is_captured(Addr(st.sp() - 8), start_sp));
+    }
+
+    #[test]
+    fn reset_to_discards_tx_frames() {
+        let (_, mut st) = mk();
+        let start_sp = st.sp();
+        st.push(8);
+        st.push(8);
+        st.reset_to(start_sp);
+        assert_eq!(st.sp(), start_sp);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let (_, mut st) = mk();
+        st.push(1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let (_, mut st) = mk();
+        st.pop(1);
+    }
+
+    #[test]
+    fn contains_is_region_wide() {
+        let (_, mut st) = mk();
+        let f = st.push(1);
+        assert!(st.contains(f));
+        assert!(!st.contains(Addr(st.base())));
+    }
+}

@@ -1,0 +1,126 @@
+//! A travel-reservation service built on the transactional collections —
+//! the workload class the paper's introduction motivates (vacation).
+//!
+//! ```sh
+//! cargo run --release --example reservation_system
+//! ```
+//!
+//! Four agents concurrently book trips against shared red-black-tree
+//! inventory tables while an auditor transaction sums exposure. Every
+//! booking allocates its customer record and reservation-list nodes inside
+//! the transaction — captured memory whose barriers the STM elides.
+
+use stamp::collections::{TxList, TxRbTree};
+use stm::{Site, StmRuntime, TxConfig};
+use txmem::{Addr, MemConfig};
+
+static INV: Site = Site::shared("resv.inventory");
+static INV_INIT: Site = Site::captured_local("resv.inventory_init");
+static CUST_INIT: Site = Site::captured_local("resv.customer_init");
+
+const ROOMS: u64 = 64;
+const AGENTS: usize = 4;
+const BOOKINGS_PER_AGENT: u64 = 2_000;
+
+fn main() {
+    let rt = StmRuntime::new(MemConfig::default(), TxConfig::runtime_tree_full());
+    let rooms = TxRbTree::create(&rt); // room id -> record [capacity, free, rate]
+    let customers = TxRbTree::create(&rt); // customer id -> reservation list
+
+    {
+        let mut w = rt.spawn_worker();
+        for id in 0..ROOMS {
+            let rate = 80 + (id * 13) % 200;
+            w.txn(|tx| {
+                let rec = tx.alloc(3 * 8)?;
+                tx.write(&INV_INIT, rec.word(0), 10)?; // capacity
+                tx.write(&INV_INIT, rec.word(1), 10)?; // free
+                tx.write(&INV_INIT, rec.word(2), rate)?;
+                rooms.insert(tx, id, rec.raw())
+            });
+        }
+    }
+
+    std::thread::scope(|s| {
+        for agent in 0..AGENTS as u64 {
+            let rt = &rt;
+            let rooms = &rooms;
+            let customers = &customers;
+            s.spawn(move || {
+                let mut w = rt.spawn_worker();
+                let mut x = agent * 7919 + 1;
+                for n in 0..BOOKINGS_PER_AGENT {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let room = (x >> 33) % ROOMS;
+                    let customer = (x >> 17) % 256;
+                    w.txn(|tx| {
+                        let Some(rec) = rooms.find(tx, room)? else {
+                            return Ok(());
+                        };
+                        let rec = Addr::from_raw(rec);
+                        let free = tx.read(&INV, rec.word(1))?;
+                        if free == 0 {
+                            return Ok(()); // sold out
+                        }
+                        let rate = tx.read(&INV, rec.word(2))?;
+                        // Get or create the customer's reservation list.
+                        let list = match customers.find(tx, customer)? {
+                            Some(h) => TxList {
+                                handle: Addr::from_raw(h),
+                            },
+                            None => {
+                                let h = tx.alloc(2 * 8)?;
+                                tx.write(&CUST_INIT, h.word(0), 0)?;
+                                tx.write(&CUST_INIT, h.word(1), 0)?;
+                                customers.insert(tx, customer, h.raw())?;
+                                TxList { handle: h }
+                            }
+                        };
+                        // Reservation key unique per booking.
+                        if list.insert(tx, room * BOOKINGS_PER_AGENT * 8 + n * 8 + agent, rate)? {
+                            tx.write(&INV, rec.word(1), free - 1)?;
+                        }
+                        Ok(())
+                    });
+                }
+            });
+        }
+    });
+
+    // Audit: capacity conservation per room.
+    let w = rt.spawn_worker();
+    let mut held = std::collections::HashMap::<u64, u64>::new();
+    for (_cid, h) in customers.seq_collect(&w) {
+        let list = TxList {
+            handle: Addr::from_raw(h),
+        };
+        for (key, _rate) in list.seq_collect(&w) {
+            *held.entry(key / (BOOKINGS_PER_AGENT * 8)).or_insert(0) += 1;
+        }
+    }
+    let mut total_booked = 0;
+    for (room, rec) in rooms.seq_collect(&w) {
+        let rec = Addr::from_raw(rec);
+        let cap = w.load(rec.word(0));
+        let free = w.load(rec.word(1));
+        let booked = held.get(&room).copied().unwrap_or(0);
+        assert_eq!(cap, free + booked, "room {room} over/under-booked");
+        total_booked += booked;
+    }
+    rooms.seq_check_invariants(&w);
+    customers.seq_check_invariants(&w);
+    drop(w);
+
+    let stats = rt.collect_stats();
+    println!("bookings accepted : {total_booked}");
+    println!(
+        "write barriers    : {} total, {:.1}% elided as captured",
+        stats.writes.total,
+        100.0 * stats.writes.elided_fraction()
+    );
+    println!(
+        "aborts/commits    : {:.3}",
+        stats.abort_to_commit_ratio()
+    );
+    println!("ok: all rooms conserve capacity");
+}

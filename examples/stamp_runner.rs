@@ -1,0 +1,96 @@
+//! Run any STAMP benchmark from the command line, like the original
+//! suite's binaries:
+//!
+//! ```sh
+//! cargo run --release --example stamp_runner -- vacation-high 4 tree
+//! cargo run --release --example stamp_runner -- yada 2 baseline
+//! cargo run --release --example stamp_runner -- all 4 compiler
+//! ```
+//!
+//! Arguments: `<benchmark|all> [threads] [baseline|tree|array|filter|compiler]`.
+
+use stamp::{Benchmark, Scale};
+use stm::{CheckScope, LogKind, Mode, TxConfig};
+
+fn parse_benchmark(s: &str) -> Option<Benchmark> {
+    Some(match s {
+        "bayes" => Benchmark::Bayes,
+        "genome" => Benchmark::Genome,
+        "intruder" => Benchmark::Intruder,
+        "kmeans-high" => Benchmark::KmeansHigh,
+        "kmeans-low" => Benchmark::KmeansLow,
+        "labyrinth" => Benchmark::Labyrinth,
+        "ssca2" => Benchmark::Ssca2,
+        "vacation-high" => Benchmark::VacationHigh,
+        "vacation-low" => Benchmark::VacationLow,
+        "yada" => Benchmark::Yada,
+        _ => return None,
+    })
+}
+
+fn parse_mode(s: &str) -> Option<Mode> {
+    Some(match s {
+        "baseline" => Mode::Baseline,
+        "compiler" => Mode::Compiler,
+        "tree" => Mode::Runtime {
+            log: LogKind::Tree,
+            scope: CheckScope::FULL,
+        },
+        "array" => Mode::Runtime {
+            log: LogKind::Array,
+            scope: CheckScope::FULL,
+        },
+        "filter" => Mode::Runtime {
+            log: LogKind::Filter,
+            scope: CheckScope::FULL,
+        },
+        _ => return None,
+    })
+}
+
+fn run_one(b: Benchmark, threads: usize, mode: Mode) {
+    let out = b.run(Scale::Full, TxConfig::with_mode(mode), threads);
+    let all = out.stats.all_accesses();
+    println!(
+        "{:<14} {:>8.3}s  {:>9} commits  {:>8} aborts (ratio {:.2})  \
+         barriers {:>9} ({:>5.1}% elided)  verified={}",
+        out.benchmark,
+        out.elapsed.as_secs_f64(),
+        out.stats.commits,
+        out.stats.aborts,
+        out.stats.abort_to_commit_ratio(),
+        all.total,
+        100.0 * all.elided_fraction(),
+        out.verified,
+    );
+    assert!(out.verified, "{} failed verification!", b.name());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let threads: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let mode = args
+        .get(2)
+        .map(|s| parse_mode(s).expect("mode: baseline|tree|array|filter|compiler"))
+        .unwrap_or(Mode::Runtime {
+            log: LogKind::Tree,
+            scope: CheckScope::FULL,
+        });
+
+    println!("# scale=full threads={threads} mode={}", mode.label());
+    if which == "all" {
+        for b in Benchmark::ALL {
+            run_one(b, threads, mode);
+        }
+    } else {
+        let b = parse_benchmark(which).unwrap_or_else(|| {
+            eprintln!(
+                "unknown benchmark {which}; one of: bayes genome intruder kmeans-high \
+                 kmeans-low labyrinth ssca2 vacation-high vacation-low yada all"
+            );
+            std::process::exit(2);
+        });
+        run_one(b, threads, mode);
+    }
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the captured-memory STM reproduction.
+//!
+//! This crate re-exports the workspace members so that examples and
+//! integration tests can use a single dependency. See the individual crates
+//! for the real implementation:
+//!
+//! * [`txmem`] — simulated shared memory, stacks, transactional allocator.
+//! * [`capture`] — capture-analysis data structures (paper §3.1).
+//! * [`stm`] — the STM runtime with capture-optimized barriers.
+//! * [`txcc`] — the mini-language STM compiler with static capture analysis
+//!   (paper §3.2) and its VM.
+//! * [`stamp`] — the STAMP-like benchmark suite used by the evaluation.
+
+pub use capture;
+pub use stamp;
+pub use stm;
+pub use txcc;
+pub use txmem;

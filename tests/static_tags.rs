@@ -1,0 +1,48 @@
+//! Validates the static `compiler_elides` site tags of the STAMP suite
+//! against ground truth.
+//!
+//! The Rust-authored workloads carry the compiler-analysis verdict as a
+//! constant on each `Site` (DESIGN.md §4.2). If a tag were wrong — a site
+//! marked elidable whose target is ever *not* captured at runtime — the
+//! Compiler mode would skip a necessary barrier and silently break
+//! isolation. The STM's classify mode counts exactly those events
+//! (`static_violations`, checked by the precise shadow tree), so this test
+//! is the machine-checked proof that the tags are sound.
+
+use stamp::{Benchmark, Scale};
+use stm::{Mode, TxConfig};
+
+#[test]
+fn compiler_elides_tags_are_sound_on_every_benchmark() {
+    for b in Benchmark::ALL {
+        let mut cfg = TxConfig::with_mode(Mode::Baseline);
+        cfg.classify = true;
+        let out = b.run(Scale::Test, cfg, 2);
+        assert!(out.verified);
+        let all = out.stats.all_accesses();
+        assert_eq!(
+            all.static_violations,
+            0,
+            "{}: {} accesses at compiler_elides sites were not captured",
+            b.name(),
+            all.static_violations
+        );
+    }
+}
+
+#[test]
+fn classification_is_complete() {
+    // Every barrier lands in exactly one Figure-8 category.
+    for b in Benchmark::ALL {
+        let mut cfg = TxConfig::with_mode(Mode::Baseline);
+        cfg.classify = true;
+        let out = b.run(Scale::Test, cfg, 1);
+        let s = out.stats.all_accesses();
+        assert_eq!(
+            s.class_heap + s.class_stack + s.class_other + s.class_required,
+            s.total,
+            "{}: classification buckets must partition the barriers",
+            b.name()
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-crate integration: every STAMP benchmark must verify under every
+//! barrier-optimization mode and thread count, and modes must agree on
+//! deterministic outcomes. This is the repository's broadest correctness
+//! gate: a bug in elision (a barrier skipped that was needed) shows up here
+//! as a verification failure.
+
+use stamp::{Benchmark, Scale};
+use stm::{CheckScope, LogKind, Mode, TxConfig};
+
+fn all_modes() -> Vec<Mode> {
+    let mut v = vec![Mode::Baseline, Mode::Compiler];
+    for log in LogKind::ALL {
+        v.push(Mode::Runtime {
+            log,
+            scope: CheckScope::FULL,
+        });
+    }
+    v.push(Mode::Runtime {
+        log: LogKind::Tree,
+        scope: CheckScope::WRITES_STACK_HEAP,
+    });
+    v.push(Mode::Runtime {
+        log: LogKind::Tree,
+        scope: CheckScope::WRITES_HEAP,
+    });
+    v
+}
+
+#[test]
+fn every_benchmark_verifies_under_every_mode_single_thread() {
+    for b in Benchmark::ALL {
+        for mode in all_modes() {
+            let out = b.run(Scale::Test, TxConfig::with_mode(mode), 1);
+            assert!(out.verified, "{} failed under {mode:?}", b.name());
+            assert_eq!(out.stats.aborts, 0, "single thread cannot conflict");
+        }
+    }
+}
+
+#[test]
+fn every_benchmark_verifies_multithreaded() {
+    for b in Benchmark::ALL {
+        for mode in [
+            Mode::Baseline,
+            Mode::Runtime {
+                log: LogKind::Tree,
+                scope: CheckScope::FULL,
+            },
+            Mode::Compiler,
+        ] {
+            let out = b.run(Scale::Test, TxConfig::with_mode(mode), 4);
+            assert!(out.verified, "{} failed under {mode:?} @4T", b.name());
+        }
+    }
+}
+
+#[test]
+fn elision_does_not_change_single_thread_commit_counts() {
+    // At one thread the workloads are deterministic: every mode must
+    // execute exactly the same transactions.
+    for b in Benchmark::ALL {
+        let base = b.run(Scale::Test, TxConfig::with_mode(Mode::Baseline), 1);
+        for mode in all_modes() {
+            let out = b.run(Scale::Test, TxConfig::with_mode(mode), 1);
+            assert_eq!(
+                out.stats.commits,
+                base.stats.commits,
+                "{} commit count diverged under {mode:?}",
+                b.name()
+            );
+            assert_eq!(
+                out.stats.all_accesses().total,
+                base.stats.all_accesses().total,
+                "{} barrier count diverged under {mode:?}",
+                b.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn runtime_elision_subsumes_compiler_elision() {
+    // The precise tree finds every captured access; the static analysis is
+    // conservative, so (at one thread, same workload) its elisions can
+    // never exceed the tree's.
+    for b in Benchmark::ALL {
+        let tree = b.run(Scale::Test, TxConfig::runtime_tree_full(), 1);
+        let comp = b.run(Scale::Test, TxConfig::with_mode(Mode::Compiler), 1);
+        let tree_elided = tree.stats.all_accesses().elided();
+        let comp_elided = comp.stats.all_accesses().elided();
+        assert!(
+            comp_elided <= tree_elided,
+            "{}: compiler elided {} > tree {}",
+            b.name(),
+            comp_elided,
+            tree_elided
+        );
+    }
+}
+
+#[test]
+fn paper_qualitative_profile_holds() {
+    // The headline qualitative facts of Figure 8 at our scale:
+    // labyrinth/ssca2/kmeans have (almost) nothing to elide; vacation,
+    // genome, intruder, yada and bayes have plenty; writes are more
+    // elidable than reads overall.
+    let mut total_write_frac = 0.0;
+    let mut total_read_frac = 0.0;
+    let mut n = 0.0;
+    for b in Benchmark::ALL {
+        let out = b.run(Scale::Test, TxConfig::runtime_tree_full(), 1);
+        let wf = out.stats.writes.elided_fraction();
+        let rf = out.stats.reads.elided_fraction();
+        match b.name() {
+            "labyrinth" | "ssca2" | "kmeans high" | "kmeans low" => {
+                assert!(wf < 0.05, "{}: unexpected write elision {wf}", b.name());
+            }
+            _ => {
+                assert!(wf > 0.2, "{}: write elision too low {wf}", b.name());
+            }
+        }
+        total_write_frac += wf;
+        total_read_frac += rf;
+        n += 1.0;
+    }
+    assert!(
+        total_write_frac / n > total_read_frac / n,
+        "paper: writes are more captured than reads"
+    );
+}
