@@ -3,7 +3,7 @@
 //! nothing — miss cost, as a function of how many blocks the transaction
 //! has allocated.
 
-use capture::{AllocLog, LogImpl, LogKind};
+use capture::{LogImpl, LogKind};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_alloc_log(c: &mut Criterion) {

@@ -28,13 +28,16 @@ fn bench_apps(c: &mut Criterion) {
     for b in Benchmark::ALL {
         for (name, cfg) in &configs {
             let cfg = *cfg;
-            g.bench_function(format!("{}/{}", b.name().replace(' ', "_"), name), |bench| {
-                bench.iter(|| {
-                    let out = b.run(Scale::Test, cfg, 1);
-                    assert!(out.verified);
-                    out.stats.commits
-                })
-            });
+            g.bench_function(
+                format!("{}/{}", b.name().replace(' ', "_"), name),
+                |bench| {
+                    bench.iter(|| {
+                        let out = b.run(Scale::Test, cfg, 1);
+                        assert!(out.verified);
+                        out.stats.commits
+                    })
+                },
+            );
         }
     }
     g.finish();

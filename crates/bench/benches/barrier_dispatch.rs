@@ -1,0 +1,9 @@
+//! `cargo bench` entry point for the dispatch microbenchmark; the same
+//! measurement backs `expt barriers` and the `BENCH_barriers.json` report.
+
+fn main() {
+    print!(
+        "{}",
+        bench_support::micro::barrier_dispatch_markdown(&bench_support::micro::MicroOpts::default())
+    );
+}

@@ -1,8 +1,12 @@
-//! Experiment driver: regenerates every table and figure of the paper.
+//! Experiment driver: regenerates every table and figure of the paper,
+//! plus the dispatch-refactor microbenchmark and its JSON report.
 //!
 //! ```text
 //! expt <fig8|fig9|fig10|fig11a|fig11b|table1|table2|annotations|orec|check|all>
 //!      [--scale test|small|full] [--threads N] [--runs K]
+//! expt barriers [--max-ratio F]  # barrier_dispatch microbenchmark (Markdown);
+//!                                # exits 1 if captured/direct ratio exceeds F
+//! expt bench-json [--out FILE]   # BENCH_barriers.json emitter
 //! ```
 //!
 //! Output is Markdown, mirroring the paper's rows/series; see EXPERIMENTS.md
@@ -13,8 +17,9 @@ use stamp::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: expt <fig8|fig9|fig10|fig11a|fig11b|table1|table2|annotations|orec|check|all> \
-         [--scale test|small|full] [--threads N] [--runs K]"
+        "usage: expt <fig8|fig9|fig10|fig11a|fig11b|table1|table2|annotations|orec|check|\
+         barriers|bench-json|all> \
+         [--scale test|small|full] [--threads N] [--runs K] [--out FILE] [--max-ratio F]"
     );
     std::process::exit(2);
 }
@@ -26,9 +31,23 @@ fn main() {
     }
     let cmd = args[0].as_str();
     let mut opts = bench::ExptOpts::default();
+    let mut out_path = String::from("BENCH_barriers.json");
+    let mut max_ratio: Option<f64> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--max-ratio" => {
+                i += 1;
+                max_ratio = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--scale" => {
                 i += 1;
                 opts.scale = match args.get(i).map(|s| s.as_str()) {
@@ -40,11 +59,17 @@ fn main() {
             }
             "--threads" => {
                 i += 1;
-                opts.threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                opts.threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--runs" => {
                 i += 1;
-                opts.runs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                opts.runs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             _ => usage(),
         }
@@ -66,6 +91,29 @@ fn main() {
         "table2" => print!("{}", bench::table2(&opts)),
         "annotations" => print!("{}", bench::annotations(&opts)),
         "orec" => print!("{}", bench::orec_ablation(&opts)),
+        "barriers" => {
+            let micro_opts = bench::micro::MicroOpts::default();
+            let results = bench::micro::barrier_dispatch(&micro_opts);
+            print!("{}", bench::micro::render_markdown(&results, &micro_opts));
+            if let Some(max) = max_ratio {
+                // Regression gate (CI): the monomorphized captured-heap
+                // fast path must stay within `max` of the raw-access
+                // floor. Pass a loose bound — single-run ratios wobble.
+                let ratio = bench::micro::fastpath_ratio(&results)
+                    .expect("pin measurements missing from results");
+                if ratio > max {
+                    eprintln!("# FAIL: fast-path ratio {ratio:.2} exceeds --max-ratio {max:.2}");
+                    std::process::exit(1);
+                }
+                eprintln!("# fast-path ratio {ratio:.2} within --max-ratio {max:.2}");
+            }
+        }
+        "bench-json" => {
+            let json = bench::report::bench_json(&opts, &bench::micro::MicroOpts::default());
+            std::fs::write(&out_path, &json)
+                .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+            eprintln!("# wrote {out_path}");
+        }
         "check" => {
             for r in bench::check(opts.scale, opts.threads) {
                 println!(

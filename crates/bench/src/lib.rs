@@ -6,6 +6,9 @@
 //! rows/series; the `expt` binary prints them, and EXPERIMENTS.md archives a
 //! captured run with paper-vs-measured commentary.
 
+pub mod micro;
+pub mod report;
+
 use std::time::Duration;
 
 use stamp::{Benchmark, RunOutcome, Scale};
@@ -59,7 +62,7 @@ fn pct(num: u64, den: u64) -> f64 {
     }
 }
 
-fn median(mut xs: Vec<f64>) -> f64 {
+pub(crate) fn median(mut xs: Vec<f64>) -> f64 {
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     xs[xs.len() / 2]
 }
@@ -77,7 +80,13 @@ fn rel_stddev_pct(xs: &[f64]) -> f64 {
     100.0 * var.sqrt() / m
 }
 
-fn time_runs(b: Benchmark, scale: Scale, cfg: TxConfig, threads: usize, runs: usize) -> Vec<f64> {
+pub(crate) fn time_runs(
+    b: Benchmark,
+    scale: Scale,
+    cfg: TxConfig,
+    threads: usize,
+    runs: usize,
+) -> Vec<f64> {
     (0..runs)
         .map(|_| {
             let out = b.run(scale, cfg, threads);
@@ -114,7 +123,9 @@ pub fn fig8(opts: &ExptOpts) -> String {
     ];
     for (title, pick) in views {
         out.push_str(&format!("### {title}\n\n"));
-        out.push_str("| benchmark | tx-local heap | tx-local stack | not required (other) | required |\n");
+        out.push_str(
+            "| benchmark | tx-local heap | tx-local stack | not required (other) | required |\n",
+        );
         out.push_str("|---|---:|---:|---:|---:|\n");
         for b in Benchmark::ALL {
             let r = b.run(opts.scale, classify_cfg(), 1);
@@ -157,7 +168,11 @@ pub fn fig9(opts: &ExptOpts) -> String {
             for (_, cfg) in &techniques {
                 let r = b.run(opts.scale, *cfg, 1);
                 assert!(r.verified, "{} failed verification", b.name());
-                let s = if is_read { r.stats.reads } else { r.stats.writes };
+                let s = if is_read {
+                    r.stats.reads
+                } else {
+                    r.stats.writes
+                };
                 row.push_str(&format!(" {:.1} |", 100.0 * s.elided_fraction()));
             }
             out.push_str(&row);
@@ -332,7 +347,10 @@ pub fn fig11a(opts: &ExptOpts) -> String {
 pub fn fig11b(opts: &ExptOpts) -> String {
     let configs: Vec<(&str, TxConfig)> = vec![
         ("tree", runtime_cfg(LogKind::Tree, CheckScope::WRITES_HEAP)),
-        ("array", runtime_cfg(LogKind::Array, CheckScope::WRITES_HEAP)),
+        (
+            "array",
+            runtime_cfg(LogKind::Array, CheckScope::WRITES_HEAP),
+        ),
         (
             "filtering",
             runtime_cfg(LogKind::Filter, CheckScope::WRITES_HEAP),

@@ -1,0 +1,255 @@
+//! The `barrier_dispatch` microbenchmark: per-access cost of every barrier
+//! path, pinned against the uninstrumented `load_direct`/`store_direct`
+//! floor.
+//!
+//! This is the measurement behind the dispatch refactor's acceptance
+//! criterion: with mode/log dispatch hoisted to runtime construction, the
+//! captured-access fast path must sit within a small constant of a raw
+//! access — and measurably below the enum-dispatch reference pipeline
+//! (`TxConfig::reference_dispatch`), which re-decides the mode per access
+//! the way the pre-refactor barriers did.
+
+use std::time::Instant;
+
+use crate::median;
+
+use stm::{CheckScope, LogKind, Mode, Site, StmRuntime, TxConfig};
+use txmem::MemConfig;
+
+static S_SHARED: Site = Site::shared("micro.shared");
+static S_CAP: Site = Site::captured_escaped("micro.captured");
+
+/// Words accessed per transaction (amortizes begin/commit cost).
+const WORDS: u64 = 256;
+
+/// Every measured loop body performs one write and one read per word, so
+/// per-access numbers divide by twice the word count.
+const ACCESSES_PER_TXN: u64 = WORDS * 2;
+
+/// One measured barrier path.
+#[derive(Clone, Debug)]
+pub struct MicroResult {
+    pub name: String,
+    pub ns_per_op: f64,
+}
+
+/// Options for one microbenchmark run.
+#[derive(Clone, Copy, Debug)]
+pub struct MicroOpts {
+    /// Timed samples per measurement (median is reported).
+    pub samples: usize,
+    /// Transactions per sample.
+    pub txns_per_sample: usize,
+}
+
+impl Default for MicroOpts {
+    fn default() -> Self {
+        MicroOpts {
+            samples: 15,
+            txns_per_sample: 64,
+        }
+    }
+}
+
+impl MicroOpts {
+    /// Tiny run for smoke tests.
+    pub fn smoke() -> MicroOpts {
+        MicroOpts {
+            samples: 3,
+            txns_per_sample: 2,
+        }
+    }
+}
+
+/// Run `opts.txns_per_sample` transactions per sample and return median
+/// ns per memory access (each transaction makes [`ACCESSES_PER_TXN`]).
+fn measure(opts: &MicroOpts, mut one_txn: impl FnMut()) -> f64 {
+    // Warm-up: fill allocator caches, fault memory, train the predictor.
+    for _ in 0..opts.txns_per_sample {
+        one_txn();
+    }
+    let samples: Vec<f64> = (0..opts.samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..opts.txns_per_sample {
+                one_txn();
+            }
+            t0.elapsed().as_nanos() as f64 / (opts.txns_per_sample as u64 * ACCESSES_PER_TXN) as f64
+        })
+        .collect();
+    median(samples)
+}
+
+fn runtime_cfg(log: LogKind, reference: bool) -> TxConfig {
+    let mut cfg = TxConfig::with_mode(Mode::Runtime {
+        log,
+        scope: CheckScope::FULL,
+    });
+    cfg.reference_dispatch = reference;
+    cfg
+}
+
+/// Measure every barrier path; returns results in display order.
+pub fn barrier_dispatch(opts: &MicroOpts) -> Vec<MicroResult> {
+    let mut out = Vec::new();
+    let mut push = |name: &str, ns: f64| {
+        out.push(MicroResult {
+            name: name.to_string(),
+            ns_per_op: ns,
+        });
+    };
+
+    // --- the uninstrumented floor: raw loads/stores of captured memory ---
+    {
+        let rt = StmRuntime::new(MemConfig::small(), TxConfig::default());
+        let mut w = rt.spawn_worker();
+        let ns = measure(opts, || {
+            w.txn(|tx| {
+                let p = tx.alloc(WORDS * 8)?;
+                let mut acc = 0u64;
+                for i in 0..WORDS {
+                    tx.store_direct(p.word(i), i);
+                    acc = acc.wrapping_add(tx.load_direct(p.word(i)));
+                }
+                tx.free(p);
+                Ok(std::hint::black_box(acc))
+            });
+        });
+        push("direct (load+store, no barrier)", ns);
+    }
+
+    // --- captured-access fast path, monomorphized, per policy ---
+    for log in LogKind::ALL {
+        let rt = StmRuntime::new(MemConfig::small(), runtime_cfg(log, false));
+        let mut w = rt.spawn_worker();
+        let ns = measure(opts, || {
+            w.txn(|tx| {
+                let p = tx.alloc(WORDS * 8)?;
+                let mut acc = 0u64;
+                for i in 0..WORDS {
+                    tx.write(&S_CAP, p.word(i), i)?;
+                    acc = acc.wrapping_add(tx.read(&S_CAP, p.word(i))?);
+                }
+                tx.free(p);
+                Ok(std::hint::black_box(acc))
+            });
+        });
+        push(&format!("captured heap hit/{}", log.name()), ns);
+    }
+
+    // --- the same, through the enum-dispatch reference pipeline ---
+    for log in LogKind::ALL {
+        let rt = StmRuntime::new(MemConfig::small(), runtime_cfg(log, true));
+        let mut w = rt.spawn_worker();
+        let ns = measure(opts, || {
+            w.txn(|tx| {
+                let p = tx.alloc(WORDS * 8)?;
+                let mut acc = 0u64;
+                for i in 0..WORDS {
+                    tx.write(&S_CAP, p.word(i), i)?;
+                    acc = acc.wrapping_add(tx.read(&S_CAP, p.word(i))?);
+                }
+                tx.free(p);
+                Ok(std::hint::black_box(acc))
+            });
+        });
+        push(
+            &format!("captured heap hit/{} (reference dispatch)", log.name()),
+            ns,
+        );
+    }
+
+    // --- stack-captured fast path (one range compare) ---
+    {
+        let rt = StmRuntime::new(MemConfig::small(), runtime_cfg(LogKind::Tree, false));
+        let mut w = rt.spawn_worker();
+        let ns = measure(opts, || {
+            w.txn(|tx| {
+                let f = tx.stack_push(WORDS as usize);
+                let mut acc = 0u64;
+                for i in 0..WORDS {
+                    tx.write(&S_CAP, f.word(i), i)?;
+                    acc = acc.wrapping_add(tx.read(&S_CAP, f.word(i))?);
+                }
+                tx.stack_pop(WORDS as usize);
+                Ok(std::hint::black_box(acc))
+            });
+        });
+        push("captured stack hit", ns);
+    }
+
+    // --- full STM barrier on shared memory, for scale ---
+    {
+        let rt = StmRuntime::new(MemConfig::small(), TxConfig::default());
+        let buf = rt.alloc_global(WORDS * 8);
+        let mut w = rt.spawn_worker();
+        let ns = measure(opts, || {
+            w.txn(|tx| {
+                let mut acc = 0u64;
+                for i in 0..WORDS {
+                    tx.write(&S_SHARED, buf.word(i), i)?;
+                    acc = acc.wrapping_add(tx.read(&S_SHARED, buf.word(i))?);
+                }
+                Ok(std::hint::black_box(acc))
+            });
+        });
+        push("full barrier (shared)", ns);
+    }
+
+    out
+}
+
+/// The headline ratio of the acceptance criterion: monomorphized
+/// captured-heap hit (tree) over the uninstrumented floor.
+pub fn fastpath_ratio(results: &[MicroResult]) -> Option<f64> {
+    let find = |name: &str| results.iter().find(|r| r.name == name).map(|r| r.ns_per_op);
+    let direct = find("direct (load+store, no barrier)")?;
+    let captured = find("captured heap hit/tree")?;
+    if direct > 0.0 {
+        Some(captured / direct)
+    } else {
+        None
+    }
+}
+
+/// Markdown rendering for the `expt barriers` subcommand.
+pub fn barrier_dispatch_markdown(opts: &MicroOpts) -> String {
+    render_markdown(&barrier_dispatch(opts), opts)
+}
+
+/// Render already-collected results (lets callers also gate on the ratio
+/// without re-measuring).
+pub fn render_markdown(results: &[MicroResult], opts: &MicroOpts) -> String {
+    let mut out = String::new();
+    out.push_str("## barrier_dispatch — per-access barrier cost (ns, lower is better)\n\n");
+    out.push_str(&format!(
+        "{} words per txn, one write + one read each; median of {} samples x {} txns.\n\n",
+        WORDS, opts.samples, opts.txns_per_sample
+    ));
+    out.push_str("| path | ns/access |\n|---|---:|\n");
+    for r in results {
+        out.push_str(&format!("| {} | {:.2} |\n", r.name, r.ns_per_op));
+    }
+    if let Some(ratio) = fastpath_ratio(results) {
+        out.push_str(&format!(
+            "\ncaptured-heap fast path (tree) vs direct: {ratio:.2}x\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_measures_every_path() {
+        let results = barrier_dispatch(&MicroOpts::smoke());
+        assert_eq!(results.len(), 9);
+        assert!(results.iter().all(|r| r.ns_per_op > 0.0));
+        let ratio = fastpath_ratio(&results).expect("both pin measurements present");
+        assert!(ratio.is_finite() && ratio > 0.0);
+        // No timing assertion here: debug builds and CI noise make absolute
+        // ratios meaningless outside `--release` runs.
+    }
+}

@@ -1,0 +1,136 @@
+//! Machine-readable benchmark reports (`BENCH_barriers.json`): the
+//! `barrier_dispatch` microbenchmark plus one STAMP run per barrier mode,
+//! so future PRs have a perf trajectory to diff against. The JSON is
+//! written by hand (no serde in the offline container) — flat structure,
+//! numbers and strings only.
+
+use stamp::{Benchmark, Scale};
+use stm::{CheckScope, LogKind, Mode, TxConfig};
+
+use crate::micro::{barrier_dispatch, fastpath_ratio, MicroOpts};
+use crate::ExptOpts;
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn scale_name(s: Scale) -> &'static str {
+    match s {
+        Scale::Test => "test",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+/// The barrier modes tracked across PRs.
+fn tracked_modes() -> Vec<Mode> {
+    let mut v = vec![Mode::Baseline];
+    for log in LogKind::ALL {
+        v.push(Mode::Runtime {
+            log,
+            scope: CheckScope::FULL,
+        });
+    }
+    v.push(Mode::Compiler);
+    v
+}
+
+/// Build the full report as a JSON string.
+///
+/// `opts.scale`/`opts.threads` govern the STAMP section; `"seconds"` is
+/// the **median of `opts.runs` repetitions** (single wall-clock samples
+/// are far too noisy to serve as a cross-PR trajectory), while the
+/// counters come from one additional instrumented run.
+pub fn bench_json(opts: &ExptOpts, micro: &MicroOpts) -> String {
+    let results = barrier_dispatch(micro);
+    let ratio = fastpath_ratio(&results);
+
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"schema\": \"bench_barriers/v1\",\n  \"scale\": \"{}\",\n  \"threads\": {},\n",
+        scale_name(opts.scale),
+        opts.threads
+    ));
+    out.push_str(&format!("  \"debug_build\": {},\n", cfg!(debug_assertions)));
+
+    out.push_str("  \"barrier_dispatch\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"path\": \"{}\", \"ns_per_access\": {:.3}}}{}\n",
+            esc(&r.name),
+            r.ns_per_op,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    match ratio {
+        Some(r) => out.push_str(&format!("  \"captured_tree_vs_direct_ratio\": {r:.3},\n")),
+        None => out.push_str("  \"captured_tree_vs_direct_ratio\": null,\n"),
+    }
+
+    out.push_str("  \"stamp\": [\n");
+    let modes = tracked_modes();
+    let total = modes.len() * Benchmark::ALL.len();
+    let mut i = 0;
+    let runs = opts.runs.max(1);
+    for mode in &modes {
+        for b in Benchmark::ALL {
+            let cfg = TxConfig::with_mode(*mode);
+            let seconds = crate::median(crate::time_runs(b, opts.scale, cfg, opts.threads, runs));
+            let r = b.run(opts.scale, cfg, opts.threads);
+            assert!(
+                r.verified,
+                "{} failed verification under {mode:?}",
+                b.name()
+            );
+            let all = r.stats.all_accesses();
+            i += 1;
+            out.push_str(&format!(
+                "    {{\"benchmark\": \"{}\", \"mode\": \"{}\", \"seconds\": {seconds:.6}, \
+                 \"runs\": {runs}, \"commits\": {}, \"aborts\": {}, \
+                 \"elided_fraction\": {:.4}}}{}\n",
+                esc(b.name()),
+                esc(&mode.label()),
+                r.stats.commits,
+                r.stats.aborts,
+                all.elided_fraction(),
+                if i < total { "," } else { "" }
+            ));
+        }
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_parseable_shape() {
+        let opts = ExptOpts {
+            scale: Scale::Test,
+            threads: 1,
+            runs: 1,
+        };
+        let json = bench_json(&opts, &MicroOpts::smoke());
+        // No serde available: structural spot checks instead of a parser.
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(json.contains("\"schema\": \"bench_barriers/v1\""));
+        assert!(json.contains("\"barrier_dispatch\": ["));
+        assert!(json.contains("captured heap hit/tree"));
+        assert!(json.contains("\"stamp\": ["));
+        assert!(json.contains("\"mode\": \"baseline\""));
+        assert!(json.contains("\"mode\": \"compiler\""));
+        // Balanced braces/brackets (cheap well-formedness guard).
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}'));
+        assert!(balance('[', ']'));
+        assert!(!json.contains(",\n  ]"), "no trailing commas");
+        assert!(!json.contains(",\n    ]"), "no trailing commas");
+    }
+}

@@ -37,6 +37,23 @@ impl<const N: usize> RangeArray<N> {
     pub const fn capacity(&self) -> usize {
         N
     }
+
+    /// Like [`AllocLog::query`], but returning the containing range
+    /// `(start, end, level)` for the STM's inline capture cache. A range
+    /// that made it into the array stays queryable until removed or
+    /// cleared (only *inserts* are lossy), so a returned range is a valid
+    /// residency guarantee.
+    #[inline]
+    pub fn query_range(&self, addr: u64) -> Option<(u64, u64, u32)> {
+        // Straight-line scan of the whole line, as the paper describes.
+        for i in 0..N {
+            let (s, e) = self.ranges.0[i];
+            if addr >= s && addr < e {
+                return Some((s, e, self.levels[i]));
+            }
+        }
+        None
+    }
 }
 
 impl<const N: usize> Default for RangeArray<N> {
@@ -73,14 +90,7 @@ impl<const N: usize> AllocLog for RangeArray<N> {
 
     #[inline]
     fn query(&self, addr: u64) -> Option<u32> {
-        // Straight-line scan of the whole line, as the paper describes.
-        for i in 0..N {
-            let (s, e) = self.ranges.0[i];
-            if addr >= s && addr < e {
-                return Some(self.levels[i]);
-            }
-        }
-        None
+        self.query_range(addr).map(|(_, _, level)| level)
     }
 
     fn clear(&mut self) {

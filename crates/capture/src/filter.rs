@@ -65,7 +65,7 @@ impl AddrFilter {
 
 impl AllocLog for AddrFilter {
     fn insert(&mut self, start: u64, len: u64, level: u32) {
-        debug_assert!(len > 0 && start % WORD == 0);
+        debug_assert!(len > 0 && start.is_multiple_of(WORD));
         let mut a = start;
         let end = start + len;
         while a < end {
@@ -184,9 +184,7 @@ mod tests {
     fn epoch_wraparound_is_safe() {
         let mut f = AddrFilter::with_log2_entries(4);
         f.insert(64, 8, 1);
-        for _ in 0..=u32::MAX as u64 % 1 {
-            // (cannot loop 2^32 times in a test; force the wrap directly)
-        }
+        // (cannot loop 2^32 times in a test; force the wrap directly)
         f.epoch = u32::MAX;
         f.insert(128, 8, 2);
         f.clear(); // wraps to 0 -> real wipe -> epoch 1

@@ -26,14 +26,22 @@
 //! thread-local and read-only data: unlike the allocation log it is *not*
 //! cleared at transaction end.
 
+//! The [`CapturePolicy`] trait is the seam the STM's barrier pipeline is
+//! monomorphized over: every structure above implements it (via
+//! [`AllocLog`]), and [`LogImpl`] provides the enum-dispatch *reference*
+//! implementation used only at spawn-time selection and in differential
+//! tests.
+
 mod array;
 mod filter;
 mod log;
+mod policy;
 mod private;
 mod tree;
 
 pub use array::RangeArray;
 pub use filter::AddrFilter;
 pub use log::{AllocLog, LogImpl, LogKind};
+pub use policy::{Capture, CapturePolicy};
 pub use private::PrivateLog;
 pub use tree::RangeTree;

@@ -1,0 +1,209 @@
+//! The `CapturePolicy` seam: the one interface the STM's barrier pipeline
+//! needs from a capture-analysis structure (DESIGN.md §3).
+//!
+//! The barriers of "Optimizing Transactions for Captured Memory" ask a
+//! single question per access — *was this address allocated by the current
+//! transaction?* — and record allocations/frees as the transaction runs.
+//! `CapturePolicy` captures exactly that contract so the STM core can be
+//! **monomorphized** over the concrete structure: the runtime selects the
+//! policy once (at runtime construction / worker spawn) and the barrier hot
+//! path compiles down to direct, inlineable calls with no per-access
+//! dispatch on [`LogKind`].
+//!
+//! Every [`AllocLog`] implementation is a `CapturePolicy` via the blanket
+//! impl below, so [`RangeTree`], [`RangeArray`] and [`AddrFilter`] plug in
+//! directly. [`LogImpl`] also implements the trait — through its per-call
+//! `match` — which is precisely the *enum-dispatch reference path* the STM
+//! keeps around (behind `TxConfig::reference_dispatch`) for differential
+//! testing of the monomorphized pipeline.
+
+use crate::log::{AllocLog, LogImpl, LogKind};
+
+/// Verdict of a capture classification for one word address.
+///
+/// Carries the allocating nesting level (1 = outermost) rather than a
+/// boolean, with the same semantics as [`AllocLog::query`]: a barrier that
+/// finds the address captured at a level *shallower* than the current one
+/// must still undo-log writes (paper §2.2.1, partial abort).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Capture {
+    /// Not captured — the full STM barrier must run.
+    No,
+    /// Captured: allocated at the given nesting level.
+    Level(u32),
+}
+
+impl Capture {
+    /// Translate an [`AllocLog::query`] result.
+    #[inline]
+    pub fn from_query(q: Option<u32>) -> Capture {
+        match q {
+            Some(level) => Capture::Level(level),
+            None => Capture::No,
+        }
+    }
+
+    #[inline]
+    pub fn is_captured(self) -> bool {
+        matches!(self, Capture::Level(_))
+    }
+}
+
+/// What a barrier pipeline needs from a capture-analysis structure.
+///
+/// `classify` is the per-access hot call; `on_alloc`/`on_free` run per
+/// transactional allocation event; `reset` runs once per transaction end.
+/// Implementations must stay **conservative**: `classify` may miss captured
+/// memory (costing only a redundant full barrier) but must never report
+/// capture for memory the transaction did not allocate.
+pub trait CapturePolicy {
+    /// A transactional allocation of `[start, start+len)` at nesting
+    /// `level` (1 = outermost).
+    fn on_alloc(&mut self, start: u64, len: u64, level: u32);
+
+    /// The block at `start` left the transaction's captured set (freed
+    /// in-transaction, or its allocation was rolled back).
+    fn on_free(&mut self, start: u64, len: u64);
+
+    /// Was a word access at `addr` captured, and at which nesting level?
+    fn classify(&self, addr: u64) -> Capture;
+
+    /// Transaction end (commit or abort): forget everything.
+    fn reset(&mut self);
+
+    /// Live entries currently representable (diagnostics).
+    fn live_entries(&self) -> usize;
+
+    /// Which allocation-log structure backs this policy.
+    fn policy_kind(&self) -> LogKind;
+
+    /// Like [`CapturePolicy::classify`], additionally returning a
+    /// *cacheable* residency range on a hit: a `[start, end)` the caller
+    /// may keep checking inline (skipping this policy entirely) until the
+    /// next `on_free`/`reset`/level change, because the policy guarantees
+    /// every address in it stays captured at the returned level until
+    /// then. **Lossy structures must return `None`** for the range: the
+    /// [`AddrFilter`](crate::AddrFilter) can silently lose marks to later
+    /// collisions, so a cached hit could claim capture the filter itself
+    /// would no longer report. Precise structures (tree, array) return
+    /// the containing block.
+    #[inline]
+    fn classify_cacheable(&self, addr: u64) -> (Capture, Option<(u64, u64)>) {
+        (self.classify(addr), None)
+    }
+}
+
+/// Delegation from the [`AllocLog`] vocabulary; used by the per-structure
+/// impls below (a blanket impl would forbid overriding
+/// `classify_cacheable` per structure).
+macro_rules! policy_via_alloc_log {
+    () => {
+        #[inline]
+        fn on_alloc(&mut self, start: u64, len: u64, level: u32) {
+            self.insert(start, len, level);
+        }
+
+        #[inline]
+        fn on_free(&mut self, start: u64, len: u64) {
+            self.remove(start, len);
+        }
+
+        #[inline]
+        fn classify(&self, addr: u64) -> Capture {
+            Capture::from_query(self.query(addr))
+        }
+
+        #[inline]
+        fn reset(&mut self) {
+            self.clear();
+        }
+
+        fn live_entries(&self) -> usize {
+            self.entries()
+        }
+
+        fn policy_kind(&self) -> LogKind {
+            self.kind()
+        }
+    };
+}
+
+impl CapturePolicy for crate::RangeTree {
+    policy_via_alloc_log!();
+
+    #[inline]
+    fn classify_cacheable(&self, addr: u64) -> (Capture, Option<(u64, u64)>) {
+        match self.query_range(addr) {
+            Some((start, end, level)) => (Capture::Level(level), Some((start, end))),
+            None => (Capture::No, None),
+        }
+    }
+}
+
+impl<const N: usize> CapturePolicy for crate::RangeArray<N> {
+    policy_via_alloc_log!();
+
+    #[inline]
+    fn classify_cacheable(&self, addr: u64) -> (Capture, Option<(u64, u64)>) {
+        match self.query_range(addr) {
+            Some((start, end, level)) => (Capture::Level(level), Some((start, end))),
+            None => (Capture::No, None),
+        }
+    }
+}
+
+/// The filter keeps the default `classify_cacheable` (no range): it is
+/// lossy under collisions, so no residency guarantee can be given.
+impl CapturePolicy for crate::AddrFilter {
+    policy_via_alloc_log!();
+}
+
+/// The enum-dispatch reference policy: one runtime `match` per call, i.e.
+/// the shape of the pre-monomorphization barrier pipeline. Kept for
+/// differential tests (`TxConfig::reference_dispatch`) and as the
+/// spawn-time selector's storage when a caller genuinely needs a
+/// runtime-chosen log.
+impl CapturePolicy for LogImpl {
+    // Inherent methods, same vocabulary; keeps the default (cacheless)
+    // `classify_cacheable`, as befits an oracle modeling per-call dispatch.
+    policy_via_alloc_log!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AddrFilter, RangeArray, RangeTree};
+
+    fn policy_roundtrip<P: CapturePolicy>(p: &mut P, kind: LogKind) {
+        assert_eq!(p.policy_kind(), kind);
+        assert_eq!(p.classify(4096), Capture::No);
+        p.on_alloc(4096, 64, 2);
+        assert_eq!(p.classify(4096), Capture::Level(2));
+        assert_eq!(p.classify(4096 + 56), Capture::Level(2));
+        assert_eq!(p.classify(4096 + 64), Capture::No);
+        p.on_free(4096, 64);
+        assert_eq!(p.classify(4096), Capture::No);
+        p.on_alloc(8192, 8, 1);
+        p.reset();
+        assert_eq!(p.classify(8192), Capture::No);
+        assert_eq!(p.live_entries(), 0);
+    }
+
+    #[test]
+    fn all_structures_satisfy_the_policy_contract() {
+        policy_roundtrip(&mut RangeTree::new(), LogKind::Tree);
+        policy_roundtrip(&mut RangeArray::<4>::new(), LogKind::Array);
+        policy_roundtrip(&mut AddrFilter::with_log2_entries(12), LogKind::Filter);
+        for kind in LogKind::ALL {
+            policy_roundtrip(&mut LogImpl::new(kind), kind);
+        }
+    }
+
+    #[test]
+    fn capture_helpers() {
+        assert_eq!(Capture::from_query(None), Capture::No);
+        assert_eq!(Capture::from_query(Some(3)), Capture::Level(3));
+        assert!(Capture::Level(1).is_captured());
+        assert!(!Capture::No.is_captured());
+    }
+}

@@ -166,6 +166,30 @@ impl RangeTree {
         height(&self.root) as usize
     }
 
+    /// Like [`AllocLog::query`], but returning the containing range
+    /// `(start, end, level)` — the basis of the STM's inline capture cache
+    /// (the tree is precise, so the range stays valid until it is removed
+    /// or the tree is cleared).
+    #[inline]
+    pub fn query_range(&self, addr: u64) -> Option<(u64, u64, u32)> {
+        let mut cur = &self.root;
+        while let Some(n) = cur {
+            // Paper's early-exit: the subtree bounds prune most misses at
+            // internal nodes near the root.
+            if addr < n.min_start || addr >= n.max_end {
+                return None;
+            }
+            if addr < n.start {
+                cur = &n.left;
+            } else if addr < n.end {
+                return Some((n.start, n.end, n.level));
+            } else {
+                cur = &n.right;
+            }
+        }
+        None
+    }
+
     #[cfg(test)]
     fn check_invariants(&self) {
         fn walk(n: &Option<Box<Node>>, lo: u64, hi: u64) -> (i8, u64, u64) {
@@ -174,7 +198,7 @@ impl RangeTree {
                 Some(n) => {
                     assert!(n.start >= lo && n.start < hi, "BST order violated");
                     let (lh, lmin, lmax) = walk(&n.left, lo, n.start);
-                    let (rh, rmin, rmax) = walk(&n.right, n.start + 1, hi);
+                    let (rh, _rmin, rmax) = walk(&n.right, n.start + 1, hi);
                     assert!((lh - rh).abs() <= 1, "AVL balance violated");
                     assert_eq!(n.height, 1 + lh.max(rh), "height stale");
                     assert_eq!(n.min_start, lmin.min(n.start), "min_start stale");
@@ -196,7 +220,10 @@ impl Default for RangeTree {
 impl AllocLog for RangeTree {
     fn insert(&mut self, start: u64, len: u64, level: u32) {
         debug_assert!(len > 0);
-        self.root = Some(insert_node(self.root.take(), Node::new(start, start + len, level)));
+        self.root = Some(insert_node(
+            self.root.take(),
+            Node::new(start, start + len, level),
+        ));
         self.len += 1;
     }
 
@@ -210,22 +237,7 @@ impl AllocLog for RangeTree {
 
     #[inline]
     fn query(&self, addr: u64) -> Option<u32> {
-        let mut cur = &self.root;
-        while let Some(n) = cur {
-            // Paper's early-exit: the subtree bounds prune most misses at
-            // internal nodes near the root.
-            if addr < n.min_start || addr >= n.max_end {
-                return None;
-            }
-            if addr < n.start {
-                cur = &n.left;
-            } else if addr < n.end {
-                return Some(n.level);
-            } else {
-                cur = &n.right;
-            }
-        }
-        None
+        self.query_range(addr).map(|(_, _, level)| level)
     }
 
     fn clear(&mut self) {
@@ -279,7 +291,11 @@ mod tests {
             t.check_invariants();
         }
         assert_eq!(t.entries(), 512);
-        assert!(t.height() <= 12, "AVL height bound violated: {}", t.height());
+        assert!(
+            t.height() <= 12,
+            "AVL height bound violated: {}",
+            t.height()
+        );
         for i in (0..512u64).step_by(2) {
             t.remove(i * 100, 50);
             t.check_invariants();
@@ -329,7 +345,9 @@ mod tests {
         // Deterministic shuffle.
         let mut s = 0x12345678u64;
         for i in (1..order.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (s >> 33) as usize % (i + 1);
             order.swap(i, j);
         }

@@ -43,8 +43,11 @@ enum Op {
 fn ops() -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec(
         prop_oneof![
-            (any::<u8>(), 1..16u8, 1..4u8)
-                .prop_map(|(slot, words, level)| Op::Insert { slot, words, level }),
+            (any::<u8>(), 1..16u8, 1..4u8).prop_map(|(slot, words, level)| Op::Insert {
+                slot,
+                words,
+                level
+            }),
             any::<u8>().prop_map(|slot| Op::Remove { slot }),
             Just(Op::Clear),
         ],

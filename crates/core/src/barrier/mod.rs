@@ -1,0 +1,319 @@
+//! The capture-optimized read and write barriers (paper Fig. 2 and §3.1),
+//! monomorphized over the capture policy.
+//!
+//! Barrier structure, in order:
+//! 1. statistics bookkeeping (per-transaction counters, flushed at commit);
+//! 2. **capture fast paths** according to [`crate::Mode`]:
+//!    compiler-elided sites (static), transaction-local stack (one range
+//!    compare), transaction-local heap (a [`CapturePolicy::classify`]
+//!    call), annotated private memory;
+//! 3. the **full STM barrier** (`slowpath`): optimistic versioned read with
+//!    snapshot extension, or encounter-time lock acquisition + undo log +
+//!    in-place store.
+//!
+//! # Dispatch
+//!
+//! The paper's whole contribution is shaving tens of cycles off every
+//! barrier, so the barrier pipeline cannot afford to re-decide *how* to
+//! check capture on every access. All mode/log dispatch is resolved once,
+//! when the runtime is constructed: [`DispatchTable::select`] maps the
+//! configuration to a static table of function pointers whose targets are
+//! **monomorphized** per [`Mode`] and per concrete [`CapturePolicy`]
+//! ([`RangeTree`], [`RangeArray`], [`AddrFilter`]). Inside those targets
+//! there is no `match` on `Mode` or `LogKind` — the policy is reached
+//! through [`PolicySlot`], a zero-branch field projection into
+//! [`CaptureLogs`].
+//!
+//! The pre-refactor shape — one barrier body that `match`es on the mode
+//! and queries an enum-dispatched [`LogImpl`] per access — survives in
+//! [`reference`] behind [`crate::TxConfig::reference_dispatch`], as the
+//! differential-testing oracle for this pipeline.
+
+pub(crate) mod fastpath;
+mod read;
+mod reference;
+mod slowpath;
+mod write;
+
+use capture::{AddrFilter, CapturePolicy, LogImpl, LogKind, RangeArray, RangeTree};
+use txmem::Addr;
+
+use crate::config::{Mode, TxConfig};
+use crate::site::Site;
+use crate::worker::{TxResult, WorkerCtx};
+
+/// Where a captured address was allocated, relative to the current nesting.
+pub(crate) enum CaptureHit {
+    /// Captured by the current (innermost) transaction: plain access.
+    Current,
+    /// Captured by an ancestor: reads are plain; writes need an undo entry
+    /// (paper §2.2.1: live-in for the child, partial abort must restore).
+    Ancestor,
+}
+
+/// Per-worker storage for every capture policy the dispatch table can be
+/// monomorphized over.
+///
+/// Exactly one member is *active* — the one the spawn-time-selected
+/// [`DispatchTable`] routes `on_alloc`/`classify`/`reset` to — so the
+/// inactive members stay empty and cost only their inline size (the filter
+/// is sized down to one slot unless selected). Holding all members as plain
+/// fields is what lets [`PolicySlot`] hand the monomorphized barrier its
+/// policy with a field projection instead of an enum `match`.
+pub(crate) struct CaptureLogs {
+    tree: RangeTree,
+    array: RangeArray<4>,
+    filter: AddrFilter,
+    /// Enum-dispatch log for the [`reference`] pipeline; populated only
+    /// under [`TxConfig::reference_dispatch`].
+    reference: Option<LogImpl>,
+}
+
+/// Slot count (log2) for a selected filter policy; matches the fixed-size
+/// table of [`capture::LogImpl::new`].
+const FILTER_LOG2: u32 = 12;
+
+impl CaptureLogs {
+    pub(crate) fn new(cfg: &TxConfig) -> CaptureLogs {
+        let kind = match cfg.mode {
+            Mode::Runtime { log, .. } => Some(log),
+            // Baseline/Compiler barriers never consult a capture policy;
+            // their dispatch tables no-op the allocation hooks too, so the
+            // logs stay empty (the paper's baseline pays no logging cost).
+            _ => None,
+        };
+        let filter_log2 = match kind {
+            Some(LogKind::Filter) if !cfg.reference_dispatch => FILTER_LOG2,
+            _ => 0,
+        };
+        CaptureLogs {
+            tree: RangeTree::new(),
+            array: RangeArray::new(),
+            filter: AddrFilter::with_log2_entries(filter_log2),
+            reference: cfg
+                .reference_dispatch
+                .then(|| LogImpl::new(kind.unwrap_or(LogKind::Tree))),
+        }
+    }
+
+    /// The reference pipeline's enum-dispatched log.
+    fn reference_log(&self) -> &LogImpl {
+        self.reference
+            .as_ref()
+            .expect("reference dispatch selected without a reference log")
+    }
+
+    fn reference_log_mut(&mut self) -> &mut LogImpl {
+        self.reference
+            .as_mut()
+            .expect("reference dispatch selected without a reference log")
+    }
+}
+
+/// Gives a monomorphized barrier its capture policy as a plain field
+/// projection — no discriminant test, no virtual call. The invariant that
+/// the projected field is the *active* one is established by
+/// [`DispatchTable::select`], which always pairs `read_runtime::<P>` with
+/// `on_alloc`/`reset` hooks for the same `P`.
+pub(crate) trait PolicySlot: CapturePolicy {
+    fn of(logs: &CaptureLogs) -> &Self;
+    fn of_mut(logs: &mut CaptureLogs) -> &mut Self;
+}
+
+macro_rules! policy_slot {
+    ($ty:ty, $field:ident) => {
+        impl PolicySlot for $ty {
+            #[inline(always)]
+            fn of(logs: &CaptureLogs) -> &$ty {
+                &logs.$field
+            }
+            #[inline(always)]
+            fn of_mut(logs: &mut CaptureLogs) -> &mut $ty {
+                &mut logs.$field
+            }
+        }
+    };
+}
+policy_slot!(RangeTree, tree);
+policy_slot!(RangeArray<4>, array);
+policy_slot!(AddrFilter, filter);
+
+/// The once-per-configuration resolved barrier pipeline: read/write entry
+/// points plus the allocation-event hooks that keep the active policy in
+/// sync. [`WorkerCtx`] carries a `&'static` to one of the tables below and
+/// every transactional access goes through these pointers — one predictable
+/// indirect call, no data-dependent branching.
+pub(crate) struct DispatchTable {
+    pub(crate) read: for<'rt> fn(&mut WorkerCtx<'rt>, &'static Site, Addr) -> TxResult<u64>,
+    pub(crate) write: for<'rt> fn(&mut WorkerCtx<'rt>, &'static Site, Addr, u64) -> TxResult<()>,
+    pub(crate) on_alloc: fn(&mut CaptureLogs, u64, u64, u32),
+    pub(crate) on_free: fn(&mut CaptureLogs, u64, u64),
+    pub(crate) reset: fn(&mut CaptureLogs),
+}
+
+fn noop_on_alloc(_: &mut CaptureLogs, _: u64, _: u64, _: u32) {}
+fn noop_on_free(_: &mut CaptureLogs, _: u64, _: u64) {}
+fn noop_reset(_: &mut CaptureLogs) {}
+
+fn policy_on_alloc<P: PolicySlot>(logs: &mut CaptureLogs, start: u64, len: u64, level: u32) {
+    P::of_mut(logs).on_alloc(start, len, level);
+}
+
+fn policy_on_free<P: PolicySlot>(logs: &mut CaptureLogs, start: u64, len: u64) {
+    P::of_mut(logs).on_free(start, len);
+}
+
+fn policy_reset<P: PolicySlot>(logs: &mut CaptureLogs) {
+    P::of_mut(logs).reset();
+}
+
+fn reference_on_alloc(logs: &mut CaptureLogs, start: u64, len: u64, level: u32) {
+    logs.reference_log_mut().on_alloc(start, len, level);
+}
+
+fn reference_on_free(logs: &mut CaptureLogs, start: u64, len: u64) {
+    logs.reference_log_mut().on_free(start, len);
+}
+
+fn reference_reset(logs: &mut CaptureLogs) {
+    logs.reference_log_mut().reset();
+}
+
+/// Baseline: every access runs the full barrier; allocation hooks no-op.
+static BASELINE: DispatchTable = DispatchTable {
+    read: read::read_baseline,
+    write: write::write_baseline,
+    on_alloc: noop_on_alloc,
+    on_free: noop_on_free,
+    reset: noop_reset,
+};
+
+/// Compiler capture analysis: statically elided sites skip everything;
+/// no runtime capture state is maintained.
+static COMPILER: DispatchTable = DispatchTable {
+    read: read::read_compiler,
+    write: write::write_compiler,
+    on_alloc: noop_on_alloc,
+    on_free: noop_on_free,
+    reset: noop_reset,
+};
+
+macro_rules! runtime_table {
+    ($policy:ty) => {
+        DispatchTable {
+            read: read::read_runtime::<$policy>,
+            write: write::write_runtime::<$policy>,
+            on_alloc: policy_on_alloc::<$policy>,
+            on_free: policy_on_free::<$policy>,
+            reset: policy_reset::<$policy>,
+        }
+    };
+}
+
+static RUNTIME_TREE: DispatchTable = runtime_table!(RangeTree);
+static RUNTIME_ARRAY: DispatchTable = runtime_table!(RangeArray<4>);
+static RUNTIME_FILTER: DispatchTable = runtime_table!(AddrFilter);
+
+/// The enum-dispatch oracle: per-access `match` on mode and log kind.
+static REFERENCE: DispatchTable = DispatchTable {
+    read: reference::read_reference,
+    write: reference::write_reference,
+    on_alloc: reference_on_alloc,
+    on_free: reference_on_free,
+    reset: reference_reset,
+};
+
+impl DispatchTable {
+    /// Resolve the barrier pipeline for a configuration. This is the single
+    /// place where `Mode` and `LogKind` are matched — it runs once, at
+    /// [`crate::StmRuntime::new`], never inside a barrier.
+    pub(crate) fn select(cfg: &TxConfig) -> &'static DispatchTable {
+        if cfg.reference_dispatch {
+            return &REFERENCE;
+        }
+        match cfg.mode {
+            Mode::Baseline => &BASELINE,
+            Mode::Compiler => &COMPILER,
+            Mode::Runtime {
+                log: LogKind::Tree, ..
+            } => &RUNTIME_TREE,
+            Mode::Runtime {
+                log: LogKind::Array,
+                ..
+            } => &RUNTIME_ARRAY,
+            Mode::Runtime {
+                log: LogKind::Filter,
+                ..
+            } => &RUNTIME_FILTER,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CheckScope;
+
+    fn runtime_cfg(log: LogKind) -> TxConfig {
+        TxConfig::with_mode(Mode::Runtime {
+            log,
+            scope: CheckScope::FULL,
+        })
+    }
+
+    #[test]
+    fn select_pairs_tables_with_modes() {
+        assert!(std::ptr::eq(
+            DispatchTable::select(&TxConfig::default()),
+            &BASELINE
+        ));
+        assert!(std::ptr::eq(
+            DispatchTable::select(&TxConfig::with_mode(Mode::Compiler)),
+            &COMPILER
+        ));
+        assert!(std::ptr::eq(
+            DispatchTable::select(&runtime_cfg(LogKind::Tree)),
+            &RUNTIME_TREE
+        ));
+        assert!(std::ptr::eq(
+            DispatchTable::select(&runtime_cfg(LogKind::Array)),
+            &RUNTIME_ARRAY
+        ));
+        assert!(std::ptr::eq(
+            DispatchTable::select(&runtime_cfg(LogKind::Filter)),
+            &RUNTIME_FILTER
+        ));
+        let mut refcfg = runtime_cfg(LogKind::Array);
+        refcfg.reference_dispatch = true;
+        assert!(std::ptr::eq(DispatchTable::select(&refcfg), &REFERENCE));
+    }
+
+    #[test]
+    fn capture_logs_allocate_lazily() {
+        // Only a selected filter policy pays for a real filter table.
+        let filter_cfg = runtime_cfg(LogKind::Filter);
+        assert_eq!(
+            CaptureLogs::new(&filter_cfg).filter.capacity(),
+            1usize << FILTER_LOG2
+        );
+        assert_eq!(CaptureLogs::new(&TxConfig::default()).filter.capacity(), 1);
+        assert!(CaptureLogs::new(&TxConfig::default()).reference.is_none());
+
+        let mut refcfg = runtime_cfg(LogKind::Filter);
+        refcfg.reference_dispatch = true;
+        let logs = CaptureLogs::new(&refcfg);
+        assert_eq!(logs.reference_log().kind(), LogKind::Filter);
+        assert_eq!(logs.filter.capacity(), 1, "reference run: slot unused");
+    }
+
+    #[test]
+    fn policy_slots_project_the_matching_field() {
+        let cfg = runtime_cfg(LogKind::Tree);
+        let mut logs = CaptureLogs::new(&cfg);
+        use capture::CapturePolicy;
+        RangeTree::of_mut(&mut logs).on_alloc(64, 8, 1);
+        assert!(RangeTree::of(&logs).classify(64).is_captured());
+        assert!(!RangeArray::<4>::of(&logs).classify(64).is_captured());
+        assert!(!AddrFilter::of(&logs).classify(64).is_captured());
+    }
+}

@@ -1,0 +1,79 @@
+//! Monomorphized read-barrier variants (paper Fig. 2). One function per
+//! [`crate::Mode`]; the runtime variant is additionally generic over the
+//! capture policy, so `read_runtime::<RangeTree>` etc. compile to straight
+//! fast-path code with no dispatch inside.
+
+use txmem::Addr;
+
+use super::PolicySlot;
+use crate::site::Site;
+use crate::worker::{TxResult, WorkerCtx};
+
+/// Bookkeeping every read barrier starts with.
+#[inline(always)]
+fn prologue(w: &mut WorkerCtx<'_>, site: &'static Site, addr: Addr) {
+    debug_assert!(w.depth > 0, "read barrier outside transaction");
+    if w.cfg.classify {
+        w.classify_access(site, addr, false);
+    }
+}
+
+/// Shared epilogue: annotation check, then the full STM read.
+#[inline(always)]
+fn annotated_or_full(w: &mut WorkerCtx<'_>, addr: Addr) -> TxResult<u64> {
+    if w.annotation_hit(addr) {
+        w.pending.reads.elided_annotation += 1;
+        return Ok(w.mem.load_private(addr));
+    }
+    w.pending.reads.full += 1;
+    w.read_full(addr)
+}
+
+/// Baseline: no capture analysis; every read is a full barrier (modulo
+/// annotations).
+pub(super) fn read_baseline(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+) -> TxResult<u64> {
+    prologue(w, site, addr);
+    annotated_or_full(w, addr)
+}
+
+/// Compiler capture analysis (paper §3.2): statically proven sites skip
+/// the barrier entirely; everything else runs the full barrier with no
+/// runtime checks.
+pub(super) fn read_compiler(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+) -> TxResult<u64> {
+    prologue(w, site, addr);
+    if site.compiler_elides {
+        w.pending.reads.elided_static += 1;
+        return Ok(w.mem.load_private(addr));
+    }
+    annotated_or_full(w, addr)
+}
+
+/// Runtime capture analysis (paper §3.1), monomorphized over the policy.
+/// The scope booleans are per-configuration constants cached on the worker
+/// at spawn; the branch predictor treats them as always-taken/never-taken.
+pub(super) fn read_runtime<P: PolicySlot>(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+) -> TxResult<u64> {
+    prologue(w, site, addr);
+    if w.scope.reads {
+        if w.scope.stack && w.stack_capture(addr).is_some() {
+            w.pending.reads.elided_stack += 1;
+            return Ok(w.mem.load_private(addr));
+        }
+        if w.scope.heap && w.heap_capture::<P>(addr).is_some() {
+            w.pending.reads.elided_heap += 1;
+            return Ok(w.mem.load_private(addr));
+        }
+    }
+    annotated_or_full(w, addr)
+}

@@ -1,0 +1,147 @@
+//! The enum-dispatch **reference pipeline**: the pre-monomorphization
+//! barrier shape, kept verbatim behind [`crate::TxConfig::reference_dispatch`].
+//!
+//! Every access re-`match`es the configured [`Mode`] and queries the heap
+//! log through [`capture::LogImpl`]'s per-call enum dispatch — exactly the
+//! per-access overhead the monomorphized pipeline hoists to spawn time.
+//! It exists for two reasons:
+//!
+//! * **differential testing** — `tests/dispatch_equiv.rs` replays random
+//!   transaction traces through both pipelines and requires bit-identical
+//!   memory and statistics;
+//! * **measurement** — the `barrier_dispatch` microbenchmark quantifies
+//!   what hoisting the dispatch buys.
+//!
+//! It must produce *identical observable behavior* to the monomorphized
+//! variants, including statistics, so both pipelines count through the
+//! same per-transaction delta.
+
+use capture::{Capture, CapturePolicy};
+use txmem::Addr;
+
+use super::CaptureHit;
+use crate::config::Mode;
+use crate::site::Site;
+use crate::worker::{TxResult, UndoEntry, WorkerCtx};
+
+impl WorkerCtx<'_> {
+    /// Allocation-log lookup through the enum-dispatched reference log.
+    #[inline]
+    fn heap_capture_reference(&self, addr: Addr) -> Option<CaptureHit> {
+        match self.logs.reference_log().classify(addr.raw()) {
+            Capture::No => None,
+            Capture::Level(level) => Some(if level >= self.depth {
+                CaptureHit::Current
+            } else {
+                CaptureHit::Ancestor
+            }),
+        }
+    }
+}
+
+/// The seed's read barrier, dispatching on `Mode` per access.
+pub(super) fn read_reference(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+) -> TxResult<u64> {
+    debug_assert!(w.depth > 0, "read barrier outside transaction");
+    if w.cfg.classify {
+        w.classify_access(site, addr, false);
+    }
+
+    match w.cfg.mode {
+        Mode::Compiler if site.compiler_elides => {
+            w.pending.reads.elided_static += 1;
+            return Ok(w.mem.load_private(addr));
+        }
+        Mode::Runtime { scope, .. } if scope.reads => {
+            if scope.stack && w.stack_capture(addr).is_some() {
+                w.pending.reads.elided_stack += 1;
+                return Ok(w.mem.load_private(addr));
+            }
+            if scope.heap && w.heap_capture_reference(addr).is_some() {
+                w.pending.reads.elided_heap += 1;
+                return Ok(w.mem.load_private(addr));
+            }
+        }
+        _ => {}
+    }
+    if w.annotation_hit(addr) {
+        w.pending.reads.elided_annotation += 1;
+        return Ok(w.mem.load_private(addr));
+    }
+
+    w.pending.reads.full += 1;
+    w.read_full(addr)
+}
+
+/// The seed's write barrier, dispatching on `Mode` per access.
+pub(super) fn write_reference(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    val: u64,
+) -> TxResult<()> {
+    debug_assert!(w.depth > 0, "write barrier outside transaction");
+    if w.cfg.classify {
+        w.classify_access(site, addr, true);
+    }
+
+    match w.cfg.mode {
+        Mode::Compiler if site.compiler_elides => {
+            w.pending.writes.elided_static += 1;
+            w.mem.store_private(addr, val);
+            return Ok(());
+        }
+        Mode::Runtime { scope, .. } if scope.writes => {
+            if scope.stack {
+                match w.stack_capture(addr) {
+                    Some(CaptureHit::Current) => {
+                        w.pending.writes.elided_stack += 1;
+                        w.mem.store_private(addr, val);
+                        return Ok(());
+                    }
+                    Some(CaptureHit::Ancestor) => {
+                        w.pending.writes.parent_captured += 1;
+                        w.undo.push(UndoEntry {
+                            addr,
+                            old: w.mem.load_private(addr),
+                        });
+                        w.mem.store_private(addr, val);
+                        return Ok(());
+                    }
+                    None => {}
+                }
+            }
+            if scope.heap {
+                match w.heap_capture_reference(addr) {
+                    Some(CaptureHit::Current) => {
+                        w.pending.writes.elided_heap += 1;
+                        w.mem.store_private(addr, val);
+                        return Ok(());
+                    }
+                    Some(CaptureHit::Ancestor) => {
+                        w.pending.writes.parent_captured += 1;
+                        w.undo.push(UndoEntry {
+                            addr,
+                            old: w.mem.load_private(addr),
+                        });
+                        w.mem.store_private(addr, val);
+                        return Ok(());
+                    }
+                    None => {}
+                }
+            }
+        }
+        _ => {}
+    }
+    if w.annotation_hit(addr) {
+        w.pending.writes.elided_annotation += 1;
+        w.mem.store_private(addr, val);
+        return Ok(());
+    }
+
+    w.pending.writes.full += 1;
+    w.write_full(addr, val)
+}

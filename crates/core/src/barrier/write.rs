@@ -1,0 +1,107 @@
+//! Monomorphized write-barrier variants. Same layering as `read`, plus the
+//! ancestor-capture case: a write to memory captured by an *enclosing*
+//! transaction is performed in place without locking, but needs an undo
+//! entry so a partial abort of the current level restores it (paper
+//! §2.2.1).
+
+use txmem::Addr;
+
+use super::{CaptureHit, PolicySlot};
+use crate::site::Site;
+use crate::worker::{TxResult, UndoEntry, WorkerCtx};
+
+/// Bookkeeping every write barrier starts with.
+#[inline(always)]
+fn prologue(w: &mut WorkerCtx<'_>, site: &'static Site, addr: Addr) {
+    debug_assert!(w.depth > 0, "write barrier outside transaction");
+    if w.cfg.classify {
+        w.classify_access(site, addr, true);
+    }
+}
+
+/// Shared epilogue: annotation check, then the full STM write.
+#[inline(always)]
+fn annotated_or_full(w: &mut WorkerCtx<'_>, addr: Addr, val: u64) -> TxResult<()> {
+    if w.annotation_hit(addr) {
+        w.pending.writes.elided_annotation += 1;
+        // Paper §3.1.3: annotated memory is accessed directly — the
+        // programmer asserts no other transaction can observe it, and
+        // (like the paper) we do not undo-log it.
+        w.mem.store_private(addr, val);
+        return Ok(());
+    }
+    w.pending.writes.full += 1;
+    w.write_full(addr, val)
+}
+
+/// Captured-hit store: plain for the current level, undo-logged for an
+/// ancestor level.
+#[inline(always)]
+fn store_captured(w: &mut WorkerCtx<'_>, addr: Addr, val: u64, hit: CaptureHit, stack: bool) {
+    match hit {
+        CaptureHit::Current => {
+            if stack {
+                w.pending.writes.elided_stack += 1;
+            } else {
+                w.pending.writes.elided_heap += 1;
+            }
+        }
+        CaptureHit::Ancestor => {
+            w.pending.writes.parent_captured += 1;
+            w.undo.push(UndoEntry {
+                addr,
+                old: w.mem.load_private(addr),
+            });
+        }
+    }
+    w.mem.store_private(addr, val);
+}
+
+pub(super) fn write_baseline(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    val: u64,
+) -> TxResult<()> {
+    prologue(w, site, addr);
+    annotated_or_full(w, addr, val)
+}
+
+pub(super) fn write_compiler(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    val: u64,
+) -> TxResult<()> {
+    prologue(w, site, addr);
+    if site.compiler_elides {
+        w.pending.writes.elided_static += 1;
+        w.mem.store_private(addr, val);
+        return Ok(());
+    }
+    annotated_or_full(w, addr, val)
+}
+
+pub(super) fn write_runtime<P: PolicySlot>(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    val: u64,
+) -> TxResult<()> {
+    prologue(w, site, addr);
+    if w.scope.writes {
+        if w.scope.stack {
+            if let Some(hit) = w.stack_capture(addr) {
+                store_captured(w, addr, val, hit, true);
+                return Ok(());
+            }
+        }
+        if w.scope.heap {
+            if let Some(hit) = w.heap_capture::<P>(addr) {
+                store_captured(w, addr, val, hit, false);
+                return Ok(());
+            }
+        }
+    }
+    annotated_or_full(w, addr, val)
+}

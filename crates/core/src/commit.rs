@@ -3,7 +3,7 @@
 
 use std::sync::atomic::Ordering;
 
-use capture::AllocLog;
+use capture::CapturePolicy;
 
 use crate::orec::{is_locked, owner_of};
 use crate::worker::{Tx, TxResult, WorkerCtx};
@@ -33,7 +33,11 @@ impl<'rt> WorkerCtx<'rt> {
         self.rv = self.rt.clock.load(Ordering::Acquire);
         self.depth = 1;
         self.sp_marks.clear();
-        self.sp_marks.push(self.stack.sp());
+        let sp = self.stack.sp();
+        self.sp_marks.push(sp);
+        self.sp_outer = sp;
+        self.sp_inner = sp;
+        debug_assert_eq!(self.cap_len, 0, "stale capture cache at begin");
     }
 
     /// Validate the whole read set against the *current* record versions.
@@ -112,15 +116,18 @@ impl<'rt> WorkerCtx<'rt> {
         // end (paper §3.1.3: "allocation log gets emptied on every
         // transaction end").
         self.allocs.clear();
-        self.alloc_log.clear();
+        (self.table.reset)(&mut self.logs);
+        self.clear_capture_cache();
         if let Some(t) = self.classify_log.as_mut() {
-            t.clear();
+            t.reset();
         }
         self.reads.clear();
         self.undo.clear();
         self.depth = 0;
         self.sp_marks.clear();
         self.stats.commits += 1;
+        let delta = std::mem::take(&mut self.pending);
+        self.stats.absorb(&delta);
     }
 
     /// Roll back the whole transaction: restore undo values (newest first),
@@ -129,7 +136,7 @@ impl<'rt> WorkerCtx<'rt> {
     pub(crate) fn rollback_top(&mut self) {
         debug_assert!(self.depth >= 1);
         while let Some(u) = self.undo.pop() {
-            self.rt.mem.store(u.addr, u.old);
+            self.mem.store(u.addr, u.old);
         }
         for l in self.locks.drain(..) {
             self.rt.orecs.at(l.idx).store(l.prev, Ordering::Release);
@@ -144,15 +151,18 @@ impl<'rt> WorkerCtx<'rt> {
         }
         self.allocs = allocs;
         self.allocs.clear();
-        self.alloc_log.clear();
+        (self.table.reset)(&mut self.logs);
+        self.clear_capture_cache();
         if let Some(t) = self.classify_log.as_mut() {
-            t.clear();
+            t.reset();
         }
         self.frees.clear(); // deferred frees are cancelled
         self.stack.reset_to(self.sp_marks[0]);
         self.sp_marks.clear();
         self.depth = 0;
         self.stats.aborts += 1;
+        let delta = std::mem::take(&mut self.pending);
+        self.stats.absorb(&delta);
     }
 
     /// Closed-nested child transaction with partial abort (paper §2.2.1).
@@ -171,6 +181,10 @@ impl<'rt> WorkerCtx<'rt> {
         };
         self.depth += 1;
         self.sp_marks.push(cp.sp);
+        self.sp_inner = cp.sp;
+        // The cached block (if any) was captured at a shallower level; for
+        // the child it is ancestor-captured and must take the undo path.
+        self.clear_capture_cache();
         let result = {
             let mut tx = Tx(self);
             f(&mut tx)
@@ -184,13 +198,18 @@ impl<'rt> WorkerCtx<'rt> {
                 for i in cp.allocs..self.allocs.len() {
                     let rec = &mut self.allocs[i];
                     if rec.level > parent && !rec.freed {
-                        self.alloc_log.remove(rec.addr.raw(), rec.usable);
-                        self.alloc_log.insert(rec.addr.raw(), rec.usable, parent);
+                        (self.table.on_free)(&mut self.logs, rec.addr.raw(), rec.usable);
+                        (self.table.on_alloc)(&mut self.logs, rec.addr.raw(), rec.usable, parent);
                         rec.level = parent;
                     }
                 }
+                // Demotion may have changed the level of the cached block;
+                // a stale level would misclassify a later sibling's write
+                // as current-level (skipping its undo entry).
+                self.clear_capture_cache();
                 self.depth -= 1;
                 self.sp_marks.pop();
+                self.sp_inner = *self.sp_marks.last().expect("outermost mark");
                 Ok(Ok(v))
             }
             Err(crate::worker::Abort::User(code)) => {
@@ -203,6 +222,7 @@ impl<'rt> WorkerCtx<'rt> {
                 // retry loop handles rollback.
                 self.depth -= 1;
                 self.sp_marks.pop();
+                self.sp_inner = *self.sp_marks.last().expect("outermost mark");
                 Err(e)
             }
         }
@@ -211,7 +231,7 @@ impl<'rt> WorkerCtx<'rt> {
     fn partial_rollback(&mut self, cp: Checkpoint) {
         while self.undo.len() > cp.undo {
             let u = self.undo.pop().unwrap();
-            self.rt.mem.store(u.addr, u.old);
+            self.mem.store(u.addr, u.old);
         }
         while self.locks.len() > cp.locks {
             let l = self.locks.pop().unwrap();
@@ -220,17 +240,19 @@ impl<'rt> WorkerCtx<'rt> {
         self.reads.truncate(cp.reads);
         while self.allocs.len() > cp.allocs {
             let rec = self.allocs.pop().unwrap();
-            self.alloc_log.remove(rec.addr.raw(), rec.usable);
+            (self.table.on_free)(&mut self.logs, rec.addr.raw(), rec.usable);
             if let Some(t) = self.classify_log.as_mut() {
-                t.remove(rec.addr.raw(), rec.usable);
+                t.on_free(rec.addr.raw(), rec.usable);
             }
             if !rec.freed {
                 self.rt.heap.free(&mut self.talloc, rec.addr);
             }
         }
         self.frees.truncate(cp.frees);
+        self.clear_capture_cache(); // rolled-back blocks left the captured set
         self.stack.reset_to(cp.sp);
         self.sp_marks.pop();
+        self.sp_inner = *self.sp_marks.last().expect("outermost mark");
         self.depth -= 1;
     }
 }

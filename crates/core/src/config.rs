@@ -105,6 +105,14 @@ pub struct TxConfig {
     /// Panic after this many consecutive aborts of one transaction (safety
     /// valve against livelock bugs; not a paper mechanism).
     pub max_attempts: u64,
+    /// Route every barrier through the **enum-dispatch reference
+    /// pipeline** — a per-access `match` on [`Mode`] and an enum-dispatched
+    /// allocation log — instead of the monomorphized dispatch table
+    /// selected at runtime construction. Semantics (including statistics)
+    /// are identical by contract; the differential tests and the
+    /// `barrier_dispatch` microbenchmark rely on that. Not a paper
+    /// mechanism; testing/measurement aid only.
+    pub reference_dispatch: bool,
 }
 
 impl Default for TxConfig {
@@ -117,6 +125,7 @@ impl Default for TxConfig {
             spin_tries: 64,
             backoff_shift_max: 14,
             max_attempts: 50_000_000,
+            reference_dispatch: false,
         }
     }
 }

@@ -33,6 +33,15 @@
 //!   `addPrivateMemoryBlock` / `removePrivateMemoryBlock` API for
 //!   thread-local and read-only data.
 //!
+//! The barrier pipeline itself is **monomorphized** (DESIGN.md §2): all
+//! mode/log dispatch is resolved once at [`StmRuntime::new`] into a
+//! static table of function pointers specialized per [`Mode`] and per
+//! [`CapturePolicy`] implementation, and the hottest captured accesses
+//! (current-level stack, most-recent captured block) are handled by exact
+//! inline checks before the call. The pre-refactor per-access
+//! enum-dispatch pipeline is preserved behind
+//! [`TxConfig::reference_dispatch`] as a differential-testing oracle.
+//!
 //! # Example
 //!
 //! ```
@@ -62,7 +71,7 @@ mod stats;
 mod txalloc;
 mod worker;
 
-pub use capture::LogKind;
+pub use capture::{Capture, CapturePolicy, LogKind};
 pub use config::{CheckScope, Mode, TxConfig};
 pub use orec::OrecTable;
 pub use runtime::StmRuntime;

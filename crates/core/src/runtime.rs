@@ -3,14 +3,15 @@ use std::sync::{Arc, Mutex};
 
 use txmem::{Addr, MemConfig, SharedMem, ThreadAlloc, TxHeap};
 
+use crate::barrier::DispatchTable;
 use crate::config::TxConfig;
 use crate::orec::OrecTable;
 use crate::stats::TxStats;
 use crate::worker::WorkerCtx;
 
 /// The shared state of the STM: simulated memory, heap allocator,
-/// transaction-record table, global version clock, configuration, and
-/// aggregated statistics.
+/// transaction-record table, global version clock, configuration, the
+/// resolved barrier pipeline, and aggregated statistics.
 pub struct StmRuntime {
     pub(crate) mem: Arc<SharedMem>,
     pub(crate) heap: TxHeap,
@@ -18,6 +19,10 @@ pub struct StmRuntime {
     /// Global version clock; even values only (bit 0 is the orec lock bit).
     pub(crate) clock: AtomicU64,
     pub(crate) config: TxConfig,
+    /// The barrier pipeline for `config`, resolved exactly once here: every
+    /// worker spawned from this runtime copies this pointer and never
+    /// re-dispatches on `Mode`/`LogKind` again.
+    pub(crate) table: &'static DispatchTable,
     pub(crate) global_stats: Mutex<TxStats>,
     tids: Mutex<TidPool>,
     setup_alloc: Mutex<ThreadAlloc>,
@@ -38,6 +43,7 @@ impl StmRuntime {
             heap,
             orecs: OrecTable::new(config.orec_log2),
             clock: AtomicU64::new(0),
+            table: DispatchTable::select(&config),
             config,
             global_stats: Mutex::new(TxStats::default()),
             tids: Mutex::new(TidPool {

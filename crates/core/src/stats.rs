@@ -1,3 +1,34 @@
+/// Hot-path barrier counters for one direction within a *single*
+/// transaction attempt.
+///
+/// The barrier fast path must not touch the worker's full [`TxStats`]
+/// (two `BarrierStats` plus commit/abort/alloc counters — several cache
+/// lines): the monomorphized barriers bump this one-line struct instead,
+/// and the transaction lifecycle absorbs it into the durable stats exactly
+/// once per transaction end ([`BarrierStats::absorb`]). Classification
+/// counters (`class_*`, `static_violations`) are not here: they only move
+/// under `TxConfig::classify`, an instrumentation mode.
+/// There is no `total` field: every barrier lands in exactly one of these
+/// counters, so the total is derived at absorb time — one counter bump per
+/// access instead of two.
+#[derive(Default, Clone, Copy, Debug)]
+pub(crate) struct BarrierDelta {
+    pub elided_stack: u64,
+    pub elided_heap: u64,
+    pub elided_static: u64,
+    pub elided_annotation: u64,
+    pub parent_captured: u64,
+    pub full: u64,
+}
+
+/// Both directions of [`BarrierDelta`]; lives on the worker and is taken
+/// (reset to zero) when flushed at commit or rollback.
+#[derive(Default, Clone, Copy, Debug)]
+pub(crate) struct TxnDelta {
+    pub reads: BarrierDelta,
+    pub writes: BarrierDelta,
+}
+
 /// Counters for one barrier direction (reads or writes).
 #[derive(Default, Clone, Copy, Debug)]
 pub struct BarrierStats {
@@ -35,6 +66,22 @@ pub struct BarrierStats {
 }
 
 impl BarrierStats {
+    /// Fold one transaction's hot-path counters into the durable stats.
+    pub(crate) fn absorb(&mut self, d: &BarrierDelta) {
+        self.total += d.elided_stack
+            + d.elided_heap
+            + d.elided_static
+            + d.elided_annotation
+            + d.parent_captured
+            + d.full;
+        self.elided_stack += d.elided_stack;
+        self.elided_heap += d.elided_heap;
+        self.elided_static += d.elided_static;
+        self.elided_annotation += d.elided_annotation;
+        self.parent_captured += d.parent_captured;
+        self.full += d.full;
+    }
+
     pub fn merge(&mut self, o: &BarrierStats) {
         self.total += o.total;
         self.elided_stack += o.elided_stack;
@@ -84,6 +131,13 @@ pub struct TxStats {
 }
 
 impl TxStats {
+    /// Fold one transaction's hot-path counters into the durable stats
+    /// (called once per transaction end; see [`TxnDelta`]).
+    pub(crate) fn absorb(&mut self, d: &TxnDelta) {
+        self.reads.absorb(&d.reads);
+        self.writes.absorb(&d.writes);
+    }
+
     pub fn merge(&mut self, o: &TxStats) {
         self.commits += o.commits;
         self.aborts += o.aborts;

@@ -1,9 +1,10 @@
 //! Transactional allocation and free (paper §3.1.2): every transactional
-//! allocation is recorded in the allocation log that powers heap capture
-//! analysis; aborts undo allocations; frees of non-captured blocks are
-//! deferred to commit so concurrent readers never observe recycled memory.
+//! allocation is reported to the active capture policy (through the
+//! spawn-time-resolved dispatch table) so heap capture analysis can find
+//! it; aborts undo allocations; frees of non-captured blocks are deferred
+//! to commit so concurrent readers never observe recycled memory.
 
-use capture::AllocLog;
+use capture::CapturePolicy;
 use txmem::Addr;
 
 use crate::worker::{AllocRec, TxResult, WorkerCtx};
@@ -23,9 +24,9 @@ impl WorkerCtx<'_> {
             level: self.depth,
             freed: false,
         });
-        self.alloc_log.insert(addr.raw(), usable, self.depth);
+        (self.table.on_alloc)(&mut self.logs, addr.raw(), usable, self.depth);
         if let Some(t) = self.classify_log.as_mut() {
-            t.insert(addr.raw(), usable, self.depth);
+            t.on_alloc(addr.raw(), usable, self.depth);
         }
         self.stats.tx_allocs += 1;
         Ok(addr)
@@ -37,17 +38,14 @@ impl WorkerCtx<'_> {
         // immediately: nobody else can hold a reference (it is captured),
         // and a later abort of this level would have discarded it anyway.
         // This is McRT-Malloc's balanced alloc/free optimization.
-        if let Some(i) = self
-            .allocs
-            .iter()
-            .rposition(|r| r.addr == addr && !r.freed)
-        {
+        if let Some(i) = self.allocs.iter().rposition(|r| r.addr == addr && !r.freed) {
             if self.allocs[i].level >= self.depth {
                 let usable = self.allocs[i].usable;
                 self.allocs[i].freed = true;
-                self.alloc_log.remove(addr.raw(), usable);
+                (self.table.on_free)(&mut self.logs, addr.raw(), usable);
+                self.clear_capture_cache(); // the freed block may be cached
                 if let Some(t) = self.classify_log.as_mut() {
-                    t.remove(addr.raw(), usable);
+                    t.on_free(addr.raw(), usable);
                 }
                 self.rt.heap.free(&mut self.talloc, addr);
                 self.stats.tx_frees += 1;

@@ -1,10 +1,11 @@
-use capture::{LogImpl, LogKind, PrivateLog, RangeTree};
+use capture::{PrivateLog, RangeTree};
 use txmem::{Addr, ThreadAlloc, ThreadStack};
 
-use crate::config::{Mode, TxConfig};
+use crate::barrier::{CaptureLogs, DispatchTable};
+use crate::config::{CheckScope, Mode, TxConfig};
 use crate::runtime::StmRuntime;
 use crate::site::Site;
-use crate::stats::TxStats;
+use crate::stats::{TxStats, TxnDelta};
 
 /// Why a transaction's closure stopped early.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,22 +48,71 @@ pub(crate) struct AllocRec {
     pub freed: bool,
 }
 
+/// Spawn-time-computed gates for the inline fast paths in
+/// [`WorkerCtx::read_word`]/[`WorkerCtx::write_word`]. A flag is set only
+/// when the corresponding check is (a) enabled by the runtime-mode scope
+/// and (b) exact — i.e. an inline hit is guaranteed to take the very same
+/// branch the monomorphized barrier would take, with the same counters.
+/// All false under `classify` (every access must reach the classification
+/// bookkeeping) and under `reference_dispatch` (the oracle pipeline models
+/// per-access dispatch, nothing may shortcut it).
+#[derive(Clone, Copy, Default)]
+pub(crate) struct FastFlags {
+    pub read_stack: bool,
+    pub read_heap: bool,
+    pub write_stack: bool,
+    pub write_heap: bool,
+}
+
+impl FastFlags {
+    fn compute(cfg: &TxConfig) -> FastFlags {
+        let scope = match cfg.mode {
+            Mode::Runtime { scope, .. } => scope,
+            _ => return FastFlags::default(),
+        };
+        if cfg.classify || cfg.reference_dispatch {
+            return FastFlags::default();
+        }
+        FastFlags {
+            read_stack: scope.reads && scope.stack,
+            read_heap: scope.reads && scope.heap,
+            write_stack: scope.writes && scope.stack,
+            write_heap: scope.writes && scope.heap,
+        }
+    }
+}
+
 /// A registered worker thread: owns a simulated stack region, allocator
 /// caches, the capture logs, and the (reusable) transaction logs. This is
 /// the paper's *transaction descriptor* plus per-thread runtime state.
 pub struct WorkerCtx<'rt> {
     pub(crate) rt: &'rt StmRuntime,
+    /// Direct reference to the simulated memory (skips the `rt` → `Arc`
+    /// pointer chain on every barrier's load/store).
+    pub(crate) mem: &'rt txmem::SharedMem,
     pub(crate) cfg: TxConfig,
+    /// The barrier pipeline, resolved once at runtime construction
+    /// ([`DispatchTable::select`]): all mode/log dispatch happens through
+    /// these monomorphized function pointers, never per access.
+    pub(crate) table: &'static DispatchTable,
+    /// Capture-check scope, hoisted out of [`Mode::Runtime`] so the
+    /// monomorphized barriers read it without touching the mode enum.
+    /// Unused (and set to `FULL`) in the other modes.
+    pub(crate) scope: CheckScope,
     tid: usize,
     pub(crate) stack: ThreadStack,
     pub(crate) talloc: ThreadAlloc,
-    /// The allocation log used by runtime capture analysis (mode-selected).
-    pub(crate) alloc_log: LogImpl,
+    /// Storage for the capture policies the dispatch table projects into
+    /// (only the spawn-time-selected one is ever populated).
+    pub(crate) logs: CaptureLogs,
     /// Precise shadow log for Figure-8 classification (`cfg.classify`).
     pub(crate) classify_log: Option<RangeTree>,
     /// Annotated private memory (paper §3.1.3); persists across txns.
     pub(crate) private_log: PrivateLog,
     pub stats: TxStats,
+    /// Hot-path barrier counters of the current transaction, absorbed into
+    /// `stats` once per transaction end.
+    pub(crate) pending: TxnDelta,
 
     // --- live transaction state (buffers reused across transactions) ---
     pub(crate) reads: Vec<ReadEntry>,
@@ -78,6 +128,25 @@ pub struct WorkerCtx<'rt> {
     /// transaction began). `sp_marks[0]` bounds the whole transaction-local
     /// stack of the paper's Figure 3.
     pub(crate) sp_marks: Vec<u64>,
+    /// Cache of `sp_marks[0]` (scalar, so the barrier's stack range check
+    /// never indexes the vector). Only meaningful while `depth > 0`.
+    pub(crate) sp_outer: u64,
+    /// Cache of `sp_marks[depth - 1]`; see `sp_outer`.
+    pub(crate) sp_inner: u64,
+    /// Inline fast-path gates (see [`FastFlags`]).
+    pub(crate) fast: FastFlags,
+    /// One-entry capture cache: `[cap_start, cap_start + cap_len)` is a
+    /// heap range the active policy proved captured at the *current or a
+    /// deeper* nesting level, valid until the next free / level change /
+    /// nested-transaction entry / transaction end (those all call
+    /// [`WorkerCtx::clear_capture_cache`], which is what upholds the
+    /// level invariant without a per-access level compare). `cap_len == 0`
+    /// means empty. Populated only from policies whose
+    /// `classify_cacheable` gives a residency guarantee (tree, array —
+    /// never the lossy filter), so an inline hit is always a hit the
+    /// policy itself would report.
+    pub(crate) cap_start: u64,
+    pub(crate) cap_len: u64,
     /// Consecutive aborts of the currently-retried transaction.
     pub(crate) attempts: u64,
     rng: u64,
@@ -86,20 +155,24 @@ pub struct WorkerCtx<'rt> {
 impl<'rt> WorkerCtx<'rt> {
     pub(crate) fn new(rt: &'rt StmRuntime, tid: usize) -> WorkerCtx<'rt> {
         let cfg = rt.config;
-        let log_kind = match cfg.mode {
-            Mode::Runtime { log, .. } => log,
-            _ => LogKind::Tree, // allocated but unused in other modes
+        let scope = match cfg.mode {
+            Mode::Runtime { scope, .. } => scope,
+            _ => CheckScope::FULL, // never consulted outside Runtime mode
         };
         WorkerCtx {
             rt,
+            mem: rt.mem(),
             cfg,
+            table: rt.table,
+            scope,
             tid,
             stack: ThreadStack::new(&rt.mem, tid),
             talloc: ThreadAlloc::new(),
-            alloc_log: LogImpl::new(log_kind),
+            logs: CaptureLogs::new(&cfg),
             classify_log: cfg.classify.then(RangeTree::new),
             private_log: PrivateLog::new(),
             stats: TxStats::default(),
+            pending: TxnDelta::default(),
             reads: Vec::with_capacity(256),
             locks: Vec::with_capacity(64),
             undo: Vec::with_capacity(64),
@@ -108,6 +181,11 @@ impl<'rt> WorkerCtx<'rt> {
             rv: 0,
             depth: 0,
             sp_marks: Vec::with_capacity(4),
+            sp_outer: 0,
+            sp_inner: 0,
+            fast: FastFlags::compute(&cfg),
+            cap_start: 0,
+            cap_len: 0,
             attempts: 0,
             rng: 0x9E3779B97F4A7C15 ^ (tid as u64 + 1).wrapping_mul(0xA24BAED4963EE407),
         }
@@ -121,6 +199,62 @@ impl<'rt> WorkerCtx<'rt> {
     #[inline]
     pub fn runtime(&self) -> &'rt StmRuntime {
         self.rt
+    }
+
+    /// Transactional read of one word.
+    ///
+    /// Two *inline* exact fast paths run first — the current-level stack
+    /// range compare and the one-entry capture cache — so the hottest
+    /// captured accesses never leave the caller's loop. Everything else is
+    /// a single indirect call into the monomorphized barrier the dispatch
+    /// table selected at spawn.
+    #[inline]
+    pub(crate) fn read_word(&mut self, site: &'static Site, addr: Addr) -> TxResult<u64> {
+        debug_assert!(self.depth > 0, "read barrier outside transaction");
+        let a = addr.raw();
+        // Cache first, stack second: the two regions are disjoint and both
+        // checks are exact, so the order cannot change which counter a hit
+        // lands in — only which workload pays one extra compare.
+        if self.fast.read_heap && a.wrapping_sub(self.cap_start) < self.cap_len {
+            self.pending.reads.elided_heap += 1;
+            return Ok(self.mem.load_private(addr));
+        }
+        if self.fast.read_stack && a >= self.stack.sp() && a < self.sp_inner {
+            self.pending.reads.elided_stack += 1;
+            return Ok(self.mem.load_private(addr));
+        }
+        let read = self.table.read;
+        read(self, site, addr)
+    }
+
+    /// Transactional write of one word; see [`WorkerCtx::read_word`]. The
+    /// inline paths cover only *current-level* captures (plain store);
+    /// ancestor-captured writes need an undo entry and take the call.
+    #[inline]
+    pub(crate) fn write_word(&mut self, site: &'static Site, addr: Addr, val: u64) -> TxResult<()> {
+        debug_assert!(self.depth > 0, "write barrier outside transaction");
+        let a = addr.raw();
+        if self.fast.write_heap && a.wrapping_sub(self.cap_start) < self.cap_len {
+            self.pending.writes.elided_heap += 1;
+            self.mem.store_private(addr, val);
+            return Ok(());
+        }
+        if self.fast.write_stack && a >= self.stack.sp() && a < self.sp_inner {
+            self.pending.writes.elided_stack += 1;
+            self.mem.store_private(addr, val);
+            return Ok(());
+        }
+        let write = self.table.write;
+        write(self, site, addr, val)
+    }
+
+    /// Forget the inline capture cache; called whenever a block leaves the
+    /// captured set or its level relation to the current nesting could
+    /// change (free, demote, rollback, nested entry, txn end).
+    #[inline]
+    pub(crate) fn clear_capture_cache(&mut self) {
+        self.cap_start = 0;
+        self.cap_len = 0;
     }
 
     /// Run a transaction to commit, retrying on conflicts with exponential
@@ -213,14 +347,14 @@ impl<'rt> WorkerCtx<'rt> {
     #[inline]
     pub fn load(&self, addr: Addr) -> u64 {
         debug_assert_eq!(self.depth, 0, "use tx barriers inside a transaction");
-        self.rt.mem.load(addr)
+        self.mem.load(addr)
     }
 
     /// Direct store, outside any transaction.
     #[inline]
     pub fn store(&self, addr: Addr, val: u64) {
         debug_assert_eq!(self.depth, 0, "use tx barriers inside a transaction");
-        self.rt.mem.store(addr, val);
+        self.mem.store(addr, val);
     }
 
     #[inline]
@@ -267,7 +401,8 @@ impl<'rt> WorkerCtx<'rt> {
 
     /// Paper Fig. 7: remove a private-block annotation.
     pub fn remove_private_memory_block(&mut self, addr: Addr, size: u64) {
-        self.private_log.remove_private_memory_block(addr.raw(), size);
+        self.private_log
+            .remove_private_memory_block(addr.raw(), size);
     }
 
     /// Flush this worker's statistics into the runtime-wide aggregate
@@ -392,7 +527,7 @@ impl<'a, 'rt> Tx<'a, 'rt> {
     /// responsibility sits with the compiler, exactly as in the paper.
     #[inline]
     pub fn load_direct(&self, addr: Addr) -> u64 {
-        self.0.rt.mem.load_private(addr)
+        self.0.mem.load_private(addr)
     }
 
     /// Uninstrumented store inside a transaction; see [`Tx::load_direct`].
@@ -400,13 +535,15 @@ impl<'a, 'rt> Tx<'a, 'rt> {
     /// (captured memory) or is never observed by other transactions.
     #[inline]
     pub fn store_direct(&mut self, addr: Addr, val: u64) {
-        self.0.rt.mem.store_private(addr, val);
+        self.0.mem.store_private(addr, val);
     }
 
     /// Annotations may also be toggled mid-transaction; the change is not
     /// transactional (paper: annotations are a programmer promise).
     pub fn add_private_memory_block(&mut self, addr: Addr, size: u64) {
-        self.0.private_log.add_private_memory_block(addr.raw(), size);
+        self.0
+            .private_log
+            .add_private_memory_block(addr.raw(), size);
     }
 
     pub fn remove_private_memory_block(&mut self, addr: Addr, size: u64) {

@@ -58,9 +58,7 @@ fn apply_model(model: &mut [u64], op: &TxOp) {
         TxOp::Copy { from, to } => {
             model[(to as u64 % CELLS) as usize] = model[(from as u64 % CELLS) as usize]
         }
-        TxOp::ScratchWrite { cell, val } => {
-            model[(cell as u64 % CELLS) as usize] = val ^ 0xABCD
-        }
+        TxOp::ScratchWrite { cell, val } => model[(cell as u64 % CELLS) as usize] = val ^ 0xABCD,
         TxOp::Add { cell, k } => {
             let c = (cell as u64 % CELLS) as usize;
             model[c] = model[c].wrapping_add(k);

@@ -447,7 +447,9 @@ fn concurrent_transfers_preserve_total() {
                     let mut w = rt.spawn_worker();
                     let mut x = t + 1;
                     for _ in 0..300 {
-                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
                         let from = (x >> 33) % ACCOUNTS;
                         // Distinct target: a from==to "transfer" with both
                         // reads up front would mint money in the *test*.
@@ -558,7 +560,7 @@ fn classify_mode_buckets_fig8_categories() {
         tx.write(&S_ESC, heap_block, 1)?; // -> class_heap
         tx.write(&S_ESC, frame, 2)?; // -> class_stack
         tx.write(&S, shared, 3)?; // -> class_required
-        tx.read(&Site::unneeded_static(), shared)?; // -> class_other
+        tx.read(Site::unneeded_static(), shared)?; // -> class_other
         tx.stack_pop(1);
         Ok(())
     });

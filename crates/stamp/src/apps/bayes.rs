@@ -67,6 +67,7 @@ pub fn run(cfg: &Config, txcfg: TxConfig, threads: usize) -> RunOutcome {
     let tasks = TxList::create(&rt);
     let adtree = rt.alloc_global(v * v * 8); // read-only after setup
     let network = rt.alloc_global(v * v * 8); // learned adjacency
+
     // Shared words: [processed, followups_spawned, next_task_id]
     let counters = rt.alloc_global(3 * 8);
 

@@ -92,12 +92,13 @@ pub fn run(cfg: &Config, txcfg: TxConfig, threads: usize) -> RunOutcome {
         for k in lo..hi {
             w.txn(|tx| {
                 // Probe for this segment and its successor-by-overlap.
-                if set.find(tx, k)?.is_some() && k + 1 < cfg.uniques {
-                    if set.find(tx, k + 1)?.is_some() {
-                        let cur = tx.read(&S_LINK_R, links.word(k))?;
-                        if cur == u64::MAX {
-                            tx.write(&S_LINK_W, links.word(k), k + 1)?;
-                        }
+                if set.find(tx, k)?.is_some()
+                    && k + 1 < cfg.uniques
+                    && set.find(tx, k + 1)?.is_some()
+                {
+                    let cur = tx.read(&S_LINK_R, links.word(k))?;
+                    if cur == u64::MAX {
+                        tx.write(&S_LINK_W, links.word(k), k + 1)?;
                     }
                 }
                 Ok(())

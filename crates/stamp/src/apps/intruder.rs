@@ -61,7 +61,7 @@ fn unpack(v: u64) -> (u64, u64) {
 /// The attack signature: payload sum divisible by 7 (stands in for STAMP's
 /// dictionary match against a captured, reassembled byte stream).
 fn is_attack(payload_sum: u64) -> bool {
-    payload_sum % 7 == 0
+    payload_sum.is_multiple_of(7)
 }
 
 pub fn run(cfg: &Config, txcfg: TxConfig, threads: usize) -> RunOutcome {

@@ -171,7 +171,11 @@ pub fn run(cfg: &Config, txcfg: TxConfig, threads: usize) -> RunOutcome {
                     tx.write(&S_ELEM_INIT, nrec.word(E_QUAL), q)?;
                     // New elements neighbor each other in a fan.
                     tx.write(&S_ELEM_INIT, nrec.word(E_N0), first_new + (i + 1) % n_new)?;
-                    tx.write(&S_ELEM_INIT, nrec.word(E_N0 + 1), first_new + (i + n_new - 1) % n_new)?;
+                    tx.write(
+                        &S_ELEM_INIT,
+                        nrec.word(E_N0 + 1),
+                        first_new + (i + n_new - 1) % n_new,
+                    )?;
                     tx.write(&S_ELEM_INIT, nrec.word(E_N0 + 2), NO_NEIGHBOR)?;
                     mesh.insert(tx, new_id, nrec.raw())?;
                     if q < BAD_THRESHOLD {
@@ -181,7 +185,11 @@ pub fn run(cfg: &Config, txcfg: TxConfig, threads: usize) -> RunOutcome {
 
                 // ---- bookkeeping for verification ----
                 let removed = tx.read(&S_CTR_R, counters.word(1))?;
-                tx.write(&S_CTR_W, counters.word(1), removed + cavity_ids.len() as u64)?;
+                tx.write(
+                    &S_CTR_W,
+                    counters.word(1),
+                    removed + cavity_ids.len() as u64,
+                )?;
                 let added = tx.read(&S_CTR_R, counters.word(2))?;
                 tx.write(&S_CTR_W, counters.word(2), added + n_new)?;
 

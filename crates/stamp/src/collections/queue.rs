@@ -98,7 +98,10 @@ impl TxQueue {
         let cap = w.load(self.handle.word(CAP));
         let head = w.load(self.handle.word(HEAD));
         let tail = w.load(self.handle.word(TAIL));
-        assert!((tail + 1) % cap != head, "seq_push into full queue (size for setup)");
+        assert!(
+            (tail + 1) % cap != head,
+            "seq_push into full queue (size for setup)"
+        );
         let data = w.load_addr(self.handle.word(DATA));
         w.store(data.word(tail), val);
         w.store(self.handle.word(TAIL), (tail + 1) % cap);

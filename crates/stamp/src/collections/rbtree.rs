@@ -78,7 +78,11 @@ impl TxRbTree {
 
     fn bump_size(&self, tx: &mut Tx<'_, '_>, delta: i64) -> TxResult<()> {
         let sz = tx.read(&S_SIZE_R, self.handle.word(SIZE))?;
-        tx.write(&S_SIZE_W, self.handle.word(SIZE), sz.wrapping_add(delta as u64))
+        tx.write(
+            &S_SIZE_W,
+            self.handle.word(SIZE),
+            sz.wrapping_add(delta as u64),
+        )
     }
 
     // -- rotations ----------------------------------------------------------
@@ -571,7 +575,11 @@ mod tests {
             match rng.below(3) {
                 0 => {
                     let inserted = w.txn(|tx| t.insert(tx, key, key * 2));
-                    assert_eq!(inserted, model.insert(key, key * 2).is_none(), "step {step}");
+                    assert_eq!(
+                        inserted,
+                        model.insert(key, key * 2).is_none(),
+                        "step {step}"
+                    );
                 }
                 1 => {
                     let removed = w.txn(|tx| t.remove(tx, key));

@@ -131,7 +131,10 @@ mod tests {
         let v = TxVector::create_local(&mut w, 8);
         w.txn(|tx| v.push(tx, 1));
         assert_eq!(w.stats.writes.elided_heap, 0);
-        assert!(w.stats.writes.full >= 2, "size + data writes take full barriers");
+        assert!(
+            w.stats.writes.full >= 2,
+            "size + data writes take full barriers"
+        );
     }
 
     #[test]

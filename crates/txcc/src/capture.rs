@@ -65,7 +65,10 @@ pub struct AnalysisResult {
 
 impl AnalysisResult {
     pub fn elided(&self) -> usize {
-        self.verdicts.iter().filter(|v| **v == Verdict::Elide).count()
+        self.verdicts
+            .iter()
+            .filter(|v| **v == Verdict::Elide)
+            .count()
     }
 
     pub fn barriers(&self) -> usize {
@@ -177,7 +180,12 @@ fn analyze_block(body: &[Stmt], env: &mut Env, ctx: &mut Ctx<'_>) {
                 let v = eval(e, env, ctx);
                 env.insert(x.clone(), v);
             }
-            Stmt::Store { base, idx, val, site } => {
+            Stmt::Store {
+                base,
+                idx,
+                val,
+                site,
+            } => {
                 let b = eval(base, env, ctx);
                 eval(idx, env, ctx);
                 eval(val, env, ctx);
@@ -239,7 +247,7 @@ fn join_envs(a: &Env, b: &Env) -> Env {
         let vb = *b.get(k).unwrap_or(&Abs::Unknown);
         out.insert(k.clone(), meet(va, vb));
     }
-    for (k, _) in b {
+    for k in b.keys() {
         out.entry(k.clone()).or_insert(Abs::Unknown);
     }
     out
@@ -258,11 +266,7 @@ pub fn analyze_function(f: &Function, n_sites: usize, assume_atomic: bool) -> An
         in_atomic: u32::from(assume_atomic),
         record: true,
     };
-    let mut env: Env = f
-        .params
-        .iter()
-        .map(|p| (p.clone(), Abs::Unknown))
-        .collect();
+    let mut env: Env = f.params.iter().map(|p| (p.clone(), Abs::Unknown)).collect();
     analyze_block(&f.body, &mut env, &mut ctx);
     AnalysisResult { verdicts }
 }
@@ -387,7 +391,9 @@ fn desugar_expr(e: &mut Expr, taken: &std::collections::HashSet<String>, next_si
             desugar_expr(a, taken, next_site);
             desugar_expr(b, taken, next_site);
         }
-        Expr::Call(_, args) => args.iter_mut().for_each(|a| desugar_expr(a, taken, next_site)),
+        Expr::Call(_, args) => args
+            .iter_mut()
+            .for_each(|a| desugar_expr(a, taken, next_site)),
         _ => {}
     }
 }
@@ -469,9 +475,8 @@ mod tests {
 
     #[test]
     fn malloc_in_atomic_is_captured() {
-        let (_, r) = verdicts_of(
-            "fn f(s) { atomic { var p = malloc(16); p[0] = 1; s[0] = 2; } return 0; }",
-        );
+        let (_, r) =
+            verdicts_of("fn f(s) { atomic { var p = malloc(16); p[0] = 1; s[0] = 2; } return 0; }");
         assert_eq!(r.elided(), 1, "p[0] elided");
         assert_eq!(r.barriers(), 1, "s[0] keeps its barrier");
     }

@@ -78,10 +78,7 @@ pub struct CompiledProgram {
 
 impl CompiledProgram {
     pub fn function(&self, name: &str) -> Option<(usize, &CompiledFn)> {
-        self.funcs
-            .iter()
-            .enumerate()
-            .find(|(_, f)| f.name == name)
+        self.funcs.iter().enumerate().find(|(_, f)| f.name == name)
     }
 }
 
@@ -261,7 +258,12 @@ impl<'a> FnCodegen<'a> {
                     .unwrap_or_else(|| panic!("assignment to undeclared variable {x}"));
                 self.code.push(Op::Mov(dst, r));
             }
-            Stmt::Store { base, idx, val, site } => {
+            Stmt::Store {
+                base,
+                idx,
+                val,
+                site,
+            } => {
                 let rb = self.expr(base);
                 let ri = self.expr(idx);
                 let rv = self.expr(val);
@@ -397,8 +399,9 @@ mod tests {
 
     #[test]
     fn naive_instruments_everything_in_atomic() {
-        let p = parse("fn f(s) { atomic { var p = malloc(16); p[0] = 1; s[0] = p[0]; } return 0; }")
-            .unwrap();
+        let p =
+            parse("fn f(s) { atomic { var p = malloc(16); p[0] = 1; s[0] = p[0]; } return 0; }")
+                .unwrap();
         let naive = compile(&p, OptLevel::Naive);
         assert_eq!(naive.stats.barriers, 3);
         assert_eq!(naive.stats.elided, 0);
@@ -406,8 +409,9 @@ mod tests {
 
     #[test]
     fn capture_analysis_elides_proven_sites() {
-        let p = parse("fn f(s) { atomic { var p = malloc(16); p[0] = 1; s[0] = p[0]; } return 0; }")
-            .unwrap();
+        let p =
+            parse("fn f(s) { atomic { var p = malloc(16); p[0] = 1; s[0] = p[0]; } return 0; }")
+                .unwrap();
         let o = compile(&p, OptLevel::CaptureAnalysis);
         assert_eq!(o.stats.elided, 2, "p[0] write and p[0] read");
         assert_eq!(o.stats.barriers, 1, "s[0] keeps its barrier");
@@ -418,7 +422,10 @@ mod tests {
         let p = parse("fn f(s) { s[0] = 1; return s[0]; }").unwrap();
         let c = compile(&p, OptLevel::Naive);
         let f = &c.funcs[0];
-        assert!(f.normal.iter().all(|op| !matches!(op, Op::LoadTx(..) | Op::StoreTx(..))));
+        assert!(f
+            .normal
+            .iter()
+            .all(|op| !matches!(op, Op::LoadTx(..) | Op::StoreTx(..))));
         // ... but the transactional clone instruments them.
         assert!(f.tx.iter().any(|op| matches!(op, Op::StoreTx(..))));
     }

@@ -184,7 +184,12 @@ fn rename_stmt(s: &mut Stmt, names: &HashMap<String, String>, n_sites: &mut usiz
             }
             rename_expr(e, names, n_sites);
         }
-        Stmt::Store { base, idx, val, site } => {
+        Stmt::Store {
+            base,
+            idx,
+            val,
+            site,
+        } => {
             *site = fresh_site(n_sites);
             rename_expr(base, names, n_sites);
             rename_expr(idx, names, n_sites);

@@ -154,7 +154,10 @@ impl<'a> Lexer<'a> {
                     Err(format!("line {}: unexpected '|'", self.line))
                 }
             }
-            _ => Err(format!("line {}: unexpected character '{}'", self.line, c as char)),
+            _ => Err(format!(
+                "line {}: unexpected character '{}'",
+                self.line, c as char
+            )),
         }
     }
 }

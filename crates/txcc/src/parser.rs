@@ -315,10 +315,9 @@ mod tests {
 
     #[test]
     fn parses_atomic_malloc_store() {
-        let p = parse(
-            "fn f(s) { atomic { var p = malloc(16); p[0] = 1; s[0] = p[0]; } return 0; }",
-        )
-        .unwrap();
+        let p =
+            parse("fn f(s) { atomic { var p = malloc(16); p[0] = 1; s[0] = p[0]; } return 0; }")
+                .unwrap();
         assert_eq!(p.n_sites, 3, "two loads-as-lvalue + one rvalue load");
         let f = &p.functions[0];
         assert!(matches!(f.body[0], Stmt::Atomic(_)));
@@ -337,8 +336,10 @@ mod tests {
 
     #[test]
     fn address_of_and_if_else() {
-        let p = parse("fn f() { var x = 0; var q = &x; if (q[0]) { x = 1; } else { x = 2; } return x; }")
-            .unwrap();
+        let p = parse(
+            "fn f() { var x = 0; var q = &x; if (q[0]) { x = 1; } else { x = 2; } return x; }",
+        )
+        .unwrap();
         assert_eq!(p.functions.len(), 1);
     }
 

@@ -323,7 +323,7 @@ mod tests {
     fn arithmetic_and_control_flow() {
         let src = "fn f(n) { var i = 0; var acc = 0; while (i < n) { if (i % 2 == 0) { acc = acc + i; } else { } i = i + 1; } return acc; }";
         let (v, _) = run_src(src, "f", &[10], OptLevel::Naive);
-        assert_eq!(v, 0 + 2 + 4 + 6 + 8);
+        assert_eq!(v, 2 + 4 + 6 + 8);
     }
 
     #[test]

@@ -26,12 +26,18 @@ enum GenOp {
 
 fn genop() -> impl Strategy<Value = GenOp> {
     prop_oneof![
-        (any::<u8>(), any::<u8>(), any::<u16>())
-            .prop_map(|(dst, idx, val)| GenOp::StoreConst { dst, idx, val }),
+        (any::<u8>(), any::<u8>(), any::<u16>()).prop_map(|(dst, idx, val)| GenOp::StoreConst {
+            dst,
+            idx,
+            val
+        }),
         (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
             .prop_map(|(dst, di, src, si)| GenOp::Move { dst, di, src, si }),
-        (any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(k, src, si)| GenOp::Publish { k, src, si }),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(k, src, si)| GenOp::Publish {
+            k,
+            src,
+            si
+        }),
     ]
 }
 
@@ -46,7 +52,10 @@ fn render(ops: &[GenOp], captured_mask: u8) -> String {
     let mut src = String::from("fn f(s) {\n  atomic {\n");
     for b in 0..NBLOCKS {
         if captured_mask & (1 << b) != 0 {
-            src.push_str(&format!("    var p{b} = malloc({});\n", BLOCK_WORDS as u64 * 8));
+            src.push_str(&format!(
+                "    var p{b} = malloc({});\n",
+                BLOCK_WORDS as u64 * 8
+            ));
         } else {
             // Alias into the shared buffer (disjoint 4-word windows so
             // blocks never overlap). `+` is raw byte arithmetic in TL.
@@ -63,7 +72,12 @@ fn render(ops: &[GenOp], captured_mask: u8) -> String {
                 let i = idx % BLOCK_WORDS;
                 src.push_str(&format!("    p{d}[{i}] = {val};\n"));
             }
-            GenOp::Move { dst, di, src: s, si } => {
+            GenOp::Move {
+                dst,
+                di,
+                src: s,
+                si,
+            } => {
                 let d = dst % NBLOCKS;
                 let di = di % BLOCK_WORDS;
                 let s = s % NBLOCKS;

@@ -44,7 +44,7 @@ impl Addr {
     /// True if the address is word aligned.
     #[inline]
     pub const fn is_aligned(self) -> bool {
-        self.0 % WORD_BYTES == 0
+        self.0.is_multiple_of(WORD_BYTES)
     }
 
     /// Byte offset arithmetic (like C pointer arithmetic on `char*`).

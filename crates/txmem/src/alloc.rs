@@ -29,7 +29,11 @@ pub struct AllocError {
 
 impl std::fmt::Display for AllocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "simulated heap exhausted (requested {} bytes)", self.requested)
+        write!(
+            f,
+            "simulated heap exhausted (requested {} bytes)",
+            self.requested
+        )
     }
 }
 
@@ -121,18 +125,22 @@ impl TxHeap {
     /// at `addr - 8`). The payload is zeroed.
     pub fn alloc(&self, ta: &mut ThreadAlloc, size: u64) -> Result<Addr, AllocError> {
         let size = size.max(1);
-        let total = (size + HEADER_BYTES + WORD_BYTES - 1) / WORD_BYTES * WORD_BYTES;
+        let total = (size + HEADER_BYTES).div_ceil(WORD_BYTES) * WORD_BYTES;
         let block = match size_to_class(total) {
             Some(class) => {
                 let cls_total = SIZE_CLASSES[class];
                 let block = match ta.free[class].pop() {
                     Some(b) => b,
-                    None => self.refill(ta, class).ok_or(AllocError { requested: size })?,
+                    None => self
+                        .refill(ta, class)
+                        .ok_or(AllocError { requested: size })?,
                 };
                 self.mem.store_private(Addr(block), cls_total);
                 block
             }
-            None => self.alloc_large(total).ok_or(AllocError { requested: size })?,
+            None => self
+                .alloc_large(total)
+                .ok_or(AllocError { requested: size })?,
         };
         ta.alloc_count += 1;
         let payload = Addr(block + HEADER_BYTES);
@@ -338,7 +346,10 @@ mod tests {
                 addrs
             }));
         }
-        let mut all: Vec<Addr> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<Addr> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         let before = all.len();
         all.sort();
         all.dedup();

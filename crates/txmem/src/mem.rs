@@ -17,8 +17,8 @@ impl Default for MemConfig {
     fn default() -> Self {
         MemConfig {
             max_threads: 32,
-            stack_words: 1 << 14,  // 128 KiB per thread
-            heap_words: 1 << 22,   // 32 MiB heap
+            stack_words: 1 << 14, // 128 KiB per thread
+            heap_words: 1 << 22,  // 32 MiB heap
         }
     }
 }
@@ -168,7 +168,7 @@ impl SharedMem {
 
     /// Zero a byte range (must be word aligned).
     pub fn zero_range(&self, start: Addr, bytes: u64) {
-        debug_assert!(start.is_aligned() && bytes % WORD_BYTES == 0);
+        debug_assert!(start.is_aligned() && bytes.is_multiple_of(WORD_BYTES));
         let mut a = start;
         let end = start.offset(bytes);
         while a < end {

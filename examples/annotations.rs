@@ -55,7 +55,8 @@ fn main() {
                     w.txn(|tx| {
                         let mut acc = 0;
                         for k in 0..16u64 {
-                            let v = tx.read(&TABLE, table.word((t * 31 + r * 17 + k) % TABLE_WORDS))?;
+                            let v =
+                                tx.read(&TABLE, table.word((t * 31 + r * 17 + k) % TABLE_WORDS))?;
                             tx.write(&BUF, buf.word(k), v)?; // thread-local
                             acc += v;
                         }

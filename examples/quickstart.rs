@@ -95,5 +95,8 @@ fn main() {
     );
     assert_eq!(stats.commits, THREADS as u64 * TRANSFERS_PER_THREAD);
     assert!(stats.writes.elided() > 0);
-    println!("ok: conservation verified across {} transfers", stats.commits);
+    println!(
+        "ok: conservation verified across {} transfers",
+        stats.commits
+    );
 }

@@ -50,7 +50,9 @@ fn main() {
                 let mut w = rt.spawn_worker();
                 let mut x = agent * 7919 + 1;
                 for n in 0..BOOKINGS_PER_AGENT {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     let room = (x >> 33) % ROOMS;
                     let customer = (x >> 17) % 256;
                     w.txn(|tx| {
@@ -118,9 +120,6 @@ fn main() {
         stats.writes.total,
         100.0 * stats.writes.elided_fraction()
     );
-    println!(
-        "aborts/commits    : {:.3}",
-        stats.abort_to_commit_ratio()
-    );
+    println!("aborts/commits    : {:.3}", stats.abort_to_commit_ratio());
     println!("ok: all rooms conserve capacity");
 }

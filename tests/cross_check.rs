@@ -41,10 +41,14 @@ fn both_pipelines(src: &str, entry: &str, args: &[u64]) -> (u64, u64, u64) {
 fn runtime_analysis_subsumes_static_on_straightline_code() {
     // One transaction, one captured block, one shared access. Statically 2
     // elidable sites; dynamically the same 2 accesses are captured.
-    let src = "fn f(s) { atomic { var p = malloc(16); p[0] = 1; p[1] = p[0]; s[0] = 9; } return 0; }";
+    let src =
+        "fn f(s) { atomic { var p = malloc(16); p[0] = 1; p[1] = p[0]; s[0] = 9; } return 0; }";
     let (static_elided, runtime_elided, total) = both_pipelines(src, "f", &[]);
     assert_eq!(static_elided, 3, "p[0]=, p[1]=, p[0] read");
-    assert_eq!(runtime_elided, 3, "runtime tree must find the same accesses");
+    assert_eq!(
+        runtime_elided, 3,
+        "runtime tree must find the same accesses"
+    );
     assert_eq!(total, 4, "plus the shared store");
 }
 
@@ -135,7 +139,10 @@ fn inlined_helper_matches_captured_local_tag() {
         let prog = txcc::parse(src).unwrap();
         txcc::compile(&prog, OptLevel::CaptureAnalysis)
     };
-    assert!(with_inline.stats.elided >= 1, "inlining exposes the capture");
+    assert!(
+        with_inline.stats.elided >= 1,
+        "inlining exposes the capture"
+    );
     assert_eq!(
         without.stats.elided, 0,
         "without inlining the callee store stays a barrier in f's context"
