@@ -1,5 +1,6 @@
 //! Experiment driver: regenerates every table and figure of the paper,
-//! plus the dispatch-refactor microbenchmark and its JSON report.
+//! plus the dispatch-refactor microbenchmark, the thread-scaling
+//! experiment, and their JSON reports.
 //!
 //! ```text
 //! expt <fig8|fig9|fig10|fig11a|fig11b|table1|table2|annotations|orec|check|all>
@@ -7,6 +8,13 @@
 //! expt barriers [--max-ratio F]  # barrier_dispatch microbenchmark (Markdown);
 //!                                # exits 1 if captured/direct ratio exceeds F
 //! expt bench-json [--out FILE]   # BENCH_barriers.json emitter
+//! expt scaling [--out FILE] [--min-speedup F]
+//!                                # STAMP at 1/2/4/8 threads x {baseline,
+//!                                # runtime-tree, compiler}; Markdown to
+//!                                # stdout, BENCH_scaling.json with --out.
+//!                                # --min-speedup gates vacation-low
+//!                                # runtime-tree at 4 threads (skipped on
+//!                                # hardware with <4 threads).
 //! ```
 //!
 //! Output is Markdown, mirroring the paper's rows/series; see EXPERIMENTS.md
@@ -18,9 +26,15 @@ use stamp::Scale;
 fn usage() -> ! {
     eprintln!(
         "usage: expt <fig8|fig9|fig10|fig11a|fig11b|table1|table2|annotations|orec|check|\
-         barriers|bench-json|all> \
-         [--scale test|small|full] [--threads N] [--runs K] [--out FILE] [--max-ratio F]"
+         barriers|bench-json|scaling|all> \
+         [--scale test|small|full] [--threads N] [--runs K] [--out FILE] [--max-ratio F] \
+         [--min-speedup F]"
     );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("expt: {msg}");
     std::process::exit(2);
 }
 
@@ -31,18 +45,27 @@ fn main() {
     }
     let cmd = args[0].as_str();
     let mut opts = bench::ExptOpts::default();
-    let mut out_path = String::from("BENCH_barriers.json");
+    let mut out_path: Option<String> = None;
     let mut max_ratio: Option<f64> = None;
+    let mut min_speedup: Option<f64> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--out" => {
                 i += 1;
-                out_path = args.get(i).cloned().unwrap_or_else(|| usage());
+                out_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--max-ratio" => {
                 i += 1;
                 max_ratio = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--min-speedup" => {
+                i += 1;
+                min_speedup = Some(
                     args.get(i)
                         .and_then(|s| s.parse::<f64>().ok())
                         .unwrap_or_else(|| usage()),
@@ -74,6 +97,23 @@ fn main() {
             _ => usage(),
         }
         i += 1;
+    }
+
+    // Validate up front: zero threads divides work by zero, zero runs has
+    // no median, and absurd thread counts would balloon every benchmark's
+    // simulated address space (one stack region per thread).
+    if opts.threads == 0 {
+        fail("--threads must be at least 1");
+    }
+    if opts.threads > stamp::MAX_THREADS {
+        fail(&format!(
+            "--threads {} exceeds the supported maximum of {} worker stack regions",
+            opts.threads,
+            stamp::MAX_THREADS
+        ));
+    }
+    if opts.runs == 0 {
+        fail("--runs must be at least 1 (timings report the median run)");
     }
 
     eprintln!(
@@ -110,9 +150,37 @@ fn main() {
         }
         "bench-json" => {
             let json = bench::report::bench_json(&opts, &bench::micro::MicroOpts::default());
-            std::fs::write(&out_path, &json)
-                .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
-            eprintln!("# wrote {out_path}");
+            let path = out_path.as_deref().unwrap_or("BENCH_barriers.json");
+            std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("# wrote {path}");
+        }
+        "scaling" => {
+            let rows = bench::scaling::scaling_rows(&opts);
+            print!("{}", bench::scaling::render_markdown(&opts, &rows));
+            if let Some(path) = out_path.as_deref() {
+                let json = bench::scaling::scaling_json(&opts, &rows);
+                std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+                eprintln!("# wrote {path}");
+            }
+            if let Some(min) = min_speedup {
+                // Regression gate (CI): the allocation-heavy captured
+                // workload must keep scaling once the serialization points
+                // are sharded. Skipped (with a note) when the hardware
+                // cannot physically run 4 threads at once.
+                match bench::scaling::speedup_gate(&rows, "vacation low", "runtime-tree", 4, min) {
+                    Ok(Some(s)) => {
+                        eprintln!("# vacation-low runtime-tree 4t speedup {s:.2}x >= {min:.2}x")
+                    }
+                    Ok(None) => eprintln!(
+                        "# speedup gate skipped: only {} hardware thread(s) available",
+                        bench::scaling::available_parallelism()
+                    ),
+                    Err(msg) => {
+                        eprintln!("# FAIL: {msg}");
+                        std::process::exit(1);
+                    }
+                }
+            }
         }
         "check" => {
             for r in bench::check(opts.scale, opts.threads) {

@@ -8,6 +8,7 @@
 
 pub mod micro;
 pub mod report;
+pub mod scaling;
 
 use std::time::Duration;
 

@@ -10,11 +10,11 @@ use stm::{CheckScope, LogKind, Mode, TxConfig};
 use crate::micro::{barrier_dispatch, fastpath_ratio, MicroOpts};
 use crate::ExptOpts;
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn scale_name(s: Scale) -> &'static str {
+pub(crate) fn scale_name(s: Scale) -> &'static str {
     match s {
         Scale::Test => "test",
         Scale::Small => "small",
@@ -86,11 +86,13 @@ pub fn bench_json(opts: &ExptOpts, micro: &MicroOpts) -> String {
             let all = r.stats.all_accesses();
             i += 1;
             out.push_str(&format!(
-                "    {{\"benchmark\": \"{}\", \"mode\": \"{}\", \"seconds\": {seconds:.6}, \
+                "    {{\"benchmark\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \
+                 \"seconds\": {seconds:.6}, \
                  \"runs\": {runs}, \"commits\": {}, \"aborts\": {}, \
                  \"elided_fraction\": {:.4}}}{}\n",
                 esc(b.name()),
                 esc(&mode.label()),
+                opts.threads,
                 r.stats.commits,
                 r.stats.aborts,
                 all.elided_fraction(),
@@ -121,6 +123,10 @@ mod tests {
         assert!(json.contains("\"barrier_dispatch\": ["));
         assert!(json.contains("captured heap hit/tree"));
         assert!(json.contains("\"stamp\": ["));
+        assert!(
+            json.contains("\"threads\": 1,"),
+            "stamp rows must carry their thread count"
+        );
         assert!(json.contains("\"mode\": \"baseline\""));
         assert!(json.contains("\"mode\": \"compiler\""));
         // Balanced braces/brackets (cheap well-formedness guard).

@@ -1,5 +1,10 @@
 //! Transaction lifecycle: begin, validate/extend, commit, rollback, and
 //! closed nesting with partial abort.
+//!
+//! Writing commits draw their version from the [`crate::clock::CommitClock`]
+//! GV4 scheme: one CAS, and a lost race adopts the winner's timestamp
+//! instead of retrying, so the clock line changes once per *batch* of
+//! concurrent committers. Read-only commits never touch the clock at all.
 
 use std::sync::atomic::Ordering;
 
@@ -30,7 +35,7 @@ impl<'rt> WorkerCtx<'rt> {
                 && self.frees.is_empty(),
             "stale transaction logs at begin"
         );
-        self.rv = self.rt.clock.load(Ordering::Acquire);
+        self.rv = self.rt.clock.read();
         self.depth = 1;
         self.sp_marks.clear();
         let sp = self.stack.sp();
@@ -69,7 +74,7 @@ impl<'rt> WorkerCtx<'rt> {
     /// snapshot on success (TinySTM-style; keeps optimistic readers
     /// consistent without visible-reader locking).
     pub(crate) fn extend(&mut self) -> bool {
-        let new_rv = self.rt.clock.load(Ordering::Acquire);
+        let new_rv = self.rt.clock.read();
         if self.validate() {
             self.rv = new_rv;
             true
@@ -84,19 +89,27 @@ impl<'rt> WorkerCtx<'rt> {
         debug_assert_eq!(self.depth, 1, "commit with open nested transaction");
         if self.locks.is_empty() {
             // Read-only (or fully-elided) transaction: incremental
-            // validation already guaranteed a consistent snapshot at `rv`.
+            // validation already guaranteed a consistent snapshot at `rv`;
+            // the commit is clock-silent.
+            self.stats.commits_ro += 1;
             self.finish_commit();
             return true;
         }
-        let wv = self.rt.clock.fetch_add(2, Ordering::AcqRel) + 2;
-        if wv != self.rv + 2 && !self.validate() {
+        // All locks are held, so the GV4 ticket is safe to draw now (the
+        // adoption soundness argument in clock.rs requires lock-then-sample
+        // order).
+        let ticket = self.rt.clock.writer_ticket(self.rv);
+        if ticket.adopted {
+            self.stats.clock_adopts += 1;
+        }
+        if ticket.need_validate && !self.validate() {
             self.rollback_top();
             return false;
         }
         // Publish: release every lock at the new version. Undo values are
         // already in place (in-place update STM).
         for l in &self.locks {
-            self.rt.orecs.at(l.idx).store(wv, Ordering::Release);
+            self.rt.orecs.at(l.idx).store(ticket.wv, Ordering::Release);
         }
         self.locks.clear();
         self.finish_commit();

@@ -62,6 +62,7 @@
 //! ```
 
 mod barrier;
+mod clock;
 mod commit;
 mod config;
 mod orec;

@@ -68,7 +68,7 @@ impl OrecTable {
     }
 
     pub fn is_empty(&self) -> bool {
-        false
+        self.orecs.is_empty()
     }
 }
 
@@ -110,6 +110,13 @@ mod tests {
             seen.insert(t.index_of(Addr(i * 64)));
         }
         assert!(seen.len() <= 4);
+    }
+
+    #[test]
+    fn len_and_is_empty_agree() {
+        let t = OrecTable::new(4);
+        assert_eq!(t.len(), 16);
+        assert!(!t.is_empty());
     }
 
     #[test]

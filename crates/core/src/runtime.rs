@@ -1,9 +1,9 @@
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use txmem::{Addr, MemConfig, SharedMem, ThreadAlloc, TxHeap};
+use txmem::{Addr, CachePadded, MemConfig, SharedMem, ThreadAlloc, TxHeap};
 
 use crate::barrier::DispatchTable;
+use crate::clock::CommitClock;
 use crate::config::TxConfig;
 use crate::orec::OrecTable;
 use crate::stats::TxStats;
@@ -12,18 +12,24 @@ use crate::worker::WorkerCtx;
 /// The shared state of the STM: simulated memory, heap allocator,
 /// transaction-record table, global version clock, configuration, the
 /// resolved barrier pipeline, and aggregated statistics.
+///
+/// The three members every thread touches — the commit clock, the orec
+/// table, and the merged statistics — are cache-line-padded so a clock CAS
+/// never invalidates the line a reader needs for an orec lookup, and a
+/// worker draining its stats never stalls committers.
 pub struct StmRuntime {
     pub(crate) mem: Arc<SharedMem>,
     pub(crate) heap: TxHeap,
-    pub(crate) orecs: OrecTable,
-    /// Global version clock; even values only (bit 0 is the orec lock bit).
-    pub(crate) clock: AtomicU64,
+    pub(crate) orecs: CachePadded<OrecTable>,
+    /// Global version clock (GV4 pass-on-failure tickets; see
+    /// [`CommitClock`]). Even values only — bit 0 is the orec lock bit.
+    pub(crate) clock: CachePadded<CommitClock>,
     pub(crate) config: TxConfig,
     /// The barrier pipeline for `config`, resolved exactly once here: every
     /// worker spawned from this runtime copies this pointer and never
     /// re-dispatches on `Mode`/`LogKind` again.
     pub(crate) table: &'static DispatchTable,
-    pub(crate) global_stats: Mutex<TxStats>,
+    pub(crate) global_stats: CachePadded<Mutex<TxStats>>,
     tids: Mutex<TidPool>,
     setup_alloc: Mutex<ThreadAlloc>,
 }
@@ -41,11 +47,11 @@ impl StmRuntime {
         StmRuntime {
             mem,
             heap,
-            orecs: OrecTable::new(config.orec_log2),
-            clock: AtomicU64::new(0),
+            orecs: CachePadded::new(OrecTable::new(config.orec_log2)),
+            clock: CachePadded::new(CommitClock::new()),
             table: DispatchTable::select(&config),
             config,
-            global_stats: Mutex::new(TxStats::default()),
+            global_stats: CachePadded::new(Mutex::new(TxStats::default())),
             tids: Mutex::new(TidPool {
                 next: 0,
                 free: Vec::new(),
@@ -72,7 +78,7 @@ impl StmRuntime {
 
     /// Current value of the global version clock (diagnostics).
     pub fn clock_value(&self) -> u64 {
-        self.clock.load(Ordering::Acquire)
+        self.clock.read()
     }
 
     /// Register a worker thread: assigns a thread id (and with it a stack

@@ -116,6 +116,13 @@ impl BarrierStats {
 #[derive(Default, Clone, Copy, Debug)]
 pub struct TxStats {
     pub commits: u64,
+    /// Commits with an empty write set (a subset of `commits`): these are
+    /// clock-silent — they neither CAS nor read-modify the global clock.
+    pub commits_ro: u64,
+    /// Writing commits whose clock CAS lost the race and adopted the
+    /// winner's timestamp instead of retrying (GV4 pass-on-failure). Each
+    /// adoption is one clock-line invalidation that did *not* happen.
+    pub clock_adopts: u64,
     /// Aborts due to conflicts (the retried transactions of Table 1's
     /// abort-to-commit ratio).
     pub aborts: u64,
@@ -140,6 +147,8 @@ impl TxStats {
 
     pub fn merge(&mut self, o: &TxStats) {
         self.commits += o.commits;
+        self.commits_ro += o.commits_ro;
+        self.clock_adopts += o.clock_adopts;
         self.aborts += o.aborts;
         self.user_aborts += o.user_aborts;
         self.partial_aborts += o.partial_aborts;

@@ -167,7 +167,10 @@ impl<'rt> WorkerCtx<'rt> {
             scope,
             tid,
             stack: ThreadStack::new(&rt.mem, tid),
-            talloc: ThreadAlloc::new(),
+            // Stripe the allocator by thread id: concurrent workers refill
+            // and spill against different heap shards (deterministic per
+            // tid, which the differential dispatch tests rely on).
+            talloc: ThreadAlloc::with_stripe(tid),
             logs: CaptureLogs::new(&cfg),
             classify_log: cfg.classify.then(RangeTree::new),
             private_log: PrivateLog::new(),

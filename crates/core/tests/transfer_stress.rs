@@ -1,0 +1,195 @@
+//! Cross-thread conflict stress: concurrent transactional transfers over a
+//! shared set of accounts must preserve the global sum — under every
+//! allocation-log kind, under the baseline and compiler modes, and with
+//! closed-nested children that partially abort mid-transfer.
+//!
+//! This is the regression net for the scalability refactor: 8 workers
+//! hammer the GV4 commit clock (winners, adopters, clock-silent read-only
+//! audits) and the sharded allocator (every transfer allocates and frees a
+//! scratch block) at once, while the invariant check catches any lost or
+//! double-applied update.
+
+use stm::{Abort, CheckScope, LogKind, Mode, Site, StmRuntime, TxConfig};
+use txmem::{Addr, MemConfig};
+
+static S_ACCT: Site = Site::shared("stress.account");
+static S_SCRATCH: Site = Site::captured_local("stress.scratch");
+
+const THREADS: usize = 8;
+const ACCOUNTS: u64 = 24;
+const TRANSFERS: usize = 250;
+const SEED_BALANCE: u64 = 1_000;
+
+/// xorshift64* with a per-thread seed; deterministic account choices.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+fn total(rt: &StmRuntime, base: Addr) -> u64 {
+    (0..ACCOUNTS).map(|i| rt.mem().load(base.word(i))).sum()
+}
+
+/// Run the stress under `cfg`; `nested` routes every credit through a
+/// closed-nested child that user-aborts half the time (the partial-abort
+/// path), retrying the credit at the outer level when it does.
+fn run_stress(cfg: TxConfig, nested: bool) {
+    let rt = StmRuntime::new(
+        MemConfig {
+            max_threads: THREADS,
+            stack_words: 1 << 10,
+            heap_words: 1 << 18,
+        },
+        cfg,
+    );
+    let base = rt.alloc_global(ACCOUNTS * 8);
+    for i in 0..ACCOUNTS {
+        rt.mem().store(base.word(i), SEED_BALANCE);
+    }
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let rt = &rt;
+            s.spawn(move || {
+                let mut w = rt.spawn_worker();
+                let mut rng = Rng(0x9E3779B97F4A7C15 ^ (t as u64 + 1));
+                for _ in 0..TRANSFERS {
+                    let from = rng.next() % ACCOUNTS;
+                    let to = rng.next() % ACCOUNTS;
+                    let amount = 1 + rng.next() % 9;
+                    let abort_child = rng.next().is_multiple_of(2);
+                    w.txn(|tx| {
+                        // Captured scratch block: exercises the sharded
+                        // allocator and the capture fast paths from every
+                        // thread at once.
+                        let scratch = tx.alloc(4 * 8)?;
+                        tx.write(&S_SCRATCH, scratch, amount)?;
+                        let amt = tx.read(&S_SCRATCH, scratch)?;
+
+                        let f = tx.read(&S_ACCT, base.word(from))?;
+                        tx.write(&S_ACCT, base.word(from), f.wrapping_sub(amt))?;
+                        if nested {
+                            let credited = tx.nested(|ntx| {
+                                let v = ntx.read(&S_ACCT, base.word(to))?;
+                                ntx.write(&S_ACCT, base.word(to), v + amt)?;
+                                if abort_child {
+                                    Err(Abort::User(7))
+                                } else {
+                                    Ok(())
+                                }
+                            })?;
+                            if credited.is_err() {
+                                // The child rolled back its credit; apply
+                                // it at the outer level instead.
+                                let v = tx.read(&S_ACCT, base.word(to))?;
+                                tx.write(&S_ACCT, base.word(to), v + amt)?;
+                            }
+                        } else {
+                            let v = tx.read(&S_ACCT, base.word(to))?;
+                            tx.write(&S_ACCT, base.word(to), v + amt)?;
+                        }
+                        tx.free(scratch);
+                        Ok(())
+                    });
+                    // Interleave read-only audits: they must stay
+                    // clock-silent and still see a consistent sum.
+                    if from.is_multiple_of(5) {
+                        let sum = w.txn(|tx| {
+                            let mut acc = 0u64;
+                            for i in 0..ACCOUNTS {
+                                acc = acc.wrapping_add(tx.read(&S_ACCT, base.word(i))?);
+                            }
+                            Ok(acc)
+                        });
+                        assert_eq!(
+                            sum,
+                            ACCOUNTS * SEED_BALANCE,
+                            "read-only audit saw a torn total"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        total(&rt, base),
+        ACCOUNTS * SEED_BALANCE,
+        "transfers lost or duplicated money"
+    );
+    let stats = rt.collect_stats();
+    assert!(
+        stats.commits >= (THREADS * TRANSFERS) as u64,
+        "every transfer (and audit) must commit: {stats:?}"
+    );
+    assert!(
+        stats.commits_ro > 0,
+        "audits are read-only commits: {stats:?}"
+    );
+    if nested {
+        assert!(
+            stats.partial_aborts > 0,
+            "nested variant must exercise partial aborts: {stats:?}"
+        );
+    }
+}
+
+fn runtime_cfg(log: LogKind) -> TxConfig {
+    TxConfig::with_mode(Mode::Runtime {
+        log,
+        scope: CheckScope::FULL,
+    })
+}
+
+#[test]
+fn transfers_preserve_sum_baseline() {
+    run_stress(TxConfig::default(), false);
+}
+
+#[test]
+fn transfers_preserve_sum_compiler() {
+    run_stress(TxConfig::with_mode(Mode::Compiler), false);
+}
+
+#[test]
+fn transfers_preserve_sum_tree() {
+    run_stress(runtime_cfg(LogKind::Tree), false);
+}
+
+#[test]
+fn transfers_preserve_sum_array() {
+    run_stress(runtime_cfg(LogKind::Array), false);
+}
+
+#[test]
+fn transfers_preserve_sum_filter() {
+    run_stress(runtime_cfg(LogKind::Filter), false);
+}
+
+#[test]
+fn nested_partial_abort_transfers_preserve_sum_baseline() {
+    run_stress(TxConfig::default(), true);
+}
+
+#[test]
+fn nested_partial_abort_transfers_preserve_sum_tree() {
+    run_stress(runtime_cfg(LogKind::Tree), true);
+}
+
+#[test]
+fn nested_partial_abort_transfers_preserve_sum_array() {
+    run_stress(runtime_cfg(LogKind::Array), true);
+}
+
+#[test]
+fn nested_partial_abort_transfers_preserve_sum_filter() {
+    run_stress(runtime_cfg(LogKind::Filter), true);
+}

@@ -18,6 +18,12 @@ pub mod ssca2;
 pub mod vacation;
 pub mod yada;
 
+/// Most worker threads a benchmark run will provision stack regions for.
+/// Thread counts beyond this would silently balloon the simulated address
+/// space (every thread owns a stack region); [`Benchmark::run`] rejects
+/// them with a clear panic and the `expt` CLI with a clean error.
+pub const MAX_THREADS: usize = 64;
+
 /// Input-size scaling. The paper runs STAMP's full inputs on a 24-core
 /// machine; `Small` targets seconds-per-run on a laptop-class box, `Test`
 /// keeps CI fast.
@@ -88,6 +94,10 @@ impl Benchmark {
 
     /// Run the benchmark under the given STM configuration.
     pub fn run(self, scale: Scale, txcfg: TxConfig, threads: usize) -> RunOutcome {
+        assert!(
+            (1..=MAX_THREADS).contains(&threads),
+            "thread count {threads} out of range (1..={MAX_THREADS})"
+        );
         match self {
             Benchmark::Bayes => bayes::run(&bayes::Config::scaled(scale), txcfg, threads),
             Benchmark::Genome => genome::run(&genome::Config::scaled(scale), txcfg, threads),

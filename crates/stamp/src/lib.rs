@@ -20,5 +20,5 @@ pub mod apps;
 pub mod collections;
 mod rng;
 
-pub use apps::{Benchmark, RunOutcome, Scale};
+pub use apps::{Benchmark, RunOutcome, Scale, MAX_THREADS};
 pub use rng::SplitMix64;

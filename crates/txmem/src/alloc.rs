@@ -3,6 +3,7 @@ use std::sync::{Arc, Mutex};
 
 use crate::addr::{Addr, WORD_BYTES};
 use crate::mem::SharedMem;
+use crate::pad::CachePadded;
 
 /// Size classes (total block bytes, including the 8-byte header), in the
 /// spirit of McRT-Malloc's segregated free lists. Payload capacity of a class
@@ -16,10 +17,13 @@ pub const MAX_SMALL_BYTES: u64 = SIZE_CLASSES[SIZE_CLASSES.len() - 1] - HEADER_B
 
 const HEADER_BYTES: u64 = WORD_BYTES;
 const NCLASSES: usize = SIZE_CLASSES.len();
-/// How many blocks a thread pulls from / spills to the global pool at once.
+/// How many blocks a thread pulls from / spills to a shard pool at once.
 const BATCH: usize = 16;
-/// A thread free list longer than this spills half back to the global pool.
+/// A thread free list longer than this spills half back to its home shard.
 const SPILL_AT: usize = 64;
+/// Recycled-block pool shards (power of two). Threads stripe over shards by
+/// id, so with up to `NSHARDS` allocating threads no two convoy on one lock.
+pub const NSHARDS: usize = 8;
 
 /// Allocation failure: the simulated heap is exhausted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,46 +47,60 @@ fn size_to_class(total: u64) -> Option<usize> {
     SIZE_CLASSES.iter().position(|&c| c >= total)
 }
 
-struct GlobalPool {
-    /// Next unused byte of the heap region (bump frontier).
-    bump: u64,
-    /// One past the last heap byte.
-    end: u64,
-    /// Global free lists per class (block start addresses).
+/// One stripe of the recycled-block pool: per-class free lists behind its
+/// own (cache-line-padded) lock.
+struct Shard {
     free: [Vec<u64>; NCLASSES],
-    /// Free large blocks: (block start, total bytes).
-    large_free: Vec<(u64, u64)>,
 }
 
-impl GlobalPool {
-    fn carve(&mut self, total: u64) -> Option<u64> {
-        if self.end - self.bump < total {
-            return None;
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            free: std::array::from_fn(|_| Vec::new()),
         }
-        let a = self.bump;
-        self.bump += total;
-        Some(a)
     }
 }
 
 /// Per-thread allocator state: segregated free lists that serve allocations
 /// without any locking, refilled from the shared [`TxHeap`] pool in batches.
-#[derive(Default)]
 pub struct ThreadAlloc {
     free: Vec<Vec<u64>>,
+    /// Which pool shard this thread refills from / spills to
+    /// (`stripe % NSHARDS`); workers use their thread id.
+    stripe: usize,
     /// Number of blocks this thread allocated (for tests/telemetry).
     pub alloc_count: u64,
     /// Number of blocks this thread freed.
     pub free_count: u64,
 }
 
+impl Default for ThreadAlloc {
+    fn default() -> Self {
+        ThreadAlloc::new()
+    }
+}
+
 impl ThreadAlloc {
     pub fn new() -> ThreadAlloc {
+        ThreadAlloc::with_stripe(0)
+    }
+
+    /// A thread allocator striped to pool shard `stripe % NSHARDS`. Using
+    /// the worker's thread id keeps shard choice deterministic (important
+    /// for the differential dispatch tests, where allocation addresses feed
+    /// the lossy capture filter) while spreading concurrent workers over
+    /// all shards.
+    pub fn with_stripe(stripe: usize) -> ThreadAlloc {
         ThreadAlloc {
             free: (0..NCLASSES).map(|_| Vec::new()).collect(),
+            stripe: stripe % NSHARDS,
             alloc_count: 0,
             free_count: 0,
         }
+    }
+
+    pub fn stripe(&self) -> usize {
+        self.stripe
     }
 }
 
@@ -94,11 +112,25 @@ impl ThreadAlloc {
 /// deferring frees to commit. This matches the paper's design where the
 /// transactional memory allocator wraps a scalable malloc (ref [11]) and the
 /// allocation log lives in the transaction descriptor.
+///
+/// Concurrency structure (no single global lock):
+/// * the bump frontier is an atomic — fresh batches are carved with one CAS;
+/// * recycled blocks live in [`NSHARDS`] thread-striped shards, each behind
+///   its own cache-line-padded lock, so refill/spill traffic from different
+///   threads never contends on one mutex;
+/// * only the (rare) large-block free list keeps a single lock.
 pub struct TxHeap {
     mem: Arc<SharedMem>,
-    global: Mutex<GlobalPool>,
+    /// Next unused byte of the heap region; carved lock-free by CAS.
+    bump: CachePadded<AtomicU64>,
+    /// One past the last heap byte.
+    end: u64,
+    /// Recycled size-class blocks, striped by thread id.
+    shards: Box<[CachePadded<Mutex<Shard>>]>,
+    /// Free large blocks: (block start, total bytes). Rare path, one lock.
+    large_free: Mutex<Vec<(u64, u64)>>,
     /// Total bytes handed out (telemetry; relaxed).
-    bytes_allocated: AtomicU64,
+    bytes_allocated: CachePadded<AtomicU64>,
 }
 
 impl TxHeap {
@@ -106,19 +138,40 @@ impl TxHeap {
         let l = *mem.layout();
         TxHeap {
             mem,
-            global: Mutex::new(GlobalPool {
-                bump: l.heap_start,
-                end: l.heap_end,
-                free: std::array::from_fn(|_| Vec::new()),
-                large_free: Vec::new(),
-            }),
-            bytes_allocated: AtomicU64::new(0),
+            bump: CachePadded::new(AtomicU64::new(l.heap_start)),
+            end: l.heap_end,
+            shards: (0..NSHARDS)
+                .map(|_| CachePadded::new(Mutex::new(Shard::new())))
+                .collect(),
+            large_free: Mutex::new(Vec::new()),
+            bytes_allocated: CachePadded::new(AtomicU64::new(0)),
         }
     }
 
     #[inline]
     pub fn mem(&self) -> &SharedMem {
         &self.mem
+    }
+
+    /// Carve up to `want` contiguous blocks of `block_bytes` from the bump
+    /// frontier with a single CAS; returns (first block, count). Fewer
+    /// blocks (down to one) when the heap is nearly full.
+    fn carve_chunk(&self, block_bytes: u64, want: usize) -> Option<(u64, usize)> {
+        let mut b = self.bump.load(Ordering::Relaxed);
+        loop {
+            let take = (((self.end - b) / block_bytes) as usize).min(want);
+            if take == 0 {
+                return None;
+            }
+            let next = b + take as u64 * block_bytes;
+            match self
+                .bump
+                .compare_exchange_weak(b, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return Some((b, take)),
+                Err(cur) => b = cur,
+            }
+        }
     }
 
     /// Allocate `size` payload bytes; returns the payload address (header is
@@ -150,43 +203,48 @@ impl TxHeap {
         Ok(payload)
     }
 
-    fn refill(&self, ta: &mut ThreadAlloc, class: usize) -> Option<u64> {
-        let cls_total = SIZE_CLASSES[class];
-        let mut g = self.global.lock().unwrap();
-        // Prefer recycled blocks.
-        let take = g.free[class].len().min(BATCH);
-        if take > 0 {
-            let at = g.free[class].len() - take;
-            ta.free[class].extend(g.free[class].drain(at..));
-        } else {
-            // Carve a fresh batch from the bump frontier; fall back to fewer
-            // blocks (down to one) when the heap is nearly full.
-            let mut carved = 0;
-            while carved < BATCH {
-                match g.carve(cls_total) {
-                    Some(b) => {
-                        ta.free[class].push(b);
-                        carved += 1;
-                    }
-                    None => break,
-                }
-            }
-            if carved == 0 {
-                return None;
-            }
+    /// Drain up to [`BATCH`] recycled blocks of `class` from `shard` into
+    /// the thread cache; returns one of them if the shard had any.
+    fn take_batch(&self, ta: &mut ThreadAlloc, shard: usize, class: usize) -> Option<u64> {
+        let mut s = self.shards[shard].lock().unwrap();
+        let take = s.free[class].len().min(BATCH);
+        if take == 0 {
+            return None;
         }
+        let at = s.free[class].len() - take;
+        ta.free[class].extend(s.free[class].drain(at..));
         ta.free[class].pop()
     }
 
-    fn alloc_large(&self, total: u64) -> Option<u64> {
-        let mut g = self.global.lock().unwrap();
-        // First fit over the large free list.
-        if let Some(i) = g.large_free.iter().position(|&(_, sz)| sz >= total) {
-            let (a, sz) = g.large_free.swap_remove(i);
-            self.mem.store_private(Addr(a), sz);
-            return Some(a);
+    fn refill(&self, ta: &mut ThreadAlloc, class: usize) -> Option<u64> {
+        let cls_total = SIZE_CLASSES[class];
+        // Prefer recycled blocks from the home shard.
+        let home = ta.stripe;
+        if let Some(b) = self.take_batch(ta, home, class) {
+            return Some(b);
         }
-        let a = g.carve(total)?;
+        // Carve a fresh batch from the bump frontier — one CAS, no lock.
+        if let Some((start, n)) = self.carve_chunk(cls_total, BATCH) {
+            for i in 0..n {
+                ta.free[class].push(start + i as u64 * cls_total);
+            }
+            return ta.free[class].pop();
+        }
+        // Frontier exhausted: steal recycled blocks from the other shards.
+        (1..NSHARDS).find_map(|d| self.take_batch(ta, (home + d) % NSHARDS, class))
+    }
+
+    fn alloc_large(&self, total: u64) -> Option<u64> {
+        // First fit over the large free list.
+        {
+            let mut large = self.large_free.lock().unwrap();
+            if let Some(i) = large.iter().position(|&(_, sz)| sz >= total) {
+                let (a, sz) = large.swap_remove(i);
+                self.mem.store_private(Addr(a), sz);
+                return Some(a);
+            }
+        }
+        let (a, _) = self.carve_chunk(total, 1)?;
         self.mem.store_private(Addr(a), total);
         Some(a)
     }
@@ -204,13 +262,12 @@ impl TxHeap {
                 ta.free[class].push(block);
                 if ta.free[class].len() > SPILL_AT {
                     let spill_at = ta.free[class].len() / 2;
-                    let mut g = self.global.lock().unwrap();
-                    g.free[class].extend(ta.free[class].drain(spill_at..));
+                    let mut s = self.shards[ta.stripe].lock().unwrap();
+                    s.free[class].extend(ta.free[class].drain(spill_at..));
                 }
             }
             _ => {
-                let mut g = self.global.lock().unwrap();
-                g.large_free.push((block, total));
+                self.large_free.lock().unwrap().push((block, total));
             }
         }
     }
@@ -311,19 +368,53 @@ mod tests {
     }
 
     #[test]
-    fn cross_thread_recycling_via_global_pool() {
+    fn cross_thread_recycling_via_shared_shard() {
         let (_, heap, mut ta1) = mk();
         let mut ta2 = ThreadAlloc::new();
-        // Thread 1 allocates and frees enough to spill to the global pool.
+        assert_eq!(ta1.stripe(), ta2.stripe(), "same stripe shares a shard");
+        // Thread 1 allocates and frees enough to spill to its home shard.
         let blocks: Vec<_> = (0..SPILL_AT + 10)
             .map(|_| heap.alloc(&mut ta1, 56).unwrap())
             .collect();
         for b in blocks {
             heap.free(&mut ta1, b);
         }
-        // Thread 2 should be able to pull recycled blocks.
+        // Thread 2 (same stripe) should be able to pull recycled blocks.
         let x = heap.alloc(&mut ta2, 56).unwrap();
         assert!(!x.is_null());
+    }
+
+    #[test]
+    fn cross_shard_stealing_on_exhaustion() {
+        let (_, heap, mut ta1) = mk();
+        // Fill thread 1's home shard with recycled blocks, then burn the
+        // bump frontier down below one smallest-class block, so a 56-byte
+        // refill can neither use its (empty) home shard nor carve.
+        let blocks: Vec<_> = (0..SPILL_AT + 10)
+            .map(|_| heap.alloc(&mut ta1, 56).unwrap())
+            .collect();
+        for &b in &blocks {
+            heap.free(&mut ta1, b);
+        }
+        while heap.alloc(&mut ta1, 8).is_ok() {}
+        // A thread striped to a *different* shard must steal thread 1's
+        // recycled blocks rather than report exhaustion.
+        let mut ta2 = ThreadAlloc::with_stripe(ta1.stripe() + 1);
+        assert_ne!(ta1.stripe(), ta2.stripe());
+        let x = heap
+            .alloc(&mut ta2, 56)
+            .expect("exhausted frontier must fall back to stealing");
+        assert!(
+            blocks.contains(&x),
+            "steal must return one of the blocks thread 1 recycled"
+        );
+    }
+
+    #[test]
+    fn stripes_wrap_over_shards() {
+        assert_eq!(ThreadAlloc::with_stripe(0).stripe(), 0);
+        assert_eq!(ThreadAlloc::with_stripe(NSHARDS).stripe(), 0);
+        assert_eq!(ThreadAlloc::with_stripe(NSHARDS + 3).stripe(), 3);
     }
 
     #[test]
@@ -335,10 +426,10 @@ mod tests {
         }));
         let heap = Arc::new(TxHeap::new(mem));
         let mut handles = Vec::new();
-        for _ in 0..4 {
+        for t in 0..4 {
             let heap = heap.clone();
             handles.push(std::thread::spawn(move || {
-                let mut ta = ThreadAlloc::new();
+                let mut ta = ThreadAlloc::with_stripe(t);
                 let mut addrs = Vec::new();
                 for i in 0..500 {
                     addrs.push(heap.alloc(&mut ta, 16 + (i % 5) * 24).unwrap());
@@ -354,5 +445,43 @@ mod tests {
         all.sort();
         all.dedup();
         assert_eq!(all.len(), before, "threads handed out overlapping blocks");
+    }
+
+    #[test]
+    fn concurrent_alloc_free_churn_across_shards() {
+        // Alloc/free churn from every stripe at once: spills, refills and
+        // steals must never hand out an address twice concurrently.
+        let mem = Arc::new(SharedMem::new(MemConfig {
+            max_threads: 8,
+            stack_words: 1 << 10,
+            heap_words: 1 << 18,
+        }));
+        let heap = Arc::new(TxHeap::new(mem));
+        std::thread::scope(|s| {
+            for t in 0..NSHARDS {
+                let heap = heap.clone();
+                s.spawn(move || {
+                    let mut ta = ThreadAlloc::with_stripe(t);
+                    let mut live = Vec::new();
+                    for i in 0..2000u64 {
+                        live.push(heap.alloc(&mut ta, 8 + (i % 7) * 16).unwrap());
+                        if i % 3 != 0 {
+                            let idx = (i as usize * 7 + t) % live.len();
+                            let a = live.swap_remove(idx);
+                            heap.mem().store(a, t as u64 + 1);
+                            heap.free(&mut ta, a);
+                        }
+                    }
+                    // Every still-live block is private to this thread:
+                    // write a tag and verify nobody else scribbled on it.
+                    for (i, &a) in live.iter().enumerate() {
+                        heap.mem().store(a, (t as u64) << 32 | i as u64);
+                    }
+                    for (i, &a) in live.iter().enumerate() {
+                        assert_eq!(heap.mem().load(a), (t as u64) << 32 | i as u64);
+                    }
+                });
+            }
+        });
     }
 }

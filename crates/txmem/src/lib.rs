@@ -14,7 +14,8 @@
 //!   paper's Figure 3 (`start_sp` is recorded by the STM at transaction
 //!   begin; `sp` is the live stack top).
 //! * [`TxHeap`]/[`ThreadAlloc`] — a size-class allocator with per-thread free
-//!   lists and a global chunk pool, mirroring McRT-Malloc (paper ref [11]).
+//!   lists, a lock-free bump frontier, and thread-striped recycled-block
+//!   shards, mirroring McRT-Malloc (paper ref [11]) without any global lock.
 //!
 //! All transactional workloads (the STAMP-like suite, the `txcc` VM) store
 //! their data in this address space, which is what makes the paper's capture
@@ -24,9 +25,11 @@
 mod addr;
 mod alloc;
 mod mem;
+mod pad;
 mod stack;
 
 pub use addr::{Addr, NULL, WORD_BYTES};
-pub use alloc::{AllocError, ThreadAlloc, TxHeap, MAX_SMALL_BYTES, SIZE_CLASSES};
+pub use alloc::{AllocError, ThreadAlloc, TxHeap, MAX_SMALL_BYTES, NSHARDS, SIZE_CLASSES};
 pub use mem::{MemConfig, MemLayout, SharedMem};
+pub use pad::CachePadded;
 pub use stack::ThreadStack;
