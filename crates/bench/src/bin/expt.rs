@@ -5,6 +5,12 @@
 //! ```text
 //! expt <fig8|fig9|fig10|fig11a|fig11b|table1|table2|annotations|orec|check|all>
 //!      [--scale test|small|full] [--threads N] [--runs K]
+//! expt elision [--out FILE]      # static-elision comparison (intraproc vs
+//!                                # intraproc+inlining vs interprocedural)
+//!                                # over STAMP-representative TL programs;
+//!                                # enforces the superset/ordering/oracle
+//!                                # gates and writes BENCH_elision.json
+//!                                # with --out
 //! expt barriers [--max-ratio F]  # barrier_dispatch microbenchmark (Markdown);
 //!                                # exits 1 if captured/direct ratio exceeds F
 //! expt bench-json [--out FILE]   # BENCH_barriers.json emitter
@@ -26,7 +32,7 @@ use stamp::Scale;
 fn usage() -> ! {
     eprintln!(
         "usage: expt <fig8|fig9|fig10|fig11a|fig11b|table1|table2|annotations|orec|check|\
-         barriers|bench-json|scaling|all> \
+         barriers|bench-json|scaling|elision|all> \
          [--scale test|small|full] [--threads N] [--runs K] [--out FILE] [--max-ratio F] \
          [--min-speedup F]"
     );
@@ -180,6 +186,18 @@ fn main() {
                         std::process::exit(1);
                     }
                 }
+            }
+        }
+        "elision" => {
+            // The report function enforces the superset / ordering /
+            // vm-oracle gates itself (panics on violation), so running
+            // this subcommand is the acceptance check.
+            let reports = bench::elision::elision_report();
+            print!("{}", bench::elision::render_markdown(&reports));
+            if let Some(path) = out_path.as_deref() {
+                let json = bench::elision::elision_json(&reports);
+                std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+                eprintln!("# wrote {path}");
             }
         }
         "check" => {

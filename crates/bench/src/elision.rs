@@ -1,0 +1,636 @@
+//! The barrier-elision experiment (`expt elision`): run the real `txcc`
+//! analyses over STAMP-representative mini-language programs and compare
+//! three compiler configurations —
+//!
+//! * **intraprocedural**: the paper's §3.2 flow analysis with *no* help
+//!   across calls;
+//! * **intraproc+inlining**: the same analysis after bounded inlining
+//!   (the paper's actual pipeline — "relies on function inlining to
+//!   extend the analysis results across function calls");
+//! * **interprocedural**: the summary-based whole-program pass
+//!   (`txcc::interproc`), no inlining at all.
+//!
+//! Each mini-app mirrors the transactional shape DESIGN.md §4.4 describes
+//! for its STAMP namesake — helper constructors behind the allocator
+//! guard that defeats bounded inlining, captured-buffer laundering,
+//! stack-slot iterators, and the no-opportunity kernels — so the
+//! cross-config deltas are the ones the site tags in `crates/stamp` claim.
+//!
+//! The experiment is also a gate. For every app it asserts:
+//!
+//! 1. **superset** — the interprocedural pass elides every site the
+//!    intraprocedural pass elides ([`txcc::interproc::check_superset`]);
+//! 2. **ordering** — dynamically executed elisions are `interproc ≥
+//!    intraproc` and `interproc ≥ intraproc+inlining` per app, and
+//!    strictly greater than intraprocedural in aggregate;
+//! 3. **soundness** — a naive build runs under the runtime's precise
+//!    capture oracle ([`txcc::SiteAudit`]) and every interprocedural
+//!    `Elide` site must be observed captured on all executions;
+//! 4. **semantics** — all four builds produce bit-identical shared memory.
+//!
+//! `expt elision` prints the Markdown table; `--out` writes
+//! `BENCH_elision.json` (committed snapshot, like the other BENCH files).
+
+use stm::{StmRuntime, TxConfig};
+use txcc::capture::{desugar_address_taken, sites_in_atomic};
+use txcc::codegen::OptLevel;
+use txcc::{compile, interproc, parse, Vm};
+use txmem::MemConfig;
+
+use crate::report::esc;
+
+/// One STAMP-representative mini-language program.
+pub struct MiniApp {
+    pub name: &'static str,
+    /// What the app demonstrates (one line, carried into the report).
+    pub pattern: &'static str,
+    src: &'static str,
+    /// Loop-trip argument passed to `main(s, n)`.
+    n: u64,
+    /// Words of shared buffer handed to `main`.
+    shared_words: u64,
+}
+
+/// The corpus. Every `main` takes `(s, n)`: a shared buffer and a trip
+/// count. Helpers carry the allocator-failure guard (an early return)
+/// that real STAMP constructors have, which makes them un-inlinable for
+/// `txcc::inline` — precisely the gap the interprocedural pass closes.
+pub const APPS: &[MiniApp] = &[
+    MiniApp {
+        name: "genome",
+        pattern: "segment nodes built by a factory too big for bounded inlining; caller links them",
+        src: "fn mk_node(key, val) {
+                  var node = malloc(208);
+                  node[1] = key;
+                  node[2] = val;
+                  node[3] = 0;
+                  node[4] = 0;
+                  node[5] = 0;
+                  node[6] = 0;
+                  node[7] = 0;
+                  node[8] = 0;
+                  node[9] = 0;
+                  node[10] = 0;
+                  node[11] = 0;
+                  node[12] = 0;
+                  node[13] = 0;
+                  node[14] = 0;
+                  node[15] = 0;
+                  node[16] = 0;
+                  node[17] = 0;
+                  node[18] = 0;
+                  node[19] = 0;
+                  node[20] = 0;
+                  node[21] = 0;
+                  node[22] = 0;
+                  node[23] = 0;
+                  node[24] = 0;
+                  return node;
+              }
+              fn main(s, n) {
+                  var i = 0;
+                  while (i < n) {
+                      atomic {
+                          var node = mk_node(i, i * 2);
+                          node[0] = s[0];
+                          s[0] = node;
+                      }
+                      i = i + 1;
+                  }
+                  return 0;
+              }",
+        n: 48,
+        shared_words: 8,
+    },
+    MiniApp {
+        name: "vacation",
+        pattern: "caller allocates records; a guarded constructor initializes through the pointer",
+        src: "fn res_init(rec, total, price) {
+                  if (total == 0) { return 0; }
+                  rec[0] = total;
+                  rec[1] = total;
+                  rec[2] = price;
+                  return 1;
+              }
+              fn main(s, n) {
+                  var i = 0;
+                  while (i < n) {
+                      atomic {
+                          var rec = malloc(24);
+                          var z = res_init(rec, 50 + i, 90);
+                          s[i + 1] = rec;
+                          s[0] = s[0] + 1;
+                      }
+                      i = i + 1;
+                  }
+                  return 0;
+              }",
+        n: 48,
+        shared_words: 64,
+    },
+    MiniApp {
+        name: "intruder",
+        pattern: "flow record from an oversized factory, finished through a guarded helper",
+        src: "fn set_sum(rec, v) {
+                  if (v > 1048576) { return 0; }
+                  rec[2] = v;
+                  return 1;
+              }
+              fn mk_flow(expect) {
+                  var rec = malloc(224);
+                  rec[1] = expect;
+                  rec[3] = 0;
+                  rec[4] = 0;
+                  rec[5] = 0;
+                  rec[6] = 0;
+                  rec[7] = 0;
+                  rec[8] = 0;
+                  rec[9] = 0;
+                  rec[10] = 0;
+                  rec[11] = 0;
+                  rec[12] = 0;
+                  rec[13] = 0;
+                  rec[14] = 0;
+                  rec[15] = 0;
+                  rec[16] = 0;
+                  rec[17] = 0;
+                  rec[18] = 0;
+                  rec[19] = 0;
+                  rec[20] = 0;
+                  rec[21] = 0;
+                  rec[22] = 0;
+                  rec[23] = 0;
+                  rec[24] = 0;
+                  rec[25] = 0;
+                  return rec;
+              }
+              fn main(s, n) {
+                  var i = 0;
+                  while (i < n) {
+                      atomic {
+                          var rec = mk_flow(4);
+                          rec[0] = 1;
+                          var z = set_sum(rec, i);
+                          s[0] = s[0] + rec[2];
+                      }
+                      i = i + 1;
+                  }
+                  return 0;
+              }",
+        n: 48,
+        shared_words: 8,
+    },
+    MiniApp {
+        name: "kmeans",
+        pattern: "shared accumulator updates only: no elision opportunity in any pipeline",
+        src: "fn main(s, n) {
+                  var i = 0;
+                  while (i < n) {
+                      atomic {
+                          var k = i - (i / 4) * 4;
+                          s[k] = s[k] + 1;
+                          s[4] = s[4] + 1;
+                      }
+                      i = i + 1;
+                  }
+                  return 0;
+              }",
+        n: 64,
+        shared_words: 8,
+    },
+    MiniApp {
+        name: "labyrinth",
+        pattern: "grid writes are genuinely shared; BFS bookkeeping lives in registers",
+        src: "fn main(s, n) {
+                  var i = 0;
+                  while (i < n) {
+                      atomic {
+                          var pos = s[8 + i];
+                          s[16 + pos] = i;
+                          s[0] = s[0] + 1;
+                      }
+                      i = i + 1;
+                  }
+                  return 0;
+              }",
+        n: 48,
+        shared_words: 80,
+    },
+    MiniApp {
+        name: "ssca2",
+        pattern: "adjacency temp laundered through a captured cell (field-aware load)",
+        src: "fn main(s, n) {
+                  atomic {
+                      var buf = malloc(16);
+                      var tmp = malloc(8);
+                      buf[0] = tmp;
+                      var t2 = buf[0];
+                      t2[0] = 7;
+                      var j = 0;
+                      while (j < n) {
+                          s[2 + j] = t2[0];
+                          j = j + 1;
+                      }
+                  }
+                  return 0;
+              }",
+        n: 48,
+        shared_words: 64,
+    },
+    MiniApp {
+        name: "yada",
+        pattern: "cavity refinement: loop-allocated elements initialized by a guarded helper",
+        src: "fn elem_init(e, quality) {
+                  if (quality > 100) { return 0; }
+                  e[0] = quality;
+                  return 1;
+              }
+              fn main(s, n) {
+                  var i = 0;
+                  while (i < n) {
+                      atomic {
+                          var cavity = malloc(8);
+                          cavity[0] = 0;
+                          var j = 0;
+                          while (j < 3) {
+                              var e = malloc(32);
+                              var z = elem_init(e, 60 + j);
+                              e[1] = cavity[0];
+                              cavity[0] = e;
+                              j = j + 1;
+                          }
+                          var head = cavity[0];
+                          s[0] = head;
+                          s[1] = s[1] + 3;
+                      }
+                      i = i + 1;
+                  }
+                  return 0;
+              }",
+        n: 24,
+        shared_words: 8,
+    },
+    MiniApp {
+        name: "bayes",
+        pattern: "Fig. 1(a) stack iterator advanced by a helper through its address",
+        src: "fn advance(itp, v) {
+                  if (v > 1048576) { return 0; }
+                  itp[0] = v;
+                  return 1;
+              }
+              fn main(s, n) {
+                  var i = 0;
+                  while (i < n) {
+                      atomic {
+                          var it;
+                          var a = &it;
+                          a[0] = s[0];
+                          var z = advance(a, i);
+                          var cur = a[0];
+                          s[1] = s[1] + cur;
+                      }
+                      i = i + 1;
+                  }
+                  return 0;
+              }",
+        n: 48,
+        shared_words: 8,
+    },
+];
+
+/// Figure-8 categories of the app's barriers (from the audited classify
+/// run of the naive build; the VM's sites are `required`, so the
+/// "not required (other)" bucket is structurally empty here).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Fig8 {
+    pub heap: u64,
+    pub stack: u64,
+    pub other: u64,
+    pub required: u64,
+}
+
+/// One compiler configuration's numbers for one app.
+#[derive(Clone, Debug)]
+pub struct ConfigRow {
+    pub config: &'static str,
+    /// Static instrumentation of normal (non-clone) code.
+    pub static_elided: usize,
+    pub static_barriers: usize,
+    /// Dynamically executed barrier ops (`LoadTx`+`StoreTx`).
+    pub dyn_barriers: u64,
+    /// Barrier executions the configuration removed vs. the naive build.
+    pub dyn_elided: u64,
+    /// `dyn_elided / naive_barriers` (the per-app elision rate).
+    pub rate: f64,
+}
+
+/// Everything measured for one mini-app.
+#[derive(Clone, Debug)]
+pub struct AppReport {
+    pub app: &'static str,
+    pub pattern: &'static str,
+    pub sites_in_atomic: usize,
+    /// Barrier executions of the naive build (the denominator).
+    pub naive_barriers: u64,
+    pub fig8: Fig8,
+    pub rows: Vec<ConfigRow>,
+}
+
+struct RunResult {
+    snapshot: Vec<u64>,
+    tx_ops: u64,
+}
+
+/// Execute one compiled build against a fresh runtime; returns the shared
+/// buffer snapshot and the executed barrier-op count. `audit` requests a
+/// classify-mode runtime and per-site capture observations.
+fn run_app(
+    app: &MiniApp,
+    prog: &txcc::CompiledProgram,
+    n_sites: usize,
+    audit: bool,
+) -> (RunResult, Option<(txcc::SiteAudit, stm::TxStats)>) {
+    let mut cfg = TxConfig::default();
+    cfg.classify = audit;
+    let rt = StmRuntime::new(MemConfig::small(), cfg);
+    let shared = rt.alloc_global(app.shared_words * 8);
+    let mut w = rt.spawn_worker();
+    let mut vm = if audit {
+        Vm::with_audit(prog, n_sites)
+    } else {
+        Vm::new(prog)
+    };
+    vm.run(&mut w, "main", &[shared.raw(), app.n]);
+    let snapshot: Vec<u64> = (0..app.shared_words)
+        .map(|i| w.load(shared.word(i)))
+        .collect();
+    let tx_ops = vm.stats.tx_loads + vm.stats.tx_stores;
+    // Read the per-worker stats *before* they flush into the runtime
+    // aggregate on drop (flush_stats zeroes them).
+    let stats = w.stats;
+    drop(w);
+    (RunResult { snapshot, tx_ops }, vm.audit.map(|a| (a, stats)))
+}
+
+/// Run the full experiment and enforce its gates; panics with a precise
+/// message on any violation (CI runs this as a smoke step).
+pub fn elision_report() -> Vec<AppReport> {
+    let mut reports = Vec::new();
+    let mut total_intra = 0u64;
+    let mut total_inter = 0u64;
+    for app in APPS {
+        // One desugared, non-inlined program shared by every site-indexed
+        // artifact (desugaring is deterministic and idempotent, so the
+        // compile() calls below reproduce the same site numbering).
+        let mut prog = parse(app.src).unwrap_or_else(|e| panic!("{}: parse: {e:?}", app.name));
+        desugar_address_taken(&mut prog);
+        let n_sites = prog.n_sites;
+        let interproc_result = interproc::analyze_program(&prog);
+        interproc::check_superset(&prog, &interproc_result)
+            .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+
+        let naive = compile(&prog, OptLevel::Naive);
+        let intra = compile(&prog, OptLevel::CaptureAnalysis);
+        let inline = txcc::build(app.src, OptLevel::CaptureAnalysis).unwrap();
+        let inter = compile(&prog, OptLevel::CaptureInterproc);
+
+        // Ground truth: audited naive run under the classify oracle.
+        let (naive_run, audit) = run_app(app, &naive, n_sites, true);
+        let (site_audit, classify_stats) = audit.expect("audited run");
+        let all = classify_stats.all_accesses();
+        let fig8 = Fig8 {
+            heap: all.class_heap,
+            stack: all.class_stack,
+            other: all.class_other,
+            required: all.class_required,
+        };
+        // Soundness gate: every interprocedural Elide site must be
+        // observed captured on all executions, per compilation context.
+        for (site, (nv, tv)) in interproc_result
+            .normal
+            .verdicts
+            .iter()
+            .zip(&interproc_result.tx.verdicts)
+            .enumerate()
+        {
+            if *nv == txcc::Verdict::Elide {
+                assert!(
+                    site_audit.normal[site].always_captured(),
+                    "{}: site {site} elided (normal) but observed uncaptured",
+                    app.name
+                );
+            }
+            if *tv == txcc::Verdict::Elide {
+                assert!(
+                    site_audit.tx[site].always_captured(),
+                    "{}: site {site} elided (tx clone) but observed uncaptured",
+                    app.name
+                );
+            }
+        }
+
+        let mut rows = Vec::new();
+        let mut dyn_of = |label: &'static str, compiled: &txcc::CompiledProgram| -> u64 {
+            let (run, _) = run_app(app, compiled, n_sites, false);
+            assert_eq!(
+                run.snapshot, naive_run.snapshot,
+                "{}: {label} build diverged from the naive build",
+                app.name
+            );
+            assert!(
+                run.tx_ops <= naive_run.tx_ops,
+                "{}: {label} executed more barriers than naive",
+                app.name
+            );
+            let elided = naive_run.tx_ops - run.tx_ops;
+            rows.push(ConfigRow {
+                config: label,
+                static_elided: compiled.stats.elided,
+                static_barriers: compiled.stats.barriers,
+                dyn_barriers: run.tx_ops,
+                dyn_elided: elided,
+                rate: if naive_run.tx_ops == 0 {
+                    0.0
+                } else {
+                    elided as f64 / naive_run.tx_ops as f64
+                },
+            });
+            elided
+        };
+        let e_intra = dyn_of("intraprocedural", &intra);
+        let e_inline = dyn_of("intraproc+inlining", &inline);
+        let e_inter = dyn_of("interprocedural", &inter);
+        // Ordering gates.
+        assert!(
+            e_inter >= e_intra,
+            "{}: interproc ({e_inter}) < intraproc ({e_intra})",
+            app.name
+        );
+        assert!(
+            e_inter >= e_inline,
+            "{}: interproc ({e_inter}) < intraproc+inlining ({e_inline})",
+            app.name
+        );
+        total_intra += e_intra;
+        total_inter += e_inter;
+
+        reports.push(AppReport {
+            app: app.name,
+            pattern: app.pattern,
+            sites_in_atomic: sites_in_atomic(&prog),
+            naive_barriers: naive_run.tx_ops,
+            fig8,
+            rows,
+        });
+    }
+    assert!(
+        total_inter > total_intra,
+        "interprocedural pass must elide strictly more than intraprocedural \
+         in aggregate ({total_inter} vs {total_intra})"
+    );
+    reports
+}
+
+fn pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+/// Markdown rendering for `expt elision`.
+pub fn render_markdown(reports: &[AppReport]) -> String {
+    let mut out = String::new();
+    out.push_str("## Elision — static capture analysis across call boundaries\n\n");
+    out.push_str(
+        "Dynamically executed barrier elisions per configuration (percent of the \
+         naive build's barrier executions), on STAMP-representative TL programs.\n\n",
+    );
+    out.push_str(
+        "| app | sites in atomic | naive barrier ops | intraproc | intraproc+inlining | interproc |\n",
+    );
+    out.push_str("|---|---:|---:|---:|---:|---:|\n");
+    for r in reports {
+        let mut row = format!(
+            "| {} | {} | {} |",
+            r.app, r.sites_in_atomic, r.naive_barriers
+        );
+        for c in &r.rows {
+            row.push_str(&format!(" {:.1} |", 100.0 * c.rate));
+        }
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out.push('\n');
+    out.push_str("### Figure-8 categories (audited naive run, percent of barriers)\n\n");
+    out.push_str("| app | tx-local heap | tx-local stack | other | required |\n");
+    out.push_str("|---|---:|---:|---:|---:|\n");
+    for r in reports {
+        let f = r.fig8;
+        let total = f.heap + f.stack + f.other + f.required;
+        out.push_str(&format!(
+            "| {} | {:.1} | {:.1} | {:.1} | {:.1} |\n",
+            r.app,
+            pct(f.heap, total),
+            pct(f.stack, total),
+            pct(f.other, total),
+            pct(f.required, total),
+        ));
+    }
+    out.push('\n');
+    out.push_str("Patterns:\n\n");
+    for r in reports {
+        out.push_str(&format!("* **{}** — {}\n", r.app, r.pattern));
+    }
+    out.push('\n');
+    out
+}
+
+/// JSON report (`BENCH_elision.json`); handwritten like the other BENCH
+/// emitters (no serde in the offline container).
+pub fn elision_json(reports: &[AppReport]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"bench_elision/v1\",\n");
+    out.push_str(&format!("  \"debug_build\": {},\n", cfg!(debug_assertions)));
+    out.push_str("  \"apps\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"app\": \"{}\",\n", esc(r.app)));
+        out.push_str(&format!("      \"pattern\": \"{}\",\n", esc(r.pattern)));
+        out.push_str(&format!(
+            "      \"sites_in_atomic\": {},\n      \"naive_barrier_ops\": {},\n",
+            r.sites_in_atomic, r.naive_barriers
+        ));
+        let f = r.fig8;
+        out.push_str(&format!(
+            "      \"fig8\": {{\"heap\": {}, \"stack\": {}, \"other\": {}, \"required\": {}}},\n",
+            f.heap, f.stack, f.other, f.required
+        ));
+        out.push_str("      \"configs\": [\n");
+        for (j, c) in r.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"config\": \"{}\", \"static_elided\": {}, \"static_barriers\": {}, \
+                 \"dyn_barrier_ops\": {}, \"dyn_elided_ops\": {}, \"elision_rate\": {:.4}}}{}\n",
+                esc(c.config),
+                c.static_elided,
+                c.static_barriers,
+                c.dyn_barriers,
+                c.dyn_elided,
+                c.rate,
+                if j + 1 < r.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gates_hold_and_report_shapes_up() {
+        // elision_report() itself asserts the superset, ordering,
+        // soundness and determinism gates — running it IS the acceptance
+        // test. Then spot-check the per-app expectations the corpus was
+        // designed around.
+        let reports = elision_report();
+        assert_eq!(reports.len(), APPS.len());
+        let by_name = |n: &str| reports.iter().find(|r| r.app == n).unwrap();
+        let rate = |r: &AppReport, cfg: &str| r.rows.iter().find(|c| c.config == cfg).unwrap().rate;
+        // The guarded-helper apps are interproc-only wins.
+        for app in ["genome", "vacation", "intruder", "ssca2", "yada", "bayes"] {
+            let r = by_name(app);
+            assert!(
+                rate(r, "interprocedural") > rate(r, "intraproc+inlining"),
+                "{app}: interproc must beat inlining"
+            );
+        }
+        // The no-opportunity kernels stay at zero in every pipeline.
+        for app in ["kmeans", "labyrinth"] {
+            let r = by_name(app);
+            for c in &r.rows {
+                assert_eq!(c.dyn_elided, 0, "{app}/{}", c.config);
+            }
+        }
+
+        let md = render_markdown(&reports);
+        assert!(md.contains("| genome |"));
+        let json = elision_json(&reports);
+        assert!(json.contains("\"schema\": \"bench_elision/v1\""));
+        assert!(json.contains("\"app\": \"yada\""));
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}'));
+        assert!(balance('[', ']'));
+    }
+}

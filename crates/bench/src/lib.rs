@@ -6,6 +6,7 @@
 //! rows/series; the `expt` binary prints them, and EXPERIMENTS.md archives a
 //! captured run with paper-vs-measured commentary.
 
+pub mod elision;
 pub mod micro;
 pub mod report;
 pub mod scaling;
@@ -47,6 +48,10 @@ pub fn runtime_cfg(log: LogKind, scope: CheckScope) -> TxConfig {
 
 pub fn compiler_cfg() -> TxConfig {
     TxConfig::with_mode(Mode::Compiler)
+}
+
+pub fn compiler_interproc_cfg() -> TxConfig {
+    TxConfig::with_mode(Mode::CompilerInterproc)
 }
 
 fn classify_cfg() -> TxConfig {

@@ -32,6 +32,7 @@ fn tracked_modes() -> Vec<Mode> {
         });
     }
     v.push(Mode::Compiler);
+    v.push(Mode::CompilerInterproc);
     v
 }
 

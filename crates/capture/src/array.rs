@@ -24,6 +24,7 @@ pub struct RangeArray<const N: usize = 4> {
 struct Ranges<const N: usize>([(u64, u64); N]);
 
 impl<const N: usize> RangeArray<N> {
+    /// An empty array; all `N` slots free.
     pub fn new() -> RangeArray<N> {
         RangeArray {
             ranges: Ranges([(0, 0); N]),

@@ -3,7 +3,7 @@ use crate::log::{AllocLog, LogKind};
 const WORD: u64 = 8;
 
 /// The paper's filtering allocation log (§3.1.2): a hash table used as a
-/// filter, extended from single-item filtering (paper ref [8]) to memory
+/// filter, extended from single-item filtering (paper ref \[8\]) to memory
 /// ranges by marking *every word* of an allocated block.
 ///
 /// Each slot stores the exact word address that hashed to it, so a lookup is

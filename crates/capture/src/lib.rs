@@ -32,6 +32,8 @@
 //! implementation used only at spawn-time selection and in differential
 //! tests.
 
+#![warn(missing_docs)]
+
 mod array;
 mod filter;
 mod log;

@@ -14,8 +14,10 @@ pub enum LogKind {
 }
 
 impl LogKind {
+    /// Every log kind, in the order the paper's figures list them.
     pub const ALL: [LogKind; 3] = [LogKind::Tree, LogKind::Array, LogKind::Filter];
 
+    /// Short label used in experiment tables ("tree" / "array" / "filtering").
     pub fn name(self) -> &'static str {
         match self {
             LogKind::Tree => "tree",
@@ -44,18 +46,24 @@ pub trait AllocLog {
     fn clear(&mut self);
     /// Number of live entries currently representable (diagnostics).
     fn entries(&self) -> usize;
+    /// Which implementation this is.
     fn kind(&self) -> LogKind;
 }
 
 /// Enum dispatch over the three implementations, so the hot barrier path
 /// pays a predictable branch instead of a virtual call.
 pub enum LogImpl {
+    /// Precise balanced range tree.
     Tree(RangeTree),
+    /// Cache-line-sized unsorted range array.
     Array(RangeArray<4>),
+    /// Lossy direct-mapped address filter.
     Filter(AddrFilter),
 }
 
 impl LogImpl {
+    /// Construct an empty log of the requested kind (the filter gets its
+    /// fixed-size table).
     pub fn new(kind: LogKind) -> LogImpl {
         match kind {
             LogKind::Tree => LogImpl::Tree(RangeTree::new()),
@@ -64,6 +72,7 @@ impl LogImpl {
         }
     }
 
+    /// See [`AllocLog::insert`].
     #[inline]
     pub fn insert(&mut self, start: u64, len: u64, level: u32) {
         match self {
@@ -73,6 +82,7 @@ impl LogImpl {
         }
     }
 
+    /// See [`AllocLog::remove`].
     #[inline]
     pub fn remove(&mut self, start: u64, len: u64) {
         match self {
@@ -82,6 +92,7 @@ impl LogImpl {
         }
     }
 
+    /// See [`AllocLog::query`].
     #[inline]
     pub fn query(&self, addr: u64) -> Option<u32> {
         match self {
@@ -91,6 +102,7 @@ impl LogImpl {
         }
     }
 
+    /// See [`AllocLog::clear`].
     #[inline]
     pub fn clear(&mut self) {
         match self {
@@ -100,6 +112,7 @@ impl LogImpl {
         }
     }
 
+    /// See [`AllocLog::entries`].
     pub fn entries(&self) -> usize {
         match self {
             LogImpl::Tree(t) => t.entries(),
@@ -108,6 +121,7 @@ impl LogImpl {
         }
     }
 
+    /// Which implementation this log dispatches to.
     pub fn kind(&self) -> LogKind {
         match self {
             LogImpl::Tree(_) => LogKind::Tree,

@@ -43,6 +43,7 @@ impl Capture {
         }
     }
 
+    /// Was the address captured at *any* nesting level?
     #[inline]
     pub fn is_captured(self) -> bool {
         matches!(self, Capture::Level(_))

@@ -23,10 +23,12 @@ pub struct PrivateLog {
 impl PrivateLog {
     /// The default uses the precise tree, which the paper's design favours
     /// for long-lived annotations (no capacity limit, exact removal).
+    /// An empty annotation log backed by the precise tree.
     pub fn new() -> PrivateLog {
         PrivateLog::with_kind(LogKind::Tree)
     }
 
+    /// An empty annotation log over the chosen log structure.
     pub fn with_kind(kind: LogKind) -> PrivateLog {
         PrivateLog {
             log: LogImpl::new(kind),

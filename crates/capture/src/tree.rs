@@ -157,6 +157,7 @@ fn remove_node(n: Option<Box<Node>>, start: u64) -> (Option<Box<Node>>, bool) {
 }
 
 impl RangeTree {
+    /// An empty tree.
     pub fn new() -> RangeTree {
         RangeTree { root: None, len: 0 }
     }

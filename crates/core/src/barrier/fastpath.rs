@@ -64,6 +64,21 @@ impl WorkerCtx<'_> {
         self.cfg.annotations && self.private_log.is_private(addr.raw())
     }
 
+    /// The classify mode's ground truth for one address: is it on the
+    /// transaction-local stack, and if not, does the precise shadow tree
+    /// hold it? Shared by the Figure-8 classifier, the static-violation
+    /// check, and the external capture oracle so they can never diverge.
+    #[inline]
+    fn ground_truth(&self, a: u64) -> (bool, bool) {
+        let stack_hit = a >= self.stack.sp() && a < self.sp_outer;
+        let heap_hit = !stack_hit
+            && self
+                .classify_log
+                .as_ref()
+                .is_some_and(|t| t.classify(a).is_captured());
+        (stack_hit, heap_hit)
+    }
+
     /// Figure-8 classification of a barrier (runs under `cfg.classify`,
     /// using the precise shadow tree exactly as the paper counts
     /// opportunities with its tree-based runtime algorithm). Classification
@@ -71,13 +86,7 @@ impl WorkerCtx<'_> {
     /// worker's stats rather than the per-transaction delta.
     #[inline]
     pub(crate) fn classify_access(&mut self, site: &'static Site, addr: Addr, is_write: bool) {
-        let a = addr.raw();
-        let stack_hit = a >= self.stack.sp() && a < self.sp_outer;
-        let heap_hit = !stack_hit
-            && self
-                .classify_log
-                .as_ref()
-                .is_some_and(|t| t.classify(a).is_captured());
+        let (stack_hit, heap_hit) = self.ground_truth(addr.raw());
         let b = if is_write {
             &mut self.stats.writes
         } else {
@@ -92,11 +101,24 @@ impl WorkerCtx<'_> {
         } else {
             b.class_required += 1;
         }
-        // Validate static verdicts against ground truth: a site the
-        // "compiler" elides must target captured memory on every dynamic
+        // Validate static verdicts against ground truth: a site either
+        // static pass elides must target captured memory on every dynamic
         // execution, or the tag is a miscompilation.
-        if site.compiler_elides && !stack_hit && !heap_hit {
+        if site.statically_elidable() && !stack_hit && !heap_hit {
             b.static_violations += 1;
         }
+    }
+
+    /// Ground-truth capture query for external oracles (the `txcc` VM's
+    /// site audit): is `addr` transaction-local right now, per the precise
+    /// shadow tree plus the stack range? Only answerable under
+    /// `TxConfig::classify` — the shadow tree does not exist otherwise —
+    /// so the answer is `None` in every other configuration.
+    pub fn observed_captured(&self, addr: Addr) -> Option<bool> {
+        if !self.cfg.classify {
+            return None;
+        }
+        let (stack_hit, heap_hit) = self.ground_truth(addr.raw());
+        Some(stack_hit || heap_hit)
     }
 }

@@ -210,6 +210,17 @@ macro_rules! runtime_table {
     };
 }
 
+/// Interprocedural compiler capture analysis: the superset static verdict
+/// (`compiler_elides_interproc`) also skips the barrier; still no runtime
+/// capture state.
+static COMPILER_INTERPROC: DispatchTable = DispatchTable {
+    read: read::read_compiler_interproc,
+    write: write::write_compiler_interproc,
+    on_alloc: noop_on_alloc,
+    on_free: noop_on_free,
+    reset: noop_reset,
+};
+
 static RUNTIME_TREE: DispatchTable = runtime_table!(RangeTree);
 static RUNTIME_ARRAY: DispatchTable = runtime_table!(RangeArray<4>);
 static RUNTIME_FILTER: DispatchTable = runtime_table!(AddrFilter);
@@ -234,6 +245,7 @@ impl DispatchTable {
         match cfg.mode {
             Mode::Baseline => &BASELINE,
             Mode::Compiler => &COMPILER,
+            Mode::CompilerInterproc => &COMPILER_INTERPROC,
             Mode::Runtime {
                 log: LogKind::Tree, ..
             } => &RUNTIME_TREE,
@@ -270,6 +282,10 @@ mod tests {
         assert!(std::ptr::eq(
             DispatchTable::select(&TxConfig::with_mode(Mode::Compiler)),
             &COMPILER
+        ));
+        assert!(std::ptr::eq(
+            DispatchTable::select(&TxConfig::with_mode(Mode::CompilerInterproc)),
+            &COMPILER_INTERPROC
         ));
         assert!(std::ptr::eq(
             DispatchTable::select(&runtime_cfg(LogKind::Tree)),

@@ -56,6 +56,28 @@ pub(super) fn read_compiler(
     annotated_or_full(w, addr)
 }
 
+/// Interprocedural compiler capture analysis: like [`read_compiler`], but
+/// the verdict is the whole-program summary pass, so interproc-only sites
+/// (`compiler_elides_interproc` without `compiler_elides`) are elided too.
+/// Separate monomorphized entry point — the plain compiler barrier stays
+/// branch-identical to the seed.
+pub(super) fn read_compiler_interproc(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+) -> TxResult<u64> {
+    prologue(w, site, addr);
+    if site.compiler_elides {
+        w.pending.reads.elided_static += 1;
+        return Ok(w.mem.load_private(addr));
+    }
+    if site.compiler_elides_interproc {
+        w.pending.reads.elided_static_interproc += 1;
+        return Ok(w.mem.load_private(addr));
+    }
+    annotated_or_full(w, addr)
+}
+
 /// Runtime capture analysis (paper §3.1), monomorphized over the policy.
 /// The scope booleans are per-configuration constants cached on the worker
 /// at spawn; the branch predictor treats them as always-taken/never-taken.

@@ -55,6 +55,14 @@ pub(super) fn read_reference(
             w.pending.reads.elided_static += 1;
             return Ok(w.mem.load_private(addr));
         }
+        Mode::CompilerInterproc if site.compiler_elides_interproc => {
+            if site.compiler_elides {
+                w.pending.reads.elided_static += 1;
+            } else {
+                w.pending.reads.elided_static_interproc += 1;
+            }
+            return Ok(w.mem.load_private(addr));
+        }
         Mode::Runtime { scope, .. } if scope.reads => {
             if scope.stack && w.stack_capture(addr).is_some() {
                 w.pending.reads.elided_stack += 1;
@@ -91,6 +99,15 @@ pub(super) fn write_reference(
     match w.cfg.mode {
         Mode::Compiler if site.compiler_elides => {
             w.pending.writes.elided_static += 1;
+            w.mem.store_private(addr, val);
+            return Ok(());
+        }
+        Mode::CompilerInterproc if site.compiler_elides_interproc => {
+            if site.compiler_elides {
+                w.pending.writes.elided_static += 1;
+            } else {
+                w.pending.writes.elided_static_interproc += 1;
+            }
             w.mem.store_private(addr, val);
             return Ok(());
         }

@@ -82,6 +82,28 @@ pub(super) fn write_compiler(
     annotated_or_full(w, addr, val)
 }
 
+/// Interprocedural compiler capture analysis; see
+/// [`super::read::read_compiler_interproc`].
+pub(super) fn write_compiler_interproc(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    val: u64,
+) -> TxResult<()> {
+    prologue(w, site, addr);
+    if site.compiler_elides {
+        w.pending.writes.elided_static += 1;
+        w.mem.store_private(addr, val);
+        return Ok(());
+    }
+    if site.compiler_elides_interproc {
+        w.pending.writes.elided_static_interproc += 1;
+        w.mem.store_private(addr, val);
+        return Ok(());
+    }
+    annotated_or_full(w, addr, val)
+}
+
 pub(super) fn write_runtime<P: PolicySlot>(
     w: &mut WorkerCtx<'_>,
     site: &'static Site,

@@ -70,6 +70,12 @@ pub enum Mode {
     /// captured skip the barrier entirely; everything else runs the full
     /// barrier with *no* runtime checks.
     Compiler,
+    /// Interprocedural compiler capture analysis (`txcc::interproc`):
+    /// like [`Mode::Compiler`], but the static verdict is the
+    /// summary-based whole-program pass, so sites whose allocation flows
+    /// through a non-inlined call ([`crate::Site::compiler_elides_interproc`])
+    /// are elided as well. Still zero runtime checks.
+    CompilerInterproc,
 }
 
 impl Mode {
@@ -78,6 +84,7 @@ impl Mode {
             Mode::Baseline => "baseline".into(),
             Mode::Runtime { log, scope } => format!("runtime-{} ({})", log.name(), scope.label()),
             Mode::Compiler => "compiler".into(),
+            Mode::CompilerInterproc => "compiler-interproc".into(),
         }
     }
 }
@@ -165,6 +172,7 @@ mod tests {
         );
         assert_eq!(CheckScope::WRITES_HEAP.label(), "w/heap");
         assert_eq!(Mode::Compiler.label(), "compiler");
+        assert_eq!(Mode::CompilerInterproc.label(), "compiler-interproc");
     }
 
     #[test]

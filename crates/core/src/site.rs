@@ -1,8 +1,8 @@
 /// Static description of one transactional access site.
 ///
 /// In the paper, the "access site" is a load/store instruction inside an
-/// atomic block that the STM compiler turned into a barrier call. Two static
-/// facts about each site drive the evaluation:
+/// atomic block that the STM compiler turned into a barrier call. Three
+/// static facts about each site drive the evaluation:
 ///
 /// * [`Site::required`] — whether the access was *manually* instrumented
 ///   (`TM_SHARED_READ`/`TM_SHARED_WRITE`) in the original STAMP sources.
@@ -12,6 +12,13 @@
 ///   analysis (intraprocedural flow-sensitive pointer analysis after
 ///   bounded inlining, implemented for real in the `txcc` crate) would
 ///   statically prove the target captured and remove the barrier.
+/// * [`Site::compiler_elides_interproc`] — whether the *interprocedural*
+///   summary-based capture analysis (`txcc::interproc`) proves the target
+///   captured. A strict superset of `compiler_elides`: everything the
+///   intraprocedural pass elides, the interprocedural pass elides too,
+///   plus sites whose allocation flows through a non-inlined call (helper
+///   constructors too big for bounded inlining) or through a field of a
+///   captured block.
 ///
 /// Our Rust-authored STAMP ports cannot be instrumented by `txcc`, so each
 /// site carries these verdicts as constants; the `txcc` test-suite
@@ -22,8 +29,14 @@ pub struct Site {
     pub name: &'static str,
     /// Original STAMP manually instrumented this access.
     pub required: bool,
-    /// The static capture analysis proves the target transaction-local.
+    /// The intraprocedural static capture analysis (after bounded inlining)
+    /// proves the target transaction-local.
     pub compiler_elides: bool,
+    /// The interprocedural summary-based analysis proves the target
+    /// transaction-local. Invariant: `compiler_elides` implies
+    /// `compiler_elides_interproc` (the stronger pass never loses a
+    /// verdict); asserted by the suite and by `txcc`'s superset check.
+    pub compiler_elides_interproc: bool,
 }
 
 impl Site {
@@ -34,6 +47,7 @@ impl Site {
             name,
             required: true,
             compiler_elides: false,
+            compiler_elides_interproc: false,
         }
     }
 
@@ -45,18 +59,34 @@ impl Site {
             name,
             required: false,
             compiler_elides: true,
+            compiler_elides_interproc: true,
+        }
+    }
+
+    /// An access to captured memory whose allocation is visible only
+    /// *across a call boundary* — the captured pointer flowed into a
+    /// helper too big (or structurally unfit) for bounded inlining, or out
+    /// of a helper as its return value. The intraprocedural analysis keeps
+    /// the barrier; the interprocedural summary analysis elides it.
+    pub const fn captured_interproc(name: &'static str) -> Site {
+        Site {
+            name,
+            required: false,
+            compiler_elides: false,
+            compiler_elides_interproc: true,
         }
     }
 
     /// An access to captured memory whose allocation is *not* visible to
-    /// the intraprocedural analysis (e.g. the pointer flowed through a
-    /// non-inlined call or a heap load): runtime capture analysis finds it,
-    /// the compiler cannot.
+    /// either static analysis (e.g. the pointer was laundered through
+    /// shared memory): runtime capture analysis finds it, the compiler
+    /// cannot.
     pub const fn captured_escaped(name: &'static str) -> Site {
         Site {
             name,
             required: false,
             compiler_elides: false,
+            compiler_elides_interproc: false,
         }
     }
 
@@ -69,7 +99,15 @@ impl Site {
             name,
             required: false,
             compiler_elides: false,
+            compiler_elides_interproc: false,
         }
+    }
+
+    /// Any static analysis (intra- or interprocedural) elides this site.
+    /// `compiler_elides` implies this by the constructor invariant.
+    #[inline(always)]
+    pub const fn statically_elidable(&self) -> bool {
+        self.compiler_elides_interproc
     }
 }
 
@@ -78,14 +116,37 @@ mod tests {
     use super::*;
 
     #[test]
-    fn constructors_encode_the_four_categories() {
+    fn constructors_encode_the_five_categories() {
         let s = Site::shared("s");
-        assert!(s.required && !s.compiler_elides);
+        assert!(s.required && !s.compiler_elides && !s.compiler_elides_interproc);
         let c = Site::captured_local("c");
-        assert!(!c.required && c.compiler_elides);
+        assert!(!c.required && c.compiler_elides && c.compiler_elides_interproc);
+        let i = Site::captured_interproc("i");
+        assert!(!i.required && !i.compiler_elides && i.compiler_elides_interproc);
         let e = Site::captured_escaped("e");
-        assert!(!e.required && !e.compiler_elides);
+        assert!(!e.required && !e.compiler_elides && !e.compiler_elides_interproc);
         let u = Site::unneeded("u");
-        assert!(!u.required && !u.compiler_elides);
+        assert!(!u.required && !u.compiler_elides && !u.compiler_elides_interproc);
+    }
+
+    #[test]
+    fn intraproc_verdicts_are_a_subset_of_interproc() {
+        // The constructor set must maintain the superset invariant the
+        // barrier relies on: no constructor may set `compiler_elides`
+        // without `compiler_elides_interproc`.
+        for s in [
+            Site::shared("a"),
+            Site::captured_local("b"),
+            Site::captured_interproc("c"),
+            Site::captured_escaped("d"),
+            Site::unneeded("e"),
+        ] {
+            assert!(
+                !s.compiler_elides || s.compiler_elides_interproc,
+                "{}",
+                s.name
+            );
+            assert_eq!(s.statically_elidable(), s.compiler_elides_interproc);
+        }
     }
 }

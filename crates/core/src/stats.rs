@@ -16,6 +16,7 @@ pub(crate) struct BarrierDelta {
     pub elided_stack: u64,
     pub elided_heap: u64,
     pub elided_static: u64,
+    pub elided_static_interproc: u64,
     pub elided_annotation: u64,
     pub parent_captured: u64,
     pub full: u64,
@@ -38,8 +39,13 @@ pub struct BarrierStats {
     pub elided_stack: u64,
     /// Elided: hit the transaction-local *heap* allocation log.
     pub elided_heap: u64,
-    /// Elided: site statically proven captured (compiler mode).
+    /// Elided: site statically proven captured (compiler mode,
+    /// intraprocedural verdict).
     pub elided_static: u64,
+    /// Elided: site proven captured only by the *interprocedural* summary
+    /// analysis (compiler-interproc mode; disjoint from `elided_static`,
+    /// which counts the sites the intraprocedural pass already got).
+    pub elided_static_interproc: u64,
     /// Elided: address annotated via `add_private_memory_block`.
     pub elided_annotation: u64,
     /// Writes to memory captured by an *ancestor* transaction: no orec
@@ -71,12 +77,14 @@ impl BarrierStats {
         self.total += d.elided_stack
             + d.elided_heap
             + d.elided_static
+            + d.elided_static_interproc
             + d.elided_annotation
             + d.parent_captured
             + d.full;
         self.elided_stack += d.elided_stack;
         self.elided_heap += d.elided_heap;
         self.elided_static += d.elided_static;
+        self.elided_static_interproc += d.elided_static_interproc;
         self.elided_annotation += d.elided_annotation;
         self.parent_captured += d.parent_captured;
         self.full += d.full;
@@ -87,6 +95,7 @@ impl BarrierStats {
         self.elided_stack += o.elided_stack;
         self.elided_heap += o.elided_heap;
         self.elided_static += o.elided_static;
+        self.elided_static_interproc += o.elided_static_interproc;
         self.elided_annotation += o.elided_annotation;
         self.parent_captured += o.parent_captured;
         self.full += o.full;
@@ -99,7 +108,11 @@ impl BarrierStats {
 
     /// All barriers elided by any mechanism.
     pub fn elided(&self) -> u64 {
-        self.elided_stack + self.elided_heap + self.elided_static + self.elided_annotation
+        self.elided_stack
+            + self.elided_heap
+            + self.elided_static
+            + self.elided_static_interproc
+            + self.elided_annotation
     }
 
     /// Fraction of barriers removed (paper Figure 9's metric).

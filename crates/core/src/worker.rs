@@ -541,6 +541,13 @@ impl<'a, 'rt> Tx<'a, 'rt> {
         self.0.mem.store_private(addr, val);
     }
 
+    /// Ground-truth capture query (precise shadow tree + stack range) for
+    /// external oracles; `None` unless the runtime was configured with
+    /// `TxConfig::classify`. See `WorkerCtx::observed_captured`.
+    pub fn observed_captured(&self, addr: Addr) -> Option<bool> {
+        self.0.observed_captured(addr)
+    }
+
     /// Annotations may also be toggled mid-transaction; the change is not
     /// transactional (paper: annotations are a programmer promise).
     pub fn add_private_memory_block(&mut self, addr: Addr, size: u64) {

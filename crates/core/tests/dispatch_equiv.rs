@@ -205,7 +205,7 @@ fn run(script: &[Txn], mode: Mode, reference: bool) -> (Vec<u64>, String) {
 }
 
 fn all_modes() -> Vec<Mode> {
-    let mut v = vec![Mode::Baseline, Mode::Compiler];
+    let mut v = vec![Mode::Baseline, Mode::Compiler, Mode::CompilerInterproc];
     for log in LogKind::ALL {
         for mask in 0..16u8 {
             v.push(Mode::Runtime {

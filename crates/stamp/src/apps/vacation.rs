@@ -40,7 +40,13 @@ const C_WORDS: u64 = 2;
 
 static S_RES_R: Site = Site::shared("vacation.resource.read");
 static S_RES_W: Site = Site::shared("vacation.resource.write");
-static S_RES_INIT: Site = Site::captured_local("vacation.resource_init.write");
+// Resource records are allocated by the caller and initialized by
+// `resource_init`, mirroring STAMP's `reservation_alloc` constructor; the
+// constructor's validation guard (an early return in the TL equivalent)
+// defeats bounded inlining, so only the interprocedural parameter-capture
+// summary proves these writes target transaction-local memory
+// (cross-checked in tests/cross_check.rs).
+static S_RES_INIT: Site = Site::captured_interproc("vacation.resource_init.write");
 static S_CUST_INIT: Site = Site::captured_local("vacation.customer_init.write");
 
 const NUM_TYPES: u64 = 3; // cars, flights, rooms
@@ -93,6 +99,17 @@ struct Manager {
     customers: TxRbTree,
 }
 
+/// STAMP `reservation_alloc` analogue: initialize a freshly allocated
+/// resource record *through the caller's pointer*. Every call site passes
+/// memory captured by the running transaction, which is exactly what the
+/// interprocedural analysis's parameter meet proves (see [`S_RES_INIT`]).
+fn resource_init(tx: &mut stm::Tx<'_, '_>, rec: Addr, total: u64, price: u64) -> stm::TxResult<()> {
+    tx.write(&S_RES_INIT, rec.word(R_TOTAL), total)?;
+    tx.write(&S_RES_INIT, rec.word(R_AVAIL), total)?;
+    tx.write(&S_RES_INIT, rec.word(R_PRICE), price)?;
+    Ok(())
+}
+
 pub fn run(cfg: &Config, txcfg: TxConfig, threads: usize) -> RunOutcome {
     let name = if cfg.user_pct >= 95 {
         "vacation low"
@@ -126,9 +143,7 @@ pub fn run(cfg: &Config, txcfg: TxConfig, threads: usize) -> RunOutcome {
                 let price = 50 + rng.below(450);
                 w.txn(|tx| {
                     let rec = tx.alloc(R_WORDS * 8)?;
-                    tx.write(&S_RES_INIT, rec.word(R_TOTAL), total)?;
-                    tx.write(&S_RES_INIT, rec.word(R_AVAIL), total)?;
-                    tx.write(&S_RES_INIT, rec.word(R_PRICE), price)?;
+                    resource_init(tx, rec, total, price)?;
                     table.insert(tx, id, rec.raw())
                 });
             }
@@ -291,9 +306,7 @@ fn update_tables(
                     }
                     None => {
                         let rec = tx.alloc(R_WORDS * 8)?;
-                        tx.write(&S_RES_INIT, rec.word(R_TOTAL), total)?;
-                        tx.write(&S_RES_INIT, rec.word(R_AVAIL), total)?;
-                        tx.write(&S_RES_INIT, rec.word(R_PRICE), price)?;
+                        resource_init(tx, rec, total, price)?;
                         table.insert(tx, id, rec.raw())?;
                     }
                 }
@@ -370,6 +383,7 @@ mod tests {
         for mode in [
             Mode::Baseline,
             Mode::Compiler,
+            Mode::CompilerInterproc,
             Mode::Runtime {
                 log: stm::LogKind::Tree,
                 scope: stm::CheckScope::FULL,

@@ -1,7 +1,12 @@
 //! Abstract syntax of the TL mini-language. All values are 64-bit words;
 //! pointers are addresses in the simulated memory.
 
+/// Binary operators of the TL mini-language. Arithmetic wraps (matching
+/// the VM); comparisons and logic produce 0/1. `Add`/`Sub` double as raw
+/// pointer arithmetic, which is what the capture analyses' "pointer
+/// arithmetic keeps capture" rule is about.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
 pub enum BinOp {
     Add,
     Sub,
@@ -18,7 +23,9 @@ pub enum BinOp {
     Or,
 }
 
+/// Unary operators: wrapping negation and logical not.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
 pub enum UnOp {
     Neg,
     Not,
@@ -29,25 +36,35 @@ pub enum UnOp {
 /// code generator consults it.
 pub type SiteId = usize;
 
+/// Expressions. Every memory *load* carries its [`SiteId`].
 #[derive(Clone, Debug)]
 pub enum Expr {
+    /// Integer literal.
     Int(u64),
+    /// Read of a (register-allocated) local or parameter.
     Var(String),
     /// `base[idx]` — load the `idx`-th word of the block at `base`.
     Load {
+        /// Base pointer expression.
         base: Box<Expr>,
+        /// Word index (scaled by 8 at execution).
         idx: Box<Expr>,
+        /// This access's static site id.
         site: SiteId,
     },
     /// `&x` — address of an (address-taken) local.
     AddrOf(String),
     /// `malloc(bytes)`.
     Malloc(Box<Expr>),
+    /// Unary operation.
     Unary(UnOp, Box<Expr>),
+    /// Binary operation (including raw pointer arithmetic).
     Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Call `f(args...)`; functions are first-order and named.
     Call(String, Vec<Expr>),
 }
 
+/// Statements. Every memory *store* carries its [`SiteId`].
 #[derive(Clone, Debug)]
 pub enum Stmt {
     /// `var x;` / `var x = e;`
@@ -56,40 +73,56 @@ pub enum Stmt {
     Assign(String, Expr),
     /// `base[idx] = val;`
     Store {
+        /// Base pointer expression.
         base: Expr,
+        /// Word index (scaled by 8 at execution).
         idx: Expr,
+        /// Value to store.
         val: Expr,
+        /// This access's static site id.
         site: SiteId,
     },
+    /// `if (c) { ... } else { ... }` (else may be empty).
     If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) { ... }`
     While(Expr, Vec<Stmt>),
+    /// `return e;` — must not appear inside an `atomic` block.
     Return(Expr),
     /// `atomic { ... }` — a transaction.
     Atomic(Vec<Stmt>),
     /// `free(e);`
     Free(Expr),
+    /// Expression evaluated for its effects (e.g. a bare call).
     ExprStmt(Expr),
 }
 
+/// One TL function: named, first-order, word-typed parameters.
 #[derive(Clone, Debug)]
 pub struct Function {
+    /// Function name (unique within a program).
     pub name: String,
+    /// Parameter names, in call order.
     pub params: Vec<String>,
+    /// Statement list of the body.
     pub body: Vec<Stmt>,
 }
 
+/// A parsed TL program.
 #[derive(Clone, Debug)]
 pub struct Program {
+    /// All functions, in source order.
     pub functions: Vec<Function>,
     /// Total number of memory-access sites allocated by the parser.
     pub n_sites: usize,
 }
 
 impl Program {
+    /// Look a function up by name.
     pub fn function(&self, name: &str) -> Option<&Function> {
         self.functions.iter().find(|f| f.name == name)
     }
 
+    /// Index of a function in [`Program::functions`].
     pub fn function_index(&self, name: &str) -> Option<usize> {
         self.functions.iter().position(|f| f.name == name)
     }

@@ -33,6 +33,7 @@ use std::collections::HashMap;
 
 use crate::ast::{BinOp, Expr, Function, Program, SiteId, Stmt};
 
+/// The analysis's decision for one memory-access site.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Verdict {
     /// Not inside an atomic block: plain access, no barrier in any case.
@@ -60,10 +61,12 @@ fn meet(a: Abs, b: Abs) -> Abs {
 /// Analysis output for a whole program.
 #[derive(Clone, Debug)]
 pub struct AnalysisResult {
+    /// One verdict per site id.
     pub verdicts: Vec<Verdict>,
 }
 
 impl AnalysisResult {
+    /// Number of `Elide` sites.
     pub fn elided(&self) -> usize {
         self.verdicts
             .iter()
@@ -71,6 +74,7 @@ impl AnalysisResult {
             .count()
     }
 
+    /// Number of `Barrier` sites.
     pub fn barriers(&self) -> usize {
         self.verdicts
             .iter()
@@ -203,17 +207,33 @@ fn analyze_block(body: &[Stmt], env: &mut Env, ctx: &mut Ctx<'_>) {
             Stmt::While(c, b) => {
                 // Fixpoint without recording, then one recording pass over
                 // the stable state (verdicts must hold on every iteration).
+                // Iteration runs to convergence — the joined sequence only
+                // descends (per-variable two-point lattice, key set fixed
+                // after one pass), so it terminates; recording from a
+                // non-fixed-point state would let a long copy chain smuggle
+                // a stale Captured fact past the join and elide a barrier
+                // unsoundly. The cap is a defensive valve only: if it is
+                // ever hit, degrade everything to Unknown (sound) rather
+                // than trust the unstable state.
                 let record = ctx.record;
                 ctx.record = false;
-                for _ in 0..8 {
+                let mut converged = false;
+                for _ in 0..crate::MAX_LOOP_FIXPOINT_ITERS {
                     eval(c, env, ctx);
                     let mut env_b = env.clone();
                     analyze_block(b, &mut env_b, ctx);
                     let joined = join_envs(env, &env_b);
                     if joined == *env {
+                        converged = true;
                         break;
                     }
                     *env = joined;
+                }
+                if !converged {
+                    debug_assert!(false, "loop fixpoint failed to converge");
+                    for v in env.values_mut() {
+                        *v = Abs::Unknown;
+                    }
                 }
                 ctx.record = record;
                 eval(c, env, ctx);
@@ -527,6 +547,26 @@ mod tests {
             "fn f(c) { atomic { var p = malloc(16); if (c) { p = malloc(8); } else { } p[0] = 1; } return 0; }",
         );
         assert_eq!(r.elided(), 1);
+    }
+
+    #[test]
+    fn long_copy_chain_in_loop_converges_soundly() {
+        // Shared-ness propagates one variable per loop iteration through a
+        // 12-step copy chain — longer than the historic 8-iteration cap.
+        // Recording before convergence would elide v1's store even though
+        // v1 aliases the shared parameter from iteration 12 onwards.
+        let mut src = String::from("fn f(s, n) { atomic { var a = malloc(8);\n");
+        for k in 1..=12 {
+            src.push_str(&format!("var v{k} = a;\n"));
+        }
+        src.push_str("var i = 0;\nwhile (i < n) {\n  v1[0] = 1;\n");
+        for k in 1..12 {
+            src.push_str(&format!("  v{k} = v{};\n", k + 1));
+        }
+        src.push_str("  v12 = s;\n  i = i + 1;\n} } return 0; }");
+        let (_, r) = verdicts_of(&src);
+        assert_eq!(r.elided(), 0, "v1 is shared after 12 iterations");
+        assert_eq!(r.barriers(), 1);
     }
 
     #[test]

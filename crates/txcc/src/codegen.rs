@@ -12,17 +12,29 @@ use std::collections::HashMap;
 use crate::ast::{address_taken, BinOp, Expr, Function, Program, Stmt, UnOp};
 use crate::capture::{analyze_function, desugar_address_taken, Verdict};
 
+/// How much static capture analysis the compiler applies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OptLevel {
     /// Every load/store inside an atomic block becomes an STM barrier.
     Naive,
-    /// Compiler capture analysis elides barriers proven unnecessary.
+    /// Intraprocedural compiler capture analysis (paper §3.2) elides
+    /// barriers proven unnecessary; relies on [`crate::inline`] running
+    /// first to see through calls.
     CaptureAnalysis,
+    /// Interprocedural summary-based capture analysis
+    /// ([`crate::interproc`]): elides across call boundaries with no
+    /// inlining at all. A superset of `CaptureAnalysis` verdicts on the
+    /// same (non-inlined) program.
+    CaptureInterproc,
 }
 
 type Reg = u16;
 
+/// Bytecode instructions of the TL VM. Registers are per-frame virtual
+/// registers; `LoadTx`/`StoreTx` are the instrumented (barrier) accesses,
+/// `LoadDirect`/`StoreDirect` the plain ones.
 #[derive(Clone, Debug)]
+#[allow(missing_docs)]
 pub enum Op {
     Const(Reg, u64),
     Mov(Reg, Reg),
@@ -37,9 +49,11 @@ pub enum Op {
     /// Plain word load/store: `rd = mem[ra + 8*ri]`.
     LoadDirect(Reg, Reg, Reg),
     StoreDirect(Reg, Reg, Reg),
-    /// STM barrier load/store.
-    LoadTx(Reg, Reg, Reg),
-    StoreTx(Reg, Reg, Reg),
+    /// STM barrier load/store. The trailing field is the source site id,
+    /// carried so the VM's [`crate::vm::SiteAudit`] can attribute each
+    /// dynamic barrier execution to its static site.
+    LoadTx(Reg, Reg, Reg, u32),
+    StoreTx(Reg, Reg, Reg, u32),
     Malloc(Reg, Reg),
     Free(Reg),
     TxBegin,
@@ -48,11 +62,16 @@ pub enum Op {
     Ret(Reg),
 }
 
+/// One function's two compiled bodies plus its frame requirements.
 #[derive(Clone, Debug)]
 pub struct CompiledFn {
+    /// Source function name.
     pub name: String,
+    /// Arity (parameters arrive in the first registers).
     pub n_params: usize,
+    /// Virtual registers the frame needs.
     pub n_regs: usize,
+    /// Simulated-stack slots for address-taken locals.
     pub n_slots: usize,
     /// Code for calls from outside transactions.
     pub normal: Vec<Op>,
@@ -69,21 +88,70 @@ pub struct InstrStats {
     pub elided: usize,
 }
 
+/// A whole compiled program plus what the compiler did to it.
 #[derive(Clone, Debug)]
 pub struct CompiledProgram {
+    /// Compiled functions, in program order.
     pub funcs: Vec<CompiledFn>,
+    /// Static instrumentation counts (normal code).
     pub stats: InstrStats,
+    /// The optimization level this program was compiled at.
     pub opt: OptLevel,
 }
 
 impl CompiledProgram {
+    /// Look a compiled function up by name; returns its index too.
     pub fn function(&self, name: &str) -> Option<(usize, &CompiledFn)> {
         self.funcs.iter().enumerate().find(|(_, f)| f.name == name)
     }
 }
 
+/// Program-wide verdict vectors (by site id), one per compilation
+/// context: the normal versions and the transactional clones.
+struct ProgramVerdicts {
+    normal: Vec<Verdict>,
+    tx: Vec<Verdict>,
+}
+
+/// Run the analysis selected by `opt` over the whole (desugared) program.
+fn analyze_for(prog: &Program, opt: OptLevel) -> Option<ProgramVerdicts> {
+    match opt {
+        OptLevel::Naive => None,
+        OptLevel::CaptureAnalysis => {
+            // Per-function flow analysis; sites are function-disjoint, so
+            // merging into one program-wide vector loses nothing.
+            let mut normal = vec![Verdict::Outside; prog.n_sites];
+            let mut tx = vec![Verdict::Outside; prog.n_sites];
+            for f in &prog.functions {
+                merge(
+                    &mut normal,
+                    &analyze_function(f, prog.n_sites, false).verdicts,
+                );
+                merge(&mut tx, &analyze_function(f, prog.n_sites, true).verdicts);
+            }
+            Some(ProgramVerdicts { normal, tx })
+        }
+        OptLevel::CaptureInterproc => {
+            let r = crate::interproc::analyze_program(prog);
+            Some(ProgramVerdicts {
+                normal: r.normal.verdicts,
+                tx: r.tx.verdicts,
+            })
+        }
+    }
+}
+
+fn merge(into: &mut [Verdict], from: &[Verdict]) {
+    for (dst, src) in into.iter_mut().zip(from) {
+        if *src != Verdict::Outside {
+            *dst = *src;
+        }
+    }
+}
+
 /// Compile a program (desugars address-taken locals internally; run the
-/// inliner beforehand if cross-call capture analysis is wanted).
+/// inliner beforehand if the *intraprocedural* analysis should see
+/// through calls — the interprocedural level needs no inlining).
 pub fn compile(prog: &Program, opt: OptLevel) -> CompiledProgram {
     let mut prog = prog.clone();
     desugar_address_taken(&mut prog);
@@ -93,35 +161,27 @@ pub fn compile(prog: &Program, opt: OptLevel) -> CompiledProgram {
         .enumerate()
         .map(|(i, f)| (f.name.clone(), i as u16))
         .collect();
+    let verdicts = analyze_for(&prog, opt);
     let mut stats = InstrStats::default();
     let funcs = prog
         .functions
         .iter()
-        .map(|f| compile_fn(f, &prog, &fn_index, opt, &mut stats))
+        .map(|f| compile_fn(f, &fn_index, verdicts.as_ref(), &mut stats))
         .collect();
     CompiledProgram { funcs, stats, opt }
 }
 
 fn compile_fn(
     f: &Function,
-    prog: &Program,
     fn_index: &HashMap<String, u16>,
-    opt: OptLevel,
+    verdicts: Option<&ProgramVerdicts>,
     stats: &mut InstrStats,
 ) -> CompiledFn {
-    let normal_verdicts = match opt {
-        OptLevel::Naive => None,
-        OptLevel::CaptureAnalysis => Some(analyze_function(f, prog.n_sites, false)),
-    };
-    let tx_verdicts = match opt {
-        OptLevel::Naive => None,
-        OptLevel::CaptureAnalysis => Some(analyze_function(f, prog.n_sites, true)),
-    };
-    let mut normal_cg = FnCodegen::new(f, fn_index, normal_verdicts.map(|r| r.verdicts), false);
+    let mut normal_cg = FnCodegen::new(f, fn_index, verdicts.map(|v| v.normal.as_slice()), false);
     let normal = normal_cg.run(f);
     stats.barriers += normal_cg.barriers;
     stats.elided += normal_cg.elided;
-    let mut tx_cg = FnCodegen::new(f, fn_index, tx_verdicts.map(|r| r.verdicts), true);
+    let mut tx_cg = FnCodegen::new(f, fn_index, verdicts.map(|v| v.tx.as_slice()), true);
     let tx = tx_cg.run(f);
     CompiledFn {
         name: f.name.clone(),
@@ -135,8 +195,10 @@ fn compile_fn(
 
 struct FnCodegen<'a> {
     fn_index: &'a HashMap<String, u16>,
-    /// `None` = naive (instrument everything in atomic).
-    verdicts: Option<Vec<Verdict>>,
+    /// `None` = naive (instrument everything in atomic); otherwise the
+    /// program-wide verdicts for this compilation context (borrowed — one
+    /// shared vector serves every function).
+    verdicts: Option<&'a [Verdict]>,
     regs: HashMap<String, Reg>,
     slots: HashMap<String, u16>,
     next_reg: u16,
@@ -152,7 +214,7 @@ impl<'a> FnCodegen<'a> {
     fn new(
         f: &Function,
         fn_index: &'a HashMap<String, u16>,
-        verdicts: Option<Vec<Verdict>>,
+        verdicts: Option<&'a [Verdict]>,
         assume_atomic: bool,
     ) -> FnCodegen<'a> {
         let taken = address_taken(&f.body);
@@ -268,7 +330,7 @@ impl<'a> FnCodegen<'a> {
                 let ri = self.expr(idx);
                 let rv = self.expr(val);
                 if self.wants_barrier(*site) {
-                    self.code.push(Op::StoreTx(rb, ri, rv));
+                    self.code.push(Op::StoreTx(rb, ri, rv, *site as u32));
                 } else {
                     self.code.push(Op::StoreDirect(rb, ri, rv));
                 }
@@ -353,7 +415,7 @@ impl<'a> FnCodegen<'a> {
                 let ri = self.expr(idx);
                 let rd = self.fresh();
                 if self.wants_barrier(*site) {
-                    self.code.push(Op::LoadTx(rd, rb, ri));
+                    self.code.push(Op::LoadTx(rd, rb, ri, *site as u32));
                 } else {
                     self.code.push(Op::LoadDirect(rd, rb, ri));
                 }

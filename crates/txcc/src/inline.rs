@@ -3,7 +3,7 @@
 //!
 //! A call is inlined when it appears as a whole statement's right-hand side
 //! (`x = helper(..)`, `var x = helper(..)`, `helper(..);`) and the callee is
-//! *simple*: non-recursive, at most [`MAX_STMTS`] statements, with at most
+//! *simple*: non-recursive, at most `MAX_STMTS` statements, with at most
 //! one `return` which must be the final statement. Inlined locals are
 //! renamed, and every copied memory-access site receives a fresh id so the
 //! analysis judges each inline context independently.
@@ -15,6 +15,9 @@ use crate::ast::{Expr, Function, Program, Stmt};
 const MAX_STMTS: usize = 24;
 const MAX_PASSES: usize = 3;
 
+/// Inline simple calls everywhere in the program, repeating up to
+/// `MAX_PASSES` times so short chains collapse; inlined sites get fresh
+/// ids so the analysis judges each inline context independently.
 pub fn inline_program(prog: &mut Program) {
     for _ in 0..MAX_PASSES {
         let snapshot = prog.clone();

@@ -34,10 +34,22 @@
 //! — the static verdicts can be cross-checked against the runtime capture
 //! analysis (see `tests/cross_check.rs`).
 
+#![warn(missing_docs)]
+
+/// Defensive iteration cap for the per-`while` dataflow fixpoints in both
+/// capture analyses. The joined state only descends in a finite lattice
+/// (the variable set is fixed after one pass, field-fact keys only shrink
+/// under join), so convergence is guaranteed long before this; if a bug
+/// ever breaks monotonicity, the analyses degrade the state to Unknown —
+/// conservative, never unsound — instead of recording verdicts from an
+/// unstable state.
+pub const MAX_LOOP_FIXPOINT_ITERS: usize = 1024;
+
 pub mod ast;
 pub mod capture;
 pub mod codegen;
 pub mod inline;
+pub mod interproc;
 mod lexer;
 mod parser;
 pub mod vm;
@@ -45,12 +57,21 @@ pub mod vm;
 pub use ast::{BinOp, Expr, Function, Program, Stmt, UnOp};
 pub use capture::{analyze_program, AnalysisResult, Verdict};
 pub use codegen::{compile, CompiledProgram, OptLevel};
+pub use interproc::InterprocResult;
 pub use parser::{parse, ParseError};
-pub use vm::Vm;
+pub use vm::{SiteAudit, Vm};
 
-/// Convenience: parse, inline, analyze and compile in one call.
+/// Convenience: parse, (for the inlining-assisted levels) inline, analyze
+/// and compile in one call.
+///
+/// [`OptLevel::CaptureInterproc`] deliberately skips the inliner: the
+/// whole point of the summary-based pass is that `Elide` verdicts survive
+/// calls *without* inlining, and the `expt elision` experiment contrasts
+/// exactly these pipelines.
 pub fn build(src: &str, opt: OptLevel) -> Result<CompiledProgram, ParseError> {
     let mut prog = parse(src)?;
-    inline::inline_program(&mut prog);
+    if opt != OptLevel::CaptureInterproc {
+        inline::inline_program(&mut prog);
+    }
     Ok(compile(&prog, opt))
 }

@@ -3,6 +3,7 @@
 use crate::ast::{BinOp, Expr, Function, Program, Stmt, UnOp};
 use crate::lexer::{Lexer, Tok};
 
+/// A syntax error with a human-readable description.
 #[derive(Debug, Clone)]
 pub struct ParseError(pub String);
 
@@ -14,6 +15,8 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Parse TL source into a [`Program`], assigning a fresh [`crate::ast::SiteId`]
+/// to every memory-access site.
 pub fn parse(src: &str) -> Result<Program, ParseError> {
     let mut p = Parser::new(src)?;
     let mut functions = Vec::new();

@@ -25,10 +25,15 @@ static VM_STORE: Site = Site::shared("txcc.vm.store");
 /// Dynamic execution counters (how the instrumentation behaved at runtime).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct VmStats {
+    /// Executed `LoadTx` ops (STM read barriers).
     pub tx_loads: u64,
+    /// Executed `StoreTx` ops (STM write barriers).
     pub tx_stores: u64,
+    /// Executed `LoadDirect` ops (plain loads).
     pub direct_loads: u64,
+    /// Executed `StoreDirect` ops (plain stores).
     pub direct_stores: u64,
+    /// Top-level transactions started (excluding retries).
     pub transactions: u64,
 }
 
@@ -39,9 +44,72 @@ struct Frame {
     pushed: usize,
 }
 
+/// Per-site observation of one compilation context (normal code vs. the
+/// transactional clone).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SiteObservation {
+    /// Dynamic barrier executions of this site in this context.
+    pub executions: u64,
+    /// Executions whose target the runtime's precise capture oracle did
+    /// *not* find transaction-local.
+    pub uncaptured: u64,
+}
+
+impl SiteObservation {
+    /// Every observed execution (if any) targeted captured memory — the
+    /// dynamic precondition for a static `Elide` verdict at this site.
+    pub fn always_captured(&self) -> bool {
+        self.uncaptured == 0
+    }
+}
+
+/// Ground-truth audit of the static capture verdicts: run a *naively
+/// instrumented* build (every site a barrier) on a runtime configured
+/// with `TxConfig::classify`, and the VM records, per site and per
+/// compilation context, whether every dynamic execution targeted captured
+/// memory (per the runtime's precise shadow tree + stack range — see
+/// `stm::Tx::observed_captured`). A static analysis is sound iff each of
+/// its `Elide` sites is `always_captured` in the matching context; the
+/// proptests and `expt elision` enforce exactly that.
+#[derive(Clone, Debug)]
+pub struct SiteAudit {
+    /// Observations of sites executing in *normal* code's atomic regions.
+    pub normal: Vec<SiteObservation>,
+    /// Observations of sites executing in transactional clones.
+    pub tx: Vec<SiteObservation>,
+}
+
+impl SiteAudit {
+    /// Empty audit sized for `n_sites` site ids.
+    pub fn new(n_sites: usize) -> SiteAudit {
+        SiteAudit {
+            normal: vec![SiteObservation::default(); n_sites],
+            tx: vec![SiteObservation::default(); n_sites],
+        }
+    }
+
+    fn record(&mut self, in_clone: bool, site: u32, captured: bool) {
+        let obs = if in_clone {
+            &mut self.tx[site as usize]
+        } else {
+            &mut self.normal[site as usize]
+        };
+        obs.executions += 1;
+        if !captured {
+            obs.uncaptured += 1;
+        }
+    }
+}
+
+/// Bytecode interpreter over one compiled program; see the module docs.
 pub struct Vm<'p> {
     prog: &'p CompiledProgram,
+    /// Dynamic execution counters.
     pub stats: VmStats,
+    /// When set, every barrier op records its observed capture state;
+    /// requires a `TxConfig::classify` runtime (panics otherwise at the
+    /// first audited access).
+    pub audit: Option<SiteAudit>,
 }
 
 fn binop(op: BinOp, a: u64, b: u64) -> u64 {
@@ -75,10 +143,22 @@ fn eff_addr(base: u64, idx: u64) -> Addr {
 }
 
 impl<'p> Vm<'p> {
+    /// A VM over `prog` with zeroed counters and no audit.
     pub fn new(prog: &'p CompiledProgram) -> Vm<'p> {
         Vm {
             prog,
             stats: VmStats::default(),
+            audit: None,
+        }
+    }
+
+    /// Enable the per-site capture audit (see [`SiteAudit`]); `n_sites`
+    /// must cover every site id the compiled program carries.
+    pub fn with_audit(prog: &'p CompiledProgram, n_sites: usize) -> Vm<'p> {
+        Vm {
+            prog,
+            stats: VmStats::default(),
+            audit: Some(SiteAudit::new(n_sites)),
         }
     }
 
@@ -200,7 +280,7 @@ impl<'p> Vm<'p> {
                 Op::TxBegin => unreachable!("codegen flattens nested atomic"),
                 Op::Ret(_) => unreachable!("codegen rejects return inside atomic"),
                 _ => {
-                    if let Some(next) = self.step_tx(tx, &op, frame, pc)? {
+                    if let Some(next) = self.step_tx(tx, &op, frame, false)? {
                         pc = next;
                         continue;
                     }
@@ -228,7 +308,7 @@ impl<'p> Vm<'p> {
                     unreachable!("tx clone is fully flattened")
                 }
                 _ => {
-                    if let Some(next) = self.step_tx(tx, &op, &mut frame, pc)? {
+                    if let Some(next) = self.step_tx(tx, &op, &mut frame, true)? {
                         pc = next;
                         continue;
                     }
@@ -238,13 +318,25 @@ impl<'p> Vm<'p> {
         }
     }
 
+    /// Audit hook for one barrier execution (no-op unless enabled).
+    fn audit_access(&mut self, tx: &Tx<'_, '_>, in_clone: bool, site: u32, addr: Addr) {
+        if let Some(audit) = &mut self.audit {
+            let captured = tx
+                .observed_captured(addr)
+                .expect("the site audit requires a TxConfig::classify runtime");
+            audit.record(in_clone, site, captured);
+        }
+    }
+
     /// One transactional step; returns `Some(pc)` on a taken branch.
+    /// `in_clone` distinguishes normal code's atomic regions from
+    /// transactional-clone execution for the site audit.
     fn step_tx(
         &mut self,
         tx: &mut Tx<'_, '_>,
         op: &Op,
         frame: &mut Frame,
-        _pc: usize,
+        in_clone: bool,
     ) -> TxResult<Option<usize>> {
         match op {
             Op::Const(r, v) => frame.regs[*r as usize] = *v,
@@ -279,14 +371,16 @@ impl<'p> Vm<'p> {
                 let addr = eff_addr(frame.regs[*a as usize], frame.regs[*i as usize]);
                 tx.store_direct(addr, frame.regs[*v as usize]);
             }
-            Op::LoadTx(d, a, i) => {
+            Op::LoadTx(d, a, i, site) => {
                 self.stats.tx_loads += 1;
                 let addr = eff_addr(frame.regs[*a as usize], frame.regs[*i as usize]);
+                self.audit_access(tx, in_clone, *site, addr);
                 frame.regs[*d as usize] = tx.read(&VM_LOAD, addr)?;
             }
-            Op::StoreTx(a, i, v) => {
+            Op::StoreTx(a, i, v, site) => {
                 self.stats.tx_stores += 1;
                 let addr = eff_addr(frame.regs[*a as usize], frame.regs[*i as usize]);
+                self.audit_access(tx, in_clone, *site, addr);
                 tx.write(&VM_STORE, addr, frame.regs[*v as usize])?;
             }
             Op::Malloc(d, s) => {

@@ -1,0 +1,279 @@
+//! Property-based soundness oracle for the interprocedural analysis
+//! (mirroring `dispatch_equiv`'s differential style): randomly generated
+//! TL programs with *helper functions* — guarded constructors, parameter
+//! initializers, pointer-returning factories, cross-helper aliasing —
+//! must satisfy, on every generated program:
+//!
+//! 1. **semantics** — naive, intraprocedural and interprocedural builds
+//!    produce bit-identical shared memory;
+//! 2. **superset** — the interprocedural pass elides every site the
+//!    intraprocedural pass elides ([`txcc::interproc::check_superset`],
+//!    also asserted inside `analyze_program` in debug builds);
+//! 3. **oracle** — running the *naive* build under the runtime's precise
+//!    capture tracker (`TxConfig::classify` + [`txcc::SiteAudit`]), every
+//!    site the interprocedural pass marks `Elide` — in the matching
+//!    compilation context — is observed captured on **all** executions.
+//!    An uncaptured execution of an elided site would be a
+//!    miscompilation; this is the machine-checked proof there is none.
+
+use proptest::prelude::*;
+use stm::{StmRuntime, TxConfig};
+use txcc::{build, interproc, OptLevel, Verdict, Vm};
+use txmem::MemConfig;
+
+const BLOCK_WORDS: u64 = 4;
+const SHARED_WORDS: u64 = 24;
+
+/// One statement of a generated helper body.
+#[derive(Clone, Debug)]
+enum HOp {
+    /// `p<i>[idx] = const`
+    StoreConst { p: u8, idx: u8, v: u16 },
+    /// `p<i>[idx] = p<j>` — parameter pointers cross-stored.
+    StoreParam { p: u8, idx: u8, q: u8 },
+    /// `if (p1 == 999983) { return 0; }` — a validation guard that is
+    /// never taken dynamically but statically poisons returns-captured.
+    Guard,
+}
+
+/// What the helper returns.
+#[derive(Clone, Copy, Debug)]
+enum HRet {
+    Param0,
+    Param1,
+    FreshBlock,
+    Const,
+}
+
+#[derive(Clone, Debug)]
+struct Helper {
+    ops: Vec<HOp>,
+    ret: HRet,
+}
+
+/// One statement of `main`'s atomic block.
+#[derive(Clone, Debug)]
+enum MOp {
+    /// `var b<k> = malloc(32);`
+    Alloc,
+    /// `var r<k> = h<h>(<ptr arg>, <ptr arg>);`
+    Call { h: u8, a0: u8, a1: u8 },
+    /// `<ptr>[idx] = const;`
+    Store { base: u8, idx: u8, v: u16 },
+    /// `var l<k> = <ptr>[idx];` (loaded values are data, never bases)
+    Load { base: u8, idx: u8 },
+    /// `s[16 + k] = <ptr>;`
+    Publish { k: u8, src: u8 },
+}
+
+fn helper_strategy() -> impl Strategy<Value = Helper> {
+    let op = prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u16>()).prop_map(|(p, idx, v)| HOp::StoreConst {
+            p,
+            idx,
+            v
+        }),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(p, idx, q)| HOp::StoreParam {
+            p,
+            idx,
+            q
+        }),
+        Just(HOp::Guard),
+    ];
+    (
+        proptest::collection::vec(op, 0..6),
+        prop_oneof![
+            Just(HRet::Param0),
+            Just(HRet::Param1),
+            Just(HRet::FreshBlock),
+            Just(HRet::Const),
+        ],
+    )
+        .prop_map(|(ops, ret)| Helper { ops, ret })
+}
+
+fn mop_strategy() -> impl Strategy<Value = MOp> {
+    prop_oneof![
+        Just(MOp::Alloc),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(h, a0, a1)| MOp::Call { h, a0, a1 }),
+        (any::<u8>(), any::<u8>(), any::<u16>()).prop_map(|(base, idx, v)| MOp::Store {
+            base,
+            idx,
+            v
+        }),
+        (any::<u8>(), any::<u8>()).prop_map(|(base, idx)| MOp::Load { base, idx }),
+        (any::<u8>(), any::<u8>()).prop_map(|(k, src)| MOp::Publish { k, src }),
+    ]
+}
+
+/// Render the generated ops as a TL program. Pointer-valued names are
+/// tracked so every dereference is dynamically valid: bases come from
+/// `s`, allocated blocks, and helper results whose return is provably a
+/// pointer (helpers only ever receive pointer arguments, and the guard's
+/// `return 0` branch never executes — arguments are real addresses, not
+/// the sentinel).
+fn render(helpers: &[Helper], mops: &[MOp]) -> String {
+    let mut src = String::new();
+    for (i, h) in helpers.iter().enumerate() {
+        src.push_str(&format!("fn h{i}(p0, p1) {{\n"));
+        let mut fresh = false;
+        if matches!(h.ret, HRet::FreshBlock) {
+            src.push_str(&format!("  var m = malloc({});\n", BLOCK_WORDS * 8));
+            fresh = true;
+        }
+        for op in &h.ops {
+            match *op {
+                HOp::StoreConst { p, idx, v } => {
+                    let p = p % 2;
+                    src.push_str(&format!("  p{p}[{}] = {v};\n", idx % BLOCK_WORDS as u8));
+                }
+                HOp::StoreParam { p, idx, q } => {
+                    let p = p % 2;
+                    let q = q % 2;
+                    src.push_str(&format!("  p{p}[{}] = p{q};\n", idx % BLOCK_WORDS as u8));
+                }
+                HOp::Guard => {
+                    src.push_str("  if (p1 == 999983) { return 0; }\n");
+                }
+            }
+        }
+        match h.ret {
+            HRet::Param0 => src.push_str("  return p0;\n"),
+            HRet::Param1 => src.push_str("  return p1;\n"),
+            HRet::FreshBlock if fresh => src.push_str("  return m;\n"),
+            HRet::FreshBlock | HRet::Const => src.push_str("  return 7;\n"),
+        }
+        src.push_str("}\n");
+    }
+    src.push_str("fn main(s, n) {\n  atomic {\n");
+    // Pointer-valued names available as bases/arguments; "s" is always
+    // index 0.
+    let mut ptrs: Vec<String> = vec!["s".into()];
+    let mut next = 0usize;
+    for op in mops {
+        match *op {
+            MOp::Alloc => {
+                let name = format!("b{next}");
+                next += 1;
+                src.push_str(&format!("    var {name} = malloc({});\n", BLOCK_WORDS * 8));
+                ptrs.push(name);
+            }
+            MOp::Call { h, a0, a1 } => {
+                if helpers.is_empty() {
+                    continue;
+                }
+                let h = (h as usize) % helpers.len();
+                let a0 = &ptrs[(a0 as usize) % ptrs.len()];
+                let a1 = &ptrs[(a1 as usize) % ptrs.len()];
+                let name = format!("r{next}");
+                next += 1;
+                src.push_str(&format!("    var {name} = h{h}({a0}, {a1});\n"));
+                // The result is a pointer unless the helper returns a
+                // constant; only pointer results join the base pool.
+                if !matches!(helpers[h].ret, HRet::Const) {
+                    ptrs.push(name);
+                }
+            }
+            MOp::Store { base, idx, v } => {
+                let b = &ptrs[(base as usize) % ptrs.len()];
+                src.push_str(&format!("    {b}[{}] = {v};\n", idx % BLOCK_WORDS as u8));
+            }
+            MOp::Load { base, idx } => {
+                let b = &ptrs[(base as usize) % ptrs.len()];
+                let name = format!("l{next}");
+                next += 1;
+                src.push_str(&format!(
+                    "    var {name} = {b}[{}];\n",
+                    idx % BLOCK_WORDS as u8
+                ));
+            }
+            MOp::Publish { k, src: sp } => {
+                let p = &ptrs[(sp as usize) % ptrs.len()];
+                src.push_str(&format!(
+                    "    s[{}] = {p};\n",
+                    16 + (k as u64 % (SHARED_WORDS - 16))
+                ));
+            }
+        }
+    }
+    src.push_str("  }\n  return 0;\n}\n");
+    src
+}
+
+/// Run one compiled build; returns the shared snapshot.
+fn run_snapshot(prog: &txcc::CompiledProgram) -> Vec<u64> {
+    let rt = StmRuntime::new(MemConfig::small(), TxConfig::default());
+    let shared = rt.alloc_global(SHARED_WORDS * 8);
+    let mut w = rt.spawn_worker();
+    let mut vm = Vm::new(prog);
+    vm.run(&mut w, "main", &[shared.raw(), 1]);
+    (0..SHARED_WORDS).map(|i| w.load(shared.word(i))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn interproc_elisions_are_sound_and_semantics_preserving(
+        helpers in proptest::collection::vec(helper_strategy(), 0..3),
+        mops in proptest::collection::vec(mop_strategy(), 1..14),
+    ) {
+        let src = render(&helpers, &mops);
+
+        // Analyses over the shared, desugared, non-inlined program.
+        let mut prog = txcc::parse(&src).unwrap();
+        txcc::capture::desugar_address_taken(&mut prog);
+        let inter = interproc::analyze_program(&prog);
+        prop_assert!(
+            interproc::check_superset(&prog, &inter).is_ok(),
+            "superset violated\n{src}"
+        );
+
+        // Semantics: all three pipelines agree on final shared memory.
+        let naive = txcc::compile(&prog, OptLevel::Naive);
+        let intra = txcc::compile(&prog, OptLevel::CaptureAnalysis);
+        let iproc = txcc::compile(&prog, OptLevel::CaptureInterproc);
+        let inlined = build(&src, OptLevel::CaptureAnalysis).unwrap();
+        let m_naive = run_snapshot(&naive);
+        prop_assert_eq!(&m_naive, &run_snapshot(&intra), "intra diverged\n{}", src);
+        prop_assert_eq!(&m_naive, &run_snapshot(&iproc), "interproc diverged\n{}", src);
+        prop_assert_eq!(&m_naive, &run_snapshot(&inlined), "inlined diverged\n{}", src);
+
+        // Oracle: audited naive run; every interprocedural Elide site must
+        // be observed captured on all executions in its context.
+        let mut cfg = TxConfig::default();
+        cfg.classify = true;
+        let rt = StmRuntime::new(MemConfig::small(), cfg);
+        let shared = rt.alloc_global(SHARED_WORDS * 8);
+        let mut w = rt.spawn_worker();
+        let mut vm = Vm::with_audit(&naive, prog.n_sites);
+        vm.run(&mut w, "main", &[shared.raw(), 1]);
+        let audit = vm.audit.take().unwrap();
+        for site in 0..prog.n_sites {
+            if inter.normal.verdicts[site] == Verdict::Elide {
+                prop_assert!(
+                    audit.normal[site].always_captured(),
+                    "site {site} elided (normal) but observed uncaptured\n{src}"
+                );
+            }
+            if inter.tx.verdicts[site] == Verdict::Elide {
+                prop_assert!(
+                    audit.tx[site].always_captured(),
+                    "site {site} elided (tx clone) but observed uncaptured\n{src}"
+                );
+            }
+        }
+
+        // Monotonicity of the whole pipeline, dynamically: the interproc
+        // build executes no more barriers than the intraproc build.
+        let count_tx = |p: &txcc::CompiledProgram| {
+            let rt = StmRuntime::new(MemConfig::small(), TxConfig::default());
+            let shared = rt.alloc_global(SHARED_WORDS * 8);
+            let mut w = rt.spawn_worker();
+            let mut vm = Vm::new(p);
+            vm.run(&mut w, "main", &[shared.raw(), 1]);
+            vm.stats.tx_loads + vm.stats.tx_stores
+        };
+        prop_assert!(count_tx(&iproc) <= count_tx(&intra), "{}", src);
+    }
+}

@@ -110,7 +110,7 @@ impl ThreadAlloc {
 /// The allocator itself is *not* transactional: the STM layer on top logs
 /// transactional allocations and frees, undoing allocations on abort and
 /// deferring frees to commit. This matches the paper's design where the
-/// transactional memory allocator wraps a scalable malloc (ref [11]) and the
+/// transactional memory allocator wraps a scalable malloc (ref \[11\]) and the
 /// allocation log lives in the transaction descriptor.
 ///
 /// Concurrency structure (no single global lock):

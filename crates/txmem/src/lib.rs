@@ -15,7 +15,7 @@
 //!   begin; `sp` is the live stack top).
 //! * [`TxHeap`]/[`ThreadAlloc`] — a size-class allocator with per-thread free
 //!   lists, a lock-free bump frontier, and thread-striped recycled-block
-//!   shards, mirroring McRT-Malloc (paper ref [11]) without any global lock.
+//!   shards, mirroring McRT-Malloc (paper ref \[11\]) without any global lock.
 //!
 //! All transactional workloads (the STAMP-like suite, the `txcc` VM) store
 //! their data in this address space, which is what makes the paper's capture

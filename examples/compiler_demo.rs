@@ -96,20 +96,29 @@ fn run(opt: OptLevel) -> (u64, u64, txcc::vm::VmStats) {
 fn main() {
     let (sum_naive, len_naive, naive) = run(OptLevel::Naive);
     let (sum_opt, len_opt, opt) = run(OptLevel::CaptureAnalysis);
+    let (sum_inter, len_inter, inter) = run(OptLevel::CaptureInterproc);
 
     assert_eq!(len_naive, 2000);
     assert_eq!(len_opt, 2000);
+    assert_eq!(len_inter, 2000);
     assert_eq!(sum_naive, sum_opt, "same program, same answer");
+    assert_eq!(sum_naive, sum_inter, "same program, same answer");
 
     let naive_total = naive.tx_loads + naive.tx_stores;
     let opt_total = opt.tx_loads + opt.tx_stores;
+    let inter_total = inter.tx_loads + inter.tx_stores;
     println!();
-    println!("barriers executed (naive)            : {naive_total}");
-    println!("barriers executed (capture analysis) : {opt_total}");
+    println!("barriers executed (naive)             : {naive_total}");
+    println!("barriers executed (capture analysis)  : {opt_total}");
+    println!("barriers executed (interprocedural)   : {inter_total}");
     println!(
         "removed by the compiler               : {:.1}%",
         100.0 * (naive_total - opt_total) as f64 / naive_total as f64
     );
     assert!(opt_total < naive_total);
-    println!("ok: both compilations agree, sum = {sum_opt}");
+    assert!(
+        inter_total <= opt_total,
+        "the summary pass never executes more barriers"
+    );
+    println!("ok: all compilations agree, sum = {sum_opt}");
 }

@@ -7,7 +7,7 @@
 //! cargo run --release --example stamp_runner -- all 4 compiler
 //! ```
 //!
-//! Arguments: `<benchmark|all> [threads] [baseline|tree|array|filter|compiler]`.
+//! Arguments: `<benchmark|all> [threads] [baseline|tree|array|filter|compiler|compiler-interproc]`.
 
 use stamp::{Benchmark, Scale};
 use stm::{CheckScope, LogKind, Mode, TxConfig};
@@ -32,6 +32,7 @@ fn parse_mode(s: &str) -> Option<Mode> {
     Some(match s {
         "baseline" => Mode::Baseline,
         "compiler" => Mode::Compiler,
+        "compiler-interproc" => Mode::CompilerInterproc,
         "tree" => Mode::Runtime {
             log: LogKind::Tree,
             scope: CheckScope::FULL,
@@ -72,7 +73,9 @@ fn main() {
     let threads: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
     let mode = args
         .get(2)
-        .map(|s| parse_mode(s).expect("mode: baseline|tree|array|filter|compiler"))
+        .map(|s| {
+            parse_mode(s).expect("mode: baseline|tree|array|filter|compiler|compiler-interproc")
+        })
         .unwrap_or(Mode::Runtime {
             log: LogKind::Tree,
             scope: CheckScope::FULL,

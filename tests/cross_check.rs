@@ -128,6 +128,140 @@ fn stamp_site_patterns_match_their_tl_equivalents() {
 }
 
 #[test]
+fn factory_return_matches_captured_interproc_tag() {
+    // DESIGN.md §4.2: `Site::captured_interproc` for intruder's
+    // flow-record init writes — the record comes out of a constructor too
+    // big for bounded inlining (`alloc_flow_record` ↔ STAMP TMFLOW_ALLOC),
+    // so the intraprocedural pipelines keep the caller's barriers and the
+    // interprocedural returns-captured summary removes them.
+    let factory_body: String = (3..26).map(|i| format!("r[{i}] = 0; ")).collect();
+    let src = format!(
+        "fn mk_flow(expect) {{ var r = malloc(224); r[1] = expect; {factory_body}return r; }}
+         fn handle(s) {{
+             atomic {{
+                 var r = mk_flow(4);
+                 r[0] = 1;
+                 r[2] = s[0];
+                 s[0] = r;
+             }}
+             return 0;
+         }}"
+    );
+    // Intraprocedural, even with inlining (the factory exceeds the
+    // inliner's statement budget): the caller's init writes stay barriers.
+    let inlined = build(&src, OptLevel::CaptureAnalysis).unwrap();
+    let mut prog = txcc::parse(&src).unwrap();
+    txcc::capture::desugar_address_taken(&mut prog);
+    let intra = txcc::analyze_program(&prog);
+    let inter = txcc::interproc::analyze_program(&prog);
+    // r[0] = 1, r[2] = s[0] (write): interproc-only.
+    assert_eq!(
+        inter.normal.elided(),
+        intra.elided() + 2,
+        "the two caller-side init writes are the interprocedural delta"
+    );
+    assert_eq!(
+        inlined.stats.elided, 0,
+        "bounded inlining must not reach the oversized factory"
+    );
+}
+
+#[test]
+fn constructor_param_matches_captured_interproc_tag() {
+    // DESIGN.md §4.2: `Site::captured_interproc` for vacation's resource
+    // init — the caller allocates, `resource_init` (↔ reservation_alloc,
+    // whose validation guard is an early return) initializes through the
+    // pointer. Parameter capture is a meet over transactional call sites.
+    let src = "fn res_init(rec, total, price) {
+                   if (total == 0) { return 0; }
+                   rec[0] = total;
+                   rec[1] = total;
+                   rec[2] = price;
+                   return 1;
+               }
+               fn add(s, id) {
+                   atomic {
+                       var rec = malloc(24);
+                       var z = res_init(rec, 50, 90);
+                       s[id] = rec;
+                   }
+                   return 0;
+               }
+               fn refresh(s, id) {
+                   atomic {
+                       var rec = malloc(24);
+                       var z = res_init(rec, 70, 10);
+                       s[id + 1] = rec;
+                   }
+                   return 0;
+               }";
+    let mut prog = txcc::parse(src).unwrap();
+    txcc::capture::desugar_address_taken(&mut prog);
+    let inter = txcc::interproc::analyze_program(&prog);
+    // The early return defeats inlining, so the intraprocedural pipeline
+    // cannot elide the constructor's stores in any caller...
+    let inlined = build(src, OptLevel::CaptureAnalysis).unwrap();
+    assert_eq!(inlined.stats.elided, 0);
+    // ...while both transactional call sites pass captured memory, so the
+    // interprocedural clone elides all three.
+    assert_eq!(inter.tx.elided(), 3, "rec[0], rec[1], rec[2] in the clone");
+}
+
+#[test]
+fn field_awareness_sees_through_read_your_own_write() {
+    // Publish-then-reload at a *constant* offset: within one transaction
+    // the store holds the orec lock, so the reload provably returns our
+    // own value — the field-aware pass keeps the capture fact and elides
+    // the downstream store. (The intraprocedural pass cannot: its loads
+    // always forget.)
+    let src = "fn f(s) {
+        atomic {
+            var p = malloc(16);
+            s[0] = p;           // publish (barrier: shared write)
+            var q = s[0];       // reload: read-your-own-write
+            q[0] = 7;           // statically elided, field-aware
+        }
+        return 0;
+    }";
+    let mut prog = txcc::parse(src).unwrap();
+    txcc::capture::desugar_address_taken(&mut prog);
+    let inter = txcc::interproc::analyze_program(&prog);
+    let intra = txcc::analyze_program(&prog);
+    assert_eq!(inter.normal.elided(), 1, "q[0] = 7 only");
+    assert_eq!(intra.elided(), 0);
+}
+
+#[test]
+fn runtime_analysis_still_subsumes_interproc_static() {
+    // The precision order must remain: runtime tree ⊇ interprocedural ⊇
+    // intraprocedural. A reload at a *data-dependent* offset is the
+    // residue only the runtime log can catch: statically the index is
+    // unknown, dynamically it is 0 and the loaded pointer is captured.
+    let src = "fn f(s) {
+        atomic {
+            var p = malloc(16);
+            var k = s[2];       // unknown index (dynamically 0)
+            s[0] = p;           // publish
+            var q = s[k];       // fact unreachable: non-constant offset
+            q[0] = 7;           // static: barrier; runtime: elided
+        }
+        return 0;
+    }";
+    let mut prog = txcc::parse(src).unwrap();
+    txcc::capture::desugar_address_taken(&mut prog);
+    let inter = txcc::interproc::analyze_program(&prog);
+    assert_eq!(inter.normal.elided(), 0, "nothing statically elidable here");
+    // The runtime tree elides q[0] = 7 (and nothing else captured).
+    let naive = build(src, OptLevel::Naive).unwrap();
+    let rt = StmRuntime::new(MemConfig::small(), TxConfig::runtime_tree_full());
+    let shared = rt.alloc_global(64 * 8);
+    let mut w = rt.spawn_worker();
+    let mut vm = Vm::new(&naive);
+    vm.run(&mut w, "f", &[shared.raw()]);
+    assert!(w.stats.reads.elided() + w.stats.writes.elided() >= 1);
+}
+
+#[test]
 fn inlined_helper_matches_captured_local_tag() {
     // The collections' helpers are `captured_local` because the paper's
     // compiler inlines small functions: prove the analysis only elides

@@ -14,6 +14,10 @@ use stm::{Mode, TxConfig};
 
 #[test]
 fn compiler_elides_tags_are_sound_on_every_benchmark() {
+    // `static_violations` now covers *both* static tags: the classifier
+    // checks `compiler_elides_interproc`, which `compiler_elides` implies
+    // (constructor invariant, asserted in stm's site tests). Zero here
+    // therefore proves the intraprocedural AND interprocedural tags sound.
     for b in Benchmark::ALL {
         let mut cfg = TxConfig::with_mode(Mode::Baseline);
         cfg.classify = true;
@@ -23,11 +27,43 @@ fn compiler_elides_tags_are_sound_on_every_benchmark() {
         assert_eq!(
             all.static_violations,
             0,
-            "{}: {} accesses at compiler_elides sites were not captured",
+            "{}: {} accesses at statically-elidable sites were not captured",
             b.name(),
             all.static_violations
         );
     }
+}
+
+#[test]
+fn interproc_mode_is_sound_and_never_weaker() {
+    // Under Mode::CompilerInterproc every benchmark still verifies, and
+    // the mode's total elisions dominate plain compiler mode on every
+    // benchmark (strictly on the ones carrying captured_interproc sites).
+    let mut strictly_better = 0;
+    for b in Benchmark::ALL {
+        // One thread: retries would make barrier counts nondeterministic.
+        let intra = b.run(Scale::Test, TxConfig::with_mode(Mode::Compiler), 1);
+        let inter = b.run(Scale::Test, TxConfig::with_mode(Mode::CompilerInterproc), 1);
+        assert!(intra.verified && inter.verified, "{}", b.name());
+        let (ei, eo) = (
+            intra.stats.all_accesses().elided(),
+            inter.stats.all_accesses().elided(),
+        );
+        assert!(
+            eo >= ei,
+            "{}: interproc mode elided less ({eo} < {ei})",
+            b.name()
+        );
+        if eo > ei {
+            strictly_better += 1;
+        }
+        // The interproc-only counter moves only in interproc mode.
+        assert_eq!(intra.stats.all_accesses().elided_static_interproc, 0);
+    }
+    assert!(
+        strictly_better >= 2,
+        "vacation and intruder carry captured_interproc sites"
+    );
 }
 
 #[test]

@@ -8,7 +8,7 @@ use stamp::{Benchmark, Scale};
 use stm::{CheckScope, LogKind, Mode, TxConfig};
 
 fn all_modes() -> Vec<Mode> {
-    let mut v = vec![Mode::Baseline, Mode::Compiler];
+    let mut v = vec![Mode::Baseline, Mode::Compiler, Mode::CompilerInterproc];
     for log in LogKind::ALL {
         v.push(Mode::Runtime {
             log,
@@ -47,6 +47,7 @@ fn every_benchmark_verifies_multithreaded() {
                 scope: CheckScope::FULL,
             },
             Mode::Compiler,
+            Mode::CompilerInterproc,
         ] {
             let out = b.run(Scale::Test, TxConfig::with_mode(mode), 4);
             assert!(out.verified, "{} failed under {mode:?} @4T", b.name());
