@@ -58,6 +58,16 @@ fn meet(a: Abs, b: Abs) -> Abs {
     }
 }
 
+/// Overlay per-function verdicts onto a program-wide vector: `Outside`
+/// means "this pass never saw the site" and loses to any real verdict.
+pub(crate) fn merge_verdicts(into: &mut [Verdict], from: &[Verdict]) {
+    for (dst, src) in into.iter_mut().zip(from) {
+        if *src != Verdict::Outside {
+            *dst = *src;
+        }
+    }
+}
+
 /// Analysis output for a whole program.
 #[derive(Clone, Debug)]
 pub struct AnalysisResult {

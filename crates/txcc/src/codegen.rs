@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use crate::ast::{address_taken, BinOp, Expr, Function, Program, Stmt, UnOp};
-use crate::capture::{analyze_function, desugar_address_taken, Verdict};
+use crate::capture::{analyze_function, desugar_address_taken, merge_verdicts, Verdict};
 
 /// How much static capture analysis the compiler applies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -123,11 +123,11 @@ fn analyze_for(prog: &Program, opt: OptLevel) -> Option<ProgramVerdicts> {
             let mut normal = vec![Verdict::Outside; prog.n_sites];
             let mut tx = vec![Verdict::Outside; prog.n_sites];
             for f in &prog.functions {
-                merge(
+                merge_verdicts(
                     &mut normal,
                     &analyze_function(f, prog.n_sites, false).verdicts,
                 );
-                merge(&mut tx, &analyze_function(f, prog.n_sites, true).verdicts);
+                merge_verdicts(&mut tx, &analyze_function(f, prog.n_sites, true).verdicts);
             }
             Some(ProgramVerdicts { normal, tx })
         }
@@ -137,14 +137,6 @@ fn analyze_for(prog: &Program, opt: OptLevel) -> Option<ProgramVerdicts> {
                 normal: r.normal.verdicts,
                 tx: r.tx.verdicts,
             })
-        }
-    }
-}
-
-fn merge(into: &mut [Verdict], from: &[Verdict]) {
-    for (dst, src) in into.iter_mut().zip(from) {
-        if *src != Verdict::Outside {
-            *dst = *src;
         }
     }
 }

@@ -83,7 +83,7 @@
 use std::collections::HashMap;
 
 use crate::ast::{BinOp, Expr, Program, Stmt};
-use crate::capture::{AnalysisResult, Verdict};
+use crate::capture::{merge_verdicts, AnalysisResult, Verdict};
 
 /// Bitmask over a function's parameters (bit i = parameter i). Functions
 /// with more than 32 parameters fall back to bottom summaries.
@@ -342,6 +342,10 @@ struct Pass<'a> {
     blocks: Vec<BlockInfo>,
     malloc_ids: HashMap<usize, BlockId>,
     slot_ids: HashMap<String, BlockId>,
+    /// Declaration-site (`Stmt` address) → slot block, so re-executing a
+    /// declaration (loop fixpoint iterations) reuses its block instead of
+    /// allocating a fresh one per iteration, mirroring `malloc_ids`.
+    slot_decl_ids: HashMap<usize, BlockId>,
     atomic_locals: Vec<String>,
     in_atomic: u32,
     loop_depth: u32,
@@ -371,6 +375,7 @@ impl<'a> Pass<'a> {
             blocks: Vec::new(),
             malloc_ids: HashMap::new(),
             slot_ids: HashMap::new(),
+            slot_decl_ids: HashMap::new(),
             atomic_locals: Vec::new(),
             in_atomic: u32::from(assume_atomic),
             loop_depth: 0,
@@ -543,11 +548,12 @@ impl<'a> Pass<'a> {
     /// this applies the callee summary to the state and returns the
     /// result's abstract value.
     fn call_effect(&mut self, st: &mut State, name: &str, args: &[Abs]) -> Abs {
-        let (callee, summary) = match self.fn_index.get(name) {
-            Some(&i) if self.prog.functions[i].params.len() == args.len() && args.len() <= 32 => {
-                (Some(i), self.summaries[i].clone())
-            }
-            _ => (None, FnSummary::bottom(args.len())),
+        let known = self.fn_index.get(name).copied();
+        let exact = known
+            .filter(|&i| self.prog.functions[i].params.len() == args.len() && args.len() <= 32);
+        let summary = match exact {
+            Some(i) => self.summaries[i].clone(),
+            None => FnSummary::bottom(args.len()),
         };
         let in_tx = self.transactional();
         if !in_tx {
@@ -558,11 +564,24 @@ impl<'a> Pass<'a> {
             return Abs::Unknown;
         }
         if self.record {
-            if let Some(callee) = callee {
+            if let Some(callee) = exact {
                 self.calls.push(CallSite {
                     caller: self.fun_idx,
                     callee,
                     args: args.iter().map(|a| a.cap()).collect(),
+                });
+            } else if let Some(callee) = known {
+                // Arity-mismatched (or >32-argument) call to a *known*
+                // function: the VM still executes it, zero-padding missing
+                // frame registers, so the call-graph edge must exist for
+                // phase 3. We do not model the padded frame, so the edge
+                // marks every callee parameter not-captured (`Cap::Never`
+                // never resolves, clearing the whole `param_captured`
+                // mask) — the callee clone keeps all its barriers.
+                self.calls.push(CallSite {
+                    caller: self.fun_idx,
+                    callee,
+                    args: vec![Cap::Never; self.prog.functions[callee].params.len()],
                 });
             }
         }
@@ -742,7 +761,10 @@ impl<'a> Pass<'a> {
         for s in body {
             match s {
                 Stmt::VarDecl(x, init) => {
-                    if self.transactional() {
+                    // Membership is all `AddrOf` checks, so dedupe on push:
+                    // loop-fixpoint re-executions would otherwise grow the
+                    // vec by one duplicate per iteration.
+                    if self.transactional() && !self.atomic_locals.iter().any(|l| l == x) {
                         self.atomic_locals.push(x.clone());
                     }
                     let v = match init {
@@ -752,12 +774,11 @@ impl<'a> Pass<'a> {
                             // initializer-less declarations (the desugar
                             // pass splits `var x = e` into decl + store),
                             // so every one of them passes through here:
-                            // give it a fresh one-word slot block per
-                            // declaration site (a loop-carried
-                            // re-declaration marks it a summary block).
-                            // Plain register locals harmlessly get an
-                            // unused slot id.
-                            self.register_slot(x);
+                            // give it a one-word slot block per
+                            // declaration site (under a loop it is a
+                            // summary block). Plain register locals
+                            // harmlessly get an unused slot id.
+                            self.register_slot(s, x);
                             Abs::Const(0)
                         }
                     };
@@ -863,9 +884,21 @@ impl<'a> Pass<'a> {
     }
 
     /// Register the slot block for an address-taken local at declaration.
-    fn register_slot(&mut self, name: &str) {
-        let summary = self.loop_depth > 0;
-        let b = self.add_block(BlockKind::Own, Some(8), summary);
+    /// Blocks are cached by declaration-site identity (as `malloc_ids`
+    /// caches malloc blocks) so loop-fixpoint re-executions reuse the same
+    /// block; a declaration under a loop is a summary block from creation
+    /// (`block_stmts` on a loop body only runs with `loop_depth > 0`).
+    fn register_slot(&mut self, decl: &Stmt, name: &str) {
+        let key = decl as *const Stmt as usize;
+        let b = match self.slot_decl_ids.get(&key) {
+            Some(&b) => b,
+            None => {
+                let summary = self.loop_depth > 0;
+                let b = self.add_block(BlockKind::Own, Some(8), summary);
+                self.slot_decl_ids.insert(key, b);
+                b
+            }
+        };
         self.slot_ids.insert(name.to_string(), b);
     }
 }
@@ -1053,14 +1086,6 @@ pub fn check_superset(prog: &Program, result: &InterprocResult) -> Result<(), St
         }
     }
     Ok(())
-}
-
-fn merge_verdicts(into: &mut [Verdict], from: &[Verdict]) {
-    for (dst, src) in into.iter_mut().zip(from) {
-        if *src != Verdict::Outside {
-            *dst = *src;
-        }
-    }
 }
 
 #[cfg(test)]
@@ -1355,6 +1380,38 @@ mod tests {
         let (_, r) = analyze(&src);
         assert_eq!(r.normal.elided(), 0, "v1 is shared after 12 iterations");
         assert_eq!(r.normal.barriers(), 1);
+    }
+
+    #[test]
+    fn arity_mismatched_call_clears_param_capture() {
+        // The parser, codegen and VM all accept arity-mismatched calls to
+        // known functions (extra arguments land in scratch registers,
+        // missing ones are zero-padded), so the `g(s, 0)` edge is real: it
+        // passes the *shared* parameter, and the meet over call sites must
+        // keep g's stores barriers even though `g(q)` passes captured
+        // memory. Regression: the edge used to be silently dropped,
+        // leaving `param_captured[g]` optimistic — an unsound elision.
+        let src = "fn g(p) { p[0] = 1; if (p[0] > 100) { return 0; } return 1; }\n\
+                   fn main(s) { atomic { var q = malloc(8); var z = g(q); var w = g(s, 0); } return 0; }";
+        let (p, r) = analyze(src);
+        let g = p.function_index("g").unwrap();
+        assert_eq!(r.param_captured[g], 0, "mismatched edge clears the mask");
+        assert_eq!(r.tx.elided(), 0, "g's clone keeps its barriers");
+    }
+
+    #[test]
+    fn arity_mismatched_clone_to_clone_edge_is_recorded() {
+        // The mismatched call sits inside a helper clone (a clone→clone
+        // edge, phase 2b), not in an atomic seed: mid's clone forwards the
+        // shared pointer to g with an extra argument. The edge must still
+        // shrink `param_captured[g]` past the exact captured call `g(a)`.
+        let src = "fn g(p) { p[0] = 1; if (p[0] > 100) { return 0; } return 1; }\n\
+                   fn mid(q) { var z = g(q, 0); if (z > 100) { return 0; } return z; }\n\
+                   fn main(s) { atomic { var a = malloc(8); var z1 = g(a); var z2 = mid(s); } return 0; }";
+        let (p, r) = analyze(src);
+        let g = p.function_index("g").unwrap();
+        assert_eq!(r.param_captured[g], 0, "clone edge clears the mask");
+        assert_eq!(r.tx.elided(), 0, "g's clone keeps its barriers");
     }
 
     #[test]

@@ -58,6 +58,12 @@ enum MOp {
     Alloc,
     /// `var r<k> = h<h>(<ptr arg>, <ptr arg>);`
     Call { h: u8, a0: u8, a1: u8 },
+    /// `var r<k> = h<h>(<ptr arg>, <ptr arg>, 5);` — arity-mismatched
+    /// call: the VM drops the extra argument into a scratch register and
+    /// executes the helper normally, but the analysis must treat the edge
+    /// conservatively (regression: these edges were once dropped from the
+    /// call records, leaving `param_captured` unsoundly optimistic).
+    CallExtra { h: u8, a0: u8, a1: u8 },
     /// `<ptr>[idx] = const;`
     Store { base: u8, idx: u8, v: u16 },
     /// `var l<k> = <ptr>[idx];` (loaded values are data, never bases)
@@ -96,6 +102,11 @@ fn mop_strategy() -> impl Strategy<Value = MOp> {
     prop_oneof![
         Just(MOp::Alloc),
         (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(h, a0, a1)| MOp::Call { h, a0, a1 }),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(h, a0, a1)| MOp::CallExtra {
+            h,
+            a0,
+            a1
+        }),
         (any::<u8>(), any::<u8>(), any::<u16>()).prop_map(|(base, idx, v)| MOp::Store {
             base,
             idx,
@@ -158,16 +169,18 @@ fn render(helpers: &[Helper], mops: &[MOp]) -> String {
                 src.push_str(&format!("    var {name} = malloc({});\n", BLOCK_WORDS * 8));
                 ptrs.push(name);
             }
-            MOp::Call { h, a0, a1 } => {
+            MOp::Call { h, a0, a1 } | MOp::CallExtra { h, a0, a1 } => {
                 if helpers.is_empty() {
                     continue;
                 }
+                let extra = matches!(op, MOp::CallExtra { .. });
                 let h = (h as usize) % helpers.len();
                 let a0 = &ptrs[(a0 as usize) % ptrs.len()];
                 let a1 = &ptrs[(a1 as usize) % ptrs.len()];
                 let name = format!("r{next}");
                 next += 1;
-                src.push_str(&format!("    var {name} = h{h}({a0}, {a1});\n"));
+                let tail = if extra { ", 5" } else { "" };
+                src.push_str(&format!("    var {name} = h{h}({a0}, {a1}{tail});\n"));
                 // The result is a pointer unless the helper returns a
                 // constant; only pointer results join the base pool.
                 if !matches!(helpers[h].ret, HRet::Const) {
@@ -208,6 +221,42 @@ fn run_snapshot(prog: &txcc::CompiledProgram) -> Vec<u64> {
     let mut vm = Vm::new(prog);
     vm.run(&mut w, "main", &[shared.raw(), 1]);
     (0..SHARED_WORDS).map(|i| w.load(shared.word(i))).collect()
+}
+
+/// The review repro for the dropped-edge unsoundness: `g` is called with
+/// an exact captured argument *and* with an arity-mismatched call passing
+/// the shared parameter. The VM executes both, so `g`'s clone must keep
+/// its barriers; the audit oracle proves no elided site ever executes
+/// against uncaptured memory.
+#[test]
+fn arity_mismatched_call_is_not_unsoundly_elided() {
+    let src = "fn g(p) { p[0] = 1; if (p[0] > 100) { return 0; } return 1; }\n\
+               fn main(s, n) { atomic { var q = malloc(8); var z = g(q); var w = g(s, 0); } return 0; }";
+    let mut prog = txcc::parse(src).unwrap();
+    txcc::capture::desugar_address_taken(&mut prog);
+    let inter = interproc::analyze_program(&prog);
+    interproc::check_superset(&prog, &inter).unwrap();
+
+    let naive = txcc::compile(&prog, OptLevel::Naive);
+    let iproc = txcc::compile(&prog, OptLevel::CaptureInterproc);
+    assert_eq!(run_snapshot(&naive), run_snapshot(&iproc), "semantics diverged");
+
+    let mut cfg = TxConfig::default();
+    cfg.classify = true;
+    let rt = StmRuntime::new(MemConfig::small(), cfg);
+    let shared = rt.alloc_global(SHARED_WORDS * 8);
+    let mut w = rt.spawn_worker();
+    let mut vm = Vm::with_audit(&naive, prog.n_sites);
+    vm.run(&mut w, "main", &[shared.raw(), 1]);
+    let audit = vm.audit.take().unwrap();
+    for site in 0..prog.n_sites {
+        if inter.tx.verdicts[site] == Verdict::Elide {
+            assert!(
+                audit.tx[site].always_captured(),
+                "site {site} elided (tx clone) but observed uncaptured"
+            );
+        }
+    }
 }
 
 proptest! {
