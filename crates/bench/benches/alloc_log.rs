@@ -1,9 +1,9 @@
 //! Microbenchmarks of the three allocation-log data structures (paper
-//! §3.1.2): insert cost, hit cost, and — crucial for barriers that gain
-//! nothing — miss cost, as a function of how many blocks the transaction
-//! has allocated.
+//! §3.1.2) plus the nursery bump-region classifier: insert cost, hit
+//! cost, and — crucial for barriers that gain nothing — miss cost, as a
+//! function of how many blocks the transaction has allocated.
 
-use capture::{LogImpl, LogKind};
+use capture::{LogImpl, LogKind, NurseryLog};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_alloc_log(c: &mut Criterion) {
@@ -57,6 +57,42 @@ fn bench_alloc_log(c: &mut Criterion) {
                 },
             );
         }
+    }
+    // The nursery rows: unlike the logs above, "insert" is a bump (no
+    // per-word marking, no tree rebalance) and classification is the
+    // two-compare scalar range test — block count cannot affect either.
+    for &n in &[1usize, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("insert_nursery", n), &n, |b, &n| {
+            let mut nur = NurseryLog::new();
+            b.iter(|| {
+                nur.begin();
+                nur.switch_region(0x10000, 1 << 20);
+                for _ in 0..n {
+                    std::hint::black_box(nur.try_alloc(64));
+                }
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("hit_nursery", n), &n, |b, &n| {
+            let mut nur = NurseryLog::new();
+            nur.begin();
+            nur.switch_region(0x10000, 1 << 20);
+            for _ in 0..n {
+                nur.try_alloc(64);
+            }
+            let probe = 0x10000 + (n as u64 / 2) * 64 + 32;
+            b.iter(|| nur.classify(probe))
+        });
+
+        g.bench_with_input(BenchmarkId::new("miss_nursery", n), &n, |b, &n| {
+            let mut nur = NurseryLog::new();
+            nur.begin();
+            nur.switch_region(0x10000, 1 << 20);
+            for _ in 0..n {
+                nur.try_alloc(64);
+            }
+            b.iter(|| nur.classify(0xdead_0000))
+        });
     }
     g.finish();
 }

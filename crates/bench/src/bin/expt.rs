@@ -13,7 +13,19 @@
 //!                                # with --out
 //! expt barriers [--max-ratio F]  # barrier_dispatch microbenchmark (Markdown);
 //!                                # exits 1 if captured/direct ratio exceeds F
-//! expt bench-json [--out FILE]   # BENCH_barriers.json emitter
+//! expt bench-json [--out FILE] [--benchmarks a,b] [--max-nursery-ratio F]
+//!                                # BENCH_barriers.json emitter.
+//!                                # --benchmarks restricts the STAMP rows to a
+//!                                # comma-separated subset (CI smoke runs only
+//!                                # vacation+intruder); --max-nursery-ratio
+//!                                # gates `captured heap hit/nursery` vs
+//!                                # `direct` (release builds only — debug
+//!                                # timings are meaningless and skip with a
+//!                                # note)
+//! expt nursery [--benchmarks a,b]
+//!                                # nursery-on vs nursery-off across STAMP
+//!                                # (runtime-tree fallback), with scalar-hit
+//!                                # share and region telemetry
 //! expt scaling [--out FILE] [--min-speedup F]
 //!                                # STAMP at 1/2/4/8 threads x {baseline,
 //!                                # runtime-tree, compiler}; Markdown to
@@ -32,9 +44,9 @@ use stamp::Scale;
 fn usage() -> ! {
     eprintln!(
         "usage: expt <fig8|fig9|fig10|fig11a|fig11b|table1|table2|annotations|orec|check|\
-         barriers|bench-json|scaling|elision|all> \
+         barriers|bench-json|scaling|elision|nursery|all> \
          [--scale test|small|full] [--threads N] [--runs K] [--out FILE] [--max-ratio F] \
-         [--min-speedup F]"
+         [--min-speedup F] [--benchmarks a,b] [--max-nursery-ratio F]"
     );
     std::process::exit(2);
 }
@@ -54,6 +66,8 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut max_ratio: Option<f64> = None;
     let mut min_speedup: Option<f64> = None;
+    let mut max_nursery_ratio: Option<f64> = None;
+    let mut benchmarks: Option<Vec<stamp::Benchmark>> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -68,6 +82,20 @@ fn main() {
                         .and_then(|s| s.parse::<f64>().ok())
                         .unwrap_or_else(|| usage()),
                 );
+            }
+            "--max-nursery-ratio" => {
+                i += 1;
+                max_nursery_ratio = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--benchmarks" => {
+                i += 1;
+                let spec = args.get(i).cloned().unwrap_or_else(|| usage());
+                benchmarks =
+                    Some(bench::report::parse_benchmark_filter(&spec).unwrap_or_else(|e| fail(&e)));
             }
             "--min-speedup" => {
                 i += 1;
@@ -155,10 +183,35 @@ fn main() {
             }
         }
         "bench-json" => {
-            let json = bench::report::bench_json(&opts, &bench::micro::MicroOpts::default());
+            let micro = bench::micro::MicroOpts::default();
+            let results = bench::micro::barrier_dispatch(&micro);
+            let json = bench::report::bench_json_from(&opts, &results, benchmarks.as_deref());
             let path = out_path.as_deref().unwrap_or("BENCH_barriers.json");
             std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
             eprintln!("# wrote {path}");
+            if let Some(max) = max_nursery_ratio {
+                // Regression gate (CI): the nursery's two-compare captured
+                // heap hit must stay within `max` of the raw-access floor.
+                // Debug timings are meaningless; skip with a note there.
+                if cfg!(debug_assertions) {
+                    eprintln!("# nursery ratio gate skipped: debug build");
+                } else {
+                    let ratio = bench::micro::nursery_ratio(&results)
+                        .expect("nursery pin missing from results");
+                    if ratio > max {
+                        eprintln!(
+                            "# FAIL: nursery ratio {ratio:.2} exceeds \
+                             --max-nursery-ratio {max:.2}"
+                        );
+                        std::process::exit(1);
+                    }
+                    eprintln!("# nursery ratio {ratio:.2} within --max-nursery-ratio {max:.2}");
+                }
+            }
+        }
+        "nursery" => {
+            let rows = bench::nursery::nursery_rows(&opts, benchmarks.as_deref());
+            print!("{}", bench::nursery::render_markdown(&opts, &rows));
         }
         "scaling" => {
             let rows = bench::scaling::scaling_rows(&opts);

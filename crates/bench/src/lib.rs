@@ -8,6 +8,7 @@
 
 pub mod elision;
 pub mod micro;
+pub mod nursery;
 pub mod report;
 pub mod scaling;
 

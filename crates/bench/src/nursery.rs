@@ -1,0 +1,133 @@
+//! The nursery-on vs nursery-off experiment (ISSUE 4): the same runtime
+//! capture analysis (tree log, full scope) across STAMP, with and without
+//! per-transaction nursery allocation, plus the nursery's own telemetry
+//! (scalar-hit share, regions carved, bytes recycled wholesale).
+
+use stamp::Benchmark;
+use stm::TxConfig;
+
+use crate::{median, time_runs, ExptOpts};
+
+/// One benchmark's comparison row.
+#[derive(Clone, Debug)]
+pub struct NurseryRow {
+    pub benchmark: &'static str,
+    /// Median seconds under runtime-tree (nursery off).
+    pub tree_s: f64,
+    /// Median seconds under runtime-tree+nursery.
+    pub nursery_s: f64,
+    /// Barriers whose verdict came from the nursery scalar range.
+    pub nursery_hits: u64,
+    /// Heap-elided + parent-captured barriers (the population the nursery
+    /// competes for).
+    pub heap_verdicts: u64,
+    pub regions: u64,
+    pub bytes_recycled: u64,
+}
+
+impl NurseryRow {
+    /// Percent improvement of nursery-on over nursery-off (positive =
+    /// nursery faster).
+    pub fn improvement_pct(&self) -> f64 {
+        100.0 * (self.tree_s - self.nursery_s) / self.tree_s
+    }
+
+    /// Share of captured-heap verdicts served by the scalar range test.
+    pub fn hit_share(&self) -> f64 {
+        if self.heap_verdicts == 0 {
+            0.0
+        } else {
+            self.nursery_hits as f64 / self.heap_verdicts as f64
+        }
+    }
+}
+
+/// Run the comparison over `benchmarks` (default: the whole suite).
+pub fn nursery_rows(opts: &ExptOpts, benchmarks: Option<&[Benchmark]>) -> Vec<NurseryRow> {
+    let tree = TxConfig::runtime_tree_full();
+    let nursery = TxConfig::runtime_tree_nursery();
+    let suite: Vec<Benchmark> = match benchmarks {
+        Some(b) => b.to_vec(),
+        None => Benchmark::ALL.to_vec(),
+    };
+    suite
+        .into_iter()
+        .map(|b| {
+            let tree_s = median(time_runs(b, opts.scale, tree, opts.threads, opts.runs));
+            let nursery_s = median(time_runs(b, opts.scale, nursery, opts.threads, opts.runs));
+            let r = b.run(opts.scale, nursery, opts.threads);
+            assert!(r.verified, "{} failed under nursery", b.name());
+            let all = r.stats.all_accesses();
+            NurseryRow {
+                benchmark: b.name(),
+                tree_s,
+                nursery_s,
+                nursery_hits: r.stats.nursery_hits,
+                heap_verdicts: all.elided_heap + all.parent_captured,
+                regions: r.stats.nursery_regions,
+                bytes_recycled: r.stats.nursery_bytes_recycled,
+            }
+        })
+        .collect()
+}
+
+/// Markdown table for the `expt nursery` subcommand.
+pub fn render_markdown(opts: &ExptOpts, rows: &[NurseryRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "## Nursery allocation — runtime-tree vs runtime-tree+nursery \
+         ({:?} scale, {} threads, median of {} runs)\n\n",
+        opts.scale, opts.threads, opts.runs
+    ));
+    out.push_str(
+        "| benchmark | tree (s) | nursery (s) | improvement % | scalar-hit share | \
+         regions | bytes recycled |\n|---|---:|---:|---:|---:|---:|---:|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {:.4} | {:.4} | {:+.1} | {:.2} | {} | {} |\n",
+            r.benchmark,
+            r.tree_s,
+            r.nursery_s,
+            r.improvement_pct(),
+            r.hit_share(),
+            r.regions,
+            r.bytes_recycled,
+        ));
+    }
+    out.push_str(
+        "\nscalar-hit share = nursery_hits / (heap-elided + parent-captured) barriers; \
+         the remainder went through the fallback log (overflow/demoted/large blocks).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stamp::Scale;
+
+    #[test]
+    fn rows_cover_and_hit() {
+        let opts = ExptOpts {
+            scale: Scale::Test,
+            threads: 1,
+            runs: 1,
+        };
+        let rows = nursery_rows(&opts, Some(&[Benchmark::VacationLow, Benchmark::Intruder]));
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.tree_s > 0.0 && r.nursery_s > 0.0);
+            assert!(r.nursery_hits > 0, "{}: nursery idle", r.benchmark);
+            assert!(
+                r.hit_share() > 0.5,
+                "{}: share {}",
+                r.benchmark,
+                r.hit_share()
+            );
+        }
+        let md = render_markdown(&opts, &rows);
+        assert!(md.contains("| vacation low |"));
+        assert!(md.contains("| intruder |"));
+    }
+}

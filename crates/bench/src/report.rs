@@ -7,7 +7,7 @@
 use stamp::{Benchmark, Scale};
 use stm::{CheckScope, LogKind, Mode, TxConfig};
 
-use crate::micro::{barrier_dispatch, fastpath_ratio, MicroOpts};
+use crate::micro::{barrier_dispatch, fastpath_ratio, nursery_ratio, MicroOpts};
 use crate::ExptOpts;
 
 pub(crate) fn esc(s: &str) -> String {
@@ -22,18 +22,55 @@ pub(crate) fn scale_name(s: Scale) -> &'static str {
     }
 }
 
-/// The barrier modes tracked across PRs.
-fn tracked_modes() -> Vec<Mode> {
-    let mut v = vec![Mode::Baseline];
+/// The barrier configurations tracked across PRs.
+fn tracked_configs() -> Vec<TxConfig> {
+    let mut v = vec![TxConfig::with_mode(Mode::Baseline)];
     for log in LogKind::ALL {
-        v.push(Mode::Runtime {
+        v.push(TxConfig::with_mode(Mode::Runtime {
             log,
             scope: CheckScope::FULL,
-        });
+        }));
     }
-    v.push(Mode::Compiler);
-    v.push(Mode::CompilerInterproc);
+    // The nursery configuration under comparison (tree fallback).
+    v.push(TxConfig::runtime_tree_nursery());
+    v.push(TxConfig::with_mode(Mode::Compiler));
+    v.push(TxConfig::with_mode(Mode::CompilerInterproc));
     v
+}
+
+/// Resolve a comma-separated `--benchmarks` filter ("vacation,intruder")
+/// into the STAMP subset to run. A token matches a benchmark whose name
+/// equals it, starts with it, or equals it with spaces dashed
+/// ("vacation" matches both vacation configurations). Unknown tokens are
+/// an `Err` listing the valid names.
+pub fn parse_benchmark_filter(spec: &str) -> Result<Vec<Benchmark>, String> {
+    let mut out = Vec::new();
+    for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        let tl = token.to_ascii_lowercase();
+        let matched: Vec<Benchmark> = Benchmark::ALL
+            .into_iter()
+            .filter(|b| {
+                let name = b.name();
+                name == tl || name.starts_with(&tl) || name.replace(' ', "-") == tl
+            })
+            .collect();
+        if matched.is_empty() {
+            let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+            return Err(format!(
+                "unknown benchmark {token:?}; valid names: {}",
+                names.join(", ")
+            ));
+        }
+        for b in matched {
+            if !out.contains(&b) {
+                out.push(b);
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err("empty --benchmarks filter".into());
+    }
+    Ok(out)
 }
 
 /// Build the full report as a JSON string.
@@ -41,10 +78,26 @@ fn tracked_modes() -> Vec<Mode> {
 /// `opts.scale`/`opts.threads` govern the STAMP section; `"seconds"` is
 /// the **median of `opts.runs` repetitions** (single wall-clock samples
 /// are far too noisy to serve as a cross-PR trajectory), while the
-/// counters come from one additional instrumented run.
-pub fn bench_json(opts: &ExptOpts, micro: &MicroOpts) -> String {
-    let results = barrier_dispatch(micro);
-    let ratio = fastpath_ratio(&results);
+/// counters come from one additional instrumented run. `benchmarks`
+/// restricts the STAMP section to a subset (CI's smoke step runs only the
+/// allocation-heavy pair); `None` runs the whole suite.
+pub fn bench_json(opts: &ExptOpts, micro: &MicroOpts, benchmarks: Option<&[Benchmark]>) -> String {
+    bench_json_from(opts, &barrier_dispatch(micro), benchmarks)
+}
+
+/// Like [`bench_json`], over already-collected microbenchmark results (so
+/// a caller that also gates on a ratio measures once).
+pub fn bench_json_from(
+    opts: &ExptOpts,
+    results: &[crate::micro::MicroResult],
+    benchmarks: Option<&[Benchmark]>,
+) -> String {
+    let ratio = fastpath_ratio(results);
+    let nratio = nursery_ratio(results);
+    let suite: Vec<Benchmark> = match benchmarks {
+        Some(b) => b.to_vec(),
+        None => Benchmark::ALL.to_vec(),
+    };
 
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -68,21 +121,27 @@ pub fn bench_json(opts: &ExptOpts, micro: &MicroOpts) -> String {
         Some(r) => out.push_str(&format!("  \"captured_tree_vs_direct_ratio\": {r:.3},\n")),
         None => out.push_str("  \"captured_tree_vs_direct_ratio\": null,\n"),
     }
+    match nratio {
+        Some(r) => out.push_str(&format!(
+            "  \"captured_nursery_vs_direct_ratio\": {r:.3},\n"
+        )),
+        None => out.push_str("  \"captured_nursery_vs_direct_ratio\": null,\n"),
+    }
 
     out.push_str("  \"stamp\": [\n");
-    let modes = tracked_modes();
-    let total = modes.len() * Benchmark::ALL.len();
+    let configs = tracked_configs();
+    let total = configs.len() * suite.len();
     let mut i = 0;
     let runs = opts.runs.max(1);
-    for mode in &modes {
-        for b in Benchmark::ALL {
-            let cfg = TxConfig::with_mode(*mode);
-            let seconds = crate::median(crate::time_runs(b, opts.scale, cfg, opts.threads, runs));
-            let r = b.run(opts.scale, cfg, opts.threads);
+    for cfg in &configs {
+        for &b in &suite {
+            let seconds = crate::median(crate::time_runs(b, opts.scale, *cfg, opts.threads, runs));
+            let r = b.run(opts.scale, *cfg, opts.threads);
             assert!(
                 r.verified,
-                "{} failed verification under {mode:?}",
-                b.name()
+                "{} failed verification under {}",
+                b.name(),
+                cfg.label()
             );
             let all = r.stats.all_accesses();
             i += 1;
@@ -92,7 +151,7 @@ pub fn bench_json(opts: &ExptOpts, micro: &MicroOpts) -> String {
                  \"runs\": {runs}, \"commits\": {}, \"aborts\": {}, \
                  \"elided_fraction\": {:.4}}}{}\n",
                 esc(b.name()),
-                esc(&mode.label()),
+                esc(&cfg.label()),
                 opts.threads,
                 r.stats.commits,
                 r.stats.aborts,
@@ -116,13 +175,15 @@ mod tests {
             threads: 1,
             runs: 1,
         };
-        let json = bench_json(&opts, &MicroOpts::smoke());
+        let json = bench_json(&opts, &MicroOpts::smoke(), None);
         // No serde available: structural spot checks instead of a parser.
         assert!(json.starts_with("{\n"));
         assert!(json.trim_end().ends_with('}'));
         assert!(json.contains("\"schema\": \"bench_barriers/v1\""));
         assert!(json.contains("\"barrier_dispatch\": ["));
         assert!(json.contains("captured heap hit/tree"));
+        assert!(json.contains("captured heap hit/nursery"));
+        assert!(json.contains("\"captured_nursery_vs_direct_ratio\": "));
         assert!(json.contains("\"stamp\": ["));
         assert!(
             json.contains("\"threads\": 1,"),
@@ -130,6 +191,7 @@ mod tests {
         );
         assert!(json.contains("\"mode\": \"baseline\""));
         assert!(json.contains("\"mode\": \"compiler\""));
+        assert!(json.contains("\"mode\": \"runtime-tree+nursery (r+w/stack+heap)\""));
         // Balanced braces/brackets (cheap well-formedness guard).
         let balance = |open: char, close: char| {
             json.chars().filter(|&c| c == open).count()
@@ -139,5 +201,38 @@ mod tests {
         assert!(balance('[', ']'));
         assert!(!json.contains(",\n  ]"), "no trailing commas");
         assert!(!json.contains(",\n    ]"), "no trailing commas");
+    }
+
+    #[test]
+    fn benchmark_filter_resolves_subsets() {
+        let v = parse_benchmark_filter("vacation,intruder").unwrap();
+        assert_eq!(
+            v,
+            vec![
+                Benchmark::VacationHigh,
+                Benchmark::VacationLow,
+                Benchmark::Intruder
+            ]
+        );
+        assert_eq!(
+            parse_benchmark_filter("kmeans high").unwrap(),
+            vec![Benchmark::KmeansHigh]
+        );
+        assert_eq!(
+            parse_benchmark_filter("kmeans-low").unwrap(),
+            vec![Benchmark::KmeansLow]
+        );
+        assert!(parse_benchmark_filter("nope").is_err());
+        assert!(parse_benchmark_filter("").is_err());
+        // A filtered report still has every tracked mode, only fewer rows.
+        let opts = ExptOpts {
+            scale: Scale::Test,
+            threads: 1,
+            runs: 1,
+        };
+        let json = bench_json(&opts, &MicroOpts::smoke(), Some(&[Benchmark::Intruder]));
+        assert!(json.contains("\"benchmark\": \"intruder\""));
+        assert!(!json.contains("\"benchmark\": \"yada\""));
+        assert!(!json.contains(",\n  ]"), "no trailing commas");
     }
 }

@@ -68,7 +68,9 @@ impl LogImpl {
         match kind {
             LogKind::Tree => LogImpl::Tree(RangeTree::new()),
             LogKind::Array => LogImpl::Array(RangeArray::new()),
-            LogKind::Filter => LogImpl::Filter(AddrFilter::with_log2_entries(12)),
+            LogKind::Filter => LogImpl::Filter(AddrFilter::with_log2_entries(
+                crate::filter::DEFAULT_FILTER_LOG2,
+            )),
         }
     }
 

@@ -30,6 +30,28 @@ impl WorkerCtx<'_> {
         }
     }
 
+    /// Nursery scalar-range classification (the tentpole fast path): the
+    /// same two-compare shape as [`WorkerCtx::stack_capture`], plus one
+    /// watermark compare for the `Current`-vs-`Ancestor` split that
+    /// partial abort needs (§2.2.1). Exact by construction — the scalar
+    /// range `[lo, bump)` only ever covers blocks this transaction
+    /// bump-allocated and has neither freed nor demoted, and bump order is
+    /// address order, so `addr >= inner` (the innermost level's watermark)
+    /// is precisely "allocated by the current level".
+    #[inline]
+    pub(crate) fn nursery_capture(&self, addr: Addr) -> Option<CaptureHit> {
+        let a = addr.raw();
+        if a >= self.nur.lo() && a < self.nur.bump() {
+            Some(if a >= self.nur.inner() {
+                CaptureHit::Current
+            } else {
+                CaptureHit::Ancestor
+            })
+        } else {
+            None
+        }
+    }
+
     /// Allocation-log lookup through the monomorphized policy, translated
     /// to current/ancestor. A current-level hit on a policy that can give
     /// a residency guarantee also primes the worker's one-entry capture

@@ -70,8 +70,9 @@ pub(crate) struct CaptureLogs {
 }
 
 /// Slot count (log2) for a selected filter policy; matches the fixed-size
-/// table of [`capture::LogImpl::new`].
-const FILTER_LOG2: u32 = 12;
+/// table of [`capture::LogImpl::new`] (16 KiB of interleaved slots — small
+/// enough to stay L1-resident next to the transaction's working set).
+const FILTER_LOG2: u32 = capture::DEFAULT_FILTER_LOG2;
 
 impl CaptureLogs {
     pub(crate) fn new(cfg: &TxConfig) -> CaptureLogs {
@@ -225,6 +226,28 @@ static RUNTIME_TREE: DispatchTable = runtime_table!(RangeTree);
 static RUNTIME_ARRAY: DispatchTable = runtime_table!(RangeArray<4>);
 static RUNTIME_FILTER: DispatchTable = runtime_table!(AddrFilter);
 
+/// Runtime capture analysis with the per-transaction nursery
+/// ([`crate::TxConfig::nursery`]): the barrier's captured-heap check is
+/// the nursery scalar-range test, and the monomorphized policy `P` serves
+/// only as the *fallback* log for overflow/demoted/large blocks. The
+/// allocation hooks are the same policy hooks — the allocation path itself
+/// decides which blocks ever reach them.
+macro_rules! nursery_table {
+    ($policy:ty) => {
+        DispatchTable {
+            read: read::read_runtime_nursery::<$policy>,
+            write: write::write_runtime_nursery::<$policy>,
+            on_alloc: policy_on_alloc::<$policy>,
+            on_free: policy_on_free::<$policy>,
+            reset: policy_reset::<$policy>,
+        }
+    };
+}
+
+static NURSERY_TREE: DispatchTable = nursery_table!(RangeTree);
+static NURSERY_ARRAY: DispatchTable = nursery_table!(RangeArray<4>);
+static NURSERY_FILTER: DispatchTable = nursery_table!(AddrFilter);
+
 /// The enum-dispatch oracle: per-access `match` on mode and log kind.
 static REFERENCE: DispatchTable = DispatchTable {
     read: reference::read_reference,
@@ -246,17 +269,14 @@ impl DispatchTable {
             Mode::Baseline => &BASELINE,
             Mode::Compiler => &COMPILER,
             Mode::CompilerInterproc => &COMPILER_INTERPROC,
-            Mode::Runtime {
-                log: LogKind::Tree, ..
-            } => &RUNTIME_TREE,
-            Mode::Runtime {
-                log: LogKind::Array,
-                ..
-            } => &RUNTIME_ARRAY,
-            Mode::Runtime {
-                log: LogKind::Filter,
-                ..
-            } => &RUNTIME_FILTER,
+            Mode::Runtime { log, .. } => match (log, cfg.nursery) {
+                (LogKind::Tree, false) => &RUNTIME_TREE,
+                (LogKind::Array, false) => &RUNTIME_ARRAY,
+                (LogKind::Filter, false) => &RUNTIME_FILTER,
+                (LogKind::Tree, true) => &NURSERY_TREE,
+                (LogKind::Array, true) => &NURSERY_ARRAY,
+                (LogKind::Filter, true) => &NURSERY_FILTER,
+            },
         }
     }
 }
@@ -299,9 +319,23 @@ mod tests {
             DispatchTable::select(&runtime_cfg(LogKind::Filter)),
             &RUNTIME_FILTER
         ));
+        for (log, table) in [
+            (LogKind::Tree, &NURSERY_TREE),
+            (LogKind::Array, &NURSERY_ARRAY),
+            (LogKind::Filter, &NURSERY_FILTER),
+        ] {
+            let mut cfg = runtime_cfg(log);
+            cfg.nursery = true;
+            assert!(std::ptr::eq(DispatchTable::select(&cfg), table));
+        }
         let mut refcfg = runtime_cfg(LogKind::Array);
         refcfg.reference_dispatch = true;
         assert!(std::ptr::eq(DispatchTable::select(&refcfg), &REFERENCE));
+        refcfg.nursery = true;
+        assert!(
+            std::ptr::eq(DispatchTable::select(&refcfg), &REFERENCE),
+            "reference dispatch oracles every configuration, nursery included"
+        );
     }
 
     #[test]

@@ -99,3 +99,31 @@ pub(super) fn read_runtime<P: PolicySlot>(
     }
     annotated_or_full(w, addr)
 }
+
+/// Runtime capture analysis with the transaction-local nursery: the scalar
+/// range test runs first (two compares, like the stack check), and the
+/// monomorphized fallback log only sees overflow/demoted/large blocks.
+/// Reads elide at any captured level, so the `Current`/`Ancestor` split is
+/// irrelevant here.
+pub(super) fn read_runtime_nursery<P: PolicySlot>(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+) -> TxResult<u64> {
+    prologue(w, site, addr);
+    if w.scope.reads {
+        if w.scope.heap && w.nursery_capture(addr).is_some() {
+            w.pending.reads.elided_nursery += 1;
+            return Ok(w.mem.load_private(addr));
+        }
+        if w.scope.stack && w.stack_capture(addr).is_some() {
+            w.pending.reads.elided_stack += 1;
+            return Ok(w.mem.load_private(addr));
+        }
+        if w.scope.heap && w.heap_capture::<P>(addr).is_some() {
+            w.pending.reads.elided_heap += 1;
+            return Ok(w.mem.load_private(addr));
+        }
+    }
+    annotated_or_full(w, addr)
+}

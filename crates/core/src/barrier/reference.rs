@@ -37,6 +37,26 @@ impl WorkerCtx<'_> {
             }),
         }
     }
+
+    /// Nursery classification through [`capture::NurseryLog::classify`] —
+    /// the per-access "count the watermarks" form rather than the
+    /// monomorphized pipeline's scalar compares. Differential testing of
+    /// the two is exactly what proves the scalar shortcut (`addr >= inner`)
+    /// equivalent to the level arithmetic.
+    #[inline]
+    fn nursery_capture_reference(&self, addr: Addr) -> Option<CaptureHit> {
+        if !self.nursery_on {
+            return None;
+        }
+        match self.nur.classify(addr.raw()) {
+            Capture::No => None,
+            Capture::Level(level) => Some(if level >= self.depth {
+                CaptureHit::Current
+            } else {
+                CaptureHit::Ancestor
+            }),
+        }
+    }
 }
 
 /// The seed's read barrier, dispatching on `Mode` per access.
@@ -64,6 +84,10 @@ pub(super) fn read_reference(
             return Ok(w.mem.load_private(addr));
         }
         Mode::Runtime { scope, .. } if scope.reads => {
+            if scope.heap && w.nursery_capture_reference(addr).is_some() {
+                w.pending.reads.elided_nursery += 1;
+                return Ok(w.mem.load_private(addr));
+            }
             if scope.stack && w.stack_capture(addr).is_some() {
                 w.pending.reads.elided_stack += 1;
                 return Ok(w.mem.load_private(addr));
@@ -112,6 +136,25 @@ pub(super) fn write_reference(
             return Ok(());
         }
         Mode::Runtime { scope, .. } if scope.writes => {
+            if scope.heap {
+                match w.nursery_capture_reference(addr) {
+                    Some(CaptureHit::Current) => {
+                        w.pending.writes.elided_nursery += 1;
+                        w.mem.store_private(addr, val);
+                        return Ok(());
+                    }
+                    Some(CaptureHit::Ancestor) => {
+                        w.pending.writes.parent_captured += 1;
+                        w.undo.push(UndoEntry {
+                            addr,
+                            old: w.mem.load_private(addr),
+                        });
+                        w.mem.store_private(addr, val);
+                        return Ok(());
+                    }
+                    None => {}
+                }
+            }
             if scope.stack {
                 match w.stack_capture(addr) {
                     Some(CaptureHit::Current) => {

@@ -127,3 +127,50 @@ pub(super) fn write_runtime<P: PolicySlot>(
     }
     annotated_or_full(w, addr, val)
 }
+
+/// Runtime capture analysis with the transaction-local nursery; see
+/// [`super::read::read_runtime_nursery`]. The watermark compare inside the
+/// nursery check preserves the §2.2.1 semantics: current-level hits store
+/// in place, ancestor-level hits take the undo-logged path.
+pub(super) fn write_runtime_nursery<P: PolicySlot>(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    val: u64,
+) -> TxResult<()> {
+    prologue(w, site, addr);
+    if w.scope.writes {
+        if w.scope.heap {
+            match w.nursery_capture(addr) {
+                Some(CaptureHit::Current) => {
+                    w.pending.writes.elided_nursery += 1;
+                    w.mem.store_private(addr, val);
+                    return Ok(());
+                }
+                Some(CaptureHit::Ancestor) => {
+                    w.pending.writes.parent_captured += 1;
+                    w.undo.push(UndoEntry {
+                        addr,
+                        old: w.mem.load_private(addr),
+                    });
+                    w.mem.store_private(addr, val);
+                    return Ok(());
+                }
+                None => {}
+            }
+        }
+        if w.scope.stack {
+            if let Some(hit) = w.stack_capture(addr) {
+                store_captured(w, addr, val, hit, true);
+                return Ok(());
+            }
+        }
+        if w.scope.heap {
+            if let Some(hit) = w.heap_capture::<P>(addr) {
+                store_captured(w, addr, val, hit, false);
+                return Ok(());
+            }
+        }
+    }
+    annotated_or_full(w, addr, val)
+}

@@ -10,8 +10,9 @@ use std::sync::atomic::Ordering;
 
 use capture::CapturePolicy;
 
+use crate::nursery::NurseryCp;
 use crate::orec::{is_locked, owner_of};
-use crate::worker::{Tx, TxResult, WorkerCtx};
+use crate::worker::{AllocHome, Tx, TxResult, WorkerCtx};
 
 /// Snapshot of the log positions at nested-transaction begin; partial abort
 /// rolls back to these marks.
@@ -22,6 +23,7 @@ struct Checkpoint {
     allocs: usize,
     frees: usize,
     sp: u64,
+    nur: NurseryCp,
 }
 
 impl<'rt> WorkerCtx<'rt> {
@@ -43,6 +45,9 @@ impl<'rt> WorkerCtx<'rt> {
         self.sp_outer = sp;
         self.sp_inner = sp;
         debug_assert_eq!(self.cap_len, 0, "stale capture cache at begin");
+        debug_assert_eq!(self.nursery_live, 0, "stale nursery bytes at begin");
+        debug_assert!(self.nursery_reclaim.is_empty(), "stale reclaims at begin");
+        self.nursery_begin();
     }
 
     /// Validate the whole read set against the *current* record versions.
@@ -125,6 +130,11 @@ impl<'rt> WorkerCtx<'rt> {
         }
         self.frees.clear();
         self.stats.tx_frees += n_frees as u64;
+        // Publish the nursery as ordinary heap memory: trim the unused
+        // region tail back to the shards, flush deferred hole reclaims.
+        if self.nursery_on {
+            self.nursery_commit();
+        }
         // Allocations survive; the allocation log empties at transaction
         // end (paper §3.1.3: "allocation log gets emptied on every
         // transaction end").
@@ -156,14 +166,20 @@ impl<'rt> WorkerCtx<'rt> {
         }
         self.reads.clear();
         // Undo allocations: blocks this transaction allocated vanish.
+        // Classic-path blocks are freed individually; nursery-resident
+        // blocks (scalar or demoted) are reclaimed wholesale with their
+        // regions below — O(1) per region, not per block.
         let allocs = std::mem::take(&mut self.allocs);
         for rec in &allocs {
-            if !rec.freed {
+            if !rec.freed && rec.home == AllocHome::Heap {
                 self.rt.heap.free(&mut self.talloc, rec.addr);
             }
         }
         self.allocs = allocs;
         self.allocs.clear();
+        if self.nursery_on {
+            self.nursery_abort();
+        }
         (self.table.reset)(&mut self.logs);
         self.clear_capture_cache();
         if let Some(t) = self.classify_log.as_mut() {
@@ -191,10 +207,14 @@ impl<'rt> WorkerCtx<'rt> {
             allocs: self.allocs.len(),
             frees: self.frees.len(),
             sp: self.stack.sp(),
+            nur: self.nursery_checkpoint(),
         };
         self.depth += 1;
         self.sp_marks.push(cp.sp);
         self.sp_inner = cp.sp;
+        // Snapshot the bump pointer as the child's nursery watermark (the
+        // heap analogue of the sp mark pushed above).
+        self.nursery_push_level();
         // The cached block (if any) was captured at a shallower level; for
         // the child it is ancestor-captured and must take the undo path.
         self.clear_capture_cache();
@@ -207,12 +227,21 @@ impl<'rt> WorkerCtx<'rt> {
                 // Child commits into the parent: its allocations now belong
                 // to the parent level. Demote their capture level so a later
                 // sibling at the same depth undo-logs writes to them.
+                // Scalar-resident nursery blocks demote for free: popping
+                // the child's watermark below re-levels everything above it.
                 let parent = self.depth - 1;
                 for i in cp.allocs..self.allocs.len() {
                     let rec = &mut self.allocs[i];
                     if rec.level > parent && !rec.freed {
-                        (self.table.on_free)(&mut self.logs, rec.addr.raw(), rec.usable);
-                        (self.table.on_alloc)(&mut self.logs, rec.addr.raw(), rec.usable, parent);
+                        if rec.home != AllocHome::NurseryScalar {
+                            (self.table.on_free)(&mut self.logs, rec.addr.raw(), rec.usable);
+                            (self.table.on_alloc)(
+                                &mut self.logs,
+                                rec.addr.raw(),
+                                rec.usable,
+                                parent,
+                            );
+                        }
                         rec.level = parent;
                     }
                 }
@@ -223,6 +252,7 @@ impl<'rt> WorkerCtx<'rt> {
                 self.depth -= 1;
                 self.sp_marks.pop();
                 self.sp_inner = *self.sp_marks.last().expect("outermost mark");
+                self.nursery_pop_level();
                 Ok(Ok(v))
             }
             Err(crate::worker::Abort::User(code)) => {
@@ -236,6 +266,7 @@ impl<'rt> WorkerCtx<'rt> {
                 self.depth -= 1;
                 self.sp_marks.pop();
                 self.sp_inner = *self.sp_marks.last().expect("outermost mark");
+                self.nursery_pop_level();
                 Err(e)
             }
         }
@@ -253,15 +284,40 @@ impl<'rt> WorkerCtx<'rt> {
         self.reads.truncate(cp.reads);
         while self.allocs.len() > cp.allocs {
             let rec = self.allocs.pop().unwrap();
-            (self.table.on_free)(&mut self.logs, rec.addr.raw(), rec.usable);
             if let Some(t) = self.classify_log.as_mut() {
                 t.on_free(rec.addr.raw(), rec.usable);
             }
-            if !rec.freed {
-                self.rt.heap.free(&mut self.talloc, rec.addr);
+            match rec.home {
+                AllocHome::Heap => {
+                    (self.table.on_free)(&mut self.logs, rec.addr.raw(), rec.usable);
+                    if !rec.freed {
+                        self.rt.heap.free(&mut self.talloc, rec.addr);
+                    }
+                }
+                AllocHome::NurseryScalar => {
+                    // Classified by the scalar range only; its space comes
+                    // back with the bump rewind / region recycle below.
+                    if !rec.freed {
+                        self.rt.heap.forget_live_bytes(rec.usable);
+                        self.nursery_live -= rec.usable;
+                    }
+                }
+                AllocHome::NurseryLogged => {
+                    (self.table.on_free)(&mut self.logs, rec.addr.raw(), rec.usable);
+                    if !rec.freed {
+                        self.rt.heap.forget_live_bytes(rec.usable);
+                        self.nursery_live -= rec.usable;
+                        // Dead memory inside a region that survives this
+                        // partial abort: defer to commit like a hole (if
+                        // its region is being recycled below, the entry is
+                        // filtered out with it).
+                        self.nursery_reclaim.push(rec.addr);
+                    }
+                }
             }
         }
         self.frees.truncate(cp.frees);
+        self.nursery_partial_abort(cp.nur);
         self.clear_capture_cache(); // rolled-back blocks left the captured set
         self.stack.reset_to(cp.sp);
         self.sp_marks.pop();

@@ -101,6 +101,17 @@ pub struct TxConfig {
     /// paper's Figure-8 categories (tx-local heap / tx-local stack /
     /// not-required-other / required). Adds overhead; used by the harness.
     pub classify: bool,
+    /// Serve small transactional allocations from a per-transaction
+    /// *nursery* — a contiguous bump region carved from the heap's
+    /// frontier/shards — so the captured-heap check in [`Mode::Runtime`]
+    /// barriers becomes a two-compare range test (the same shape as the
+    /// stack check) and an abort reclaims the whole nursery in O(1) by
+    /// recycling regions instead of walking per-block free lists. Blocks
+    /// the scalar range cannot represent (overflow past a chained region,
+    /// holes punched by in-transaction frees, large blocks) fall back to
+    /// the configured allocation log. Only meaningful in `Mode::Runtime`;
+    /// ignored elsewhere (the other modes keep no runtime capture state).
+    pub nursery: bool,
     /// log2 of the transaction-record table size.
     pub orec_log2: u32,
     /// How many times a barrier re-examines a locked record before the
@@ -128,6 +139,7 @@ impl Default for TxConfig {
             mode: Mode::Baseline,
             annotations: false,
             classify: false,
+            nursery: false,
             orec_log2: 20,
             spin_tries: 64,
             backoff_shift_max: 14,
@@ -152,6 +164,37 @@ impl TxConfig {
             log: LogKind::Tree,
             scope: CheckScope::FULL,
         })
+    }
+
+    /// The canonical nursery configuration (ISSUE 4): the same tree-based
+    /// runtime analysis with per-transaction nursery allocation — the
+    /// tree serves as the fallback log for overflow/demoted/large blocks.
+    /// The single source of truth for every benchmark/test/example that
+    /// compares "nursery on" against [`TxConfig::runtime_tree_full`].
+    pub fn runtime_tree_nursery() -> TxConfig {
+        let mut cfg = TxConfig::runtime_tree_full();
+        cfg.nursery = true;
+        cfg
+    }
+
+    /// Is the nursery actually active for this configuration? (The flag
+    /// only matters with runtime capture analysis.)
+    pub fn nursery_active(&self) -> bool {
+        self.nursery && matches!(self.mode, Mode::Runtime { .. })
+    }
+
+    /// Display label: the mode label, plus a `+nursery` suffix when the
+    /// nursery is active (used by experiment tables and reports).
+    pub fn label(&self) -> String {
+        let mut l = self.mode.label();
+        if self.nursery_active() {
+            let scope_at = l.find(" (");
+            match scope_at {
+                Some(i) => l.insert_str(i, "+nursery"),
+                None => l.push_str("+nursery"),
+            }
+        }
+        l
     }
 }
 
@@ -181,5 +224,22 @@ mod tests {
         assert_eq!(c.mode, Mode::Baseline);
         assert!(!c.annotations);
         assert!(!c.classify);
+        assert!(!c.nursery);
+    }
+
+    #[test]
+    fn nursery_labels_and_activation() {
+        let mut c = TxConfig::runtime_tree_full();
+        assert!(!c.nursery_active());
+        c.nursery = true;
+        assert!(c.nursery_active());
+        assert_eq!(c.label(), "runtime-tree+nursery (r+w/stack+heap)");
+        let mut b = TxConfig::default();
+        b.nursery = true;
+        assert!(
+            !b.nursery_active(),
+            "nursery needs runtime capture analysis"
+        );
+        assert_eq!(b.label(), "baseline");
     }
 }

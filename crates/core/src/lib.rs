@@ -65,6 +65,7 @@ mod barrier;
 mod clock;
 mod commit;
 mod config;
+mod nursery;
 mod orec;
 mod runtime;
 mod site;

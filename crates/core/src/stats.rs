@@ -15,6 +15,11 @@
 pub(crate) struct BarrierDelta {
     pub elided_stack: u64,
     pub elided_heap: u64,
+    /// Elided by the nursery's scalar range test. Folded into the public
+    /// `elided_heap` at absorb time (it *is* a captured-heap elision) and
+    /// summed into `TxStats::nursery_hits` — a separate counter here so
+    /// the hot path bumps exactly one counter per access.
+    pub elided_nursery: u64,
     pub elided_static: u64,
     pub elided_static_interproc: u64,
     pub elided_annotation: u64,
@@ -76,13 +81,16 @@ impl BarrierStats {
     pub(crate) fn absorb(&mut self, d: &BarrierDelta) {
         self.total += d.elided_stack
             + d.elided_heap
+            + d.elided_nursery
             + d.elided_static
             + d.elided_static_interproc
             + d.elided_annotation
             + d.parent_captured
             + d.full;
         self.elided_stack += d.elided_stack;
-        self.elided_heap += d.elided_heap;
+        // Nursery elisions are captured-heap elisions; every derived
+        // metric (elided fraction, Figure 9 rows) sees them as such.
+        self.elided_heap += d.elided_heap + d.elided_nursery;
         self.elided_static += d.elided_static;
         self.elided_static_interproc += d.elided_static_interproc;
         self.elided_annotation += d.elided_annotation;
@@ -146,6 +154,16 @@ pub struct TxStats {
     /// Transactional allocations / frees.
     pub tx_allocs: u64,
     pub tx_frees: u64,
+    /// Barriers *elided* by the nursery's scalar range test (both
+    /// directions; a subset of the `elided_heap` counts — ancestor-level
+    /// nursery writes land in `parent_captured` instead). Only moves under
+    /// `TxConfig::nursery`.
+    pub nursery_hits: u64,
+    /// Nursery regions carved (or extended in place) for transactions.
+    pub nursery_regions: u64,
+    /// Bytes returned to the allocator wholesale: entire regions on abort,
+    /// unused region tails trimmed at commit.
+    pub nursery_bytes_recycled: u64,
     pub reads: BarrierStats,
     pub writes: BarrierStats,
 }
@@ -156,6 +174,7 @@ impl TxStats {
     pub(crate) fn absorb(&mut self, d: &TxnDelta) {
         self.reads.absorb(&d.reads);
         self.writes.absorb(&d.writes);
+        self.nursery_hits += d.reads.elided_nursery + d.writes.elided_nursery;
     }
 
     pub fn merge(&mut self, o: &TxStats) {
@@ -167,6 +186,9 @@ impl TxStats {
         self.partial_aborts += o.partial_aborts;
         self.tx_allocs += o.tx_allocs;
         self.tx_frees += o.tx_frees;
+        self.nursery_hits += o.nursery_hits;
+        self.nursery_regions += o.nursery_regions;
+        self.nursery_bytes_recycled += o.nursery_bytes_recycled;
         self.reads.merge(&o.reads);
         self.writes.merge(&o.writes);
     }

@@ -3,15 +3,44 @@
 //! spawn-time-resolved dispatch table) so heap capture analysis can find
 //! it; aborts undo allocations; frees of non-captured blocks are deferred
 //! to commit so concurrent readers never observe recycled memory.
+//!
+//! With [`crate::TxConfig::nursery`] active, small allocations are instead
+//! bump-allocated in the transaction's nursery (see `crate::nursery`) and
+//! classified by the scalar range test — no per-block policy logging at
+//! all. Large blocks (and small ones when the heap cannot supply a region)
+//! take the classic path below and fall back to the configured log.
 
 use capture::CapturePolicy;
-use txmem::Addr;
+use txmem::{small_block_total, Addr, HEADER_BYTES, NURSERY_MAX_BLOCK_BYTES};
 
-use crate::worker::{AllocRec, TxResult, WorkerCtx};
+use crate::worker::{AllocHome, AllocRec, TxResult, WorkerCtx};
 
 impl WorkerCtx<'_> {
     pub(crate) fn tx_alloc(&mut self, size: u64) -> TxResult<Addr> {
         debug_assert!(self.depth > 0);
+        if self.nursery_on {
+            if let Some(total) = small_block_total(size) {
+                if total <= NURSERY_MAX_BLOCK_BYTES {
+                    if let Some(addr) = self.nursery_alloc(total) {
+                        self.allocs.push(AllocRec {
+                            addr,
+                            usable: total - HEADER_BYTES,
+                            level: self.depth,
+                            freed: false,
+                            home: AllocHome::NurseryScalar,
+                        });
+                        // No policy logging: the scalar range covers it.
+                        if let Some(t) = self.classify_log.as_mut() {
+                            t.on_alloc(addr.raw(), total - HEADER_BYTES, self.depth);
+                        }
+                        self.stats.tx_allocs += 1;
+                        return Ok(addr);
+                    }
+                    // Heap too fragmented for a region: classic path below
+                    // (smaller classes may still have blocks).
+                }
+            }
+        }
         let addr = self
             .rt
             .heap
@@ -23,6 +52,7 @@ impl WorkerCtx<'_> {
             usable,
             level: self.depth,
             freed: false,
+            home: AllocHome::Heap,
         });
         (self.table.on_alloc)(&mut self.logs, addr.raw(), usable, self.depth);
         if let Some(t) = self.classify_log.as_mut() {
@@ -37,17 +67,27 @@ impl WorkerCtx<'_> {
         // A block allocated by the *current* nesting level can be freed
         // immediately: nobody else can hold a reference (it is captured),
         // and a later abort of this level would have discarded it anyway.
-        // This is McRT-Malloc's balanced alloc/free optimization.
+        // This is McRT-Malloc's balanced alloc/free optimization. The
+        // block returns to the allocating transaction's own bookkeeping —
+        // the nursery bump pointer / deferred reclaim list, or the
+        // thread's class free lists — never the global large-block lock
+        // (small blocks are class-rounded by construction).
         if let Some(i) = self.allocs.iter().rposition(|r| r.addr == addr && !r.freed) {
             if self.allocs[i].level >= self.depth {
                 let usable = self.allocs[i].usable;
-                self.allocs[i].freed = true;
-                (self.table.on_free)(&mut self.logs, addr.raw(), usable);
-                self.clear_capture_cache(); // the freed block may be cached
+                match self.allocs[i].home {
+                    AllocHome::Heap => {
+                        self.allocs[i].freed = true;
+                        (self.table.on_free)(&mut self.logs, addr.raw(), usable);
+                        self.clear_capture_cache(); // the freed block may be cached
+                        self.rt.heap.free(&mut self.talloc, addr);
+                    }
+                    AllocHome::NurseryScalar => self.nursery_free_current(i),
+                    AllocHome::NurseryLogged => self.nursery_free_logged(i),
+                }
                 if let Some(t) = self.classify_log.as_mut() {
                     t.on_free(addr.raw(), usable);
                 }
-                self.rt.heap.free(&mut self.talloc, addr);
                 self.stats.tx_frees += 1;
                 return;
             }

@@ -150,9 +150,10 @@ fn run_ops(
 /// Execute the whole script under one configuration; return the observable
 /// memory (shared cells + every committed scratch block) and the formatted
 /// statistics (every counter, both directions).
-fn run(script: &[Txn], mode: Mode, reference: bool) -> (Vec<u64>, String) {
+fn run(script: &[Txn], mode: Mode, nursery: bool, reference: bool) -> (Vec<u64>, String) {
     let mut cfg = TxConfig::with_mode(mode);
     cfg.orec_log2 = 12; // small orec table; single-threaded test
+    cfg.nursery = nursery;
     cfg.reference_dispatch = reference;
     let rt = StmRuntime::new(MemConfig::small(), cfg);
     let base = rt.alloc_global(CELLS * 8);
@@ -204,11 +205,18 @@ fn run(script: &[Txn], mode: Mode, reference: bool) -> (Vec<u64>, String) {
     (mem, stats)
 }
 
-fn all_modes() -> Vec<Mode> {
-    let mut v = vec![Mode::Baseline, Mode::Compiler, Mode::CompilerInterproc];
+/// Every (mode, nursery) configuration pair to differentially test. The
+/// nursery only composes with runtime capture analysis, and there it must
+/// hold for every fallback log and every scope mask.
+fn all_configs() -> Vec<(Mode, bool)> {
+    let mut v = vec![
+        (Mode::Baseline, false),
+        (Mode::Compiler, false),
+        (Mode::CompilerInterproc, false),
+    ];
     for log in LogKind::ALL {
         for mask in 0..16u8 {
-            v.push(Mode::Runtime {
+            let mode = Mode::Runtime {
                 log,
                 scope: CheckScope {
                     reads: mask & 1 != 0,
@@ -216,7 +224,9 @@ fn all_modes() -> Vec<Mode> {
                     stack: mask & 4 != 0,
                     heap: mask & 8 != 0,
                 },
-            });
+            };
+            v.push((mode, false));
+            v.push((mode, true));
         }
     }
     v
@@ -227,16 +237,16 @@ proptest! {
 
     #[test]
     fn monomorphized_and_reference_dispatch_agree(script in script()) {
-        for mode in all_modes() {
-            let (mem_mono, stats_mono) = run(&script, mode, false);
-            let (mem_ref, stats_ref) = run(&script, mode, true);
+        for (mode, nursery) in all_configs() {
+            let (mem_mono, stats_mono) = run(&script, mode, nursery, false);
+            let (mem_ref, stats_ref) = run(&script, mode, nursery, true);
             prop_assert_eq!(
                 &mem_mono, &mem_ref,
-                "memory diverged under {:?}", mode
+                "memory diverged under {:?} nursery={}", mode, nursery
             );
             prop_assert_eq!(
                 &stats_mono, &stats_ref,
-                "stats diverged under {:?}", mode
+                "stats diverged under {:?} nursery={}", mode, nursery
             );
         }
     }
@@ -283,11 +293,19 @@ fn scope_masks_change_elision_counts() {
             heap: false,
         },
     };
-    let (_, stats_full) = run(&script, full, false);
-    let (_, stats_off) = run(&script, off, false);
+    let (_, stats_full) = run(&script, full, false, false);
+    let (_, stats_off) = run(&script, off, false, false);
     assert_ne!(stats_full, stats_off, "scope must affect elision counters");
     assert!(
         stats_full.contains("elided_heap: 2"),
         "captured write+read must hit the heap fast path: {stats_full}"
+    );
+    // With the nursery, the same hits are additionally counted as nursery
+    // scalar-range verdicts.
+    let (_, stats_nur) = run(&script, full, true, false);
+    assert!(
+        stats_nur.contains("nursery_hits: 3"),
+        "alloc-write, scratch write and scratch read must all hit the \
+         nursery range test: {stats_nur}"
     );
 }

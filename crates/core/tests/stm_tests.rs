@@ -580,3 +580,176 @@ impl UnneededStatic for Site {
         &U
     }
 }
+
+// ---------------------------------------------------------------------------
+// Nursery allocation (TxConfig::nursery).
+// ---------------------------------------------------------------------------
+
+fn nursery_rt(log: LogKind) -> StmRuntime {
+    let mut cfg = TxConfig::with_mode(Mode::Runtime {
+        log,
+        scope: CheckScope::FULL,
+    });
+    cfg.nursery = true;
+    StmRuntime::new(MemConfig::small(), cfg)
+}
+
+/// In-transaction alloc/free churn across nesting levels: every small
+/// block freed within its allocating transaction must return to the
+/// transaction's own bookkeeping (the nursery bump pointer / deferred
+/// reclaim, or the thread class lists) — the global large-block lock must
+/// never be touched, and no byte may leak across commits or aborts.
+#[test]
+fn nursery_churn_frees_within_txn_across_levels() {
+    for log in LogKind::ALL {
+        let rt = nursery_rt(log);
+        let baseline = rt.heap().bytes_allocated();
+        let large_baseline = rt.heap().large_free_blocks();
+        let mut w = rt.spawn_worker();
+        for round in 0..20u64 {
+            let commit = round % 3 != 2;
+            let r: Result<(), u64> = w.txn_result(|tx| {
+                let mut live = Vec::new();
+                for i in 0..12u64 {
+                    let p = tx.alloc(16 + (i % 5) * 48)?;
+                    tx.write(&S_ESC, p, i)?;
+                    live.push(p);
+                }
+                // LIFO frees (bump-back) and mid-list frees (hole punch +
+                // demotion) at the top level.
+                let top = live.pop().unwrap();
+                tx.free(top);
+                let mid = live.remove(3);
+                tx.free(mid);
+                // Nested level: alloc, free-own (LIFO + hole), free parent
+                // blocks (deferred), then either commit or partial-abort.
+                let parent_victim = live.remove(0);
+                let abort_child = round % 2 == 0;
+                let survivors = tx.nested(|ntx| {
+                    let mut child = Vec::new();
+                    for j in 0..6u64 {
+                        let q = ntx.alloc(24 + (j % 3) * 80)?;
+                        ntx.write(&S_ESC, q, 100 + j)?;
+                        child.push(q);
+                    }
+                    ntx.free(child.pop().unwrap()); // LIFO
+                    ntx.free(child.remove(1)); // hole
+                    ntx.free(parent_victim); // ancestor: deferred
+                    for (j, &q) in child.iter().enumerate() {
+                        let v = ntx.read(&S_ESC, q)?;
+                        assert!(v >= 100, "child block clobbered: {v} at {j}");
+                    }
+                    if abort_child {
+                        Err(Abort::User(1))
+                    } else {
+                        Ok(child)
+                    }
+                })?;
+                // Blocks a committed child hands to the parent are now
+                // parent-level captures; free them at the parent level.
+                if let Ok(child_blocks) = survivors {
+                    for q in child_blocks {
+                        tx.free(q);
+                    }
+                }
+                if abort_child {
+                    // Partial abort cancelled the deferred free.
+                    let v = tx.read(&S_ESC, parent_victim)?;
+                    assert_eq!(v, 0, "resurrected block must keep its value");
+                    tx.free(parent_victim);
+                }
+                // Remaining parent blocks are intact.
+                for &p in &live {
+                    let _ = tx.read(&S_ESC, p)?;
+                }
+                for p in live {
+                    tx.free(p);
+                }
+                if commit {
+                    Ok(())
+                } else {
+                    Err(Abort::User(7))
+                }
+            });
+            assert_eq!(r.is_ok(), commit);
+            assert_eq!(
+                rt.heap().large_free_blocks(),
+                large_baseline,
+                "small-block churn must never touch the large-block lock ({log:?})"
+            );
+            assert_eq!(
+                rt.heap().bytes_allocated(),
+                baseline,
+                "all churned bytes must be reclaimed after round {round} ({log:?})"
+            );
+        }
+        let stats = w.stats;
+        assert!(stats.nursery_hits > 0, "churn must exercise the nursery");
+        assert!(
+            stats.nursery_bytes_recycled > 0,
+            "aborts must recycle regions"
+        );
+    }
+}
+
+/// Commit publishes nursery blocks as ordinary heap memory: they survive
+/// the transaction, `free` recycles them through the class shards, and the
+/// next transaction's nursery reuses the space.
+#[test]
+fn nursery_blocks_survive_commit_and_free_normally() {
+    let rt = nursery_rt(LogKind::Tree);
+    let mut w = rt.spawn_worker();
+    let p = w.txn(|tx| {
+        let p = tx.alloc(64)?;
+        for i in 0..8 {
+            tx.write(&S_ESC, p.word(i), 0xC0 + i)?;
+        }
+        Ok(p)
+    });
+    for i in 0..8 {
+        assert_eq!(w.load(p.word(i)), 0xC0 + i, "published value survives");
+    }
+    let live = rt.heap().bytes_allocated();
+    w.free_raw(p);
+    assert!(rt.heap().bytes_allocated() < live);
+    // A later transaction must classify fresh nursery blocks again.
+    let q = w.txn(|tx| {
+        let q = tx.alloc(64)?;
+        tx.write(&S_ESC, q, 1)?;
+        Ok(q)
+    });
+    assert_eq!(w.load(q), 1);
+    assert!(
+        w.stats.nursery_hits >= 9,
+        "both transactions used the nursery"
+    );
+}
+
+/// Aborted transactions leave no trace: the whole nursery (several chained
+/// regions' worth) is un-published wholesale.
+#[test]
+fn nursery_abort_reclaims_chained_regions() {
+    let rt = nursery_rt(LogKind::Tree);
+    let baseline = rt.heap().bytes_allocated();
+    let mut w = rt.spawn_worker();
+    let r: Result<(), u64> = w.txn_result(|tx| {
+        // 8 region-filling blocks: forces several chains.
+        for _ in 0..8 {
+            let p = tx.alloc(4000)?;
+            tx.write(&S_ESC, p, 9)?;
+        }
+        Err(Abort::User(3))
+    });
+    assert!(r.is_err());
+    assert_eq!(
+        rt.heap().bytes_allocated(),
+        baseline,
+        "abort must leak nothing"
+    );
+    let stats = w.stats;
+    assert!(stats.nursery_regions >= 4, "chaining expected: {stats:?}");
+    assert!(
+        stats.nursery_bytes_recycled >= stats.nursery_regions * 4096,
+        "whole regions must come back: {stats:?}"
+    );
+}

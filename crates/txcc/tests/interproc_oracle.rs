@@ -239,7 +239,11 @@ fn arity_mismatched_call_is_not_unsoundly_elided() {
 
     let naive = txcc::compile(&prog, OptLevel::Naive);
     let iproc = txcc::compile(&prog, OptLevel::CaptureInterproc);
-    assert_eq!(run_snapshot(&naive), run_snapshot(&iproc), "semantics diverged");
+    assert_eq!(
+        run_snapshot(&naive),
+        run_snapshot(&iproc),
+        "semantics diverged"
+    );
 
     let mut cfg = TxConfig::default();
     cfg.classify = true;

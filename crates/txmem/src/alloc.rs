@@ -15,8 +15,31 @@ pub const SIZE_CLASSES: [u64; 16] = [
 /// Largest payload served from the size-class fast path.
 pub const MAX_SMALL_BYTES: u64 = SIZE_CLASSES[SIZE_CLASSES.len() - 1] - HEADER_BYTES;
 
-const HEADER_BYTES: u64 = WORD_BYTES;
+/// Every block (size-class or nursery-bump) starts with one word holding
+/// its total byte count; the payload address is `block + HEADER_BYTES`.
+pub const HEADER_BYTES: u64 = WORD_BYTES;
 const NCLASSES: usize = SIZE_CLASSES.len();
+/// Bytes per nursery region: one largest-size-class block, so regions are
+/// carved from and recycled to the very same lock-free frontier /
+/// recycled-block shards that back ordinary allocations.
+pub const NURSERY_REGION_BYTES: u64 = SIZE_CLASSES[NCLASSES - 1];
+const REGION_CLASS: usize = NCLASSES - 1;
+/// Largest *total* block size (header included) served from a nursery
+/// region; bigger blocks take the classic allocation path. Half a region,
+/// so a region always fits at least two of the biggest nursery blocks.
+pub const NURSERY_MAX_BLOCK_BYTES: u64 = NURSERY_REGION_BYTES / 2;
+
+/// Round a payload request up to the size-class block total (header
+/// included) the allocator would serve it with; `None` for large blocks.
+/// Nursery bump allocation uses the same rounding so a nursery block is
+/// byte-for-byte identical to a free-list block: `usable_size` and `free`
+/// work on it unchanged, and a post-commit `free` recycles it into the
+/// ordinary class shards.
+#[inline]
+pub fn small_block_total(payload: u64) -> Option<u64> {
+    let total = (payload.max(1) + HEADER_BYTES).div_ceil(WORD_BYTES) * WORD_BYTES;
+    size_to_class(total).map(|c| SIZE_CLASSES[c])
+}
 /// How many blocks a thread pulls from / spills to a shard pool at once.
 const BATCH: usize = 16;
 /// A thread free list longer than this spills half back to its home shard.
@@ -259,17 +282,120 @@ impl TxHeap {
             .fetch_sub(total - HEADER_BYTES, Ordering::Relaxed);
         match size_to_class(total) {
             Some(class) if SIZE_CLASSES[class] == total => {
-                ta.free[class].push(block);
-                if ta.free[class].len() > SPILL_AT {
-                    let spill_at = ta.free[class].len() / 2;
-                    let mut s = self.shards[ta.stripe].lock().unwrap();
-                    s.free[class].extend(ta.free[class].drain(spill_at..));
-                }
+                self.push_block(ta, class, block);
             }
             _ => {
                 self.large_free.lock().unwrap().push((block, total));
             }
         }
+    }
+
+    /// Return a class-sized block to the thread's free list, spilling half
+    /// to the home shard when the list grows past [`SPILL_AT`].
+    fn push_block(&self, ta: &mut ThreadAlloc, class: usize, block: u64) {
+        ta.free[class].push(block);
+        if ta.free[class].len() > SPILL_AT {
+            let spill_at = ta.free[class].len() / 2;
+            let mut s = self.shards[ta.stripe].lock().unwrap();
+            s.free[class].extend(ta.free[class].drain(spill_at..));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Nursery regions (transaction-local bump allocation).
+    //
+    // A nursery region is one largest-size-class block used as raw space:
+    // the transaction bump-allocates class-rounded blocks (with ordinary
+    // headers) inside it. Because regions are just class blocks, carving
+    // comes from — and whole-region recycling returns to — the existing
+    // frontier/shard machinery, with no new allocator state.
+    // ------------------------------------------------------------------
+
+    /// Carve one [`NURSERY_REGION_BYTES`] region for a transaction's
+    /// nursery; `None` when the simulated heap is exhausted.
+    pub fn carve_region(&self, ta: &mut ThreadAlloc) -> Option<u64> {
+        match ta.free[REGION_CLASS].pop() {
+            Some(b) => Some(b),
+            None => self.refill(ta, REGION_CLASS),
+        }
+    }
+
+    /// Try to grow a region whose end is exactly the current bump frontier
+    /// by [`NURSERY_REGION_BYTES`] in place — one CAS, succeeding only if
+    /// no other thread carved in between (the contiguity the nursery's
+    /// scalar range test needs).
+    pub fn try_extend_region(&self, hi: u64) -> bool {
+        let next = hi + NURSERY_REGION_BYTES;
+        if next > self.end {
+            return false;
+        }
+        self.bump
+            .compare_exchange(hi, next, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Initialize a nursery bump block at `block` (a class-rounded `total`
+    /// from [`small_block_total`]): write the header, zero the payload,
+    /// account the bytes. The result is indistinguishable from a block
+    /// returned by [`TxHeap::alloc`].
+    pub fn init_nursery_block(&self, ta: &mut ThreadAlloc, block: u64, total: u64) -> Addr {
+        debug_assert_eq!(size_to_class(total).map(|c| SIZE_CLASSES[c]), Some(total));
+        self.mem.store_private(Addr(block), total);
+        ta.alloc_count += 1;
+        let payload = Addr(block + HEADER_BYTES);
+        let usable = total - HEADER_BYTES;
+        self.mem.zero_range(payload, usable);
+        self.bytes_allocated.fetch_add(usable, Ordering::Relaxed);
+        payload
+    }
+
+    /// Drop `usable` bytes from the live-byte telemetry without touching
+    /// any free list — used when nursery memory is reclaimed wholesale
+    /// (bump-back, hole punch, abort-time region recycling), where the
+    /// space returns via the region itself rather than `free`. An abort
+    /// settles all of a transaction's nursery blocks with one call.
+    pub fn forget_live_bytes(&self, usable: u64) {
+        self.bytes_allocated.fetch_sub(usable, Ordering::Relaxed);
+    }
+
+    /// Recycle a headered class block (e.g. a nursery block whose free was
+    /// deferred to commit) straight onto the thread's class free list —
+    /// never the large-block lock. Byte accounting must already have been
+    /// settled via [`TxHeap::forget_live_bytes`].
+    pub fn recycle_block(&self, ta: &mut ThreadAlloc, addr: Addr) {
+        let block = addr.0 - HEADER_BYTES;
+        let total = self.mem.load_private(Addr(block));
+        let class = size_to_class(total).expect("nursery blocks are class-sized");
+        debug_assert_eq!(SIZE_CLASSES[class], total);
+        self.push_block(ta, class, block);
+    }
+
+    /// Return an arbitrary (16-byte-granular) byte range — a whole aborted
+    /// nursery region, or the unused tail trimmed at commit — to the
+    /// recycled shards, splitting it greedily into size-class blocks.
+    /// A full region is a single push (O(1) per region); partial tails
+    /// split into at most a handful of pieces. Returns the bytes recycled.
+    pub fn recycle_region_range(&self, ta: &mut ThreadAlloc, start: u64, len: u64) -> u64 {
+        debug_assert!(start.is_multiple_of(WORD_BYTES) && len.is_multiple_of(WORD_BYTES));
+        let mut a = start;
+        let end = start + len;
+        while end - a >= SIZE_CLASSES[0] {
+            let rem = end - a;
+            let class = SIZE_CLASSES
+                .iter()
+                .rposition(|&c| c <= rem)
+                .expect("rem >= smallest class");
+            self.push_block(ta, class, a);
+            a += SIZE_CLASSES[class];
+        }
+        a - start
+    }
+
+    /// Free large blocks currently parked behind the single large-block
+    /// lock (diagnostics; lets tests assert small-block churn never takes
+    /// the global lock path).
+    pub fn large_free_blocks(&self) -> usize {
+        self.large_free.lock().unwrap().len()
     }
 
     /// Usable payload bytes of an allocated block. The capture log records
@@ -415,6 +541,98 @@ mod tests {
         assert_eq!(ThreadAlloc::with_stripe(0).stripe(), 0);
         assert_eq!(ThreadAlloc::with_stripe(NSHARDS).stripe(), 0);
         assert_eq!(ThreadAlloc::with_stripe(NSHARDS + 3).stripe(), 3);
+    }
+
+    #[test]
+    fn small_block_total_matches_alloc_rounding() {
+        let (_, heap, mut ta) = mk();
+        for req in [1u64, 7, 8, 24, 100, 1000, 4000] {
+            let total = small_block_total(req).unwrap();
+            assert!(total - HEADER_BYTES >= req);
+            let a = heap.alloc(&mut ta, req).unwrap();
+            assert_eq!(heap.usable_size(a), total - HEADER_BYTES, "req={req}");
+        }
+        assert_eq!(small_block_total(MAX_SMALL_BYTES + 1), None);
+    }
+
+    #[test]
+    fn nursery_blocks_are_ordinary_blocks() {
+        // A bump block initialized inside a carved region must satisfy
+        // usable_size and free exactly like a free-list block.
+        let (mem, heap, mut ta) = mk();
+        let region = heap.carve_region(&mut ta).expect("region");
+        let total = small_block_total(100).unwrap();
+        let a = heap.init_nursery_block(&mut ta, region, total);
+        assert_eq!(heap.usable_size(a), total - HEADER_BYTES);
+        for i in 0..(total - HEADER_BYTES) / 8 {
+            assert_eq!(mem.load(a.word(i)), 0, "payload zeroed");
+        }
+        // Publish-then-free: the block recycles into the class shards, not
+        // the large-block lock.
+        let large_before = heap.large_free_blocks();
+        heap.free(&mut ta, a);
+        assert_eq!(heap.large_free_blocks(), large_before);
+        let b = heap.alloc(&mut ta, 100).unwrap();
+        assert_eq!(a, b, "freed nursery block is LIFO-recycled");
+    }
+
+    #[test]
+    fn region_recycling_roundtrips() {
+        let (_, heap, mut ta) = mk();
+        let before = heap.bytes_allocated();
+        let region = heap.carve_region(&mut ta).expect("region");
+        // Whole-region recycle is a single class push.
+        assert_eq!(
+            heap.recycle_region_range(&mut ta, region, NURSERY_REGION_BYTES),
+            NURSERY_REGION_BYTES
+        );
+        // A 16-byte-granular tail splits with nothing left over.
+        let region2 = heap.carve_region(&mut ta).expect("region");
+        let tail = NURSERY_REGION_BYTES - 4096 - 48;
+        assert_eq!(
+            heap.recycle_region_range(&mut ta, region2 + 4096 + 48, tail),
+            tail
+        );
+        assert_eq!(
+            heap.bytes_allocated(),
+            before,
+            "regions never count as live"
+        );
+    }
+
+    #[test]
+    fn try_extend_region_needs_the_frontier() {
+        let (_, heap, mut ta) = mk();
+        // Burn the thread cache so carving hits the frontier, then carve a
+        // fresh batch: the *last* block of the carved batch ends at the
+        // frontier and can extend; earlier ones cannot.
+        let mut regions = Vec::new();
+        for _ in 0..BATCH + 1 {
+            regions.push(heap.carve_region(&mut ta).expect("region"));
+        }
+        regions.sort_unstable();
+        let last_end = regions.last().unwrap() + NURSERY_REGION_BYTES;
+        assert!(!heap.try_extend_region(regions[0] + NURSERY_REGION_BYTES));
+        assert!(heap.try_extend_region(last_end));
+        assert!(
+            !heap.try_extend_region(last_end),
+            "the frontier moved; the same edge cannot extend twice"
+        );
+    }
+
+    #[test]
+    fn forget_and_recycle_block_settle_accounting() {
+        let (_, heap, mut ta) = mk();
+        let before = heap.bytes_allocated();
+        let region = heap.carve_region(&mut ta).expect("region");
+        let total = small_block_total(40).unwrap();
+        let a = heap.init_nursery_block(&mut ta, region, total);
+        assert_eq!(heap.bytes_allocated(), before + total - HEADER_BYTES);
+        heap.forget_live_bytes(total - HEADER_BYTES);
+        assert_eq!(heap.bytes_allocated(), before);
+        heap.recycle_block(&mut ta, a);
+        let b = heap.alloc(&mut ta, 40).unwrap();
+        assert_eq!(a, b, "recycled block is on the class free list");
     }
 
     #[test]

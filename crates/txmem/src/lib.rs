@@ -29,7 +29,10 @@ mod pad;
 mod stack;
 
 pub use addr::{Addr, NULL, WORD_BYTES};
-pub use alloc::{AllocError, ThreadAlloc, TxHeap, MAX_SMALL_BYTES, NSHARDS, SIZE_CLASSES};
+pub use alloc::{
+    small_block_total, AllocError, ThreadAlloc, TxHeap, HEADER_BYTES, MAX_SMALL_BYTES, NSHARDS,
+    NURSERY_MAX_BLOCK_BYTES, NURSERY_REGION_BYTES, SIZE_CLASSES,
+};
 pub use mem::{MemConfig, MemLayout, SharedMem};
 pub use pad::CachePadded;
 pub use stack::ThreadStack;

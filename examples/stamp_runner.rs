@@ -7,7 +7,9 @@
 //! cargo run --release --example stamp_runner -- all 4 compiler
 //! ```
 //!
-//! Arguments: `<benchmark|all> [threads] [baseline|tree|array|filter|compiler|compiler-interproc]`.
+//! Arguments: `<benchmark|all> [threads]
+//! [baseline|tree|array|filter|nursery|compiler|compiler-interproc]`
+//! (`nursery` = runtime-tree with per-transaction nursery allocation).
 
 use stamp::{Benchmark, Scale};
 use stm::{CheckScope, LogKind, Mode, TxConfig};
@@ -28,29 +30,27 @@ fn parse_benchmark(s: &str) -> Option<Benchmark> {
     })
 }
 
-fn parse_mode(s: &str) -> Option<Mode> {
+fn parse_mode(s: &str) -> Option<TxConfig> {
     Some(match s {
-        "baseline" => Mode::Baseline,
-        "compiler" => Mode::Compiler,
-        "compiler-interproc" => Mode::CompilerInterproc,
-        "tree" => Mode::Runtime {
-            log: LogKind::Tree,
-            scope: CheckScope::FULL,
-        },
-        "array" => Mode::Runtime {
+        "baseline" => TxConfig::with_mode(Mode::Baseline),
+        "compiler" => TxConfig::with_mode(Mode::Compiler),
+        "compiler-interproc" => TxConfig::with_mode(Mode::CompilerInterproc),
+        "tree" => TxConfig::runtime_tree_full(),
+        "nursery" => TxConfig::runtime_tree_nursery(),
+        "array" => TxConfig::with_mode(Mode::Runtime {
             log: LogKind::Array,
             scope: CheckScope::FULL,
-        },
-        "filter" => Mode::Runtime {
+        }),
+        "filter" => TxConfig::with_mode(Mode::Runtime {
             log: LogKind::Filter,
             scope: CheckScope::FULL,
-        },
+        }),
         _ => return None,
     })
 }
 
-fn run_one(b: Benchmark, threads: usize, mode: Mode) {
-    let out = b.run(Scale::Full, TxConfig::with_mode(mode), threads);
+fn run_one(b: Benchmark, threads: usize, cfg: TxConfig) {
+    let out = b.run(Scale::Full, cfg, threads);
     let all = out.stats.all_accesses();
     println!(
         "{:<14} {:>8.3}s  {:>9} commits  {:>8} aborts (ratio {:.2})  \
@@ -71,20 +71,18 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
     let threads: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
-    let mode = args
+    let cfg = args
         .get(2)
         .map(|s| {
-            parse_mode(s).expect("mode: baseline|tree|array|filter|compiler|compiler-interproc")
+            parse_mode(s)
+                .expect("mode: baseline|tree|array|filter|nursery|compiler|compiler-interproc")
         })
-        .unwrap_or(Mode::Runtime {
-            log: LogKind::Tree,
-            scope: CheckScope::FULL,
-        });
+        .unwrap_or_else(TxConfig::runtime_tree_full);
 
-    println!("# scale=full threads={threads} mode={}", mode.label());
+    println!("# scale=full threads={threads} mode={}", cfg.label());
     if which == "all" {
         for b in Benchmark::ALL {
-            run_one(b, threads, mode);
+            run_one(b, threads, cfg);
         }
     } else {
         let b = parse_benchmark(which).unwrap_or_else(|| {
@@ -94,6 +92,6 @@ fn main() {
             );
             std::process::exit(2);
         });
-        run_one(b, threads, mode);
+        run_one(b, threads, cfg);
     }
 }

@@ -7,31 +7,41 @@
 use stamp::{Benchmark, Scale};
 use stm::{CheckScope, LogKind, Mode, TxConfig};
 
-fn all_modes() -> Vec<Mode> {
-    let mut v = vec![Mode::Baseline, Mode::Compiler, Mode::CompilerInterproc];
+fn all_configs() -> Vec<TxConfig> {
+    let mut v: Vec<TxConfig> = [Mode::Baseline, Mode::Compiler, Mode::CompilerInterproc]
+        .into_iter()
+        .map(TxConfig::with_mode)
+        .collect();
     for log in LogKind::ALL {
-        v.push(Mode::Runtime {
+        let cfg = TxConfig::with_mode(Mode::Runtime {
             log,
             scope: CheckScope::FULL,
         });
+        v.push(cfg);
+        // The same runtime analysis with nursery allocation: alloc-heavy
+        // apps (vacation, intruder, yada) exercise region carving,
+        // chaining, and O(1) abort reclamation here.
+        let mut nur = cfg;
+        nur.nursery = true;
+        v.push(nur);
     }
-    v.push(Mode::Runtime {
+    v.push(TxConfig::with_mode(Mode::Runtime {
         log: LogKind::Tree,
         scope: CheckScope::WRITES_STACK_HEAP,
-    });
-    v.push(Mode::Runtime {
+    }));
+    v.push(TxConfig::with_mode(Mode::Runtime {
         log: LogKind::Tree,
         scope: CheckScope::WRITES_HEAP,
-    });
+    }));
     v
 }
 
 #[test]
 fn every_benchmark_verifies_under_every_mode_single_thread() {
     for b in Benchmark::ALL {
-        for mode in all_modes() {
-            let out = b.run(Scale::Test, TxConfig::with_mode(mode), 1);
-            assert!(out.verified, "{} failed under {mode:?}", b.name());
+        for cfg in all_configs() {
+            let out = b.run(Scale::Test, cfg, 1);
+            assert!(out.verified, "{} failed under {}", b.name(), cfg.label());
             assert_eq!(out.stats.aborts, 0, "single thread cannot conflict");
         }
     }
@@ -40,17 +50,20 @@ fn every_benchmark_verifies_under_every_mode_single_thread() {
 #[test]
 fn every_benchmark_verifies_multithreaded() {
     for b in Benchmark::ALL {
-        for mode in [
-            Mode::Baseline,
-            Mode::Runtime {
-                log: LogKind::Tree,
-                scope: CheckScope::FULL,
-            },
-            Mode::Compiler,
-            Mode::CompilerInterproc,
+        for cfg in [
+            TxConfig::with_mode(Mode::Baseline),
+            TxConfig::runtime_tree_full(),
+            TxConfig::runtime_tree_nursery(),
+            TxConfig::with_mode(Mode::Compiler),
+            TxConfig::with_mode(Mode::CompilerInterproc),
         ] {
-            let out = b.run(Scale::Test, TxConfig::with_mode(mode), 4);
-            assert!(out.verified, "{} failed under {mode:?} @4T", b.name());
+            let out = b.run(Scale::Test, cfg, 4);
+            assert!(
+                out.verified,
+                "{} failed under {} @4T",
+                b.name(),
+                cfg.label()
+            );
         }
     }
 }
@@ -61,20 +74,55 @@ fn elision_does_not_change_single_thread_commit_counts() {
     // execute exactly the same transactions.
     for b in Benchmark::ALL {
         let base = b.run(Scale::Test, TxConfig::with_mode(Mode::Baseline), 1);
-        for mode in all_modes() {
-            let out = b.run(Scale::Test, TxConfig::with_mode(mode), 1);
+        for cfg in all_configs() {
+            let out = b.run(Scale::Test, cfg, 1);
             assert_eq!(
                 out.stats.commits,
                 base.stats.commits,
-                "{} commit count diverged under {mode:?}",
-                b.name()
+                "{} commit count diverged under {}",
+                b.name(),
+                cfg.label()
             );
             assert_eq!(
                 out.stats.all_accesses().total,
                 base.stats.all_accesses().total,
-                "{} barrier count diverged under {mode:?}",
-                b.name()
+                "{} barrier count diverged under {}",
+                b.name(),
+                cfg.label()
             );
+        }
+    }
+}
+
+#[test]
+fn nursery_covers_the_captured_heap_on_alloc_heavy_apps() {
+    // The nursery must agree with the tree on what is elidable (exactness)
+    // and serve the bulk of captured-heap verdicts from its scalar range
+    // on the allocation-heavy applications.
+    for b in Benchmark::ALL {
+        let plain = b.run(Scale::Test, TxConfig::runtime_tree_full(), 1);
+        let nur = b.run(Scale::Test, TxConfig::runtime_tree_nursery(), 1);
+        assert!(nur.verified, "{} failed with nursery", b.name());
+        let pa = plain.stats.all_accesses();
+        let na = nur.stats.all_accesses();
+        assert_eq!(
+            (na.elided_stack, na.elided_heap, na.parent_captured, na.full),
+            (pa.elided_stack, pa.elided_heap, pa.parent_captured, pa.full),
+            "{}: nursery classification diverged from the tree",
+            b.name()
+        );
+        if matches!(
+            b.name(),
+            "vacation high" | "vacation low" | "intruder" | "yada"
+        ) {
+            assert!(
+                nur.stats.nursery_hits * 2 >= na.elided_heap,
+                "{}: nursery served {} of {} heap elisions",
+                b.name(),
+                nur.stats.nursery_hits,
+                na.elided_heap
+            );
+            assert!(nur.stats.nursery_regions > 0, "{}: no regions", b.name());
         }
     }
 }
