@@ -11,8 +11,13 @@
 //!                                # enforces the superset/ordering/oracle
 //!                                # gates and writes BENCH_elision.json
 //!                                # with --out
-//! expt barriers [--max-ratio F]  # barrier_dispatch microbenchmark (Markdown);
-//!                                # exits 1 if captured/direct ratio exceeds F
+//! expt barriers [--max-ratio F] [--max-typed-ratio F]
+//!                                # barrier_dispatch microbenchmark (Markdown);
+//!                                # exits 1 if captured/direct ratio exceeds
+//!                                # --max-ratio, or if the typed-layer row
+//!                                # exceeds --max-typed-ratio x the raw tree
+//!                                # row (the ISSUE-5 zero-cost gate;
+//!                                # release acceptance bar 1.10)
 //! expt bench-json [--out FILE] [--benchmarks a,b] [--max-nursery-ratio F]
 //!                                # BENCH_barriers.json emitter.
 //!                                # --benchmarks restricts the STAMP rows to a
@@ -46,7 +51,7 @@ fn usage() -> ! {
         "usage: expt <fig8|fig9|fig10|fig11a|fig11b|table1|table2|annotations|orec|check|\
          barriers|bench-json|scaling|elision|nursery|all> \
          [--scale test|small|full] [--threads N] [--runs K] [--out FILE] [--max-ratio F] \
-         [--min-speedup F] [--benchmarks a,b] [--max-nursery-ratio F]"
+         [--max-typed-ratio F] [--min-speedup F] [--benchmarks a,b] [--max-nursery-ratio F]"
     );
     std::process::exit(2);
 }
@@ -65,6 +70,7 @@ fn main() {
     let mut opts = bench::ExptOpts::default();
     let mut out_path: Option<String> = None;
     let mut max_ratio: Option<f64> = None;
+    let mut max_typed_ratio: Option<f64> = None;
     let mut min_speedup: Option<f64> = None;
     let mut max_nursery_ratio: Option<f64> = None;
     let mut benchmarks: Option<Vec<stamp::Benchmark>> = None;
@@ -78,6 +84,14 @@ fn main() {
             "--max-ratio" => {
                 i += 1;
                 max_ratio = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--max-typed-ratio" => {
+                i += 1;
+                max_typed_ratio = Some(
                     args.get(i)
                         .and_then(|s| s.parse::<f64>().ok())
                         .unwrap_or_else(|| usage()),
@@ -180,6 +194,22 @@ fn main() {
                     std::process::exit(1);
                 }
                 eprintln!("# fast-path ratio {ratio:.2} within --max-ratio {max:.2}");
+            }
+            if let Some(max) = max_typed_ratio {
+                // Regression gate (CI): the typed object layer must stay
+                // zero-cost — its captured-heap row is the same workload
+                // as the raw tree row through `read_field`-family entry
+                // points, so any real gap means the typed wrappers stopped
+                // inlining down to the word barriers.
+                let ratio = bench::micro::typed_ratio(&results)
+                    .expect("typed pin measurements missing from results");
+                if ratio > max {
+                    eprintln!(
+                        "# FAIL: typed/raw ratio {ratio:.2} exceeds --max-typed-ratio {max:.2}"
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!("# typed/raw ratio {ratio:.2} within --max-typed-ratio {max:.2}");
             }
         }
         "bench-json" => {

@@ -38,27 +38,44 @@ impl Default for ExptOpts {
     }
 }
 
-/// The named configurations of the paper's evaluation.
+/// The named configurations of the paper's evaluation, assembled through
+/// the validating [`TxConfig::builder`] (the combinations here are static
+/// and correct, so the `expect`s are unreachable; the point is that the
+/// harness exercises the same front door user configurations come
+/// through).
 pub fn baseline_cfg() -> TxConfig {
-    TxConfig::with_mode(Mode::Baseline)
+    TxConfig::builder()
+        .mode(Mode::Baseline)
+        .build()
+        .expect("baseline preset is valid")
 }
 
 pub fn runtime_cfg(log: LogKind, scope: CheckScope) -> TxConfig {
-    TxConfig::with_mode(Mode::Runtime { log, scope })
+    TxConfig::builder()
+        .mode(Mode::Runtime { log, scope })
+        .build()
+        .expect("runtime preset is valid")
 }
 
 pub fn compiler_cfg() -> TxConfig {
-    TxConfig::with_mode(Mode::Compiler)
+    TxConfig::builder()
+        .mode(Mode::Compiler)
+        .build()
+        .expect("compiler preset is valid")
 }
 
 pub fn compiler_interproc_cfg() -> TxConfig {
-    TxConfig::with_mode(Mode::CompilerInterproc)
+    TxConfig::builder()
+        .mode(Mode::CompilerInterproc)
+        .build()
+        .expect("compiler-interproc preset is valid")
 }
 
 fn classify_cfg() -> TxConfig {
-    let mut c = TxConfig::with_mode(Mode::Baseline);
-    c.classify = true;
-    c
+    TxConfig::builder()
+        .classify(true)
+        .build()
+        .expect("classify preset is valid")
 }
 
 fn pct(num: u64, den: u64) -> f64 {

@@ -104,15 +104,20 @@ fn measure_interleaved(opts: &MicroOpts, mut rows: Vec<Row>) -> Vec<MicroResult>
 }
 
 fn runtime_cfg(log: LogKind, reference: bool) -> TxConfig {
-    let mut cfg = TxConfig::with_mode(Mode::Runtime {
-        log,
-        scope: CheckScope::FULL,
-    });
-    cfg.reference_dispatch = reference;
-    cfg
+    TxConfig::builder()
+        .mode(Mode::Runtime {
+            log,
+            scope: CheckScope::FULL,
+        })
+        .reference_dispatch(reference)
+        .build()
+        .expect("runtime microbench config is valid")
 }
 
 fn nursery_cfg(reference: bool) -> TxConfig {
+    // Derive from the canonical preset (the documented single source of
+    // truth for nursery-on comparisons) so these rows can never drift
+    // from what expt/stamp_runner and the tests measure.
     let mut cfg = TxConfig::runtime_tree_nursery();
     cfg.reference_dispatch = reference;
     cfg
@@ -181,6 +186,31 @@ pub fn barrier_dispatch(opts: &MicroOpts) -> Vec<MicroResult> {
             runtime_cfg(log, false),
             &mut spawn,
         ));
+    }
+
+    // --- the same workload through the typed object layer ---
+    // Zero-cost pin: `alloc_buf`/`write_elem`/`read_elem` must lower to
+    // the identical inline fast path as the raw `alloc`/`write`/`read`
+    // row above (tree log, same block size, same access pattern). Gated
+    // against the raw tree row in release runs (`--max-typed-ratio`).
+    {
+        let (_, mut w) = spawn(runtime_cfg(LogKind::Tree, false));
+        rows.push(Row {
+            name: "captured heap hit/tree (typed)".into(),
+            run: Box::new(move || {
+                w.txn(|tx| {
+                    let b = tx.alloc_buf::<u64>(WORDS)?;
+                    let mut acc = 0u64;
+                    for i in 0..WORDS {
+                        tx.write_elem(&S_CAP, b, i, i)?;
+                        acc = acc.wrapping_add(tx.read_elem(&S_CAP, b, i)?);
+                    }
+                    tx.free_buf(b);
+                    Ok(std::hint::black_box(acc))
+                });
+            }),
+            samples: Vec::new(),
+        });
     }
 
     // --- nursery bump region: the two-compare captured-heap check ---
@@ -263,6 +293,21 @@ pub fn nursery_ratio(results: &[MicroResult]) -> Option<f64> {
     ratio_of(results, "captured heap hit/nursery")
 }
 
+/// The typed layer's zero-cost ratio (ISSUE 5): the captured-heap hit
+/// through `alloc_buf`/`write_elem`/`read_elem` over the identical
+/// workload through the raw word API (both tree log). Release acceptance
+/// bar: ≤ 1.10x; CI gates looser for noisy shared runners.
+pub fn typed_ratio(results: &[MicroResult]) -> Option<f64> {
+    let find = |name: &str| results.iter().find(|r| r.name == name).map(|r| r.ns_per_op);
+    let raw = find("captured heap hit/tree")?;
+    let typed = find("captured heap hit/tree (typed)")?;
+    if raw > 0.0 {
+        Some(typed / raw)
+    } else {
+        None
+    }
+}
+
 fn ratio_of(results: &[MicroResult], name: &str) -> Option<f64> {
     let find = |name: &str| results.iter().find(|r| r.name == name).map(|r| r.ns_per_op);
     let direct = find("direct (load+store, no barrier)")?;
@@ -302,6 +347,11 @@ pub fn render_markdown(results: &[MicroResult], opts: &MicroOpts) -> String {
             "captured-heap fast path (nursery) vs direct: {ratio:.2}x\n"
         ));
     }
+    if let Some(ratio) = typed_ratio(results) {
+        out.push_str(&format!(
+            "typed layer vs raw word API (tree captured hit): {ratio:.2}x\n"
+        ));
+    }
     out
 }
 
@@ -312,12 +362,14 @@ mod tests {
     #[test]
     fn smoke_run_measures_every_path() {
         let results = barrier_dispatch(&MicroOpts::smoke());
-        assert_eq!(results.len(), 11);
+        assert_eq!(results.len(), 12);
         assert!(results.iter().all(|r| r.ns_per_op > 0.0));
         let ratio = fastpath_ratio(&results).expect("both pin measurements present");
         assert!(ratio.is_finite() && ratio > 0.0);
         let nratio = nursery_ratio(&results).expect("nursery pin present");
         assert!(nratio.is_finite() && nratio > 0.0);
+        let tratio = typed_ratio(&results).expect("typed pin present");
+        assert!(tratio.is_finite() && tratio > 0.0);
         // No timing assertion here: debug builds and CI noise make absolute
         // ratios meaningless outside `--release` runs.
     }

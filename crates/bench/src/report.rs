@@ -7,7 +7,7 @@
 use stamp::{Benchmark, Scale};
 use stm::{CheckScope, LogKind, Mode, TxConfig};
 
-use crate::micro::{barrier_dispatch, fastpath_ratio, nursery_ratio, MicroOpts};
+use crate::micro::{barrier_dispatch, fastpath_ratio, nursery_ratio, typed_ratio, MicroOpts};
 use crate::ExptOpts;
 
 pub(crate) fn esc(s: &str) -> String {
@@ -127,6 +127,10 @@ pub fn bench_json_from(
         )),
         None => out.push_str("  \"captured_nursery_vs_direct_ratio\": null,\n"),
     }
+    match typed_ratio(results) {
+        Some(r) => out.push_str(&format!("  \"captured_typed_vs_raw_ratio\": {r:.3},\n")),
+        None => out.push_str("  \"captured_typed_vs_raw_ratio\": null,\n"),
+    }
 
     out.push_str("  \"stamp\": [\n");
     let configs = tracked_configs();
@@ -184,6 +188,8 @@ mod tests {
         assert!(json.contains("captured heap hit/tree"));
         assert!(json.contains("captured heap hit/nursery"));
         assert!(json.contains("\"captured_nursery_vs_direct_ratio\": "));
+        assert!(json.contains("captured heap hit/tree (typed)"));
+        assert!(json.contains("\"captured_typed_vs_raw_ratio\": "));
         assert!(json.contains("\"stamp\": ["));
         assert!(
             json.contains("\"threads\": 1,"),

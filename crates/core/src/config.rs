@@ -40,6 +40,7 @@ impl CheckScope {
         heap: true,
     };
 
+    /// Display label, e.g. `r+w/stack+heap` (used by experiment tables).
     pub fn label(&self) -> String {
         let barriers = match (self.reads, self.writes) {
             (true, true) => "r+w",
@@ -65,7 +66,12 @@ pub enum Mode {
     Baseline,
     /// Runtime capture analysis (paper §3.1) with the chosen allocation-log
     /// data structure and check scope.
-    Runtime { log: LogKind, scope: CheckScope },
+    Runtime {
+        /// Allocation-log data structure for the captured-heap check.
+        log: LogKind,
+        /// Which barriers check which kinds of captured memory.
+        scope: CheckScope,
+    },
     /// Compiler capture analysis (paper §3.2): sites statically proven
     /// captured skip the barrier entirely; everything else runs the full
     /// barrier with *no* runtime checks.
@@ -79,6 +85,7 @@ pub enum Mode {
 }
 
 impl Mode {
+    /// Display label, e.g. `runtime-tree (r+w/stack+heap)`.
     pub fn label(&self) -> String {
         match self {
             Mode::Baseline => "baseline".into(),
@@ -90,8 +97,9 @@ impl Mode {
 }
 
 /// Full runtime configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TxConfig {
+    /// Barrier optimization mode (the paper's configurations).
     pub mode: Mode,
     /// Consult the thread's private-memory annotation log in barriers
     /// (paper §3.1.3). Off by default, matching the paper's evaluation
@@ -149,7 +157,166 @@ impl Default for TxConfig {
     }
 }
 
+/// Why a [`TxConfigBuilder`] refused to produce a configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `nursery(true)` without runtime capture analysis: the nursery's
+    /// scalar range cannot represent every block (overflow, holes, large
+    /// blocks), so it *requires* a backing allocation log to demote to —
+    /// and only [`Mode::Runtime`] carries one.
+    NurseryWithoutBackingLog,
+    /// `orec_log2` outside the supported 4..=26 range (the table is
+    /// `2^orec_log2` words; below 16 entries every address collides,
+    /// above 2^26 the table dwarfs the simulated memory it guards).
+    OrecLog2OutOfRange(u32),
+    /// `spin_tries` of zero: a barrier must re-examine a locked record at
+    /// least once before the contention manager gives up.
+    ZeroSpinTries,
+    /// `max_attempts` of zero: the livelock safety valve would fire on
+    /// the very first attempt.
+    ZeroMaxAttempts,
+    /// `backoff_shift_max` above 32: `1 << shift` spins would overflow
+    /// any sane backoff budget.
+    BackoffShiftTooLarge(u32),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NurseryWithoutBackingLog => write!(
+                f,
+                "nursery allocation requires runtime capture analysis \
+                 (Mode::Runtime) for its backing allocation log"
+            ),
+            ConfigError::OrecLog2OutOfRange(v) => {
+                write!(f, "orec_log2 {v} outside supported range 4..=26")
+            }
+            ConfigError::ZeroSpinTries => write!(f, "spin_tries must be at least 1"),
+            ConfigError::ZeroMaxAttempts => write!(f, "max_attempts must be at least 1"),
+            ConfigError::BackoffShiftTooLarge(v) => {
+                write!(
+                    f,
+                    "backoff_shift_max {v} exceeds the supported maximum of 32"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Fluent, validating builder for [`TxConfig`] — the front door for
+/// harnesses that assemble configurations from user input (`expt`,
+/// `stamp_runner`). Starts from [`TxConfig::default`] (baseline mode) and
+/// rejects inconsistent combinations at [`TxConfigBuilder::build`] time
+/// instead of silently ignoring flags at runtime.
+///
+/// ```
+/// use stm::{CheckScope, LogKind, Mode, TxConfig};
+///
+/// let cfg = TxConfig::builder()
+///     .mode(Mode::Runtime { log: LogKind::Tree, scope: CheckScope::FULL })
+///     .nursery(true)
+///     .build()
+///     .unwrap();
+/// assert!(cfg.nursery_active());
+///
+/// // The nursery needs a backing log; baseline mode has none.
+/// assert!(TxConfig::builder().nursery(true).build().is_err());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct TxConfigBuilder {
+    cfg: TxConfig,
+}
+
+impl TxConfigBuilder {
+    /// Barrier optimization mode (default: [`Mode::Baseline`]).
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Consult private-memory annotations in barriers (paper §3.1.3).
+    pub fn annotations(mut self, on: bool) -> Self {
+        self.cfg.annotations = on;
+        self
+    }
+
+    /// Maintain the precise Figure-8 classification shadow tree.
+    pub fn classify(mut self, on: bool) -> Self {
+        self.cfg.classify = on;
+        self
+    }
+
+    /// Per-transaction nursery allocation; requires a runtime mode (the
+    /// nursery demotes to its backing allocation log).
+    pub fn nursery(mut self, on: bool) -> Self {
+        self.cfg.nursery = on;
+        self
+    }
+
+    /// log2 of the transaction-record table size (default 20).
+    pub fn orec_log2(mut self, log2: u32) -> Self {
+        self.cfg.orec_log2 = log2;
+        self
+    }
+
+    /// Lock re-examination budget before the contention manager aborts.
+    pub fn spin_tries(mut self, tries: u32) -> Self {
+        self.cfg.spin_tries = tries;
+        self
+    }
+
+    /// Cap for the exponential-backoff shift.
+    pub fn backoff_shift_max(mut self, shift: u32) -> Self {
+        self.cfg.backoff_shift_max = shift;
+        self
+    }
+
+    /// Livelock safety valve: panic after this many consecutive aborts.
+    pub fn max_attempts(mut self, attempts: u64) -> Self {
+        self.cfg.max_attempts = attempts;
+        self
+    }
+
+    /// Route barriers through the enum-dispatch reference pipeline
+    /// (differential-testing oracle).
+    pub fn reference_dispatch(mut self, on: bool) -> Self {
+        self.cfg.reference_dispatch = on;
+        self
+    }
+
+    /// Validate the combination and produce the configuration.
+    pub fn build(self) -> Result<TxConfig, ConfigError> {
+        let c = &self.cfg;
+        if c.nursery && !matches!(c.mode, Mode::Runtime { .. }) {
+            return Err(ConfigError::NurseryWithoutBackingLog);
+        }
+        if !(4..=26).contains(&c.orec_log2) {
+            return Err(ConfigError::OrecLog2OutOfRange(c.orec_log2));
+        }
+        if c.spin_tries == 0 {
+            return Err(ConfigError::ZeroSpinTries);
+        }
+        if c.max_attempts == 0 {
+            return Err(ConfigError::ZeroMaxAttempts);
+        }
+        if c.backoff_shift_max > 32 {
+            return Err(ConfigError::BackoffShiftTooLarge(c.backoff_shift_max));
+        }
+        Ok(self.cfg)
+    }
+}
+
 impl TxConfig {
+    /// Fluent, validating builder; see [`TxConfigBuilder`].
+    pub fn builder() -> TxConfigBuilder {
+        TxConfigBuilder {
+            cfg: TxConfig::default(),
+        }
+    }
+
+    /// Default configuration with the given barrier mode.
     pub fn with_mode(mode: Mode) -> TxConfig {
         TxConfig {
             mode,
@@ -225,6 +392,74 @@ mod tests {
         assert!(!c.annotations);
         assert!(!c.classify);
         assert!(!c.nursery);
+    }
+
+    #[test]
+    fn builder_validates_combinations() {
+        // The happy path reproduces the canonical presets.
+        let built = TxConfig::builder()
+            .mode(Mode::Runtime {
+                log: LogKind::Tree,
+                scope: CheckScope::FULL,
+            })
+            .nursery(true)
+            .build()
+            .unwrap();
+        let preset = TxConfig::runtime_tree_nursery();
+        assert_eq!(built.mode, preset.mode);
+        assert_eq!(built.nursery, preset.nursery);
+        assert_eq!(built.orec_log2, preset.orec_log2);
+
+        // Nursery without a backing log is rejected for every non-runtime
+        // mode.
+        for mode in [Mode::Baseline, Mode::Compiler, Mode::CompilerInterproc] {
+            assert_eq!(
+                TxConfig::builder().mode(mode).nursery(true).build(),
+                Err(ConfigError::NurseryWithoutBackingLog)
+            );
+        }
+
+        // Range checks.
+        assert_eq!(
+            TxConfig::builder().orec_log2(2).build(),
+            Err(ConfigError::OrecLog2OutOfRange(2))
+        );
+        assert_eq!(
+            TxConfig::builder().orec_log2(30).build(),
+            Err(ConfigError::OrecLog2OutOfRange(30))
+        );
+        assert_eq!(
+            TxConfig::builder().spin_tries(0).build(),
+            Err(ConfigError::ZeroSpinTries)
+        );
+        assert_eq!(
+            TxConfig::builder().max_attempts(0).build(),
+            Err(ConfigError::ZeroMaxAttempts)
+        );
+        assert_eq!(
+            TxConfig::builder().backoff_shift_max(40).build(),
+            Err(ConfigError::BackoffShiftTooLarge(40))
+        );
+
+        // Errors render human-readable messages (the expt CLI prints them).
+        let msg = format!("{}", ConfigError::NurseryWithoutBackingLog);
+        assert!(msg.contains("backing allocation log"), "{msg}");
+
+        // Every remaining knob flows through.
+        let full = TxConfig::builder()
+            .annotations(true)
+            .classify(true)
+            .spin_tries(7)
+            .backoff_shift_max(9)
+            .max_attempts(123)
+            .reference_dispatch(true)
+            .build()
+            .unwrap();
+        assert!(full.annotations && full.classify && full.reference_dispatch);
+        assert_eq!(
+            (full.spin_tries, full.backoff_shift_max, full.max_attempts),
+            (7, 9, 123)
+        );
     }
 
     #[test]

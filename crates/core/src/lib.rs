@@ -60,6 +60,7 @@
 //! });
 //! assert_eq!(v, 1);
 //! ```
+#![warn(missing_docs)]
 
 mod barrier;
 mod clock;
@@ -71,12 +72,14 @@ mod runtime;
 mod site;
 mod stats;
 mod txalloc;
+mod typed;
 mod worker;
 
 pub use capture::{Capture, CapturePolicy, LogKind};
-pub use config::{CheckScope, Mode, TxConfig};
+pub use config::{CheckScope, ConfigError, Mode, TxConfig, TxConfigBuilder};
 pub use orec::OrecTable;
 pub use runtime::StmRuntime;
 pub use site::Site;
 pub use stats::{BarrierStats, TxStats};
+pub use typed::{Field, StackFrame, TxBuf, TxObject, TxPtr, TxWord};
 pub use worker::{Abort, Tx, TxResult, WorkerCtx};

@@ -34,6 +34,8 @@ pub struct OrecTable {
 }
 
 impl OrecTable {
+    /// Build a table of `2^log2` transaction records, all unlocked at
+    /// version 0.
     pub fn new(log2: u32) -> OrecTable {
         let n = 1usize << log2;
         let mut v = Vec::with_capacity(n);
@@ -53,20 +55,26 @@ impl OrecTable {
     }
 
     #[inline]
+    /// The record at `idx` (for re-examining a lock already hashed).
     pub fn at(&self, idx: u32) -> &AtomicU64 {
         &self.orecs[idx as usize]
     }
 
+    /// The record guarding `addr` and its index (addresses hash to
+    /// records at cache-line granularity).
     #[inline]
     pub fn of(&self, addr: Addr) -> (u32, &AtomicU64) {
         let idx = self.index_of(addr);
         (idx, &self.orecs[idx as usize])
     }
 
+    /// Number of records in the table.
     pub fn len(&self) -> usize {
         self.orecs.len()
     }
 
+    /// True if the table has no records (never the case for a table
+    /// built by [`OrecTable::new`]).
     pub fn is_empty(&self) -> bool {
         self.orecs.is_empty()
     }

@@ -41,6 +41,8 @@ struct TidPool {
 }
 
 impl StmRuntime {
+    /// Build a runtime over fresh simulated memory: resolves the barrier
+    /// dispatch table for `config` once, here.
     pub fn new(mem_cfg: MemConfig, config: TxConfig) -> StmRuntime {
         let mem = Arc::new(SharedMem::new(mem_cfg));
         let heap = TxHeap::new(mem.clone());
@@ -61,16 +63,19 @@ impl StmRuntime {
         }
     }
 
+    /// The simulated shared memory.
     #[inline]
     pub fn mem(&self) -> &SharedMem {
         &self.mem
     }
 
+    /// The shared heap allocator.
     #[inline]
     pub fn heap(&self) -> &TxHeap {
         &self.heap
     }
 
+    /// The configuration this runtime was built with.
     #[inline]
     pub fn config(&self) -> &TxConfig {
         &self.config
@@ -131,6 +136,7 @@ impl StmRuntime {
         *self.global_stats.lock().unwrap()
     }
 
+    /// Zero the runtime-wide aggregated statistics.
     pub fn reset_stats(&self) {
         *self.global_stats.lock().unwrap() = TxStats::default();
     }

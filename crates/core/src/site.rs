@@ -26,6 +26,7 @@
 /// equivalent mini-language programs (see DESIGN.md §4.2).
 #[derive(Debug)]
 pub struct Site {
+    /// Human-readable site name (diagnostics only).
     pub name: &'static str,
     /// Original STAMP manually instrumented this access.
     pub required: bool,

@@ -98,6 +98,7 @@ impl BarrierStats {
         self.full += d.full;
     }
 
+    /// Accumulate another worker's counters into this one.
     pub fn merge(&mut self, o: &BarrierStats) {
         self.total += o.total;
         self.elided_stack += o.elided_stack;
@@ -136,6 +137,7 @@ impl BarrierStats {
 /// Per-thread (and merged global) transaction statistics.
 #[derive(Default, Clone, Copy, Debug)]
 pub struct TxStats {
+    /// Committed top-level transactions.
     pub commits: u64,
     /// Commits with an empty write set (a subset of `commits`): these are
     /// clock-silent — they neither CAS nor read-modify the global clock.
@@ -153,6 +155,8 @@ pub struct TxStats {
     pub partial_aborts: u64,
     /// Transactional allocations / frees.
     pub tx_allocs: u64,
+    /// Transactional frees (immediate for captured blocks, deferred to
+    /// commit otherwise).
     pub tx_frees: u64,
     /// Barriers *elided* by the nursery's scalar range test (both
     /// directions; a subset of the `elided_heap` counts — ancestor-level
@@ -164,7 +168,9 @@ pub struct TxStats {
     /// Bytes returned to the allocator wholesale: entire regions on abort,
     /// unused region tails trimmed at commit.
     pub nursery_bytes_recycled: u64,
+    /// Read-barrier counters.
     pub reads: BarrierStats,
+    /// Write-barrier counters.
     pub writes: BarrierStats,
 }
 
@@ -177,6 +183,7 @@ impl TxStats {
         self.nursery_hits += d.reads.elided_nursery + d.writes.elided_nursery;
     }
 
+    /// Accumulate another worker's statistics into this one.
     pub fn merge(&mut self, o: &TxStats) {
         self.commits += o.commits;
         self.commits_ro += o.commits_ro;

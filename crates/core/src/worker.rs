@@ -136,6 +136,8 @@ pub struct WorkerCtx<'rt> {
     pub(crate) classify_log: Option<RangeTree>,
     /// Annotated private memory (paper §3.1.3); persists across txns.
     pub(crate) private_log: PrivateLog,
+    /// This worker's transaction statistics (merged into the runtime's
+    /// aggregate by [`WorkerCtx::flush_stats`] / on drop).
     pub stats: TxStats,
     /// Hot-path barrier counters of the current transaction, absorbed into
     /// `stats` once per transaction end.
@@ -265,11 +267,14 @@ impl<'rt> WorkerCtx<'rt> {
         }
     }
 
+    /// The worker's thread id (also selects its stack region and heap
+    /// stripe).
     #[inline]
     pub fn tid(&self) -> usize {
         self.tid
     }
 
+    /// The runtime this worker was spawned from.
     #[inline]
     pub fn runtime(&self) -> &'rt StmRuntime {
         self.rt
@@ -447,19 +452,42 @@ impl<'rt> WorkerCtx<'rt> {
         self.mem.store(addr, val);
     }
 
+    /// Direct load decoded as any word-codec type (the generic entry
+    /// point the `load_addr`/`load_f64` variants lower to).
+    #[doc(alias = "load_addr")]
+    #[doc(alias = "load_f64")]
+    #[inline]
+    pub fn load_as<V: crate::TxWord>(&self, addr: Addr) -> V {
+        V::from_word(self.load(addr))
+    }
+
+    /// Direct store encoded from any word-codec type; see
+    /// [`WorkerCtx::load_as`].
+    #[doc(alias = "store_f64")]
+    #[inline]
+    pub fn store_as<V: crate::TxWord>(&self, addr: Addr, val: V) {
+        self.store(addr, val.to_word())
+    }
+
+    /// Direct pointer-typed load; wrapper over [`WorkerCtx::load_as`].
+    #[doc(alias = "load_as")]
     #[inline]
     pub fn load_addr(&self, addr: Addr) -> Addr {
-        Addr::from_raw(self.load(addr))
+        self.load_as(addr)
     }
 
+    /// Direct float-typed load; wrapper over [`WorkerCtx::load_as`].
+    #[doc(alias = "load_as")]
     #[inline]
     pub fn load_f64(&self, addr: Addr) -> f64 {
-        f64::from_bits(self.load(addr))
+        self.load_as(addr)
     }
 
+    /// Direct float-typed store; wrapper over [`WorkerCtx::store_as`].
+    #[doc(alias = "store_as")]
     #[inline]
     pub fn store_f64(&self, addr: Addr, val: f64) {
-        self.store(addr, val.to_bits())
+        self.store_as(addr, val)
     }
 
     /// Non-transactional allocation (never enters any capture log).
@@ -480,6 +508,7 @@ impl<'rt> WorkerCtx<'rt> {
         self.stack.push(words)
     }
 
+    /// Pop a frame pushed with [`WorkerCtx::stack_push`].
     pub fn stack_pop(&mut self, words: usize) {
         self.stack.pop(words)
     }
@@ -542,25 +571,33 @@ impl<'a, 'rt> Tx<'a, 'rt> {
         self.0.write_word(site, addr, val)
     }
 
-    /// Read a pointer-typed word.
+    /// Read a pointer-typed word. Thin wrapper over the generic
+    /// [`Tx::read_as`] (kept so no call site breaks).
+    #[doc(alias = "read_as")]
     #[inline]
     pub fn read_addr(&mut self, site: &'static Site, addr: Addr) -> TxResult<Addr> {
-        Ok(Addr::from_raw(self.read(site, addr)?))
+        self.read_as(site, addr)
     }
 
+    /// Write a pointer-typed word; wrapper over [`Tx::write_as`].
+    #[doc(alias = "write_as")]
     #[inline]
     pub fn write_addr(&mut self, site: &'static Site, addr: Addr, val: Addr) -> TxResult<()> {
-        self.write(site, addr, val.raw())
+        self.write_as(site, addr, val)
     }
 
+    /// Read a float-typed word; wrapper over [`Tx::read_as`].
+    #[doc(alias = "read_as")]
     #[inline]
     pub fn read_f64(&mut self, site: &'static Site, addr: Addr) -> TxResult<f64> {
-        Ok(f64::from_bits(self.read(site, addr)?))
+        self.read_as(site, addr)
     }
 
+    /// Write a float-typed word; wrapper over [`Tx::write_as`].
+    #[doc(alias = "write_as")]
     #[inline]
     pub fn write_f64(&mut self, site: &'static Site, addr: Addr, val: f64) -> TxResult<()> {
-        self.write(site, addr, val.to_bits())
+        self.write_as(site, addr, val)
     }
 
     /// Transactional allocation (paper §3.1.2): the block is recorded in
@@ -651,6 +688,8 @@ impl<'a, 'rt> Tx<'a, 'rt> {
             .add_private_memory_block(addr.raw(), size);
     }
 
+    /// Remove a private-block annotation; see
+    /// [`Tx::add_private_memory_block`].
     pub fn remove_private_memory_block(&mut self, addr: Addr, size: u64) {
         self.0
             .private_log

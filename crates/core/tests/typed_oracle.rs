@@ -1,0 +1,517 @@
+//! Differential property test for the typed object layer: the same random
+//! operation sequence executed once through the **typed API**
+//! (`alloc_obj`/`read_field`/`write_field`/`StackFrame`) and once through
+//! the **raw word API** (`alloc`/`read`/`write`/`stack_push`) must produce
+//! **bit-identical memory states and `TxStats`**, for every barrier
+//! [`Mode`] × nursery on/off.
+//!
+//! This is the semantic half of the typed layer's zero-cost contract (the
+//! performance half is the typed-vs-raw row of the `barrier_dispatch`
+//! microbenchmark): the typed entry points must lower to exactly the word
+//! barriers the raw code calls — same addresses, same bits, same
+//! statistics counters — with the value codecs (`f64` bits, canonical
+//! bools, enum discriminants, pointer words) losing nothing.
+//!
+//! Both executions run on their own runtime with the same configuration
+//! and one worker, so allocation and stack addresses are deterministic
+//! and pointer-valued fields can be compared bit-for-bit.
+
+use proptest::prelude::*;
+use stm::{
+    tx_object, tx_word_enum, Abort, CheckScope, LogKind, Mode, Site, StmRuntime, Tx, TxConfig,
+    TxPtr, TxResult, TxWord,
+};
+use txmem::{Addr, MemConfig};
+
+static S_SHARED: Site = Site::shared("typed_oracle.shared");
+static S_CAP: Site = Site::captured_escaped("typed_oracle.captured");
+static S_LOCAL: Site = Site::captured_local("typed_oracle.local");
+
+const CELLS: u64 = 10;
+
+tx_word_enum! {
+    /// Three-state tag exercising the enum codec.
+    pub enum Tag {
+        /// initial
+        New = 0,
+        /// in flight
+        Busy = 1,
+        /// finished
+        Done = 2,
+    }
+}
+
+tx_object! {
+    /// The five-field record both executors operate on. One field per
+    /// codec family: plain word, bool, float, typed pointer, enum.
+    pub struct Obj {
+        /// Plain word.
+        pub a: u64,
+        /// Canonical-0/1 bool.
+        pub flag: bool,
+        /// Bit-cast float.
+        pub weight: f64,
+        /// Typed link to another record.
+        pub link: TxPtr<Obj>,
+        /// Enum discriminant.
+        pub tag: Tag,
+    }
+}
+
+tx_object! {
+    /// Two-word stack frame for the `StackRound` op.
+    pub struct Frame {
+        /// Scratch word.
+        pub x: u64,
+        /// Scratch float.
+        pub y: f64,
+    }
+}
+
+/// Raw word offsets mirroring [`Obj`]'s layout (what the word-level
+/// executor uses; must stay in declaration order).
+const F_A: u64 = 0;
+const F_FLAG: u64 = 1;
+const F_WEIGHT: u64 = 2;
+const F_LINK: u64 = 3;
+const F_TAG: u64 = 4;
+const OBJ_WORDS: u64 = 5;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Full-barrier write to a shared cell.
+    WriteShared { cell: u8, val: u64 },
+    /// Allocate a record (joins the live-scratch list) and set `a`.
+    Alloc { seed: u64 },
+    /// Write one field of a live record; `val` is reinterpreted per field
+    /// (canonicalized identically in both executors).
+    WriteField { idx: u8, field: u8, val: u64 },
+    /// Link a live record to another live record (or null).
+    WriteLink { idx: u8, target: u8 },
+    /// Read one field of a live record and publish its word to a cell.
+    ReadPublish { idx: u8, field: u8, cell: u8 },
+    /// Free a live record in-transaction.
+    Free { idx: u8 },
+    /// Push a two-word stack frame, write/read it, publish, pop.
+    StackRound { val: u64, cell: u8 },
+}
+
+#[derive(Clone, Debug)]
+struct Txn {
+    ops: Vec<Op>,
+    nested: Vec<Op>,
+    abort_nested: bool,
+    commit: bool,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u64>()).prop_map(|(cell, val)| Op::WriteShared { cell, val }),
+        any::<u64>().prop_map(|seed| Op::Alloc { seed }),
+        (any::<u8>(), 0..5u8, any::<u64>()).prop_map(|(idx, field, val)| Op::WriteField {
+            idx,
+            field,
+            val
+        }),
+        (any::<u8>(), any::<u8>()).prop_map(|(idx, target)| Op::WriteLink { idx, target }),
+        (any::<u8>(), 0..5u8, any::<u8>()).prop_map(|(idx, field, cell)| Op::ReadPublish {
+            idx,
+            field,
+            cell
+        }),
+        any::<u8>().prop_map(|idx| Op::Free { idx }),
+        (any::<u64>(), any::<u8>()).prop_map(|(val, cell)| Op::StackRound { val, cell }),
+    ]
+}
+
+fn script() -> impl Strategy<Value = Vec<Txn>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(op(), 1..8),
+            proptest::collection::vec(op(), 0..4),
+            any::<bool>(),
+            prop_oneof![3 => Just(true), 1 => Just(false)],
+        )
+            .prop_map(|(ops, nested, abort_nested, commit)| Txn {
+                ops,
+                nested,
+                abort_nested,
+                commit,
+            }),
+        1..6,
+    )
+}
+
+/// Canonical per-field encodings, shared by both executors so the raw
+/// side stores exactly the bits the typed codecs produce.
+fn canon_flag(val: u64) -> u64 {
+    (val & 1 != 0) as u64
+}
+fn canon_tag(val: u64) -> u64 {
+    val % 3
+}
+
+// ---------------------------------------------------------------------------
+// Typed executor
+// ---------------------------------------------------------------------------
+
+fn run_ops_typed(
+    tx: &mut Tx<'_, '_>,
+    base: Addr,
+    ops: &[Op],
+    scratch: &mut Vec<TxPtr<Obj>>,
+) -> TxResult<()> {
+    for op in ops {
+        match *op {
+            Op::WriteShared { cell, val } => {
+                tx.write_as(&S_SHARED, base.word(u64::from(cell) % CELLS), val)?;
+            }
+            Op::Alloc { seed } => {
+                let p = tx.alloc_obj::<Obj>()?;
+                tx.write_field(&S_LOCAL, p, Obj::a, seed)?;
+                scratch.push(p);
+            }
+            Op::WriteField { idx, field, val } => {
+                if scratch.is_empty() {
+                    continue;
+                }
+                let p = scratch[idx as usize % scratch.len()];
+                match field {
+                    0 => tx.write_field(&S_CAP, p, Obj::a, val)?,
+                    1 => tx.write_field(&S_CAP, p, Obj::flag, val & 1 != 0)?,
+                    2 => tx.write_field(&S_CAP, p, Obj::weight, f64::from_bits(val))?,
+                    3 => tx.write_field(&S_CAP, p, Obj::link, TxPtr::from_raw(p.raw()))?,
+                    _ => tx.write_field(&S_CAP, p, Obj::tag, Tag::from_word(canon_tag(val)))?,
+                }
+            }
+            Op::WriteLink { idx, target } => {
+                if scratch.is_empty() {
+                    continue;
+                }
+                let p = scratch[idx as usize % scratch.len()];
+                // `target` selects a live record or (at len) the null ptr.
+                let t = target as usize % (scratch.len() + 1);
+                let q = scratch.get(t).copied().unwrap_or(TxPtr::NULL);
+                tx.write_field(&S_CAP, p, Obj::link, q)?;
+            }
+            Op::ReadPublish { idx, field, cell } => {
+                if scratch.is_empty() {
+                    continue;
+                }
+                let p = scratch[idx as usize % scratch.len()];
+                let word = match field {
+                    0 => tx.read_field(&S_CAP, p, Obj::a)?.to_word(),
+                    1 => tx.read_field(&S_CAP, p, Obj::flag)?.to_word(),
+                    2 => tx.read_field(&S_CAP, p, Obj::weight)?.to_word(),
+                    3 => tx.read_field(&S_CAP, p, Obj::link)?.to_word(),
+                    _ => tx.read_field(&S_CAP, p, Obj::tag)?.to_word(),
+                };
+                tx.write_as(&S_SHARED, base.word(u64::from(cell) % CELLS), word)?;
+            }
+            Op::Free { idx } => {
+                if scratch.is_empty() {
+                    continue;
+                }
+                let p = scratch.remove(idx as usize % scratch.len());
+                tx.free_obj(p);
+            }
+            Op::StackRound { val, cell } => {
+                let mut frame = tx.stack_frame::<Frame>();
+                frame.write(&S_CAP, Frame::x, val)?;
+                frame.write(&S_CAP, Frame::y, f64::from_bits(val ^ 0xF00D))?;
+                let x = frame.read(&S_CAP, Frame::x)?;
+                let y = frame.read(&S_CAP, Frame::y)?;
+                let tx = frame.tx();
+                tx.write_as(
+                    &S_SHARED,
+                    base.word(u64::from(cell) % CELLS),
+                    x ^ y.to_word(),
+                )?;
+                // frame drops here: RAII pop.
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Raw word-level executor (the oracle)
+// ---------------------------------------------------------------------------
+
+fn run_ops_raw(
+    tx: &mut Tx<'_, '_>,
+    base: Addr,
+    ops: &[Op],
+    scratch: &mut Vec<Addr>,
+) -> TxResult<()> {
+    for op in ops {
+        match *op {
+            Op::WriteShared { cell, val } => {
+                tx.write(&S_SHARED, base.word(u64::from(cell) % CELLS), val)?;
+            }
+            Op::Alloc { seed } => {
+                let p = tx.alloc(OBJ_WORDS * 8)?;
+                tx.write(&S_LOCAL, p.word(F_A), seed)?;
+                scratch.push(p);
+            }
+            Op::WriteField { idx, field, val } => {
+                if scratch.is_empty() {
+                    continue;
+                }
+                let p = scratch[idx as usize % scratch.len()];
+                match field {
+                    0 => tx.write(&S_CAP, p.word(F_A), val)?,
+                    1 => tx.write(&S_CAP, p.word(F_FLAG), canon_flag(val))?,
+                    2 => tx.write(&S_CAP, p.word(F_WEIGHT), val)?,
+                    3 => tx.write(&S_CAP, p.word(F_LINK), p.raw())?,
+                    _ => tx.write(&S_CAP, p.word(F_TAG), canon_tag(val))?,
+                }
+            }
+            Op::WriteLink { idx, target } => {
+                if scratch.is_empty() {
+                    continue;
+                }
+                let p = scratch[idx as usize % scratch.len()];
+                let t = target as usize % (scratch.len() + 1);
+                let q = scratch.get(t).copied().unwrap_or(txmem::NULL);
+                tx.write(&S_CAP, p.word(F_LINK), q.raw())?;
+            }
+            Op::ReadPublish { idx, field, cell } => {
+                if scratch.is_empty() {
+                    continue;
+                }
+                let p = scratch[idx as usize % scratch.len()];
+                let off = match field {
+                    0 => F_A,
+                    1 => F_FLAG,
+                    2 => F_WEIGHT,
+                    3 => F_LINK,
+                    _ => F_TAG,
+                };
+                let word = tx.read(&S_CAP, p.word(off))?;
+                tx.write(&S_SHARED, base.word(u64::from(cell) % CELLS), word)?;
+            }
+            Op::Free { idx } => {
+                if scratch.is_empty() {
+                    continue;
+                }
+                let p = scratch.remove(idx as usize % scratch.len());
+                tx.free(p);
+            }
+            Op::StackRound { val, cell } => {
+                let f = tx.stack_push(2);
+                tx.write(&S_CAP, f.word(0), val)?;
+                tx.write(&S_CAP, f.word(1), val ^ 0xF00D)?;
+                let x = tx.read(&S_CAP, f.word(0))?;
+                let y = tx.read(&S_CAP, f.word(1))?;
+                tx.write(&S_SHARED, base.word(u64::from(cell) % CELLS), x ^ y)?;
+                tx.stack_pop(2);
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+/// Execute the whole script under one configuration through one of the
+/// two executors; return the observable memory (shared cells + every
+/// committed record) and the formatted statistics.
+fn run(script: &[Txn], mode: Mode, nursery: bool, typed: bool) -> (Vec<u64>, String) {
+    let mut cfg = TxConfig::with_mode(mode);
+    cfg.orec_log2 = 12; // small orec table; single-threaded test
+    cfg.nursery = nursery;
+    let rt = StmRuntime::new(MemConfig::small(), cfg);
+    let base = rt.alloc_global(CELLS * 8);
+    let mut w = rt.spawn_worker();
+    // Both executors track live records as raw addresses at the harness
+    // level so commit bookkeeping is shared; the typed one converts.
+    let mut persisted: Vec<Addr> = Vec::new();
+
+    for t in script {
+        let mut committed: Vec<Addr> = Vec::new();
+        let r: Result<(), u64> = w.txn_result(|tx| {
+            let survivors: Vec<Addr> = if typed {
+                let mut scratch: Vec<TxPtr<Obj>> = Vec::new();
+                run_ops_typed(tx, base, &t.ops, &mut scratch)?;
+                if !t.nested.is_empty() || t.abort_nested {
+                    let checkpoint = scratch.len();
+                    let abort_nested = t.abort_nested;
+                    let nested_ops = &t.nested;
+                    let res = tx.nested(|ntx| {
+                        run_ops_typed(ntx, base, nested_ops, &mut scratch)?;
+                        if abort_nested {
+                            Err(Abort::User(9))
+                        } else {
+                            Ok(())
+                        }
+                    })?;
+                    if res.is_err() {
+                        // Partial abort deallocated the nested records.
+                        scratch.truncate(checkpoint);
+                    }
+                }
+                scratch.iter().map(|p| p.addr()).collect()
+            } else {
+                let mut scratch: Vec<Addr> = Vec::new();
+                run_ops_raw(tx, base, &t.ops, &mut scratch)?;
+                if !t.nested.is_empty() || t.abort_nested {
+                    let checkpoint = scratch.len();
+                    let abort_nested = t.abort_nested;
+                    let nested_ops = &t.nested;
+                    let res = tx.nested(|ntx| {
+                        run_ops_raw(ntx, base, nested_ops, &mut scratch)?;
+                        if abort_nested {
+                            Err(Abort::User(9))
+                        } else {
+                            Ok(())
+                        }
+                    })?;
+                    if res.is_err() {
+                        scratch.truncate(checkpoint);
+                    }
+                }
+                scratch
+            };
+            committed.clear();
+            committed.extend_from_slice(&survivors);
+            if t.commit {
+                Ok(())
+            } else {
+                Err(Abort::User(1))
+            }
+        });
+        if r.is_ok() {
+            persisted.extend_from_slice(&committed);
+        }
+    }
+
+    let mut mem: Vec<u64> = (0..CELLS).map(|i| w.load(base.word(i))).collect();
+    for &p in &persisted {
+        for i in 0..OBJ_WORDS {
+            mem.push(w.load(p.word(i)));
+        }
+    }
+    let stats = format!("{:?}", w.stats);
+    (mem, stats)
+}
+
+/// Every (mode, nursery) pair: all four barrier modes, with the runtime
+/// mode additionally spanning its three allocation logs and nursery
+/// on/off (the nursery only composes with runtime capture analysis).
+fn all_configs() -> Vec<(Mode, bool)> {
+    let mut v = vec![
+        (Mode::Baseline, false),
+        (Mode::Compiler, false),
+        (Mode::CompilerInterproc, false),
+    ];
+    for log in LogKind::ALL {
+        let mode = Mode::Runtime {
+            log,
+            scope: CheckScope::FULL,
+        };
+        v.push((mode, false));
+        v.push((mode, true));
+    }
+    // One reduced scope, to pin the codec paths under partial checking.
+    let writes_heap = Mode::Runtime {
+        log: LogKind::Tree,
+        scope: CheckScope::WRITES_HEAP,
+    };
+    v.push((writes_heap, false));
+    v.push((writes_heap, true));
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn typed_and_raw_apis_agree(script in script()) {
+        for (mode, nursery) in all_configs() {
+            let (mem_typed, stats_typed) = run(&script, mode, nursery, true);
+            let (mem_raw, stats_raw) = run(&script, mode, nursery, false);
+            prop_assert_eq!(
+                &mem_typed, &mem_raw,
+                "memory diverged under {:?} nursery={}", mode, nursery
+            );
+            prop_assert_eq!(
+                &stats_typed, &stats_raw,
+                "stats diverged under {:?} nursery={}", mode, nursery
+            );
+        }
+    }
+}
+
+/// Deterministic all-ops case: every op kind, a nested abort, and a
+/// top-level abort, so the property above cannot pass vacuously on thin
+/// random scripts.
+#[test]
+fn deterministic_all_transitions_agree() {
+    let script = vec![
+        Txn {
+            ops: vec![
+                Op::Alloc { seed: 1 },
+                Op::Alloc { seed: 2 },
+                Op::WriteField {
+                    idx: 0,
+                    field: 1,
+                    val: 3,
+                },
+                Op::WriteField {
+                    idx: 0,
+                    field: 2,
+                    val: f64::to_bits(2.5),
+                },
+                Op::WriteField {
+                    idx: 1,
+                    field: 4,
+                    val: 7,
+                },
+                Op::WriteLink { idx: 0, target: 1 },
+                Op::ReadPublish {
+                    idx: 0,
+                    field: 2,
+                    cell: 0,
+                },
+                Op::ReadPublish {
+                    idx: 0,
+                    field: 3,
+                    cell: 1,
+                },
+                Op::StackRound { val: 77, cell: 2 },
+                Op::Free { idx: 1 },
+            ],
+            nested: vec![Op::Alloc { seed: 9 }, Op::WriteShared { cell: 3, val: 4 }],
+            abort_nested: true,
+            commit: true,
+        },
+        Txn {
+            ops: vec![Op::Alloc { seed: 5 }, Op::WriteShared { cell: 4, val: 6 }],
+            nested: vec![],
+            abort_nested: false,
+            commit: false,
+        },
+    ];
+    for (mode, nursery) in all_configs() {
+        let (mem_typed, stats_typed) = run(&script, mode, nursery, true);
+        let (mem_raw, stats_raw) = run(&script, mode, nursery, false);
+        assert_eq!(
+            mem_typed, mem_raw,
+            "memory diverged under {mode:?} nursery={nursery}"
+        );
+        assert_eq!(
+            stats_typed, stats_raw,
+            "stats diverged under {mode:?} nursery={nursery}"
+        );
+    }
+    // The committed record's fields must carry the canonical encodings.
+    let (mem, _) = run(&script, Mode::Baseline, false, true);
+    let obj = &mem[CELLS as usize..];
+    assert_eq!(obj[F_A as usize], 1, "seed");
+    assert_eq!(obj[F_FLAG as usize], 1, "canonical bool");
+    assert_eq!(obj[F_WEIGHT as usize], f64::to_bits(2.5));
+    assert_eq!(mem[0], f64::to_bits(2.5), "published weight bits");
+}

@@ -99,14 +99,15 @@ pub fn run(cfg: &Config, txcfg: TxConfig, threads: usize) -> RunOutcome {
         }
         loop {
             let task = w.txn(|tx| {
-                // Pop the best task through the stack iterator (Fig. 1a).
-                let it = ListIter::reset(tx, &tasks)?;
-                if !it.has_next(tx)? {
-                    it.dispose(tx);
-                    return Ok(None);
-                }
-                let (key, id) = it.next(tx)?;
-                it.dispose(tx);
+                // Pop the best task through the stack iterator (Fig. 1a);
+                // the cursor frame pops itself when the iterator drops.
+                let (key, id) = {
+                    let mut it = ListIter::begin(tx, &tasks)?;
+                    if !it.has_next()? {
+                        return Ok(None);
+                    }
+                    it.next()?
+                };
                 tasks.remove(tx, key)?;
 
                 // Evaluate: populate the query vector from the read-only

@@ -151,14 +151,15 @@ pub fn run(cfg: &Config, txcfg: TxConfig, threads: usize) -> RunOutcome {
                 // ---- remove the cavity from the mesh (iterating via the
                 // captured stack cursor of paper Fig. 1a) ----
                 let mut cavity_ids = Vec::new();
-                let it = ListIter::reset(tx, &cavity)?;
-                while it.has_next(tx)? {
-                    let (cid, crec) = it.next(tx)?;
-                    cavity_ids.push(cid);
-                    mesh.remove(tx, cid)?;
-                    tx.free(Addr::from_raw(crec));
-                }
-                it.dispose(tx);
+                {
+                    let mut it = ListIter::begin(tx, &cavity)?;
+                    while it.has_next()? {
+                        let (cid, crec) = it.next()?;
+                        cavity_ids.push(cid);
+                        mesh.remove(it.tx(), cid)?;
+                        it.tx().free(Addr::from_raw(crec));
+                    }
+                } // iterator drop pops the cursor frame
 
                 // ---- retriangulate: cavity_len + 1 new elements ----
                 let n_new = cavity_ids.len() as u64 + 1;

@@ -1,18 +1,35 @@
 //! Sorted singly-linked list (STAMP `lib/list.c`), keyed by `u64`, unique
 //! keys, each node carrying one value word.
+//!
+//! Built on the typed transactional object layer: the node and header
+//! layouts are declared once with `tx_object!` and every access goes
+//! through `TxPtr` field projections, which lower to the very same word
+//! barriers the previous hand-offset implementation called.
 
-use stm::{Site, StmRuntime, Tx, TxResult, WorkerCtx};
+use stm::{tx_object, Site, StackFrame, StmRuntime, Tx, TxObject, TxPtr, TxResult, WorkerCtx};
 use txmem::Addr;
 
-// Node layout (3 words): [next, key, val]
-const NEXT: u64 = 0;
-const KEY: u64 = 1;
-const VAL: u64 = 2;
-const NODE_WORDS: u64 = 3;
+tx_object! {
+    /// A list node.
+    pub struct Node {
+        /// Next node in key order (null-terminated).
+        pub next: TxPtr<Node>,
+        /// The key (unique, sorted ascending).
+        pub key: u64,
+        /// The value word.
+        pub val: u64,
+    }
+}
 
-// Handle layout (2 words): [head, size]
-const HEAD: u64 = 0;
-const SIZE: u64 = 1;
+tx_object! {
+    /// The list header (what [`TxList::handle`] points at).
+    pub struct ListHdr {
+        /// First node in key order.
+        pub head: TxPtr<Node>,
+        /// Number of nodes.
+        pub size: u64,
+    }
+}
 
 // --- access sites ---------------------------------------------------------
 static S_HEAD_R: Site = Site::shared("list.head.read");
@@ -32,172 +49,208 @@ static S_INIT_W: Site = Site::captured_local("list.node_init.write");
 static S_ITER_W: Site = Site::captured_local("list.iter.write");
 static S_ITER_R: Site = Site::captured_local("list.iter.read");
 
-/// A transactional sorted list. The handle is a 2-word header in simulated
+/// A transactional sorted list. The handle is a [`ListHdr`] in simulated
 /// memory; `TxList` itself is a plain copyable reference.
 #[derive(Clone, Copy, Debug)]
 pub struct TxList {
+    /// Address of the [`ListHdr`] (kept as a raw [`Addr`] so workloads can
+    /// stash list handles in plain memory words).
     pub handle: Addr,
 }
 
 impl TxList {
+    /// The typed view of the header.
+    #[inline]
+    fn hdr(&self) -> TxPtr<ListHdr> {
+        TxPtr::from_addr(self.handle)
+    }
+
     /// Create a list during (non-transactional) setup.
     pub fn create(rt: &StmRuntime) -> TxList {
-        let handle = rt.alloc_global(2 * 8);
-        rt.mem().store(handle.word(HEAD), 0);
-        rt.mem().store(handle.word(SIZE), 0);
+        let handle = rt.alloc_global(ListHdr::BYTES);
+        let h = TxPtr::<ListHdr>::from_addr(handle);
+        rt.mem().store(h.field(ListHdr::head), 0);
+        rt.mem().store(h.field(ListHdr::size), 0);
         TxList { handle }
     }
 
     /// Create a list inside a transaction (the header is captured memory,
     /// e.g. yada's per-cavity lists).
     pub fn create_tx(tx: &mut Tx<'_, '_>) -> TxResult<TxList> {
-        let handle = tx.alloc(2 * 8)?;
-        tx.write(&S_INIT_W, handle.word(HEAD), 0)?;
-        tx.write(&S_INIT_W, handle.word(SIZE), 0)?;
-        Ok(TxList { handle })
+        let h = tx.alloc_obj::<ListHdr>()?;
+        tx.write_field(&S_INIT_W, h, ListHdr::head, TxPtr::NULL)?;
+        tx.write_field(&S_INIT_W, h, ListHdr::size, 0)?;
+        Ok(TxList { handle: h.addr() })
     }
 
     /// Insert `(key, val)`; returns `false` if the key already exists.
     pub fn insert(&self, tx: &mut Tx<'_, '_>, key: u64, val: u64) -> TxResult<bool> {
-        // Find predecessor "next-field" address.
-        let mut prev_next = self.handle.word(HEAD);
-        let mut cur = tx.read_addr(&S_HEAD_R, prev_next)?;
+        // Find predecessor "next-field" address: either the header's
+        // `head` slot or some node's `next` slot — one word each, so the
+        // cursor is a plain field address.
+        let mut prev_next = self.hdr().field(ListHdr::head);
+        let mut cur: TxPtr<Node> = tx.read_as(&S_HEAD_R, prev_next)?;
         while !cur.is_null() {
-            let k = tx.read(&S_KEY_R, cur.word(KEY))?;
+            let k = tx.read_field(&S_KEY_R, cur, Node::key)?;
             if k >= key {
                 if k == key {
                     return Ok(false);
                 }
                 break;
             }
-            prev_next = cur.word(NEXT);
-            cur = tx.read_addr(&S_NEXT_R, prev_next)?;
+            prev_next = cur.field(Node::next);
+            cur = tx.read_as(&S_NEXT_R, prev_next)?;
         }
-        let node = tx.alloc(NODE_WORDS * 8)?;
-        tx.write_addr(&S_INIT_W, node.word(NEXT), cur)?;
-        tx.write(&S_INIT_W, node.word(KEY), key)?;
-        tx.write(&S_INIT_W, node.word(VAL), val)?;
-        tx.write_addr(&S_LINK_W, prev_next, node)?;
-        let sz = tx.read(&S_SIZE_R, self.handle.word(SIZE))?;
-        tx.write(&S_SIZE_W, self.handle.word(SIZE), sz + 1)?;
+        let node = tx.alloc_obj::<Node>()?;
+        tx.write_field(&S_INIT_W, node, Node::next, cur)?;
+        tx.write_field(&S_INIT_W, node, Node::key, key)?;
+        tx.write_field(&S_INIT_W, node, Node::val, val)?;
+        tx.write_as(&S_LINK_W, prev_next, node)?;
+        let sz = tx.read_field(&S_SIZE_R, self.hdr(), ListHdr::size)?;
+        tx.write_field(&S_SIZE_W, self.hdr(), ListHdr::size, sz + 1)?;
         Ok(true)
     }
 
     /// Remove `key`; returns its value if present. The node's memory is
     /// freed transactionally (deferred to commit for shared nodes).
     pub fn remove(&self, tx: &mut Tx<'_, '_>, key: u64) -> TxResult<Option<u64>> {
-        let mut prev_next = self.handle.word(HEAD);
-        let mut cur = tx.read_addr(&S_HEAD_R, prev_next)?;
+        let mut prev_next = self.hdr().field(ListHdr::head);
+        let mut cur: TxPtr<Node> = tx.read_as(&S_HEAD_R, prev_next)?;
         while !cur.is_null() {
-            let k = tx.read(&S_KEY_R, cur.word(KEY))?;
+            let k = tx.read_field(&S_KEY_R, cur, Node::key)?;
             if k == key {
-                let val = tx.read(&S_VAL_R, cur.word(VAL))?;
-                let next = tx.read_addr(&S_NEXT_R, cur.word(NEXT))?;
-                tx.write_addr(&S_LINK_W, prev_next, next)?;
-                let sz = tx.read(&S_SIZE_R, self.handle.word(SIZE))?;
-                tx.write(&S_SIZE_W, self.handle.word(SIZE), sz - 1)?;
-                tx.free(cur);
+                let val = tx.read_field(&S_VAL_R, cur, Node::val)?;
+                let next = tx.read_field(&S_NEXT_R, cur, Node::next)?;
+                tx.write_as(&S_LINK_W, prev_next, next)?;
+                let sz = tx.read_field(&S_SIZE_R, self.hdr(), ListHdr::size)?;
+                tx.write_field(&S_SIZE_W, self.hdr(), ListHdr::size, sz - 1)?;
+                tx.free_obj(cur);
                 return Ok(Some(val));
             }
             if k > key {
                 return Ok(None);
             }
-            prev_next = cur.word(NEXT);
-            cur = tx.read_addr(&S_NEXT_R, prev_next)?;
+            prev_next = cur.field(Node::next);
+            cur = tx.read_as(&S_NEXT_R, prev_next)?;
         }
         Ok(None)
     }
 
     /// Look up `key`.
     pub fn find(&self, tx: &mut Tx<'_, '_>, key: u64) -> TxResult<Option<u64>> {
-        let mut cur = tx.read_addr(&S_HEAD_R, self.handle.word(HEAD))?;
+        let mut cur = tx.read_field(&S_HEAD_R, self.hdr(), ListHdr::head)?;
         while !cur.is_null() {
-            let k = tx.read(&S_KEY_R, cur.word(KEY))?;
+            let k = tx.read_field(&S_KEY_R, cur, Node::key)?;
             if k == key {
-                return Ok(Some(tx.read(&S_VAL_R, cur.word(VAL))?));
+                return Ok(Some(tx.read_field(&S_VAL_R, cur, Node::val)?));
             }
             if k > key {
                 return Ok(None);
             }
-            cur = tx.read_addr(&S_NEXT_R, cur.word(NEXT))?;
+            cur = tx.read_field(&S_NEXT_R, cur, Node::next)?;
         }
         Ok(None)
     }
 
     /// Remove and return the smallest-key entry.
     pub fn pop_front(&self, tx: &mut Tx<'_, '_>) -> TxResult<Option<(u64, u64)>> {
-        let head = tx.read_addr(&S_HEAD_R, self.handle.word(HEAD))?;
+        let head = tx.read_field(&S_HEAD_R, self.hdr(), ListHdr::head)?;
         if head.is_null() {
             return Ok(None);
         }
-        let key = tx.read(&S_KEY_R, head.word(KEY))?;
-        let val = tx.read(&S_VAL_R, head.word(VAL))?;
-        let next = tx.read_addr(&S_NEXT_R, head.word(NEXT))?;
-        tx.write_addr(&S_HEAD_W, self.handle.word(HEAD), next)?;
-        let sz = tx.read(&S_SIZE_R, self.handle.word(SIZE))?;
-        tx.write(&S_SIZE_W, self.handle.word(SIZE), sz - 1)?;
-        tx.free(head);
+        let key = tx.read_field(&S_KEY_R, head, Node::key)?;
+        let val = tx.read_field(&S_VAL_R, head, Node::val)?;
+        let next = tx.read_field(&S_NEXT_R, head, Node::next)?;
+        tx.write_field(&S_HEAD_W, self.hdr(), ListHdr::head, next)?;
+        let sz = tx.read_field(&S_SIZE_R, self.hdr(), ListHdr::size)?;
+        tx.write_field(&S_SIZE_W, self.hdr(), ListHdr::size, sz - 1)?;
+        tx.free_obj(head);
         Ok(Some((key, val)))
     }
 
     /// Transactional length.
     pub fn len(&self, tx: &mut Tx<'_, '_>) -> TxResult<u64> {
-        tx.read(&S_SIZE_R, self.handle.word(SIZE))
+        tx.read_field(&S_SIZE_R, self.hdr(), ListHdr::size)
     }
 
     // --- sequential (non-transactional) helpers for setup & verification --
 
+    /// Non-transactional length (setup/verification only).
     pub fn seq_len(&self, w: &WorkerCtx<'_>) -> u64 {
-        w.load(self.handle.word(SIZE))
+        w.load_as(self.hdr().field(ListHdr::size))
     }
 
     /// Collect all `(key, val)` pairs; verification only.
     pub fn seq_collect(&self, w: &WorkerCtx<'_>) -> Vec<(u64, u64)> {
         let mut out = Vec::new();
-        let mut cur = w.load_addr(self.handle.word(HEAD));
+        let mut cur: TxPtr<Node> = w.load_as(self.hdr().field(ListHdr::head));
         while !cur.is_null() {
-            out.push((w.load(cur.word(KEY)), w.load(cur.word(VAL))));
-            cur = w.load_addr(cur.word(NEXT));
+            out.push((
+                w.load_as(cur.field(Node::key)),
+                w.load_as(cur.field(Node::val)),
+            ));
+            cur = w.load_as(cur.field(Node::next));
         }
         out
     }
 }
 
-/// Paper Figure 1(a): a list iterator allocated on the transaction-local
-/// stack. `reset` pushes a one-word frame holding the cursor; every
-/// `has_next`/`next` reads and writes that captured stack word.
-pub struct ListIter {
-    frame: Addr,
+tx_object! {
+    /// The list iterator's transaction-local stack frame (paper Fig. 1a):
+    /// one cursor word.
+    pub struct Cursor {
+        /// The node the iterator will yield next.
+        pub cur: TxPtr<Node>,
+    }
 }
 
-impl ListIter {
-    /// `TMLIST_ITER_RESET(&it, list)`.
-    pub fn reset(tx: &mut Tx<'_, '_>, list: &TxList) -> TxResult<ListIter> {
-        let frame = tx.stack_push(1);
-        let head = tx.read_addr(&S_HEAD_R, list.handle.word(HEAD))?;
-        tx.write_addr(&S_ITER_W, frame, head)?;
+/// Paper Figure 1(a): a list iterator whose cursor lives on the
+/// transaction-local stack. The cursor frame is a [`StackFrame`] guard, so
+/// it pops itself when the iterator is dropped — the capture window cannot
+/// be left unbalanced on any exit path (the old `reset`/`dispose` pairing
+/// this replaces could).
+///
+/// The iterator borrows the transaction; while it is live, run other
+/// transactional operations through [`ListIter::tx`].
+pub struct ListIter<'a, 'rt> {
+    frame: StackFrame<'a, 'rt, Cursor>,
+}
+
+impl<'a, 'rt> ListIter<'a, 'rt> {
+    /// Begin iterating `list` (replaces `TMLIST_ITER_RESET`): pushes the
+    /// one-word cursor frame and seeds it with the list head.
+    pub fn begin(tx: &'a mut Tx<'_, 'rt>, list: &TxList) -> TxResult<ListIter<'a, 'rt>> {
+        let head = tx.read_field(&S_HEAD_R, list.hdr(), ListHdr::head)?;
+        let mut frame = tx.stack_frame::<Cursor>();
+        frame.write(&S_ITER_W, Cursor::cur, head)?;
         Ok(ListIter { frame })
     }
 
     /// `TMLIST_ITER_HASNEXT(&it)`.
-    pub fn has_next(&self, tx: &mut Tx<'_, '_>) -> TxResult<bool> {
-        Ok(!tx.read_addr(&S_ITER_R, self.frame)?.is_null())
+    pub fn has_next(&mut self) -> TxResult<bool> {
+        Ok(!self.frame.read(&S_ITER_R, Cursor::cur)?.is_null())
     }
 
     /// `TMLIST_ITER_NEXT(&it)` — returns `(key, val)` and advances.
-    pub fn next(&self, tx: &mut Tx<'_, '_>) -> TxResult<(u64, u64)> {
-        let cur = tx.read_addr(&S_ITER_R, self.frame)?;
+    // Not `Iterator`: every step is fallible (an STM conflict aborts) and
+    // the cursor lives in transactional memory, so the std trait's shape
+    // does not fit; the STAMP-style explicit pair is kept on purpose.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> TxResult<(u64, u64)> {
+        let cur = self.frame.read(&S_ITER_R, Cursor::cur)?;
         debug_assert!(!cur.is_null(), "iterator past end");
-        let key = tx.read(&S_KEY_R, cur.word(KEY))?;
-        let val = tx.read(&S_VAL_R, cur.word(VAL))?;
-        let next = tx.read_addr(&S_NEXT_R, cur.word(NEXT))?;
-        tx.write_addr(&S_ITER_W, self.frame, next)?;
+        let tx = self.frame.tx();
+        let key = tx.read_field(&S_KEY_R, cur, Node::key)?;
+        let val = tx.read_field(&S_VAL_R, cur, Node::val)?;
+        let next = tx.read_field(&S_NEXT_R, cur, Node::next)?;
+        self.frame.write(&S_ITER_W, Cursor::cur, next)?;
         Ok((key, val))
     }
 
-    /// Pop the iterator's stack frame (must pair with `reset`).
-    pub fn dispose(self, tx: &mut Tx<'_, '_>) {
-        tx.stack_pop(1);
+    /// The underlying transaction, for loop bodies that interleave other
+    /// transactional work with the iteration.
+    pub fn tx(&mut self) -> &mut Tx<'a, 'rt> {
+        self.frame.tx()
     }
 }
 
@@ -252,13 +305,12 @@ mod tests {
             w.txn(|tx| list.insert(tx, k, k));
         }
         let sum = w.txn(|tx| {
-            let it = ListIter::reset(tx, &list)?;
+            let mut it = ListIter::begin(tx, &list)?;
             let mut sum = 0;
-            while it.has_next(tx)? {
-                let (k, _) = it.next(tx)?;
+            while it.has_next()? {
+                let (k, _) = it.next()?;
                 sum += k;
             }
-            it.dispose(tx);
             Ok(sum)
         });
         assert_eq!(sum, 45);
@@ -292,6 +344,32 @@ mod tests {
         assert!(r.is_err());
         assert_eq!(list.seq_len(&w), 0);
         assert!(list.seq_collect(&w).is_empty());
+    }
+
+    #[test]
+    fn iterator_frame_pops_even_on_abort() {
+        let rt = rt();
+        let list = TxList::create(&rt);
+        let mut w = rt.spawn_worker();
+        w.txn(|tx| list.insert(tx, 1, 1));
+        // An abort propagating out of a live iterator must not leave the
+        // cursor frame on the simulated stack.
+        let r: Result<(), u64> = w.txn_result(|tx| {
+            let mut it = ListIter::begin(tx, &list)?;
+            let _ = it.has_next()?;
+            Err(stm::Abort::User(7))
+        });
+        assert!(r.is_err());
+        // A follow-up transaction still sees a balanced stack.
+        let sum = w.txn(|tx| {
+            let mut it = ListIter::begin(tx, &list)?;
+            let mut sum = 0;
+            while it.has_next()? {
+                sum += it.next()?.0;
+            }
+            Ok(sum)
+        });
+        assert_eq!(sum, 1);
     }
 
     #[test]

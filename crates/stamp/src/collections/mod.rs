@@ -1,10 +1,13 @@
 //! Transactional data structures on the simulated heap — the port of
 //! STAMP's `lib/` directory.
 //!
-//! Every structure stores its nodes in simulated memory (`txmem::Addr` plus
-//! explicit field offsets, exactly like the C structs of STAMP) and routes
-//! every access through the STM barriers with a static [`stm::Site`]
-//! describing the access:
+//! The list, red-black tree and queue are built on the **typed
+//! transactional object layer** (`stm::tx_object!` layouts, `TxPtr` field
+//! projections, `StackFrame` cursors) and are the reference users of that
+//! API; the remaining structures still speak raw `txmem::Addr` plus
+//! explicit word offsets, exactly like the C structs of STAMP — both
+//! styles lower to the same word barriers. Every access carries a static
+//! [`stm::Site`] describing it:
 //!
 //! * node *initialization* stores right after a transactional allocation are
 //!   `Site::captured_local` — runtime capture analysis elides them, and the
@@ -14,7 +17,7 @@
 //!   `Site::shared` (manually instrumented in the original STAMP —
 //!   "required" in Figure 8's terms);
 //! * the list iterator lives in a transaction-local *stack* frame (paper
-//!   Figure 1(a)).
+//!   Figure 1(a)), guarded by an RAII `StackFrame`.
 
 mod bitmap;
 mod hashtable;
@@ -26,8 +29,8 @@ mod vector;
 
 pub use bitmap::TxBitmap;
 pub use hashtable::TxHashtable;
-pub use list::{ListIter, TxList};
+pub use list::{Cursor, ListHdr, ListIter, Node, TxList};
 pub use pqueue::TxHeapQueue;
-pub use queue::TxQueue;
-pub use rbtree::TxRbTree;
+pub use queue::{QueueHdr, TxQueue};
+pub use rbtree::{Color, RbHdr, RbNode, TxRbTree};
 pub use vector::TxVector;

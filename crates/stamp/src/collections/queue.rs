@@ -1,13 +1,25 @@
-//! Transactional growable circular queue (STAMP `lib/queue.c`).
+//! Transactional growable circular queue (STAMP `lib/queue.c`), built on
+//! the typed object layer: the header is a `tx_object!` layout whose
+//! `data` field is a typed buffer handle (`TxBuf<u64>`), so slot accesses
+//! go through `read_elem`/`write_elem` instead of hand-computed offsets.
 
-use stm::{Site, StmRuntime, Tx, TxResult, WorkerCtx};
-use txmem::Addr;
+use stm::{tx_object, Site, StmRuntime, Tx, TxBuf, TxObject, TxPtr, TxResult, WorkerCtx};
+use txmem::{words_to_bytes, Addr};
 
-// Handle: [capacity, head, tail, data_ptr]
-const CAP: u64 = 0;
-const HEAD: u64 = 1;
-const TAIL: u64 = 2;
-const DATA: u64 = 3;
+tx_object! {
+    /// The queue header (what [`TxQueue::handle`] points at).
+    pub struct QueueHdr {
+        /// Backing-array capacity in slots (one slot is kept empty to
+        /// distinguish full from empty).
+        pub cap: u64,
+        /// Index of the next slot to pop.
+        pub head: u64,
+        /// Index of the next slot to push.
+        pub tail: u64,
+        /// The backing array.
+        pub data: TxBuf<u64>,
+    }
+}
 
 static S_META_R: Site = Site::shared("queue.meta.read");
 static S_META_W: Site = Site::shared("queue.meta.write");
@@ -16,95 +28,113 @@ static S_DATA_W: Site = Site::shared("queue.data.write");
 // Copying into a freshly allocated (captured) backing array during grow.
 static S_GROW_W: Site = Site::captured_local("queue.grow.write");
 
+/// A transactional FIFO queue handle.
 #[derive(Clone, Copy, Debug)]
 pub struct TxQueue {
+    /// Address of the [`QueueHdr`] (raw so workloads can stash queue
+    /// handles in plain memory words).
     pub handle: Addr,
 }
 
 impl TxQueue {
+    /// The typed view of the header.
+    #[inline]
+    fn hdr(&self) -> TxPtr<QueueHdr> {
+        TxPtr::from_addr(self.handle)
+    }
+
+    /// Create a queue during (non-transactional) setup.
     pub fn create(rt: &StmRuntime, capacity: u64) -> TxQueue {
         let capacity = capacity.max(2);
-        let handle = rt.alloc_global(4 * 8);
-        let data = rt.alloc_global(capacity * 8);
-        rt.mem().store(handle.word(CAP), capacity);
-        rt.mem().store(handle.word(HEAD), 0);
-        rt.mem().store(handle.word(TAIL), 0);
-        rt.mem().store(handle.word(DATA), data.raw());
+        let handle = rt.alloc_global(QueueHdr::BYTES);
+        let data = rt.alloc_global(words_to_bytes(capacity));
+        let h = TxPtr::<QueueHdr>::from_addr(handle);
+        rt.mem().store(h.field(QueueHdr::cap), capacity);
+        rt.mem().store(h.field(QueueHdr::head), 0);
+        rt.mem().store(h.field(QueueHdr::tail), 0);
+        rt.mem().store(h.field(QueueHdr::data), data.raw());
         TxQueue { handle }
     }
 
     /// Push to the tail, growing the backing array when full.
     pub fn push(&self, tx: &mut Tx<'_, '_>, val: u64) -> TxResult<()> {
-        let cap = tx.read(&S_META_R, self.handle.word(CAP))?;
-        let head = tx.read(&S_META_R, self.handle.word(HEAD))?;
-        let tail = tx.read(&S_META_R, self.handle.word(TAIL))?;
-        let data = tx.read_addr(&S_META_R, self.handle.word(DATA))?;
+        let h = self.hdr();
+        let cap = tx.read_field(&S_META_R, h, QueueHdr::cap)?;
+        let head = tx.read_field(&S_META_R, h, QueueHdr::head)?;
+        let tail = tx.read_field(&S_META_R, h, QueueHdr::tail)?;
+        let data = tx.read_field(&S_META_R, h, QueueHdr::data)?;
         if (tail + 1) % cap == head {
             // Grow: the new array is captured, so the copy-out writes are
             // elidable (and the old array is freed transactionally).
             let new_cap = cap * 2;
-            let new_data = tx.alloc(new_cap * 8)?;
+            let new_data = tx.alloc_buf::<u64>(new_cap)?;
             let mut n = 0u64;
             let mut i = head;
             while i != tail {
-                let v = tx.read(&S_DATA_R, data.word(i))?;
-                tx.write(&S_GROW_W, new_data.word(n), v)?;
+                let v = tx.read_elem(&S_DATA_R, data, i)?;
+                tx.write_elem(&S_GROW_W, new_data, n, v)?;
                 n += 1;
                 i = (i + 1) % cap;
             }
-            tx.write(&S_GROW_W, new_data.word(n), val)?;
+            tx.write_elem(&S_GROW_W, new_data, n, val)?;
             n += 1;
-            tx.free(data);
-            tx.write(&S_META_W, self.handle.word(CAP), new_cap)?;
-            tx.write(&S_META_W, self.handle.word(HEAD), 0)?;
-            tx.write(&S_META_W, self.handle.word(TAIL), n)?;
-            tx.write_addr(&S_META_W, self.handle.word(DATA), new_data)?;
+            tx.free_buf(data);
+            tx.write_field(&S_META_W, h, QueueHdr::cap, new_cap)?;
+            tx.write_field(&S_META_W, h, QueueHdr::head, 0)?;
+            tx.write_field(&S_META_W, h, QueueHdr::tail, n)?;
+            tx.write_field(&S_META_W, h, QueueHdr::data, new_data)?;
             return Ok(());
         }
-        tx.write(&S_DATA_W, data.word(tail), val)?;
-        tx.write(&S_META_W, self.handle.word(TAIL), (tail + 1) % cap)?;
+        tx.write_elem(&S_DATA_W, data, tail, val)?;
+        tx.write_field(&S_META_W, h, QueueHdr::tail, (tail + 1) % cap)?;
         Ok(())
     }
 
     /// Pop from the head.
     pub fn pop(&self, tx: &mut Tx<'_, '_>) -> TxResult<Option<u64>> {
-        let head = tx.read(&S_META_R, self.handle.word(HEAD))?;
-        let tail = tx.read(&S_META_R, self.handle.word(TAIL))?;
+        let h = self.hdr();
+        let head = tx.read_field(&S_META_R, h, QueueHdr::head)?;
+        let tail = tx.read_field(&S_META_R, h, QueueHdr::tail)?;
         if head == tail {
             return Ok(None);
         }
-        let cap = tx.read(&S_META_R, self.handle.word(CAP))?;
-        let data = tx.read_addr(&S_META_R, self.handle.word(DATA))?;
-        let val = tx.read(&S_DATA_R, data.word(head))?;
-        tx.write(&S_META_W, self.handle.word(HEAD), (head + 1) % cap)?;
+        let cap = tx.read_field(&S_META_R, h, QueueHdr::cap)?;
+        let data = tx.read_field(&S_META_R, h, QueueHdr::data)?;
+        let val = tx.read_elem(&S_DATA_R, data, head)?;
+        tx.write_field(&S_META_W, h, QueueHdr::head, (head + 1) % cap)?;
         Ok(Some(val))
     }
 
+    /// Transactional emptiness test.
     pub fn is_empty(&self, tx: &mut Tx<'_, '_>) -> TxResult<bool> {
-        let head = tx.read(&S_META_R, self.handle.word(HEAD))?;
-        let tail = tx.read(&S_META_R, self.handle.word(TAIL))?;
+        let h = self.hdr();
+        let head = tx.read_field(&S_META_R, h, QueueHdr::head)?;
+        let tail = tx.read_field(&S_META_R, h, QueueHdr::tail)?;
         Ok(head == tail)
     }
 
+    /// Non-transactional length (setup/verification only).
     pub fn seq_len(&self, w: &WorkerCtx<'_>) -> u64 {
-        let cap = w.load(self.handle.word(CAP));
-        let head = w.load(self.handle.word(HEAD));
-        let tail = w.load(self.handle.word(TAIL));
+        let h = self.hdr();
+        let cap: u64 = w.load_as(h.field(QueueHdr::cap));
+        let head: u64 = w.load_as(h.field(QueueHdr::head));
+        let tail: u64 = w.load_as(h.field(QueueHdr::tail));
         (tail + cap - head) % cap
     }
 
     /// Non-transactional push for building work queues during setup.
     pub fn seq_push(&self, w: &WorkerCtx<'_>, val: u64) {
-        let cap = w.load(self.handle.word(CAP));
-        let head = w.load(self.handle.word(HEAD));
-        let tail = w.load(self.handle.word(TAIL));
+        let h = self.hdr();
+        let cap: u64 = w.load_as(h.field(QueueHdr::cap));
+        let head: u64 = w.load_as(h.field(QueueHdr::head));
+        let tail: u64 = w.load_as(h.field(QueueHdr::tail));
         assert!(
             (tail + 1) % cap != head,
             "seq_push into full queue (size for setup)"
         );
-        let data = w.load_addr(self.handle.word(DATA));
-        w.store(data.word(tail), val);
-        w.store(self.handle.word(TAIL), (tail + 1) % cap);
+        let data: TxBuf<u64> = w.load_as(h.field(QueueHdr::data));
+        w.store(data.elem(tail), val);
+        w.store(h.field(QueueHdr::tail), (tail + 1) % cap);
     }
 }
 

@@ -1,27 +1,59 @@
 //! Transactional red-black tree (STAMP `lib/rbtree.c`, used by vacation's
 //! relation tables), mapping `u64` keys to one value word.
 //!
-//! Node layout (6 words): `[key, val, parent, left, right, color]`.
-//! `NULL` doubles as the black nil sentinel (CLRS-style, with explicit
-//! parent tracking through deletion fix-up).
+//! Built on the typed transactional object layer: [`RbNode`] declares the
+//! six-word layout once, links are `TxPtr<RbNode>` fields (so left/right
+//! selection is a choice between two typed projections, not two magic
+//! integers), and the color is a real enum behind the `TxWord` codec.
+//! `TxPtr::NULL` doubles as the black nil sentinel (CLRS-style, with
+//! explicit parent tracking through deletion fix-up).
 
-use stm::{Site, StmRuntime, Tx, TxResult, WorkerCtx};
-use txmem::{Addr, NULL};
+use stm::{
+    tx_object, tx_word_enum, Field, Site, StmRuntime, Tx, TxObject, TxPtr, TxResult, WorkerCtx,
+};
+use txmem::Addr;
 
-const KEY: u64 = 0;
-const VAL: u64 = 1;
-const PARENT: u64 = 2;
-const LEFT: u64 = 3;
-const RIGHT: u64 = 4;
-const COLOR: u64 = 5;
-const NODE_WORDS: u64 = 6;
+tx_word_enum! {
+    /// Node color. The nil sentinel reads as [`Color::Black`].
+    pub enum Color {
+        /// Black node (also nil's color).
+        Black = 0,
+        /// Red node.
+        Red = 1,
+    }
+}
 
-const RED: u64 = 1;
-const BLACK: u64 = 0;
+tx_object! {
+    /// A red-black tree node.
+    pub struct RbNode {
+        /// The key.
+        pub key: u64,
+        /// The value word.
+        pub val: u64,
+        /// Parent link (null at the root).
+        pub parent: TxPtr<RbNode>,
+        /// Left child.
+        pub left: TxPtr<RbNode>,
+        /// Right child.
+        pub right: TxPtr<RbNode>,
+        /// Node color.
+        pub color: Color,
+    }
+}
 
-// Handle: [root, size]
-const ROOT: u64 = 0;
-const SIZE: u64 = 1;
+tx_object! {
+    /// The tree header (what [`TxRbTree::handle`] points at).
+    pub struct RbHdr {
+        /// Root node (null when empty).
+        pub root: TxPtr<RbNode>,
+        /// Number of nodes.
+        pub size: u64,
+    }
+}
+
+/// A child-link projection — both candidates of every "go left or right"
+/// decision in the CLRS algorithms.
+type Link = Field<RbNode, TxPtr<RbNode>>;
 
 static S_NODE_R: Site = Site::shared("rbtree.node.read");
 static S_NODE_W: Site = Site::shared("rbtree.node.write");
@@ -34,111 +66,122 @@ static S_INIT_W: Site = Site::captured_local("rbtree.node_init.write");
 /// A transactional red-black tree handle.
 #[derive(Clone, Copy, Debug)]
 pub struct TxRbTree {
+    /// Address of the [`RbHdr`] (raw so workloads can stash tree handles
+    /// in plain memory words).
     pub handle: Addr,
 }
 
 impl TxRbTree {
+    /// The typed view of the header.
+    #[inline]
+    fn hdr(&self) -> TxPtr<RbHdr> {
+        TxPtr::from_addr(self.handle)
+    }
+
+    /// Create a tree during (non-transactional) setup.
     pub fn create(rt: &StmRuntime) -> TxRbTree {
-        let handle = rt.alloc_global(2 * 8);
-        rt.mem().store(handle.word(ROOT), 0);
-        rt.mem().store(handle.word(SIZE), 0);
+        let handle = rt.alloc_global(RbHdr::BYTES);
+        let h = TxPtr::<RbHdr>::from_addr(handle);
+        rt.mem().store(h.field(RbHdr::root), 0);
+        rt.mem().store(h.field(RbHdr::size), 0);
         TxRbTree { handle }
     }
 
     // -- tiny field accessors (every one an instrumented site) -------------
 
-    fn root(&self, tx: &mut Tx<'_, '_>) -> TxResult<Addr> {
-        tx.read_addr(&S_ROOT_R, self.handle.word(ROOT))
+    fn root(&self, tx: &mut Tx<'_, '_>) -> TxResult<TxPtr<RbNode>> {
+        tx.read_field(&S_ROOT_R, self.hdr(), RbHdr::root)
     }
 
-    fn set_root(&self, tx: &mut Tx<'_, '_>, n: Addr) -> TxResult<()> {
-        tx.write_addr(&S_ROOT_W, self.handle.word(ROOT), n)
+    fn set_root(&self, tx: &mut Tx<'_, '_>, n: TxPtr<RbNode>) -> TxResult<()> {
+        tx.write_field(&S_ROOT_W, self.hdr(), RbHdr::root, n)
     }
 
-    fn f(tx: &mut Tx<'_, '_>, n: Addr, field: u64) -> TxResult<Addr> {
-        tx.read_addr(&S_NODE_R, n.word(field))
+    fn f(tx: &mut Tx<'_, '_>, n: TxPtr<RbNode>, link: Link) -> TxResult<TxPtr<RbNode>> {
+        tx.read_field(&S_NODE_R, n, link)
     }
 
-    fn set_f(tx: &mut Tx<'_, '_>, n: Addr, field: u64, v: Addr) -> TxResult<()> {
-        tx.write_addr(&S_NODE_W, n.word(field), v)
+    fn set_f(tx: &mut Tx<'_, '_>, n: TxPtr<RbNode>, link: Link, v: TxPtr<RbNode>) -> TxResult<()> {
+        tx.write_field(&S_NODE_W, n, link, v)
     }
 
-    fn color(tx: &mut Tx<'_, '_>, n: Addr) -> TxResult<u64> {
+    fn color(tx: &mut Tx<'_, '_>, n: TxPtr<RbNode>) -> TxResult<Color> {
         if n.is_null() {
-            Ok(BLACK) // nil is black
+            Ok(Color::Black) // nil is black
         } else {
-            tx.read(&S_NODE_R, n.word(COLOR))
+            tx.read_field(&S_NODE_R, n, RbNode::color)
         }
     }
 
-    fn set_color(tx: &mut Tx<'_, '_>, n: Addr, c: u64) -> TxResult<()> {
+    fn set_color(tx: &mut Tx<'_, '_>, n: TxPtr<RbNode>, c: Color) -> TxResult<()> {
         debug_assert!(!n.is_null());
-        tx.write(&S_NODE_W, n.word(COLOR), c)
+        tx.write_field(&S_NODE_W, n, RbNode::color, c)
     }
 
     fn bump_size(&self, tx: &mut Tx<'_, '_>, delta: i64) -> TxResult<()> {
-        let sz = tx.read(&S_SIZE_R, self.handle.word(SIZE))?;
-        tx.write(
+        let sz = tx.read_field(&S_SIZE_R, self.hdr(), RbHdr::size)?;
+        tx.write_field(
             &S_SIZE_W,
-            self.handle.word(SIZE),
+            self.hdr(),
+            RbHdr::size,
             sz.wrapping_add(delta as u64),
         )
     }
 
     // -- rotations ----------------------------------------------------------
 
-    fn rotate_left(&self, tx: &mut Tx<'_, '_>, x: Addr) -> TxResult<()> {
-        let y = Self::f(tx, x, RIGHT)?;
-        let yl = Self::f(tx, y, LEFT)?;
-        Self::set_f(tx, x, RIGHT, yl)?;
+    fn rotate_left(&self, tx: &mut Tx<'_, '_>, x: TxPtr<RbNode>) -> TxResult<()> {
+        let y = Self::f(tx, x, RbNode::right)?;
+        let yl = Self::f(tx, y, RbNode::left)?;
+        Self::set_f(tx, x, RbNode::right, yl)?;
         if !yl.is_null() {
-            Self::set_f(tx, yl, PARENT, x)?;
+            Self::set_f(tx, yl, RbNode::parent, x)?;
         }
-        let xp = Self::f(tx, x, PARENT)?;
-        Self::set_f(tx, y, PARENT, xp)?;
+        let xp = Self::f(tx, x, RbNode::parent)?;
+        Self::set_f(tx, y, RbNode::parent, xp)?;
         if xp.is_null() {
             self.set_root(tx, y)?;
-        } else if Self::f(tx, xp, LEFT)? == x {
-            Self::set_f(tx, xp, LEFT, y)?;
+        } else if Self::f(tx, xp, RbNode::left)? == x {
+            Self::set_f(tx, xp, RbNode::left, y)?;
         } else {
-            Self::set_f(tx, xp, RIGHT, y)?;
+            Self::set_f(tx, xp, RbNode::right, y)?;
         }
-        Self::set_f(tx, y, LEFT, x)?;
-        Self::set_f(tx, x, PARENT, y)
+        Self::set_f(tx, y, RbNode::left, x)?;
+        Self::set_f(tx, x, RbNode::parent, y)
     }
 
-    fn rotate_right(&self, tx: &mut Tx<'_, '_>, x: Addr) -> TxResult<()> {
-        let y = Self::f(tx, x, LEFT)?;
-        let yr = Self::f(tx, y, RIGHT)?;
-        Self::set_f(tx, x, LEFT, yr)?;
+    fn rotate_right(&self, tx: &mut Tx<'_, '_>, x: TxPtr<RbNode>) -> TxResult<()> {
+        let y = Self::f(tx, x, RbNode::left)?;
+        let yr = Self::f(tx, y, RbNode::right)?;
+        Self::set_f(tx, x, RbNode::left, yr)?;
         if !yr.is_null() {
-            Self::set_f(tx, yr, PARENT, x)?;
+            Self::set_f(tx, yr, RbNode::parent, x)?;
         }
-        let xp = Self::f(tx, x, PARENT)?;
-        Self::set_f(tx, y, PARENT, xp)?;
+        let xp = Self::f(tx, x, RbNode::parent)?;
+        Self::set_f(tx, y, RbNode::parent, xp)?;
         if xp.is_null() {
             self.set_root(tx, y)?;
-        } else if Self::f(tx, xp, RIGHT)? == x {
-            Self::set_f(tx, xp, RIGHT, y)?;
+        } else if Self::f(tx, xp, RbNode::right)? == x {
+            Self::set_f(tx, xp, RbNode::right, y)?;
         } else {
-            Self::set_f(tx, xp, LEFT, y)?;
+            Self::set_f(tx, xp, RbNode::left, y)?;
         }
-        Self::set_f(tx, y, RIGHT, x)?;
-        Self::set_f(tx, x, PARENT, y)
+        Self::set_f(tx, y, RbNode::right, x)?;
+        Self::set_f(tx, x, RbNode::parent, y)
     }
 
     // -- lookup -------------------------------------------------------------
 
-    fn find_node(&self, tx: &mut Tx<'_, '_>, key: u64) -> TxResult<Addr> {
+    fn find_node(&self, tx: &mut Tx<'_, '_>, key: u64) -> TxResult<TxPtr<RbNode>> {
         let mut cur = self.root(tx)?;
         while !cur.is_null() {
-            let k = tx.read(&S_NODE_R, cur.word(KEY))?;
+            let k = tx.read_field(&S_NODE_R, cur, RbNode::key)?;
             if key == k {
                 return Ok(cur);
             }
-            cur = Self::f(tx, cur, if key < k { LEFT } else { RIGHT })?;
+            cur = Self::f(tx, cur, if key < k { RbNode::left } else { RbNode::right })?;
         }
-        Ok(NULL)
+        Ok(TxPtr::NULL)
     }
 
     /// Look up `key`, returning its value word.
@@ -147,7 +190,7 @@ impl TxRbTree {
         if n.is_null() {
             Ok(None)
         } else {
-            Ok(Some(tx.read(&S_NODE_R, n.word(VAL))?))
+            Ok(Some(tx.read_field(&S_NODE_R, n, RbNode::val)?))
         }
     }
 
@@ -157,7 +200,7 @@ impl TxRbTree {
         if n.is_null() {
             Ok(false)
         } else {
-            tx.write(&S_NODE_W, n.word(VAL), val)?;
+            tx.write_field(&S_NODE_W, n, RbNode::val, val)?;
             Ok(true)
         }
     }
@@ -165,26 +208,26 @@ impl TxRbTree {
     /// Smallest key `>= key` (range scans in vacation's update task).
     pub fn find_at_least(&self, tx: &mut Tx<'_, '_>, key: u64) -> TxResult<Option<(u64, u64)>> {
         let mut cur = self.root(tx)?;
-        let mut best = NULL;
+        let mut best = TxPtr::NULL;
         while !cur.is_null() {
-            let k = tx.read(&S_NODE_R, cur.word(KEY))?;
+            let k = tx.read_field(&S_NODE_R, cur, RbNode::key)?;
             if k == key {
                 best = cur;
                 break;
             }
             if k > key {
                 best = cur;
-                cur = Self::f(tx, cur, LEFT)?;
+                cur = Self::f(tx, cur, RbNode::left)?;
             } else {
-                cur = Self::f(tx, cur, RIGHT)?;
+                cur = Self::f(tx, cur, RbNode::right)?;
             }
         }
         if best.is_null() {
             Ok(None)
         } else {
             Ok(Some((
-                tx.read(&S_NODE_R, best.word(KEY))?,
-                tx.read(&S_NODE_R, best.word(VAL))?,
+                tx.read_field(&S_NODE_R, best, RbNode::key)?,
+                tx.read_field(&S_NODE_R, best, RbNode::val)?,
             )))
         }
     }
@@ -193,107 +236,116 @@ impl TxRbTree {
 
     /// Insert `(key, val)`; `false` if the key exists.
     pub fn insert(&self, tx: &mut Tx<'_, '_>, key: u64, val: u64) -> TxResult<bool> {
-        let mut parent = NULL;
+        let mut parent = TxPtr::NULL;
         let mut cur = self.root(tx)?;
         let mut went_left = false;
         while !cur.is_null() {
-            let k = tx.read(&S_NODE_R, cur.word(KEY))?;
+            let k = tx.read_field(&S_NODE_R, cur, RbNode::key)?;
             if k == key {
                 return Ok(false);
             }
             parent = cur;
             went_left = key < k;
-            cur = Self::f(tx, cur, if went_left { LEFT } else { RIGHT })?;
+            cur = Self::f(
+                tx,
+                cur,
+                if went_left {
+                    RbNode::left
+                } else {
+                    RbNode::right
+                },
+            )?;
         }
-        let z = tx.alloc(NODE_WORDS * 8)?;
-        tx.write(&S_INIT_W, z.word(KEY), key)?;
-        tx.write(&S_INIT_W, z.word(VAL), val)?;
-        tx.write_addr(&S_INIT_W, z.word(PARENT), parent)?;
-        tx.write_addr(&S_INIT_W, z.word(LEFT), NULL)?;
-        tx.write_addr(&S_INIT_W, z.word(RIGHT), NULL)?;
-        tx.write(&S_INIT_W, z.word(COLOR), RED)?;
+        let z = tx.alloc_obj::<RbNode>()?;
+        tx.write_field(&S_INIT_W, z, RbNode::key, key)?;
+        tx.write_field(&S_INIT_W, z, RbNode::val, val)?;
+        tx.write_field(&S_INIT_W, z, RbNode::parent, parent)?;
+        tx.write_field(&S_INIT_W, z, RbNode::left, TxPtr::NULL)?;
+        tx.write_field(&S_INIT_W, z, RbNode::right, TxPtr::NULL)?;
+        tx.write_field(&S_INIT_W, z, RbNode::color, Color::Red)?;
         if parent.is_null() {
             self.set_root(tx, z)?;
         } else if went_left {
-            Self::set_f(tx, parent, LEFT, z)?;
+            Self::set_f(tx, parent, RbNode::left, z)?;
         } else {
-            Self::set_f(tx, parent, RIGHT, z)?;
+            Self::set_f(tx, parent, RbNode::right, z)?;
         }
         self.insert_fixup(tx, z)?;
         self.bump_size(tx, 1)?;
         Ok(true)
     }
 
-    fn insert_fixup(&self, tx: &mut Tx<'_, '_>, mut z: Addr) -> TxResult<()> {
+    fn insert_fixup(&self, tx: &mut Tx<'_, '_>, mut z: TxPtr<RbNode>) -> TxResult<()> {
         loop {
-            let zp = Self::f(tx, z, PARENT)?;
-            if zp.is_null() || Self::color(tx, zp)? == BLACK {
+            let zp = Self::f(tx, z, RbNode::parent)?;
+            if zp.is_null() || Self::color(tx, zp)? == Color::Black {
                 break;
             }
-            let zpp = Self::f(tx, zp, PARENT)?; // grandparent exists: zp is red, root is black
-            if Self::f(tx, zpp, LEFT)? == zp {
-                let uncle = Self::f(tx, zpp, RIGHT)?;
-                if Self::color(tx, uncle)? == RED {
-                    Self::set_color(tx, zp, BLACK)?;
-                    Self::set_color(tx, uncle, BLACK)?;
-                    Self::set_color(tx, zpp, RED)?;
+            // Grandparent exists: zp is red, the root is black.
+            let zpp = Self::f(tx, zp, RbNode::parent)?;
+            if Self::f(tx, zpp, RbNode::left)? == zp {
+                let uncle = Self::f(tx, zpp, RbNode::right)?;
+                if Self::color(tx, uncle)? == Color::Red {
+                    Self::set_color(tx, zp, Color::Black)?;
+                    Self::set_color(tx, uncle, Color::Black)?;
+                    Self::set_color(tx, zpp, Color::Red)?;
                     z = zpp;
                 } else {
-                    if Self::f(tx, zp, RIGHT)? == z {
+                    if Self::f(tx, zp, RbNode::right)? == z {
                         z = zp;
                         self.rotate_left(tx, z)?;
                     }
-                    let zp = Self::f(tx, z, PARENT)?;
-                    let zpp = Self::f(tx, zp, PARENT)?;
-                    Self::set_color(tx, zp, BLACK)?;
-                    Self::set_color(tx, zpp, RED)?;
+                    let zp = Self::f(tx, z, RbNode::parent)?;
+                    let zpp = Self::f(tx, zp, RbNode::parent)?;
+                    Self::set_color(tx, zp, Color::Black)?;
+                    Self::set_color(tx, zpp, Color::Red)?;
                     self.rotate_right(tx, zpp)?;
                 }
             } else {
-                let uncle = Self::f(tx, zpp, LEFT)?;
-                if Self::color(tx, uncle)? == RED {
-                    Self::set_color(tx, zp, BLACK)?;
-                    Self::set_color(tx, uncle, BLACK)?;
-                    Self::set_color(tx, zpp, RED)?;
+                let uncle = Self::f(tx, zpp, RbNode::left)?;
+                if Self::color(tx, uncle)? == Color::Red {
+                    Self::set_color(tx, zp, Color::Black)?;
+                    Self::set_color(tx, uncle, Color::Black)?;
+                    Self::set_color(tx, zpp, Color::Red)?;
                     z = zpp;
                 } else {
-                    if Self::f(tx, zp, LEFT)? == z {
+                    if Self::f(tx, zp, RbNode::left)? == z {
                         z = zp;
                         self.rotate_right(tx, z)?;
                     }
-                    let zp = Self::f(tx, z, PARENT)?;
-                    let zpp = Self::f(tx, zp, PARENT)?;
-                    Self::set_color(tx, zp, BLACK)?;
-                    Self::set_color(tx, zpp, RED)?;
+                    let zp = Self::f(tx, z, RbNode::parent)?;
+                    let zpp = Self::f(tx, zp, RbNode::parent)?;
+                    Self::set_color(tx, zp, Color::Black)?;
+                    Self::set_color(tx, zpp, Color::Red)?;
                     self.rotate_left(tx, zpp)?;
                 }
             }
         }
         let root = self.root(tx)?;
-        Self::set_color(tx, root, BLACK)
+        Self::set_color(tx, root, Color::Black)
     }
 
     // -- deletion -----------------------------------------------------------
 
     /// Replace subtree `u` with `v` (CLRS transplant).
-    fn transplant(&self, tx: &mut Tx<'_, '_>, u: Addr, v: Addr) -> TxResult<()> {
-        let up = Self::f(tx, u, PARENT)?;
+    fn transplant(&self, tx: &mut Tx<'_, '_>, u: TxPtr<RbNode>, v: TxPtr<RbNode>) -> TxResult<()> {
+        let up = Self::f(tx, u, RbNode::parent)?;
         if up.is_null() {
             self.set_root(tx, v)?;
-        } else if Self::f(tx, up, LEFT)? == u {
-            Self::set_f(tx, up, LEFT, v)?;
+        } else if Self::f(tx, up, RbNode::left)? == u {
+            Self::set_f(tx, up, RbNode::left, v)?;
         } else {
-            Self::set_f(tx, up, RIGHT, v)?;
+            Self::set_f(tx, up, RbNode::right, v)?;
         }
         if !v.is_null() {
-            Self::set_f(tx, v, PARENT, up)?;
+            Self::set_f(tx, v, RbNode::parent, up)?;
         }
         Ok(())
     }
 
-    fn minimum(tx: &mut Tx<'_, '_>, mut n: Addr) -> TxResult<Addr> {
+    fn minimum(tx: &mut Tx<'_, '_>, mut n: TxPtr<RbNode>) -> TxResult<TxPtr<RbNode>> {
         loop {
-            let l = Self::f(tx, n, LEFT)?;
+            let l = Self::f(tx, n, RbNode::left)?;
             if l.is_null() {
                 return Ok(n);
             }
@@ -307,158 +359,167 @@ impl TxRbTree {
         if z.is_null() {
             return Ok(None);
         }
-        let val = tx.read(&S_NODE_R, z.word(VAL))?;
-        let zl = Self::f(tx, z, LEFT)?;
-        let zr = Self::f(tx, z, RIGHT)?;
+        let val = tx.read_field(&S_NODE_R, z, RbNode::val)?;
+        let zl = Self::f(tx, z, RbNode::left)?;
+        let zr = Self::f(tx, z, RbNode::right)?;
         let mut y_color = Self::color(tx, z)?;
         let x;
         let xp;
         if zl.is_null() {
             x = zr;
-            xp = Self::f(tx, z, PARENT)?;
+            xp = Self::f(tx, z, RbNode::parent)?;
             self.transplant(tx, z, zr)?;
         } else if zr.is_null() {
             x = zl;
-            xp = Self::f(tx, z, PARENT)?;
+            xp = Self::f(tx, z, RbNode::parent)?;
             self.transplant(tx, z, zl)?;
         } else {
             let y = Self::minimum(tx, zr)?;
             y_color = Self::color(tx, y)?;
-            x = Self::f(tx, y, RIGHT)?;
-            if Self::f(tx, y, PARENT)? == z {
+            x = Self::f(tx, y, RbNode::right)?;
+            if Self::f(tx, y, RbNode::parent)? == z {
                 xp = y;
                 if !x.is_null() {
-                    Self::set_f(tx, x, PARENT, y)?;
+                    Self::set_f(tx, x, RbNode::parent, y)?;
                 }
             } else {
-                xp = Self::f(tx, y, PARENT)?;
+                xp = Self::f(tx, y, RbNode::parent)?;
                 self.transplant(tx, y, x)?;
-                let zr = Self::f(tx, z, RIGHT)?;
-                Self::set_f(tx, y, RIGHT, zr)?;
-                Self::set_f(tx, zr, PARENT, y)?;
+                let zr = Self::f(tx, z, RbNode::right)?;
+                Self::set_f(tx, y, RbNode::right, zr)?;
+                Self::set_f(tx, zr, RbNode::parent, y)?;
             }
             self.transplant(tx, z, y)?;
-            let zl = Self::f(tx, z, LEFT)?;
-            Self::set_f(tx, y, LEFT, zl)?;
-            Self::set_f(tx, zl, PARENT, y)?;
+            let zl = Self::f(tx, z, RbNode::left)?;
+            Self::set_f(tx, y, RbNode::left, zl)?;
+            Self::set_f(tx, zl, RbNode::parent, y)?;
             let zc = Self::color(tx, z)?;
             Self::set_color(tx, y, zc)?;
         }
-        if y_color == BLACK {
+        if y_color == Color::Black {
             self.delete_fixup(tx, x, xp)?;
         }
-        tx.free(z);
+        tx.free_obj(z);
         self.bump_size(tx, -1)?;
         Ok(Some(val))
     }
 
     /// CLRS delete fix-up with `x` possibly nil; `xp` tracks its parent.
-    fn delete_fixup(&self, tx: &mut Tx<'_, '_>, mut x: Addr, mut xp: Addr) -> TxResult<()> {
+    fn delete_fixup(
+        &self,
+        tx: &mut Tx<'_, '_>,
+        mut x: TxPtr<RbNode>,
+        mut xp: TxPtr<RbNode>,
+    ) -> TxResult<()> {
         loop {
             let root = self.root(tx)?;
-            if x == root || Self::color(tx, x)? == RED {
+            if x == root || Self::color(tx, x)? == Color::Red {
                 break;
             }
-            if Self::f(tx, xp, LEFT)? == x {
-                let mut w = Self::f(tx, xp, RIGHT)?;
-                if Self::color(tx, w)? == RED {
-                    Self::set_color(tx, w, BLACK)?;
-                    Self::set_color(tx, xp, RED)?;
+            if Self::f(tx, xp, RbNode::left)? == x {
+                let mut w = Self::f(tx, xp, RbNode::right)?;
+                if Self::color(tx, w)? == Color::Red {
+                    Self::set_color(tx, w, Color::Black)?;
+                    Self::set_color(tx, xp, Color::Red)?;
                     self.rotate_left(tx, xp)?;
-                    w = Self::f(tx, xp, RIGHT)?;
+                    w = Self::f(tx, xp, RbNode::right)?;
                 }
-                let wl = Self::f(tx, w, LEFT)?;
-                let wr = Self::f(tx, w, RIGHT)?;
-                if Self::color(tx, wl)? == BLACK && Self::color(tx, wr)? == BLACK {
-                    Self::set_color(tx, w, RED)?;
+                let wl = Self::f(tx, w, RbNode::left)?;
+                let wr = Self::f(tx, w, RbNode::right)?;
+                if Self::color(tx, wl)? == Color::Black && Self::color(tx, wr)? == Color::Black {
+                    Self::set_color(tx, w, Color::Red)?;
                     x = xp;
-                    xp = Self::f(tx, x, PARENT)?;
+                    xp = Self::f(tx, x, RbNode::parent)?;
                 } else {
-                    if Self::color(tx, wr)? == BLACK {
+                    if Self::color(tx, wr)? == Color::Black {
                         if !wl.is_null() {
-                            Self::set_color(tx, wl, BLACK)?;
+                            Self::set_color(tx, wl, Color::Black)?;
                         }
-                        Self::set_color(tx, w, RED)?;
+                        Self::set_color(tx, w, Color::Red)?;
                         self.rotate_right(tx, w)?;
-                        w = Self::f(tx, xp, RIGHT)?;
+                        w = Self::f(tx, xp, RbNode::right)?;
                     }
                     let xpc = Self::color(tx, xp)?;
                     Self::set_color(tx, w, xpc)?;
-                    Self::set_color(tx, xp, BLACK)?;
-                    let wr = Self::f(tx, w, RIGHT)?;
+                    Self::set_color(tx, xp, Color::Black)?;
+                    let wr = Self::f(tx, w, RbNode::right)?;
                     if !wr.is_null() {
-                        Self::set_color(tx, wr, BLACK)?;
+                        Self::set_color(tx, wr, Color::Black)?;
                     }
                     self.rotate_left(tx, xp)?;
                     x = self.root(tx)?;
-                    xp = NULL;
+                    xp = TxPtr::NULL;
                 }
             } else {
-                let mut w = Self::f(tx, xp, LEFT)?;
-                if Self::color(tx, w)? == RED {
-                    Self::set_color(tx, w, BLACK)?;
-                    Self::set_color(tx, xp, RED)?;
+                let mut w = Self::f(tx, xp, RbNode::left)?;
+                if Self::color(tx, w)? == Color::Red {
+                    Self::set_color(tx, w, Color::Black)?;
+                    Self::set_color(tx, xp, Color::Red)?;
                     self.rotate_right(tx, xp)?;
-                    w = Self::f(tx, xp, LEFT)?;
+                    w = Self::f(tx, xp, RbNode::left)?;
                 }
-                let wl = Self::f(tx, w, LEFT)?;
-                let wr = Self::f(tx, w, RIGHT)?;
-                if Self::color(tx, wl)? == BLACK && Self::color(tx, wr)? == BLACK {
-                    Self::set_color(tx, w, RED)?;
+                let wl = Self::f(tx, w, RbNode::left)?;
+                let wr = Self::f(tx, w, RbNode::right)?;
+                if Self::color(tx, wl)? == Color::Black && Self::color(tx, wr)? == Color::Black {
+                    Self::set_color(tx, w, Color::Red)?;
                     x = xp;
-                    xp = Self::f(tx, x, PARENT)?;
+                    xp = Self::f(tx, x, RbNode::parent)?;
                 } else {
-                    if Self::color(tx, wl)? == BLACK {
+                    if Self::color(tx, wl)? == Color::Black {
                         if !wr.is_null() {
-                            Self::set_color(tx, wr, BLACK)?;
+                            Self::set_color(tx, wr, Color::Black)?;
                         }
-                        Self::set_color(tx, w, RED)?;
+                        Self::set_color(tx, w, Color::Red)?;
                         self.rotate_left(tx, w)?;
-                        w = Self::f(tx, xp, LEFT)?;
+                        w = Self::f(tx, xp, RbNode::left)?;
                     }
                     let xpc = Self::color(tx, xp)?;
                     Self::set_color(tx, w, xpc)?;
-                    Self::set_color(tx, xp, BLACK)?;
-                    let wl = Self::f(tx, w, LEFT)?;
+                    Self::set_color(tx, xp, Color::Black)?;
+                    let wl = Self::f(tx, w, RbNode::left)?;
                     if !wl.is_null() {
-                        Self::set_color(tx, wl, BLACK)?;
+                        Self::set_color(tx, wl, Color::Black)?;
                     }
                     self.rotate_right(tx, xp)?;
                     x = self.root(tx)?;
-                    xp = NULL;
+                    xp = TxPtr::NULL;
                 }
             }
         }
         if !x.is_null() {
-            Self::set_color(tx, x, BLACK)?;
+            Self::set_color(tx, x, Color::Black)?;
         }
         Ok(())
     }
 
     /// Transactional size.
     pub fn len(&self, tx: &mut Tx<'_, '_>) -> TxResult<u64> {
-        tx.read(&S_SIZE_R, self.handle.word(SIZE))
+        tx.read_field(&S_SIZE_R, self.hdr(), RbHdr::size)
     }
 
     // --- sequential helpers (setup / verification) -------------------------
 
+    /// Non-transactional size (setup/verification only).
     pub fn seq_len(&self, w: &WorkerCtx<'_>) -> u64 {
-        w.load(self.handle.word(SIZE))
+        w.load_as(self.hdr().field(RbHdr::size))
     }
 
     /// In-order `(key, val)` pairs; verification only.
     pub fn seq_collect(&self, w: &WorkerCtx<'_>) -> Vec<(u64, u64)> {
         let mut out = Vec::new();
         let mut stack = Vec::new();
-        let mut cur = w.load_addr(self.handle.word(ROOT));
+        let mut cur: TxPtr<RbNode> = w.load_as(self.hdr().field(RbHdr::root));
         while !cur.is_null() || !stack.is_empty() {
             while !cur.is_null() {
                 stack.push(cur);
-                cur = w.load_addr(cur.word(LEFT));
+                cur = w.load_as(cur.field(RbNode::left));
             }
             let n = stack.pop().unwrap();
-            out.push((w.load(n.word(KEY)), w.load(n.word(VAL))));
-            cur = w.load_addr(n.word(RIGHT));
+            out.push((
+                w.load_as(n.field(RbNode::key)),
+                w.load_as(n.field(RbNode::val)),
+            ));
+            cur = w.load_as(n.field(RbNode::right));
         }
         out
     }
@@ -466,26 +527,26 @@ impl TxRbTree {
     /// Check the red-black invariants sequentially; panics with a message
     /// on violation, returns black-height on success.
     pub fn seq_check_invariants(&self, w: &WorkerCtx<'_>) -> usize {
-        fn check(w: &WorkerCtx<'_>, n: Addr, lo: Option<u64>, hi: Option<u64>) -> usize {
+        fn check(w: &WorkerCtx<'_>, n: TxPtr<RbNode>, lo: Option<u64>, hi: Option<u64>) -> usize {
             if n.is_null() {
                 return 1; // nil is black
             }
-            let k = w.load(n.word(KEY));
+            let k: u64 = w.load_as(n.field(RbNode::key));
             if let Some(lo) = lo {
                 assert!(k > lo, "BST order violated at key {k}");
             }
             if let Some(hi) = hi {
                 assert!(k < hi, "BST order violated at key {k}");
             }
-            let c = w.load(n.word(COLOR));
-            let l = w.load_addr(n.word(LEFT));
-            let r = w.load_addr(n.word(RIGHT));
-            if c == RED {
+            let c: Color = w.load_as(n.field(RbNode::color));
+            let l: TxPtr<RbNode> = w.load_as(n.field(RbNode::left));
+            let r: TxPtr<RbNode> = w.load_as(n.field(RbNode::right));
+            if c == Color::Red {
                 for child in [l, r] {
                     if !child.is_null() {
                         assert_eq!(
-                            w.load(child.word(COLOR)),
-                            BLACK,
+                            w.load_as::<Color>(child.field(RbNode::color)),
+                            Color::Black,
                             "red node {k} has red child"
                         );
                     }
@@ -494,7 +555,7 @@ impl TxRbTree {
             for child in [l, r] {
                 if !child.is_null() {
                     assert_eq!(
-                        w.load_addr(child.word(PARENT)),
+                        w.load_as::<TxPtr<RbNode>>(child.field(RbNode::parent)),
                         n,
                         "parent pointer broken under {k}"
                     );
@@ -503,11 +564,15 @@ impl TxRbTree {
             let bl = check(w, l, lo, Some(k));
             let br = check(w, r, Some(k), hi);
             assert_eq!(bl, br, "black-height mismatch at key {k}");
-            bl + if c == BLACK { 1 } else { 0 }
+            bl + if c == Color::Black { 1 } else { 0 }
         }
-        let root = w.load_addr(self.handle.word(ROOT));
+        let root: TxPtr<RbNode> = w.load_as(self.hdr().field(RbHdr::root));
         if !root.is_null() {
-            assert_eq!(w.load(root.word(COLOR)), BLACK, "root must be black");
+            assert_eq!(
+                w.load_as::<Color>(root.field(RbNode::color)),
+                Color::Black,
+                "root must be black"
+            );
         }
         check(w, root, None, None)
     }

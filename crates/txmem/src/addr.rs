@@ -7,6 +7,21 @@ pub const WORD_BYTES: u64 = 8;
 /// never a valid data address, mirroring C's `NULL`.
 pub const NULL: Addr = Addr(0);
 
+/// Byte size of an object `words` machine words long — the typed layer's
+/// size helper (`stm::TxObject::WORDS` → allocation request).
+///
+/// Panics (also in release) on multiply overflow: a wrapped size would
+/// silently under-allocate and hand back a tiny block beneath a huge
+/// typed handle, corrupting unrelated simulated memory on the first
+/// out-of-block element access.
+#[inline]
+pub const fn words_to_bytes(words: u64) -> u64 {
+    match words.checked_mul(WORD_BYTES) {
+        Some(bytes) => bytes,
+        None => panic!("object size in words overflows the byte address space"),
+    }
+}
+
 /// A byte address into the simulated shared memory.
 ///
 /// All loads and stores are word (8-byte) granular and must be word aligned;
@@ -103,5 +118,13 @@ mod tests {
     fn roundtrips_through_raw() {
         let a = Addr(0xdead0);
         assert_eq!(Addr::from_raw(a.raw()), a);
+    }
+
+    #[test]
+    fn words_to_bytes_scales_and_checks() {
+        assert_eq!(words_to_bytes(0), 0);
+        assert_eq!(words_to_bytes(3), 24);
+        let r = std::panic::catch_unwind(|| words_to_bytes(u64::MAX / 2));
+        assert!(r.is_err(), "overflowing size must panic, not wrap");
     }
 }

@@ -28,7 +28,7 @@ mod mem;
 mod pad;
 mod stack;
 
-pub use addr::{Addr, NULL, WORD_BYTES};
+pub use addr::{words_to_bytes, Addr, NULL, WORD_BYTES};
 pub use alloc::{
     small_block_total, AllocError, ThreadAlloc, TxHeap, HEADER_BYTES, MAX_SMALL_BYTES, NSHARDS,
     NURSERY_MAX_BLOCK_BYTES, NURSERY_REGION_BYTES, SIZE_CLASSES,

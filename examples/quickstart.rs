@@ -7,9 +7,12 @@
 //! Builds an STM runtime over simulated memory, runs concurrent transfer
 //! transactions that mix genuinely shared accesses with transaction-local
 //! scratch allocations, and shows how runtime capture analysis elides the
-//! barriers for the latter.
+//! barriers for the latter — all through the **typed object layer**:
+//! the audit record is a `tx_object!` layout accessed with field
+//! projections, which lower to the same word barriers as raw
+//! `addr.word(i)` arithmetic.
 
-use stm::{Site, StmRuntime, TxConfig};
+use stm::{tx_object, Site, StmRuntime, TxConfig};
 use txmem::MemConfig;
 
 // Every transactional access site carries a static descriptor. `shared`
@@ -18,6 +21,20 @@ use txmem::MemConfig;
 // cannot see (e.g. the pointer crossed a function boundary).
 static ACCOUNT: Site = Site::shared("quickstart.account");
 static SCRATCH: Site = Site::captured_escaped("quickstart.scratch");
+
+tx_object! {
+    /// A transaction-local audit record: declared once, projected with
+    /// `tx.write_field(&SITE, p, Audit::from, v)` instead of counting
+    /// word offsets by hand.
+    struct Audit {
+        /// Source account index.
+        from: u64,
+        /// Destination account index.
+        to: u64,
+        /// Set once the transfer has executed.
+        done: bool,
+    }
+}
 
 const ACCOUNTS: u64 = 16;
 const TRANSFERS_PER_THREAD: u64 = 10_000;
@@ -50,11 +67,12 @@ fn main() {
                     let to = (from + 1 + (x >> 13) % (ACCOUNTS - 1)) % ACCOUNTS;
                     w.txn(|tx| {
                         // A transaction-local audit record: allocated inside
-                        // the transaction, so it is *captured* — the writes
-                        // below skip locking, logging, everything.
-                        let audit = tx.alloc(24)?;
-                        tx.write(&SCRATCH, audit.word(0), from)?;
-                        tx.write(&SCRATCH, audit.word(1), to)?;
+                        // the transaction, so it is *captured* — the typed
+                        // field writes below skip locking, logging,
+                        // everything.
+                        let audit = tx.alloc_obj::<Audit>()?;
+                        tx.write_field(&SCRATCH, audit, Audit::from, from)?;
+                        tx.write_field(&SCRATCH, audit, Audit::to, to)?;
 
                         // The genuinely shared part: the transfer itself.
                         let f = tx.read(&ACCOUNT, table.word(from))?;
@@ -62,8 +80,8 @@ fn main() {
                         tx.write(&ACCOUNT, table.word(from), f - 1)?;
                         tx.write(&ACCOUNT, table.word(to), g + 1)?;
 
-                        tx.write(&SCRATCH, audit.word(2), 1)?; // "done"
-                        tx.free(audit);
+                        tx.write_field(&SCRATCH, audit, Audit::done, true)?;
+                        tx.free_obj(audit);
                         Ok(())
                     });
                 }

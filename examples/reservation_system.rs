@@ -7,16 +7,31 @@
 //!
 //! Four agents concurrently book trips against shared red-black-tree
 //! inventory tables while an auditor transaction sums exposure. Every
-//! booking allocates its customer record and reservation-list nodes inside
-//! the transaction — captured memory whose barriers the STM elides.
+//! booking allocates its room/customer records inside the transaction —
+//! captured memory whose barriers the STM elides. Inventory records are
+//! `tx_object!` layouts accessed through typed field projections; their
+//! pointers travel through the trees' `u64` value words via
+//! `TxPtr::raw`/`TxPtr::from_raw`, exactly like the C structs whose
+//! pointers STAMP stashes in its collections.
 
 use stamp::collections::{TxList, TxRbTree};
-use stm::{Site, StmRuntime, TxConfig};
-use txmem::{Addr, MemConfig};
+use stm::{tx_object, Site, StmRuntime, TxConfig, TxPtr};
+use txmem::MemConfig;
 
 static INV: Site = Site::shared("resv.inventory");
 static INV_INIT: Site = Site::captured_local("resv.inventory_init");
-static CUST_INIT: Site = Site::captured_local("resv.customer_init");
+
+tx_object! {
+    /// Per-room inventory record (the trees map room id → record).
+    struct RoomRec {
+        /// Total capacity.
+        capacity: u64,
+        /// Rooms still free.
+        free: u64,
+        /// Nightly rate.
+        rate: u64,
+    }
+}
 
 const ROOMS: u64 = 64;
 const AGENTS: usize = 4;
@@ -24,7 +39,7 @@ const BOOKINGS_PER_AGENT: u64 = 2_000;
 
 fn main() {
     let rt = StmRuntime::new(MemConfig::default(), TxConfig::runtime_tree_full());
-    let rooms = TxRbTree::create(&rt); // room id -> record [capacity, free, rate]
+    let rooms = TxRbTree::create(&rt); // room id -> RoomRec
     let customers = TxRbTree::create(&rt); // customer id -> reservation list
 
     {
@@ -32,10 +47,10 @@ fn main() {
         for id in 0..ROOMS {
             let rate = 80 + (id * 13) % 200;
             w.txn(|tx| {
-                let rec = tx.alloc(3 * 8)?;
-                tx.write(&INV_INIT, rec.word(0), 10)?; // capacity
-                tx.write(&INV_INIT, rec.word(1), 10)?; // free
-                tx.write(&INV_INIT, rec.word(2), rate)?;
+                let rec = tx.alloc_obj::<RoomRec>()?;
+                tx.write_field(&INV_INIT, rec, RoomRec::capacity, 10)?;
+                tx.write_field(&INV_INIT, rec, RoomRec::free, 10)?;
+                tx.write_field(&INV_INIT, rec, RoomRec::rate, rate)?;
                 rooms.insert(tx, id, rec.raw())
             });
         }
@@ -59,28 +74,26 @@ fn main() {
                         let Some(rec) = rooms.find(tx, room)? else {
                             return Ok(());
                         };
-                        let rec = Addr::from_raw(rec);
-                        let free = tx.read(&INV, rec.word(1))?;
+                        let rec = TxPtr::<RoomRec>::from_raw(rec);
+                        let free = tx.read_field(&INV, rec, RoomRec::free)?;
                         if free == 0 {
                             return Ok(()); // sold out
                         }
-                        let rate = tx.read(&INV, rec.word(2))?;
+                        let rate = tx.read_field(&INV, rec, RoomRec::rate)?;
                         // Get or create the customer's reservation list.
                         let list = match customers.find(tx, customer)? {
                             Some(h) => TxList {
-                                handle: Addr::from_raw(h),
+                                handle: txmem::Addr::from_raw(h),
                             },
                             None => {
-                                let h = tx.alloc(2 * 8)?;
-                                tx.write(&CUST_INIT, h.word(0), 0)?;
-                                tx.write(&CUST_INIT, h.word(1), 0)?;
-                                customers.insert(tx, customer, h.raw())?;
-                                TxList { handle: h }
+                                let l = TxList::create_tx(tx)?;
+                                customers.insert(tx, customer, l.handle.raw())?;
+                                l
                             }
                         };
                         // Reservation key unique per booking.
                         if list.insert(tx, room * BOOKINGS_PER_AGENT * 8 + n * 8 + agent, rate)? {
-                            tx.write(&INV, rec.word(1), free - 1)?;
+                            tx.write_field(&INV, rec, RoomRec::free, free - 1)?;
                         }
                         Ok(())
                     });
@@ -94,7 +107,7 @@ fn main() {
     let mut held = std::collections::HashMap::<u64, u64>::new();
     for (_cid, h) in customers.seq_collect(&w) {
         let list = TxList {
-            handle: Addr::from_raw(h),
+            handle: txmem::Addr::from_raw(h),
         };
         for (key, _rate) in list.seq_collect(&w) {
             *held.entry(key / (BOOKINGS_PER_AGENT * 8)).or_insert(0) += 1;
@@ -102,9 +115,9 @@ fn main() {
     }
     let mut total_booked = 0;
     for (room, rec) in rooms.seq_collect(&w) {
-        let rec = Addr::from_raw(rec);
-        let cap = w.load(rec.word(0));
-        let free = w.load(rec.word(1));
+        let rec = TxPtr::<RoomRec>::from_raw(rec);
+        let cap: u64 = w.load_as(rec.field(RoomRec::capacity));
+        let free: u64 = w.load_as(rec.field(RoomRec::free));
         let booked = held.get(&room).copied().unwrap_or(0);
         assert_eq!(cap, free + booked, "room {room} over/under-booked");
         total_booked += booked;
