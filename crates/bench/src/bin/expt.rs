@@ -11,13 +11,18 @@
 //!                                # enforces the superset/ordering/oracle
 //!                                # gates and writes BENCH_elision.json
 //!                                # with --out
-//! expt barriers [--max-ratio F] [--max-typed-ratio F]
+//! expt barriers [--max-ratio F] [--max-typed-ratio F] [--max-ranged-ratio F]
 //!                                # barrier_dispatch microbenchmark (Markdown);
 //!                                # exits 1 if captured/direct ratio exceeds
-//!                                # --max-ratio, or if the typed-layer row
+//!                                # --max-ratio, if the typed-layer row
 //!                                # exceeds --max-typed-ratio x the raw tree
 //!                                # row (the ISSUE-5 zero-cost gate;
-//!                                # release acceptance bar 1.10)
+//!                                # release acceptance bar 1.10), or if the
+//!                                # ranged captured span-64 row exceeds
+//!                                # --max-ranged-ratio x the per-word tree
+//!                                # row (the ISSUE-6 bulk-copy gate; release
+//!                                # acceptance bar 0.25 = ≥4x faster per
+//!                                # word; skipped on debug builds)
 //! expt bench-json [--out FILE] [--benchmarks a,b] [--max-nursery-ratio F]
 //!                                # BENCH_barriers.json emitter.
 //!                                # --benchmarks restricts the STAMP rows to a
@@ -51,7 +56,8 @@ fn usage() -> ! {
         "usage: expt <fig8|fig9|fig10|fig11a|fig11b|table1|table2|annotations|orec|check|\
          barriers|bench-json|scaling|elision|nursery|all> \
          [--scale test|small|full] [--threads N] [--runs K] [--out FILE] [--max-ratio F] \
-         [--max-typed-ratio F] [--min-speedup F] [--benchmarks a,b] [--max-nursery-ratio F]"
+         [--max-typed-ratio F] [--max-ranged-ratio F] [--min-speedup F] [--benchmarks a,b] \
+         [--max-nursery-ratio F]"
     );
     std::process::exit(2);
 }
@@ -71,6 +77,7 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut max_ratio: Option<f64> = None;
     let mut max_typed_ratio: Option<f64> = None;
+    let mut max_ranged_ratio: Option<f64> = None;
     let mut min_speedup: Option<f64> = None;
     let mut max_nursery_ratio: Option<f64> = None;
     let mut benchmarks: Option<Vec<stamp::Benchmark>> = None;
@@ -92,6 +99,14 @@ fn main() {
             "--max-typed-ratio" => {
                 i += 1;
                 max_typed_ratio = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--max-ranged-ratio" => {
+                i += 1;
+                max_ranged_ratio = Some(
                     args.get(i)
                         .and_then(|s| s.parse::<f64>().ok())
                         .unwrap_or_else(|| usage()),
@@ -211,6 +226,28 @@ fn main() {
                 }
                 eprintln!("# typed/raw ratio {ratio:.2} within --max-typed-ratio {max:.2}");
             }
+            if let Some(max) = max_ranged_ratio {
+                // Release gate (ISSUE 6): a 64-word captured span must cost
+                // at most `max` of the per-word captured hit per word —
+                // classify-once + bulk copy vs one classification per word.
+                // Debug timings are meaningless; skip with a note there.
+                if cfg!(debug_assertions) {
+                    eprintln!("# ranged ratio gate skipped: debug build");
+                } else {
+                    let ratio = bench::micro::ranged_ratio(&results)
+                        .expect("ranged pin measurements missing from results");
+                    if ratio > max {
+                        eprintln!(
+                            "# FAIL: ranged/per-word ratio {ratio:.2} exceeds \
+                             --max-ranged-ratio {max:.2}"
+                        );
+                        std::process::exit(1);
+                    }
+                    eprintln!(
+                        "# ranged/per-word ratio {ratio:.2} within --max-ranged-ratio {max:.2}"
+                    );
+                }
+            }
         }
         "bench-json" => {
             let micro = bench::micro::MicroOpts::default();
@@ -286,12 +323,17 @@ fn main() {
         "check" => {
             for r in bench::check(opts.scale, opts.threads) {
                 println!(
-                    "{:<14} {:>10} commits  {:>8} aborts  {}  verified={}",
+                    "{:<14} {:>10} commits  {:>8} aborts  {}  verified={}  \
+                     ranged r/w/spans/fallbacks={}/{}/{}/{}",
                     r.benchmark,
                     r.stats.commits,
                     r.stats.aborts,
                     bench::fmt_dur(r.elapsed),
-                    r.verified
+                    r.verified,
+                    r.stats.ranged_reads,
+                    r.stats.ranged_writes,
+                    r.stats.ranged_spans,
+                    r.stats.ranged_fallbacks
                 );
             }
         }

@@ -66,6 +66,10 @@ impl MicroOpts {
 struct Row {
     name: String,
     run: Box<dyn FnMut()>,
+    /// Word accesses one `run` performs — the per-access divisor. The
+    /// ranged span-1024 rows touch more words per transaction than the
+    /// per-word rows, so the divisor is per row rather than global.
+    accesses: u64,
     samples: Vec<f64>,
 }
 
@@ -91,7 +95,7 @@ fn measure_interleaved(opts: &MicroOpts, mut rows: Vec<Row>) -> Vec<MicroResult>
             }
             row.samples.push(
                 t0.elapsed().as_nanos() as f64
-                    / (opts.txns_per_sample as u64 * ACCESSES_PER_TXN) as f64,
+                    / (opts.txns_per_sample as u64 * row.accesses) as f64,
             );
         }
     }
@@ -154,6 +158,7 @@ pub fn barrier_dispatch(opts: &MicroOpts) -> Vec<MicroResult> {
                         Ok(std::hint::black_box(acc))
                     });
                 }),
+                accesses: ACCESSES_PER_TXN,
                 samples: Vec::new(),
             }
         };
@@ -175,6 +180,7 @@ pub fn barrier_dispatch(opts: &MicroOpts) -> Vec<MicroResult> {
                     Ok(std::hint::black_box(acc))
                 });
             }),
+            accesses: ACCESSES_PER_TXN,
             samples: Vec::new(),
         });
     }
@@ -209,6 +215,7 @@ pub fn barrier_dispatch(opts: &MicroOpts) -> Vec<MicroResult> {
                     Ok(std::hint::black_box(acc))
                 });
             }),
+            accesses: ACCESSES_PER_TXN,
             samples: Vec::new(),
         });
     }
@@ -252,6 +259,7 @@ pub fn barrier_dispatch(opts: &MicroOpts) -> Vec<MicroResult> {
                     Ok(std::hint::black_box(acc))
                 });
             }),
+            accesses: ACCESSES_PER_TXN,
             samples: Vec::new(),
         });
     }
@@ -272,8 +280,64 @@ pub fn barrier_dispatch(opts: &MicroOpts) -> Vec<MicroResult> {
                     Ok(std::hint::black_box(acc))
                 });
             }),
+            accesses: ACCESSES_PER_TXN,
             samples: Vec::new(),
         });
+    }
+
+    // --- ranged barriers: classify once per span instead of per word ---
+    // Captured rows pin the bulk-copy lowering (the tentpole's headline
+    // number, gated vs the per-word tree row by `--max-ranged-ratio`);
+    // shared rows pin the one-orec-per-stripe batching against the
+    // per-word full barrier. Ranged rows use a 4096-word block (hence the
+    // per-row `accesses` divisor): at 256 words the begin/alloc/commit
+    // fixed cost *is* the measurement (the `direct` floor), drowning the
+    // per-word span cost these rows exist to track.
+    for span in [4u64, 64, 1024] {
+        let block = 4096u64.max(span);
+        {
+            let (_, mut w) = spawn(runtime_cfg(LogKind::Tree, false));
+            let mut buf = vec![0u64; span as usize];
+            rows.push(Row {
+                name: format!("ranged captured span {span}/tree"),
+                run: Box::new(move || {
+                    w.txn(|tx| {
+                        let p = tx.alloc(block * 8)?;
+                        let mut acc = 0u64;
+                        for s in 0..block / span {
+                            tx.write_range(&S_CAP, p.word(s * span), &buf)?;
+                            tx.read_range(&S_CAP, p.word(s * span), &mut buf)?;
+                            acc = acc.wrapping_add(buf[0]);
+                        }
+                        tx.free(p);
+                        Ok(std::hint::black_box(acc))
+                    });
+                }),
+                accesses: block * 2,
+                samples: Vec::new(),
+            });
+        }
+        {
+            let (rt, mut w) = spawn(TxConfig::default());
+            let gbuf = rt.alloc_global(block * 8);
+            let mut buf = vec![0u64; span as usize];
+            rows.push(Row {
+                name: format!("ranged shared span {span}"),
+                run: Box::new(move || {
+                    w.txn(|tx| {
+                        let mut acc = 0u64;
+                        for s in 0..block / span {
+                            tx.write_range(&S_SHARED, gbuf.word(s * span), &buf)?;
+                            tx.read_range(&S_SHARED, gbuf.word(s * span), &mut buf)?;
+                            acc = acc.wrapping_add(buf[0]);
+                        }
+                        Ok(std::hint::black_box(acc))
+                    });
+                }),
+                accesses: block * 2,
+                samples: Vec::new(),
+            });
+        }
     }
 
     // Display order == declaration order; interleaving only affects when
@@ -303,6 +367,21 @@ pub fn typed_ratio(results: &[MicroResult]) -> Option<f64> {
     let typed = find("captured heap hit/tree (typed)")?;
     if raw > 0.0 {
         Some(typed / raw)
+    } else {
+        None
+    }
+}
+
+/// The ranged-barrier acceptance ratio (ISSUE 6): per-word cost of a
+/// 64-word captured span through `write_range`/`read_range` over the
+/// per-word captured-hit row (both tree log). The ISSUE bar is ≥4x faster
+/// per word, i.e. a ratio ≤ 0.25 in release runs (`--max-ranged-ratio`).
+pub fn ranged_ratio(results: &[MicroResult]) -> Option<f64> {
+    let find = |name: &str| results.iter().find(|r| r.name == name).map(|r| r.ns_per_op);
+    let per_word = find("captured heap hit/tree")?;
+    let ranged = find("ranged captured span 64/tree")?;
+    if per_word > 0.0 {
+        Some(ranged / per_word)
     } else {
         None
     }
@@ -352,6 +431,11 @@ pub fn render_markdown(results: &[MicroResult], opts: &MicroOpts) -> String {
             "typed layer vs raw word API (tree captured hit): {ratio:.2}x\n"
         ));
     }
+    if let Some(ratio) = ranged_ratio(results) {
+        out.push_str(&format!(
+            "ranged captured span 64 vs per-word (tree captured hit): {ratio:.2}x per word\n"
+        ));
+    }
     out
 }
 
@@ -362,7 +446,7 @@ mod tests {
     #[test]
     fn smoke_run_measures_every_path() {
         let results = barrier_dispatch(&MicroOpts::smoke());
-        assert_eq!(results.len(), 12);
+        assert_eq!(results.len(), 18);
         assert!(results.iter().all(|r| r.ns_per_op > 0.0));
         let ratio = fastpath_ratio(&results).expect("both pin measurements present");
         assert!(ratio.is_finite() && ratio > 0.0);
@@ -370,6 +454,8 @@ mod tests {
         assert!(nratio.is_finite() && nratio > 0.0);
         let tratio = typed_ratio(&results).expect("typed pin present");
         assert!(tratio.is_finite() && tratio > 0.0);
+        let rratio = ranged_ratio(&results).expect("ranged pin present");
+        assert!(rratio.is_finite() && rratio > 0.0);
         // No timing assertion here: debug builds and CI noise make absolute
         // ratios meaningless outside `--release` runs.
     }

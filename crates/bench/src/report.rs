@@ -7,7 +7,9 @@
 use stamp::{Benchmark, Scale};
 use stm::{CheckScope, LogKind, Mode, TxConfig};
 
-use crate::micro::{barrier_dispatch, fastpath_ratio, nursery_ratio, typed_ratio, MicroOpts};
+use crate::micro::{
+    barrier_dispatch, fastpath_ratio, nursery_ratio, ranged_ratio, typed_ratio, MicroOpts,
+};
 use crate::ExptOpts;
 
 pub(crate) fn esc(s: &str) -> String {
@@ -131,6 +133,10 @@ pub fn bench_json_from(
         Some(r) => out.push_str(&format!("  \"captured_typed_vs_raw_ratio\": {r:.3},\n")),
         None => out.push_str("  \"captured_typed_vs_raw_ratio\": null,\n"),
     }
+    match ranged_ratio(results) {
+        Some(r) => out.push_str(&format!("  \"ranged_span64_vs_per_word_ratio\": {r:.3},\n")),
+        None => out.push_str("  \"ranged_span64_vs_per_word_ratio\": null,\n"),
+    }
 
     out.push_str("  \"stamp\": [\n");
     let configs = tracked_configs();
@@ -153,13 +159,16 @@ pub fn bench_json_from(
                 "    {{\"benchmark\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \
                  \"seconds\": {seconds:.6}, \
                  \"runs\": {runs}, \"commits\": {}, \"aborts\": {}, \
-                 \"elided_fraction\": {:.4}}}{}\n",
+                 \"elided_fraction\": {:.4}, \
+                 \"ranged_spans\": {}, \"ranged_fallbacks\": {}}}{}\n",
                 esc(b.name()),
                 esc(&cfg.label()),
                 opts.threads,
                 r.stats.commits,
                 r.stats.aborts,
                 all.elided_fraction(),
+                r.stats.ranged_spans,
+                r.stats.ranged_fallbacks,
                 if i < total { "," } else { "" }
             ));
         }
@@ -190,6 +199,9 @@ mod tests {
         assert!(json.contains("\"captured_nursery_vs_direct_ratio\": "));
         assert!(json.contains("captured heap hit/tree (typed)"));
         assert!(json.contains("\"captured_typed_vs_raw_ratio\": "));
+        assert!(json.contains("ranged captured span 64/tree"));
+        assert!(json.contains("\"ranged_span64_vs_per_word_ratio\": "));
+        assert!(json.contains("\"ranged_spans\": "));
         assert!(json.contains("\"stamp\": ["));
         assert!(
             json.contains("\"threads\": 1,"),

@@ -55,6 +55,22 @@ impl<const N: usize> RangeArray<N> {
         }
         None
     }
+
+    /// Smallest logged range start strictly greater than `addr` (see
+    /// [`RangeTree::next_start_after`](crate::RangeTree::next_start_after)):
+    /// bounds a shared run for the ranged barriers. Linear scan of the line,
+    /// same cost shape as `query_range`.
+    #[inline]
+    pub fn next_start_after(&self, addr: u64) -> Option<u64> {
+        let mut best = None;
+        for i in 0..N {
+            let (s, e) = self.ranges.0[i];
+            if s != e && s > addr && best.is_none_or(|b| s < b) {
+                best = Some(s);
+            }
+        }
+        best
+    }
 }
 
 impl<const N: usize> Default for RangeArray<N> {
@@ -146,6 +162,20 @@ mod tests {
         assert_eq!(a.query(305), Some(1));
         assert_eq!(a.query(405), None);
         assert_eq!(a.query(505), None);
+    }
+
+    #[test]
+    fn next_start_after_scans_live_slots() {
+        let mut a: RangeArray<4> = RangeArray::new();
+        assert_eq!(a.next_start_after(0), None);
+        a.insert(400, 8, 2);
+        a.insert(100, 50, 1);
+        assert_eq!(a.next_start_after(0), Some(100));
+        assert_eq!(a.next_start_after(100), Some(400), "strictly greater");
+        assert_eq!(a.next_start_after(399), Some(400));
+        assert_eq!(a.next_start_after(400), None);
+        a.remove(400, 8);
+        assert_eq!(a.next_start_after(100), None, "freed slot is ignored");
     }
 
     #[test]

@@ -92,6 +92,28 @@ pub trait CapturePolicy {
     fn classify_cacheable(&self, addr: u64) -> (Capture, Option<(u64, u64)>) {
         (self.classify(addr), None)
     }
+
+    /// Classify `addr` and return the exclusive end of the longest run
+    /// `[addr, end)` sharing that verdict, clamped to `limit` (the caller's
+    /// span end). One call covers a whole contiguous run, which is what lets
+    /// ranged barriers classify once per run instead of once per word.
+    ///
+    /// The contract mirrors the conservatism of [`classify`]: every word of
+    /// a returned *captured* run must be inside one logged block, and every
+    /// word of a returned *not-captured* run must miss the log (holes from
+    /// in-transaction frees bound the run). A policy that cannot prove more
+    /// may always return `addr + 8` — a one-word run degenerates to the
+    /// per-word barrier, never to a wrong answer. That is the default here,
+    /// kept by the lossy [`AddrFilter`](crate::AddrFilter) (no range
+    /// guarantee on hits, no enumerable boundaries on misses) and by the
+    /// enum-dispatch reference [`LogImpl`].
+    ///
+    /// [`classify`]: CapturePolicy::classify
+    #[inline]
+    fn classify_run(&self, addr: u64, limit: u64) -> (Capture, u64) {
+        debug_assert!(limit > addr);
+        (self.classify(addr), addr + 8)
+    }
 }
 
 /// Delegation from the [`AllocLog`] vocabulary; used by the per-structure
@@ -139,6 +161,20 @@ impl CapturePolicy for crate::RangeTree {
             None => (Capture::No, None),
         }
     }
+
+    #[inline]
+    fn classify_run(&self, addr: u64, limit: u64) -> (Capture, u64) {
+        debug_assert!(limit > addr);
+        match self.query_range(addr) {
+            // Hit: the containing block bounds the captured run.
+            Some((_, end, level)) => (Capture::Level(level), end.min(limit)),
+            // Miss: the successor block's start bounds the shared run.
+            None => {
+                let end = self.next_start_after(addr).map_or(limit, |s| s.min(limit));
+                (Capture::No, end)
+            }
+        }
+    }
 }
 
 impl<const N: usize> CapturePolicy for crate::RangeArray<N> {
@@ -149,6 +185,18 @@ impl<const N: usize> CapturePolicy for crate::RangeArray<N> {
         match self.query_range(addr) {
             Some((start, end, level)) => (Capture::Level(level), Some((start, end))),
             None => (Capture::No, None),
+        }
+    }
+
+    #[inline]
+    fn classify_run(&self, addr: u64, limit: u64) -> (Capture, u64) {
+        debug_assert!(limit > addr);
+        match self.query_range(addr) {
+            Some((_, end, level)) => (Capture::Level(level), end.min(limit)),
+            None => {
+                let end = self.next_start_after(addr).map_or(limit, |s| s.min(limit));
+                (Capture::No, end)
+            }
         }
     }
 }
@@ -197,6 +245,39 @@ mod tests {
         policy_roundtrip(&mut AddrFilter::with_log2_entries(12), LogKind::Filter);
         for kind in LogKind::ALL {
             policy_roundtrip(&mut LogImpl::new(kind), kind);
+        }
+    }
+
+    fn run_roundtrip<P: CapturePolicy>(p: &mut P, precise: bool) {
+        p.on_alloc(4096, 64, 2);
+        p.on_alloc(4224, 32, 1);
+        let limit = 8192;
+        let (cap, end) = p.classify_run(4096, limit);
+        assert_eq!(cap, Capture::Level(2));
+        if precise {
+            assert_eq!(end, 4160, "captured run spans the whole block");
+            // Miss between the blocks: the shared run stops at the next
+            // block's start (hole detection).
+            assert_eq!(p.classify_run(4160, limit), (Capture::No, 4224));
+            // Miss after the last block: the shared run reaches the limit.
+            assert_eq!(p.classify_run(4256, limit), (Capture::No, limit));
+            // The caller's span end clamps both kinds of run.
+            assert_eq!(p.classify_run(4096, 4128), (Capture::Level(2), 4128));
+            assert_eq!(p.classify_run(4160, 4200), (Capture::No, 4200));
+        } else {
+            assert_eq!(end, 4104, "lossy policy degenerates to one word");
+            assert_eq!(p.classify_run(4160, limit), (Capture::No, 4168));
+        }
+        p.reset();
+    }
+
+    #[test]
+    fn classify_run_bounds_are_homogeneous() {
+        run_roundtrip(&mut RangeTree::new(), true);
+        run_roundtrip(&mut RangeArray::<4>::new(), true);
+        run_roundtrip(&mut AddrFilter::with_log2_entries(12), false);
+        for kind in LogKind::ALL {
+            run_roundtrip(&mut LogImpl::new(kind), false);
         }
     }
 

@@ -191,6 +191,27 @@ impl RangeTree {
         None
     }
 
+    /// Smallest logged range start strictly greater than `addr` — the next
+    /// capture boundary ahead of a miss. Ranged barriers use this to bound a
+    /// *shared* run: every word in `[addr, next_start_after(addr))` is
+    /// guaranteed not captured (ranges are disjoint and `addr` itself already
+    /// missed), so one classification covers the whole prefix. Plain BST
+    /// successor-by-start walk, O(height).
+    #[inline]
+    pub fn next_start_after(&self, addr: u64) -> Option<u64> {
+        let mut best = None;
+        let mut cur = &self.root;
+        while let Some(n) = cur {
+            if n.start > addr {
+                best = Some(n.start);
+                cur = &n.left;
+            } else {
+                cur = &n.right;
+            }
+        }
+        best
+    }
+
     #[cfg(test)]
     fn check_invariants(&self) {
         fn walk(n: &Option<Box<Node>>, lo: u64, hi: u64) -> (i8, u64, u64) {
@@ -306,6 +327,23 @@ mod tests {
             let expect = if i % 2 == 0 { None } else { Some(1) };
             assert_eq!(t.query(i * 100 + 25), expect, "i={i}");
         }
+    }
+
+    #[test]
+    fn next_start_after_finds_the_successor_range() {
+        let mut t = RangeTree::new();
+        assert_eq!(t.next_start_after(0), None);
+        t.insert(1000, 100, 1);
+        t.insert(1150, 50, 1);
+        t.insert(1980, 20, 1);
+        assert_eq!(t.next_start_after(0), Some(1000));
+        assert_eq!(t.next_start_after(999), Some(1000));
+        assert_eq!(t.next_start_after(1000), Some(1150), "strictly greater");
+        assert_eq!(t.next_start_after(1100), Some(1150));
+        assert_eq!(t.next_start_after(1150), Some(1980));
+        assert_eq!(t.next_start_after(1980), None);
+        t.remove(1150, 50);
+        assert_eq!(t.next_start_after(1000), Some(1980), "hole skips removed");
     }
 
     #[test]

@@ -4,11 +4,55 @@
 //! the Figure-8 classification bookkeeping.
 
 use capture::{Capture, CapturePolicy};
-use txmem::Addr;
+use txmem::{Addr, WORD_BYTES};
 
 use super::{CaptureHit, PolicySlot};
 use crate::site::Site;
 use crate::worker::WorkerCtx;
+
+/// Which elision counter a captured run charges (one bump of the run's
+/// word count, mirroring what the per-word barrier would have charged each
+/// word).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RunCounter {
+    /// `elided_nursery` — the nursery scalar-range hit.
+    Nursery,
+    /// `elided_stack` — the stack range hit.
+    Stack,
+    /// `elided_heap` — an allocation-log hit.
+    Heap,
+}
+
+/// Verdict for the longest homogeneous prefix `[addr, end)` of a ranged
+/// access — the ranged barriers' unit of work. `end` is exclusive, word
+/// aligned, `> addr`, and clamped to the caller's span end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RunVerdict {
+    /// Captured (for writes: at the current level) — lower to a bulk
+    /// private copy.
+    Captured { end: u64, counter: RunCounter },
+    /// Captured by an ancestor level (writes only): per-word undo entries
+    /// plus private stores (paper §2.2.1 partial-abort support).
+    Ancestor { end: u64 },
+    /// Not captured anywhere the active checks look: stripe-batched full
+    /// barriers. The end is clamped below every capture boundary ahead, so
+    /// no word of the run could have been elided by the per-word pipeline.
+    Shared { end: u64 },
+}
+
+impl RunVerdict {
+    /// Word count of the run starting at `addr`.
+    #[inline]
+    pub(crate) fn words(self, addr: Addr) -> usize {
+        let end = match self {
+            RunVerdict::Captured { end, .. } => end,
+            RunVerdict::Ancestor { end } => end,
+            RunVerdict::Shared { end } => end,
+        };
+        debug_assert!(end > addr.raw() && (end - addr.raw()).is_multiple_of(WORD_BYTES));
+        ((end - addr.raw()) / WORD_BYTES) as usize
+    }
+}
 
 impl WorkerCtx<'_> {
     /// Innermost nesting level that captured this stack address, if any.
@@ -77,6 +121,151 @@ impl WorkerCtx<'_> {
                 }
             }
         }
+    }
+
+    /// Classify the longest homogeneous *read* run starting at `addr`,
+    /// bounded by `limit` (the span's exclusive byte end). Check order
+    /// mirrors the per-word runtime barriers — nursery, stack, heap — so a
+    /// ranged read charges exactly the counters a per-word loop would. The
+    /// nursery range is empty whenever the nursery is inactive, making the
+    /// same classifier exact for the plain runtime pipeline too. Reads
+    /// elide at any captured level, so this never returns
+    /// [`RunVerdict::Ancestor`].
+    #[inline]
+    pub(crate) fn classify_read_run<P: PolicySlot>(
+        &mut self,
+        addr: Addr,
+        limit: u64,
+    ) -> RunVerdict {
+        let a = addr.raw();
+        if !self.scope.reads {
+            return RunVerdict::Shared { end: limit };
+        }
+        if self.scope.heap && a >= self.nur.lo() && a < self.nur.bump() {
+            return RunVerdict::Captured {
+                end: self.nur.bump().min(limit),
+                counter: RunCounter::Nursery,
+            };
+        }
+        if self.scope.stack && a >= self.stack.sp() && a < self.sp_outer {
+            return RunVerdict::Captured {
+                end: self.sp_outer.min(limit),
+                counter: RunCounter::Stack,
+            };
+        }
+        let end = if self.scope.heap {
+            let (cap, end) = P::of(&self.logs).classify_run(a, limit);
+            if let Capture::Level(level) = cap {
+                if level >= self.depth {
+                    // Prime the one-entry capture cache (same contract as
+                    // `heap_capture`: current-level ranges only), so the
+                    // next span over this block takes the two-compare
+                    // whole-span check in `WorkerCtx::read_range`.
+                    self.cap_start = a;
+                    self.cap_len = end - a;
+                }
+                return RunVerdict::Captured {
+                    end,
+                    counter: RunCounter::Heap,
+                };
+            }
+            end
+        } else {
+            limit
+        };
+        RunVerdict::Shared {
+            end: self.clamp_shared_run(a, end),
+        }
+    }
+
+    /// Classify the longest homogeneous *write* run starting at `addr`.
+    /// Same check order as the read classifier, with the additional
+    /// current-vs-ancestor split: nursery and stack runs split at their
+    /// innermost-level watermark (`nur.inner()` / `sp_inner`), heap runs
+    /// are level-homogeneous because one logged block has one level.
+    #[inline]
+    pub(crate) fn classify_write_run<P: PolicySlot>(
+        &mut self,
+        addr: Addr,
+        limit: u64,
+    ) -> RunVerdict {
+        let a = addr.raw();
+        if !self.scope.writes {
+            return RunVerdict::Shared { end: limit };
+        }
+        if self.scope.heap && a >= self.nur.lo() && a < self.nur.bump() {
+            return if a >= self.nur.inner() {
+                RunVerdict::Captured {
+                    end: self.nur.bump().min(limit),
+                    counter: RunCounter::Nursery,
+                }
+            } else {
+                RunVerdict::Ancestor {
+                    end: self.nur.inner().min(limit),
+                }
+            };
+        }
+        if self.scope.stack && a >= self.stack.sp() && a < self.sp_outer {
+            return if a < self.sp_inner {
+                RunVerdict::Captured {
+                    end: self.sp_inner.min(limit),
+                    counter: RunCounter::Stack,
+                }
+            } else {
+                RunVerdict::Ancestor {
+                    end: self.sp_outer.min(limit),
+                }
+            };
+        }
+        let end = if self.scope.heap {
+            let (cap, end) = P::of(&self.logs).classify_run(a, limit);
+            if let Capture::Level(level) = cap {
+                return if level >= self.depth {
+                    // See `classify_read_run`: prime the capture cache so
+                    // follow-up spans over this block stay inline.
+                    self.cap_start = a;
+                    self.cap_len = end - a;
+                    RunVerdict::Captured {
+                        end,
+                        counter: RunCounter::Heap,
+                    }
+                } else {
+                    RunVerdict::Ancestor { end }
+                };
+            }
+            end
+        } else {
+            limit
+        };
+        RunVerdict::Shared {
+            end: self.clamp_shared_run(a, end),
+        }
+    }
+
+    /// Clamp a shared run's end below the capture regions ahead of `addr`,
+    /// so a not-captured verdict for the run's head covers every word of
+    /// the run. `end` already carries the heap-log bound (from
+    /// `classify_run`); this adds the two scalar regions. The gates mirror
+    /// the classifiers above: a region whose check is scope-disabled does
+    /// not clamp, because the per-word pipeline would not have consulted it
+    /// either. Splitting at these boundaries (rather than falling back to
+    /// the per-word loop for any mixed span) keeps every homogeneous piece
+    /// on its cheap lowering.
+    #[inline]
+    fn clamp_shared_run(&self, a: u64, mut end: u64) -> u64 {
+        if self.scope.heap {
+            let lo = self.nur.lo();
+            if a < lo && lo < end {
+                end = lo;
+            }
+        }
+        if self.scope.stack {
+            let sp = self.stack.sp();
+            if a < sp && sp < end {
+                end = sp;
+            }
+        }
+        end
     }
 
     /// Annotated private memory (paper §3.1.3): consulted by every variant

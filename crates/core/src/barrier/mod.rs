@@ -147,6 +147,12 @@ policy_slot!(AddrFilter, filter);
 pub(crate) struct DispatchTable {
     pub(crate) read: for<'rt> fn(&mut WorkerCtx<'rt>, &'static Site, Addr) -> TxResult<u64>,
     pub(crate) write: for<'rt> fn(&mut WorkerCtx<'rt>, &'static Site, Addr, u64) -> TxResult<()>,
+    /// Ranged read: classify once per homogeneous run (see `read.rs`).
+    pub(crate) read_range:
+        for<'rt> fn(&mut WorkerCtx<'rt>, &'static Site, Addr, &mut [u64]) -> TxResult<()>,
+    /// Ranged write; see `write.rs`.
+    pub(crate) write_range:
+        for<'rt> fn(&mut WorkerCtx<'rt>, &'static Site, Addr, &[u64]) -> TxResult<()>,
     pub(crate) on_alloc: fn(&mut CaptureLogs, u64, u64, u32),
     pub(crate) on_free: fn(&mut CaptureLogs, u64, u64),
     pub(crate) reset: fn(&mut CaptureLogs),
@@ -184,6 +190,8 @@ fn reference_reset(logs: &mut CaptureLogs) {
 static BASELINE: DispatchTable = DispatchTable {
     read: read::read_baseline,
     write: write::write_baseline,
+    read_range: read::read_range_baseline,
+    write_range: write::write_range_baseline,
     on_alloc: noop_on_alloc,
     on_free: noop_on_free,
     reset: noop_reset,
@@ -194,6 +202,8 @@ static BASELINE: DispatchTable = DispatchTable {
 static COMPILER: DispatchTable = DispatchTable {
     read: read::read_compiler,
     write: write::write_compiler,
+    read_range: read::read_range_compiler,
+    write_range: write::write_range_compiler,
     on_alloc: noop_on_alloc,
     on_free: noop_on_free,
     reset: noop_reset,
@@ -204,6 +214,8 @@ macro_rules! runtime_table {
         DispatchTable {
             read: read::read_runtime::<$policy>,
             write: write::write_runtime::<$policy>,
+            read_range: read::read_range_runtime::<$policy>,
+            write_range: write::write_range_runtime::<$policy>,
             on_alloc: policy_on_alloc::<$policy>,
             on_free: policy_on_free::<$policy>,
             reset: policy_reset::<$policy>,
@@ -217,6 +229,8 @@ macro_rules! runtime_table {
 static COMPILER_INTERPROC: DispatchTable = DispatchTable {
     read: read::read_compiler_interproc,
     write: write::write_compiler_interproc,
+    read_range: read::read_range_compiler_interproc,
+    write_range: write::write_range_compiler_interproc,
     on_alloc: noop_on_alloc,
     on_free: noop_on_free,
     reset: noop_reset,
@@ -237,6 +251,8 @@ macro_rules! nursery_table {
         DispatchTable {
             read: read::read_runtime_nursery::<$policy>,
             write: write::write_runtime_nursery::<$policy>,
+            read_range: read::read_range_runtime_nursery::<$policy>,
+            write_range: write::write_range_runtime_nursery::<$policy>,
             on_alloc: policy_on_alloc::<$policy>,
             on_free: policy_on_free::<$policy>,
             reset: policy_reset::<$policy>,
@@ -252,6 +268,8 @@ static NURSERY_FILTER: DispatchTable = nursery_table!(AddrFilter);
 static REFERENCE: DispatchTable = DispatchTable {
     read: reference::read_reference,
     write: reference::write_reference,
+    read_range: reference::read_range_reference,
+    write_range: reference::write_range_reference,
     on_alloc: reference_on_alloc,
     on_free: reference_on_free,
     reset: reference_reset,

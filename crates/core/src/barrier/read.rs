@@ -5,6 +5,7 @@
 
 use txmem::Addr;
 
+use super::fastpath::{RunCounter, RunVerdict};
 use super::PolicySlot;
 use crate::site::Site;
 use crate::worker::{TxResult, WorkerCtx};
@@ -126,4 +127,152 @@ pub(super) fn read_runtime_nursery<P: PolicySlot>(
         }
     }
     annotated_or_full(w, addr)
+}
+
+// ---- Ranged read barriers ----------------------------------------------
+//
+// One table row per mode, mirroring the per-word rows above. The contract
+// every variant obeys: the per-word `BarrierDelta` counters move exactly as
+// a loop over the matching per-word barrier would move them (the ranged
+// oracle enforces this bit-for-bit), and only the `ranged` telemetry
+// records that the words were processed as runs.
+
+/// Whole-op degradation to the per-word barrier: classify instrumentation
+/// and annotations are defined per word, so equivalence is by construction.
+pub(super) fn per_word_read(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    dst: &mut [u64],
+    word: fn(&mut WorkerCtx<'_>, &'static Site, Addr) -> TxResult<u64>,
+) -> TxResult<()> {
+    w.pending.ranged.fallbacks += 1;
+    for (k, slot) in dst.iter_mut().enumerate() {
+        *slot = word(w, site, addr.word(k as u64))?;
+    }
+    Ok(())
+}
+
+pub(super) fn read_range_baseline(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    dst: &mut [u64],
+) -> TxResult<()> {
+    if w.cfg.classify || w.cfg.annotations {
+        return per_word_read(w, site, addr, dst, read_baseline);
+    }
+    debug_assert!(w.depth > 0, "read barrier outside transaction");
+    w.bump_ranged_run(dst.len());
+    w.read_full_range(addr, dst)?;
+    w.pending.reads.full += dst.len() as u64;
+    Ok(())
+}
+
+pub(super) fn read_range_compiler(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    dst: &mut [u64],
+) -> TxResult<()> {
+    if w.cfg.classify || w.cfg.annotations {
+        return per_word_read(w, site, addr, dst, read_compiler);
+    }
+    debug_assert!(w.depth > 0, "read barrier outside transaction");
+    w.bump_ranged_run(dst.len());
+    if site.compiler_elides {
+        w.pending.reads.elided_static += dst.len() as u64;
+        w.mem.load_range_private(addr, dst);
+        return Ok(());
+    }
+    w.read_full_range(addr, dst)?;
+    w.pending.reads.full += dst.len() as u64;
+    Ok(())
+}
+
+pub(super) fn read_range_compiler_interproc(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    dst: &mut [u64],
+) -> TxResult<()> {
+    if w.cfg.classify || w.cfg.annotations {
+        return per_word_read(w, site, addr, dst, read_compiler_interproc);
+    }
+    debug_assert!(w.depth > 0, "read barrier outside transaction");
+    w.bump_ranged_run(dst.len());
+    if site.compiler_elides {
+        w.pending.reads.elided_static += dst.len() as u64;
+        w.mem.load_range_private(addr, dst);
+        return Ok(());
+    }
+    if site.compiler_elides_interproc {
+        w.pending.reads.elided_static_interproc += dst.len() as u64;
+        w.mem.load_range_private(addr, dst);
+        return Ok(());
+    }
+    w.read_full_range(addr, dst)?;
+    w.pending.reads.full += dst.len() as u64;
+    Ok(())
+}
+
+/// The runtime ranged read: classify once per homogeneous run, bulk-copy
+/// captured runs, stripe-batch shared runs. Shared body of the plain and
+/// nursery table rows (the nursery range is empty when inactive), with the
+/// matching per-word barrier threaded through for the degraded cases.
+#[inline]
+fn read_range_runtime_impl<P: PolicySlot>(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    dst: &mut [u64],
+    word: fn(&mut WorkerCtx<'_>, &'static Site, Addr) -> TxResult<u64>,
+) -> TxResult<()> {
+    if w.cfg.classify || w.cfg.annotations {
+        return per_word_read(w, site, addr, dst, word);
+    }
+    debug_assert!(w.depth > 0, "read barrier outside transaction");
+    let limit = addr.word(dst.len() as u64).raw();
+    let mut i = 0usize;
+    while i < dst.len() {
+        let a = addr.word(i as u64);
+        let verdict = w.classify_read_run::<P>(a, limit);
+        let n = verdict.words(a);
+        w.bump_ranged_run(n);
+        match verdict {
+            RunVerdict::Captured { counter, .. } => {
+                match counter {
+                    RunCounter::Nursery => w.pending.reads.elided_nursery += n as u64,
+                    RunCounter::Stack => w.pending.reads.elided_stack += n as u64,
+                    RunCounter::Heap => w.pending.reads.elided_heap += n as u64,
+                }
+                w.mem.load_range_private(a, &mut dst[i..i + n]);
+            }
+            RunVerdict::Ancestor { .. } => unreachable!("reads elide at any level"),
+            RunVerdict::Shared { .. } => {
+                w.read_full_range(a, &mut dst[i..i + n])?;
+                w.pending.reads.full += n as u64;
+            }
+        }
+        i += n;
+    }
+    Ok(())
+}
+
+pub(super) fn read_range_runtime<P: PolicySlot>(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    dst: &mut [u64],
+) -> TxResult<()> {
+    read_range_runtime_impl::<P>(w, site, addr, dst, read_runtime::<P>)
+}
+
+pub(super) fn read_range_runtime_nursery<P: PolicySlot>(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    dst: &mut [u64],
+) -> TxResult<()> {
+    read_range_runtime_impl::<P>(w, site, addr, dst, read_runtime_nursery::<P>)
 }

@@ -205,3 +205,35 @@ pub(super) fn write_reference(
     w.pending.writes.full += 1;
     w.write_full(addr, val)
 }
+
+/// The reference pipeline's ranged read: a per-word loop over
+/// [`read_reference`], counted as one ranged fallback. Keeping the oracle
+/// per-word is deliberate — differential runs against the monomorphized
+/// ranged barriers then prove the run classification equivalent to per-word
+/// classification, exactly as `dispatch_equiv` proves the per-word rows.
+pub(super) fn read_range_reference(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    dst: &mut [u64],
+) -> TxResult<()> {
+    w.pending.ranged.fallbacks += 1;
+    for (k, slot) in dst.iter_mut().enumerate() {
+        *slot = read_reference(w, site, addr.word(k as u64))?;
+    }
+    Ok(())
+}
+
+/// Write-side analog of [`read_range_reference`].
+pub(super) fn write_range_reference(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    src: &[u64],
+) -> TxResult<()> {
+    w.pending.ranged.fallbacks += 1;
+    for (k, &val) in src.iter().enumerate() {
+        write_reference(w, site, addr.word(k as u64), val)?;
+    }
+    Ok(())
+}

@@ -5,9 +5,9 @@
 
 use std::sync::atomic::Ordering;
 
-use txmem::Addr;
+use txmem::{Addr, WORD_BYTES};
 
-use crate::orec::{is_locked, lock_value, owner_of};
+use crate::orec::{is_locked, lock_value, owner_of, STRIPE_BYTES};
 use crate::worker::{Abort, LockEntry, ReadEntry, TxResult, UndoEntry, WorkerCtx};
 
 impl WorkerCtx<'_> {
@@ -97,6 +97,150 @@ impl WorkerCtx<'_> {
                     }
                 }
             }
+        }
+    }
+
+    /// Stripe-batched full read of `dst.len()` words starting at `addr`.
+    ///
+    /// All words of a 64-byte stripe share one orec (see `orec.rs`), so the
+    /// versioned-read protocol runs once per covered stripe: one `v1`/`v2`
+    /// validation sandwiching a bulk load of the stripe's sub-span, and one
+    /// [`ReadEntry`] instead of one per word. A per-word loop would push a
+    /// duplicate entry per word of the same version — commit-time validation
+    /// of the deduplicated set is equivalent.
+    ///
+    /// Stats contract (the ranged oracle depends on it): the caller bumps
+    /// `full` by the span's word count *after* this returns `Ok`; on
+    /// `Err` it bumps `full` by the words of the stripes that completed
+    /// plus one for the failing stripe, because a per-word loop charges the
+    /// failing word before aborting and every word of a stripe fails
+    /// together at its first word.
+    pub(crate) fn read_full_range(&mut self, addr: Addr, dst: &mut [u64]) -> TxResult<usize> {
+        let span_end = addr.word(dst.len() as u64).raw();
+        let mut done = 0usize;
+        while done < dst.len() {
+            let a = addr.word(done as u64);
+            let stripe_end = (a.raw() | (STRIPE_BYTES - 1)) + 1;
+            let n = ((stripe_end.min(span_end) - a.raw()) / WORD_BYTES) as usize;
+            self.read_full_stripe(a, &mut dst[done..done + n])
+                .inspect_err(|_| {
+                    self.pending.reads.full += done as u64 + 1;
+                })?;
+            done += n;
+        }
+        Ok(done)
+    }
+
+    fn read_full_stripe(&mut self, addr: Addr, dst: &mut [u64]) -> TxResult<()> {
+        let (idx, orec) = self.rt.orecs.of(addr);
+        let me = self.tid() as u64;
+        let mut spins = 0u32;
+        loop {
+            let v1 = orec.load(Ordering::Acquire);
+            if is_locked(v1) {
+                if owner_of(v1) == me {
+                    for (k, d) in dst.iter_mut().enumerate() {
+                        *d = self.mem.load(addr.word(k as u64));
+                    }
+                    return Ok(());
+                }
+                spins += 1;
+                if spins > self.cfg.spin_tries {
+                    return Err(Abort::Conflict);
+                }
+                std::hint::spin_loop();
+                continue;
+            }
+            for (k, d) in dst.iter_mut().enumerate() {
+                *d = self.mem.load(addr.word(k as u64));
+            }
+            let v2 = orec.load(Ordering::Acquire);
+            if v1 != v2 {
+                spins += 1;
+                if spins > self.cfg.spin_tries {
+                    return Err(Abort::Conflict);
+                }
+                continue;
+            }
+            if v1 > self.rv && !self.extend() {
+                return Err(Abort::Conflict);
+            }
+            self.reads.push(ReadEntry { idx, version: v1 });
+            return Ok(());
+        }
+    }
+
+    /// Stripe-batched full write; the write-side analog of
+    /// [`WorkerCtx::read_full_range`]. Each covered stripe is acquired
+    /// once — one [`LockEntry`] per *newly* acquired stripe, none when the
+    /// stripe's orec is already owned — then every word gets its undo entry
+    /// (ascending address order) and in-place store, exactly the log shape
+    /// a per-word loop produces (its first word CASes the orec, the rest
+    /// take the owned path). Same stats contract as the ranged read.
+    pub(crate) fn write_full_range(&mut self, addr: Addr, src: &[u64]) -> TxResult<usize> {
+        let span_end = addr.word(src.len() as u64).raw();
+        let mut done = 0usize;
+        while done < src.len() {
+            let a = addr.word(done as u64);
+            let stripe_end = (a.raw() | (STRIPE_BYTES - 1)) + 1;
+            let n = ((stripe_end.min(span_end) - a.raw()) / WORD_BYTES) as usize;
+            self.write_full_stripe(a, &src[done..done + n])
+                .inspect_err(|_| {
+                    self.pending.writes.full += done as u64 + 1;
+                })?;
+            done += n;
+        }
+        Ok(done)
+    }
+
+    fn write_full_stripe(&mut self, addr: Addr, src: &[u64]) -> TxResult<()> {
+        let (idx, orec) = self.rt.orecs.of(addr);
+        let me = self.tid() as u64;
+        let mut spins = 0u32;
+        loop {
+            let v = orec.load(Ordering::Acquire);
+            if is_locked(v) {
+                if owner_of(v) == me {
+                    self.store_stripe_owned(addr, src);
+                    return Ok(());
+                }
+                spins += 1;
+                if spins > self.cfg.spin_tries {
+                    return Err(Abort::Conflict);
+                }
+                std::hint::spin_loop();
+                continue;
+            }
+            if v > self.rv && !self.extend() {
+                return Err(Abort::Conflict);
+            }
+            match orec.compare_exchange_weak(v, lock_value(me), Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    self.locks.push(LockEntry { idx, prev: v });
+                    self.store_stripe_owned(addr, src);
+                    return Ok(());
+                }
+                Err(_) => {
+                    spins += 1;
+                    if spins > self.cfg.spin_tries {
+                        return Err(Abort::Conflict);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Undo-log and store a stripe sub-span whose orec this transaction
+    /// already owns.
+    fn store_stripe_owned(&mut self, addr: Addr, src: &[u64]) {
+        for (k, &val) in src.iter().enumerate() {
+            let a = addr.word(k as u64);
+            self.undo.push(UndoEntry {
+                addr: a,
+                old: self.mem.load(a),
+            });
+            self.mem.store(a, val);
         }
     }
 }

@@ -6,6 +6,7 @@
 
 use txmem::Addr;
 
+use super::fastpath::{RunCounter, RunVerdict};
 use super::{CaptureHit, PolicySlot};
 use crate::site::Site;
 use crate::worker::{TxResult, UndoEntry, WorkerCtx};
@@ -126,6 +127,166 @@ pub(super) fn write_runtime<P: PolicySlot>(
         }
     }
     annotated_or_full(w, addr, val)
+}
+
+// ---- Ranged write barriers ---------------------------------------------
+//
+// Same contract as the ranged reads (see `read.rs`): per-word counters and
+// the undo/lock log shape stay bit-identical to a per-word loop; captured
+// runs lower to bulk private stores, ancestor runs to per-word undo-logged
+// stores, shared runs to the stripe-batched slowpath.
+
+/// Whole-op degradation to the per-word barrier (classify / annotations).
+pub(super) fn per_word_write(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    src: &[u64],
+    word: fn(&mut WorkerCtx<'_>, &'static Site, Addr, u64) -> TxResult<()>,
+) -> TxResult<()> {
+    w.pending.ranged.fallbacks += 1;
+    for (k, &val) in src.iter().enumerate() {
+        word(w, site, addr.word(k as u64), val)?;
+    }
+    Ok(())
+}
+
+/// Ancestor-captured run: per-word undo entries (ascending address order,
+/// exactly what a per-word loop logs) plus private stores.
+fn store_range_ancestor(w: &mut WorkerCtx<'_>, addr: Addr, src: &[u64]) {
+    for (k, &val) in src.iter().enumerate() {
+        let a = addr.word(k as u64);
+        w.undo.push(UndoEntry {
+            addr: a,
+            old: w.mem.load_private(a),
+        });
+        w.mem.store_private(a, val);
+    }
+}
+
+pub(super) fn write_range_baseline(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    src: &[u64],
+) -> TxResult<()> {
+    if w.cfg.classify || w.cfg.annotations {
+        return per_word_write(w, site, addr, src, write_baseline);
+    }
+    debug_assert!(w.depth > 0, "write barrier outside transaction");
+    w.bump_ranged_run(src.len());
+    w.write_full_range(addr, src)?;
+    w.pending.writes.full += src.len() as u64;
+    Ok(())
+}
+
+pub(super) fn write_range_compiler(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    src: &[u64],
+) -> TxResult<()> {
+    if w.cfg.classify || w.cfg.annotations {
+        return per_word_write(w, site, addr, src, write_compiler);
+    }
+    debug_assert!(w.depth > 0, "write barrier outside transaction");
+    w.bump_ranged_run(src.len());
+    if site.compiler_elides {
+        w.pending.writes.elided_static += src.len() as u64;
+        w.mem.store_range_private(addr, src);
+        return Ok(());
+    }
+    w.write_full_range(addr, src)?;
+    w.pending.writes.full += src.len() as u64;
+    Ok(())
+}
+
+pub(super) fn write_range_compiler_interproc(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    src: &[u64],
+) -> TxResult<()> {
+    if w.cfg.classify || w.cfg.annotations {
+        return per_word_write(w, site, addr, src, write_compiler_interproc);
+    }
+    debug_assert!(w.depth > 0, "write barrier outside transaction");
+    w.bump_ranged_run(src.len());
+    if site.compiler_elides {
+        w.pending.writes.elided_static += src.len() as u64;
+        w.mem.store_range_private(addr, src);
+        return Ok(());
+    }
+    if site.compiler_elides_interproc {
+        w.pending.writes.elided_static_interproc += src.len() as u64;
+        w.mem.store_range_private(addr, src);
+        return Ok(());
+    }
+    w.write_full_range(addr, src)?;
+    w.pending.writes.full += src.len() as u64;
+    Ok(())
+}
+
+/// The runtime ranged write; see [`super::read::read_range_runtime`]'s
+/// doc — this is its write-side twin with the current/ancestor split.
+#[inline]
+fn write_range_runtime_impl<P: PolicySlot>(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    src: &[u64],
+    word: fn(&mut WorkerCtx<'_>, &'static Site, Addr, u64) -> TxResult<()>,
+) -> TxResult<()> {
+    if w.cfg.classify || w.cfg.annotations {
+        return per_word_write(w, site, addr, src, word);
+    }
+    debug_assert!(w.depth > 0, "write barrier outside transaction");
+    let limit = addr.word(src.len() as u64).raw();
+    let mut i = 0usize;
+    while i < src.len() {
+        let a = addr.word(i as u64);
+        let verdict = w.classify_write_run::<P>(a, limit);
+        let n = verdict.words(a);
+        w.bump_ranged_run(n);
+        match verdict {
+            RunVerdict::Captured { counter, .. } => {
+                match counter {
+                    RunCounter::Nursery => w.pending.writes.elided_nursery += n as u64,
+                    RunCounter::Stack => w.pending.writes.elided_stack += n as u64,
+                    RunCounter::Heap => w.pending.writes.elided_heap += n as u64,
+                }
+                w.mem.store_range_private(a, &src[i..i + n]);
+            }
+            RunVerdict::Ancestor { .. } => {
+                w.pending.writes.parent_captured += n as u64;
+                store_range_ancestor(w, a, &src[i..i + n]);
+            }
+            RunVerdict::Shared { .. } => {
+                w.write_full_range(a, &src[i..i + n])?;
+                w.pending.writes.full += n as u64;
+            }
+        }
+        i += n;
+    }
+    Ok(())
+}
+
+pub(super) fn write_range_runtime<P: PolicySlot>(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    src: &[u64],
+) -> TxResult<()> {
+    write_range_runtime_impl::<P>(w, site, addr, src, write_runtime::<P>)
+}
+
+pub(super) fn write_range_runtime_nursery<P: PolicySlot>(
+    w: &mut WorkerCtx<'_>,
+    site: &'static Site,
+    addr: Addr,
+    src: &[u64],
+) -> TxResult<()> {
+    write_range_runtime_impl::<P>(w, site, addr, src, write_runtime_nursery::<P>)
 }
 
 /// Runtime capture analysis with the transaction-local nursery; see

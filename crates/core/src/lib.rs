@@ -81,5 +81,5 @@ pub use orec::OrecTable;
 pub use runtime::StmRuntime;
 pub use site::Site;
 pub use stats::{BarrierStats, TxStats};
-pub use typed::{Field, StackFrame, TxBuf, TxObject, TxPtr, TxWord};
+pub use typed::{Field, StackFrame, TxBuf, TxCursor, TxObject, TxPtr, TxSlice, TxWord, TxWriter};
 pub use worker::{Abort, Tx, TxResult, WorkerCtx};

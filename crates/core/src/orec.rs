@@ -22,6 +22,12 @@ pub fn owner_of(v: u64) -> u64 {
     v >> 1
 }
 
+/// Bytes covered by one orec stripe (the `addr >> 6` line mapping in
+/// [`OrecTable::index_of`]). Ranged barriers batch shared spans at this
+/// granularity: all words of a stripe share one record, so one acquire /
+/// one validation entry covers the whole stripe sub-span.
+pub const STRIPE_BYTES: u64 = 64;
+
 /// The system-wide transaction-record table (paper §2.1): each entry tracks
 /// ownership of the memory locations hashing to it. Our mapping is
 /// cache-line-based like the Intel C++ STM: all eight words of a 64-byte

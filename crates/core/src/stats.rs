@@ -27,12 +27,35 @@ pub(crate) struct BarrierDelta {
     pub full: u64,
 }
 
-/// Both directions of [`BarrierDelta`]; lives on the worker and is taken
-/// (reset to zero) when flushed at commit or rollback.
+/// Hot-path counters for the *ranged* entry points (`read_range` /
+/// `write_range` and the helpers built on them) within a single transaction
+/// attempt. These are pure telemetry on top of the per-word counters: a
+/// ranged barrier still bumps the matching [`BarrierDelta`] counter by the
+/// run's word count, so the legacy stats stay bit-identical to a per-word
+/// loop and these counters only describe *how* the words were processed.
+#[derive(Default, Clone, Copy, Debug)]
+pub(crate) struct RangedDelta {
+    /// Ranged read operations entered (one per `read_range` call).
+    pub reads: u64,
+    /// Ranged write operations entered (one per `write_range` call).
+    pub writes: u64,
+    /// Homogeneous runs of ≥ 2 words handled by a bulk copy or a
+    /// stripe-batched slowpath.
+    pub spans: u64,
+    /// Degenerate work: single-word runs, and whole operations that fell
+    /// back to the per-word loop (classify/annotation instrumentation or
+    /// the enum-dispatch reference pipeline).
+    pub fallbacks: u64,
+}
+
+/// Both directions of [`BarrierDelta`] plus the ranged-op telemetry; lives
+/// on the worker and is taken (reset to zero) when flushed at commit or
+/// rollback.
 #[derive(Default, Clone, Copy, Debug)]
 pub(crate) struct TxnDelta {
     pub reads: BarrierDelta,
     pub writes: BarrierDelta,
+    pub ranged: RangedDelta,
 }
 
 /// Counters for one barrier direction (reads or writes).
@@ -168,6 +191,21 @@ pub struct TxStats {
     /// Bytes returned to the allocator wholesale: entire regions on abort,
     /// unused region tails trimmed at commit.
     pub nursery_bytes_recycled: u64,
+    /// Ranged read operations (`Tx::read_range` and everything built on
+    /// it). Telemetry only: the words a ranged op covers are still counted
+    /// in `reads`/`writes` exactly as a per-word loop would count them.
+    pub ranged_reads: u64,
+    /// Ranged write operations (`Tx::write_range`, `fill_range`, the write
+    /// half of `copy_range`).
+    pub ranged_writes: u64,
+    /// Homogeneous runs of ≥ 2 words a ranged op handled with one
+    /// classification (bulk copy or stripe-batched slowpath).
+    pub ranged_spans: u64,
+    /// Ranged work that degenerated to per-word processing: one-word runs
+    /// (lossy filter log, fragmented capture state, genuinely short spans)
+    /// and whole ops routed through the per-word loop (classify /
+    /// annotation instrumentation, reference dispatch).
+    pub ranged_fallbacks: u64,
     /// Read-barrier counters.
     pub reads: BarrierStats,
     /// Write-barrier counters.
@@ -181,6 +219,10 @@ impl TxStats {
         self.reads.absorb(&d.reads);
         self.writes.absorb(&d.writes);
         self.nursery_hits += d.reads.elided_nursery + d.writes.elided_nursery;
+        self.ranged_reads += d.ranged.reads;
+        self.ranged_writes += d.ranged.writes;
+        self.ranged_spans += d.ranged.spans;
+        self.ranged_fallbacks += d.ranged.fallbacks;
     }
 
     /// Accumulate another worker's statistics into this one.
@@ -196,6 +238,10 @@ impl TxStats {
         self.nursery_hits += o.nursery_hits;
         self.nursery_regions += o.nursery_regions;
         self.nursery_bytes_recycled += o.nursery_bytes_recycled;
+        self.ranged_reads += o.ranged_reads;
+        self.ranged_writes += o.ranged_writes;
+        self.ranged_spans += o.ranged_spans;
+        self.ranged_fallbacks += o.ranged_fallbacks;
         self.reads.merge(&o.reads);
         self.writes.merge(&o.writes);
     }
@@ -232,12 +278,34 @@ mod tests {
         b.aborts = 1;
         b.reads.total = 5;
         b.writes.total = 7;
+        b.ranged_reads = 3;
+        b.ranged_spans = 2;
+        b.ranged_fallbacks = 1;
         a.merge(&b);
         assert_eq!(a.commits, 5);
         assert_eq!(a.aborts, 1);
         assert_eq!(a.reads.total, 15);
         assert_eq!(a.writes.total, 7);
         assert_eq!(a.all_accesses().total, 22);
+        assert_eq!(a.ranged_reads, 3);
+        assert_eq!(a.ranged_writes, 0);
+        assert_eq!(a.ranged_spans, 2);
+        assert_eq!(a.ranged_fallbacks, 1);
+    }
+
+    #[test]
+    fn absorb_folds_ranged_telemetry() {
+        let mut s = TxStats::default();
+        let mut d = TxnDelta::default();
+        d.ranged.reads = 2;
+        d.ranged.writes = 1;
+        d.ranged.spans = 3;
+        d.ranged.fallbacks = 4;
+        s.absorb(&d);
+        assert_eq!(s.ranged_reads, 2);
+        assert_eq!(s.ranged_writes, 1);
+        assert_eq!(s.ranged_spans, 3);
+        assert_eq!(s.ranged_fallbacks, 4);
     }
 
     #[test]

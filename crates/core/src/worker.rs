@@ -1,5 +1,5 @@
 use capture::{NurseryLog, PrivateLog, RangeTree};
-use txmem::{Addr, ThreadAlloc, ThreadStack};
+use txmem::{words_to_bytes, Addr, ThreadAlloc, ThreadStack};
 
 use crate::barrier::{CaptureLogs, DispatchTable};
 use crate::config::{CheckScope, Mode, TxConfig};
@@ -343,6 +343,115 @@ impl<'rt> WorkerCtx<'rt> {
         write(self, site, addr, val)
     }
 
+    /// Ranged-telemetry bump for one classified run: multi-word runs count
+    /// as spans, degenerate one-word runs as fallbacks. Telemetry only —
+    /// the per-word `BarrierDelta` counters carry the equivalence contract,
+    /// these just record how the words were batched.
+    #[inline]
+    pub(crate) fn bump_ranged_run(&mut self, words: usize) {
+        if words > 1 {
+            self.pending.ranged.spans += 1;
+        } else {
+            self.pending.ranged.fallbacks += 1;
+        }
+    }
+
+    /// Ranged transactional read of `dst.len()` contiguous words starting
+    /// at `addr`.
+    ///
+    /// Same layering as [`WorkerCtx::read_word`]: inline whole-span checks
+    /// against the nursery window, the capture cache, and the current-level
+    /// stack range run first (one classification covering the entire span),
+    /// and only spans they cannot prove captured take the indirect call
+    /// into the mode's ranged barrier, which classifies once per
+    /// homogeneous run. Counter contract: every variant moves the per-word
+    /// counters exactly as a loop over [`WorkerCtx::read_word`] would.
+    #[inline]
+    pub(crate) fn read_range(
+        &mut self,
+        site: &'static Site,
+        addr: Addr,
+        dst: &mut [u64],
+    ) -> TxResult<()> {
+        debug_assert!(self.depth > 0, "read barrier outside transaction");
+        if dst.is_empty() {
+            return Ok(());
+        }
+        self.pending.ranged.reads += 1;
+        let a = addr.raw();
+        let len_b = words_to_bytes(dst.len() as u64);
+        // Whole-span window tests prove `len_b` fits the window *before*
+        // subtracting it, so they cannot underflow.
+        if len_b <= self.nur_rlen && a.wrapping_sub(self.nur_lo) <= self.nur_rlen - len_b {
+            self.bump_ranged_run(dst.len());
+            self.pending.reads.elided_nursery += dst.len() as u64;
+            self.mem.load_range_private(addr, dst);
+            return Ok(());
+        }
+        if self.fast.read_heap
+            && len_b <= self.cap_len
+            && a.wrapping_sub(self.cap_start) <= self.cap_len - len_b
+        {
+            self.bump_ranged_run(dst.len());
+            self.pending.reads.elided_heap += dst.len() as u64;
+            self.mem.load_range_private(addr, dst);
+            return Ok(());
+        }
+        if self.fast.read_stack && a >= self.stack.sp() && len_b <= self.sp_inner.saturating_sub(a)
+        {
+            self.bump_ranged_run(dst.len());
+            self.pending.reads.elided_stack += dst.len() as u64;
+            self.mem.load_range_private(addr, dst);
+            return Ok(());
+        }
+        let read_range = self.table.read_range;
+        read_range(self, site, addr, dst)
+    }
+
+    /// Ranged transactional write; see [`WorkerCtx::read_range`]. The
+    /// inline paths cover only *current-level* captures (plain bulk store)
+    /// — spans touching ancestor-captured memory take the call so every
+    /// such word gets its undo entry.
+    #[inline]
+    pub(crate) fn write_range(
+        &mut self,
+        site: &'static Site,
+        addr: Addr,
+        src: &[u64],
+    ) -> TxResult<()> {
+        debug_assert!(self.depth > 0, "write barrier outside transaction");
+        if src.is_empty() {
+            return Ok(());
+        }
+        self.pending.ranged.writes += 1;
+        let a = addr.raw();
+        let len_b = words_to_bytes(src.len() as u64);
+        if len_b <= self.nur_wlen && a.wrapping_sub(self.nur_inner) <= self.nur_wlen - len_b {
+            self.bump_ranged_run(src.len());
+            self.pending.writes.elided_nursery += src.len() as u64;
+            self.mem.store_range_private(addr, src);
+            return Ok(());
+        }
+        if self.fast.write_heap
+            && len_b <= self.cap_len
+            && a.wrapping_sub(self.cap_start) <= self.cap_len - len_b
+        {
+            self.bump_ranged_run(src.len());
+            self.pending.writes.elided_heap += src.len() as u64;
+            self.mem.store_range_private(addr, src);
+            return Ok(());
+        }
+        if self.fast.write_stack && a >= self.stack.sp() && len_b <= self.sp_inner.saturating_sub(a)
+        {
+            self.bump_ranged_run(src.len());
+            self.pending.writes.elided_stack += src.len() as u64;
+            self.mem.store_range_private(addr, src);
+            return Ok(());
+        }
+        let write_range = self.table.write_range;
+        write_range(self, site, addr, src)
+    }
+
     /// Forget the inline capture cache; called whenever a block leaves the
     /// captured set or its level relation to the current nesting could
     /// change (free, demote, rollback, nested entry, txn end).
@@ -569,6 +678,73 @@ impl<'a, 'rt> Tx<'a, 'rt> {
     #[inline]
     pub fn write(&mut self, site: &'static Site, addr: Addr, val: u64) -> TxResult<()> {
         self.0.write_word(site, addr, val)
+    }
+
+    /// Ranged transactional read: fill `dst` from `dst.len()` contiguous
+    /// words starting at `addr`, classifying capture once per contiguous
+    /// run instead of once per word. Observationally identical to a loop
+    /// of [`Tx::read`] over the span (same memory, same counters), just
+    /// cheaper: captured runs lower to a bulk copy, shared runs acquire
+    /// one orec per covered 64-byte stripe.
+    #[inline]
+    pub fn read_range(&mut self, site: &'static Site, addr: Addr, dst: &mut [u64]) -> TxResult<()> {
+        self.0.read_range(site, addr, dst)
+    }
+
+    /// Ranged transactional write of `src.len()` contiguous words; see
+    /// [`Tx::read_range`].
+    #[inline]
+    pub fn write_range(&mut self, site: &'static Site, addr: Addr, src: &[u64]) -> TxResult<()> {
+        self.0.write_range(site, addr, src)
+    }
+
+    /// Fill `words` contiguous words starting at `addr` with `val` through
+    /// the ranged write barrier. Chunked through a fixed stack buffer, so
+    /// arbitrarily large fills allocate nothing.
+    pub fn fill_range(
+        &mut self,
+        site: &'static Site,
+        addr: Addr,
+        val: u64,
+        words: u64,
+    ) -> TxResult<()> {
+        let buf = [val; 128];
+        let mut done = 0u64;
+        while done < words {
+            let n = (words - done).min(128) as usize;
+            self.0.write_range(site, addr.word(done), &buf[..n])?;
+            done += n as u64;
+        }
+        Ok(())
+    }
+
+    /// Transactional copy of `words` words from `src` to `dst` through the
+    /// ranged barriers, staged through a fixed buffer. The spans must not
+    /// overlap (debug-asserted): with an overlap, the chunked
+    /// read-then-write order would differ from a word-by-word memmove.
+    pub fn copy_range(
+        &mut self,
+        read_site: &'static Site,
+        write_site: &'static Site,
+        dst: Addr,
+        src: Addr,
+        words: u64,
+    ) -> TxResult<()> {
+        debug_assert!(
+            dst.raw() + txmem::words_to_bytes(words) <= src.raw()
+                || src.raw() + txmem::words_to_bytes(words) <= dst.raw(),
+            "copy_range spans overlap"
+        );
+        let mut buf = [0u64; 128];
+        let mut done = 0u64;
+        while done < words {
+            let n = (words - done).min(128) as usize;
+            self.0
+                .read_range(read_site, src.word(done), &mut buf[..n])?;
+            self.0.write_range(write_site, dst.word(done), &buf[..n])?;
+            done += n as u64;
+        }
+        Ok(())
     }
 
     /// Read a pointer-typed word. Thin wrapper over the generic

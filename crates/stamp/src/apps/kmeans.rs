@@ -96,17 +96,25 @@ pub fn run(cfg: &Config, txcfg: TxConfig, threads: usize) -> RunOutcome {
     for _iter in 0..cfg.iterations {
         let elapsed = run_parallel(&rt, threads, |w, t| {
             let (lo, hi) = chunk(cfg.points, threads, t);
+            let d_us = d as usize;
+            let mut pbuf = vec![0u64; d_us];
+            let mut cbuf = vec![0u64; d_us];
+            let mut sbuf = vec![0u64; d_us];
             for i in lo..hi {
                 let c = w.txn(|tx| {
                     // Nearest-center search: reads the paper classifies as
                     // "not required" (thread-partitioned / stable data).
+                    // Row-wise ranged reads — one classification per
+                    // `dims`-word row instead of one per coordinate.
+                    tx.read_range(&S_POINT_R, points.word(i * d), &mut pbuf)?;
                     let mut best = 0u64;
                     let mut best_dist = f64::INFINITY;
                     for c in 0..cfg.clusters {
+                        tx.read_range(&S_CENTER_R, centers.word(c * d), &mut cbuf)?;
                         let mut dist = 0.0;
-                        for j in 0..d {
-                            let p = tx.read_f64(&S_POINT_R, points.word(i * d + j))?;
-                            let q = tx.read_f64(&S_CENTER_R, centers.word(c * d + j))?;
+                        for j in 0..d_us {
+                            let p = f64::from_bits(pbuf[j]);
+                            let q = f64::from_bits(cbuf[j]);
                             dist += (p - q) * (p - q);
                         }
                         if dist < best_dist {
@@ -114,16 +122,19 @@ pub fn run(cfg: &Config, txcfg: TxConfig, threads: usize) -> RunOutcome {
                             best = c;
                         }
                     }
-                    // The genuinely shared update (STAMP's atomic block).
+                    // The genuinely shared update (STAMP's atomic block):
+                    // read the sum row, add the point, write it back.
                     let acc = accums.word(best * (d + 1));
                     let count = tx.read(&S_ACC_R, acc)?;
                     tx.write(&S_ACC_W, acc, count + 1)?;
-                    for j in 0..d {
-                        let slot = accums.word(best * (d + 1) + 1 + j);
-                        let s = tx.read_f64(&S_ACC_R, slot)?;
-                        let p = tx.read_f64(&S_POINT_R, points.word(i * d + j))?;
-                        tx.write_f64(&S_ACC_W, slot, s + p)?;
+                    let sums = accums.word(best * (d + 1) + 1);
+                    tx.read_range(&S_ACC_R, sums, &mut sbuf)?;
+                    for j in 0..d_us {
+                        let s = f64::from_bits(sbuf[j]);
+                        let p = f64::from_bits(pbuf[j]);
+                        sbuf[j] = (s + p).to_bits();
                     }
+                    tx.write_range(&S_ACC_W, sums, &sbuf)?;
                     Ok(best)
                 });
                 let _ = c;

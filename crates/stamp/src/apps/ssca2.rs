@@ -82,7 +82,11 @@ pub fn run(cfg: &Config, txcfg: TxConfig, threads: usize) -> RunOutcome {
                 if deg >= cfg.max_degree {
                     return Ok(false);
                 }
-                tx.write(&S_EDGE_W, adj.word(u * stride + 1 + deg), v)?;
+                // Deliberately a degenerate one-word ranged write: the
+                // adjacency slot is a single word, so this exercises the
+                // ranged pipeline's single-word path (`ranged_fallbacks`
+                // telemetry) in a real workload.
+                tx.write_range(&S_EDGE_W, adj.word(u * stride + 1 + deg), &[v])?;
                 tx.write(&S_DEG_W, deg_slot, deg + 1)?;
                 Ok(true)
             });

@@ -49,6 +49,50 @@ impl TxBitmap {
         tx.write(&S_BITS_W, slot, w & !(1 << (i % 64)))
     }
 
+    /// Set every bit in `[lo, hi)`. Partial edge words are read-modify-
+    /// written individually; full interior words lower to one ranged
+    /// [`Tx::fill_range`], classifying capture once for the whole interior
+    /// instead of once per word.
+    pub fn set_range(&self, tx: &mut Tx<'_, '_>, lo: u64, hi: u64) -> TxResult<()> {
+        self.fill_bits(tx, lo, hi, true)
+    }
+
+    /// Clear every bit in `[lo, hi)`; see [`TxBitmap::set_range`].
+    pub fn clear_range(&self, tx: &mut Tx<'_, '_>, lo: u64, hi: u64) -> TxResult<()> {
+        self.fill_bits(tx, lo, hi, false)
+    }
+
+    fn fill_bits(&self, tx: &mut Tx<'_, '_>, lo: u64, hi: u64, set: bool) -> TxResult<()> {
+        if lo >= hi {
+            return Ok(());
+        }
+        let (wlo, whi) = (lo / 64, (hi - 1) / 64);
+        let head_mask = !0u64 << (lo % 64);
+        let tail_mask = !0u64 >> (63 - (hi - 1) % 64);
+        if wlo == whi {
+            return self.rmw_word(tx, wlo, head_mask & tail_mask, set);
+        }
+        self.rmw_word(tx, wlo, head_mask, set)?;
+        let interior = whi - wlo - 1;
+        if interior > 0 {
+            let fill = if set { !0u64 } else { 0 };
+            tx.fill_range(
+                &S_BITS_W,
+                self.handle.word(WORDS0 + wlo + 1),
+                fill,
+                interior,
+            )?;
+        }
+        self.rmw_word(tx, whi, tail_mask, set)
+    }
+
+    fn rmw_word(&self, tx: &mut Tx<'_, '_>, word: u64, mask: u64, set: bool) -> TxResult<()> {
+        let slot = self.handle.word(WORDS0 + word);
+        let w = tx.read(&S_BITS_R, slot)?;
+        let new = if set { w | mask } else { w & !mask };
+        tx.write(&S_BITS_W, slot, new)
+    }
+
     pub fn seq_count(&self, w: &WorkerCtx<'_>) -> u64 {
         let nbits = w.load(self.handle.word(NBITS));
         let words = nbits.div_ceil(64);
@@ -77,6 +121,28 @@ mod tests {
         assert_eq!(b.seq_count(&w), 2);
         w.txn(|tx| b.clear(tx, 7));
         assert_eq!(b.seq_count(&w), 1);
+    }
+
+    #[test]
+    fn range_ops_match_per_bit_loops() {
+        let rt = StmRuntime::new(MemConfig::small(), TxConfig::default());
+        let b = TxBitmap::create(&rt, 1024);
+        let mut w = rt.spawn_worker();
+        // Straddles two edge words with a multi-word interior.
+        w.txn(|tx| b.set_range(tx, 37, 700));
+        assert_eq!(b.seq_count(&w), 700 - 37);
+        assert!(!w.txn(|tx| b.test(tx, 36)));
+        assert!(w.txn(|tx| b.test(tx, 37)));
+        assert!(w.txn(|tx| b.test(tx, 699)));
+        assert!(!w.txn(|tx| b.test(tx, 700)));
+        // Single-word range, then a clear that straddles the seam.
+        w.txn(|tx| b.set_range(tx, 900, 910));
+        assert_eq!(b.seq_count(&w), 700 - 37 + 10);
+        w.txn(|tx| b.clear_range(tx, 40, 650));
+        assert_eq!(b.seq_count(&w), 3 + 50 + 10);
+        // Empty range is a no-op.
+        w.txn(|tx| b.set_range(tx, 5, 5));
+        assert_eq!(b.seq_count(&w), 3 + 50 + 10);
     }
 
     #[test]

@@ -69,9 +69,8 @@ impl TxHashtable {
             cur = tx.read_addr(&S_NODE_R, cur.word(NEXT))?;
         }
         let node = tx.alloc(NODE_WORDS * 8)?;
-        tx.write_addr(&S_INIT_W, node.word(NEXT), head)?;
-        tx.write(&S_INIT_W, node.word(KEY), key)?;
-        tx.write(&S_INIT_W, node.word(VAL), val)?;
+        // One ranged write initializes the whole (captured) node.
+        tx.write_range(&S_INIT_W, node.word(NEXT), &[head.raw(), key, val])?;
         tx.write_addr(&S_BUCKET_W, slot, node)?;
         let sz = tx.read(&S_SIZE_R, self.handle.word(SIZE))?;
         tx.write(&S_SIZE_W, self.handle.word(SIZE), sz + 1)?;

@@ -166,6 +166,43 @@ impl SharedMem {
         Addr::from_raw(self.load(addr))
     }
 
+    /// Bulk load of `dst.len()` consecutive words starting at `start` —
+    /// the captured-run lowering of the ranged barriers. One bounds check
+    /// up front, then a real `memcpy`: "private" is the caller's promise
+    /// that no other thread accesses these words concurrently (captured
+    /// memory is thread-private by definition), which is exactly what
+    /// lets a captured run skip the per-word atomic loop the compiler
+    /// cannot vectorize.
+    #[inline]
+    pub fn load_range_private(&self, start: Addr, dst: &mut [u64]) {
+        debug_assert!(start.is_aligned() && !start.is_null());
+        let base = start.word_index();
+        let words = &self.words[base..base + dst.len()];
+        // SAFETY: `AtomicU64` has the same size and bit validity as `u64`,
+        // and the private contract rules out concurrent accessors.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                words.as_ptr() as *const u64,
+                dst.as_mut_ptr(),
+                dst.len(),
+            );
+        }
+    }
+
+    /// Bulk store of `src` starting at `start`; see
+    /// [`SharedMem::load_range_private`] for the private-memcpy contract.
+    #[inline]
+    pub fn store_range_private(&self, start: Addr, src: &[u64]) {
+        debug_assert!(start.is_aligned() && !start.is_null());
+        let base = start.word_index();
+        let words = &self.words[base..base + src.len()];
+        // SAFETY: as in `load_range_private` — same layout, no concurrent
+        // accessors on captured memory.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), words.as_ptr() as *mut u64, src.len());
+        }
+    }
+
     /// Zero a byte range (must be word aligned).
     pub fn zero_range(&self, start: Addr, bytes: u64) {
         debug_assert!(start.is_aligned() && bytes.is_multiple_of(WORD_BYTES));
@@ -226,6 +263,25 @@ mod tests {
         for i in 0..4 {
             assert_eq!(mem.load(a.word(i)), 0);
         }
+    }
+
+    #[test]
+    fn range_private_roundtrip() {
+        let mem = SharedMem::new(MemConfig::small());
+        let a = Addr(mem.layout().heap_start);
+        let src: Vec<u64> = (0..16).map(|i| i * 3 + 1).collect();
+        mem.store_range_private(a, &src);
+        let mut dst = vec![0u64; 16];
+        mem.load_range_private(a, &mut dst);
+        assert_eq!(src, dst);
+        // Bulk stores are visible to per-word loads and vice versa.
+        assert_eq!(mem.load(a.word(5)), 16);
+        mem.store(a.word(5), 99);
+        mem.load_range_private(a.word(5), &mut dst[..1]);
+        assert_eq!(dst[0], 99);
+        // Empty ranges are fine.
+        mem.load_range_private(a, &mut []);
+        mem.store_range_private(a, &[]);
     }
 
     #[test]
