@@ -43,6 +43,20 @@
 //!                                # --min-speedup gates vacation-low
 //!                                # runtime-tree at 4 threads (skipped on
 //!                                # hardware with <4 threads).
+//! expt merge [--out FILE] [--merge N] [--min-merge-speedup F]
+//!                                # transaction-merging experiment: logical
+//!                                # throughput + abort rate at merge
+//!                                # factors 1/2/8/32 over the transfer,
+//!                                # queue, and intruder drivers; Markdown
+//!                                # to stdout, BENCH_merge.json with
+//!                                # --out. --merge N narrows the factor
+//!                                # axis to {1, N} (rejected for 0 or
+//!                                # above stm::MERGE_MAX_LIMIT);
+//!                                # --min-merge-speedup gates the transfer
+//!                                # driver at factor 8 (or at N when
+//!                                # --merge is given; release acceptance
+//!                                # bar 1.5 — debug builds skip with a
+//!                                # note, their fixed costs are distorted)
 //! ```
 //!
 //! Output is Markdown, mirroring the paper's rows/series; see EXPERIMENTS.md
@@ -54,10 +68,10 @@ use stamp::Scale;
 fn usage() -> ! {
     eprintln!(
         "usage: expt <fig8|fig9|fig10|fig11a|fig11b|table1|table2|annotations|orec|check|\
-         barriers|bench-json|scaling|elision|nursery|all> \
+         barriers|bench-json|scaling|merge|elision|nursery|all> \
          [--scale test|small|full] [--threads N] [--runs K] [--out FILE] [--max-ratio F] \
          [--max-typed-ratio F] [--max-ranged-ratio F] [--min-speedup F] [--benchmarks a,b] \
-         [--max-nursery-ratio F]"
+         [--max-nursery-ratio F] [--merge N] [--min-merge-speedup F]"
     );
     std::process::exit(2);
 }
@@ -80,6 +94,8 @@ fn main() {
     let mut max_ranged_ratio: Option<f64> = None;
     let mut min_speedup: Option<f64> = None;
     let mut max_nursery_ratio: Option<f64> = None;
+    let mut merge_factor: Option<usize> = None;
+    let mut min_merge_speedup: Option<f64> = None;
     let mut benchmarks: Option<Vec<stamp::Benchmark>> = None;
     let mut i = 1;
     while i < args.len() {
@@ -134,6 +150,22 @@ fn main() {
                         .unwrap_or_else(|| usage()),
                 );
             }
+            "--merge" => {
+                i += 1;
+                merge_factor = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--min-merge-speedup" => {
+                i += 1;
+                min_merge_speedup = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--scale" => {
                 i += 1;
                 opts.scale = match args.get(i).map(|s| s.as_str()) {
@@ -177,6 +209,20 @@ fn main() {
     }
     if opts.runs == 0 {
         fail("--runs must be at least 1 (timings report the median run)");
+    }
+    if let Some(n) = merge_factor {
+        // Reject factors the runtime's own config validation would reject:
+        // a zero-wide batch is meaningless and anything above
+        // MERGE_MAX_LIMIT would fail TxConfig::builder deep in the driver.
+        if n == 0 {
+            fail("--merge must be at least 1 (1 = unmerged baseline)");
+        }
+        if n > stm::MERGE_MAX_LIMIT as usize {
+            fail(&format!(
+                "--merge {n} exceeds the supported maximum merge_max of {}",
+                stm::MERGE_MAX_LIMIT
+            ));
+        }
     }
 
     eprintln!(
@@ -304,6 +350,44 @@ fn main() {
                     Err(msg) => {
                         eprintln!("# FAIL: {msg}");
                         std::process::exit(1);
+                    }
+                }
+            }
+        }
+        "merge" => {
+            // --merge N narrows the factor axis to {1, N} (factor 1 stays:
+            // it seeds the speedup baseline); default is the full sweep.
+            let factors: Vec<usize> = match merge_factor {
+                Some(1) | None => bench::merge::FACTORS.to_vec(),
+                Some(n) => vec![1, n],
+            };
+            let rows = bench::merge::merge_rows(&opts, &factors);
+            print!("{}", bench::merge::render_markdown(&opts, &factors, &rows));
+            if let Some(path) = out_path.as_deref() {
+                let json = bench::merge::merge_json(&opts, &factors, &rows);
+                std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+                eprintln!("# wrote {path}");
+            }
+            if let Some(min) = min_merge_speedup {
+                // Release gate (ISSUE 7): merging must amortize commit
+                // costs — the transfer driver at factor 8 (or the custom
+                // --merge factor) has to beat its own unmerged row. Debug
+                // fixed costs are distorted; skip with a note there.
+                if cfg!(debug_assertions) {
+                    eprintln!("# merge speedup gate skipped: debug build");
+                } else {
+                    let gate_factor = match merge_factor {
+                        Some(n) if n > 1 => n,
+                        _ => 8,
+                    };
+                    match bench::merge::merge_speedup_gate(&rows, "transfer", gate_factor, min) {
+                        Ok(s) => eprintln!(
+                            "# transfer merge-factor-{gate_factor} speedup {s:.2}x >= {min:.2}x"
+                        ),
+                        Err(msg) => {
+                            eprintln!("# FAIL: {msg}");
+                            std::process::exit(1);
+                        }
                     }
                 }
             }

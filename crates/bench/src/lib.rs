@@ -7,6 +7,7 @@
 //! captured run with paper-vs-measured commentary.
 
 pub mod elision;
+pub mod merge;
 pub mod micro;
 pub mod nursery;
 pub mod report;

@@ -1,0 +1,519 @@
+//! The transaction-merging experiment (`expt merge`): logical-transaction
+//! throughput and abort rate as a function of the merge factor, over three
+//! drivers that stress different parts of the batch machinery.
+//!
+//! - `transfer` — a high-rate bank-transfer loop (two shared account
+//!   words read+written per logical transaction). Fixed per-commit costs
+//!   (GV4 ticket, lock publication, log resets) dominate the tiny
+//!   transaction body, so this is where merging pays the most; it is also
+//!   the series the release gate ([`merge_speedup_gate`]) enforces.
+//! - `queue` — producer/consumer rounds over the STAMP `TxQueue`: all
+//!   threads produce into one queue, then all threads drain it into
+//!   per-consumer accumulator cells. Head/tail words are hot, so merged
+//!   windows conflict, split, and salvage under fire.
+//! - `intruder` — the real STAMP app with its merged packet loop
+//!   (`TxConfig::merge_max > 1`), measuring merging on pointer-chasing
+//!   collection code rather than a synthetic loop.
+//!
+//! Emits `BENCH_merge.json` (committed snapshot, like
+//! `BENCH_scaling.json`) so future PRs that touch the commit spine or the
+//! batch machinery have a merging trajectory to diff against.
+
+use stamp::collections::TxQueue;
+use stamp::{Benchmark, Scale};
+use stm::{Site, StmRuntime, TxConfig, TxStats};
+use txmem::MemConfig;
+
+use crate::report::{esc, scale_name};
+use crate::{median, ExptOpts};
+
+/// The merge-factor axis: unmerged baseline, a shallow batch, the gate's
+/// sweet spot, and a wide window that actually splits under contention.
+pub const FACTORS: [usize; 4] = [1, 2, 8, 32];
+
+/// The drivers, in row order.
+pub const DRIVERS: [&str; 3] = ["transfer", "queue", "intruder"];
+
+static S_ACCT: Site = Site::shared("merge.account");
+static S_CELL: Site = Site::shared("merge.cell");
+
+const ACCOUNTS: u64 = 1024;
+const SEED_BALANCE: u64 = 10_000;
+
+/// Logical transactions per thread per driver phase — a power of two so
+/// every factor in [`FACTORS`] divides it evenly.
+fn logical_per_thread(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 2_048,
+        Scale::Small => 65_536,
+        Scale::Full => 262_144,
+    }
+}
+
+/// xorshift64*: deterministic per-thread account/value choices.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+fn merged_cfg(factor: usize) -> TxConfig {
+    TxConfig::builder()
+        .mode(stm::Mode::Runtime {
+            log: stm::LogKind::Tree,
+            scope: stm::CheckScope::FULL,
+        })
+        .merge_max(factor as u32)
+        .build()
+        .expect("factors are validated at the CLI boundary")
+}
+
+/// One timed run of the transfer driver. Every logical transaction moves
+/// money between two of [`ACCOUNTS`] accounts; the closing conservation
+/// check catches any salvage bug.
+fn transfer_once(scale: Scale, factor: usize, threads: usize) -> (f64, TxStats) {
+    let per_thread = logical_per_thread(scale);
+    let rt = StmRuntime::new(
+        MemConfig {
+            max_threads: threads.max(1) + 1,
+            stack_words: 1 << 10,
+            heap_words: 1 << 16,
+        },
+        merged_cfg(factor),
+    );
+    let base = rt.alloc_global(ACCOUNTS * 8);
+    for i in 0..ACCOUNTS {
+        rt.mem().store(base.word(i), SEED_BALANCE);
+    }
+    rt.reset_stats();
+    let start = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let rt = &rt;
+            s.spawn(move || {
+                let mut w = rt.spawn_worker();
+                let mut rng = Rng(0x9E3779B97F4A7C15 ^ (t as u64 + 1));
+                for _ in 0..per_thread / factor {
+                    // Pre-draw the window's transfers: a salvage retry
+                    // re-runs the same logical index and must redo the
+                    // same move.
+                    let moves: Vec<(u64, u64, u64)> = (0..factor)
+                        .map(|_| {
+                            (
+                                rng.next() % ACCOUNTS,
+                                rng.next() % ACCOUNTS,
+                                1 + rng.next() % 9,
+                            )
+                        })
+                        .collect();
+                    let run = w.txn_batch(factor, |b| {
+                        let (from, to, amt) = moves[b.logical_index() as usize];
+                        let f = b.read(&S_ACCT, base.word(from))?;
+                        b.write(&S_ACCT, base.word(from), f.wrapping_sub(amt))?;
+                        let v = b.read(&S_ACCT, base.word(to))?;
+                        b.write(&S_ACCT, base.word(to), v.wrapping_add(amt))?;
+                        Ok(true)
+                    });
+                    assert_eq!(run.committed, factor as u64);
+                }
+            });
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let total: u64 = (0..ACCOUNTS).map(|i| rt.mem().load(base.word(i))).sum();
+    assert_eq!(
+        total,
+        ACCOUNTS * SEED_BALANCE,
+        "merged transfers lost or duplicated money (factor {factor})"
+    );
+    (seconds, rt.collect_stats())
+}
+
+/// One timed run of the queue driver: a produce phase (every thread
+/// pushes its work-list into one shared queue) followed by a drain phase
+/// (every thread pops into its own accumulator cell until the queue is
+/// empty). Conservation of the value sum across both phases is the
+/// correctness check.
+fn queue_once(scale: Scale, factor: usize, threads: usize) -> (f64, TxStats) {
+    // Round down to whole windows so a non-power-of-two `--merge N`
+    // factor still produces exactly what the drain phase expects.
+    let rounds = logical_per_thread(scale) / factor;
+    let per_thread = rounds * factor;
+    let total_items = (per_thread * threads) as u64;
+    let rt = StmRuntime::new(
+        MemConfig {
+            max_threads: threads.max(1) + 1,
+            stack_words: 1 << 10,
+            heap_words: (total_items * 4 + (1 << 12)) as usize,
+        },
+        merged_cfg(factor),
+    );
+    let q = TxQueue::create(&rt, total_items + 2);
+    let cells = rt.alloc_global(threads.max(1) as u64 * 8);
+    let expected: u64 = (0..threads as u64)
+        .map(|t| (0..per_thread as u64).map(|i| value_of(t, i)).sum::<u64>())
+        .sum();
+    rt.reset_stats();
+    let start = std::time::Instant::now();
+    // Produce phase: merged pushes against a hot tail word.
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let rt = &rt;
+            s.spawn(move || {
+                let mut w = rt.spawn_worker();
+                let mut next = 0u64;
+                for _ in 0..rounds {
+                    let run = w.txn_batch(factor, |b| {
+                        let v = value_of(t as u64, next + b.logical_index());
+                        q.push(b, v)?;
+                        Ok(true)
+                    });
+                    assert_eq!(run.committed, factor as u64);
+                    next += run.committed;
+                }
+            });
+        }
+    });
+    // Drain phase: merged pops against a hot head word, each value folded
+    // into the popping thread's private accumulator cell.
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let rt = &rt;
+            s.spawn(move || {
+                let mut w = rt.spawn_worker();
+                let cell = cells.word(t as u64);
+                if factor > 1 {
+                    // A drained "stop" invocation still commits, so a
+                    // full window (committed == factor) means the queue
+                    // may have more; a short one means it is empty. At
+                    // factor 1 every window is "full" by that test, so
+                    // the unmerged loop below handles it instead.
+                    loop {
+                        let run = w.txn_batch(factor, |b| {
+                            let Some(v) = q.pop(b)? else {
+                                return Ok(false); // drained: stop, still commits
+                            };
+                            let s = b.read(&S_CELL, cell)?;
+                            b.write(&S_CELL, cell, s + v)?;
+                            Ok(true)
+                        });
+                        if run.committed < factor as u64 {
+                            break;
+                        }
+                    }
+                } else {
+                    loop {
+                        let drained = w.txn(|tx| {
+                            let Some(v) = q.pop(tx)? else {
+                                return Ok(true);
+                            };
+                            let s = tx.read(&S_CELL, cell)?;
+                            tx.write(&S_CELL, cell, s + v)?;
+                            Ok(false)
+                        });
+                        if drained {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let drained: u64 = (0..threads as u64)
+        .map(|t| rt.mem().load(cells.word(t)))
+        .sum();
+    assert_eq!(
+        drained, expected,
+        "queue driver lost or duplicated items (factor {factor})"
+    );
+    (seconds, rt.collect_stats())
+}
+
+fn value_of(thread: u64, i: u64) -> u64 {
+    (thread + 1) * 1_000_000 + i
+}
+
+/// One timed run of the STAMP intruder app with its merged packet loop.
+fn intruder_once(scale: Scale, factor: usize, threads: usize) -> (f64, TxStats) {
+    let cfg = merged_cfg(factor);
+    let out = Benchmark::Intruder.run(scale, cfg, threads);
+    assert!(
+        out.verified,
+        "intruder failed verification at merge factor {factor}"
+    );
+    (out.elapsed.as_secs_f64(), out.stats)
+}
+
+/// One measured (driver, merge-factor) cell.
+#[derive(Clone, Debug)]
+pub struct MergeRow {
+    pub driver: &'static str,
+    pub factor: usize,
+    pub threads: usize,
+    /// Median wall time over `runs` repetitions.
+    pub seconds: f64,
+    /// Committed *logical* transactions per second (`commits` counts
+    /// logical transactions; the work per driver is fixed, so this is the
+    /// throughput axis merging is supposed to move).
+    pub logical_per_sec: f64,
+    /// `aborts / (commits + aborts)` — merging must not buy throughput by
+    /// exploding the conflict rate.
+    pub abort_rate: f64,
+    /// `logical_per_sec / logical_per_sec(factor 1)` within the driver.
+    pub speedup_vs_f1: f64,
+    pub stats: TxStats,
+}
+
+fn run_driver(driver: &str, scale: Scale, factor: usize, threads: usize) -> (f64, TxStats) {
+    match driver {
+        "transfer" => transfer_once(scale, factor, threads),
+        "queue" => queue_once(scale, factor, threads),
+        "intruder" => intruder_once(scale, factor, threads),
+        other => panic!("unknown merge driver {other}"),
+    }
+}
+
+/// Run the matrix over `factors` (usually [`FACTORS`]; `expt merge
+/// --merge N` narrows it to `[1, N]`). Rows are driver-major in factor
+/// order, and the first factor of the list — factor 1 by construction —
+/// seeds the speedup baseline of the merged rows.
+pub fn merge_rows(opts: &ExptOpts, factors: &[usize]) -> Vec<MergeRow> {
+    let threads = opts.threads.max(1);
+    let mut rows = Vec::new();
+    for driver in DRIVERS {
+        let mut base_tput = f64::NAN;
+        for &factor in factors {
+            let samples: Vec<(f64, TxStats)> = (0..opts.runs.max(1))
+                .map(|_| run_driver(driver, opts.scale, factor, threads))
+                .collect();
+            let seconds = median(samples.iter().map(|s| s.0).collect());
+            let stats = samples.last().expect("runs >= 1").1;
+            let tput = if seconds > 0.0 {
+                stats.commits as f64 / seconds
+            } else {
+                0.0
+            };
+            if factor == factors[0] {
+                base_tput = tput;
+            }
+            let attempts = stats.commits + stats.aborts;
+            rows.push(MergeRow {
+                driver,
+                factor,
+                threads,
+                seconds,
+                logical_per_sec: tput,
+                abort_rate: if attempts > 0 {
+                    stats.aborts as f64 / attempts as f64
+                } else {
+                    0.0
+                },
+                speedup_vs_f1: if base_tput > 0.0 {
+                    tput / base_tput
+                } else {
+                    0.0
+                },
+                stats,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the `BENCH_merge.json` report (hand-written JSON; no serde in
+/// the offline container).
+pub fn merge_json(opts: &ExptOpts, factors: &[usize], rows: &[MergeRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"schema\": \"bench_merge/v1\",\n  \"scale\": \"{}\",\n  \"runs\": {},\n",
+        scale_name(opts.scale),
+        opts.runs.max(1)
+    ));
+    out.push_str(&format!("  \"debug_build\": {},\n", cfg!(debug_assertions)));
+    out.push_str(&format!("  \"threads\": {},\n", opts.threads.max(1)));
+    out.push_str(&format!(
+        "  \"factors\": [{}],\n",
+        factors
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"driver\": \"{}\", \"factor\": {}, \"threads\": {}, \
+             \"seconds\": {:.6}, \"logical_per_sec\": {:.1}, \"abort_rate\": {:.4}, \
+             \"speedup_vs_f1\": {:.3}, \"commits\": {}, \"aborts\": {}, \
+             \"merged_txns\": {}, \"merge_splits\": {}, \"merge_salvaged\": {}, \
+             \"backoff_waits\": {}}}{}\n",
+            esc(r.driver),
+            r.factor,
+            r.threads,
+            r.seconds,
+            r.logical_per_sec,
+            r.abort_rate,
+            r.speedup_vs_f1,
+            r.stats.commits,
+            r.stats.aborts,
+            r.stats.merged_txns,
+            r.stats.merge_splits,
+            r.stats.merge_salvaged,
+            r.stats.backoff_waits,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Markdown rendering for the terminal: one table per driver, merge
+/// factors as columns, throughput-speedup and abort-rate cells.
+pub fn render_markdown(opts: &ExptOpts, factors: &[usize], rows: &[MergeRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "## Transaction merging — logical-txn throughput vs. merge factor \
+         (scale {}, {} threads, median of {} runs)\n\n",
+        scale_name(opts.scale),
+        opts.threads.max(1),
+        opts.runs.max(1)
+    ));
+    out.push_str("| driver |");
+    for f in factors {
+        out.push_str(&format!(" x{f} |"));
+    }
+    out.push_str("\n|---|");
+    for _ in factors {
+        out.push_str("---:|");
+    }
+    out.push('\n');
+    for driver in DRIVERS {
+        let mut line = format!("| {driver} |");
+        for &f in factors {
+            match rows.iter().find(|r| r.driver == driver && r.factor == f) {
+                Some(r) => line.push_str(&format!(
+                    " {:.2}x ({:.1}% ab) |",
+                    r.speedup_vs_f1,
+                    100.0 * r.abort_rate
+                )),
+                None => line.push_str(" - |"),
+            }
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push('\n');
+    out
+}
+
+/// Regression gate: `driver` at merge factor `factor` must reach `min`
+/// logical-transaction-throughput speedup over the same driver's
+/// factor-1 row. Unlike the thread-scaling gate there is no hardware
+/// skip — merging amortizes per-commit costs even on one core — but the
+/// `expt` front end still self-skips in debug builds, where fixed costs
+/// are distorted.
+pub fn merge_speedup_gate(
+    rows: &[MergeRow],
+    driver: &str,
+    factor: usize,
+    min: f64,
+) -> Result<f64, String> {
+    let row = rows
+        .iter()
+        .find(|r| r.driver == driver && r.factor == factor)
+        .ok_or_else(|| format!("no merge row for {driver}/x{factor}"))?;
+    if row.speedup_vs_f1 >= min {
+        Ok(row.speedup_vs_f1)
+    } else {
+        Err(format!(
+            "{driver}: merge-factor-{factor} throughput speedup {:.2}x below required {min:.2}x",
+            row.speedup_vs_f1
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_row(driver: &'static str, factor: usize, speedup: f64) -> MergeRow {
+        MergeRow {
+            driver,
+            factor,
+            threads: 4,
+            seconds: 1.0 / speedup,
+            logical_per_sec: 1000.0 * speedup,
+            abort_rate: 0.01,
+            speedup_vs_f1: speedup,
+            stats: TxStats::default(),
+        }
+    }
+
+    #[test]
+    fn gate_passes_and_fails() {
+        let rows = vec![fake_row("transfer", 1, 1.0), fake_row("transfer", 8, 1.8)];
+        assert_eq!(merge_speedup_gate(&rows, "transfer", 8, 1.5).unwrap(), 1.8);
+        assert!(merge_speedup_gate(&rows, "transfer", 8, 2.5).is_err());
+        assert!(merge_speedup_gate(&rows, "queue", 8, 1.0).is_err());
+    }
+
+    #[test]
+    fn json_is_balanced_and_carries_the_schema() {
+        let opts = ExptOpts {
+            scale: Scale::Test,
+            threads: 2,
+            runs: 1,
+        };
+        let rows = vec![fake_row("transfer", 1, 1.0)];
+        let json = merge_json(&opts, &FACTORS, &rows);
+        assert!(json.contains("\"schema\": \"bench_merge/v1\""));
+        assert!(json.contains("\"factors\": [1, 2, 8, 32]"));
+        assert!(json.contains("\"speedup_vs_f1\": 1.000"));
+        assert!(json.contains("\"merge_salvaged\": 0"));
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}'));
+        assert!(balance('[', ']'));
+    }
+
+    // One run of the full matrix at Test scale; CI additionally smokes it
+    // through `expt merge --scale test`.
+    #[test]
+    fn rows_cover_drivers_and_factors() {
+        let opts = ExptOpts {
+            scale: Scale::Test,
+            threads: 2,
+            runs: 1,
+        };
+        let rows = merge_rows(&opts, &FACTORS);
+        assert_eq!(rows.len(), DRIVERS.len() * FACTORS.len());
+        assert!(!render_markdown(&opts, &FACTORS, &rows).is_empty());
+        for r in &rows {
+            assert!(r.seconds >= 0.0 && r.logical_per_sec > 0.0, "{r:?}");
+            assert!((0.0..=1.0).contains(&r.abort_rate), "{r:?}");
+            if r.factor > 1 {
+                assert!(
+                    r.stats.merged_txns > 0,
+                    "factor-{} rows must actually merge: {r:?}",
+                    r.factor
+                );
+            } else {
+                assert_eq!(r.stats.merged_txns, 0, "{r:?}");
+            }
+        }
+        // Factor-1 rows seed their own speedup baseline.
+        for r in rows.iter().filter(|r| r.factor == 1) {
+            assert!((r.speedup_vs_f1 - 1.0).abs() < 1e-9, "{r:?}");
+        }
+    }
+}

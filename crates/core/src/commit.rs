@@ -15,15 +15,28 @@ use crate::orec::{is_locked, owner_of};
 use crate::worker::{AllocHome, Tx, TxResult, WorkerCtx};
 
 /// Snapshot of the log positions at nested-transaction begin; partial abort
-/// rolls back to these marks.
-struct Checkpoint {
-    reads: usize,
+/// rolls back to these marks. Also the *watermark* a merged batch
+/// (`crate::batch`) records at every logical-transaction boundary: on a
+/// split, truncating the logs to the last clean checkpoint salvages the
+/// committed-so-far logical transactions.
+pub(crate) struct Checkpoint {
+    pub(crate) reads: usize,
     locks: usize,
     undo: usize,
     allocs: usize,
     frees: usize,
     sp: u64,
     nur: NurseryCp,
+}
+
+/// One logical-transaction boundary of a merged batch: the checkpoint
+/// taken when the boundary's nesting level was pushed, plus whether the
+/// boundary starts a fresh closure *invocation* (splits may only rewind to
+/// invocation starts — a closure body cannot be resumed mid-flight, so
+/// internal `boundary()` segments of one invocation roll back together).
+pub(crate) struct BatchMark {
+    pub(crate) cp: Checkpoint,
+    pub(crate) invocation_start: bool,
 }
 
 impl<'rt> WorkerCtx<'rt> {
@@ -75,6 +88,35 @@ impl<'rt> WorkerCtx<'rt> {
         true
     }
 
+    /// Position of the first read-set entry that no longer validates, or
+    /// `None` when the whole read set is consistent. The watermark-aware
+    /// batch commit uses the position to find the earliest logical
+    /// transaction touched by a conflict: everything before it is a clean
+    /// prefix that can be salvaged. Scan order is append order, which is
+    /// execution order — so "first invalid entry" and "earliest dirty
+    /// logical transaction" coincide.
+    pub(crate) fn first_invalid_read(&self) -> Option<usize> {
+        for (i, r) in self.reads.iter().enumerate() {
+            let cur = self.rt.orecs.at(r.idx).load(Ordering::Acquire);
+            if cur == r.version {
+                continue;
+            }
+            if is_locked(cur) && owner_of(cur) == self.tid() as u64 {
+                let prev = self
+                    .locks
+                    .iter()
+                    .find(|l| l.idx == r.idx)
+                    .map(|l| l.prev)
+                    .unwrap_or(u64::MAX);
+                if prev == r.version {
+                    continue;
+                }
+            }
+            return Some(i);
+        }
+        None
+    }
+
     /// Timestamp extension: re-read the clock, validate, and adopt the new
     /// snapshot on success (TinySTM-style; keeps optimistic readers
     /// consistent without visible-reader locking).
@@ -121,7 +163,7 @@ impl<'rt> WorkerCtx<'rt> {
         true
     }
 
-    fn finish_commit(&mut self) {
+    pub(crate) fn finish_commit(&mut self) {
         // Deferred frees execute now that the transaction is durable.
         let n_frees = self.frees.len();
         for i in 0..n_frees {
@@ -194,13 +236,11 @@ impl<'rt> WorkerCtx<'rt> {
         self.stats.absorb(&delta);
     }
 
-    /// Closed-nested child transaction with partial abort (paper §2.2.1).
-    pub(crate) fn nested<T>(
-        &mut self,
-        f: impl FnOnce(&mut Tx<'_, 'rt>) -> TxResult<T>,
-    ) -> TxResult<Result<T, u64>> {
-        debug_assert!(self.depth >= 1, "nested() outside a transaction");
-        let cp = Checkpoint {
+    /// Snapshot the current log positions (the state a partial rollback
+    /// restores). Taken at nested-transaction begin and at every logical
+    /// boundary of a merged batch.
+    pub(crate) fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
             reads: self.reads.len(),
             locks: self.locks.len(),
             undo: self.undo.len(),
@@ -208,16 +248,33 @@ impl<'rt> WorkerCtx<'rt> {
             frees: self.frees.len(),
             sp: self.stack.sp(),
             nur: self.nursery_checkpoint(),
-        };
+        }
+    }
+
+    /// Open a new nesting level at `cp` (depth, sp mark, nursery
+    /// watermark, capture cache): the shared entry sequence of
+    /// [`WorkerCtx::nested`] and a batch's logical boundary.
+    pub(crate) fn push_level(&mut self, cp: &Checkpoint) {
         self.depth += 1;
         self.sp_marks.push(cp.sp);
         self.sp_inner = cp.sp;
-        // Snapshot the bump pointer as the child's nursery watermark (the
+        // Snapshot the bump pointer as the level's nursery watermark (the
         // heap analogue of the sp mark pushed above).
         self.nursery_push_level();
         // The cached block (if any) was captured at a shallower level; for
-        // the child it is ancestor-captured and must take the undo path.
+        // the new level it is ancestor-captured and must take the undo
+        // path.
         self.clear_capture_cache();
+    }
+
+    /// Closed-nested child transaction with partial abort (paper §2.2.1).
+    pub(crate) fn nested<T>(
+        &mut self,
+        f: impl FnOnce(&mut Tx<'_, 'rt>) -> TxResult<T>,
+    ) -> TxResult<Result<T, u64>> {
+        debug_assert!(self.depth >= 1, "nested() outside a transaction");
+        let cp = self.checkpoint();
+        self.push_level(&cp);
         let result = {
             let mut tx = Tx(self);
             f(&mut tx)
@@ -272,7 +329,7 @@ impl<'rt> WorkerCtx<'rt> {
         }
     }
 
-    fn partial_rollback(&mut self, cp: Checkpoint) {
+    pub(crate) fn partial_rollback(&mut self, cp: Checkpoint) {
         while self.undo.len() > cp.undo {
             let u = self.undo.pop().unwrap();
             self.mem.store(u.addr, u.old);

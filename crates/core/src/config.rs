@@ -96,6 +96,21 @@ impl Mode {
     }
 }
 
+/// How `WorkerCtx::txn_batch` reacts when a merged physical transaction
+/// hits a conflict partway through its logical transactions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MergeSplitPolicy {
+    /// Truncate the logs to the last clean logical boundary, commit the
+    /// salvaged prefix, and retry only the conflicting remainder unmerged
+    /// (the default; keeps committed work under contention).
+    #[default]
+    Salvage,
+    /// Discard the whole merged window (full rollback) and retry its first
+    /// logical transaction unmerged before resuming merging. Simpler
+    /// recovery, more wasted work under contention.
+    Restart,
+}
+
 /// Full runtime configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TxConfig {
@@ -139,7 +154,20 @@ pub struct TxConfig {
     /// `barrier_dispatch` microbenchmark rely on that. Not a paper
     /// mechanism; testing/measurement aid only.
     pub reference_dispatch: bool,
+    /// Maximum merge factor `WorkerCtx::txn_batch` accepts: how many
+    /// logical (application) transactions may execute inside one physical
+    /// transaction. `1` (the default) disables merging — `txn_batch(1, ..)`
+    /// still works but every logical transaction is its own physical
+    /// transaction. Must be in `1..=MERGE_MAX_LIMIT`.
+    pub merge_max: u32,
+    /// Conflict recovery for merged transactions; see [`MergeSplitPolicy`].
+    pub merge_split_policy: MergeSplitPolicy,
 }
+
+/// Upper bound for [`TxConfig::merge_max`]: each logical boundary holds a
+/// nesting level open until the physical commit, so the factor bounds the
+/// checkpoint / watermark stack depth.
+pub const MERGE_MAX_LIMIT: u32 = 4096;
 
 impl Default for TxConfig {
     fn default() -> Self {
@@ -153,6 +181,8 @@ impl Default for TxConfig {
             backoff_shift_max: 14,
             max_attempts: 50_000_000,
             reference_dispatch: false,
+            merge_max: 1,
+            merge_split_policy: MergeSplitPolicy::Salvage,
         }
     }
 }
@@ -178,6 +208,18 @@ pub enum ConfigError {
     /// `backoff_shift_max` above 32: `1 << shift` spins would overflow
     /// any sane backoff budget.
     BackoffShiftTooLarge(u32),
+    /// `merge_max` of zero: a batch must hold at least one logical
+    /// transaction (`merge_max = 1` is how merging is *disabled*).
+    ZeroMergeMax,
+    /// `merge_max` above [`MERGE_MAX_LIMIT`]: every logical boundary keeps
+    /// a nesting level (checkpoint + watermark) open until the physical
+    /// commit, so the factor bounds live bookkeeping.
+    MergeMaxTooLarge(u32),
+    /// `merge_max > 1` together with `reference_dispatch`: the
+    /// enum-dispatch pipeline is the differential oracle for *unmerged*
+    /// per-access barrier behavior; merged transactions change the
+    /// physical commit structure it is compared against.
+    MergeWithReferenceDispatch,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -199,6 +241,19 @@ impl std::fmt::Display for ConfigError {
                     "backoff_shift_max {v} exceeds the supported maximum of 32"
                 )
             }
+            ConfigError::ZeroMergeMax => write!(
+                f,
+                "merge_max must be at least 1 (1 disables transaction merging)"
+            ),
+            ConfigError::MergeMaxTooLarge(v) => write!(
+                f,
+                "merge_max {v} exceeds the supported maximum of {MERGE_MAX_LIMIT}"
+            ),
+            ConfigError::MergeWithReferenceDispatch => write!(
+                f,
+                "transaction merging (merge_max > 1) is incompatible with the \
+                 reference_dispatch differential oracle"
+            ),
         }
     }
 }
@@ -286,6 +341,20 @@ impl TxConfigBuilder {
         self
     }
 
+    /// Maximum merge factor for `WorkerCtx::txn_batch` (default 1 —
+    /// merging disabled).
+    pub fn merge_max(mut self, n: u32) -> Self {
+        self.cfg.merge_max = n;
+        self
+    }
+
+    /// Conflict recovery for merged transactions (default
+    /// [`MergeSplitPolicy::Salvage`]).
+    pub fn merge_split_policy(mut self, policy: MergeSplitPolicy) -> Self {
+        self.cfg.merge_split_policy = policy;
+        self
+    }
+
     /// Validate the combination and produce the configuration.
     pub fn build(self) -> Result<TxConfig, ConfigError> {
         let c = &self.cfg;
@@ -303,6 +372,15 @@ impl TxConfigBuilder {
         }
         if c.backoff_shift_max > 32 {
             return Err(ConfigError::BackoffShiftTooLarge(c.backoff_shift_max));
+        }
+        if c.merge_max == 0 {
+            return Err(ConfigError::ZeroMergeMax);
+        }
+        if c.merge_max > MERGE_MAX_LIMIT {
+            return Err(ConfigError::MergeMaxTooLarge(c.merge_max));
+        }
+        if c.merge_max > 1 && c.reference_dispatch {
+            return Err(ConfigError::MergeWithReferenceDispatch);
         }
         Ok(self.cfg)
     }
@@ -441,9 +519,47 @@ mod tests {
             Err(ConfigError::BackoffShiftTooLarge(40))
         );
 
+        // Merge knobs: zero and over-limit factors are rejected, and the
+        // reference-dispatch oracle cannot be combined with real merging.
+        assert_eq!(
+            TxConfig::builder().merge_max(0).build(),
+            Err(ConfigError::ZeroMergeMax)
+        );
+        assert_eq!(
+            TxConfig::builder().merge_max(MERGE_MAX_LIMIT + 1).build(),
+            Err(ConfigError::MergeMaxTooLarge(MERGE_MAX_LIMIT + 1))
+        );
+        assert_eq!(
+            TxConfig::builder()
+                .merge_max(8)
+                .reference_dispatch(true)
+                .build(),
+            Err(ConfigError::MergeWithReferenceDispatch)
+        );
+        // merge_max = 1 (merging disabled) stays compatible with the
+        // reference pipeline; existing oracle configs keep building.
+        let ref_cfg = TxConfig::builder()
+            .reference_dispatch(true)
+            .build()
+            .unwrap();
+        assert_eq!(ref_cfg.merge_max, 1);
+        let merged = TxConfig::builder()
+            .merge_max(32)
+            .merge_split_policy(MergeSplitPolicy::Restart)
+            .build()
+            .unwrap();
+        assert_eq!(merged.merge_max, 32);
+        assert_eq!(merged.merge_split_policy, MergeSplitPolicy::Restart);
+        assert_eq!(
+            TxConfig::default().merge_split_policy,
+            MergeSplitPolicy::Salvage
+        );
+
         // Errors render human-readable messages (the expt CLI prints them).
         let msg = format!("{}", ConfigError::NurseryWithoutBackingLog);
         assert!(msg.contains("backing allocation log"), "{msg}");
+        let msg = format!("{}", ConfigError::MergeWithReferenceDispatch);
+        assert!(msg.contains("reference_dispatch"), "{msg}");
 
         // Every remaining knob flows through.
         let full = TxConfig::builder()

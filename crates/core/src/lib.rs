@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 
 mod barrier;
+mod batch;
 mod clock;
 mod commit;
 mod config;
@@ -75,8 +76,11 @@ mod txalloc;
 mod typed;
 mod worker;
 
+pub use batch::{BatchRun, TxBatch};
 pub use capture::{Capture, CapturePolicy, LogKind};
-pub use config::{CheckScope, ConfigError, Mode, TxConfig, TxConfigBuilder};
+pub use config::{
+    CheckScope, ConfigError, MergeSplitPolicy, Mode, TxConfig, TxConfigBuilder, MERGE_MAX_LIMIT,
+};
 pub use orec::OrecTable;
 pub use runtime::StmRuntime;
 pub use site::Site;

@@ -48,6 +48,26 @@ pub(crate) struct RangedDelta {
     pub fallbacks: u64,
 }
 
+/// Hot-path counters for transaction merging (`WorkerCtx::txn_batch`)
+/// within a single *physical* transaction. Kept in the pending
+/// [`TxnDelta`] — not bumped straight into [`TxStats`] — so the batch
+/// machinery inherits the once-per-physical-transaction absorption
+/// contract: logical boundaries never flush stats, only a physical commit
+/// or rollback does.
+#[derive(Default, Clone, Copy, Debug)]
+pub(crate) struct MergeDelta {
+    /// Logical transactions committed inside a physical transaction that
+    /// carried at least two of them.
+    pub merged_txns: u64,
+    /// Split events: a conflict (or watermark validation failure) forced
+    /// the batch to truncate to a clean boundary.
+    pub splits: u64,
+    /// Logical transactions salvaged by a split — committed early by
+    /// truncating the logs to their watermark instead of being rolled
+    /// back with the conflicting remainder.
+    pub salvaged: u64,
+}
+
 /// Both directions of [`BarrierDelta`] plus the ranged-op telemetry; lives
 /// on the worker and is taken (reset to zero) when flushed at commit or
 /// rollback.
@@ -56,6 +76,7 @@ pub(crate) struct TxnDelta {
     pub reads: BarrierDelta,
     pub writes: BarrierDelta,
     pub ranged: RangedDelta,
+    pub merge: MergeDelta,
 }
 
 /// Counters for one barrier direction (reads or writes).
@@ -206,6 +227,20 @@ pub struct TxStats {
     /// and whole ops routed through the per-word loop (classify /
     /// annotation instrumentation, reference dispatch).
     pub ranged_fallbacks: u64,
+    /// Logical transactions committed inside a *merged* physical
+    /// transaction (one that carried ≥ 2 logical transactions; see
+    /// `WorkerCtx::txn_batch`). A subset of `commits`, which counts every
+    /// logical transaction regardless of merging.
+    pub merged_txns: u64,
+    /// Batch splits: a conflict or commit-time validation failure forced a
+    /// merged transaction to truncate to its last clean logical boundary,
+    /// committing the prefix and retrying the remainder unmerged.
+    pub merge_splits: u64,
+    /// Logical transactions salvaged (committed early) by batch splits.
+    pub merge_salvaged: u64,
+    /// Contention-manager backoff waits: one per abort-triggered
+    /// decorrelated-jitter spin/yield episode in the retry loops.
+    pub backoff_waits: u64,
     /// Read-barrier counters.
     pub reads: BarrierStats,
     /// Write-barrier counters.
@@ -223,6 +258,9 @@ impl TxStats {
         self.ranged_writes += d.ranged.writes;
         self.ranged_spans += d.ranged.spans;
         self.ranged_fallbacks += d.ranged.fallbacks;
+        self.merged_txns += d.merge.merged_txns;
+        self.merge_splits += d.merge.splits;
+        self.merge_salvaged += d.merge.salvaged;
     }
 
     /// Accumulate another worker's statistics into this one.
@@ -242,6 +280,10 @@ impl TxStats {
         self.ranged_writes += o.ranged_writes;
         self.ranged_spans += o.ranged_spans;
         self.ranged_fallbacks += o.ranged_fallbacks;
+        self.merged_txns += o.merged_txns;
+        self.merge_splits += o.merge_splits;
+        self.merge_salvaged += o.merge_salvaged;
+        self.backoff_waits += o.backoff_waits;
         self.reads.merge(&o.reads);
         self.writes.merge(&o.writes);
     }
@@ -281,6 +323,10 @@ mod tests {
         b.ranged_reads = 3;
         b.ranged_spans = 2;
         b.ranged_fallbacks = 1;
+        b.merged_txns = 8;
+        b.merge_splits = 2;
+        b.merge_salvaged = 5;
+        b.backoff_waits = 4;
         a.merge(&b);
         assert_eq!(a.commits, 5);
         assert_eq!(a.aborts, 1);
@@ -291,6 +337,10 @@ mod tests {
         assert_eq!(a.ranged_writes, 0);
         assert_eq!(a.ranged_spans, 2);
         assert_eq!(a.ranged_fallbacks, 1);
+        assert_eq!(a.merged_txns, 8);
+        assert_eq!(a.merge_splits, 2);
+        assert_eq!(a.merge_salvaged, 5);
+        assert_eq!(a.backoff_waits, 4);
     }
 
     #[test]
@@ -301,11 +351,17 @@ mod tests {
         d.ranged.writes = 1;
         d.ranged.spans = 3;
         d.ranged.fallbacks = 4;
+        d.merge.merged_txns = 6;
+        d.merge.splits = 1;
+        d.merge.salvaged = 2;
         s.absorb(&d);
         assert_eq!(s.ranged_reads, 2);
         assert_eq!(s.ranged_writes, 1);
         assert_eq!(s.ranged_spans, 3);
         assert_eq!(s.ranged_fallbacks, 4);
+        assert_eq!(s.merged_txns, 6);
+        assert_eq!(s.merge_splits, 1);
+        assert_eq!(s.merge_salvaged, 2);
     }
 
     #[test]

@@ -2,6 +2,7 @@ use capture::{NurseryLog, PrivateLog, RangeTree};
 use txmem::{words_to_bytes, Addr, ThreadAlloc, ThreadStack};
 
 use crate::barrier::{CaptureLogs, DispatchTable};
+use crate::commit::BatchMark;
 use crate::config::{CheckScope, Mode, TxConfig};
 use crate::runtime::StmRuntime;
 use crate::site::Site;
@@ -213,6 +214,22 @@ pub struct WorkerCtx<'rt> {
     pub(crate) nursery_spare: (u64, u64),
     /// Consecutive aborts of the currently-retried transaction.
     pub(crate) attempts: u64,
+    /// Previous decorrelated-jitter backoff spin count (the `prev` of
+    /// `sleep = rand(base, prev * 3)`); reset with `attempts`.
+    pub(crate) backoff_prev: u64,
+    /// Logical-boundary checkpoints of the active merged batch
+    /// (`WorkerCtx::txn_batch`), innermost last. Empty outside a batch and
+    /// within a batch window's first logical transaction. Buffer reused
+    /// across windows.
+    pub(crate) batch_marks: Vec<BatchMark>,
+    /// Logical transactions completed so far in the active batch window.
+    pub(crate) batch_logical: u64,
+    /// Logical transactions durably committed by earlier windows of the
+    /// active `txn_batch` call (makes `TxBatch::logical_index`
+    /// batch-relative across splits).
+    pub(crate) batch_base: u64,
+    /// Whether a `txn_batch` window is executing (gates `TxBatch::boundary`).
+    pub(crate) in_batch: bool,
     rng: u64,
 }
 
@@ -263,6 +280,11 @@ impl<'rt> WorkerCtx<'rt> {
             nursery_reclaim: Vec::with_capacity(8),
             nursery_spare: (0, 0),
             attempts: 0,
+            backoff_prev: 0,
+            batch_marks: Vec::new(),
+            batch_logical: 0,
+            batch_base: 0,
+            in_batch: false,
             rng: 0x9E3779B97F4A7C15 ^ (tid as u64 + 1).wrapping_mul(0xA24BAED4963EE407),
         }
     }
@@ -486,6 +508,7 @@ impl<'rt> WorkerCtx<'rt> {
     ) -> Result<T, u64> {
         debug_assert_eq!(self.depth, 0, "txn() cannot nest; use Tx::nested");
         self.attempts = 0;
+        self.backoff_prev = 0;
         loop {
             self.begin_top();
             let result = {
@@ -520,10 +543,20 @@ impl<'rt> WorkerCtx<'rt> {
             "transaction livelocked: {} consecutive aborts",
             self.attempts
         );
-        // Exponential backoff with jitter.
-        let shift = self.attempts.min(self.cfg.backoff_shift_max as u64) as u32;
-        let max = 1u64 << shift;
-        let spins = self.next_rand() & (max - 1);
+        // Exponential backoff with *decorrelated* jitter: each wait is a
+        // uniform draw from [BASE, 3 * previous wait], capped at
+        // `2^backoff_shift_max` spins. Unlike the truncated-exponential
+        // schedule this replaces, chronic aborters do not cluster at the
+        // cap and re-collide on the same orec stripes — the next wait is
+        // seeded by the *drawn* wait, not the attempt count, so repeat
+        // losers decorrelate from each other while still ramping up
+        // exponentially in expectation.
+        const BASE: u64 = 16;
+        let cap = (1u64 << self.cfg.backoff_shift_max).max(BASE + 1);
+        let hi = (self.backoff_prev * 3).clamp(BASE + 1, cap);
+        let spins = BASE + self.next_rand() % (hi - BASE);
+        self.backoff_prev = spins;
+        self.stats.backoff_waits += 1;
         for _ in 0..spins {
             std::hint::spin_loop();
         }
