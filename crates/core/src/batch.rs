@@ -327,6 +327,7 @@ impl<'rt> WorkerCtx<'rt> {
         if self.locks.is_empty() {
             // Read-only physical batch: incremental validation holds the
             // snapshot invariant, the commit is clock-silent.
+            self.durable_prepare(None, logical);
             return self.finish_window_commit(logical, split, true);
         }
         // One GV4 ticket per physical batch — the amortized clock CAS.
@@ -353,6 +354,7 @@ impl<'rt> WorkerCtx<'rt> {
                             // The surviving prefix is read-only: it
                             // serializes at rv like any read-only commit,
                             // no re-validation needed.
+                            self.durable_prepare(None, logical);
                             return self.finish_window_commit(logical, split, true);
                         }
                     }
@@ -367,6 +369,10 @@ impl<'rt> WorkerCtx<'rt> {
                 }
             }
         }
+        // One redo record for the whole batch — durability's share of the
+        // amortization — encoded while the surviving locks are still held
+        // and flushed (strict mode) before they publish.
+        self.durable_prepare(Some(ticket.wv), logical);
         // Publish every surviving lock at the batch's single write
         // version.
         let wv = ticket.wv;

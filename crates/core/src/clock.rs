@@ -106,6 +106,15 @@ impl CommitClock {
             },
         }
     }
+
+    /// Push the clock forward to at least `v` (used by crash recovery so
+    /// that post-recovery commits are versioned strictly after every
+    /// replayed record). `v` must be even — odd values would collide with
+    /// the orec lock bit.
+    pub fn advance_to(&self, v: u64) {
+        debug_assert_eq!(v % 2, 0, "clock values are always even");
+        self.value.fetch_max(v, Ordering::AcqRel);
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +179,17 @@ mod tests {
         assert!(t.adopted);
         assert_eq!(t.wv % 2, 0);
         assert_eq!(t.wv, 10);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = CommitClock::new();
+        c.advance_to(10);
+        assert_eq!(c.read(), 10);
+        c.advance_to(4); // never regresses
+        assert_eq!(c.read(), 10);
+        let t = c.writer_ticket(10);
+        assert_eq!(t.wv, 12, "tickets continue past the advanced value");
     }
 
     #[test]

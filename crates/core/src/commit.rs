@@ -9,7 +9,9 @@
 use std::sync::atomic::Ordering;
 
 use capture::CapturePolicy;
+use txmem::{Addr, HEADER_BYTES, WORD_BYTES};
 
+use crate::durable::RecordEncoder;
 use crate::nursery::NurseryCp;
 use crate::orec::{is_locked, owner_of};
 use crate::worker::{AllocHome, Tx, TxResult, WorkerCtx};
@@ -50,6 +52,12 @@ impl<'rt> WorkerCtx<'rt> {
                 && self.frees.is_empty(),
             "stale transaction logs at begin"
         );
+        if self.durable_on {
+            // Join the checkpointer's quiesce protocol *before* sampling
+            // the clock: the snapshot clock must bound every transaction
+            // that could have effects outside the snapshot.
+            self.rt.durable.as_ref().unwrap().enter_active();
+        }
         self.rv = self.rt.clock.read();
         self.depth = 1;
         self.sp_marks.clear();
@@ -139,6 +147,7 @@ impl<'rt> WorkerCtx<'rt> {
             // validation already guaranteed a consistent snapshot at `rv`;
             // the commit is clock-silent.
             self.stats.commits_ro += 1;
+            self.durable_prepare(None, 1);
             self.finish_commit();
             return true;
         }
@@ -153,6 +162,11 @@ impl<'rt> WorkerCtx<'rt> {
             self.rollback_top();
             return false;
         }
+        // Durable record *before* publication: with a strict flush batch
+        // the record is on disk before any other transaction can observe
+        // (and depend on) these writes, so the on-disk record set at any
+        // crash instant is dependency-closed.
+        self.durable_prepare(Some(ticket.wv), 1);
         // Publish: release every lock at the new version. Undo values are
         // already in place (in-place update STM).
         for l in &self.locks {
@@ -193,6 +207,10 @@ impl<'rt> WorkerCtx<'rt> {
         self.stats.commits += 1;
         let delta = std::mem::take(&mut self.pending);
         self.stats.absorb(&delta);
+        if self.durable_on {
+            self.durable_flush(false);
+            self.rt.durable.as_ref().unwrap().exit_active();
+        }
     }
 
     /// Roll back the whole transaction: restore undo values (newest first),
@@ -234,6 +252,11 @@ impl<'rt> WorkerCtx<'rt> {
         self.stats.aborts += 1;
         let delta = std::mem::take(&mut self.pending);
         self.stats.absorb(&delta);
+        if self.durable_on {
+            // Aborts wrote nothing to the redo buffer (records are encoded
+            // only on the commit path), so only the quiesce gate unwinds.
+            self.rt.durable.as_ref().unwrap().exit_active();
+        }
     }
 
     /// Snapshot the current log positions (the state a partial rollback
@@ -327,6 +350,140 @@ impl<'rt> WorkerCtx<'rt> {
                 Err(e)
             }
         }
+    }
+
+    /// Encode this physical commit's redo record into the worker's durable
+    /// buffer (no-op on non-durable runtimes). Must run *while the write
+    /// locks are still held*, before publication: in an in-place-update STM
+    /// current memory *is* the committed value, and the locks keep every
+    /// logged word race-free.
+    ///
+    /// `wv` is the commit version drawn by the caller (`None` for a
+    /// lock-free commit, which only needs a ticket if it logs content
+    /// ranges); `logical` is how many logical transactions this physical
+    /// commit carries (1, or a merged batch's count).
+    ///
+    /// What gets logged (DESIGN.md §11):
+    /// * **puts** — undo-log entries *outside* every in-transaction
+    ///   allocation: the genuinely shared writes. Values are read back
+    ///   from memory, deduplicated per address.
+    /// * **content ranges** — one coalesced range per *surviving*
+    ///   allocation, header word included, covering every write the
+    ///   capture machinery elided into it.
+    /// * **nothing** for stack/nursery-dead/freed memory — that is the
+    ///   paper's capture dividend extended to durability, accounted in
+    ///   `TxStats::durable_skipped`.
+    ///
+    /// Transactions with an empty payload (pure reads) write no record;
+    /// their logical count is folded into the *next* record's cumulative
+    /// `logical_total`, which stays exact because stateless transactions
+    /// are unobservable in recovered memory.
+    pub(crate) fn durable_prepare(&mut self, wv: Option<u64>, logical: u64) {
+        if !self.durable_on {
+            return;
+        }
+        let ds = self.rt.durable.as_ref().unwrap();
+        let total = ds.add_logical(self.tid(), logical);
+        // Committed write events the capture machinery kept out of the log.
+        let w = &self.pending.writes;
+        self.stats.durable_skipped += w.elided_stack
+            + w.elided_heap
+            + w.elided_nursery
+            + w.elided_static
+            + w.elided_static_interproc
+            + w.elided_annotation
+            + w.parent_captured;
+        // Surviving allocations → coalesced content ranges. The header
+        // word rides along so recovery restores allocator metadata too.
+        // (`dur_ranges`/`dur_puts` are worker-owned scratch: this runs on
+        // every durable commit, so it must not allocate.)
+        let mut ranges = std::mem::take(&mut self.dur_ranges);
+        ranges.clear();
+        for rec in &self.allocs {
+            if !rec.freed {
+                let start = rec.addr.raw() - HEADER_BYTES;
+                // The header word holds the block's total byte count
+                // (header included) — exactly the span to log.
+                let total_bytes = self.mem.load_private(Addr(start));
+                ranges.push((start, total_bytes / WORD_BYTES));
+            }
+        }
+        // Shared puts: undo entries not inside *any* in-transaction
+        // allocation (live ones are covered by their range; dead ones are
+        // not recoverable state). Sorted + deduplicated so re-written
+        // words are logged once.
+        let mut puts = std::mem::take(&mut self.dur_puts);
+        puts.clear();
+        puts.extend(self.undo.iter().map(|u| u.addr.raw()).filter(|&a| {
+            !self
+                .allocs
+                .iter()
+                .any(|r| a >= r.addr.raw() && a < r.addr.raw() + r.usable)
+        }));
+        puts.sort_unstable();
+        puts.dedup();
+        if puts.is_empty() && ranges.is_empty() {
+            self.dur_ranges = ranges;
+            self.dur_puts = puts;
+            return;
+        }
+        let wv = match wv {
+            Some(v) => v,
+            None => {
+                // Lock-free commit with surviving allocations: draw a real
+                // ticket so the record orders strictly after any earlier
+                // writer (or freer) of recycled space. Pure-put records
+                // can't reach here — an undo entry outside the allocation
+                // set implies a lock.
+                debug_assert!(!ranges.is_empty());
+                let t = self.rt.clock.writer_ticket(self.rv);
+                if t.adopted {
+                    self.stats.clock_adopts += 1;
+                }
+                t.wv
+            }
+        };
+        let seq = ds.next_seq(self.tid());
+        let mut enc = RecordEncoder::new(seq, wv, self.rt.heap.frontier(), total);
+        let mut words = 0u64;
+        for &a in &puts {
+            enc.put(a, self.mem.load_private(Addr(a)));
+            words += 1;
+        }
+        for &(start, n) in &ranges {
+            enc.begin_range(start, n as u32);
+            for i in 0..n {
+                enc.word(self.mem.load_private(Addr(start + i * WORD_BYTES)));
+            }
+            words += n;
+        }
+        enc.finish(&mut self.dur_buf);
+        self.dur_ranges = ranges;
+        self.dur_puts = puts;
+        self.dur_records += 1;
+        self.stats.durable_words += words;
+        if self.cfg.durable_flush_batch == 1 {
+            // Strict mode: on disk before the caller publishes the locks.
+            self.durable_flush(true);
+        }
+    }
+
+    /// Append the buffered redo records to this worker's log. `force`
+    /// flushes unconditionally (strict-ordering commits, worker drop);
+    /// otherwise the buffer flushes once it holds a full group-commit
+    /// batch (`TxConfig::durable_flush_batch`).
+    pub(crate) fn durable_flush(&mut self, force: bool) {
+        if !self.durable_on || self.dur_records == 0 {
+            return;
+        }
+        if !force && self.dur_records < self.cfg.durable_flush_batch {
+            return;
+        }
+        let ds = self.rt.durable.as_ref().unwrap();
+        ds.disk.append(&self.dur_log_name, &self.dur_buf);
+        self.dur_buf.clear();
+        self.dur_records = 0;
+        self.stats.durable_flushes += 1;
     }
 
     pub(crate) fn partial_rollback(&mut self, cp: Checkpoint) {

@@ -162,12 +162,35 @@ pub struct TxConfig {
     pub merge_max: u32,
     /// Conflict recovery for merged transactions; see [`MergeSplitPolicy`].
     pub merge_split_policy: MergeSplitPolicy,
+    /// Durable commit mode: every physical commit appends its write set to
+    /// a per-worker append-only redo log on the runtime's simulated disk
+    /// (see `stm::SimDisk`), from which [`crate::recover`] can rebuild the
+    /// heap after a crash. Captured writes — stack, in-transaction heap
+    /// blocks, nursery — are *not* logged per word: a surviving block is
+    /// logged once as a coalesced final-content range at commit, and stack
+    /// scratch is not logged at all. Requires
+    /// [`StmRuntime::new_durable`](crate::StmRuntime::new_durable).
+    pub durable: bool,
+    /// Group-commit factor for the durable redo log: how many physical
+    /// commits a worker buffers before appending them to its log in one
+    /// disk operation. `1` (the default) is strict durability — the record
+    /// is on disk *before* the commit publishes its locks, so no
+    /// transaction can observe unlogged state. Values above 1 trade the
+    /// last `durable_flush_batch - 1` commits on a crash for fewer disk
+    /// operations (relaxed durability; recovery still yields a consistent
+    /// committed prefix). Must be in `1..=DURABLE_FLUSH_BATCH_LIMIT`.
+    pub durable_flush_batch: u32,
 }
 
 /// Upper bound for [`TxConfig::merge_max`]: each logical boundary holds a
 /// nesting level open until the physical commit, so the factor bounds the
 /// checkpoint / watermark stack depth.
 pub const MERGE_MAX_LIMIT: u32 = 4096;
+
+/// Upper bound for [`TxConfig::durable_flush_batch`]: the group-commit
+/// buffer holds every unflushed record in worker memory, and a crash loses
+/// up to `durable_flush_batch - 1` commits, so the factor bounds both.
+pub const DURABLE_FLUSH_BATCH_LIMIT: u32 = 1024;
 
 impl Default for TxConfig {
     fn default() -> Self {
@@ -183,6 +206,8 @@ impl Default for TxConfig {
             reference_dispatch: false,
             merge_max: 1,
             merge_split_policy: MergeSplitPolicy::Salvage,
+            durable: false,
+            durable_flush_batch: 1,
         }
     }
 }
@@ -220,6 +245,19 @@ pub enum ConfigError {
     /// per-access barrier behavior; merged transactions change the
     /// physical commit structure it is compared against.
     MergeWithReferenceDispatch,
+    /// `durable` together with `reference_dispatch`: the enum-dispatch
+    /// pipeline is the differential oracle for the per-access barriers
+    /// alone; the durable commit hook changes the physical commit path
+    /// (ticket draws for allocating read-only commits, pre-publish log
+    /// appends) that the oracle's stats are compared against.
+    DurableWithReferenceDispatch,
+    /// `durable_flush_batch` of zero: a flush must cover at least one
+    /// commit (`1` is strict per-commit durability).
+    ZeroDurableFlushBatch,
+    /// `durable_flush_batch` above [`DURABLE_FLUSH_BATCH_LIMIT`]: the
+    /// group-commit buffer and the crash-loss window both grow with the
+    /// factor, so it is bounded.
+    DurableFlushBatchTooLarge(u32),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -253,6 +291,21 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "transaction merging (merge_max > 1) is incompatible with the \
                  reference_dispatch differential oracle"
+            ),
+            ConfigError::DurableWithReferenceDispatch => write!(
+                f,
+                "durable commit mode is incompatible with the \
+                 reference_dispatch differential oracle"
+            ),
+            ConfigError::ZeroDurableFlushBatch => write!(
+                f,
+                "durable_flush_batch must be at least 1 (1 is strict \
+                 per-commit durability)"
+            ),
+            ConfigError::DurableFlushBatchTooLarge(v) => write!(
+                f,
+                "durable_flush_batch {v} exceeds the supported maximum of \
+                 {DURABLE_FLUSH_BATCH_LIMIT}"
             ),
         }
     }
@@ -355,6 +408,20 @@ impl TxConfigBuilder {
         self
     }
 
+    /// Durable redo-log commit mode (default off); see
+    /// [`TxConfig::durable`].
+    pub fn durable(mut self, on: bool) -> Self {
+        self.cfg.durable = on;
+        self
+    }
+
+    /// Group-commit factor for the durable redo log (default 1 — strict
+    /// per-commit durability); see [`TxConfig::durable_flush_batch`].
+    pub fn durable_flush_batch(mut self, n: u32) -> Self {
+        self.cfg.durable_flush_batch = n;
+        self
+    }
+
     /// Validate the combination and produce the configuration.
     pub fn build(self) -> Result<TxConfig, ConfigError> {
         let c = &self.cfg;
@@ -381,6 +448,17 @@ impl TxConfigBuilder {
         }
         if c.merge_max > 1 && c.reference_dispatch {
             return Err(ConfigError::MergeWithReferenceDispatch);
+        }
+        if c.durable && c.reference_dispatch {
+            return Err(ConfigError::DurableWithReferenceDispatch);
+        }
+        if c.durable_flush_batch == 0 {
+            return Err(ConfigError::ZeroDurableFlushBatch);
+        }
+        if c.durable_flush_batch > DURABLE_FLUSH_BATCH_LIMIT {
+            return Err(ConfigError::DurableFlushBatchTooLarge(
+                c.durable_flush_batch,
+            ));
         }
         Ok(self.cfg)
     }
@@ -428,15 +506,22 @@ impl TxConfig {
         self.nursery && matches!(self.mode, Mode::Runtime { .. })
     }
 
-    /// Display label: the mode label, plus a `+nursery` suffix when the
-    /// nursery is active (used by experiment tables and reports).
+    /// Display label: the mode label, plus `+nursery` / `+durable`
+    /// suffixes when those features are active (used by experiment tables
+    /// and reports).
     pub fn label(&self) -> String {
         let mut l = self.mode.label();
+        let mut suffix = String::new();
         if self.nursery_active() {
-            let scope_at = l.find(" (");
-            match scope_at {
-                Some(i) => l.insert_str(i, "+nursery"),
-                None => l.push_str("+nursery"),
+            suffix.push_str("+nursery");
+        }
+        if self.durable {
+            suffix.push_str("+durable");
+        }
+        if !suffix.is_empty() {
+            match l.find(" (") {
+                Some(i) => l.insert_str(i, &suffix),
+                None => l.push_str(&suffix),
             }
         }
         l
@@ -555,11 +640,60 @@ mod tests {
             MergeSplitPolicy::Salvage
         );
 
+        // Durable knobs: the reference-dispatch oracle cannot run with the
+        // durable commit hook, and the flush-batch factor is bounded on
+        // both sides.
+        assert_eq!(
+            TxConfig::builder()
+                .durable(true)
+                .reference_dispatch(true)
+                .build(),
+            Err(ConfigError::DurableWithReferenceDispatch)
+        );
+        assert_eq!(
+            TxConfig::builder().durable_flush_batch(0).build(),
+            Err(ConfigError::ZeroDurableFlushBatch)
+        );
+        assert_eq!(
+            TxConfig::builder()
+                .durable_flush_batch(DURABLE_FLUSH_BATCH_LIMIT + 1)
+                .build(),
+            Err(ConfigError::DurableFlushBatchTooLarge(
+                DURABLE_FLUSH_BATCH_LIMIT + 1
+            ))
+        );
+        // Happy path: durable composes with nursery and merging, and the
+        // flush batch flows through at its limit.
+        let durable = TxConfig::builder()
+            .mode(Mode::Runtime {
+                log: LogKind::Tree,
+                scope: CheckScope::FULL,
+            })
+            .nursery(true)
+            .merge_max(8)
+            .durable(true)
+            .durable_flush_batch(DURABLE_FLUSH_BATCH_LIMIT)
+            .build()
+            .unwrap();
+        assert!(durable.durable);
+        assert_eq!(durable.durable_flush_batch, DURABLE_FLUSH_BATCH_LIMIT);
+        // A flush batch without durable mode is accepted (inert knob), and
+        // the default is strict per-commit flushing.
+        assert_eq!(TxConfig::default().durable_flush_batch, 1);
+        assert!(!TxConfig::default().durable);
+        assert!(TxConfig::builder().durable_flush_batch(4).build().is_ok());
+
         // Errors render human-readable messages (the expt CLI prints them).
         let msg = format!("{}", ConfigError::NurseryWithoutBackingLog);
         assert!(msg.contains("backing allocation log"), "{msg}");
         let msg = format!("{}", ConfigError::MergeWithReferenceDispatch);
         assert!(msg.contains("reference_dispatch"), "{msg}");
+        let msg = format!("{}", ConfigError::DurableWithReferenceDispatch);
+        assert!(msg.contains("reference_dispatch"), "{msg}");
+        let msg = format!("{}", ConfigError::ZeroDurableFlushBatch);
+        assert!(msg.contains("at least 1"), "{msg}");
+        let msg = format!("{}", ConfigError::DurableFlushBatchTooLarge(9999));
+        assert!(msg.contains("9999"), "{msg}");
 
         // Every remaining knob flows through.
         let full = TxConfig::builder()
@@ -592,5 +726,15 @@ mod tests {
             "nursery needs runtime capture analysis"
         );
         assert_eq!(b.label(), "baseline");
+    }
+
+    #[test]
+    fn durable_labels() {
+        let mut c = TxConfig::runtime_tree_nursery();
+        c.durable = true;
+        assert_eq!(c.label(), "runtime-tree+nursery+durable (r+w/stack+heap)");
+        let mut b = TxConfig::default();
+        b.durable = true;
+        assert_eq!(b.label(), "baseline+durable");
     }
 }

@@ -1,0 +1,1014 @@
+//! Durable redo-log commit mode (`TxConfig::durable`).
+//!
+//! Every physical commit appends one framed record — the transaction's
+//! *shared* write set plus the coalesced final contents of its surviving
+//! allocations — to a per-worker append-only log on a simulated disk
+//! ([`SimDisk`]). Captured writes (stack, in-transaction heap blocks,
+//! nursery) are never logged per word: the paper's capture argument says
+//! they are invisible to other transactions until commit, so the only
+//! durable fact about them is the block's final contents, which one
+//! coalesced range per surviving block records. Stack scratch dies with
+//! the transaction and is not logged at all.
+//!
+//! The module also carries the other three quarters of the durability
+//! story: a quiescent checkpointer that compacts logs into a heap
+//! snapshot ([`StmRuntime::checkpoint_now`](crate::StmRuntime::checkpoint_now)),
+//! a crash-recovery path ([`recover`]) that replays snapshot + logs into
+//! a fresh runtime, and the fault-injection seam ([`FaultPlan`]) the
+//! kill-and-recover oracle (`tests/crash_oracle.rs`) drives.
+//!
+//! ## Log format
+//!
+//! Every on-disk object is a *frame*: `[len: u32 LE][crc32: u32 LE]`
+//! followed by `len` payload bytes, with the CRC taken over the payload.
+//! A log file is a sequence of frames; a record payload is
+//!
+//! ```text
+//! seq u64 | wv u64 | frontier u64 | logical_total u64
+//! n_puts u32 | n_ranges u32
+//! (addr u64, val u64) * n_puts
+//! (start u64, words u32, content u64 * words) * n_ranges
+//! ```
+//!
+//! `seq` numbers are per-log and contiguous; recovery treats a CRC
+//! mismatch, a truncated frame, or a sequence gap as the torn tail of the
+//! log and drops everything from that point on — never anything before it.
+//!
+//! ## Ordering invariant
+//!
+//! A record's `wv` is its commit timestamp (the GV4 ticket). With the
+//! default `durable_flush_batch = 1` the append happens *before* the
+//! commit publishes its orec locks, so any transaction that observed the
+//! writes flushes strictly after them (the disk serializes appends) —
+//! the set of records on disk at a crash is dependency-closed, and replay
+//! sorted by `wv` reconstructs exactly the committed prefix. Equal `wv`s
+//! come only from GV4 adoption, whose write sets are disjoint by
+//! construction, so their mutual order is irrelevant.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use txmem::{Addr, MemConfig};
+
+use crate::config::TxConfig;
+use crate::runtime::StmRuntime;
+
+/// CRC-32 (IEEE) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Name of worker `tid`'s redo-log file on the [`SimDisk`] (exposed so the
+/// torn-tail tests can mutilate the right file).
+pub fn log_file_name(tid: usize) -> String {
+    format!("log-{tid}")
+}
+
+fn snap_file_name(generation: u64) -> String {
+    format!("snap-{generation}")
+}
+
+const MANIFEST: &str = "MANIFEST";
+
+/// Where in the durability pipeline a scheduled simulated crash
+/// ([`FaultPlan`]) fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPhase {
+    /// Die immediately before a log append: the record(s) being flushed
+    /// are lost entirely.
+    PreFlush,
+    /// Die in the middle of a log append: only a prefix of the appended
+    /// bytes lands (a torn tail for recovery to detect and drop).
+    TornFlush,
+    /// Die immediately after a log append: the record is durable but
+    /// nothing later is.
+    PostFlush,
+    /// Die inside a checkpoint, after the new snapshot file is written but
+    /// before the manifest points at it. The old snapshot plus the full
+    /// logs must still recover.
+    MidSnapshot,
+    /// Die inside a checkpoint, after the manifest is updated but before
+    /// the logs are truncated. The now-stale log records (all `wv ≤`
+    /// snapshot clock) must be skipped by recovery, not re-applied.
+    PreTruncate,
+}
+
+/// A scheduled simulated kill for fault-injection tests: die at the
+/// `at`-th occurrence (0-based) of `phase`. Flush phases count log
+/// appends; checkpoint phases count checkpoints. After the kill every
+/// disk mutation silently becomes a no-op ([`SimDisk::is_killed`] lets
+/// the workload harness notice and stop).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// The durability phase the kill targets.
+    pub phase: FaultPhase,
+    /// Which occurrence of the phase dies (0-based).
+    pub at: u64,
+    /// For [`FaultPhase::TornFlush`]: how many bytes of the torn append
+    /// land before the kill (clamped to the append's length).
+    pub torn_keep: u32,
+}
+
+/// Append without the per-call key allocation `HashMap::entry` would
+/// force — this runs under the disk lock on every flushed commit.
+fn append_to(files: &mut HashMap<String, Vec<u8>>, name: &str, bytes: &[u8]) {
+    match files.get_mut(name) {
+        Some(f) => f.extend_from_slice(bytes),
+        None => {
+            files.insert(name.to_string(), bytes.to_vec());
+        }
+    }
+}
+
+/// The simulated persistent medium behind a durable runtime: a map of
+/// named append-only files, shared by workers, checkpointer, and — after
+/// a simulated kill — the recovery path. All mutations are serialized;
+/// a kill ([`FaultPlan`]) atomically turns every later mutation into a
+/// no-op, which models a machine that stops mid-pipeline without
+/// unwinding anything.
+pub struct SimDisk {
+    files: Mutex<HashMap<String, Vec<u8>>>,
+    dead: AtomicBool,
+    plan: Mutex<Option<FaultPlan>>,
+    appends: AtomicU64,
+}
+
+impl SimDisk {
+    /// A fresh, empty, live disk.
+    pub fn new() -> Arc<SimDisk> {
+        Arc::new(SimDisk {
+            files: Mutex::new(HashMap::new()),
+            dead: AtomicBool::new(false),
+            plan: Mutex::new(None),
+            appends: AtomicU64::new(0),
+        })
+    }
+
+    /// Arm a one-shot fault plan. Replaces any previously armed plan.
+    pub fn arm(&self, plan: FaultPlan) {
+        *self.plan.lock().unwrap() = Some(plan);
+    }
+
+    /// Has a fault plan fired? The workload harness polls this to stop
+    /// issuing transactions after the simulated machine died.
+    pub fn is_killed(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Bring the disk back to life (recovery does this): mutations work
+    /// again, and any armed plan is cleared.
+    pub fn revive(&self) {
+        *self.plan.lock().unwrap() = None;
+        self.dead.store(false, Ordering::Release);
+    }
+
+    fn kill(&self) {
+        self.dead.store(true, Ordering::Release);
+    }
+
+    /// Append `bytes` to `name`, honoring an armed flush-phase fault plan.
+    /// Returns false if the disk was (or just became) dead and the bytes
+    /// did not fully land.
+    pub(crate) fn append(&self, name: &str, bytes: &[u8]) -> bool {
+        let mut files = self.files.lock().unwrap();
+        if self.is_killed() {
+            return false;
+        }
+        let idx = self.appends.fetch_add(1, Ordering::AcqRel);
+        let fired = {
+            let plan = self.plan.lock().unwrap();
+            match *plan {
+                Some(p)
+                    if p.at == idx
+                        && matches!(
+                            p.phase,
+                            FaultPhase::PreFlush | FaultPhase::TornFlush | FaultPhase::PostFlush
+                        ) =>
+                {
+                    Some(p)
+                }
+                _ => None,
+            }
+        };
+        match fired {
+            Some(p) if p.phase == FaultPhase::PreFlush => {
+                self.kill();
+                false
+            }
+            Some(p) if p.phase == FaultPhase::TornFlush => {
+                let keep = (p.torn_keep as usize).min(bytes.len());
+                append_to(&mut files, name, &bytes[..keep]);
+                self.kill();
+                false
+            }
+            fired => {
+                append_to(&mut files, name, bytes);
+                if fired.is_some() {
+                    // PostFlush: the record landed, then the machine died.
+                    self.kill();
+                    false
+                } else {
+                    true
+                }
+            }
+        }
+    }
+
+    /// Atomically replace `name`'s contents (shadow-paging model: whole
+    /// files are written out of place and swapped in one step).
+    pub(crate) fn write_file(&self, name: &str, bytes: &[u8]) {
+        let mut files = self.files.lock().unwrap();
+        if self.is_killed() {
+            return;
+        }
+        files.insert(name.to_string(), bytes.to_vec());
+    }
+
+    pub(crate) fn read_file(&self, name: &str) -> Option<Vec<u8>> {
+        self.files.lock().unwrap().get(name).cloned()
+    }
+
+    pub(crate) fn remove(&self, name: &str) {
+        let mut files = self.files.lock().unwrap();
+        if self.is_killed() {
+            return;
+        }
+        files.remove(name);
+    }
+
+    /// Fire a checkpoint-phase fault if the armed plan targets occurrence
+    /// `idx` of `phase`.
+    pub(crate) fn checkpoint_fault(&self, phase: FaultPhase, idx: u64) {
+        let fired = matches!(*self.plan.lock().unwrap(),
+            Some(p) if p.phase == phase && p.at == idx);
+        if fired {
+            self.kill();
+        }
+    }
+
+    /// Current length of `name` in bytes (0 if absent). Test seam for the
+    /// torn-tail sweep.
+    pub fn file_len(&self, name: &str) -> usize {
+        self.files.lock().unwrap().get(name).map_or(0, Vec::len)
+    }
+
+    /// Truncate `name` to `len` bytes, ignoring the dead flag — this is
+    /// the *test harness* mutilating the medium to model a torn write,
+    /// not the runtime writing through it. Recovery also uses it to chop
+    /// a detected torn tail so later appends stay parseable.
+    pub fn truncate_file(&self, name: &str, len: usize) {
+        if let Some(f) = self.files.lock().unwrap().get_mut(name) {
+            f.truncate(len);
+        }
+    }
+
+    /// Flip one byte of `name` (test seam: models media corruption of the
+    /// final record for the torn-tail sweep).
+    pub fn corrupt_byte(&self, name: &str, offset: usize) {
+        if let Some(f) = self.files.lock().unwrap().get_mut(name) {
+            if let Some(b) = f.get_mut(offset) {
+                *b ^= 0xA5;
+            }
+        }
+    }
+
+    /// Total bytes across all redo-log files (the background
+    /// checkpointer's compaction trigger).
+    pub fn log_bytes(&self) -> u64 {
+        let files = self.files.lock().unwrap();
+        files
+            .iter()
+            .filter(|(k, _)| k.starts_with("log-"))
+            .map(|(_, v)| v.len() as u64)
+            .sum()
+    }
+
+    /// Number of appends performed so far (flush-phase fault plans index
+    /// into this sequence).
+    pub fn append_count(&self) -> u64 {
+        self.appends.load(Ordering::Acquire)
+    }
+}
+
+/// Shared durable-mode state hanging off a runtime: the disk, the
+/// checkpoint quiesce gate, and per-tid counters that must survive worker
+/// respawns (log sequence numbers, cumulative logical commits).
+pub(crate) struct DurableState {
+    pub(crate) disk: Arc<SimDisk>,
+    /// Checkpointer wants the world stopped.
+    ckpt_pending: AtomicBool,
+    /// Top-level transactions currently running (between `begin_top` and
+    /// the physical commit/rollback).
+    active: AtomicU64,
+    /// Per-tid next record sequence number.
+    seqs: Box<[AtomicU64]>,
+    /// Per-tid cumulative logical commits recorded durably.
+    logicals: Box<[AtomicU64]>,
+    /// Checkpoints performed (checkpoint-phase fault plans index this).
+    ckpts: AtomicU64,
+}
+
+impl DurableState {
+    pub(crate) fn new(disk: Arc<SimDisk>, max_threads: usize) -> DurableState {
+        DurableState {
+            disk,
+            ckpt_pending: AtomicBool::new(false),
+            active: AtomicU64::new(0),
+            seqs: (0..max_threads).map(|_| AtomicU64::new(0)).collect(),
+            logicals: (0..max_threads).map(|_| AtomicU64::new(0)).collect(),
+            ckpts: AtomicU64::new(0),
+        }
+    }
+
+    /// Enter the active set (top-level transaction begin). Blocks while a
+    /// checkpoint is quiescing — the checkpointer needs a moment with no
+    /// transaction in flight, because an in-place-update STM's heap is
+    /// only consistent between transactions.
+    pub(crate) fn enter_active(&self) {
+        loop {
+            while self.ckpt_pending.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            self.active.fetch_add(1, Ordering::AcqRel);
+            if !self.ckpt_pending.load(Ordering::Acquire) {
+                return;
+            }
+            // A checkpoint slipped in between the check and the
+            // increment; back out and wait it out.
+            self.active.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    pub(crate) fn exit_active(&self) {
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn next_seq(&self, tid: usize) -> u64 {
+        self.seqs[tid].fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Advance tid's cumulative logical-commit counter by `n`, returning
+    /// the new total (stamped into the record being prepared).
+    pub(crate) fn add_logical(&self, tid: usize, n: u64) -> u64 {
+        self.logicals[tid].fetch_add(n, Ordering::AcqRel) + n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame / record codec
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Wrap a payload in the `[len][crc][payload]` frame.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Bounds-checked little-endian reader; any overrun means a torn frame.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, off: 0 }
+    }
+
+    fn u32(&mut self) -> Result<u32, ()> {
+        let end = self.off.checked_add(4).ok_or(())?;
+        let b = self.bytes.get(self.off..end).ok_or(())?;
+        self.off = end;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ()> {
+        let end = self.off.checked_add(8).ok_or(())?;
+        let b = self.bytes.get(self.off..end).ok_or(())?;
+        self.off = end;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+}
+
+/// Fixed offsets of the record-payload header fields.
+const REC_NPUTS_OFF: usize = 32;
+const REC_NRANGES_OFF: usize = 36;
+const REC_BODY_OFF: usize = 40;
+
+/// Incremental builder for one record payload; the commit path fills it
+/// while still holding its locks, then [`RecordEncoder::finish`] frames
+/// it into the worker's flush buffer.
+pub(crate) struct RecordEncoder {
+    payload: Vec<u8>,
+    n_puts: u32,
+    n_ranges: u32,
+}
+
+impl RecordEncoder {
+    pub(crate) fn new(seq: u64, wv: u64, frontier: u64, logical_total: u64) -> RecordEncoder {
+        let mut payload = Vec::with_capacity(REC_BODY_OFF + 64);
+        put_u64(&mut payload, seq);
+        put_u64(&mut payload, wv);
+        put_u64(&mut payload, frontier);
+        put_u64(&mut payload, logical_total);
+        put_u32(&mut payload, 0); // n_puts, patched in finish()
+        put_u32(&mut payload, 0); // n_ranges
+        RecordEncoder {
+            payload,
+            n_puts: 0,
+            n_ranges: 0,
+        }
+    }
+
+    /// One shared-write address and its committed value. Must precede all
+    /// ranges (the decoder reads puts first).
+    pub(crate) fn put(&mut self, addr: u64, val: u64) {
+        debug_assert_eq!(self.n_ranges, 0, "puts must precede ranges");
+        put_u64(&mut self.payload, addr);
+        put_u64(&mut self.payload, val);
+        self.n_puts += 1;
+    }
+
+    /// Open a coalesced content range of `words` words starting at
+    /// `start`; follow with exactly `words` [`RecordEncoder::word`] calls.
+    pub(crate) fn begin_range(&mut self, start: u64, words: u32) {
+        put_u64(&mut self.payload, start);
+        put_u32(&mut self.payload, words);
+        self.n_ranges += 1;
+    }
+
+    pub(crate) fn word(&mut self, w: u64) {
+        put_u64(&mut self.payload, w);
+    }
+
+    /// Patch the counts, frame the payload, and append it to `out`
+    /// (framed in place — this sits on the commit path, so it must not
+    /// allocate an intermediate buffer per record).
+    pub(crate) fn finish(mut self, out: &mut Vec<u8>) {
+        self.payload[REC_NPUTS_OFF..REC_NPUTS_OFF + 4].copy_from_slice(&self.n_puts.to_le_bytes());
+        self.payload[REC_NRANGES_OFF..REC_NRANGES_OFF + 4]
+            .copy_from_slice(&self.n_ranges.to_le_bytes());
+        out.reserve(self.payload.len() + 8);
+        put_u32(out, self.payload.len() as u32);
+        put_u32(out, crc32(&self.payload));
+        out.extend_from_slice(&self.payload);
+    }
+}
+
+/// One decoded redo record.
+struct Record {
+    seq: u64,
+    wv: u64,
+    frontier: u64,
+    logical_total: u64,
+    puts: Vec<(u64, u64)>,
+    ranges: Vec<(u64, Vec<u64>)>,
+}
+
+fn decode_record(payload: &[u8]) -> Result<Record, ()> {
+    let mut r = Reader::new(payload);
+    let seq = r.u64()?;
+    let wv = r.u64()?;
+    let frontier = r.u64()?;
+    let logical_total = r.u64()?;
+    let n_puts = r.u32()?;
+    let n_ranges = r.u32()?;
+    let mut puts = Vec::with_capacity(n_puts as usize);
+    for _ in 0..n_puts {
+        puts.push((r.u64()?, r.u64()?));
+    }
+    let mut ranges = Vec::with_capacity(n_ranges as usize);
+    for _ in 0..n_ranges {
+        let start = r.u64()?;
+        let words = r.u32()?;
+        let mut content = Vec::with_capacity(words as usize);
+        for _ in 0..words {
+            content.push(r.u64()?);
+        }
+        ranges.push((start, content));
+    }
+    if r.off != payload.len() {
+        return Err(()); // trailing garbage inside a framed payload
+    }
+    Ok(Record {
+        seq,
+        wv,
+        frontier,
+        logical_total,
+        puts,
+        ranges,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint
+// ---------------------------------------------------------------------------
+
+struct Manifest {
+    generation: u64,
+    clock: u64,
+    frontier: u64,
+    logicals: Vec<u64>,
+}
+
+fn read_manifest(disk: &SimDisk) -> Option<Manifest> {
+    let bytes = disk.read_file(MANIFEST)?;
+    let payload = unframe(&bytes).expect("manifest failed frame validation");
+    let mut r = Reader::new(payload);
+    let generation = r.u64().unwrap();
+    let clock = r.u64().unwrap();
+    let frontier = r.u64().unwrap();
+    let n = r.u32().unwrap();
+    let logicals = (0..n).map(|_| r.u64().unwrap()).collect();
+    Some(Manifest {
+        generation,
+        clock,
+        frontier,
+        logicals,
+    })
+}
+
+/// Validate a single whole-file frame and return its payload.
+fn unframe(bytes: &[u8]) -> Result<&[u8], ()> {
+    let mut r = Reader::new(bytes);
+    let len = r.u32()? as usize;
+    let crc = r.u32()?;
+    let payload = bytes.get(8..8 + len).ok_or(())?;
+    if bytes.len() != 8 + len || crc32(payload) != crc {
+        return Err(());
+    }
+    Ok(payload)
+}
+
+/// Quiesce the runtime and compact the logs into a fresh heap snapshot.
+///
+/// Protocol (each step is atomic on the simulated disk, and the two fault
+/// points between them are exactly the [`FaultPhase::MidSnapshot`] /
+/// [`FaultPhase::PreTruncate`] seams):
+///
+/// 1. stop new top-level transactions and wait for in-flight ones;
+/// 2. write the whole live heap `[heap_start, frontier)` plus the clock
+///    to a *new* snapshot file `snap-(g+1)` (shadow paging: the old
+///    snapshot is untouched);
+/// 3. atomically point the manifest at the new generation;
+/// 4. truncate the per-worker logs and delete the old snapshot.
+///
+/// A crash before step 3 recovers from the old snapshot + full logs; a
+/// crash after it recovers from the new snapshot, skipping any not-yet
+/// truncated records as stale (`wv ≤` snapshot clock). Workers may hold
+/// *buffered* unflushed records during the quiesce (group commit); their
+/// effects are in the snapshot, and their eventual flush is skipped by
+/// the same staleness rule.
+pub(crate) fn checkpoint(rt: &StmRuntime) {
+    let ds = rt
+        .durable
+        .as_ref()
+        .expect("checkpoint requires a durable runtime");
+    let disk = &ds.disk;
+    if disk.is_killed() {
+        return;
+    }
+    ds.ckpt_pending.store(true, Ordering::Release);
+    while ds.active.load(Ordering::Acquire) != 0 {
+        std::thread::yield_now();
+    }
+    let idx = ds.ckpts.fetch_add(1, Ordering::AcqRel);
+    let layout = *rt.mem.layout();
+    let clock = rt.clock.read();
+    let frontier = rt.heap.frontier();
+    let words = rt
+        .mem
+        .snapshot_range(Addr(layout.heap_start), frontier - layout.heap_start);
+    let mut payload = Vec::with_capacity(24 + words.len() * 8);
+    put_u64(&mut payload, clock);
+    put_u64(&mut payload, frontier);
+    put_u64(&mut payload, words.len() as u64);
+    for w in &words {
+        put_u64(&mut payload, *w);
+    }
+    let generation = read_manifest(disk).map_or(0, |m| m.generation + 1);
+    disk.write_file(&snap_file_name(generation), &frame(&payload));
+    disk.checkpoint_fault(FaultPhase::MidSnapshot, idx);
+
+    let mut mp = Vec::new();
+    put_u64(&mut mp, generation);
+    put_u64(&mut mp, clock);
+    put_u64(&mut mp, frontier);
+    put_u32(&mut mp, ds.logicals.len() as u32);
+    for l in ds.logicals.iter() {
+        put_u64(&mut mp, l.load(Ordering::Acquire));
+    }
+    disk.write_file(MANIFEST, &frame(&mp));
+    disk.checkpoint_fault(FaultPhase::PreTruncate, idx);
+
+    for tid in 0..layout.max_threads {
+        disk.write_file(&log_file_name(tid), &[]);
+    }
+    if generation > 0 {
+        disk.remove(&snap_file_name(generation - 1));
+    }
+    ds.ckpt_pending.store(false, Ordering::Release);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+/// What [`recover`] found on the disk and rebuilt.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Clock value of the snapshot the recovery started from (0 = none).
+    pub snapshot_clock: u64,
+    /// Total logical transactions whose effects are in the recovered
+    /// heap, summed over workers.
+    pub logical_committed: u64,
+    /// Log records replayed onto the snapshot.
+    pub records_applied: u64,
+    /// Valid records skipped because the snapshot already contained them
+    /// (`wv ≤` snapshot clock; the pre-truncate crash window).
+    pub stale_skipped: u64,
+    /// Log files that ended in a torn tail (CRC mismatch, truncated
+    /// frame, or sequence gap); the tail was dropped and chopped.
+    pub torn_tails: u64,
+    /// Restored heap bump frontier.
+    pub frontier: u64,
+}
+
+/// Rebuild a durable runtime from what survived on `disk`: load the
+/// manifest's snapshot (if any), replay every valid log record with
+/// `wv >` snapshot clock in `wv` order, restore the heap frontier and the
+/// commit clock, and resume the per-worker log sequence numbers so the
+/// recovered runtime keeps appending to the same logs.
+///
+/// `mem_cfg` and `config` must match the crashed runtime's — the log
+/// records address the simulated memory by absolute word address.
+///
+/// Recovered free-list state is intentionally *not* reconstructed:
+/// blocks that sat on a free list at the crash leak (the frontier is
+/// restored past them), which costs space but never correctness.
+pub fn recover(
+    mem_cfg: MemConfig,
+    config: TxConfig,
+    disk: Arc<SimDisk>,
+) -> (StmRuntime, RecoveryReport) {
+    disk.revive();
+    let rt = StmRuntime::new_durable(mem_cfg, config, disk.clone());
+    let layout = *rt.mem.layout();
+    let ds = rt.durable.as_ref().unwrap();
+    let mut report = RecoveryReport::default();
+    let mut frontier = layout.heap_start;
+    let mut logicals = vec![0u64; layout.max_threads];
+
+    if let Some(m) = read_manifest(&disk) {
+        let snap = disk
+            .read_file(&snap_file_name(m.generation))
+            .expect("manifest points at a missing snapshot");
+        let payload = unframe(&snap).expect("snapshot failed frame validation");
+        let mut r = Reader::new(payload);
+        let clock = r.u64().unwrap();
+        let snap_frontier = r.u64().unwrap();
+        let n = r.u64().unwrap() as usize;
+        let mut words = vec![0u64; n];
+        for w in words.iter_mut() {
+            *w = r.u64().unwrap();
+        }
+        // Manifest and snapshot are written by the same checkpoint, so
+        // their metadata must agree; a mismatch means disk corruption the
+        // frames' CRCs somehow missed.
+        assert_eq!(
+            (m.clock, m.frontier),
+            (clock, snap_frontier),
+            "manifest/snapshot metadata mismatch"
+        );
+        rt.mem.restore_range(Addr(layout.heap_start), &words);
+        report.snapshot_clock = clock;
+        frontier = frontier.max(snap_frontier);
+        for (dst, src) in logicals.iter_mut().zip(m.logicals.iter()) {
+            *dst = *src;
+        }
+    }
+
+    // Parse every log up to its torn tail (if any), chopping the tail so
+    // post-recovery appends keep the file parseable.
+    let mut records: Vec<Record> = Vec::new();
+    for (tid, logical) in logicals.iter_mut().enumerate() {
+        let name = log_file_name(tid);
+        let Some(bytes) = disk.read_file(&name) else {
+            continue;
+        };
+        let mut off = 0usize;
+        let mut prev_seq: Option<u64> = None;
+        let mut torn = false;
+        while off < bytes.len() {
+            let parsed = (|| -> Result<(Record, usize), ()> {
+                let mut hdr = Reader::new(&bytes[off..]);
+                let len = hdr.u32()? as usize;
+                let crc = hdr.u32()?;
+                let end = off.checked_add(8 + len).ok_or(())?;
+                let payload = bytes.get(off + 8..end).ok_or(())?;
+                if crc32(payload) != crc {
+                    return Err(());
+                }
+                let rec = decode_record(payload)?;
+                Ok((rec, end))
+            })();
+            match parsed {
+                Ok((rec, end)) if prev_seq.is_none_or(|p| rec.seq == p + 1) => {
+                    prev_seq = Some(rec.seq);
+                    *logical = (*logical).max(rec.logical_total);
+                    records.push(rec);
+                    off = end;
+                }
+                _ => {
+                    torn = true;
+                    break;
+                }
+            }
+        }
+        if torn {
+            report.torn_tails += 1;
+            disk.truncate_file(&name, off);
+        }
+        ds.seqs[tid].store(prev_seq.map_or(0, |s| s + 1), Ordering::Release);
+    }
+
+    // Replay in commit order. Equal wvs (GV4 adoption) have disjoint
+    // write sets, so the stable file-order tiebreak is arbitrary but
+    // harmless.
+    records.sort_by_key(|r| r.wv);
+    let mut max_wv = 0u64;
+    for rec in &records {
+        if rec.wv <= report.snapshot_clock {
+            report.stale_skipped += 1;
+            continue;
+        }
+        for &(addr, val) in &rec.puts {
+            rt.mem.store_private(Addr(addr), val);
+        }
+        for (start, content) in &rec.ranges {
+            rt.mem.store_range_private(Addr(*start), content);
+        }
+        frontier = frontier.max(rec.frontier);
+        max_wv = max_wv.max(rec.wv);
+        report.records_applied += 1;
+    }
+
+    rt.heap.restore_frontier(frontier);
+    rt.clock.advance_to(report.snapshot_clock.max(max_wv));
+    for (tid, l) in logicals.iter().enumerate() {
+        ds.logicals[tid].store(*l, Ordering::Release);
+        report.logical_committed += *l;
+    }
+    report.frontier = frontier;
+    (rt, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_corruption_detection() {
+        let f = frame(b"hello world");
+        assert_eq!(unframe(&f).unwrap(), b"hello world");
+        for i in 0..f.len() {
+            let mut bad = f.clone();
+            bad[i] ^= 0x40;
+            assert!(unframe(&bad).is_err(), "flip at byte {i} must be caught");
+        }
+        assert!(unframe(&f[..f.len() - 1]).is_err(), "truncation caught");
+    }
+
+    #[test]
+    fn record_codec_roundtrip() {
+        let mut enc = RecordEncoder::new(7, 42, 0x1000, 13);
+        enc.put(0x100, 0xdead);
+        enc.put(0x108, 0xbeef);
+        enc.begin_range(0x200, 3);
+        enc.word(1);
+        enc.word(2);
+        enc.word(3);
+        let mut buf = Vec::new();
+        enc.finish(&mut buf);
+        let payload = unframe(&buf).unwrap();
+        let rec = decode_record(payload).unwrap();
+        assert_eq!(rec.seq, 7);
+        assert_eq!(rec.wv, 42);
+        assert_eq!(rec.frontier, 0x1000);
+        assert_eq!(rec.logical_total, 13);
+        assert_eq!(rec.puts, vec![(0x100, 0xdead), (0x108, 0xbeef)]);
+        assert_eq!(rec.ranges, vec![(0x200, vec![1, 2, 3])]);
+    }
+
+    #[test]
+    fn disk_append_fault_phases() {
+        // PreFlush: nothing lands.
+        let d = SimDisk::new();
+        d.arm(FaultPlan {
+            phase: FaultPhase::PreFlush,
+            at: 1,
+            torn_keep: 0,
+        });
+        assert!(d.append("log-0", b"aaaa"));
+        assert!(!d.append("log-0", b"bbbb"));
+        assert!(d.is_killed());
+        assert_eq!(d.read_file("log-0").unwrap(), b"aaaa");
+        assert!(!d.append("log-0", b"cccc"), "dead disk stays dead");
+        assert_eq!(d.file_len("log-0"), 4);
+
+        // TornFlush: a prefix lands.
+        let d = SimDisk::new();
+        d.arm(FaultPlan {
+            phase: FaultPhase::TornFlush,
+            at: 0,
+            torn_keep: 2,
+        });
+        assert!(!d.append("log-0", b"xyzw"));
+        assert_eq!(d.read_file("log-0").unwrap(), b"xy");
+
+        // PostFlush: the full append lands, then death.
+        let d = SimDisk::new();
+        d.arm(FaultPlan {
+            phase: FaultPhase::PostFlush,
+            at: 0,
+            torn_keep: 0,
+        });
+        assert!(!d.append("log-0", b"pqrs"));
+        assert!(d.is_killed());
+        assert_eq!(d.read_file("log-0").unwrap(), b"pqrs");
+
+        // Revive clears both the plan and the dead flag.
+        d.revive();
+        assert!(!d.is_killed());
+        assert!(d.append("log-0", b"tu"));
+        assert_eq!(d.read_file("log-0").unwrap(), b"pqrstu");
+    }
+
+    #[test]
+    fn disk_write_file_and_log_bytes() {
+        let d = SimDisk::new();
+        d.append("log-0", &[0u8; 10]);
+        d.append("log-3", &[0u8; 5]);
+        d.write_file("MANIFEST", &[0u8; 100]);
+        assert_eq!(d.log_bytes(), 15, "manifest is not a log");
+        d.write_file("log-0", &[]);
+        assert_eq!(d.log_bytes(), 5);
+        d.corrupt_byte("log-3", 2);
+        assert_eq!(d.read_file("log-3").unwrap()[2], 0xA5);
+        d.truncate_file("log-3", 1);
+        assert_eq!(d.file_len("log-3"), 1);
+        d.remove("log-3");
+        assert_eq!(d.file_len("log-3"), 0);
+        assert_eq!(d.append_count(), 2);
+    }
+
+    #[test]
+    fn quiesce_gate_blocks_and_releases() {
+        let ds = DurableState::new(SimDisk::new(), 2);
+        ds.enter_active();
+        ds.exit_active();
+        ds.ckpt_pending.store(true, Ordering::Release);
+        let entered = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                ds.enter_active();
+                entered.store(true, Ordering::Release);
+                ds.exit_active();
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(
+                !entered.load(Ordering::Acquire),
+                "begin must wait while a checkpoint is pending"
+            );
+            ds.ckpt_pending.store(false, Ordering::Release);
+        });
+        assert!(entered.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn durable_commit_kill_recover_roundtrip() {
+        static S: crate::Site = crate::Site::shared("durable.smoke");
+        fn cfg() -> crate::TxConfig {
+            crate::TxConfig::builder()
+                .mode(crate::Mode::Runtime {
+                    log: capture::LogKind::Tree,
+                    scope: crate::CheckScope::FULL,
+                })
+                .durable(true)
+                .build()
+                .unwrap()
+        }
+        let mem_cfg = MemConfig::small();
+        let disk = SimDisk::new();
+        let rt = StmRuntime::new_durable(mem_cfg, cfg(), disk.clone());
+        let cell = rt.alloc_global(8);
+        let slot = rt.alloc_global(8);
+        let mut w = rt.spawn_worker();
+        for i in 1..=10u64 {
+            w.txn(|tx| {
+                let v = tx.read(&S, cell)?;
+                tx.write(&S, cell, v + i)?;
+                Ok(())
+            });
+        }
+        // A captured-heavy transaction: the block's writes are elided, yet
+        // the published contents must survive the crash via its range
+        // record.
+        let blk = w.txn(|tx| {
+            let b = tx.alloc(64)?;
+            for j in 0..8u64 {
+                tx.write(&S, b.word(j), 100 + j)?;
+            }
+            tx.write(&S, slot, b.raw())?;
+            Ok(b)
+        });
+        drop(w);
+        let stats = rt.collect_stats();
+        assert_eq!(stats.commits, 11);
+        assert!(stats.durable_words >= 10 + 9 + 2, "puts + range + header");
+        assert!(stats.durable_skipped >= 8, "captured block writes skipped");
+        assert_eq!(stats.durable_flushes, 11, "strict mode: one per commit");
+
+        // Power loss with everything already flushed: full recovery.
+        disk.arm(FaultPlan {
+            phase: FaultPhase::PreFlush,
+            at: u64::MAX,
+            torn_keep: 0,
+        });
+        let (rt2, report) = recover(mem_cfg, cfg(), disk);
+        assert_eq!(report.logical_committed, 11);
+        assert_eq!(report.records_applied, 11);
+        assert_eq!(report.torn_tails, 0);
+        assert_eq!(rt2.mem().load_private(cell), 55);
+        assert_eq!(rt2.mem().load_private(slot), blk.raw());
+        for j in 0..8u64 {
+            assert_eq!(rt2.mem().load_private(blk.word(j)), 100 + j);
+        }
+        // The recovered runtime keeps working: new transactions commit and
+        // new allocations don't collide with recovered blocks.
+        let mut w2 = rt2.spawn_worker();
+        let b2 = w2.txn(|tx| {
+            let b = tx.alloc(64)?;
+            tx.write(&S, b.offset(0), 7)?;
+            Ok(b)
+        });
+        assert!(
+            b2.raw() >= blk.raw() + 64 || b2.raw() + 64 <= blk.raw(),
+            "fresh allocation {b2:?} collides with recovered {blk:?}"
+        );
+    }
+
+    #[test]
+    fn seq_and_logical_counters_are_per_tid() {
+        let ds = DurableState::new(SimDisk::new(), 2);
+        assert_eq!(ds.next_seq(0), 0);
+        assert_eq!(ds.next_seq(0), 1);
+        assert_eq!(ds.next_seq(1), 0);
+        assert_eq!(ds.add_logical(0, 3), 3);
+        assert_eq!(ds.add_logical(0, 2), 5);
+        assert_eq!(ds.add_logical(1, 1), 1);
+    }
+}

@@ -67,6 +67,7 @@ mod batch;
 mod clock;
 mod commit;
 mod config;
+mod durable;
 mod nursery;
 mod orec;
 mod runtime;
@@ -79,8 +80,10 @@ mod worker;
 pub use batch::{BatchRun, TxBatch};
 pub use capture::{Capture, CapturePolicy, LogKind};
 pub use config::{
-    CheckScope, ConfigError, MergeSplitPolicy, Mode, TxConfig, TxConfigBuilder, MERGE_MAX_LIMIT,
+    CheckScope, ConfigError, MergeSplitPolicy, Mode, TxConfig, TxConfigBuilder,
+    DURABLE_FLUSH_BATCH_LIMIT, MERGE_MAX_LIMIT,
 };
+pub use durable::{log_file_name, recover, FaultPhase, FaultPlan, RecoveryReport, SimDisk};
 pub use orec::OrecTable;
 pub use runtime::StmRuntime;
 pub use site::Site;

@@ -1,3 +1,4 @@
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use txmem::{Addr, CachePadded, MemConfig, SharedMem, ThreadAlloc, TxHeap};
@@ -5,6 +6,7 @@ use txmem::{Addr, CachePadded, MemConfig, SharedMem, ThreadAlloc, TxHeap};
 use crate::barrier::DispatchTable;
 use crate::clock::CommitClock;
 use crate::config::TxConfig;
+use crate::durable::{DurableState, SimDisk};
 use crate::orec::OrecTable;
 use crate::stats::TxStats;
 use crate::worker::WorkerCtx;
@@ -30,6 +32,9 @@ pub struct StmRuntime {
     /// re-dispatches on `Mode`/`LogKind` again.
     pub(crate) table: &'static DispatchTable,
     pub(crate) global_stats: CachePadded<Mutex<TxStats>>,
+    /// Durable-mode state (disk, quiesce gate, per-tid log counters);
+    /// `Some` exactly when `config.durable`.
+    pub(crate) durable: Option<Arc<DurableState>>,
     tids: Mutex<TidPool>,
     setup_alloc: Mutex<ThreadAlloc>,
 }
@@ -42,8 +47,33 @@ struct TidPool {
 
 impl StmRuntime {
     /// Build a runtime over fresh simulated memory: resolves the barrier
-    /// dispatch table for `config` once, here.
+    /// dispatch table for `config` once, here. A durable configuration
+    /// needs a disk — use [`StmRuntime::new_durable`].
     pub fn new(mem_cfg: MemConfig, config: TxConfig) -> StmRuntime {
+        assert!(
+            !config.durable,
+            "durable configurations need a SimDisk; use StmRuntime::new_durable"
+        );
+        StmRuntime::build(mem_cfg, config, None)
+    }
+
+    /// Build a *durable* runtime (`config.durable` must be set) whose
+    /// workers append redo records to per-worker logs on `disk`. Pair
+    /// with [`crate::recover`] to rebuild from that disk after a crash.
+    pub fn new_durable(mem_cfg: MemConfig, config: TxConfig, disk: Arc<SimDisk>) -> StmRuntime {
+        assert!(
+            config.durable,
+            "new_durable requires a configuration with durable mode on"
+        );
+        let ds = Arc::new(DurableState::new(disk, mem_cfg.max_threads));
+        StmRuntime::build(mem_cfg, config, Some(ds))
+    }
+
+    fn build(
+        mem_cfg: MemConfig,
+        config: TxConfig,
+        durable: Option<Arc<DurableState>>,
+    ) -> StmRuntime {
         let mem = Arc::new(SharedMem::new(mem_cfg));
         let heap = TxHeap::new(mem.clone());
         StmRuntime {
@@ -54,6 +84,7 @@ impl StmRuntime {
             table: DispatchTable::select(&config),
             config,
             global_stats: CachePadded::new(Mutex::new(TxStats::default())),
+            durable,
             tids: Mutex::new(TidPool {
                 next: 0,
                 free: Vec::new(),
@@ -129,6 +160,35 @@ impl StmRuntime {
     pub fn free_global(&self, addr: Addr) {
         let mut ta = self.setup_alloc.lock().unwrap();
         self.heap.free(&mut ta, addr);
+    }
+
+    /// The simulated disk of a durable runtime (`None` otherwise).
+    pub fn disk(&self) -> Option<&Arc<SimDisk>> {
+        self.durable.as_ref().map(|d| &d.disk)
+    }
+
+    /// Run one checkpoint now: quiesce every worker, compact the redo
+    /// logs into a fresh heap snapshot, and truncate them. Panics on a
+    /// non-durable runtime. Must be called from a thread that is *not*
+    /// inside a transaction (the quiesce would deadlock against itself).
+    pub fn checkpoint_now(&self) {
+        crate::durable::checkpoint(self);
+    }
+
+    /// Background-checkpointer loop: checkpoint whenever the combined
+    /// redo-log size reaches `threshold_bytes`, until `stop` is set.
+    /// Spawn it on its own (scoped) thread next to the workers.
+    pub fn checkpoint_loop(&self, threshold_bytes: u64, stop: &AtomicBool) {
+        let ds = self
+            .durable
+            .as_ref()
+            .expect("checkpoint_loop requires a durable runtime");
+        while !stop.load(Ordering::Acquire) {
+            if ds.disk.log_bytes() >= threshold_bytes {
+                self.checkpoint_now();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
     }
 
     /// Merged statistics of all finished workers.

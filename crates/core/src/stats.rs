@@ -241,6 +241,20 @@ pub struct TxStats {
     /// Contention-manager backoff waits: one per abort-triggered
     /// decorrelated-jitter spin/yield episode in the retry loops.
     pub backoff_waits: u64,
+    /// Durable mode: words actually appended to the redo log — one per
+    /// distinct shared-write address plus the coalesced final contents
+    /// (header included) of every surviving in-transaction allocation.
+    pub durable_words: u64,
+    /// Durable mode: captured write-barrier events (stack, in-transaction
+    /// heap, nursery, ancestor-captured, statically elided) that needed
+    /// *no* per-word redo logging — the paper's captured-memory saving
+    /// extended to durability. The skip ratio is
+    /// `durable_skipped / (durable_words + durable_skipped)`.
+    pub durable_skipped: u64,
+    /// Durable mode: redo-log disk appends. With `durable_flush_batch = 1`
+    /// this equals the number of commits that produced a record; group
+    /// commit makes it smaller.
+    pub durable_flushes: u64,
     /// Read-barrier counters.
     pub reads: BarrierStats,
     /// Write-barrier counters.
@@ -284,6 +298,9 @@ impl TxStats {
         self.merge_splits += o.merge_splits;
         self.merge_salvaged += o.merge_salvaged;
         self.backoff_waits += o.backoff_waits;
+        self.durable_words += o.durable_words;
+        self.durable_skipped += o.durable_skipped;
+        self.durable_flushes += o.durable_flushes;
         self.reads.merge(&o.reads);
         self.writes.merge(&o.writes);
     }
@@ -327,6 +344,9 @@ mod tests {
         b.merge_splits = 2;
         b.merge_salvaged = 5;
         b.backoff_waits = 4;
+        b.durable_words = 11;
+        b.durable_skipped = 13;
+        b.durable_flushes = 2;
         a.merge(&b);
         assert_eq!(a.commits, 5);
         assert_eq!(a.aborts, 1);
@@ -341,6 +361,9 @@ mod tests {
         assert_eq!(a.merge_splits, 2);
         assert_eq!(a.merge_salvaged, 5);
         assert_eq!(a.backoff_waits, 4);
+        assert_eq!(a.durable_words, 11);
+        assert_eq!(a.durable_skipped, 13);
+        assert_eq!(a.durable_flushes, 2);
     }
 
     #[test]

@@ -230,6 +230,23 @@ pub struct WorkerCtx<'rt> {
     pub(crate) batch_base: u64,
     /// Whether a `txn_batch` window is executing (gates `TxBatch::boundary`).
     pub(crate) in_batch: bool,
+    /// `rt.durable.is_some()`, hoisted for the commit path (the barrier
+    /// hot paths never consult it).
+    pub(crate) durable_on: bool,
+    /// Framed redo records awaiting a flush to this worker's log file
+    /// (group commit buffers `cfg.durable_flush_batch` of them).
+    pub(crate) dur_buf: Vec<u8>,
+    /// Records currently buffered in `dur_buf`.
+    pub(crate) dur_records: u32,
+    /// This worker's redo-log file name, cached so the per-commit flush
+    /// path never allocates it.
+    pub(crate) dur_log_name: String,
+    /// Scratch for `durable_prepare`'s shared-write address list, reused
+    /// across commits.
+    pub(crate) dur_puts: Vec<u64>,
+    /// Scratch for `durable_prepare`'s surviving-allocation ranges
+    /// (`(start, words)`), reused across commits.
+    pub(crate) dur_ranges: Vec<(u64, u64)>,
     rng: u64,
 }
 
@@ -285,6 +302,12 @@ impl<'rt> WorkerCtx<'rt> {
             batch_logical: 0,
             batch_base: 0,
             in_batch: false,
+            durable_on: rt.durable.is_some(),
+            dur_buf: Vec::new(),
+            dur_records: 0,
+            dur_log_name: crate::durable::log_file_name(tid),
+            dur_puts: Vec::new(),
+            dur_ranges: Vec::new(),
             rng: 0x9E3779B97F4A7C15 ^ (tid as u64 + 1).wrapping_mul(0xA24BAED4963EE407),
         }
     }
@@ -681,6 +704,9 @@ impl Drop for WorkerCtx<'_> {
             self.depth == 0 || std::thread::panicking(),
             "worker dropped inside a transaction"
         );
+        // Flush any group-commit-buffered redo records before the tid
+        // (and with it the log file) can be reused by another worker.
+        self.durable_flush(true);
         // Return the carried-over nursery tail to the shared pool.
         let (lo, hi) = self.nursery_spare;
         if hi > lo {

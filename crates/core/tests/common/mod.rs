@@ -1,0 +1,86 @@
+//! Helpers shared by the differential oracles (`merge_oracle`,
+//! `ranged_oracle`, `typed_oracle`, `nursery_oracle`, `crash_oracle`).
+//!
+//! Each oracle compares two executions that must be *observably
+//! identical*; these helpers build the comparable statistics signatures,
+//! zeroing exactly the telemetry families the configurations under test
+//! legitimately differ in.
+//!
+//! Not every oracle uses every helper, hence:
+#![allow(dead_code)]
+
+use stm::TxStats;
+
+/// A telemetry family that two otherwise-equivalent executions are
+/// allowed to differ in, and which [`redacted_debug`] therefore zeroes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Redact {
+    /// `ranged_*`: batching shape of the ranged entry points (per-word
+    /// vs. span processing is an implementation detail).
+    Ranged,
+    /// `durable_*`: redo-log volume, skip counts, and flush counts (a
+    /// durable run logs, a transient run doesn't; nothing else may
+    /// change).
+    Durable,
+}
+
+/// Debug-format the full statistics with the given telemetry families
+/// zeroed. With no redactions this is the strictest signature: every
+/// counter must match bit-for-bit.
+pub fn redacted_debug(stats: &TxStats, redact: &[Redact]) -> String {
+    let mut s = *stats;
+    for r in redact {
+        match r {
+            Redact::Ranged => {
+                s.ranged_reads = 0;
+                s.ranged_writes = 0;
+                s.ranged_spans = 0;
+                s.ranged_fallbacks = 0;
+            }
+            Redact::Durable => {
+                s.durable_words = 0;
+                s.durable_skipped = 0;
+                s.durable_flushes = 0;
+            }
+        }
+    }
+    format!("{s:?}")
+}
+
+/// The logical-outcome signature: the counters that describe *what the
+/// program did* (commit/abort/alloc/free totals and barrier volumes),
+/// independent of how the runtime processed it. Two executions of the
+/// same logical program must agree on this line even when their physical
+/// shapes (merging, splits, clock traffic) differ.
+pub fn logical_line(s: &TxStats) -> String {
+    format!(
+        "commits={} aborts={} user={} partial={} allocs={} frees={} \
+         reads={} writes={}",
+        s.commits,
+        s.aborts,
+        s.user_aborts,
+        s.partial_aborts,
+        s.tx_allocs,
+        s.tx_frees,
+        s.reads.total,
+        s.writes.total,
+    )
+}
+
+/// [`logical_line`] with the full per-direction barrier breakdowns
+/// appended: the signature for oracles whose two runs must also produce
+/// identical *capture verdicts* per access, not just identical volumes.
+pub fn logical_line_with_barriers(s: &TxStats) -> String {
+    format!(
+        "commits={} aborts={} user={} partial={} allocs={} frees={} \
+         reads={:?} writes={:?}",
+        s.commits,
+        s.aborts,
+        s.user_aborts,
+        s.partial_aborts,
+        s.tx_allocs,
+        s.tx_frees,
+        s.reads,
+        s.writes,
+    )
+}

@@ -1,0 +1,799 @@
+//! Kill-and-recover oracle for the durable redo-log commit mode
+//! (`TxConfig::durable`, ISSUE 8 tentpole).
+//!
+//! A deterministic script of logical transactions runs on a durable
+//! runtime whose [`SimDisk`] is armed with a crash-point fault plan:
+//! the disk dies before, in the middle of (torn tail), or right after a
+//! log append, or inside a checkpoint (after the snapshot, or after the
+//! manifest but before log truncation). The workload stops when it
+//! notices the kill, [`recover`] rebuilds a runtime from whatever
+//! survived, and the oracle diffs the recovered memory **word for word**
+//! against a pure shadow simulation of the committed prefix the recovery
+//! reports:
+//!
+//! * every shared cell holds exactly the value after `L` logical commits
+//!   (`L` = `RecoveryReport::logical_committed`) — never a torn mixture;
+//! * every publication slot points at the block the `L`-prefix published
+//!   (the *actual* pointer the crashed run allocated), and the block's
+//!   contents — written through the **captured** elided path and logged
+//!   as one coalesced range — are bit-exact, header-restored;
+//! * `L` never exceeds what the crashed run committed, and equals it
+//!   when no fault fired.
+//!
+//! The property runs the script across the paper's whole configuration
+//! matrix — allocation-log kinds × nursery × transaction merging
+//! (`txn_batch` windows, one record per physical window) × the typed
+//! object layer — with strict (`durable_flush_batch = 1`) and group
+//! (`> 1`) commit, plus optional mid-run checkpoints. Deterministic
+//! companions pin each fault phase at every append index, the checkpoint
+//! crash windows, the background checkpointer, and durable-mode
+//! transparency (durable vs. transient runs are observably identical,
+//! durable telemetry redacted via `tests/common`).
+
+mod common;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use stm::{
+    recover, Abort, CheckScope, FaultPhase, FaultPlan, LogKind, Mode, RecoveryReport, SimDisk,
+    Site, StmRuntime, Tx, TxConfig, TxResult,
+};
+use txmem::{Addr, MemConfig};
+
+static S_SHARED: Site = Site::shared("crash.shared");
+static S_CAP: Site = Site::captured_escaped("crash.captured");
+static S_LOCAL: Site = Site::captured_local("crash.local");
+
+const CELLS: u64 = 8;
+const SLOTS: u64 = 4;
+const BLK_WORDS: u64 = 4;
+
+/// One logical transaction, fully determined by its fields and its index:
+/// a shared-cell RMW, optionally an allocate-fill-publish (the captured →
+/// coalesced-range path), optionally a nested child (partial abort),
+/// optionally a user abort (no effects, no commit).
+#[derive(Clone, Debug)]
+struct TxnSpec {
+    cell: u8,
+    val: u64,
+    alloc: bool,
+    slot: u8,
+    free_old: bool,
+    nested: bool,
+    abort_nested: bool,
+    user_abort: bool,
+}
+
+fn txn_spec() -> impl Strategy<Value = TxnSpec> {
+    (
+        (any::<u8>(), any::<u64>(), any::<bool>(), any::<u8>()),
+        (
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            prop_oneof![4 => Just(false), 1 => Just(true)],
+        ),
+    )
+        .prop_map(
+            |((cell, val, alloc, slot), (free_old, nested, abort_nested, user_abort))| TxnSpec {
+                cell,
+                val,
+                alloc,
+                slot,
+                free_old,
+                nested,
+                abort_nested,
+                user_abort,
+            },
+        )
+}
+
+/// Configuration axes one oracle case exercises.
+#[derive(Clone, Copy, Debug)]
+struct OracleCfg {
+    log: LogKind,
+    nursery: bool,
+    /// `None` = one `txn_result` per logical transaction; `Some(w)` =
+    /// merged `txn_batch` windows of width `w`.
+    merge: Option<usize>,
+    /// Drive the block fill/publish through the typed layer
+    /// (`alloc_buf`/`write_elem`) instead of raw word barriers.
+    typed: bool,
+    flush_batch: u32,
+    /// Run one checkpoint after this many logical transactions completed.
+    ckpt_after: Option<usize>,
+}
+
+fn oracle_cfg() -> impl Strategy<Value = OracleCfg> {
+    (
+        (
+            0..LogKind::ALL.len(),
+            any::<bool>(),
+            prop_oneof![2 => Just(None), 1 => (2..5usize).prop_map(Some)],
+        ),
+        (
+            any::<bool>(),
+            prop_oneof![3 => Just(1u32), 1 => Just(4u32)],
+            prop_oneof![2 => Just(None), 1 => (1..6usize).prop_map(Some)],
+        ),
+    )
+        .prop_map(
+            |((log_idx, nursery, merge), (typed, flush_batch, ckpt_after))| OracleCfg {
+                log: LogKind::ALL[log_idx],
+                nursery,
+                merge,
+                typed,
+                flush_batch,
+                ckpt_after,
+            },
+        )
+}
+
+fn fault() -> impl Strategy<Value = Option<FaultPlan>> {
+    prop_oneof![
+        1 => Just(None),
+        4 => (0..3usize, 0..40u64, 0..160u32).prop_map(|(ph, at, torn_keep)| {
+            Some(FaultPlan {
+                phase: [FaultPhase::PreFlush, FaultPhase::TornFlush, FaultPhase::PostFlush][ph],
+                at,
+                torn_keep,
+            })
+        }),
+    ]
+}
+
+fn config(oc: &OracleCfg) -> TxConfig {
+    let mut cfg = TxConfig::builder()
+        .mode(Mode::Runtime {
+            log: oc.log,
+            scope: CheckScope::FULL,
+        })
+        .nursery(oc.nursery)
+        .merge_max(oc.merge.unwrap_or(1).max(1) as u32)
+        .durable(true)
+        .durable_flush_batch(oc.flush_batch)
+        .build()
+        .unwrap();
+    cfg.orec_log2 = 12; // small orec table; single-threaded workload
+    cfg
+}
+
+// ---------------------------------------------------------------------------
+// Shadow simulation: the committed-prefix oracle
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct SimState {
+    cells: Vec<u64>,
+    /// Per slot: the publishing transaction's index and the block contents
+    /// it committed (`None` = never published).
+    slots: Vec<Option<(usize, Vec<u64>)>>,
+}
+
+fn blk_content(i: usize) -> Vec<u64> {
+    let i = i as u64;
+    let mut c: Vec<u64> = (0..BLK_WORDS).map(|j| i * 1000 + j).collect();
+    c[0] = i * 1000 + 7777; // the deliberate double write (coalescing)
+    c
+}
+
+fn sim_apply(st: &mut SimState, t: &TxnSpec, i: usize) {
+    let c = t.cell as usize % CELLS as usize;
+    st.cells[c] = st.cells[c].wrapping_mul(3).wrapping_add(t.val ^ i as u64);
+    if t.alloc {
+        st.slots[t.slot as usize % SLOTS as usize] = Some((i, blk_content(i)));
+    }
+    if t.nested && !t.abort_nested {
+        let c2 = (t.cell as usize + 1) % CELLS as usize;
+        st.cells[c2] ^= i as u64 * 31 + 7;
+    }
+}
+
+/// Pure re-execution of the first `upto_commits` *committing*
+/// transactions of the script (user aborts commit nothing and don't
+/// count).
+fn simulate(script: &[TxnSpec], upto_commits: u64) -> SimState {
+    let mut st = SimState {
+        cells: vec![0; CELLS as usize],
+        slots: vec![None; SLOTS as usize],
+    };
+    let mut committed = 0u64;
+    for (i, t) in script.iter().enumerate() {
+        if committed == upto_commits {
+            break;
+        }
+        if t.user_abort {
+            continue;
+        }
+        sim_apply(&mut st, t, i);
+        committed += 1;
+    }
+    assert_eq!(
+        committed, upto_commits,
+        "recovery reported a logical prefix the script cannot produce"
+    );
+    st
+}
+
+// ---------------------------------------------------------------------------
+// The real workload
+// ---------------------------------------------------------------------------
+
+struct Crashed {
+    cells: Addr,
+    slots: Addr,
+    /// Logical commits the crashed run performed (in memory; the disk may
+    /// hold fewer).
+    committed: u64,
+    /// Per transaction index: the block address its final (committed)
+    /// execution published, 0 if none.
+    ptrs: Vec<u64>,
+    killed: bool,
+    stats: stm::TxStats,
+}
+
+fn body(
+    tx: &mut Tx<'_, '_>,
+    t: &TxnSpec,
+    i: usize,
+    cells: Addr,
+    slots: Addr,
+    typed: bool,
+    ptrs: &RefCell<Vec<u64>>,
+) -> TxResult<()> {
+    let iu = i as u64;
+    let c = cells.word(u64::from(t.cell) % CELLS);
+    let v = tx.read(&S_SHARED, c)?;
+    tx.write(&S_SHARED, c, v.wrapping_mul(3).wrapping_add(t.val ^ iu))?;
+    if t.alloc {
+        let p = if typed {
+            let buf = tx.alloc_buf::<u64>(BLK_WORDS)?;
+            for j in 0..BLK_WORDS {
+                tx.write_elem(&S_LOCAL, buf, j, iu * 1000 + j)?;
+            }
+            tx.write_elem(&S_CAP, buf, 0, iu * 1000 + 7777)?;
+            buf.addr()
+        } else {
+            let p = tx.alloc(BLK_WORDS * 8)?;
+            for j in 0..BLK_WORDS {
+                tx.write(&S_LOCAL, p.word(j), iu * 1000 + j)?;
+            }
+            tx.write(&S_CAP, p, iu * 1000 + 7777)?;
+            p
+        };
+        let slot = slots.word(u64::from(t.slot) % SLOTS);
+        let old = tx.read(&S_SHARED, slot)?;
+        tx.write(&S_SHARED, slot, p.raw())?;
+        if t.free_old && old != 0 {
+            tx.free(Addr(old));
+        }
+        ptrs.borrow_mut()[i] = p.raw();
+    }
+    if t.nested {
+        let abort = t.abort_nested;
+        let c2 = cells.word((u64::from(t.cell) + 1) % CELLS);
+        let delta = iu * 31 + 7;
+        let _ = tx.nested(|n| {
+            let v = n.read(&S_SHARED, c2)?;
+            n.write(&S_SHARED, c2, v ^ delta)?;
+            if abort {
+                Err(Abort::User(9))
+            } else {
+                Ok(())
+            }
+        })?;
+    }
+    if t.user_abort {
+        return Err(Abort::User(iu + 1));
+    }
+    Ok(())
+}
+
+/// Run the script on a durable runtime over `disk` until it finishes or
+/// the armed fault kills the disk.
+fn run_workload(script: &[TxnSpec], oc: &OracleCfg, disk: &Arc<SimDisk>) -> Crashed {
+    let rt = StmRuntime::new_durable(MemConfig::small(), config(oc), disk.clone());
+    let cells = rt.alloc_global(CELLS * 8);
+    let slots = rt.alloc_global(SLOTS * 8);
+    let ptrs = RefCell::new(vec![0u64; script.len()]);
+    let mut committed = 0u64;
+    let mut ckpt_done = false;
+    {
+        let mut w = rt.spawn_worker();
+        let mut done = 0usize;
+        while done < script.len() && !disk.is_killed() {
+            match oc.merge {
+                None => {
+                    let t = &script[done];
+                    let i = done;
+                    let r = w.txn_result(|tx| body(tx, t, i, cells, slots, oc.typed, &ptrs));
+                    if r.is_ok() {
+                        committed += 1;
+                    }
+                    done += 1;
+                }
+                Some(width) => {
+                    let offset = done;
+                    let quota = width.min(script.len() - done);
+                    let run = w.txn_batch(quota, |b| {
+                        let i = offset + b.logical_index() as usize;
+                        let t = &script[i];
+                        body(&mut *b, t, i, cells, slots, oc.typed, &ptrs)?;
+                        Ok(true)
+                    });
+                    committed += run.committed;
+                    done += run.committed as usize;
+                    if run.user_abort.is_some() {
+                        done += 1; // the aborting transaction is consumed, not retried
+                    }
+                }
+            }
+            if let Some(k) = oc.ckpt_after {
+                if done >= k && !ckpt_done {
+                    rt.checkpoint_now();
+                    ckpt_done = true;
+                }
+            }
+        }
+    }
+    Crashed {
+        cells,
+        slots,
+        committed,
+        ptrs: ptrs.into_inner(),
+        killed: disk.is_killed(),
+        stats: rt.collect_stats(),
+    }
+}
+
+/// Recover from `disk` and diff memory word-for-word against the shadow
+/// simulation of the reported committed prefix. Returns the report for
+/// callers asserting phase-specific expectations.
+fn verify_recovery(
+    script: &[TxnSpec],
+    oc: &OracleCfg,
+    disk: &Arc<SimDisk>,
+    crashed: &Crashed,
+) -> RecoveryReport {
+    let (rt2, report) = recover(MemConfig::small(), config(oc), disk.clone());
+    let l = report.logical_committed;
+    assert!(
+        l <= crashed.committed,
+        "recovered more ({l}) than the crashed run committed ({})",
+        crashed.committed
+    );
+    if !crashed.killed {
+        assert_eq!(
+            l, crashed.committed,
+            "a kill-free run must recover every commit"
+        );
+    }
+    let sim = simulate(script, l);
+    for c in 0..CELLS as usize {
+        assert_eq!(
+            rt2.mem().load_private(crashed.cells.word(c as u64)),
+            sim.cells[c],
+            "cell {c} diverged after recovering {l} commits"
+        );
+    }
+    for s in 0..SLOTS as usize {
+        let got = rt2.mem().load_private(crashed.slots.word(s as u64));
+        match &sim.slots[s] {
+            None => assert_eq!(got, 0, "slot {s} must be unpublished"),
+            Some((i, content)) => {
+                let ptr = crashed.ptrs[*i];
+                assert_ne!(ptr, 0, "ledger lost the publisher of slot {s}");
+                assert_eq!(got, ptr, "slot {s} points at the wrong block");
+                for (j, &want) in content.iter().enumerate() {
+                    assert_eq!(
+                        rt2.mem().load_private(Addr(ptr).word(j as u64)),
+                        want,
+                        "block word {j} of slot {s} (publisher txn {i}) diverged"
+                    );
+                }
+            }
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// The property
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The tentpole's oracle: for any script, configuration, and crash
+    // point, recovery reconstructs exactly the committed prefix the disk
+    // holds — bit-identical cells, slots, and published block contents.
+    #[test]
+    fn recovery_is_exactly_the_logged_prefix(
+        script in proptest::collection::vec(txn_spec(), 3..14),
+        oc in oracle_cfg(),
+        fault in fault(),
+    ) {
+        let disk = SimDisk::new();
+        if let Some(f) = fault {
+            disk.arm(f);
+        }
+        let crashed = run_workload(&script, &oc, &disk);
+        let report = verify_recovery(&script, &oc, &disk, &crashed);
+        prop_assert!(report.frontier > 0, "recovery must restore a heap frontier");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic companions
+// ---------------------------------------------------------------------------
+
+/// A fixed script in which every transaction commits and writes (so, in
+/// strict mode with no checkpoints, log appends correspond 1:1 to
+/// commits).
+fn fixed_script(n: usize) -> Vec<TxnSpec> {
+    (0..n)
+        .map(|i| TxnSpec {
+            cell: i as u8,
+            val: 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1),
+            alloc: i % 2 == 0,
+            slot: i as u8,
+            free_old: i % 4 == 0,
+            nested: i % 3 == 0,
+            abort_nested: i % 6 == 0,
+            user_abort: false,
+        })
+        .collect()
+}
+
+const DET_CFG: OracleCfg = OracleCfg {
+    log: LogKind::Tree,
+    nursery: false,
+    merge: None,
+    typed: false,
+    flush_batch: 1,
+    ckpt_after: None,
+};
+
+/// Every fault phase at every append index: PreFlush at `k` loses commit
+/// `k`; PostFlush at `k` keeps it; TornFlush at `k` loses it and leaves a
+/// torn tail for recovery to chop (when any bytes landed).
+#[test]
+fn every_flush_phase_at_every_append_recovers_the_exact_prefix() {
+    let script = fixed_script(6);
+    for phase in [
+        FaultPhase::PreFlush,
+        FaultPhase::TornFlush,
+        FaultPhase::PostFlush,
+    ] {
+        for at in 0..script.len() as u64 {
+            let disk = SimDisk::new();
+            disk.arm(FaultPlan {
+                phase,
+                at,
+                torn_keep: 13,
+            });
+            let crashed = run_workload(&script, &DET_CFG, &disk);
+            assert!(crashed.killed, "{phase:?}@{at} never fired");
+            let report = verify_recovery(&script, &DET_CFG, &disk, &crashed);
+            let expect_l = match phase {
+                FaultPhase::PostFlush => at + 1,
+                _ => at,
+            };
+            assert_eq!(
+                report.logical_committed, expect_l,
+                "{phase:?}@{at}: wrong prefix length"
+            );
+            let expect_torn = u64::from(phase == FaultPhase::TornFlush);
+            assert_eq!(
+                report.torn_tails, expect_torn,
+                "{phase:?}@{at}: torn-tail accounting"
+            );
+        }
+    }
+}
+
+/// Crash after the new snapshot is written but before the manifest points
+/// at it: recovery must come from the old state (manifest + full logs)
+/// and still reconstruct everything.
+#[test]
+fn checkpoint_crash_mid_snapshot_recovers_from_logs() {
+    let script = fixed_script(8);
+    let disk = SimDisk::new();
+    disk.arm(FaultPlan {
+        phase: FaultPhase::MidSnapshot,
+        at: 0,
+        torn_keep: 0,
+    });
+    let crashed = {
+        let oc = OracleCfg {
+            ckpt_after: Some(5),
+            ..DET_CFG
+        };
+        run_workload(&script, &oc, &disk)
+    };
+    assert!(crashed.killed, "checkpoint fault never fired");
+    let report = verify_recovery(&script, &DET_CFG, &disk, &crashed);
+    // The manifest was never updated: no snapshot, all records replayed.
+    assert_eq!(report.snapshot_clock, 0);
+    assert_eq!(report.logical_committed, 5, "all five pre-kill commits");
+    assert_eq!(report.stale_skipped, 0);
+}
+
+/// Crash after the manifest flips but before the logs truncate: every log
+/// record is now stale (`wv ≤` snapshot clock) and must be skipped, not
+/// re-applied.
+#[test]
+fn checkpoint_crash_pre_truncate_skips_stale_records() {
+    let script = fixed_script(8);
+    let disk = SimDisk::new();
+    disk.arm(FaultPlan {
+        phase: FaultPhase::PreTruncate,
+        at: 0,
+        torn_keep: 0,
+    });
+    let crashed = {
+        let oc = OracleCfg {
+            ckpt_after: Some(5),
+            ..DET_CFG
+        };
+        run_workload(&script, &oc, &disk)
+    };
+    assert!(crashed.killed, "checkpoint fault never fired");
+    let report = verify_recovery(&script, &DET_CFG, &disk, &crashed);
+    assert!(report.snapshot_clock > 0, "recovery must use the snapshot");
+    assert_eq!(report.logical_committed, 5);
+    assert_eq!(report.records_applied, 0, "every log record is stale");
+    assert_eq!(report.stale_skipped, 5);
+}
+
+/// A clean checkpoint followed by more commits: recovery = snapshot +
+/// replay of only the post-checkpoint records.
+#[test]
+fn checkpoint_then_more_commits_replays_only_the_suffix() {
+    let script = fixed_script(9);
+    let disk = SimDisk::new();
+    let oc = OracleCfg {
+        ckpt_after: Some(4),
+        ..DET_CFG
+    };
+    let crashed = run_workload(&script, &oc, &disk);
+    assert!(!crashed.killed);
+    let report = verify_recovery(&script, &oc, &disk, &crashed);
+    assert!(report.snapshot_clock > 0);
+    assert_eq!(report.logical_committed, 9);
+    assert_eq!(report.records_applied, 5, "only the post-checkpoint tail");
+}
+
+/// Group commit (`durable_flush_batch > 1`): flushes are batched (fewer
+/// disk appends than commits), a crash loses at most the buffered tail,
+/// and a clean worker drop flushes everything.
+#[test]
+fn group_commit_batches_flushes_and_loses_at_most_the_buffer() {
+    let script = fixed_script(10);
+    let oc = OracleCfg {
+        flush_batch: 4,
+        ..DET_CFG
+    };
+    // Clean run: everything recovered, flushes < commits.
+    let disk = SimDisk::new();
+    let crashed = run_workload(&script, &oc, &disk);
+    assert_eq!(crashed.committed, 10);
+    assert!(
+        crashed.stats.durable_flushes < crashed.stats.commits,
+        "batching must amortize flushes: {:?}",
+        crashed.stats
+    );
+    let report = verify_recovery(&script, &oc, &disk, &crashed);
+    assert_eq!(report.logical_committed, 10);
+
+    // Killed at the second append: commits 0..8 flushed in two batches of
+    // four; everything buffered after is lost, nothing torn.
+    let disk = SimDisk::new();
+    disk.arm(FaultPlan {
+        phase: FaultPhase::PostFlush,
+        at: 1,
+        torn_keep: 0,
+    });
+    let crashed = run_workload(&script, &oc, &disk);
+    assert!(crashed.killed);
+    let report = verify_recovery(&script, &oc, &disk, &crashed);
+    assert_eq!(report.logical_committed, 8);
+    assert_eq!(report.torn_tails, 0);
+}
+
+/// The background checkpointer compacting logs concurrently with a live
+/// worker (the quiesce gate under real contention): recovery still
+/// reconstructs every commit, from a snapshot plus a short log suffix.
+#[test]
+fn background_checkpointer_compacts_logs_under_load() {
+    let script = fixed_script(64);
+    let disk = SimDisk::new();
+    let rt = StmRuntime::new_durable(MemConfig::small(), config(&DET_CFG), disk.clone());
+    let cells = rt.alloc_global(CELLS * 8);
+    let slots = rt.alloc_global(SLOTS * 8);
+    let ptrs = RefCell::new(vec![0u64; script.len()]);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        s.spawn(|| rt.checkpoint_loop(2048, &stop));
+        let mut w = rt.spawn_worker();
+        for (i, t) in script.iter().enumerate() {
+            let _ = w.txn_result(|tx| body(tx, t, i, cells, slots, false, &ptrs));
+        }
+        drop(w);
+        // The workload is much faster than the checkpointer's 1 ms poll:
+        // hold the loop open until it has seen the over-threshold logs
+        // and truncated them, then let it exit.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while disk.log_bytes() >= 2048 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Release);
+    });
+    let crashed = Crashed {
+        cells,
+        slots,
+        committed: script.len() as u64,
+        ptrs: ptrs.into_inner(),
+        killed: false,
+        stats: rt.collect_stats(),
+    };
+    let report = verify_recovery(&script, &DET_CFG, &disk, &crashed);
+    assert_eq!(report.logical_committed, 64);
+    assert!(
+        report.snapshot_clock > 0,
+        "64 allocating transactions must have tripped the 2 KiB threshold"
+    );
+}
+
+/// Durable mode is observably transparent: the same script on a transient
+/// runtime produces bit-identical memory and identical statistics once
+/// the durable telemetry is redacted (`tests/common`).
+#[test]
+fn durable_mode_is_transparent_to_the_workload() {
+    let script = fixed_script(12);
+    for nursery in [false, true] {
+        let oc = OracleCfg { nursery, ..DET_CFG };
+        // Durable run.
+        let disk = SimDisk::new();
+        let durable = run_workload(&script, &oc, &disk);
+        assert!(!durable.killed);
+
+        // Transient run: same config minus durability.
+        let mut cfg = TxConfig::builder()
+            .mode(Mode::Runtime {
+                log: oc.log,
+                scope: CheckScope::FULL,
+            })
+            .nursery(nursery)
+            .build()
+            .unwrap();
+        cfg.orec_log2 = 12;
+        let rt = StmRuntime::new(MemConfig::small(), cfg);
+        let cells = rt.alloc_global(CELLS * 8);
+        let slots = rt.alloc_global(SLOTS * 8);
+        let ptrs = RefCell::new(vec![0u64; script.len()]);
+        {
+            let mut w = rt.spawn_worker();
+            for (i, t) in script.iter().enumerate() {
+                let _ = w.txn_result(|tx| body(tx, t, i, cells, slots, false, &ptrs));
+            }
+        }
+        let transient_ptrs = ptrs.into_inner();
+
+        assert_eq!(durable.cells, cells);
+        assert_eq!(durable.slots, slots);
+        assert_eq!(
+            durable.ptrs, transient_ptrs,
+            "allocation placement diverged under durability"
+        );
+        let sim = simulate(&script, script.len() as u64);
+        for c in 0..CELLS as usize {
+            assert_eq!(rt.mem().load_private(cells.word(c as u64)), sim.cells[c]);
+        }
+        assert_eq!(
+            common::redacted_debug(&durable.stats, &[common::Redact::Durable]),
+            common::redacted_debug(&rt.collect_stats(), &[common::Redact::Durable]),
+            "durability changed the execution, not just the logging"
+        );
+        assert!(durable.stats.durable_words > 0);
+        assert!(
+            durable.stats.durable_skipped > 0,
+            "captured fills must be skipped from per-word logging: {:?}",
+            durable.stats
+        );
+    }
+}
+
+/// Recovery hands back a *working* runtime: new transactions commit, new
+/// allocations never collide with recovered blocks, and a second
+/// kill-and-recover round-trips the combined history.
+#[test]
+fn recovered_runtime_keeps_committing_and_recovering() {
+    let script = fixed_script(6);
+    let disk = SimDisk::new();
+    let crashed = run_workload(&script, &DET_CFG, &disk);
+    let report = verify_recovery(&script, &DET_CFG, &disk, &crashed);
+    assert_eq!(report.logical_committed, 6);
+
+    let (rt2, _) = recover(MemConfig::small(), config(&DET_CFG), disk.clone());
+    let live: Vec<u64> = crashed.ptrs.iter().copied().filter(|&p| p != 0).collect();
+    let fresh = {
+        let mut w = rt2.spawn_worker();
+        w.txn(|tx| {
+            let p = tx.alloc(BLK_WORDS * 8)?;
+            for j in 0..BLK_WORDS {
+                tx.write(&S_LOCAL, p.word(j), 4242 + j)?;
+            }
+            let slot = tx.read(&S_SHARED, crashed.slots)?;
+            let _ = slot;
+            tx.write(&S_SHARED, crashed.slots, p.raw())?;
+            Ok(p)
+        })
+    };
+    for &p in &live {
+        let disjoint = fresh.raw() + BLK_WORDS * 8 <= p || p + BLK_WORDS * 8 <= fresh.raw();
+        assert!(
+            disjoint,
+            "fresh block {fresh:?} overlaps recovered block {p:#x}"
+        );
+    }
+    // Second crash-recover cycle over the extended history.
+    let (rt3, report3) = recover(MemConfig::small(), config(&DET_CFG), disk);
+    assert_eq!(report3.logical_committed, 7);
+    assert_eq!(rt3.mem().load_private(crashed.slots), fresh.raw());
+    for j in 0..BLK_WORDS {
+        assert_eq!(rt3.mem().load_private(fresh.word(j)), 4242 + j);
+    }
+}
+
+/// Strict-ordering dependency closure across workers: worker B copies
+/// worker A's counter into its own mirror cell. Whatever the crash point,
+/// the recovered mirror can never exceed the recovered counter — B's
+/// record is only on disk after the A-record it depends on.
+#[test]
+fn strict_ordering_is_dependency_closed_across_workers() {
+    static S_A: Site = Site::shared("crash.dep.counter");
+    static S_B: Site = Site::shared("crash.dep.mirror");
+    for at in [3u64, 7, 12, 19] {
+        let disk = SimDisk::new();
+        disk.arm(FaultPlan {
+            phase: FaultPhase::TornFlush,
+            at,
+            torn_keep: 9,
+        });
+        let rt = StmRuntime::new_durable(MemConfig::small(), config(&DET_CFG), disk.clone());
+        let counter = rt.alloc_global(8);
+        let mirror = rt.alloc_global(8);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut w = rt.spawn_worker();
+                while !disk.is_killed() {
+                    w.txn(|tx| {
+                        let v = tx.read(&S_A, counter)?;
+                        tx.write(&S_A, counter, v + 1)
+                    });
+                }
+            });
+            s.spawn(|| {
+                let mut w = rt.spawn_worker();
+                while !disk.is_killed() {
+                    w.txn(|tx| {
+                        let v = tx.read(&S_A, counter)?;
+                        tx.write(&S_B, mirror, v)
+                    });
+                }
+            });
+        });
+        let (rt2, _) = recover(MemConfig::small(), config(&DET_CFG), disk);
+        let c = rt2.mem().load_private(counter);
+        let m = rt2.mem().load_private(mirror);
+        assert!(
+            m <= c,
+            "mirror {m} outran counter {c}: a dependent record hit disk \
+             before its dependency (kill at append {at})"
+        );
+    }
+}

@@ -33,6 +33,8 @@
 
 use std::cell::{Cell, RefCell};
 
+mod common;
+
 use proptest::prelude::*;
 use stm::{
     Abort, CheckScope, LogKind, MergeSplitPolicy, Mode, Site, StmRuntime, Tx, TxConfig, TxResult,
@@ -324,19 +326,7 @@ fn run(script: &[LogicalTxn], rc: &RunCfg) -> (Vec<u64>, String) {
             mem.push(w.load(p.word(i)));
         }
     }
-    let s = &w.stats;
-    let logical_stats = format!(
-        "commits={} aborts={} user={} partial={} allocs={} frees={} \
-         reads={} writes={}",
-        s.commits,
-        s.aborts,
-        s.user_aborts,
-        s.partial_aborts,
-        s.tx_allocs,
-        s.tx_frees,
-        s.reads.total,
-        s.writes.total,
-    );
+    let logical_stats = common::logical_line(&w.stats);
     (mem, logical_stats)
 }
 

@@ -15,6 +15,8 @@
 //! frees, hole-punching frees, large blocks on the classic path, nesting
 //! with partial abort, and whole-transaction aborts.
 
+mod common;
+
 use proptest::prelude::*;
 use stm::{Abort, CheckScope, LogKind, Mode, Site, StmRuntime, TxConfig};
 use txmem::{Addr, MemConfig};
@@ -211,19 +213,7 @@ fn run(script: &[Txn], nursery: bool) -> (Vec<u64>, String) {
             mem.push(w.load(p.word(i)));
         }
     }
-    let s = &w.stats;
-    let verdict_stats = format!(
-        "commits={} aborts={} user={} partial={} allocs={} frees={} \
-         reads={:?} writes={:?}",
-        s.commits,
-        s.aborts,
-        s.user_aborts,
-        s.partial_aborts,
-        s.tx_allocs,
-        s.tx_frees,
-        s.reads,
-        s.writes
-    );
+    let verdict_stats = common::logical_line_with_barriers(&w.stats);
     (mem, verdict_stats)
 }
 

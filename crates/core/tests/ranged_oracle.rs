@@ -18,6 +18,8 @@
 //! monomorphized ranged rows against the reference pipeline's per-word
 //! degradation (`reference_dispatch`), mirroring `dispatch_equiv`.
 
+mod common;
+
 use proptest::prelude::*;
 use stm::{Abort, CheckScope, LogKind, Mode, Site, StmRuntime, Tx, TxConfig, TxResult, TxStats};
 use txmem::{Addr, MemConfig};
@@ -350,12 +352,7 @@ fn run_ops(
 /// Format the statistics with the `ranged_*` telemetry zeroed: batching
 /// shape is the one observable the two APIs legitimately differ in.
 fn redacted(stats: &TxStats) -> String {
-    let mut s = *stats;
-    s.ranged_reads = 0;
-    s.ranged_writes = 0;
-    s.ranged_spans = 0;
-    s.ranged_fallbacks = 0;
-    format!("{s:?}")
+    common::redacted_debug(stats, &[common::Redact::Ranged])
 }
 
 /// Execute the whole script; returns observable memory (arena + committed

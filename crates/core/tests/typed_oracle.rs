@@ -16,6 +16,8 @@
 //! and one worker, so allocation and stack addresses are deterministic
 //! and pointer-valued fields can be compared bit-for-bit.
 
+mod common;
+
 use proptest::prelude::*;
 use stm::{
     tx_object, tx_word_enum, Abort, CheckScope, LogKind, Mode, Site, StmRuntime, Tx, TxConfig,
@@ -394,7 +396,7 @@ fn run(script: &[Txn], mode: Mode, nursery: bool, typed: bool) -> (Vec<u64>, Str
             mem.push(w.load(p.word(i)));
         }
     }
-    let stats = format!("{:?}", w.stats);
+    let stats = common::redacted_debug(&w.stats, &[]);
     (mem, stats)
 }
 

@@ -203,6 +203,24 @@ impl SharedMem {
         }
     }
 
+    /// Snapshot a byte range into a fresh vector of words. Used by the
+    /// durable checkpointer, which quiesces all transactions first — the
+    /// private-memcpy contract of [`SharedMem::load_range_private`] then
+    /// holds for the whole heap.
+    pub fn snapshot_range(&self, start: Addr, bytes: u64) -> Vec<u64> {
+        debug_assert!(bytes.is_multiple_of(WORD_BYTES));
+        let mut out = vec![0u64; (bytes / WORD_BYTES) as usize];
+        self.load_range_private(start, &mut out);
+        out
+    }
+
+    /// Restore a snapshot taken with [`SharedMem::snapshot_range`]. Used by
+    /// crash recovery before any transaction runs, so the private contract
+    /// holds trivially.
+    pub fn restore_range(&self, start: Addr, words: &[u64]) {
+        self.store_range_private(start, words);
+    }
+
     /// Zero a byte range (must be word aligned).
     pub fn zero_range(&self, start: Addr, bytes: u64) {
         debug_assert!(start.is_aligned() && bytes.is_multiple_of(WORD_BYTES));
@@ -282,6 +300,22 @@ mod tests {
         // Empty ranges are fine.
         mem.load_range_private(a, &mut []);
         mem.store_range_private(a, &[]);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mem = SharedMem::new(MemConfig::small());
+        let a = Addr(mem.layout().heap_start);
+        for i in 0..8 {
+            mem.store(a.word(i), 100 + i);
+        }
+        let snap = mem.snapshot_range(a, 8 * WORD_BYTES);
+        assert_eq!(snap, (0..8).map(|i| 100 + i).collect::<Vec<u64>>());
+        mem.zero_range(a, 8 * WORD_BYTES);
+        mem.restore_range(a, &snap);
+        for i in 0..8 {
+            assert_eq!(mem.load(a.word(i)), 100 + i);
+        }
     }
 
     #[test]
