@@ -160,7 +160,11 @@ pub fn bench_json_from(
                  \"seconds\": {seconds:.6}, \
                  \"runs\": {runs}, \"commits\": {}, \"aborts\": {}, \
                  \"elided_fraction\": {:.4}, \
-                 \"ranged_spans\": {}, \"ranged_fallbacks\": {}}}{}\n",
+                 \"ranged_spans\": {}, \"ranged_fallbacks\": {}, \
+                 \"conflict_read_locked\": {}, \"conflict_write_locked\": {}, \
+                 \"conflict_validation\": {}, \"backoff_waits\": {}, \
+                 \"cm_karma_escalations\": {}, \"cm_serializations\": {}, \
+                 \"attempts_max\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}{}\n",
                 esc(b.name()),
                 esc(&cfg.label()),
                 opts.threads,
@@ -169,6 +173,15 @@ pub fn bench_json_from(
                 all.elided_fraction(),
                 r.stats.ranged_spans,
                 r.stats.ranged_fallbacks,
+                r.stats.conflict_read_locked,
+                r.stats.conflict_write_locked,
+                r.stats.conflict_validation,
+                r.stats.backoff_waits,
+                r.stats.cm_karma_escalations,
+                r.stats.cm_serializations,
+                r.stats.attempts_max,
+                r.stats.latency_pct_ns(0.5),
+                r.stats.latency_pct_ns(0.99),
                 if i < total { "," } else { "" }
             ));
         }
@@ -202,6 +215,10 @@ mod tests {
         assert!(json.contains("ranged captured span 64/tree"));
         assert!(json.contains("\"ranged_span64_vs_per_word_ratio\": "));
         assert!(json.contains("\"ranged_spans\": "));
+        assert!(json.contains("\"conflict_validation\": "));
+        assert!(json.contains("\"cm_serializations\": "));
+        assert!(json.contains("\"attempts_max\": "));
+        assert!(json.contains("\"p99_ns\": "));
         assert!(json.contains("\"stamp\": ["));
         assert!(
             json.contains("\"threads\": 1,"),

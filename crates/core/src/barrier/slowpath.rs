@@ -14,6 +14,7 @@ impl WorkerCtx<'_> {
     /// Full optimistic read: versioned-read loop with snapshot extension
     /// (gives opacity, so transactions never act on inconsistent state).
     pub(crate) fn read_full(&mut self, addr: Addr) -> TxResult<u64> {
+        self.chaos(crate::contention::ChaosPoint::Barrier);
         let (idx, orec) = self.rt.orecs.of(addr);
         let me = self.tid() as u64;
         let mut spins = 0u32;
@@ -26,7 +27,8 @@ impl WorkerCtx<'_> {
                     return Ok(self.mem.load(addr));
                 }
                 spins += 1;
-                if spins > self.cfg.spin_tries {
+                if spins > self.spin_budget {
+                    self.stats.conflict_read_locked += 1;
                     return Err(Abort::Conflict);
                 }
                 std::hint::spin_loop();
@@ -36,13 +38,26 @@ impl WorkerCtx<'_> {
             let v2 = orec.load(Ordering::Acquire);
             if v1 != v2 {
                 spins += 1;
-                if spins > self.cfg.spin_tries {
+                if spins > self.spin_budget {
+                    self.stats.conflict_read_locked += 1;
                     return Err(Abort::Conflict);
                 }
                 continue;
             }
-            if v1 > self.rv && !self.extend() {
-                return Err(Abort::Conflict);
+            if v1 > self.rv {
+                if !self.extend() {
+                    self.stats.conflict_validation += 1;
+                    return Err(Abort::Conflict);
+                }
+                // Retry the versioned read under the extended snapshot.
+                // The sandwich above proved `val` consistent *at `v1`*, but
+                // commits may have landed between the `v2` load and the
+                // extension's clock read; returning the old sandwich's
+                // value would hand the caller data that is stale at the
+                // new `rv` — and if the record's version has meanwhile
+                // caught up with the extended snapshot, nothing downstream
+                // (write-lock acquisition, GV4 skip-validation) can tell.
+                continue;
             }
             self.reads.push(ReadEntry { idx, version: v1 });
             return Ok(val);
@@ -52,6 +67,7 @@ impl WorkerCtx<'_> {
     /// Full write: encounter-time lock acquisition, undo log, in-place
     /// update.
     pub(crate) fn write_full(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+        self.chaos(crate::contention::ChaosPoint::Barrier);
         let (idx, orec) = self.rt.orecs.of(addr);
         let me = self.tid() as u64;
         let mut spins = 0u32;
@@ -70,13 +86,15 @@ impl WorkerCtx<'_> {
                     return Ok(());
                 }
                 spins += 1;
-                if spins > self.cfg.spin_tries {
+                if spins > self.spin_budget {
+                    self.stats.conflict_write_locked += 1;
                     return Err(Abort::Conflict);
                 }
                 std::hint::spin_loop();
                 continue;
             }
             if v > self.rv && !self.extend() {
+                self.stats.conflict_validation += 1;
                 return Err(Abort::Conflict);
             }
             match orec.compare_exchange_weak(v, lock_value(me), Ordering::AcqRel, Ordering::Acquire)
@@ -92,7 +110,8 @@ impl WorkerCtx<'_> {
                 }
                 Err(_) => {
                     spins += 1;
-                    if spins > self.cfg.spin_tries {
+                    if spins > self.spin_budget {
+                        self.stats.conflict_write_locked += 1;
                         return Err(Abort::Conflict);
                     }
                 }
@@ -116,6 +135,7 @@ impl WorkerCtx<'_> {
     /// failing word before aborting and every word of a stripe fails
     /// together at its first word.
     pub(crate) fn read_full_range(&mut self, addr: Addr, dst: &mut [u64]) -> TxResult<usize> {
+        self.chaos(crate::contention::ChaosPoint::Barrier);
         let span_end = addr.word(dst.len() as u64).raw();
         let mut done = 0usize;
         while done < dst.len() {
@@ -145,7 +165,8 @@ impl WorkerCtx<'_> {
                     return Ok(());
                 }
                 spins += 1;
-                if spins > self.cfg.spin_tries {
+                if spins > self.spin_budget {
+                    self.stats.conflict_read_locked += 1;
                     return Err(Abort::Conflict);
                 }
                 std::hint::spin_loop();
@@ -157,13 +178,21 @@ impl WorkerCtx<'_> {
             let v2 = orec.load(Ordering::Acquire);
             if v1 != v2 {
                 spins += 1;
-                if spins > self.cfg.spin_tries {
+                if spins > self.spin_budget {
+                    self.stats.conflict_read_locked += 1;
                     return Err(Abort::Conflict);
                 }
                 continue;
             }
-            if v1 > self.rv && !self.extend() {
-                return Err(Abort::Conflict);
+            if v1 > self.rv {
+                if !self.extend() {
+                    self.stats.conflict_validation += 1;
+                    return Err(Abort::Conflict);
+                }
+                // Same stale-sandwich hazard as `read_full`: re-run the
+                // versioned read so the returned stripe reflects the
+                // extended snapshot.
+                continue;
             }
             self.reads.push(ReadEntry { idx, version: v1 });
             return Ok(());
@@ -178,6 +207,7 @@ impl WorkerCtx<'_> {
     /// a per-word loop produces (its first word CASes the orec, the rest
     /// take the owned path). Same stats contract as the ranged read.
     pub(crate) fn write_full_range(&mut self, addr: Addr, src: &[u64]) -> TxResult<usize> {
+        self.chaos(crate::contention::ChaosPoint::Barrier);
         let span_end = addr.word(src.len() as u64).raw();
         let mut done = 0usize;
         while done < src.len() {
@@ -205,13 +235,15 @@ impl WorkerCtx<'_> {
                     return Ok(());
                 }
                 spins += 1;
-                if spins > self.cfg.spin_tries {
+                if spins > self.spin_budget {
+                    self.stats.conflict_write_locked += 1;
                     return Err(Abort::Conflict);
                 }
                 std::hint::spin_loop();
                 continue;
             }
             if v > self.rv && !self.extend() {
+                self.stats.conflict_validation += 1;
                 return Err(Abort::Conflict);
             }
             match orec.compare_exchange_weak(v, lock_value(me), Ordering::AcqRel, Ordering::Acquire)
@@ -223,7 +255,8 @@ impl WorkerCtx<'_> {
                 }
                 Err(_) => {
                     spins += 1;
-                    if spins > self.cfg.spin_tries {
+                    if spins > self.spin_budget {
+                        self.stats.conflict_write_locked += 1;
                         return Err(Abort::Conflict);
                     }
                 }

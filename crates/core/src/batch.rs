@@ -161,22 +161,26 @@ impl<'rt> WorkerCtx<'rt> {
             "merge factor {n} exceeds TxConfig::merge_max {}",
             self.cfg.merge_max
         );
-        self.attempts = 0;
-        self.backoff_prev = 0;
+        self.cm_reset();
         let n = n as u64;
         let mut total = 0u64;
         // After a split/abort the next window runs a single logical
         // transaction — "the conflicting remainder retries unmerged" —
         // then full-width merging resumes.
         let mut degraded = false;
+        let mut t0 = std::time::Instant::now();
         while total < n {
             let quota = if degraded { 1 } else { n - total };
             self.batch_base = total;
             let (committed, end) = self.run_window(quota, &mut f);
             total += committed;
             if committed > 0 {
-                self.attempts = 0;
-                self.backoff_prev = 0;
+                // Forward progress: de-escalate the contention ladder and
+                // book the committed window's wall-clock latency (retried
+                // attempts since the last committed window included).
+                self.cm_reset();
+                self.stats.record_latency_ns(t0.elapsed().as_nanos() as u64);
+                t0 = std::time::Instant::now();
             }
             match end {
                 WindowEnd::Stopped => {
@@ -255,7 +259,7 @@ impl<'rt> WorkerCtx<'rt> {
                         // in-flight invocation counted by rollback_top.
                         self.stats.aborts += self.batch_logical;
                         self.rollback_top();
-                        self.backoff();
+                        self.cm_after_abort();
                         return (0, WindowEnd::Aborted);
                     }
                     MergeSplitPolicy::Salvage => {
@@ -264,7 +268,7 @@ impl<'rt> WorkerCtx<'rt> {
                             // invocation conflicted.
                             self.in_batch = false;
                             self.rollback_top();
-                            self.backoff();
+                            self.cm_after_abort();
                             return (0, WindowEnd::Aborted);
                         }
                         self.batch_unwind_to(inv_mark);
@@ -339,8 +343,10 @@ impl<'rt> WorkerCtx<'rt> {
         if ticket.adopted {
             self.stats.clock_adopts += 1;
         }
+        self.chaos(crate::contention::ChaosPoint::Validation);
         if ticket.need_validate {
             while let Some(p) = self.first_invalid_read() {
+                self.stats.conflict_validation += 1;
                 match self.batch_unwind_for_read(p) {
                     Some(new_logical) => {
                         // Logical transactions new_logical+1.. rolled back
@@ -363,12 +369,13 @@ impl<'rt> WorkerCtx<'rt> {
                         // nothing salvageable.
                         self.stats.aborts += logical - 1; // + rollback_top's 1
                         self.rollback_top();
-                        self.backoff();
+                        self.cm_after_abort();
                         return 0;
                     }
                 }
             }
         }
+        self.chaos(crate::contention::ChaosPoint::Commit);
         // One redo record for the whole batch — durability's share of the
         // amortization — encoded while the surviving locks are still held
         // and flushed (strict mode) before they publish.

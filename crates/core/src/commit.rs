@@ -52,6 +52,11 @@ impl<'rt> WorkerCtx<'rt> {
                 && self.frees.is_empty(),
             "stale transaction logs at begin"
         );
+        // Contention-manager gate first: a serialization-token holder must
+        // be able to drain workers parked here, including ones that would
+        // otherwise sit in the durable quiesce gate below with their
+        // active flag raised.
+        self.cm_enter();
         if self.durable_on {
             // Join the checkpointer's quiesce protocol *before* sampling
             // the clock: the snapshot clock must bound every transaction
@@ -129,6 +134,7 @@ impl<'rt> WorkerCtx<'rt> {
     /// snapshot on success (TinySTM-style; keeps optimistic readers
     /// consistent without visible-reader locking).
     pub(crate) fn extend(&mut self) -> bool {
+        self.chaos(crate::contention::ChaosPoint::Validation);
         let new_rv = self.rt.clock.read();
         if self.validate() {
             self.rv = new_rv;
@@ -158,10 +164,13 @@ impl<'rt> WorkerCtx<'rt> {
         if ticket.adopted {
             self.stats.clock_adopts += 1;
         }
+        self.chaos(crate::contention::ChaosPoint::Validation);
         if ticket.need_validate && !self.validate() {
+            self.stats.conflict_validation += 1;
             self.rollback_top();
             return false;
         }
+        self.chaos(crate::contention::ChaosPoint::Commit);
         // Durable record *before* publication: with a strict flush batch
         // the record is on disk before any other transaction can observe
         // (and depend on) these writes, so the on-disk record set at any
@@ -211,18 +220,44 @@ impl<'rt> WorkerCtx<'rt> {
             self.durable_flush(false);
             self.rt.durable.as_ref().unwrap().exit_active();
         }
+        self.cm_exit();
+    }
+
+    /// Version at which an abort releases the locks it holds: a regular
+    /// commit-clock ticket, drawn once per rollback that actually holds
+    /// locks. Monotonicity gives `wv > prev` for every lock in the set
+    /// whether the CAS wins or adopts, which is what kills the
+    /// lock/rollback version ABA; semantically the release just republishes
+    /// the restored (last-committed) values at a later timestamp, so
+    /// concurrent readers conservatively re-read or abort instead of
+    /// trusting a sandwich that spanned our dirty window.
+    fn abort_release_wv(&self) -> u64 {
+        self.rt.clock.writer_ticket(self.rv).wv
     }
 
     /// Roll back the whole transaction: restore undo values (newest first),
-    /// release locks at their pre-lock versions, undo allocations, cancel
-    /// deferred frees, reset the stack pointer.
+    /// release locks at a fresh version (see [`WorkerCtx::abort_release_wv`]),
+    /// undo allocations, cancel deferred frees, reset the stack pointer.
     pub(crate) fn rollback_top(&mut self) {
         debug_assert!(self.depth >= 1);
         while let Some(u) = self.undo.pop() {
             self.mem.store(u.addr, u.old);
         }
-        for l in self.locks.drain(..) {
-            self.rt.orecs.at(l.idx).store(l.prev, Ordering::Release);
+        // Release at a *fresh* version, not `prev`: restoring the pre-lock
+        // version would let a concurrent versioned-read sandwich (v1 ==
+        // v2) span this lock/dirty-write/rollback episode and accept the
+        // transient in-place value as if it were the committed one — an
+        // ABA the read validation can never detect, because the restored
+        // version lies about the word having been (briefly) dirty. A
+        // ticket is strictly greater than every pre-lock version in the
+        // set (adoption included), so such sandwiches and validations
+        // fail instead; the value they then re-read is the restored
+        // (committed) one. See `abort_release_wv`.
+        if !self.locks.is_empty() {
+            let wv = self.abort_release_wv();
+            for l in self.locks.drain(..) {
+                self.rt.orecs.at(l.idx).store(wv, Ordering::Release);
+            }
         }
         self.reads.clear();
         // Undo allocations: blocks this transaction allocated vanish.
@@ -257,6 +292,7 @@ impl<'rt> WorkerCtx<'rt> {
             // only on the commit path), so only the quiesce gate unwinds.
             self.rt.durable.as_ref().unwrap().exit_active();
         }
+        self.cm_exit();
     }
 
     /// Snapshot the current log positions (the state a partial rollback
@@ -491,11 +527,36 @@ impl<'rt> WorkerCtx<'rt> {
             let u = self.undo.pop().unwrap();
             self.mem.store(u.addr, u.old);
         }
-        while self.locks.len() > cp.locks {
-            let l = self.locks.pop().unwrap();
-            self.rt.orecs.at(l.idx).store(l.prev, Ordering::Release);
-        }
+        // Fresh release version for the same anti-ABA reason as
+        // `rollback_top` (see the comment there); one ticket covers every
+        // lock this child acquired. Unlike a full rollback, the *parent*
+        // transaction survives — and its read set may hold entries for
+        // these very orecs, recorded at the pre-lock version. Those reads
+        // are still semantically valid (we held the lock across the whole
+        // child episode, so no other writer intervened and the restored
+        // value is exactly the one they observed), but version-equality
+        // validation would reject them forever once the orec jumps to the
+        // fresh ticket — a deterministic self-livelock on retry (the
+        // liveness oracle's nested-abort shape found this). Re-stamp the
+        // surviving entries whose recorded version matches the released
+        // lock's `prev` so they expect the republished version instead.
         self.reads.truncate(cp.reads);
+        if self.locks.len() > cp.locks {
+            let wv = self.abort_release_wv();
+            let released: Vec<(u32, u64)> = self.locks[cp.locks..]
+                .iter()
+                .map(|l| (l.idx, l.prev))
+                .collect();
+            self.locks.truncate(cp.locks);
+            for (idx, _) in &released {
+                self.rt.orecs.at(*idx).store(wv, Ordering::Release);
+            }
+            for r in &mut self.reads {
+                if released.contains(&(r.idx, r.version)) {
+                    r.version = wv;
+                }
+            }
+        }
         while self.allocs.len() > cp.allocs {
             let rec = self.allocs.pop().unwrap();
             if let Some(t) = self.classify_log.as_mut() {

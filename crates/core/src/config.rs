@@ -1,5 +1,7 @@
 use capture::LogKind;
 
+use crate::contention::{ChaosPlan, ContentionPolicy};
+
 /// Which barriers perform runtime capture checks, and for which kinds of
 /// captured memory. These correspond to the configurations measured in the
 /// paper's Figure 10/11: checking both stack and heap in both barrier kinds,
@@ -180,6 +182,33 @@ pub struct TxConfig {
     /// operations (relaxed durability; recovery still yields a consistent
     /// committed prefix). Must be in `1..=DURABLE_FLUSH_BATCH_LIMIT`.
     pub durable_flush_batch: u32,
+    /// Which contention manager runs the abort/retry path (see
+    /// [`ContentionPolicy`] and `stm::contention`). The default,
+    /// [`ContentionPolicy::Adaptive`], escalates backoff → karma patience →
+    /// a global serialization token and guarantees forward progress;
+    /// [`ContentionPolicy::Backoff`] is the paper's fixed policy with the
+    /// `max_attempts` panic as the only livelock answer.
+    pub contention_policy: ContentionPolicy,
+    /// Consecutive aborts after which the adaptive ladder enters its karma
+    /// tier: the transaction's lock-spin budget starts growing with its
+    /// attempt count, so chronic aborters out-wait fresh transactions in
+    /// mutual-wait cycles. Must be `1..serialize_threshold`.
+    pub karma_threshold: u64,
+    /// Consecutive aborts after which the adaptive ladder serializes: the
+    /// transaction takes the global token, drains in-flight transactions,
+    /// and runs solo (it then cannot conflict, so it commits). Must be
+    /// `> karma_threshold`.
+    pub serialize_threshold: u64,
+    /// Wall-clock budget (milliseconds) a transaction may spend retrying
+    /// before the adaptive ladder serializes it regardless of its attempt
+    /// count — the starvation bound for long transactions that lose to
+    /// short ones without racking up attempts quickly. Must be `>= 1`.
+    pub cm_time_budget_ms: u64,
+    /// Deterministic schedule-fault injection plan (`None` disables; see
+    /// [`ChaosPlan`]). Test/measurement aid: injects seeded delays, yields
+    /// and sleep-preemptions at barrier/validation/commit points to force
+    /// pathological interleavings.
+    pub chaos: Option<ChaosPlan>,
 }
 
 /// Upper bound for [`TxConfig::merge_max`]: each logical boundary holds a
@@ -208,6 +237,11 @@ impl Default for TxConfig {
             merge_split_policy: MergeSplitPolicy::Salvage,
             durable: false,
             durable_flush_batch: 1,
+            contention_policy: ContentionPolicy::Adaptive,
+            karma_threshold: 8,
+            serialize_threshold: 64,
+            cm_time_budget_ms: 100,
+            chaos: None,
         }
     }
 }
@@ -258,6 +292,26 @@ pub enum ConfigError {
     /// group-commit buffer and the crash-loss window both grow with the
     /// factor, so it is bounded.
     DurableFlushBatchTooLarge(u32),
+    /// `karma_threshold` of zero: the karma tier would escalate before the
+    /// first abort, skipping plain backoff entirely.
+    ZeroKarmaThreshold,
+    /// `serialize_threshold` of zero: every first abort would grab the
+    /// global serialization token, serializing the whole runtime.
+    ZeroSerializeThreshold,
+    /// Escalation thresholds out of order (`karma_threshold >=
+    /// serialize_threshold`): the ladder must pass through the karma tier
+    /// before serializing, or the spin-budget escalation is dead code.
+    UnorderedEscalationThresholds(u64, u64),
+    /// `cm_time_budget_ms` of zero: the wall-clock starvation bound would
+    /// expire immediately, serializing every retried transaction.
+    ZeroContentionTimeBudget,
+    /// A [`crate::ChaosPlan`] with `period` of zero: the injection draw is
+    /// taken modulo the period (1 fires at every enabled point).
+    ZeroChaosPeriod,
+    /// A [`crate::ChaosPlan`] whose `yield_share + preempt_share` exceeds
+    /// 100: the shares are percentages of firings, the remainder are spin
+    /// delays.
+    ChaosSharesTooLarge(u32),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -307,6 +361,26 @@ impl std::fmt::Display for ConfigError {
                 "durable_flush_batch {v} exceeds the supported maximum of \
                  {DURABLE_FLUSH_BATCH_LIMIT}"
             ),
+            ConfigError::ZeroKarmaThreshold => {
+                write!(f, "karma_threshold must be at least 1")
+            }
+            ConfigError::ZeroSerializeThreshold => {
+                write!(f, "serialize_threshold must be at least 1")
+            }
+            ConfigError::UnorderedEscalationThresholds(k, s) => write!(
+                f,
+                "escalation thresholds out of order: karma_threshold {k} must \
+                 be below serialize_threshold {s}"
+            ),
+            ConfigError::ZeroContentionTimeBudget => {
+                write!(f, "cm_time_budget_ms must be at least 1")
+            }
+            ConfigError::ZeroChaosPeriod => {
+                write!(f, "chaos plan period must be at least 1")
+            }
+            ConfigError::ChaosSharesTooLarge(v) => {
+                write!(f, "chaos plan yield_share + preempt_share {v} exceeds 100")
+            }
         }
     }
 }
@@ -422,6 +496,41 @@ impl TxConfigBuilder {
         self
     }
 
+    /// Contention-management policy for the abort/retry path (default
+    /// [`ContentionPolicy::Adaptive`]).
+    pub fn contention_policy(mut self, policy: ContentionPolicy) -> Self {
+        self.cfg.contention_policy = policy;
+        self
+    }
+
+    /// Consecutive aborts before the adaptive ladder's karma tier (default
+    /// 8); see [`TxConfig::karma_threshold`].
+    pub fn karma_threshold(mut self, attempts: u64) -> Self {
+        self.cfg.karma_threshold = attempts;
+        self
+    }
+
+    /// Consecutive aborts before the adaptive ladder serializes (default
+    /// 64); see [`TxConfig::serialize_threshold`].
+    pub fn serialize_threshold(mut self, attempts: u64) -> Self {
+        self.cfg.serialize_threshold = attempts;
+        self
+    }
+
+    /// Wall-clock retry budget in milliseconds before serialization
+    /// (default 100); see [`TxConfig::cm_time_budget_ms`].
+    pub fn cm_time_budget_ms(mut self, ms: u64) -> Self {
+        self.cfg.cm_time_budget_ms = ms;
+        self
+    }
+
+    /// Enable deterministic schedule-fault injection (default off); see
+    /// [`crate::ChaosPlan`].
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.cfg.chaos = Some(plan);
+        self
+    }
+
     /// Validate the combination and produce the configuration.
     pub fn build(self) -> Result<TxConfig, ConfigError> {
         let c = &self.cfg;
@@ -459,6 +568,30 @@ impl TxConfigBuilder {
             return Err(ConfigError::DurableFlushBatchTooLarge(
                 c.durable_flush_batch,
             ));
+        }
+        if c.karma_threshold == 0 {
+            return Err(ConfigError::ZeroKarmaThreshold);
+        }
+        if c.serialize_threshold == 0 {
+            return Err(ConfigError::ZeroSerializeThreshold);
+        }
+        if c.karma_threshold >= c.serialize_threshold {
+            return Err(ConfigError::UnorderedEscalationThresholds(
+                c.karma_threshold,
+                c.serialize_threshold,
+            ));
+        }
+        if c.cm_time_budget_ms == 0 {
+            return Err(ConfigError::ZeroContentionTimeBudget);
+        }
+        if let Some(plan) = &c.chaos {
+            if plan.period == 0 {
+                return Err(ConfigError::ZeroChaosPeriod);
+            }
+            let shares = plan.yield_share + plan.preempt_share;
+            if shares > 100 {
+                return Err(ConfigError::ChaosSharesTooLarge(shares));
+            }
         }
         Ok(self.cfg)
     }
@@ -683,6 +816,74 @@ mod tests {
         assert!(!TxConfig::default().durable);
         assert!(TxConfig::builder().durable_flush_batch(4).build().is_ok());
 
+        // Contention-manager knobs: zero budgets are rejected, and the
+        // escalation thresholds must be ordered (karma strictly below
+        // serialize — the ladder passes through the karma tier first).
+        assert_eq!(
+            TxConfig::builder().karma_threshold(0).build(),
+            Err(ConfigError::ZeroKarmaThreshold)
+        );
+        assert_eq!(
+            TxConfig::builder()
+                .karma_threshold(1)
+                .serialize_threshold(0)
+                .build(),
+            Err(ConfigError::ZeroSerializeThreshold)
+        );
+        assert_eq!(
+            TxConfig::builder()
+                .karma_threshold(64)
+                .serialize_threshold(64)
+                .build(),
+            Err(ConfigError::UnorderedEscalationThresholds(64, 64))
+        );
+        assert_eq!(
+            TxConfig::builder()
+                .karma_threshold(100)
+                .serialize_threshold(10)
+                .build(),
+            Err(ConfigError::UnorderedEscalationThresholds(100, 10))
+        );
+        assert_eq!(
+            TxConfig::builder().cm_time_budget_ms(0).build(),
+            Err(ConfigError::ZeroContentionTimeBudget)
+        );
+        let cm = TxConfig::builder()
+            .contention_policy(ContentionPolicy::Backoff)
+            .karma_threshold(4)
+            .serialize_threshold(32)
+            .cm_time_budget_ms(250)
+            .build()
+            .unwrap();
+        assert_eq!(cm.contention_policy, ContentionPolicy::Backoff);
+        assert_eq!((cm.karma_threshold, cm.serialize_threshold), (4, 32));
+        assert_eq!(cm.cm_time_budget_ms, 250);
+        assert_eq!(
+            TxConfig::default().contention_policy,
+            ContentionPolicy::Adaptive
+        );
+
+        // Chaos plans: the injection period must be at least 1 and the
+        // delay-kind shares are percentages.
+        let mut plan = ChaosPlan::all(7, 0);
+        assert_eq!(
+            TxConfig::builder().chaos(plan).build(),
+            Err(ConfigError::ZeroChaosPeriod)
+        );
+        plan.period = 4;
+        plan.yield_share = 70;
+        plan.preempt_share = 40;
+        assert_eq!(
+            TxConfig::builder().chaos(plan).build(),
+            Err(ConfigError::ChaosSharesTooLarge(110))
+        );
+        let chaotic = TxConfig::builder()
+            .chaos(ChaosPlan::all(7, 4))
+            .build()
+            .unwrap();
+        assert_eq!(chaotic.chaos, Some(ChaosPlan::all(7, 4)));
+        assert_eq!(TxConfig::default().chaos, None);
+
         // Errors render human-readable messages (the expt CLI prints them).
         let msg = format!("{}", ConfigError::NurseryWithoutBackingLog);
         assert!(msg.contains("backing allocation log"), "{msg}");
@@ -694,6 +895,13 @@ mod tests {
         assert!(msg.contains("at least 1"), "{msg}");
         let msg = format!("{}", ConfigError::DurableFlushBatchTooLarge(9999));
         assert!(msg.contains("9999"), "{msg}");
+        let msg = format!("{}", ConfigError::UnorderedEscalationThresholds(9, 3));
+        assert!(
+            msg.contains("karma_threshold 9") && msg.contains("serialize_threshold 3"),
+            "{msg}"
+        );
+        let msg = format!("{}", ConfigError::ChaosSharesTooLarge(120));
+        assert!(msg.contains("120"), "{msg}");
 
         // Every remaining knob flows through.
         let full = TxConfig::builder()

@@ -1,0 +1,466 @@
+//! Adaptive contention management and schedule fault injection.
+//!
+//! The paper's evaluation assumes a "simple exponential backoff contention
+//! manager" and benign STAMP contention; this module is what stands between
+//! that assumption and adversarial traffic. It owns the whole abort/retry
+//! path behind an escalation ladder:
+//!
+//! 1. **Decorrelated-jitter backoff** — the single audited implementation
+//!    of the wait both plain retry (`WorkerCtx::txn`) and merge retry
+//!    (`WorkerCtx::txn_batch`) use ([`WorkerCtx::backoff_wait`]).
+//! 2. **Karma-style patience** — past [`TxConfig::karma_threshold`]
+//!    consecutive aborts, the transaction's lock-spin budget grows with its
+//!    attempt count. In a mutual-wait cycle the *fresher* transaction
+//!    exhausts its (smaller) budget first and aborts, releasing its locks —
+//!    so the chronic aborter wins the conflict without any shared karma
+//!    table.
+//! 3. **Serialization token** — past [`TxConfig::serialize_threshold`]
+//!    attempts (or the [`TxConfig::cm_time_budget_ms`] wall-clock budget),
+//!    the transaction takes a global token, drains every in-flight
+//!    transaction, and runs *solo*. A solo transaction encounters no
+//!    foreign locks and no read invalidations, so it cannot conflict-abort:
+//!    its next attempt commits. That is the forward-progress guarantee that
+//!    replaces the `max_attempts` panic under
+//!    [`ContentionPolicy::Adaptive`].
+//!
+//! The soundness argument for the token (why "solo ⇒ commits") and the
+//! liveness bound it yields are laid out in DESIGN.md §12; the
+//! `liveness_oracle` integration test exercises both under injected
+//! adversarial schedules.
+//!
+//! [`ChaosPlan`] is the schedule-fault-injection seam (the scheduling
+//! analogue of the durable layer's `FaultPlan`): a deterministic, seedable
+//! source of delay / yield / preemption events at barrier, validation, and
+//! commit points, used by the tests to force pathological interleavings
+//! that free-running threads rarely produce.
+//!
+//! [`TxConfig::karma_threshold`]: crate::TxConfig::karma_threshold
+//! [`TxConfig::serialize_threshold`]: crate::TxConfig::serialize_threshold
+//! [`TxConfig::cm_time_budget_ms`]: crate::TxConfig::cm_time_budget_ms
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use txmem::CachePadded;
+
+use crate::worker::WorkerCtx;
+
+/// Which contention manager runs the abort/retry path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ContentionPolicy {
+    /// The paper's fixed policy: decorrelated-jitter exponential backoff
+    /// only, with the `TxConfig::max_attempts` panic as the sole livelock
+    /// answer. Kept as the measurement baseline (`expt contention`
+    /// compares against it) and for workloads that want the panic as a
+    /// bug detector.
+    Backoff,
+    /// The escalation ladder (module docs): backoff, then karma-style
+    /// spin-budget growth, then the global serialization token. Guarantees
+    /// forward progress — chronic aborters serialize instead of
+    /// livelocking, and `max_attempts` is never consulted.
+    #[default]
+    Adaptive,
+}
+
+impl ContentionPolicy {
+    /// Display label used by experiment tables (`"backoff"` /
+    /// `"adaptive"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ContentionPolicy::Backoff => "backoff",
+            ContentionPolicy::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// Where a [`ChaosPlan`] may inject a scheduling fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosPoint {
+    /// Entry of a full (shared-access) read/write barrier — the window
+    /// between observing an orec and acting on it.
+    Barrier,
+    /// Before read-set validation (commit-time validation and timestamp
+    /// extension) — widens the window in which a concurrent writer can
+    /// invalidate the read set.
+    Validation,
+    /// After locks are held, before they publish — stretches the
+    /// lock-held window other transactions spin against.
+    Commit,
+}
+
+/// Deterministic, seedable schedule-fault injection: the scheduling
+/// analogue of the durable layer's `FaultPlan`. Each worker derives its own
+/// stream from `seed` and its thread id, so a plan reproduces the same
+/// injection schedule run after run; at every enabled [`ChaosPoint`] the
+/// stream fires with probability `1/period`, choosing a spin delay, a
+/// `yield_now`, or a sleep-preemption by `yield_share`/`preempt_share`.
+///
+/// Injection only ever *delays* execution — it never changes what a
+/// transaction reads or writes — so any schedule it produces is one the OS
+/// scheduler could have produced; tests that pass under chaos therefore
+/// certify behavior, not luck.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Base seed; each worker mixes in its thread id.
+    pub seed: u64,
+    /// Fire on average once per `period` enabled injection points
+    /// (`>= 1`; 1 fires at every enabled point).
+    pub period: u64,
+    /// Inject at [`ChaosPoint::Barrier`].
+    pub barrier: bool,
+    /// Inject at [`ChaosPoint::Validation`].
+    pub validation: bool,
+    /// Inject at [`ChaosPoint::Commit`].
+    pub commit: bool,
+    /// Upper bound for an injected spin delay (`spin_loop` iterations).
+    pub max_spins: u32,
+    /// Percentage of firings that become a `yield_now` (0..=100).
+    pub yield_share: u32,
+    /// Percentage of firings that become a sleep-preemption (0..=100;
+    /// `yield_share + preempt_share <= 100`, the remainder are spin
+    /// delays).
+    pub preempt_share: u32,
+    /// Sleep length of a preemption firing, in microseconds.
+    pub preempt_us: u32,
+}
+
+impl ChaosPlan {
+    /// A plan covering every injection point with a mixed delay profile:
+    /// mostly spin delays, some yields, a few sleep-preemptions — the
+    /// profile the liveness oracle runs its adversarial workloads under.
+    pub fn all(seed: u64, period: u64) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            period,
+            barrier: true,
+            validation: true,
+            commit: true,
+            max_spins: 256,
+            yield_share: 25,
+            preempt_share: 5,
+            preempt_us: 50,
+        }
+    }
+
+    /// A plan that only stretches the lock-held commit window (the
+    /// highest-leverage point for manufacturing convoys).
+    pub fn commit_only(seed: u64, period: u64) -> ChaosPlan {
+        ChaosPlan {
+            barrier: false,
+            validation: false,
+            ..ChaosPlan::all(seed, period)
+        }
+    }
+
+    /// Derive the per-worker rng state for thread `tid` (splitmix64 of the
+    /// seed/tid mix; never zero, so the xorshift stream cannot lock up).
+    pub(crate) fn rng_for(&self, tid: usize) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add((tid as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        (z ^ (z >> 31)) | 1
+    }
+}
+
+/// Shared contention-manager state on the runtime: the serialization token
+/// and the per-thread active flags its drain protocol scans.
+///
+/// `token` holds `0` when free and `tid + 1` while thread `tid` serializes.
+/// `active[t]` is set while thread `t` is inside a (non-token) physical
+/// transaction. Both sides of the entry/acquire race use `SeqCst` so the
+/// classic Dekker argument applies: an enterer stores its flag *then* loads
+/// the token, an acquirer CASes the token *then* scans the flags — in the
+/// single total order one of them must see the other.
+///
+/// Per-thread cache-padded flags (not a shared counter) keep transaction
+/// begin/end from bouncing one global cache line across every worker.
+pub(crate) struct ContentionState {
+    token: CachePadded<AtomicU64>,
+    active: Box<[CachePadded<AtomicBool>]>,
+}
+
+impl ContentionState {
+    pub(crate) fn new(max_threads: usize) -> ContentionState {
+        ContentionState {
+            token: CachePadded::new(AtomicU64::new(0)),
+            active: (0..max_threads)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+        }
+    }
+}
+
+impl WorkerCtx<'_> {
+    /// Contention-manager gate at top-level transaction begin: announce
+    /// this worker as active, and stand down while a serialization-token
+    /// holder runs solo. Called before the durable quiesce gate — a token
+    /// holder must be able to drain workers parked *at* transaction entry.
+    pub(crate) fn cm_enter(&mut self) {
+        if !self.cm_adaptive || self.holds_token {
+            // Backoff policy keeps the legacy free-for-all; a token holder
+            // needs no active flag — the token itself excludes everyone.
+            return;
+        }
+        let cm = &self.rt.cm;
+        let me = self.tid();
+        cm.active[me].store(true, Ordering::SeqCst);
+        while cm.token.load(Ordering::SeqCst) != 0 {
+            // A chronic aborter is serializing: retract the flag so it can
+            // finish draining, wait for its (guaranteed) commit, re-gate.
+            cm.active[me].store(false, Ordering::SeqCst);
+            while cm.token.load(Ordering::Acquire) != 0 {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+            cm.active[me].store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Contention-manager exit at the end of every physical transaction
+    /// (commit *and* rollback): release the serialization token if held,
+    /// clear the active flag.
+    pub(crate) fn cm_exit(&mut self) {
+        if !self.cm_adaptive {
+            return;
+        }
+        if self.holds_token {
+            self.holds_token = false;
+            self.rt.cm.token.store(0, Ordering::SeqCst);
+        }
+        self.rt.cm.active[self.tid()].store(false, Ordering::SeqCst);
+    }
+
+    /// Reset the per-transaction escalation state (new logical transaction
+    /// or forward progress in a batch).
+    pub(crate) fn cm_reset(&mut self) {
+        self.attempts = 0;
+        self.backoff_prev = 0;
+        self.spin_budget = self.cfg.spin_tries;
+        self.cm_deadline = None;
+    }
+
+    /// The escalation ladder, run after every conflict abort of a
+    /// top-level (physical) transaction. The caller has already rolled
+    /// back, so no locks are held and the active flag is clear.
+    pub(crate) fn cm_after_abort(&mut self) {
+        self.attempts += 1;
+        if self.attempts > self.stats.attempts_max {
+            self.stats.attempts_max = self.attempts;
+        }
+        if !self.cm_adaptive {
+            // The paper's fixed policy: backoff only, with the livelock
+            // safety valve as the sole escape.
+            assert!(
+                self.attempts <= self.cfg.max_attempts,
+                "transaction livelocked: {} consecutive aborts",
+                self.attempts
+            );
+            self.backoff_wait();
+            return;
+        }
+        if self.holds_token {
+            // Defensive only: a solo transaction cannot conflict-abort
+            // (DESIGN.md §12). Retry immediately, keeping the token.
+            return;
+        }
+        if self.attempts == 1 {
+            self.cm_deadline =
+                Some(Instant::now() + Duration::from_millis(self.cfg.cm_time_budget_ms));
+        }
+        let over_time = self.cm_deadline.is_some_and(|d| Instant::now() >= d);
+        if (self.attempts >= self.cfg.serialize_threshold || over_time) && self.cm_acquire_token() {
+            // Token held and every other transaction drained: retry
+            // immediately — it cannot fail.
+            return;
+        }
+        if self.attempts >= self.cfg.karma_threshold {
+            // Karma tier: patience grows with the attempt count, so in a
+            // mutual-wait cycle the fresher (lower-budget) transaction
+            // aborts first and releases its locks to the chronic one.
+            if self.attempts == self.cfg.karma_threshold {
+                self.stats.cm_karma_escalations += 1;
+            }
+            let over = (self.attempts - self.cfg.karma_threshold).min(63) as u32;
+            self.spin_budget = self.cfg.spin_tries.saturating_mul(2 + over);
+        }
+        self.backoff_wait();
+    }
+
+    /// Try to take the global serialization token; on success, drain every
+    /// other in-flight transaction so the next attempt runs solo. Fails
+    /// (without waiting) when another thread is already serializing — the
+    /// caller backs off and stands down at its next `cm_enter`.
+    fn cm_acquire_token(&mut self) -> bool {
+        let cm = &self.rt.cm;
+        let me = self.tid();
+        if cm
+            .token
+            .compare_exchange(0, me as u64 + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        self.holds_token = true;
+        self.stats.cm_serializations += 1;
+        // Drain: every active transaction either commits or aborts in
+        // bounded time (lock holders progress, spinners exhaust their
+        // budget), and the token keeps new ones from entering.
+        for (t, flag) in cm.active.iter().enumerate() {
+            if t == me {
+                continue;
+            }
+            while flag.load(Ordering::SeqCst) {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+        }
+        true
+    }
+
+    /// One decorrelated-jitter backoff wait — the single shared
+    /// implementation behind plain retry and merge retry (one
+    /// `backoff_waits` bump per episode).
+    ///
+    /// Exponential backoff with *decorrelated* jitter: each wait is a
+    /// uniform draw from `[BASE, 3 * previous wait]`, capped at
+    /// `2^backoff_shift_max` spins. Unlike a truncated-exponential
+    /// schedule, chronic aborters do not cluster at the cap and re-collide
+    /// on the same orec stripes — the next wait is seeded by the *drawn*
+    /// wait, not the attempt count, so repeat losers decorrelate from each
+    /// other while still ramping up exponentially in expectation.
+    pub(crate) fn backoff_wait(&mut self) {
+        const BASE: u64 = 16;
+        let cap = (1u64 << self.cfg.backoff_shift_max).max(BASE + 1);
+        let hi = (self.backoff_prev * 3).clamp(BASE + 1, cap);
+        let spins = BASE + self.next_rand() % (hi - BASE);
+        self.backoff_prev = spins;
+        self.stats.backoff_waits += 1;
+        self.stats.record_backoff_spins(spins);
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+        if self.attempts > 4 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Schedule-fault injection hook; a no-op branch unless the runtime
+    /// was configured with a [`ChaosPlan`].
+    #[inline]
+    pub(crate) fn chaos(&mut self, point: ChaosPoint) {
+        if self.chaos_on {
+            self.chaos_fire(point);
+        }
+    }
+
+    #[cold]
+    fn chaos_fire(&mut self, point: ChaosPoint) {
+        let plan = self.cfg.chaos.expect("chaos_on without a plan");
+        let enabled = match point {
+            ChaosPoint::Barrier => plan.barrier,
+            ChaosPoint::Validation => plan.validation,
+            ChaosPoint::Commit => plan.commit,
+        };
+        if !enabled {
+            return;
+        }
+        // xorshift64: deterministic per-worker stream (seeded by
+        // ChaosPlan::rng_for), advanced once per enabled point.
+        let mut x = self.chaos_rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.chaos_rng = x;
+        if !x.is_multiple_of(plan.period) {
+            return;
+        }
+        self.stats.chaos_injections += 1;
+        let sel = (x / plan.period.max(1)) % 100;
+        if sel < u64::from(plan.preempt_share) {
+            std::thread::sleep(Duration::from_micros(u64::from(plan.preempt_us)));
+        } else if sel < u64::from(plan.preempt_share + plan.yield_share) {
+            std::thread::yield_now();
+        } else {
+            let spins = (x >> 24) % u64::from(plan.max_spins.max(1));
+            for _ in 0..spins {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{StmRuntime, TxConfig};
+    use txmem::MemConfig;
+
+    #[test]
+    fn policy_labels() {
+        assert_eq!(ContentionPolicy::Backoff.label(), "backoff");
+        assert_eq!(ContentionPolicy::Adaptive.label(), "adaptive");
+        assert_eq!(ContentionPolicy::default(), ContentionPolicy::Adaptive);
+    }
+
+    #[test]
+    fn chaos_rng_streams_are_distinct_and_stable() {
+        let p = ChaosPlan::all(42, 3);
+        assert_ne!(p.rng_for(0), p.rng_for(1));
+        assert_eq!(p.rng_for(0), p.rng_for(0), "seeding must be deterministic");
+        assert_ne!(ChaosPlan::all(43, 3).rng_for(0), p.rng_for(0));
+        // The commit-only profile keeps the mixed delay shares.
+        let c = ChaosPlan::commit_only(1, 2);
+        assert!(c.commit && !c.barrier && !c.validation);
+    }
+
+    #[test]
+    fn chaos_injection_is_deterministic() {
+        // Same plan + same single-threaded workload twice: identical
+        // injection counts (the whole point of a seedable schedule).
+        let run = || {
+            let mut cfg = TxConfig::default();
+            cfg.chaos = Some(ChaosPlan::all(7, 2));
+            let rt = StmRuntime::new(MemConfig::small(), cfg);
+            let a = rt.alloc_global(64);
+            let mut w = rt.spawn_worker();
+            static S: crate::Site = crate::Site::shared("chaos-det");
+            for _ in 0..50 {
+                w.txn(|tx| {
+                    let v = tx.read(&S, a)?;
+                    tx.write(&S, a, v + 1)
+                });
+            }
+            (w.stats.chaos_injections, w.load(a))
+        };
+        let (i1, v1) = run();
+        let (i2, v2) = run();
+        assert!(i1 > 0, "period-2 chaos over 100 barriers must fire");
+        assert_eq!(i1, i2);
+        assert_eq!(v1, v2);
+        assert_eq!(v1, 50);
+    }
+
+    #[test]
+    fn token_serializes_and_releases() {
+        // Directly exercise the token protocol single-threaded: acquire,
+        // verify the commit path releases it.
+        let rt = StmRuntime::new(MemConfig::small(), TxConfig::default());
+        let a = rt.alloc_global(64);
+        let mut w = rt.spawn_worker();
+        // Force the ladder to the serialization tier.
+        w.attempts = rt.config().serialize_threshold;
+        assert!(w.cm_acquire_token());
+        assert!(w.holds_token);
+        assert_eq!(w.stats.cm_serializations, 1);
+        static S: crate::Site = crate::Site::shared("token-commit");
+        w.txn(|tx| tx.write(&S, a, 9));
+        assert!(!w.holds_token, "commit must release the token");
+        assert_eq!(rt.cm.token.load(Ordering::SeqCst), 0);
+        // A second acquisition works (the token round-trips).
+        assert!(w.cm_acquire_token());
+        w.cm_exit();
+        assert_eq!(rt.cm.token.load(Ordering::SeqCst), 0);
+    }
+}

@@ -67,6 +67,7 @@ mod batch;
 mod clock;
 mod commit;
 mod config;
+mod contention;
 mod durable;
 mod nursery;
 mod orec;
@@ -83,10 +84,11 @@ pub use config::{
     CheckScope, ConfigError, MergeSplitPolicy, Mode, TxConfig, TxConfigBuilder,
     DURABLE_FLUSH_BATCH_LIMIT, MERGE_MAX_LIMIT,
 };
+pub use contention::{ChaosPlan, ChaosPoint, ContentionPolicy};
 pub use durable::{log_file_name, recover, FaultPhase, FaultPlan, RecoveryReport, SimDisk};
 pub use orec::OrecTable;
 pub use runtime::StmRuntime;
 pub use site::Site;
-pub use stats::{BarrierStats, TxStats};
+pub use stats::{BarrierStats, TxStats, BACKOFF_BUCKETS, LATENCY_BUCKETS};
 pub use typed::{Field, StackFrame, TxBuf, TxCursor, TxObject, TxPtr, TxSlice, TxWord, TxWriter};
 pub use worker::{Abort, Tx, TxResult, WorkerCtx};

@@ -232,17 +232,35 @@ impl WorkerCtx<'_> {
     }
 
     /// Top-level abort: un-publish the whole nursery in O(1) per region —
-    /// every carved region goes back to the recycled shards wholesale, no
-    /// per-block free-list walk; one subtraction settles the live-byte
+    /// chained-away regions go back to the recycled shards wholesale (no
+    /// per-block free-list walk), the *active* region is retained as the
+    /// next transaction's spare, and one subtraction settles the live-byte
     /// telemetry for every block at once.
+    ///
+    /// Retaining the active region (rather than recycling it) matters for
+    /// more than speed. A region that started life as a commit-trimmed
+    /// spare is no longer region-class-sized, so `recycle_region_range`
+    /// would splinter it into mid-size class blocks; if the workload never
+    /// allocates those classes, each commit→abort cycle then permanently
+    /// converts ~one region of frontier into unreachable free-list blocks
+    /// and a retry storm bleeds the heap dry (the liveness oracle's
+    /// starvation stress found exactly this under injected chaos). Kept as
+    /// the spare, the abort→retry cycle reuses the same bytes with zero
+    /// allocator traffic.
     pub(crate) fn nursery_abort(&mut self) {
         if self.nursery_live > 0 {
             self.rt.heap.forget_live_bytes(self.nursery_live);
             self.nursery_live = 0;
         }
-        for i in 0..self.nur.region_count() {
+        let n = self.nur.region_count();
+        for i in 0..n {
             let (start, len) = self.nur.regions()[i];
-            if len > 0 {
+            if len == 0 {
+                continue;
+            }
+            if i == n - 1 && self.nursery_spare == (0, 0) {
+                self.nursery_spare = (start, start + len);
+            } else {
                 self.stats.nursery_bytes_recycled +=
                     self.rt
                         .heap

@@ -6,6 +6,7 @@ use txmem::{Addr, CachePadded, MemConfig, SharedMem, ThreadAlloc, TxHeap};
 use crate::barrier::DispatchTable;
 use crate::clock::CommitClock;
 use crate::config::TxConfig;
+use crate::contention::ContentionState;
 use crate::durable::{DurableState, SimDisk};
 use crate::orec::OrecTable;
 use crate::stats::TxStats;
@@ -32,6 +33,10 @@ pub struct StmRuntime {
     /// re-dispatches on `Mode`/`LogKind` again.
     pub(crate) table: &'static DispatchTable,
     pub(crate) global_stats: CachePadded<Mutex<TxStats>>,
+    /// Contention-manager state shared by every worker: the serialization
+    /// token and the per-thread active flags its drain protocol scans (see
+    /// `stm::contention`).
+    pub(crate) cm: ContentionState,
     /// Durable-mode state (disk, quiesce gate, per-tid log counters);
     /// `Some` exactly when `config.durable`.
     pub(crate) durable: Option<Arc<DurableState>>,
@@ -84,6 +89,7 @@ impl StmRuntime {
             table: DispatchTable::select(&config),
             config,
             global_stats: CachePadded::new(Mutex::new(TxStats::default())),
+            cm: ContentionState::new(mem_cfg.max_threads),
             durable,
             tids: Mutex::new(TidPool {
                 next: 0,

@@ -178,6 +178,18 @@ impl BarrierStats {
     }
 }
 
+/// Buckets of [`TxStats::backoff_hist`]: bucket `i` counts backoff waits
+/// of `[2^(i+4), 2^(i+5))` spin iterations (the decorrelated-jitter
+/// schedule starts at 16 spins), with the last bucket absorbing everything
+/// longer.
+pub const BACKOFF_BUCKETS: usize = 8;
+
+/// Buckets of [`TxStats::latency_hist`]: bucket `i` counts top-level
+/// commits whose wall-clock latency fell in `[2^(i+7), 2^(i+8))`
+/// nanoseconds (bucket 0 additionally absorbs everything faster), with the
+/// last bucket absorbing everything slower (≥ ~4 ms).
+pub const LATENCY_BUCKETS: usize = 16;
+
 /// Per-thread (and merged global) transaction statistics.
 #[derive(Default, Clone, Copy, Debug)]
 pub struct TxStats {
@@ -241,6 +253,41 @@ pub struct TxStats {
     /// Contention-manager backoff waits: one per abort-triggered
     /// decorrelated-jitter spin/yield episode in the retry loops.
     pub backoff_waits: u64,
+    /// Conflict aborts raised by a *read* barrier that exhausted its spin
+    /// budget against a foreign-locked (or version-churning) record. Part
+    /// of the abort-cause breakdown: `conflict_read_locked +
+    /// conflict_write_locked + conflict_validation` covers every
+    /// runtime-raised conflict.
+    pub conflict_read_locked: u64,
+    /// Conflict aborts raised by a *write* barrier that exhausted its spin
+    /// budget against a foreign-locked record.
+    pub conflict_write_locked: u64,
+    /// Conflict aborts raised by snapshot validation: a failed timestamp
+    /// extension in a barrier, or commit-time read-set validation finding
+    /// an invalidated entry (each batch-commit salvage iteration counts
+    /// one).
+    pub conflict_validation: u64,
+    /// Adaptive contention manager: transactions that escalated into the
+    /// karma tier (spin-budget growth past `TxConfig::karma_threshold`
+    /// consecutive aborts). Counted once per escalated transaction.
+    pub cm_karma_escalations: u64,
+    /// Adaptive contention manager: global serialization-token
+    /// acquisitions (a chronic aborter draining the runtime to run solo).
+    pub cm_serializations: u64,
+    /// Highest consecutive-abort count any single transaction reached —
+    /// the starvation metric the liveness oracle bounds. Merges with
+    /// `max`, not `+`.
+    pub attempts_max: u64,
+    /// Schedule faults injected by the configured `ChaosPlan` (0 without
+    /// one).
+    pub chaos_injections: u64,
+    /// Log2 histogram of backoff-wait lengths in spin iterations; see
+    /// [`BACKOFF_BUCKETS`].
+    pub backoff_hist: [u64; BACKOFF_BUCKETS],
+    /// Log2 histogram of top-level commit latencies in nanoseconds
+    /// (wall-clock from retry-loop entry to commit, aborted attempts
+    /// included); see [`LATENCY_BUCKETS`] and [`TxStats::latency_pct_ns`].
+    pub latency_hist: [u64; LATENCY_BUCKETS],
     /// Durable mode: words actually appended to the redo log — one per
     /// distinct shared-write address plus the coalesced final contents
     /// (header included) of every surviving in-transaction allocation.
@@ -298,11 +345,61 @@ impl TxStats {
         self.merge_splits += o.merge_splits;
         self.merge_salvaged += o.merge_salvaged;
         self.backoff_waits += o.backoff_waits;
+        self.conflict_read_locked += o.conflict_read_locked;
+        self.conflict_write_locked += o.conflict_write_locked;
+        self.conflict_validation += o.conflict_validation;
+        self.cm_karma_escalations += o.cm_karma_escalations;
+        self.cm_serializations += o.cm_serializations;
+        // The per-transaction maximum, not a sum: the starvation bound is
+        // over individual transactions, whichever worker ran them.
+        self.attempts_max = self.attempts_max.max(o.attempts_max);
+        self.chaos_injections += o.chaos_injections;
+        for (a, b) in self.backoff_hist.iter_mut().zip(&o.backoff_hist) {
+            *a += b;
+        }
+        for (a, b) in self.latency_hist.iter_mut().zip(&o.latency_hist) {
+            *a += b;
+        }
         self.durable_words += o.durable_words;
         self.durable_skipped += o.durable_skipped;
         self.durable_flushes += o.durable_flushes;
         self.reads.merge(&o.reads);
         self.writes.merge(&o.writes);
+    }
+
+    /// Bucket a decorrelated-jitter wait of `spins` iterations into
+    /// [`TxStats::backoff_hist`].
+    pub(crate) fn record_backoff_spins(&mut self, spins: u64) {
+        let log2 = (63 - (spins | 1).leading_zeros()) as usize;
+        self.backoff_hist[log2.saturating_sub(4).min(BACKOFF_BUCKETS - 1)] += 1;
+    }
+
+    /// Bucket one committed top-level transaction's wall-clock latency
+    /// into [`TxStats::latency_hist`].
+    pub(crate) fn record_latency_ns(&mut self, ns: u64) {
+        let log2 = (63 - (ns | 1).leading_zeros()) as usize;
+        self.latency_hist[log2.saturating_sub(7).min(LATENCY_BUCKETS - 1)] += 1;
+    }
+
+    /// Estimate the `p`-quantile (`0.0..=1.0`) of the commit-latency
+    /// histogram, in nanoseconds: the upper edge of the first bucket whose
+    /// cumulative count reaches the quantile (so the estimate is an upper
+    /// bound at bucket resolution). Returns 0 when no latency was
+    /// recorded.
+    pub fn latency_pct_ns(&self, p: f64) -> u64 {
+        let total: u64 = self.latency_hist.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.latency_hist.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return 1u64 << (i + 8);
+            }
+        }
+        1u64 << (LATENCY_BUCKETS + 7)
     }
 
     /// Table 1's metric: aborted-and-retried over committed.
@@ -344,9 +441,21 @@ mod tests {
         b.merge_splits = 2;
         b.merge_salvaged = 5;
         b.backoff_waits = 4;
+        b.conflict_read_locked = 6;
+        b.conflict_write_locked = 7;
+        b.conflict_validation = 8;
+        b.cm_karma_escalations = 2;
+        b.cm_serializations = 1;
+        b.chaos_injections = 9;
+        b.backoff_hist[0] = 3;
+        b.backoff_hist[7] = 1;
+        b.latency_hist[2] = 5;
         b.durable_words = 11;
         b.durable_skipped = 13;
         b.durable_flushes = 2;
+        a.attempts_max = 4;
+        b.attempts_max = 9;
+        a.latency_hist[2] = 1;
         a.merge(&b);
         assert_eq!(a.commits, 5);
         assert_eq!(a.aborts, 1);
@@ -361,9 +470,58 @@ mod tests {
         assert_eq!(a.merge_splits, 2);
         assert_eq!(a.merge_salvaged, 5);
         assert_eq!(a.backoff_waits, 4);
+        assert_eq!(a.conflict_read_locked, 6);
+        assert_eq!(a.conflict_write_locked, 7);
+        assert_eq!(a.conflict_validation, 8);
+        assert_eq!(a.cm_karma_escalations, 2);
+        assert_eq!(a.cm_serializations, 1);
+        assert_eq!(a.chaos_injections, 9);
+        assert_eq!(a.backoff_hist, [3, 0, 0, 0, 0, 0, 0, 1]);
+        assert_eq!(a.latency_hist[2], 6);
+        assert_eq!(
+            a.attempts_max, 9,
+            "attempts_max is a per-transaction maximum, not a sum"
+        );
         assert_eq!(a.durable_words, 11);
         assert_eq!(a.durable_skipped, 13);
         assert_eq!(a.durable_flushes, 2);
+    }
+
+    #[test]
+    fn histograms_bucket_by_log2() {
+        let mut s = TxStats::default();
+        // Backoff: 16 spins is the schedule's base → bucket 0; the cap at
+        // 2^14 spins and anything past it land in the last bucket.
+        s.record_backoff_spins(16);
+        s.record_backoff_spins(31);
+        s.record_backoff_spins(32);
+        s.record_backoff_spins(1 << 14);
+        s.record_backoff_spins(u64::MAX);
+        assert_eq!(s.backoff_hist[0], 2);
+        assert_eq!(s.backoff_hist[1], 1);
+        assert_eq!(s.backoff_hist[BACKOFF_BUCKETS - 1], 2);
+        // Latency: sub-256ns commits share bucket 0; multi-ms ones pile
+        // into the last bucket.
+        s.record_latency_ns(0);
+        s.record_latency_ns(255);
+        s.record_latency_ns(256);
+        s.record_latency_ns(u64::MAX);
+        assert_eq!(s.latency_hist[0], 2);
+        assert_eq!(s.latency_hist[1], 1);
+        assert_eq!(s.latency_hist[LATENCY_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn latency_percentiles_walk_the_histogram() {
+        let mut s = TxStats::default();
+        assert_eq!(s.latency_pct_ns(0.5), 0, "empty histogram reports 0");
+        // 9 commits in bucket 0 (< 256ns), 1 in bucket 3 (1..2µs): the
+        // median sits in bucket 0, the p99 in bucket 3.
+        s.latency_hist[0] = 9;
+        s.latency_hist[3] = 1;
+        assert_eq!(s.latency_pct_ns(0.5), 256);
+        assert_eq!(s.latency_pct_ns(0.99), 1 << 11);
+        assert_eq!(s.latency_pct_ns(1.0), 1 << 11);
     }
 
     #[test]

@@ -217,6 +217,26 @@ pub struct WorkerCtx<'rt> {
     /// Previous decorrelated-jitter backoff spin count (the `prev` of
     /// `sleep = rand(base, prev * 3)`); reset with `attempts`.
     pub(crate) backoff_prev: u64,
+    /// `cfg.contention_policy == Adaptive`, hoisted for the begin/end
+    /// gates (see `stm::contention`).
+    pub(crate) cm_adaptive: bool,
+    /// This worker holds the global serialization token and is running (or
+    /// about to run) solo.
+    pub(crate) holds_token: bool,
+    /// Live lock-spin budget for the slow-path barriers: `cfg.spin_tries`
+    /// normally, escalated by the adaptive ladder's karma tier while a
+    /// transaction keeps aborting (reset with `attempts`).
+    pub(crate) spin_budget: u32,
+    /// Wall-clock deadline of the retried transaction's contention-manager
+    /// time budget (`cfg.cm_time_budget_ms`, armed at its first abort):
+    /// past it, the adaptive ladder serializes regardless of the attempt
+    /// count.
+    pub(crate) cm_deadline: Option<std::time::Instant>,
+    /// `cfg.chaos.is_some()`, hoisted so the injection hook is one branch
+    /// when disabled.
+    pub(crate) chaos_on: bool,
+    /// Per-worker deterministic rng stream of the chaos plan.
+    pub(crate) chaos_rng: u64,
     /// Logical-boundary checkpoints of the active merged batch
     /// (`WorkerCtx::txn_batch`), innermost last. Empty outside a batch and
     /// within a batch window's first logical transaction. Buffer reused
@@ -298,6 +318,12 @@ impl<'rt> WorkerCtx<'rt> {
             nursery_spare: (0, 0),
             attempts: 0,
             backoff_prev: 0,
+            cm_adaptive: cfg.contention_policy == crate::contention::ContentionPolicy::Adaptive,
+            holds_token: false,
+            spin_budget: cfg.spin_tries,
+            cm_deadline: None,
+            chaos_on: cfg.chaos.is_some(),
+            chaos_rng: cfg.chaos.map_or(1, |p| p.rng_for(tid)),
             batch_marks: Vec::new(),
             batch_logical: 0,
             batch_base: 0,
@@ -506,10 +532,11 @@ impl<'rt> WorkerCtx<'rt> {
         self.cap_len = 0;
     }
 
-    /// Run a transaction to commit, retrying on conflicts with exponential
-    /// backoff (the paper's contention manager). A user abort escaping to
-    /// this level is a logic error; use [`WorkerCtx::txn_result`] for
-    /// transactions that abort on purpose.
+    /// Run a transaction to commit, retrying on conflicts under the
+    /// configured contention manager (`TxConfig::contention_policy`; see
+    /// `stm::contention` for the adaptive escalation ladder). A user abort
+    /// escaping to this level is a logic error; use
+    /// [`WorkerCtx::txn_result`] for transactions that abort on purpose.
     pub fn txn<T>(&mut self, mut f: impl FnMut(&mut Tx<'_, 'rt>) -> TxResult<T>) -> T {
         match self.txn_inner(&mut f) {
             Ok(v) => v,
@@ -530,8 +557,8 @@ impl<'rt> WorkerCtx<'rt> {
         f: &mut dyn FnMut(&mut Tx<'_, 'rt>) -> TxResult<T>,
     ) -> Result<T, u64> {
         debug_assert_eq!(self.depth, 0, "txn() cannot nest; use Tx::nested");
-        self.attempts = 0;
-        self.backoff_prev = 0;
+        self.cm_reset();
+        let t0 = std::time::Instant::now();
         loop {
             self.begin_top();
             let result = {
@@ -541,13 +568,14 @@ impl<'rt> WorkerCtx<'rt> {
             match result {
                 Ok(v) => {
                     if self.try_commit() {
+                        self.stats.record_latency_ns(t0.elapsed().as_nanos() as u64);
                         return Ok(v);
                     }
-                    self.backoff();
+                    self.cm_after_abort();
                 }
                 Err(Abort::Conflict) => {
                     self.rollback_top();
-                    self.backoff();
+                    self.cm_after_abort();
                 }
                 Err(Abort::User(code)) => {
                     self.rollback_top();
@@ -556,35 +584,6 @@ impl<'rt> WorkerCtx<'rt> {
                     return Err(code);
                 }
             }
-        }
-    }
-
-    pub(crate) fn backoff(&mut self) {
-        self.attempts += 1;
-        assert!(
-            self.attempts <= self.cfg.max_attempts,
-            "transaction livelocked: {} consecutive aborts",
-            self.attempts
-        );
-        // Exponential backoff with *decorrelated* jitter: each wait is a
-        // uniform draw from [BASE, 3 * previous wait], capped at
-        // `2^backoff_shift_max` spins. Unlike the truncated-exponential
-        // schedule this replaces, chronic aborters do not cluster at the
-        // cap and re-collide on the same orec stripes — the next wait is
-        // seeded by the *drawn* wait, not the attempt count, so repeat
-        // losers decorrelate from each other while still ramping up
-        // exponentially in expectation.
-        const BASE: u64 = 16;
-        let cap = (1u64 << self.cfg.backoff_shift_max).max(BASE + 1);
-        let hi = (self.backoff_prev * 3).clamp(BASE + 1, cap);
-        let spins = BASE + self.next_rand() % (hi - BASE);
-        self.backoff_prev = spins;
-        self.stats.backoff_waits += 1;
-        for _ in 0..spins {
-            std::hint::spin_loop();
-        }
-        if self.attempts > 4 {
-            std::thread::yield_now();
         }
     }
 
@@ -707,6 +706,9 @@ impl Drop for WorkerCtx<'_> {
         // Flush any group-commit-buffered redo records before the tid
         // (and with it the log file) can be reused by another worker.
         self.durable_flush(true);
+        // A panicking worker may still hold the serialization token or its
+        // active flag; leaking either would wedge every other worker.
+        self.cm_exit();
         // Return the carried-over nursery tail to the shared pool.
         let (lo, hi) = self.nursery_spare;
         if hi > lo {
@@ -715,6 +717,9 @@ impl Drop for WorkerCtx<'_> {
                 .recycle_region_range(&mut self.talloc, lo, hi - lo);
             self.nursery_spare = (0, 0);
         }
+        // And the thread cache itself: blocks left in the private free
+        // lists would be stranded once this worker is gone.
+        self.rt.heap.release(&mut self.talloc);
         self.flush_stats();
         self.rt.release_tid(self.tid);
     }

@@ -22,6 +22,13 @@ pub enum Redact {
     /// durable run logs, a transient run doesn't; nothing else may
     /// change).
     Durable,
+    /// Contention-manager telemetry: conflict-cause breakdowns, escalation
+    /// counters, chaos injections, and the backoff/latency histograms.
+    /// These depend on physical timing (who wins a lock race, how long a
+    /// retry chain takes on the wall clock), so two logically identical
+    /// executions may differ. `backoff_waits` is deliberately *not* here:
+    /// single-threaded oracles expect zero backoffs on both sides.
+    Contention,
 }
 
 /// Debug-format the full statistics with the given telemetry families
@@ -41,6 +48,17 @@ pub fn redacted_debug(stats: &TxStats, redact: &[Redact]) -> String {
                 s.durable_words = 0;
                 s.durable_skipped = 0;
                 s.durable_flushes = 0;
+            }
+            Redact::Contention => {
+                s.conflict_read_locked = 0;
+                s.conflict_write_locked = 0;
+                s.conflict_validation = 0;
+                s.cm_karma_escalations = 0;
+                s.cm_serializations = 0;
+                s.attempts_max = 0;
+                s.chaos_injections = 0;
+                s.backoff_hist = [0; stm::BACKOFF_BUCKETS];
+                s.latency_hist = [0; stm::LATENCY_BUCKETS];
             }
         }
     }

@@ -694,8 +694,14 @@ fn durable_mode_is_transparent_to_the_workload() {
             assert_eq!(rt.mem().load_private(cells.word(c as u64)), sim.cells[c]);
         }
         assert_eq!(
-            common::redacted_debug(&durable.stats, &[common::Redact::Durable]),
-            common::redacted_debug(&rt.collect_stats(), &[common::Redact::Durable]),
+            common::redacted_debug(
+                &durable.stats,
+                &[common::Redact::Durable, common::Redact::Contention]
+            ),
+            common::redacted_debug(
+                &rt.collect_stats(),
+                &[common::Redact::Durable, common::Redact::Contention]
+            ),
             "durability changed the execution, not just the logging"
         );
         assert!(durable.stats.durable_words > 0);

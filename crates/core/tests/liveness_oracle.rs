@@ -1,0 +1,465 @@
+//! Liveness oracle for the adaptive contention manager (`stm::contention`,
+//! DESIGN.md §12): adversarial workloads under schedule fault injection
+//! ([`ChaosPlan`]) must make forward progress with a *bounded* worst-case
+//! retry chain — no livelock, no starvation, no `max_attempts` panic —
+//! while preserving their memory invariants exactly.
+//!
+//! Three workload families, chosen to starve differently:
+//!
+//! * **hot-word counters** — every thread increments the same few words;
+//!   pure write-write conflict pressure on a handful of orecs;
+//! * **skewed transfers** — zipf-ish account selection, so a couple of
+//!   accounts absorb most traffic while the tail keeps the read sets wide;
+//! * **long reader vs. short writers** — a full-table read-only scan racing
+//!   short writers; classic starvation shape for invisible readers (the
+//!   scan keeps failing validation until the ladder escalates for it).
+//!
+//! Plus the semantic-footprint differential: single-threaded, the policy
+//! seam and the chaos hooks must be *invisible* — identical memory and
+//! identical redacted statistics across Backoff/Adaptive × chaos on/off.
+
+use proptest::prelude::*;
+use stm::{
+    Abort, ChaosPlan, CheckScope, ContentionPolicy, LogKind, Mode, Site, StmRuntime, TxConfig,
+};
+use txmem::MemConfig;
+
+mod common;
+
+static S_HOT: Site = Site::shared("live.hot");
+static S_ACCT: Site = Site::shared("live.account");
+static S_SCRATCH: Site = Site::captured_local("live.scratch");
+
+/// xorshift64* (same generator the runtime uses for backoff jitter).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+fn mem_cfg(threads: usize) -> MemConfig {
+    MemConfig {
+        max_threads: threads,
+        stack_words: 1 << 10,
+        heap_words: 1 << 16,
+    }
+}
+
+/// The liveness bound the ladder guarantees (see DESIGN.md §12): a
+/// transaction escalates to the serialization token after
+/// `serialize_threshold` attempts, and while it queues for the token each
+/// other thread can finish (or abort) at most a couple of in-flight
+/// attempts per token episode. `8 × threads` is a deliberately loose
+/// constant multiple of that argument — loose enough for noisy schedules,
+/// tight enough that a livelock (tens of thousands of retries) fails.
+fn attempt_bound(cfg: &TxConfig, threads: usize) -> u64 {
+    cfg.serialize_threshold + 8 * threads as u64
+}
+
+fn adaptive_cfg(chaos: Option<ChaosPlan>) -> TxConfig {
+    let mut b = TxConfig::builder()
+        .mode(Mode::Runtime {
+            log: LogKind::Tree,
+            scope: CheckScope::FULL,
+        })
+        .contention_policy(ContentionPolicy::Adaptive)
+        // Aggressively low thresholds: the point of the oracle is to drive
+        // the full ladder (karma, then token), not to avoid it.
+        .spin_tries(4)
+        .karma_threshold(3)
+        .serialize_threshold(10);
+    if let Some(plan) = chaos {
+        b = b.chaos(plan);
+    }
+    b.build().unwrap()
+}
+
+/// Hot-word counters: `threads` workers × `incrs` increments over `words`
+/// shared words. Returns merged stats after asserting the exact sums.
+fn run_hot_words(cfg: &TxConfig, threads: usize, incrs: usize, words: u64) -> stm::TxStats {
+    let rt = StmRuntime::new(mem_cfg(threads), *cfg);
+    let base = rt.alloc_global(words * 8);
+    let start = std::sync::Barrier::new(threads);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (rt, start) = (&rt, &start);
+            s.spawn(move || {
+                let mut w = rt.spawn_worker();
+                let mut rng = Rng(0xA076_1D64_78BD_642F ^ (t as u64 + 1));
+                start.wait();
+                for _ in 0..incrs {
+                    let word = rng.next() % words;
+                    w.txn(|tx| {
+                        let v = tx.read(&S_HOT, base.word(word))?;
+                        tx.write(&S_HOT, base.word(word), v + 1)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+    });
+    let total: u64 = (0..words).map(|i| rt.mem().load(base.word(i))).sum();
+    assert_eq!(
+        total,
+        (threads * incrs) as u64,
+        "increments lost or doubled"
+    );
+    rt.collect_stats()
+}
+
+/// Skewed transfers: account indices drawn geometrically (`trailing_zeros`
+/// of a uniform draw), so account 0 takes ~half the traffic — the zipf-like
+/// skew that makes contention chronic for a few orecs while the long tail
+/// keeps read sets honest. Asserts the conserved total.
+fn run_skewed_transfers(cfg: &TxConfig, threads: usize, transfers: usize) -> stm::TxStats {
+    const ACCOUNTS: u64 = 16;
+    const SEED_BALANCE: u64 = 1_000;
+    let rt = StmRuntime::new(mem_cfg(threads), *cfg);
+    let base = rt.alloc_global(ACCOUNTS * 8);
+    for i in 0..ACCOUNTS {
+        rt.mem().store(base.word(i), SEED_BALANCE);
+    }
+    let start = std::sync::Barrier::new(threads);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (rt, start) = (&rt, &start);
+            s.spawn(move || {
+                let mut w = rt.spawn_worker();
+                let mut rng = Rng(0x2B99_4D7A_93F1_6E05 ^ (t as u64 + 1));
+                start.wait();
+                for _ in 0..transfers {
+                    let from = (rng.next().trailing_zeros() as u64).min(ACCOUNTS - 1);
+                    let to = (rng.next().trailing_zeros() as u64).min(ACCOUNTS - 1);
+                    let amt = 1 + rng.next() % 9;
+                    w.txn(|tx| {
+                        let scratch = tx.alloc(8)?;
+                        tx.write(&S_SCRATCH, scratch, amt)?;
+                        let a = tx.read(&S_SCRATCH, scratch)?;
+                        let f = tx.read(&S_ACCT, base.word(from))?;
+                        tx.write(&S_ACCT, base.word(from), f.wrapping_sub(a))?;
+                        let v = tx.read(&S_ACCT, base.word(to))?;
+                        tx.write(&S_ACCT, base.word(to), v + a)?;
+                        tx.free(scratch);
+                        Ok(())
+                    });
+                }
+            });
+        }
+    });
+    let total: u64 = (0..ACCOUNTS).map(|i| rt.mem().load(base.word(i))).sum();
+    assert_eq!(total, ACCOUNTS * SEED_BALANCE, "transfers lost money");
+    rt.collect_stats()
+}
+
+/// Long reader vs. short writers: thread 0 repeatedly scans the whole
+/// table read-only (its validation keeps failing while writers churn);
+/// the rest hammer single-word updates. The reader finishing all its
+/// scans with consistent sums *is* the liveness property — under a plain
+/// backoff CM this shape can starve the reader indefinitely.
+fn run_long_reader(cfg: &TxConfig, threads: usize, scans: usize) -> stm::TxStats {
+    const WORDS: u64 = 32;
+    const WRITES: usize = 600;
+    let rt = StmRuntime::new(mem_cfg(threads), *cfg);
+    let base = rt.alloc_global(WORDS * 8);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let start = std::sync::Barrier::new(threads);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (rt, start, stop) = (&rt, &start, &stop);
+            s.spawn(move || {
+                let mut w = rt.spawn_worker();
+                start.wait();
+                if t == 0 {
+                    for _ in 0..scans {
+                        // A full-table scan sees either a consistent
+                        // snapshot or nothing: every word is bumped by +1
+                        // per writer txn in balanced pairs, so any torn
+                        // read breaks the parity check below.
+                        let (sum, first) = w.txn(|tx| {
+                            let mut acc = 0u64;
+                            for i in 0..WORDS {
+                                acc = acc.wrapping_add(tx.read(&S_HOT, base.word(i))?);
+                            }
+                            let first = tx.read(&S_HOT, base.word(0))?;
+                            Ok((acc, first))
+                        });
+                        assert!(sum >= first, "scan saw torn state");
+                    }
+                    stop.store(true, std::sync::atomic::Ordering::Release);
+                } else {
+                    let mut rng = Rng(0x9E37_79B9_7F4A_7C15 ^ (t as u64 + 1));
+                    let mut n = 0usize;
+                    // Keep churning until the reader finishes (bounded by
+                    // a floor so writer stats are non-trivial even if the
+                    // reader is fast).
+                    while n < WRITES || !stop.load(std::sync::atomic::Ordering::Acquire) {
+                        let word = rng.next() % WORDS;
+                        w.txn(|tx| {
+                            let v = tx.read(&S_HOT, base.word(word))?;
+                            tx.write(&S_HOT, base.word(word), v + 1)?;
+                            Ok(())
+                        });
+                        n += 1;
+                    }
+                }
+            });
+        }
+    });
+    rt.collect_stats()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Hot words under chaos: random seeds and injection periods, exact
+    // sums, and a worst-case retry chain bounded by the ladder argument.
+    #[test]
+    fn chaotic_hot_words_stay_live(seed in 1u64..u64::MAX, period in 2u64..6) {
+        let cfg = adaptive_cfg(Some(ChaosPlan::all(seed, period)));
+        let stats = run_hot_words(&cfg, 4, 150, 2);
+        prop_assert!(stats.chaos_injections > 0, "chaos must actually fire: {stats:?}");
+        prop_assert!(
+            stats.attempts_max <= attempt_bound(&cfg, 4),
+            "retry chain exceeded the liveness bound: {stats:?}"
+        );
+    }
+
+    // Skewed transfers under chaos: conservation plus the liveness bound.
+    #[test]
+    fn chaotic_skewed_transfers_stay_live(seed in 1u64..u64::MAX, period in 2u64..6) {
+        let cfg = adaptive_cfg(Some(ChaosPlan::all(seed, period)));
+        let stats = run_skewed_transfers(&cfg, 4, 120);
+        prop_assert!(
+            stats.attempts_max <= attempt_bound(&cfg, 4),
+            "retry chain exceeded the liveness bound: {stats:?}"
+        );
+    }
+
+    // The starvation-prone shape: the long reader must complete all scans
+    // within the bound even with commit-point chaos favoring the writers.
+    #[test]
+    fn chaotic_long_reader_is_not_starved(seed in 1u64..u64::MAX, period in 2u64..6) {
+        let cfg = adaptive_cfg(Some(ChaosPlan::commit_only(seed, period)));
+        let stats = run_long_reader(&cfg, 4, 25);
+        prop_assert!(
+            stats.attempts_max <= attempt_bound(&cfg, 4),
+            "a transaction starved past the liveness bound: {stats:?}"
+        );
+        prop_assert!(stats.commits_ro > 0, "scans must commit read-only: {stats:?}");
+    }
+}
+
+/// A preemption-heavy chaos profile for tests that *assert* conflicts
+/// happen. On a single-core host the OS runs threads to completion far
+/// more often than not, so uninstrumented hot-word loops can finish with
+/// zero aborts; frequent injected sleeps and yields force mid-transaction
+/// preemption regardless of core count, making the conflict assertions
+/// deterministic instead of schedule-lucky.
+fn preemptive_chaos(seed: u64) -> ChaosPlan {
+    ChaosPlan {
+        yield_share: 40,
+        preempt_share: 30,
+        preempt_us: 50,
+        ..ChaosPlan::all(seed, 2)
+    }
+}
+
+/// The ladder's accounting identity, checked on a real contended run:
+/// every rollback takes exactly one rung — a backoff wait or a successful
+/// token acquisition — never both, never neither.
+#[test]
+fn ladder_accounts_for_every_abort() {
+    let cfg = adaptive_cfg(Some(preemptive_chaos(0xBADC_0FFE)));
+    let stats = run_hot_words(&cfg, 4, 400, 1);
+    assert!(stats.aborts > 0, "one hot word must conflict: {stats:?}");
+    assert_eq!(
+        stats.aborts,
+        stats.backoff_waits + stats.cm_serializations,
+        "ladder accounting broken: {stats:?}"
+    );
+}
+
+/// Semantic-footprint differential: single-threaded, a fixed op script
+/// must produce bit-identical memory and identical redacted statistics
+/// under Backoff vs. Adaptive, chaos off vs. on. The contention manager
+/// and the chaos hooks may only ever *delay* execution.
+#[test]
+fn policy_and_chaos_have_no_semantic_footprint() {
+    fn run_script(policy: ContentionPolicy, chaos: Option<ChaosPlan>) -> (Vec<u64>, String) {
+        const WORDS: u64 = 8;
+        let mut b = TxConfig::builder()
+            .mode(Mode::Runtime {
+                log: LogKind::Array,
+                scope: CheckScope::FULL,
+            })
+            .contention_policy(policy);
+        if let Some(plan) = chaos {
+            b = b.chaos(plan);
+        }
+        let rt = StmRuntime::new(mem_cfg(1), b.build().unwrap());
+        let base = rt.alloc_global(WORDS * 8);
+        let mut w = rt.spawn_worker();
+        let mut rng = Rng(0xD6E8_FEB8_6659_FD93);
+        for _ in 0..60 {
+            let i = rng.next() % WORDS;
+            let j = rng.next() % WORDS;
+            w.txn(|tx| {
+                let scratch = tx.alloc(8)?;
+                tx.write(&S_SCRATCH, scratch, i + 1)?;
+                let v = tx.read(&S_HOT, base.word(i))?;
+                let s = tx.read(&S_SCRATCH, scratch)?;
+                tx.write(&S_HOT, base.word(j), v ^ s)?;
+                tx.free(scratch);
+                Ok(())
+            });
+        }
+        drop(w);
+        let mem: Vec<u64> = (0..WORDS).map(|k| rt.mem().load(base.word(k))).collect();
+        let stats = common::redacted_debug(&rt.collect_stats(), &[common::Redact::Contention]);
+        (mem, stats)
+    }
+
+    let baseline = run_script(ContentionPolicy::Backoff, None);
+    for (label, got) in [
+        ("adaptive", run_script(ContentionPolicy::Adaptive, None)),
+        (
+            "backoff+chaos",
+            run_script(ContentionPolicy::Backoff, Some(ChaosPlan::all(11, 3))),
+        ),
+        (
+            "adaptive+chaos",
+            run_script(ContentionPolicy::Adaptive, Some(ChaosPlan::all(11, 3))),
+        ),
+    ] {
+        assert_eq!(got.0, baseline.0, "{label}: memory diverged from backoff");
+        assert_eq!(got.1, baseline.1, "{label}: stats diverged from backoff");
+    }
+}
+
+/// Regression: a nested child that writes a word the parent already read,
+/// then user-aborts, must not poison the parent's read set. The
+/// anti-ABA rule releases the child's locks at a *fresh* clock ticket; if
+/// the surviving parent read entries for those orecs are not re-stamped
+/// to the republished version, version-equality validation rejects them
+/// on every subsequent attempt — a deterministic single-thread
+/// self-livelock (the retry replays the identical nested abort). The
+/// batch-window variant lives in `batch_tests`; this covers the plain
+/// `nested()` path through `partial_rollback`.
+#[test]
+fn nested_partial_abort_does_not_poison_parent_reads() {
+    for log in LogKind::ALL {
+        let cfg = TxConfig::builder()
+            .mode(Mode::Runtime {
+                log,
+                scope: CheckScope::FULL,
+            })
+            .build()
+            .unwrap();
+        let rt = StmRuntime::new(mem_cfg(1), cfg);
+        let a = rt.alloc_global(8);
+        let mut w = rt.spawn_worker();
+        w.txn(|tx| {
+            let v = tx.read(&S_HOT, a)?;
+            let child = tx.nested(|t| {
+                t.write(&S_HOT, a, 999)?;
+                Err::<(), _>(Abort::User(1))
+            })?;
+            assert_eq!(child, Err(1), "user abort must surface as Err(code)");
+            tx.write(&S_HOT, a, v + 1)?;
+            Ok(())
+        });
+        drop(w);
+        assert_eq!(rt.mem().load(a), 1, "{log:?}: child write must be undone");
+        let stats = rt.collect_stats();
+        assert_eq!(stats.commits, 1, "{log:?}: {stats:?}");
+        assert_eq!(stats.partial_aborts, 1, "{log:?}: {stats:?}");
+        assert_eq!(
+            stats.aborts, 0,
+            "a single thread must never conflict with itself ({log:?}): {stats:?}"
+        );
+    }
+}
+
+/// Satellite: the 8-thread hot-word starvation stress, for every capture
+/// log kind × nursery on/off. Thresholds are floored so the serialization
+/// token *must* engage; the fixed-sum invariant proves the token holder's
+/// solo run and the drained waiters never lose an update.
+fn run_starvation(log: LogKind, nursery: bool) {
+    const THREADS: usize = 8;
+    const INCRS: usize = 400;
+    let cfg = TxConfig::builder()
+        .mode(Mode::Runtime {
+            log,
+            scope: CheckScope::FULL,
+        })
+        .nursery(nursery)
+        .contention_policy(ContentionPolicy::Adaptive)
+        .spin_tries(2)
+        .karma_threshold(1)
+        .serialize_threshold(2)
+        .chaos(preemptive_chaos(
+            0x5EED ^ (nursery as u64) << 8 ^ log as u64,
+        ))
+        .build()
+        .unwrap();
+    let rt = StmRuntime::new(mem_cfg(THREADS), cfg);
+    let hot = rt.alloc_global(8);
+    let start = std::sync::Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (rt, start) = (&rt, &start);
+            s.spawn(move || {
+                let mut w = rt.spawn_worker();
+                start.wait();
+                for k in 0..INCRS {
+                    w.txn(|tx| {
+                        // A nursery-eligible scratch allocation per txn
+                        // keeps the capture log in play on the abort path.
+                        let scratch = tx.alloc(8)?;
+                        tx.write(&S_SCRATCH, scratch, (t * INCRS + k) as u64)?;
+                        let v = tx.read(&S_HOT, hot)?;
+                        tx.write(&S_HOT, hot, v + 1)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(
+        rt.mem().load(hot),
+        (THREADS * INCRS) as u64,
+        "token serialization lost increments ({log:?}, nursery={nursery})"
+    );
+    let stats = rt.collect_stats();
+    assert!(
+        stats.aborts > 0,
+        "8 threads on one word must conflict: {stats:?}"
+    );
+    assert!(
+        stats.cm_serializations > 0,
+        "serialize_threshold=2 under chronic conflict must engage the \
+         token ({log:?}, nursery={nursery}): {stats:?}"
+    );
+    assert!(
+        stats.attempts_max <= attempt_bound(&cfg, THREADS),
+        "starvation bound violated ({log:?}, nursery={nursery}): {stats:?}"
+    );
+    if nursery {
+        assert!(stats.nursery_hits > 0, "nursery must engage: {stats:?}");
+    }
+}
+
+#[test]
+fn starvation_stress_all_log_kinds() {
+    for log in LogKind::ALL {
+        run_starvation(log, false);
+        run_starvation(log, true);
+    }
+}

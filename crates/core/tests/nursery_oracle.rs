@@ -271,10 +271,20 @@ fn nursery_transitions_all_fire() {
             commit: true,
         },
         Txn {
-            ops: vec![Op::AllocBig { words: 400 }],
+            // Two 4096-class blocks fill a region; the huge classic-path
+            // carve then breaks frontier contiguity so the third block
+            // *chains* (extension CAS fails) instead of extending. The
+            // abort recycles the chained-away region in O(1) and retains
+            // the active one as the next transaction's spare.
+            ops: vec![
+                Op::AllocBig { words: 400 },
+                Op::AllocBig { words: 400 },
+                Op::AllocHuge,
+                Op::AllocBig { words: 400 },
+            ],
             nested: vec![],
             abort_nested: false,
-            commit: false, // whole-transaction abort: O(1) region recycle
+            commit: false,
         },
     ];
     let (mem_off, stats_off) = run(&script, false);

@@ -352,7 +352,7 @@ fn run_ops(
 /// Format the statistics with the `ranged_*` telemetry zeroed: batching
 /// shape is the one observable the two APIs legitimately differ in.
 fn redacted(stats: &TxStats) -> String {
-    common::redacted_debug(stats, &[common::Redact::Ranged])
+    common::redacted_debug(stats, &[common::Redact::Ranged, common::Redact::Contention])
 }
 
 /// Execute the whole script; returns observable memory (arena + committed

@@ -685,9 +685,13 @@ fn nursery_churn_frees_within_txn_across_levels() {
         }
         let stats = w.stats;
         assert!(stats.nursery_hits > 0, "churn must exercise the nursery");
-        assert!(
-            stats.nursery_bytes_recycled > 0,
-            "aborts must recycle regions"
+        // Single-region churn never splinters: commits carry the tail over
+        // as the next transaction's spare and aborts retain the active
+        // region the same way (see `nursery_abort`), so the recycler is
+        // never involved — each round reuses the same bytes wholesale.
+        assert_eq!(
+            stats.nursery_bytes_recycled, 0,
+            "single-region churn must retain the spare, not splinter it"
         );
     }
 }
@@ -733,10 +737,15 @@ fn nursery_abort_reclaims_chained_regions() {
     let baseline = rt.heap().bytes_allocated();
     let mut w = rt.spawn_worker();
     let r: Result<(), u64> = w.txn_result(|tx| {
-        // 8 region-filling blocks: forces several chains.
+        // 8 region-filling blocks, with a large (non-nursery) allocation
+        // interleaved so the frontier moves between carves: in-place
+        // region extension fails and the nursery must chain *distinct*
+        // regions rather than grow one contiguous extent.
         for _ in 0..8 {
             let p = tx.alloc(4000)?;
             tx.write(&S_ESC, p, 9)?;
+            let big = tx.alloc(9000)?;
+            tx.write(&S_ESC, big, 7)?;
         }
         Err(Abort::User(3))
     });
@@ -748,8 +757,12 @@ fn nursery_abort_reclaims_chained_regions() {
     );
     let stats = w.stats;
     assert!(stats.nursery_regions >= 4, "chaining expected: {stats:?}");
+    // The abort recycles every chained-away region wholesale; the active
+    // region is retained as the next transaction's spare instead (see
+    // `nursery_abort`), so exactly one region's worth stays out of the
+    // recycler.
     assert!(
-        stats.nursery_bytes_recycled >= stats.nursery_regions * 4096,
-        "whole regions must come back: {stats:?}"
+        stats.nursery_bytes_recycled >= (stats.nursery_regions - 1) * 4096,
+        "all but the retained spare must come back: {stats:?}"
     );
 }

@@ -196,17 +196,31 @@ fn nested_partial_abort_transfers_preserve_sum_filter() {
 
 /// Contention-manager regression: many threads hammering one word must
 /// still make progress and preserve the count, and the decorrelated-jitter
-/// backoff must actually engage (`backoff_waits` telemetry).
+/// backoff must actually engage (`backoff_waits` telemetry). A mild chaos
+/// plan keeps the `aborts > 0` assertion deterministic on single-core
+/// hosts, where free-running threads often serialize without conflicting.
 #[test]
 fn hot_word_contention_backs_off_and_stays_correct() {
     const INCRS: usize = 4_000;
+    let cfg = TxConfig::builder()
+        .mode(Mode::Runtime {
+            log: LogKind::Tree,
+            scope: CheckScope::FULL,
+        })
+        .chaos(stm::ChaosPlan {
+            yield_share: 40,
+            preempt_share: 10,
+            ..stm::ChaosPlan::all(0xB0B, 4)
+        })
+        .build()
+        .unwrap();
     let rt = StmRuntime::new(
         MemConfig {
             max_threads: THREADS,
             stack_words: 1 << 10,
             heap_words: 1 << 16,
         },
-        runtime_cfg(LogKind::Tree),
+        cfg,
     );
     let hot = rt.alloc_global(8);
     let start = std::sync::Barrier::new(THREADS);
@@ -238,9 +252,13 @@ fn hot_word_contention_backs_off_and_stays_correct() {
         stats.backoff_waits > 0,
         "conflicts must engage the backoff contention manager: {stats:?}"
     );
+    // Every conflict rollback runs the contention ladder exactly once:
+    // it either backs off or (chronic aborters, adaptive policy) grabs
+    // the serialization token instead of waiting.
     assert_eq!(
-        stats.aborts, stats.backoff_waits,
-        "every conflict rollback backs off exactly once: {stats:?}"
+        stats.aborts,
+        stats.backoff_waits + stats.cm_serializations,
+        "every conflict rollback backs off or escalates exactly once: {stats:?}"
     );
 }
 

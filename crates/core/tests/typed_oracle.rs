@@ -396,7 +396,7 @@ fn run(script: &[Txn], mode: Mode, nursery: bool, typed: bool) -> (Vec<u64>, Str
             mem.push(w.load(p.word(i)));
         }
     }
-    let stats = common::redacted_debug(&w.stats, &[]);
+    let stats = common::redacted_debug(&w.stats, &[common::Redact::Contention]);
     (mem, stats)
 }
 

@@ -42,6 +42,13 @@ pub fn small_block_total(payload: u64) -> Option<u64> {
 }
 /// How many blocks a thread pulls from / spills to a shard pool at once.
 const BATCH: usize = 16;
+/// Byte cap on one frontier carve: a refill takes `BATCH` blocks for small
+/// classes but never more than this many bytes, so a thread refilling a
+/// large class (worst case the 8 KiB nursery-region class) cannot hoard
+/// `BATCH × 8 KiB = 128 KiB` in its private cache — on a small heap a few
+/// concurrently-refilling threads would exhaust the frontier with almost
+/// all of the carved memory sitting idle in per-thread lists.
+const BATCH_BYTES_MAX: u64 = 8192;
 /// A thread free list longer than this spills half back to its home shard.
 const SPILL_AT: usize = 64;
 /// Recycled-block pool shards (power of two). Threads stripe over shards by
@@ -246,8 +253,10 @@ impl TxHeap {
         if let Some(b) = self.take_batch(ta, home, class) {
             return Some(b);
         }
-        // Carve a fresh batch from the bump frontier — one CAS, no lock.
-        if let Some((start, n)) = self.carve_chunk(cls_total, BATCH) {
+        // Carve a fresh batch from the bump frontier — one CAS, no lock,
+        // byte-capped so large classes refill a block or two at a time.
+        let want = BATCH.min((BATCH_BYTES_MAX / cls_total).max(1) as usize);
+        if let Some((start, n)) = self.carve_chunk(cls_total, want) {
             for i in 0..n {
                 ta.free[class].push(start + i as u64 * cls_total);
             }
@@ -391,6 +400,22 @@ impl TxHeap {
         a - start
     }
 
+    /// Return every cached block of a retiring thread allocator to its
+    /// home shard. A [`ThreadAlloc`] dropped with a populated cache
+    /// strands those blocks — no other thread can reach a private free
+    /// list — so a workload that cycles workers (or scoped threads that
+    /// exit while others still run) would slowly bleed the heap dry.
+    /// Workers call this on drop.
+    pub fn release(&self, ta: &mut ThreadAlloc) {
+        if ta.free.iter().all(|l| l.is_empty()) {
+            return;
+        }
+        let mut s = self.shards[ta.stripe].lock().unwrap();
+        for (class, list) in ta.free.iter_mut().enumerate() {
+            s.free[class].append(list);
+        }
+    }
+
     /// Free large blocks currently parked behind the single large-block
     /// lock (diagnostics; lets tests assert small-block churn never takes
     /// the global lock path).
@@ -532,6 +557,47 @@ mod tests {
         }
         assert!(heap.frontier() >= after + 4096);
         assert!(!last.is_null());
+    }
+
+    #[test]
+    fn refill_carves_are_byte_capped_for_large_classes() {
+        let (_, heap, mut ta) = mk();
+        let start = heap.frontier();
+        // First region-class carve: exactly one region's worth, not a
+        // BATCH × region hoard.
+        let r = heap.carve_region(&mut ta).expect("fresh heap has a region");
+        assert_eq!(r, start, "regions carve from the frontier");
+        assert_eq!(
+            heap.frontier() - start,
+            NURSERY_REGION_BYTES,
+            "one region-class refill must carve one region"
+        );
+        // A small class still batches (BATCH blocks fit under the cap).
+        let before = heap.frontier();
+        let a = heap.alloc(&mut ta, 8).unwrap();
+        assert!(!a.is_null());
+        assert_eq!(
+            heap.frontier() - before,
+            BATCH as u64 * SIZE_CLASSES[0],
+            "small classes keep the full batch"
+        );
+    }
+
+    #[test]
+    fn released_thread_cache_is_reachable_by_successors() {
+        let (_, heap, mut ta1) = mk();
+        // Fill ta1's private cache: a freed block goes to the thread list,
+        // not the shard (below SPILL_AT nothing spills).
+        let a = heap.alloc(&mut ta1, 56).unwrap();
+        heap.free(&mut ta1, a);
+        let frontier = heap.frontier();
+        // Without release, a successor on the same stripe would re-carve.
+        heap.release(&mut ta1);
+        let mut ta2 = ThreadAlloc::new();
+        assert_eq!(ta1.stripe(), ta2.stripe());
+        let b = heap.alloc(&mut ta2, 56).unwrap();
+        assert_eq!(a, b, "the released block must be recycled first");
+        assert_eq!(heap.frontier(), frontier, "no fresh carve needed");
     }
 
     #[test]
