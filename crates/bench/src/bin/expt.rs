@@ -85,6 +85,21 @@
 //!                                # construction; CI smoke uses a loose
 //!                                # bound — debug builds skip with a note,
 //!                                # their encoder costs are distorted)
+//! expt pool [--out FILE] [--ops N] [--budget BYTES] [--theta F]
+//!           [--merge N] [--durable] [--min-pool-throughput F]
+//!                                # multi-index transactional memory pool
+//!                                # (crates/pool) under a zipf(θ)-skewed
+//!                                # mempool op mix: inserts with eviction,
+//!                                # pop-best drain, removals, repricings,
+//!                                # sender purges, duplicate resubmissions.
+//!                                # --ops overrides the scale default
+//!                                # (20k/200k/1M); --budget sets the pool's
+//!                                # live-byte budget; --merge N adds a
+//!                                # txn_batch arm; --durable adds a redo-log
+//!                                # arm. Markdown to stdout, BENCH_pool.json
+//!                                # with --out. --min-pool-throughput gates
+//!                                # the plain arm's committed ops/s (debug
+//!                                # builds skip with a note)
 //! ```
 //!
 //! Output is Markdown, mirroring the paper's rows/series; see EXPERIMENTS.md
@@ -92,15 +107,17 @@
 
 use bench_support as bench;
 use stamp::Scale;
+use stm::TxObject;
 
 fn usage() -> ! {
     eprintln!(
         "usage: expt <fig8|fig9|fig10|fig11a|fig11b|table1|table2|annotations|orec|check|\
-         barriers|bench-json|scaling|merge|elision|nursery|durability|contention|all> \
+         barriers|bench-json|scaling|merge|elision|nursery|durability|contention|pool|all> \
          [--scale test|small|full] [--threads N] [--runs K] [--out FILE] [--max-ratio F] \
          [--max-typed-ratio F] [--max-ranged-ratio F] [--min-speedup F] [--benchmarks a,b] \
          [--max-nursery-ratio F] [--merge N] [--min-merge-speedup F] [--max-durability-tax F] \
-         [--min-adaptive-speedup F]"
+         [--min-adaptive-speedup F] [--ops N] [--budget BYTES] [--theta F] [--durable] \
+         [--min-pool-throughput F]"
     );
     std::process::exit(2);
 }
@@ -128,6 +145,11 @@ fn main() {
     let mut max_durability_tax: Option<f64> = None;
     let mut min_adaptive_speedup: Option<f64> = None;
     let mut benchmarks: Option<Vec<stamp::Benchmark>> = None;
+    let mut pool_ops: Option<u64> = None;
+    let mut pool_budget: Option<u64> = None;
+    let mut pool_theta: Option<f64> = None;
+    let mut pool_durable = false;
+    let mut min_pool_throughput: Option<f64> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -213,6 +235,41 @@ fn main() {
                         .unwrap_or_else(|| usage()),
                 );
             }
+            "--ops" => {
+                i += 1;
+                pool_ops = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--budget" => {
+                i += 1;
+                pool_budget = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--theta" => {
+                i += 1;
+                pool_theta = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--durable" => {
+                pool_durable = true;
+            }
+            "--min-pool-throughput" => {
+                i += 1;
+                min_pool_throughput = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--scale" => {
                 i += 1;
                 opts.scale = match args.get(i).map(|s| s.as_str()) {
@@ -269,6 +326,26 @@ fn main() {
                 "--merge {n} exceeds the supported maximum merge_max of {}",
                 stm::MERGE_MAX_LIMIT
             ));
+        }
+    }
+
+    // Pool-flag validation mirrors the library's PoolConfig::validate but
+    // fails at the CLI boundary with actionable messages instead of a
+    // panic deep inside a worker thread.
+    if pool_ops == Some(0) {
+        fail("--ops must be at least 1 (omit it for the scale default)");
+    }
+    if let Some(b) = pool_budget {
+        if b < pool::Item::BYTES {
+            fail(&format!(
+                "--budget {b} cannot hold a single pool item ({} bytes minimum)",
+                pool::Item::BYTES
+            ));
+        }
+    }
+    if let Some(t) = pool_theta {
+        if !t.is_finite() || !(0.0..=4.0).contains(&t) {
+            fail("--theta must be a finite zipf exponent in 0.0..=4.0");
         }
     }
 
@@ -501,6 +578,45 @@ fn main() {
                         Ok(s) => {
                             eprintln!("# hot-word adaptive/backoff throughput {s:.2}x >= {min:.2}x")
                         }
+                        Err(msg) => {
+                            eprintln!("# FAIL: {msg}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
+        }
+        "pool" => {
+            let mut popts = bench::pool::PoolOpts::default();
+            if let Some(n) = pool_ops {
+                popts.ops = n;
+            }
+            if let Some(b) = pool_budget {
+                popts.budget = b;
+            }
+            if let Some(t) = pool_theta {
+                popts.theta = t;
+            }
+            if let Some(n) = merge_factor {
+                popts.merge = n;
+            }
+            popts.durable = pool_durable;
+            let rows = bench::pool::pool_rows(&opts, &popts);
+            print!("{}", bench::pool::render_markdown(&opts, &popts, &rows));
+            if let Some(path) = out_path.as_deref() {
+                let json = bench::pool::pool_json(&opts, &popts, &rows);
+                std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+                eprintln!("# wrote {path}");
+            }
+            if let Some(min) = min_pool_throughput {
+                // Release gate (ISSUE 10): the pool's plain arm must
+                // sustain the committed-op throughput bar. Debug timings
+                // are meaningless; skip with a note there.
+                if cfg!(debug_assertions) {
+                    eprintln!("# pool throughput gate skipped: debug build");
+                } else {
+                    match bench::pool::pool_throughput_gate(&rows, min) {
+                        Ok(t) => eprintln!("# pool plain-arm throughput {t:.0} ops/s >= {min:.0}"),
                         Err(msg) => {
                             eprintln!("# FAIL: {msg}");
                             std::process::exit(1);

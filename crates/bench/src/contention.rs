@@ -29,6 +29,7 @@ use stm::{ChaosPlan, ContentionPolicy, Site, StmRuntime, TxConfig, TxStats};
 use txmem::MemConfig;
 
 use crate::report::{esc, scale_name};
+use crate::skew::Rng;
 use crate::{median, ExptOpts};
 
 /// The drivers, in row order.
@@ -57,20 +58,6 @@ fn per_thread(scale: Scale) -> usize {
         Scale::Test => 512,
         Scale::Small => 8_192,
         Scale::Full => 32_768,
-    }
-}
-
-/// xorshift64*: deterministic per-thread account choices.
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545F4914F6CDD1D)
     }
 }
 
@@ -183,9 +170,9 @@ fn transfer_skew_once(scale: Scale, policy: ContentionPolicy, threads: usize) ->
                 let mut w = rt.spawn_worker();
                 let mut rng = Rng(0x9E3779B97F4A7C15 ^ (t as u64 + 1));
                 for _ in 0..n {
-                    let from = (rng.next() % ACCOUNTS).min(rng.next() % ACCOUNTS);
-                    let to = rng.next() % ACCOUNTS;
-                    let amt = 1 + rng.next() % 9;
+                    let from = rng.skewed_below(ACCOUNTS);
+                    let to = rng.below(ACCOUNTS);
+                    let amt = 1 + rng.next_u64() % 9;
                     w.txn(|tx| {
                         let f = tx.read(&S_ACCT, base.word(from))?;
                         tx.write(&S_ACCT, base.word(from), f.wrapping_sub(amt))?;
@@ -230,9 +217,9 @@ fn long_reader_once(scale: Scale, policy: ContentionPolicy, threads: usize) -> (
                 let mut w = rt.spawn_worker();
                 let mut rng = Rng(0xDEADBEEFCAFE ^ (t as u64 + 1));
                 for _ in 0..n {
-                    let from = rng.next() % ACCOUNTS;
-                    let to = rng.next() % ACCOUNTS;
-                    let amt = 1 + rng.next() % 9;
+                    let from = rng.next_u64() % ACCOUNTS;
+                    let to = rng.next_u64() % ACCOUNTS;
+                    let amt = 1 + rng.next_u64() % 9;
                     w.txn(|tx| {
                         let f = tx.read(&S_ACCT, base.word(from))?;
                         tx.write(&S_ACCT, base.word(from), f.wrapping_sub(amt))?;

@@ -28,6 +28,7 @@ use stm::{SimDisk, Site, StmRuntime, TxConfig, TxStats};
 use txmem::{Addr, MemConfig};
 
 use crate::report::{esc, scale_name};
+use crate::skew::Rng;
 use crate::{median, ExptOpts};
 
 /// The durability-mode axis, in row order. `off` must come first: it
@@ -55,20 +56,6 @@ fn per_thread(scale: Scale) -> usize {
         Scale::Test => 2_048,
         Scale::Small => 16_384,
         Scale::Full => 65_536,
-    }
-}
-
-/// xorshift64*: deterministic per-thread account/slot choices.
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545F4914F6CDD1D)
     }
 }
 
@@ -131,9 +118,9 @@ fn shared_once(scale: Scale, mode: &str, threads: usize) -> (f64, TxStats, u64) 
                 let mut w = rt.spawn_worker();
                 let mut rng = Rng(0x9E3779B97F4A7C15 ^ (t as u64 + 1));
                 for _ in 0..n {
-                    let from = rng.next() % ACCOUNTS;
-                    let to = rng.next() % ACCOUNTS;
-                    let amt = 1 + rng.next() % 9;
+                    let from = rng.next_u64() % ACCOUNTS;
+                    let to = rng.next_u64() % ACCOUNTS;
+                    let amt = 1 + rng.next_u64() % 9;
                     w.txn(|tx| {
                         let f = tx.read(&S_ACCT, base.word(from))?;
                         tx.write(&S_ACCT, base.word(from), f.wrapping_sub(amt))?;
@@ -176,7 +163,7 @@ fn captured_once(scale: Scale, mode: &str, threads: usize) -> (f64, TxStats, u64
                 let mut w = rt.spawn_worker();
                 let mut rng = Rng(0xA076_1D64_78BD_642F ^ (t as u64 + 1));
                 for i in 0..n {
-                    let slot = slots.word(rng.next() % SLOTS);
+                    let slot = slots.word(rng.next_u64() % SLOTS);
                     let tag = (t as u64 + 1) * 1_000_000_000 + i as u64 * 100;
                     w.txn(|tx| {
                         let b = tx.alloc(BLK_WORDS * 8)?;

@@ -12,8 +12,10 @@ pub mod elision;
 pub mod merge;
 pub mod micro;
 pub mod nursery;
+pub mod pool;
 pub mod report;
 pub mod scaling;
+pub mod skew;
 
 use std::time::Duration;
 

@@ -25,6 +25,7 @@ use stm::{Site, StmRuntime, TxConfig, TxStats};
 use txmem::MemConfig;
 
 use crate::report::{esc, scale_name};
+use crate::skew::Rng;
 use crate::{median, ExptOpts};
 
 /// The merge-factor axis: unmerged baseline, a shallow batch, the gate's
@@ -47,20 +48,6 @@ fn logical_per_thread(scale: Scale) -> usize {
         Scale::Test => 2_048,
         Scale::Small => 65_536,
         Scale::Full => 262_144,
-    }
-}
-
-/// xorshift64*: deterministic per-thread account/value choices.
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545F4914F6CDD1D)
     }
 }
 
@@ -107,9 +94,9 @@ fn transfer_once(scale: Scale, factor: usize, threads: usize) -> (f64, TxStats) 
                     let moves: Vec<(u64, u64, u64)> = (0..factor)
                         .map(|_| {
                             (
-                                rng.next() % ACCOUNTS,
-                                rng.next() % ACCOUNTS,
-                                1 + rng.next() % 9,
+                                rng.next_u64() % ACCOUNTS,
+                                rng.next_u64() % ACCOUNTS,
+                                1 + rng.next_u64() % 9,
                             )
                         })
                         .collect();

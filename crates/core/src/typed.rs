@@ -177,6 +177,17 @@ impl<O, V> Field<O, V> {
     pub const fn word(self) -> u64 {
         self.word
     }
+
+    /// The projection `i` words past this one — the typed spelling of an
+    /// array-structured tail. Layouts with a run of same-typed fields
+    /// (`fwd0`, `fwd1`, …, declared contiguously) can index the run as
+    /// `Node::fwd0.index(level)` instead of spelling a `match` over the
+    /// named constants. Exactly as checked as [`Field::at`]: the caller
+    /// owns the bound, no more, no less.
+    #[inline]
+    pub const fn index(self, i: u64) -> Field<O, V> {
+        Field::at(self.word + i)
+    }
 }
 
 impl<O, V> Clone for Field<O, V> {
@@ -1060,6 +1071,18 @@ mod tests {
         assert_eq!(p.field(Rec::link).raw(), 0x1000);
         assert_eq!(p.field(Rec::weight).raw(), 0x1008);
         assert_eq!(p.field(Rec::done).raw(), 0x1010);
+    }
+
+    #[test]
+    fn computed_projections_walk_field_runs() {
+        // `index` is the array-tail spelling: the i-th projection past a
+        // base field, equal to naming the i-th constant directly.
+        assert_eq!(Rec::link.index(0).word(), Rec::link.word());
+        assert_eq!(Rec::link.index(1).word(), Rec::weight.word());
+        assert_eq!(
+            Field::<Rec, u64>::at(Rec::link.word()).index(2).word(),
+            Rec::done.word()
+        );
     }
 
     #[test]

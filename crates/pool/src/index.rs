@@ -1,0 +1,400 @@
+//! Index internals: the two open-addressing tables (items by id, sender
+//! chains by sender), the bloom duplicate filter, and the intrusive
+//! skiplist. Everything here is `pub(crate)` plumbing for the public
+//! operations in `ops.rs`.
+//!
+//! # Doomed readers never panic
+//!
+//! Under the capture-optimized runtime an optimistic reader can follow a
+//! pointer into a block that a concurrent transaction has since freed and
+//! a third has recycled — and the recycler's *captured* init stores bump
+//! no orec, so the stale words pass per-read validation (DESIGN.md §8).
+//! Such a zombie is guaranteed to abort at commit (it reached the block
+//! through a link whose orec *did* advance), but until then it can observe
+//! states no consistent snapshot allows: "full" tables, skiplist searches
+//! that miss a live key, broken sender chains. Every invariant check on
+//! transactionally-read state therefore degrades to `Err(Abort::Conflict)`
+//! instead of panicking, and every pointer walk carries a capacity-derived
+//! step bound so a zombie-visible cycle becomes a retry, not a hang. Real
+//! corruption is still caught — by `seq_check` at quiesce, where reads are
+//! non-transactional and consistent, and by the differential oracle.
+
+use txmem::Addr;
+
+use crate::{
+    level_of, mix, Item, TxPool, MAX_LEVEL, S_BLOOM_R, S_BLOOM_W, S_ITEM_R, S_SKIP_R, S_SKIP_W,
+    S_SLOT_R, S_SLOT_W,
+};
+use stm::{Abort, Tx, TxBuf, TxPtr, TxResult};
+
+/// Which key a table is organized by — resolves the field the
+/// backward-shift relocation reads to recompute an entry's home slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum KeyKind {
+    /// The item table: keyed by `Item::id`.
+    Id,
+    /// The sender table: slots head sender chains, keyed by the head
+    /// item's `Item::sender`.
+    Sender,
+}
+
+impl TxPool {
+    /// Step allowance for any pointer walk: generous against any
+    /// consistent state (live items never exceed half the table), so
+    /// exhausting it proves the walker is a zombie chasing recycled
+    /// links — possibly around a cycle.
+    pub(crate) fn walk_bound(&self) -> u64 {
+        4 * (self.mask + 2)
+    }
+
+    fn key_of(&self, tx: &mut Tx<'_, '_>, p: TxPtr<Item>, kind: KeyKind) -> TxResult<u64> {
+        match kind {
+            KeyKind::Id => tx.read_field(&S_ITEM_R, p, Item::id),
+            KeyKind::Sender => tx.read_field(&S_ITEM_R, p, Item::sender),
+        }
+    }
+
+    /// Probe for `key` starting at its home slot. Returns the slot index
+    /// and entry, or `None` at the first empty slot (linear probing with
+    /// backward-shift deletion leaves no holes inside a cluster, so an
+    /// empty slot proves absence).
+    pub(crate) fn table_find(
+        &self,
+        tx: &mut Tx<'_, '_>,
+        table: TxBuf<TxPtr<Item>>,
+        kind: KeyKind,
+        key: u64,
+    ) -> TxResult<Option<(u64, TxPtr<Item>)>> {
+        let mut i = mix(key) & self.mask;
+        let mut probes = 0u64;
+        loop {
+            let p: TxPtr<Item> = tx.read_as(&S_SLOT_R, table.elem(i))?;
+            if p.is_null() {
+                return Ok(None);
+            }
+            if self.key_of(tx, p, kind)? == key {
+                return Ok(Some((i, p)));
+            }
+            i = (i + 1) & self.mask;
+            probes += 1;
+            if probes > self.mask {
+                // Capacity is 2x the worst-case item count, so a full
+                // table is impossible in a consistent snapshot — only a
+                // zombie can see one. Abort and let the retry see truth.
+                return Err(Abort::Conflict);
+            }
+        }
+    }
+
+    /// Insert `p` under `key`, which the caller has established is absent
+    /// (so the probe never compares occupants — it only hunts the
+    /// cluster's first empty slot).
+    pub(crate) fn table_insert(
+        &self,
+        tx: &mut Tx<'_, '_>,
+        table: TxBuf<TxPtr<Item>>,
+        key: u64,
+        p: TxPtr<Item>,
+    ) -> TxResult<()> {
+        let mut i = mix(key) & self.mask;
+        let mut probes = 0u64;
+        loop {
+            let q: TxPtr<Item> = tx.read_as(&S_SLOT_R, table.elem(i))?;
+            if q.is_null() {
+                return tx.write_as(&S_SLOT_W, table.elem(i), p);
+            }
+            i = (i + 1) & self.mask;
+            probes += 1;
+            if probes > self.mask {
+                return Err(Abort::Conflict);
+            }
+        }
+    }
+
+    /// Vacate slot `i` and backward-shift the rest of the cluster so the
+    /// no-holes probe invariant survives without tombstones: any later
+    /// entry whose home slot is cyclically outside `(hole, entry]` can
+    /// legally move back into the hole, leaving its old slot as the new
+    /// hole; the first empty slot ends the cluster.
+    pub(crate) fn table_remove_at(
+        &self,
+        tx: &mut Tx<'_, '_>,
+        table: TxBuf<TxPtr<Item>>,
+        kind: KeyKind,
+        mut i: u64,
+    ) -> TxResult<()> {
+        tx.write_as(&S_SLOT_W, table.elem(i), TxPtr::<Item>::NULL)?;
+        let mut j = i;
+        let mut probes = 0u64;
+        loop {
+            j = (j + 1) & self.mask;
+            let p: TxPtr<Item> = tx.read_as(&S_SLOT_R, table.elem(j))?;
+            if p.is_null() {
+                return Ok(());
+            }
+            let home = mix(self.key_of(tx, p, kind)?) & self.mask;
+            if (j.wrapping_sub(home) & self.mask) >= (j.wrapping_sub(i) & self.mask) {
+                tx.write_as(&S_SLOT_W, table.elem(i), p)?;
+                tx.write_as(&S_SLOT_W, table.elem(j), TxPtr::<Item>::NULL)?;
+                i = j;
+            }
+            probes += 1;
+            if probes > self.mask {
+                return Err(Abort::Conflict);
+            }
+        }
+    }
+
+    // --- bloom duplicate filter -------------------------------------------
+
+    /// The two (word address, bit mask) probes for `id`.
+    pub(crate) fn bloom_probes(&self, id: u64) -> [(Addr, u64); 2] {
+        let h = mix(id ^ 0xB10_0F11);
+        let g = mix(h);
+        let b1 = h & self.bloom_mask;
+        let b2 = g & self.bloom_mask;
+        [
+            (self.bloom.elem(b1 >> 6), 1u64 << (b1 & 63)),
+            (self.bloom.elem(b2 >> 6), 1u64 << (b2 & 63)),
+        ]
+    }
+
+    /// Might `id` have ever been inserted? False positives possible,
+    /// false negatives not.
+    pub(crate) fn bloom_might_contain(&self, tx: &mut Tx<'_, '_>, id: u64) -> TxResult<bool> {
+        for (addr, bit) in self.bloom_probes(id) {
+            let w: u64 = tx.read_as(&S_BLOOM_R, addr)?;
+            if w & bit == 0 {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Record `id` in the filter. Writes only words that actually change,
+    /// so a saturated filter stops generating write-set conflicts.
+    pub(crate) fn bloom_add(&self, tx: &mut Tx<'_, '_>, id: u64) -> TxResult<()> {
+        for (addr, bit) in self.bloom_probes(id) {
+            let w: u64 = tx.read_as(&S_BLOOM_R, addr)?;
+            if w & bit == 0 {
+                tx.write_as(&S_BLOOM_W, addr, w | bit)?;
+            }
+        }
+        Ok(())
+    }
+
+    // --- skiplist ----------------------------------------------------------
+
+    /// The skiplist key of a live item.
+    pub(crate) fn skip_key_of(&self, tx: &mut Tx<'_, '_>, p: TxPtr<Item>) -> TxResult<(u64, u64)> {
+        Ok((
+            tx.read_field(&S_ITEM_R, p, Item::prio)?,
+            tx.read_field(&S_ITEM_R, p, Item::id)?,
+        ))
+    }
+
+    /// Search for `key`: per level, the address of the forward word whose
+    /// successor is the first node with key `>= key` (the "update" array
+    /// of the textbook algorithm), plus that level-0 successor.
+    fn skip_search(
+        &self,
+        tx: &mut Tx<'_, '_>,
+        key: (u64, u64),
+    ) -> TxResult<([Addr; MAX_LEVEL], TxPtr<Item>)> {
+        let mut update = [txmem::NULL; MAX_LEVEL];
+        let mut pred = TxPtr::<Item>::NULL;
+        let mut steps = self.walk_bound();
+        for l in (0..MAX_LEVEL).rev() {
+            let mut link = if pred.is_null() {
+                self.heads.elem(l as u64)
+            } else {
+                pred.field(Item::fwd(l))
+            };
+            loop {
+                let nxt: TxPtr<Item> = tx.read_as(&S_SKIP_R, link)?;
+                if nxt.is_null() || self.skip_key_of(tx, nxt)? >= key {
+                    break;
+                }
+                steps -= 1;
+                if steps == 0 {
+                    return Err(Abort::Conflict);
+                }
+                pred = nxt;
+                link = nxt.field(Item::fwd(l));
+            }
+            update[l] = link;
+        }
+        let succ: TxPtr<Item> = tx.read_as(&S_SKIP_R, update[0])?;
+        Ok((update, succ))
+    }
+
+    /// Link a fresh item (its key fields already initialized) into the
+    /// by-priority index. The forward-pointer stores into `p` are init
+    /// writes of captured memory; only the predecessors' words take full
+    /// barriers.
+    pub(crate) fn skip_insert(
+        &self,
+        tx: &mut Tx<'_, '_>,
+        p: TxPtr<Item>,
+        key: (u64, u64),
+    ) -> TxResult<()> {
+        let lvl = level_of(key.1);
+        let (update, succ) = self.skip_search(tx, key)?;
+        if !succ.is_null() && succ.raw() == p.raw() {
+            // Already linked: impossible in a consistent snapshot.
+            return Err(Abort::Conflict);
+        }
+        for (l, link) in update.iter().enumerate().take(lvl as usize) {
+            let nxt: TxPtr<Item> = tx.read_as(&S_SKIP_R, *link)?;
+            tx.write_field(&crate::S_INIT_W, p, Item::fwd(l), nxt)?;
+            tx.write_as(&S_SKIP_W, *link, p)?;
+        }
+        Ok(())
+    }
+
+    /// Unlink `p` (which must be live under `key`) from the by-priority
+    /// index.
+    pub(crate) fn skip_remove(
+        &self,
+        tx: &mut Tx<'_, '_>,
+        p: TxPtr<Item>,
+        key: (u64, u64),
+    ) -> TxResult<()> {
+        let (update, succ) = self.skip_search(tx, key)?;
+        if succ.raw() != p.raw() {
+            // A search that misses an item the same transaction proved
+            // live means the snapshot is already doomed.
+            return Err(Abort::Conflict);
+        }
+        let lvl = tx.read_field(&S_ITEM_R, p, Item::level)?;
+        for (l, link) in update.iter().enumerate().take(lvl as usize) {
+            let at: TxPtr<Item> = tx.read_as(&S_SKIP_R, *link)?;
+            if at.raw() != p.raw() {
+                return Err(Abort::Conflict);
+            }
+            let nxt = tx.read_field(&S_ITEM_R, p, Item::fwd(l))?;
+            tx.write_as(&S_SKIP_W, *link, nxt)?;
+        }
+        Ok(())
+    }
+
+    /// The lowest-key live item (the eviction victim), or null.
+    pub(crate) fn skip_min(&self, tx: &mut Tx<'_, '_>) -> TxResult<TxPtr<Item>> {
+        tx.read_as(&S_SKIP_R, self.heads.elem(0))
+    }
+
+    /// The highest-key live item (what `pop_best` takes), or null: walk
+    /// right at each level, descending at the nulls.
+    pub(crate) fn skip_max(&self, tx: &mut Tx<'_, '_>) -> TxResult<TxPtr<Item>> {
+        let mut pred = TxPtr::<Item>::NULL;
+        let mut steps = self.walk_bound();
+        for l in (0..MAX_LEVEL).rev() {
+            let mut link = if pred.is_null() {
+                self.heads.elem(l as u64)
+            } else {
+                pred.field(Item::fwd(l))
+            };
+            loop {
+                let nxt: TxPtr<Item> = tx.read_as(&S_SKIP_R, link)?;
+                if nxt.is_null() {
+                    break;
+                }
+                steps -= 1;
+                if steps == 0 {
+                    return Err(Abort::Conflict);
+                }
+                pred = nxt;
+                link = nxt.field(Item::fwd(l));
+            }
+        }
+        Ok(pred)
+    }
+
+    // --- sender chains ------------------------------------------------------
+
+    /// Link a fresh item into its sender's `(nonce, id)`-ordered chain,
+    /// creating the sender-table entry if this is the sender's first item.
+    pub(crate) fn sender_insert(
+        &self,
+        tx: &mut Tx<'_, '_>,
+        p: TxPtr<Item>,
+        sender: u64,
+        nonce: u64,
+        id: u64,
+    ) -> TxResult<()> {
+        let key = (nonce, id);
+        match self.table_find(tx, self.senders, KeyKind::Sender, sender)? {
+            None => self.table_insert(tx, self.senders, sender, p),
+            Some((slot, head)) => {
+                let hk = (
+                    tx.read_field(&S_ITEM_R, head, Item::nonce)?,
+                    tx.read_field(&S_ITEM_R, head, Item::id)?,
+                );
+                if key < hk {
+                    tx.write_field(&crate::S_INIT_W, p, Item::snext, head)?;
+                    return tx.write_as(&S_SLOT_W, self.senders.elem(slot), p);
+                }
+                let mut prev = head;
+                let mut steps = self.walk_bound();
+                loop {
+                    let nx: TxPtr<Item> = tx.read_field(&S_ITEM_R, prev, Item::snext)?;
+                    let insert_here = if nx.is_null() {
+                        true
+                    } else {
+                        key < (
+                            tx.read_field(&S_ITEM_R, nx, Item::nonce)?,
+                            tx.read_field(&S_ITEM_R, nx, Item::id)?,
+                        )
+                    };
+                    if insert_here {
+                        tx.write_field(&crate::S_INIT_W, p, Item::snext, nx)?;
+                        return tx.write_field(&crate::S_LINK_W, prev, Item::snext, p);
+                    }
+                    steps -= 1;
+                    if steps == 0 {
+                        return Err(Abort::Conflict);
+                    }
+                    prev = nx;
+                }
+            }
+        }
+    }
+
+    /// Unlink a live item from its sender chain, dropping the sender's
+    /// table entry when the chain empties.
+    pub(crate) fn sender_unlink(
+        &self,
+        tx: &mut Tx<'_, '_>,
+        p: TxPtr<Item>,
+        sender: u64,
+    ) -> TxResult<()> {
+        let Some((slot, head)) = self.table_find(tx, self.senders, KeyKind::Sender, sender)? else {
+            // A live item without a sender chain: doomed snapshot.
+            return Err(Abort::Conflict);
+        };
+        if head.raw() == p.raw() {
+            let nxt: TxPtr<Item> = tx.read_field(&S_ITEM_R, p, Item::snext)?;
+            if nxt.is_null() {
+                return self.table_remove_at(tx, self.senders, KeyKind::Sender, slot);
+            }
+            return tx.write_as(&S_SLOT_W, self.senders.elem(slot), nxt);
+        }
+        let mut prev = head;
+        let mut steps = self.walk_bound();
+        loop {
+            let nx: TxPtr<Item> = tx.read_field(&S_ITEM_R, prev, Item::snext)?;
+            if nx.is_null() {
+                return Err(Abort::Conflict);
+            }
+            if nx.raw() == p.raw() {
+                let after: TxPtr<Item> = tx.read_field(&S_ITEM_R, p, Item::snext)?;
+                return tx.write_field(&crate::S_LINK_W, prev, Item::snext, after);
+            }
+            steps -= 1;
+            if steps == 0 {
+                return Err(Abort::Conflict);
+            }
+            prev = nx;
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! The sequential reference implementation the differential oracle runs
+//! alongside the transactional pool. Plain `std` collections, the same
+//! observable semantics — including the exact eviction, rejection, and
+//! telemetry behavior — so `tests/pool_oracle.rs` can demand equality of
+//! both contents and counters after arbitrary op scripts.
+//!
+//! The one deliberate coupling to the real pool: the bloom filter is
+//! simulated bit for bit (same hash, same width), because the
+//! `dup_skips` counter depends on bloom *false positives* — a mere
+//! "ever inserted" set would diverge from the real telemetry the first
+//! time two ids collide in the filter.
+
+use crate::{InsertOutcome, PoolCounters, PoolEntry};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Sequential mirror of `TxPool`.
+#[derive(Clone, Debug, Default)]
+pub struct ModelPool {
+    budget: u64,
+    items: HashMap<u64, PoolEntry>,
+    by_prio: BTreeMap<(u64, u64), u64>,
+    by_sender: HashMap<u64, BTreeSet<(u64, u64)>>,
+    bloom: Vec<u64>,
+    bloom_mask: u64,
+    counters: PoolCounters,
+}
+
+impl ModelPool {
+    /// A model pool with the given live-byte budget and bloom width —
+    /// pass the same values as the `PoolConfig` under test.
+    pub fn new(budget_bytes: u64, bloom_words: u64) -> ModelPool {
+        assert!(bloom_words.is_power_of_two());
+        ModelPool {
+            budget: budget_bytes,
+            bloom: vec![0; bloom_words as usize],
+            bloom_mask: 64 * bloom_words - 1,
+            ..ModelPool::default()
+        }
+    }
+
+    /// Bit-exact mirror of the pool's two bloom probes.
+    fn bloom_probes(&self, id: u64) -> [(usize, u64); 2] {
+        let h = crate::mix(id ^ 0xB10_0F11);
+        let g = crate::mix(h);
+        let b1 = h & self.bloom_mask;
+        let b2 = g & self.bloom_mask;
+        [
+            ((b1 >> 6) as usize, 1u64 << (b1 & 63)),
+            ((b2 >> 6) as usize, 1u64 << (b2 & 63)),
+        ]
+    }
+
+    fn bloom_might_contain(&self, id: u64) -> bool {
+        self.bloom_probes(id)
+            .iter()
+            .all(|&(w, bit)| self.bloom[w] & bit != 0)
+    }
+
+    fn bloom_add(&mut self, id: u64) {
+        for (w, bit) in self.bloom_probes(id) {
+            self.bloom[w] |= bit;
+        }
+    }
+
+    /// Mirror of `TxPool::insert`.
+    pub fn insert(
+        &mut self,
+        id: u64,
+        sender: u64,
+        nonce: u64,
+        prio: u64,
+        payload_words: u64,
+    ) -> InsertOutcome {
+        let entry = PoolEntry {
+            id,
+            sender,
+            nonce,
+            prio,
+            payload_words,
+        };
+        let need = entry.bytes();
+        if need > self.budget {
+            self.counters.rejected += 1;
+            return InsertOutcome::Rejected;
+        }
+        let maybe_seen = self.bloom_might_contain(id);
+        if maybe_seen && self.items.contains_key(&id) {
+            self.counters.dup_hits += 1;
+            return InsertOutcome::Duplicate;
+        }
+        // Plan eviction over the strictly-worse prefix, all-or-nothing.
+        let key = (prio, id);
+        let mut freed = 0u64;
+        let mut victims: Vec<u64> = Vec::new();
+        if self.counters.live_bytes + need > self.budget {
+            for (&k, &vid) in self.by_prio.iter() {
+                if self.counters.live_bytes - freed + need <= self.budget {
+                    break;
+                }
+                if k >= key {
+                    break;
+                }
+                freed += self.items[&vid].bytes();
+                victims.push(vid);
+            }
+            if self.counters.live_bytes - freed + need > self.budget {
+                self.counters.rejected += 1;
+                return InsertOutcome::Rejected;
+            }
+            for vid in &victims {
+                let gone = self.unlink(*vid);
+                self.counters.evicted += 1;
+                self.counters.evicted_bytes += gone.bytes();
+            }
+        }
+        self.items.insert(id, entry);
+        self.by_prio.insert(key, id);
+        self.by_sender
+            .entry(sender)
+            .or_default()
+            .insert((nonce, id));
+        self.bloom_add(id);
+        self.counters.count += 1;
+        self.counters.live_bytes += need;
+        self.counters.inserted += 1;
+        if !maybe_seen {
+            self.counters.dup_skips += 1;
+        }
+        InsertOutcome::Inserted {
+            evicted: victims.len() as u64,
+        }
+    }
+
+    /// Mirror of `TxPool::remove`.
+    pub fn remove(&mut self, id: u64) -> Option<PoolEntry> {
+        if !self.items.contains_key(&id) {
+            return None;
+        }
+        let e = self.unlink(id);
+        self.counters.removed += 1;
+        Some(e)
+    }
+
+    /// Mirror of `TxPool::pop_best`.
+    pub fn pop_best(&mut self) -> Option<PoolEntry> {
+        let (_, &id) = self.by_prio.iter().next_back()?;
+        let e = self.unlink(id);
+        self.counters.popped += 1;
+        Some(e)
+    }
+
+    /// Mirror of `TxPool::promote`.
+    pub fn promote(&mut self, id: u64, new_prio: u64) -> bool {
+        let Some(&e) = self.items.get(&id) else {
+            return false;
+        };
+        if e.prio != new_prio {
+            self.by_prio.remove(&(e.prio, id));
+            self.by_prio.insert((new_prio, id), id);
+            self.items.get_mut(&id).expect("live").prio = new_prio;
+        }
+        self.counters.promoted += 1;
+        true
+    }
+
+    /// Mirror of `TxPool::remove_sender`.
+    pub fn remove_sender(&mut self, sender: u64) -> u64 {
+        let ids: Vec<u64> = self
+            .by_sender
+            .get(&sender)
+            .map(|s| s.iter().map(|&(_, id)| id).collect())
+            .unwrap_or_default();
+        for &id in &ids {
+            self.unlink(id);
+        }
+        self.counters.purged += ids.len() as u64;
+        ids.len() as u64
+    }
+
+    /// Mirror of `TxPool::contains`.
+    pub fn contains(&self, id: u64) -> bool {
+        self.items.contains_key(&id)
+    }
+
+    /// Every live item, sorted by id — comparable with
+    /// `TxPool::seq_collect`.
+    pub fn contents(&self) -> Vec<PoolEntry> {
+        let mut out: Vec<PoolEntry> = self.items.values().copied().collect();
+        out.sort();
+        out
+    }
+
+    /// The telemetry snapshot — comparable with `TxPool::seq_counters`.
+    pub fn counters(&self) -> PoolCounters {
+        self.counters
+    }
+
+    /// Remove a live item from every index and settle accounting; the
+    /// caller records the cause.
+    fn unlink(&mut self, id: u64) -> PoolEntry {
+        let e = self.items.remove(&id).expect("unlink of a dead item");
+        self.by_prio.remove(&(e.prio, id));
+        let chain = self.by_sender.get_mut(&e.sender).expect("sender chain");
+        chain.remove(&(e.nonce, id));
+        if chain.is_empty() {
+            self.by_sender.remove(&e.sender);
+        }
+        self.counters.count -= 1;
+        self.counters.live_bytes -= e.bytes();
+        e
+    }
+}

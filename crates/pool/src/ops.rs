@@ -1,0 +1,375 @@
+//! The pool's public mutations. Each takes `&mut Tx`, so operations
+//! compose inside caller transactions (and inside `txn_batch` windows);
+//! the driver wraps each call in one transaction, making every mutation
+//! atomic and every telemetry counter roll back with its transaction.
+
+use crate::index::KeyKind;
+use crate::{Item, PoolEntry, PoolHdr, TxPool, S_HDR_R, S_INIT_W, S_ITEM_R};
+use stm::{Abort, Tx, TxBuf, TxObject, TxPtr, TxResult};
+
+/// What [`TxPool::insert`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The item is live; `evicted` strictly-worse items made room for it.
+    Inserted {
+        /// Number of lower-priority items evicted by this insert.
+        evicted: u64,
+    },
+    /// An item with this id is already live; nothing changed.
+    Duplicate,
+    /// The item did not fit and the strictly-lower-priority prefix could
+    /// not make room (or the item alone exceeds the whole budget);
+    /// nothing changed.
+    Rejected,
+}
+
+impl TxPool {
+    /// Insert an item. One transaction's worth of work: duplicate
+    /// filtering (bloom, then the exact probe only on a bloom positive),
+    /// budget planning, eviction of strictly-worse items if needed, then
+    /// allocation and linking into all three indices.
+    ///
+    /// The payload is `payload_words` words of a deterministic
+    /// id-derived pattern, so integrity is checkable at quiesce.
+    pub fn insert(
+        &self,
+        tx: &mut Tx<'_, '_>,
+        id: u64,
+        sender: u64,
+        nonce: u64,
+        prio: u64,
+        payload_words: u64,
+    ) -> TxResult<InsertOutcome> {
+        assert_ne!(id, 0, "item ids are non-zero");
+        let need = Item::BYTES + 8 * payload_words;
+        if need > self.budget {
+            self.bump(tx, PoolHdr::rejected, 1)?;
+            return Ok(InsertOutcome::Rejected);
+        }
+        // Duplicate filter: a bloom negative proves the id was never
+        // inserted, so the exact probe is skipped outright.
+        let maybe_seen = self.bloom_might_contain(tx, id)?;
+        if maybe_seen && self.table_find(tx, self.slots, KeyKind::Id, id)?.is_some() {
+            self.bump(tx, PoolHdr::dup_hits, 1)?;
+            return Ok(InsertOutcome::Duplicate);
+        }
+        // Budget plan: walk the strictly-worse skiplist prefix read-only
+        // first — eviction must be all-or-nothing with the admission
+        // decision (a rejected insert may not have evicted anybody).
+        let live = tx.read_field(&S_HDR_R, self.hdr, PoolHdr::live_bytes)?;
+        let key = (prio, id);
+        let mut freed = 0u64;
+        let mut victims = 0u64;
+        if live.saturating_add(need) > self.budget {
+            // Saturating arithmetic and a walk bound: a doomed reader can
+            // see garbage `bytes` fields and recycled `fwd0` links here
+            // (see the module note in `index.rs`), and must degrade to an
+            // abort, never underflow or spin.
+            let mut cur = self.skip_min(tx)?;
+            while live.saturating_sub(freed).saturating_add(need) > self.budget {
+                if cur.is_null() || self.skip_key_of(tx, cur)? >= key {
+                    self.bump(tx, PoolHdr::rejected, 1)?;
+                    return Ok(InsertOutcome::Rejected);
+                }
+                freed = freed.saturating_add(tx.read_field(&S_ITEM_R, cur, Item::bytes)?);
+                victims += 1;
+                if victims > self.walk_bound() {
+                    return Err(Abort::Conflict);
+                }
+                cur = tx.read_field(&S_ITEM_R, cur, Item::fwd0)?;
+            }
+            for _ in 0..victims {
+                self.evict_min(tx)?;
+            }
+        }
+        // Allocate and initialize the item (captured: these stores elide).
+        let p = tx.alloc_obj::<Item>()?;
+        tx.write_field(&S_INIT_W, p, Item::id, id)?;
+        tx.write_field(&S_INIT_W, p, Item::sender, sender)?;
+        tx.write_field(&S_INIT_W, p, Item::nonce, nonce)?;
+        tx.write_field(&S_INIT_W, p, Item::prio, prio)?;
+        tx.write_field(&S_INIT_W, p, Item::bytes, need)?;
+        tx.write_field(&S_INIT_W, p, Item::payload_words, payload_words)?;
+        tx.write_field(&S_INIT_W, p, Item::snext, TxPtr::NULL)?;
+        tx.write_field(&S_INIT_W, p, Item::level, crate::level_of(id))?;
+        for l in 0..crate::MAX_LEVEL {
+            tx.write_field(&S_INIT_W, p, Item::fwd(l), TxPtr::NULL)?;
+        }
+        let payload = if payload_words > 0 {
+            let buf: TxBuf<u64> = tx.alloc_buf(payload_words)?;
+            for w in 0..payload_words {
+                tx.write_as(&S_INIT_W, buf.elem(w), payload_word(id, w))?;
+            }
+            buf
+        } else {
+            TxBuf::NULL
+        };
+        tx.write_field(&S_INIT_W, p, Item::payload, payload)?;
+        // Link into all three indices; a bloom negative also lets the
+        // primary insert probe skip occupant compares (it only did).
+        self.table_insert(tx, self.slots, id, p)?;
+        self.skip_insert(tx, p, key)?;
+        self.sender_insert(tx, p, sender, nonce, id)?;
+        self.bloom_add(tx, id)?;
+        self.bump(tx, PoolHdr::count, 1)?;
+        self.bump(tx, PoolHdr::live_bytes, need)?;
+        self.bump(tx, PoolHdr::inserted, 1)?;
+        if !maybe_seen {
+            self.bump(tx, PoolHdr::dup_skips, 1)?;
+        }
+        Ok(InsertOutcome::Inserted { evicted: victims })
+    }
+
+    /// Remove the item with `id`; returns its entry if it was live.
+    pub fn remove(&self, tx: &mut Tx<'_, '_>, id: u64) -> TxResult<Option<PoolEntry>> {
+        let Some((_, p)) = self.table_find(tx, self.slots, KeyKind::Id, id)? else {
+            return Ok(None);
+        };
+        let entry = self.entry_of(tx, p)?;
+        self.unlink_item(tx, p)?;
+        self.bump(tx, PoolHdr::removed, 1)?;
+        Ok(Some(entry))
+    }
+
+    /// Remove and return the best item — the highest `(priority, id)`.
+    pub fn pop_best(&self, tx: &mut Tx<'_, '_>) -> TxResult<Option<PoolEntry>> {
+        let p = self.skip_max(tx)?;
+        if p.is_null() {
+            return Ok(None);
+        }
+        let entry = self.entry_of(tx, p)?;
+        self.unlink_item(tx, p)?;
+        self.bump(tx, PoolHdr::popped, 1)?;
+        Ok(Some(entry))
+    }
+
+    /// Change the priority of the item with `id` (up or down),
+    /// repositioning it in the by-priority index. Returns `false` if no
+    /// such item is live.
+    pub fn promote(&self, tx: &mut Tx<'_, '_>, id: u64, new_prio: u64) -> TxResult<bool> {
+        let Some((_, p)) = self.table_find(tx, self.slots, KeyKind::Id, id)? else {
+            return Ok(false);
+        };
+        let old = tx.read_field(&S_ITEM_R, p, Item::prio)?;
+        if old != new_prio {
+            self.skip_remove(tx, p, (old, id))?;
+            tx.write_field(&crate::S_LINK_W, p, Item::prio, new_prio)?;
+            self.skip_insert(tx, p, (new_prio, id))?;
+        }
+        self.bump(tx, PoolHdr::promoted, 1)?;
+        Ok(true)
+    }
+
+    /// Remove every live item of `sender`; returns how many went.
+    pub fn remove_sender(&self, tx: &mut Tx<'_, '_>, sender: u64) -> TxResult<u64> {
+        let mut n = 0u64;
+        while let Some((_, head)) = self.table_find(tx, self.senders, KeyKind::Sender, sender)? {
+            self.unlink_item(tx, head)?;
+            n += 1;
+            if n > self.walk_bound() {
+                // More unlinks than any consistent chain can hold: a
+                // zombie re-finding recycled heads. Abort and retry.
+                return Err(Abort::Conflict);
+            }
+        }
+        self.bump(tx, PoolHdr::purged, n)?;
+        Ok(n)
+    }
+
+    /// Is an item with `id` live?
+    pub fn contains(&self, tx: &mut Tx<'_, '_>, id: u64) -> TxResult<bool> {
+        Ok(self.table_find(tx, self.slots, KeyKind::Id, id)?.is_some())
+    }
+
+    /// Evict the skiplist minimum (the strictly-worst live item); the
+    /// caller has established the pool is non-empty.
+    fn evict_min(&self, tx: &mut Tx<'_, '_>) -> TxResult<()> {
+        let p = self.skip_min(tx)?;
+        if p.is_null() {
+            // The caller's plan proved the pool non-empty; an empty
+            // skiplist now means the snapshot is doomed.
+            return Err(Abort::Conflict);
+        }
+        let bytes = tx.read_field(&S_ITEM_R, p, Item::bytes)?;
+        self.unlink_item(tx, p)?;
+        self.bump(tx, PoolHdr::evicted, 1)?;
+        self.bump(tx, PoolHdr::evicted_bytes, bytes)
+    }
+
+    /// Read an item's observable entry.
+    fn entry_of(&self, tx: &mut Tx<'_, '_>, p: TxPtr<Item>) -> TxResult<PoolEntry> {
+        Ok(PoolEntry {
+            id: tx.read_field(&S_ITEM_R, p, Item::id)?,
+            sender: tx.read_field(&S_ITEM_R, p, Item::sender)?,
+            nonce: tx.read_field(&S_ITEM_R, p, Item::nonce)?,
+            prio: tx.read_field(&S_ITEM_R, p, Item::prio)?,
+            payload_words: tx.read_field(&S_ITEM_R, p, Item::payload_words)?,
+        })
+    }
+
+    /// Unlink a live item from all three indices, free its memory, and
+    /// settle the live accounting. Callers add their own telemetry.
+    fn unlink_item(&self, tx: &mut Tx<'_, '_>, p: TxPtr<Item>) -> TxResult<()> {
+        let id = tx.read_field(&S_ITEM_R, p, Item::id)?;
+        let sender = tx.read_field(&S_ITEM_R, p, Item::sender)?;
+        let prio = tx.read_field(&S_ITEM_R, p, Item::prio)?;
+        let bytes = tx.read_field(&S_ITEM_R, p, Item::bytes)?;
+        let payload_words = tx.read_field(&S_ITEM_R, p, Item::payload_words)?;
+        self.skip_remove(tx, p, (prio, id))?;
+        let Some((slot, q)) = self.table_find(tx, self.slots, KeyKind::Id, id)? else {
+            return Err(Abort::Conflict);
+        };
+        if q.raw() != p.raw() {
+            return Err(Abort::Conflict);
+        }
+        self.table_remove_at(tx, self.slots, KeyKind::Id, slot)?;
+        self.sender_unlink(tx, p, sender)?;
+        if payload_words > 0 {
+            let payload: TxBuf<u64> = tx.read_field(&S_ITEM_R, p, Item::payload)?;
+            tx.free_buf(payload);
+        }
+        tx.free_obj(p);
+        self.debit(tx, PoolHdr::count, 1)?;
+        self.debit(tx, PoolHdr::live_bytes, bytes)
+    }
+}
+
+/// The deterministic payload pattern: word `w` of item `id`'s payload.
+#[inline]
+pub(crate) fn payload_word(id: u64, w: u64) -> u64 {
+    id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PoolConfig;
+    use stm::{StmRuntime, TxConfig};
+    use txmem::MemConfig;
+
+    fn rt() -> StmRuntime {
+        StmRuntime::new(MemConfig::small(), TxConfig::runtime_tree_full())
+    }
+
+    fn budget_for(items: u64) -> u64 {
+        items * Item::BYTES
+    }
+
+    #[test]
+    fn insert_lookup_remove_roundtrip() {
+        let rt = rt();
+        let pool = TxPool::create(
+            &rt,
+            PoolConfig {
+                budget_bytes: budget_for(16),
+                bloom_words: 4,
+            },
+        );
+        let mut w = rt.spawn_worker();
+        assert_eq!(
+            w.txn(|tx| pool.insert(tx, 7, 1, 0, 50, 3)),
+            InsertOutcome::Inserted { evicted: 0 }
+        );
+        assert_eq!(
+            w.txn(|tx| pool.insert(tx, 7, 9, 9, 99, 0)),
+            InsertOutcome::Duplicate,
+            "same id is a duplicate regardless of other fields"
+        );
+        assert!(w.txn(|tx| pool.contains(tx, 7)));
+        assert!(!w.txn(|tx| pool.contains(tx, 8)));
+        let e = w.txn(|tx| pool.remove(tx, 7)).expect("live");
+        assert_eq!(
+            (e.id, e.sender, e.nonce, e.prio, e.payload_words),
+            (7, 1, 0, 50, 3)
+        );
+        assert_eq!(w.txn(|tx| pool.remove(tx, 7)), None);
+        assert_eq!(w.txn(|tx| pool.len(tx)), 0);
+        pool.seq_check(&w);
+    }
+
+    #[test]
+    fn pop_best_takes_highest_priority_then_highest_id() {
+        let rt = rt();
+        let pool = TxPool::create(
+            &rt,
+            PoolConfig {
+                budget_bytes: budget_for(16),
+                bloom_words: 4,
+            },
+        );
+        let mut w = rt.spawn_worker();
+        for (id, prio) in [(1u64, 5u64), (2, 9), (3, 9), (4, 1)] {
+            w.txn(|tx| pool.insert(tx, id, 0, 0, prio, 0));
+        }
+        let order: Vec<u64> =
+            std::iter::from_fn(|| w.txn(|tx| pool.pop_best(tx)).map(|e| e.id)).collect();
+        assert_eq!(order, vec![3, 2, 1, 4]);
+        pool.seq_check(&w);
+    }
+
+    #[test]
+    fn mutations_roll_back_with_their_transaction() {
+        let rt = rt();
+        let pool = TxPool::create(
+            &rt,
+            PoolConfig {
+                budget_bytes: budget_for(8),
+                bloom_words: 4,
+            },
+        );
+        let mut w = rt.spawn_worker();
+        w.txn(|tx| pool.insert(tx, 1, 0, 0, 5, 2));
+        let r: Result<(), u64> = w.txn_result(|tx| {
+            pool.insert(tx, 2, 0, 1, 6, 0)?;
+            pool.remove(tx, 1)?;
+            Err(stm::Abort::User(0))
+        });
+        assert!(r.is_err());
+        assert_eq!(pool.seq_collect(&w).len(), 1, "aborted ops left no trace");
+        assert_eq!(pool.seq_collect(&w)[0].id, 1);
+        pool.seq_check(&w);
+    }
+
+    #[test]
+    fn remove_sender_purges_whole_chains() {
+        let rt = rt();
+        let pool = TxPool::create(
+            &rt,
+            PoolConfig {
+                budget_bytes: budget_for(16),
+                bloom_words: 4,
+            },
+        );
+        let mut w = rt.spawn_worker();
+        for (id, sender, nonce) in [(1u64, 7u64, 2u64), (2, 7, 0), (3, 5, 0), (4, 7, 1)] {
+            w.txn(|tx| pool.insert(tx, id, sender, nonce, 10, 0));
+        }
+        assert_eq!(w.txn(|tx| pool.remove_sender(tx, 7)), 3);
+        assert_eq!(w.txn(|tx| pool.remove_sender(tx, 7)), 0);
+        let left = pool.seq_collect(&w);
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].sender, 5);
+        pool.seq_check(&w);
+    }
+
+    #[test]
+    fn promote_repositions_in_the_priority_index() {
+        let rt = rt();
+        let pool = TxPool::create(
+            &rt,
+            PoolConfig {
+                budget_bytes: budget_for(16),
+                bloom_words: 4,
+            },
+        );
+        let mut w = rt.spawn_worker();
+        for (id, prio) in [(1u64, 1u64), (2, 5), (3, 9)] {
+            w.txn(|tx| pool.insert(tx, id, 0, 0, prio, 0));
+        }
+        assert!(w.txn(|tx| pool.promote(tx, 1, 99)));
+        assert!(!w.txn(|tx| pool.promote(tx, 42, 1)));
+        pool.seq_check(&w);
+        assert_eq!(w.txn(|tx| pool.pop_best(tx)).map(|e| e.id), Some(1));
+        pool.seq_check(&w);
+    }
+}
